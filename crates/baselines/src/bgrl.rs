@@ -1,0 +1,134 @@
+//! BGRL (Thakoor et al., 2021): bootstrapped graph representation learning.
+//!
+//! **Extension** — discussed in the paper's related work (§6.1) but not in
+//! its tables; included because it is the canonical *negative-free*
+//! contrastive method and a useful ablation against InfoNCE-based branches.
+//!
+//! An online encoder + predictor is trained to match the embedding an
+//! EMA *target* encoder produces for the other augmented view; no negative
+//! pairs are used.
+
+use gcmae_graph::augment::{drop_edges, mask_feature_dims};
+use gcmae_graph::Dataset;
+use gcmae_nn::{Act, Adam, Encoder, GraphOps, Mlp, ParamId, ParamStore, Session};
+use gcmae_tensor::{Matrix, TensorId};
+
+use crate::common::{eval_embed, method_rng, SslConfig};
+
+/// EMA decay for the target network.
+const EMA_TAU: f32 = 0.99;
+
+/// Trains BGRL and returns eval-mode node embeddings (online encoder).
+pub fn train(ds: &Dataset, cfg: &SslConfig, seed: u64) -> Matrix {
+    let mut rng = method_rng(seed, 0xb9b1);
+    // Online and target stores share the construction RNG stream so their
+    // parameter layouts (and initial values) match exactly.
+    let mut online = ParamStore::new();
+    let encoder = {
+        let mut init_rng = method_rng(seed, 0xb9b1_c0de);
+        Encoder::new(&mut online, &cfg.encoder_config(ds.feature_dim()), &mut init_rng)
+    };
+    let mut target = ParamStore::new();
+    let target_encoder = {
+        let mut init_rng = method_rng(seed, 0xb9b1_c0de);
+        Encoder::new(&mut target, &cfg.encoder_config(ds.feature_dim()), &mut init_rng)
+    };
+    let predictor =
+        Mlp::new(&mut online, &[cfg.hidden_dim, cfg.hidden_dim, cfg.hidden_dim], Act::Elu, &mut rng);
+    let encoder_params = target.len(); // encoder params precede predictor's
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+    let n = ds.num_nodes() as f32;
+
+    for _ in 0..cfg.epochs {
+        // two augmented views
+        let g1 = drop_edges(&ds.graph, cfg.p_edge_drop, &mut rng);
+        let g2 = drop_edges(&ds.graph, cfg.p_edge_drop, &mut rng);
+        let x1 = mask_feature_dims(&ds.features, cfg.p_feat_mask, &mut rng);
+        let x2 = mask_feature_dims(&ds.features, cfg.p_feat_mask, &mut rng);
+        let ops1 = GraphOps::new(&g1);
+        let ops2 = GraphOps::new(&g2);
+
+        // target embeddings (no gradients): computed in throwaway sessions
+        let target_of = |x: &Matrix, ops: &GraphOps, rng: &mut rand::rngs::StdRng| -> Matrix {
+            let mut sess = Session::new();
+            let xi = sess.tape.constant(x.clone());
+            let h = target_encoder.forward(&mut sess, &target, xi, ops, false, rng);
+            sess.tape.value(h).clone()
+        };
+        let t1 = target_of(&x1, &ops1, &mut rng);
+        let t2 = target_of(&x2, &ops2, &mut rng);
+
+        // online pass: predict the *other* view's target embedding
+        let mut sess = Session::new();
+        let xi1 = sess.tape.constant(x1);
+        let xi2 = sess.tape.constant(x2);
+        let h1 = encoder.forward(&mut sess, &online, xi1, &ops1, true, &mut rng);
+        let h2 = encoder.forward(&mut sess, &online, xi2, &ops2, true, &mut rng);
+        let q1 = predictor.forward(&mut sess, &online, h1);
+        let q2 = predictor.forward(&mut sess, &online, h2);
+        let l1 = cosine_loss(&mut sess, q1, t2, n);
+        let l2 = cosine_loss(&mut sess, q2, t1, n);
+        let loss = sess.tape.add(l1, l2);
+        let mut grads = sess.tape.backward(loss);
+        adam.step(&mut online, &sess, &mut grads);
+
+        // EMA update of the target encoder
+        for i in 0..encoder_params {
+            let id = ParamId::from_index(i);
+            let online_v = online.value(id).clone();
+            let tp = target.param_mut(id);
+            for (t, &o) in tp.value.as_mut_slice().iter_mut().zip(online_v.as_slice()) {
+                *t = EMA_TAU * *t + (1.0 - EMA_TAU) * o;
+            }
+        }
+    }
+    eval_embed(&encoder, &online, ds, &mut rng)
+}
+
+/// `(1/n) Σ_i (1 − cos(q_i, t_i))` with `t` constant (stop-gradient).
+fn cosine_loss(sess: &mut Session, q: TensorId, t: Matrix, n: f32) -> TensorId {
+    let qn = sess.tape.row_normalize(q);
+    let mut tn = t;
+    for r in 0..tn.rows() {
+        let norm = tn.row_norm(r).max(1e-8);
+        for v in tn.row_mut(r) {
+            *v /= norm;
+        }
+    }
+    let tc = sess.tape.constant(tn);
+    let prod = sess.tape.hadamard(qn, tc);
+    let s = sess.tape.sum_all(prod);
+    // 1 − mean cos  ==  1 − s/n; the constant offset does not affect grads
+    sess.tape.scale(s, -1.0 / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::citation::{generate, CitationSpec};
+
+    #[test]
+    fn produces_finite_embeddings() {
+        let ds = generate(&CitationSpec::cora().scaled(0.02), 1);
+        let cfg = SslConfig { epochs: 5, ..SslConfig::fast() };
+        let e = train(&ds, &cfg, 1);
+        assert_eq!(e.shape(), (ds.num_nodes(), cfg.hidden_dim));
+        assert!(e.all_finite());
+    }
+
+    #[test]
+    fn does_not_collapse_without_negatives() {
+        // the EMA target + predictor asymmetry should prevent constant
+        // embeddings even though there are no negative pairs
+        let ds = generate(&CitationSpec::cora().scaled(0.03), 2);
+        let cfg = SslConfig { epochs: 15, ..SslConfig::fast() };
+        let e = train(&ds, &cfg, 2);
+        let mut distinct = 0;
+        for r in 1..e.rows() {
+            if e.row(r) != e.row(0) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > e.rows() / 2, "embeddings collapsed");
+    }
+}

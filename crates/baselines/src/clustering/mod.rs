@@ -1,0 +1,5 @@
+//! Deep node-clustering baselines (Table 6): GC-VGE, SCGC, GCC.
+
+pub mod gc_vge;
+pub mod gcc;
+pub mod scgc;

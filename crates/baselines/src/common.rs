@@ -1,0 +1,157 @@
+//! Shared configuration and helpers for all baseline methods.
+
+use gcmae_graph::Dataset;
+use gcmae_nn::{Act, Encoder, EncoderConfig, EncoderKind, GraphOps, ParamStore, Session};
+use gcmae_tensor::{Matrix, TensorId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters shared by the SSL baselines. Per-method specifics
+/// (e.g. MaskGAE's edge mask rate) live in the method modules.
+#[derive(Clone, Debug)]
+pub struct SslConfig {
+    /// encoder.
+    pub encoder: EncoderKind,
+    /// hidden dim.
+    pub hidden_dim: usize,
+    /// proj dim.
+    pub proj_dim: usize,
+    /// layers.
+    pub layers: usize,
+    /// epochs.
+    pub epochs: usize,
+    /// lr.
+    pub lr: f32,
+    /// weight decay.
+    pub weight_decay: f32,
+    /// dropout.
+    pub dropout: f32,
+    /// Edge-drop rate for two-view methods (GRACE/CCA-SSG/GraphCL).
+    pub p_edge_drop: f32,
+    /// Feature-dimension mask rate for two-view methods.
+    pub p_feat_mask: f32,
+    /// Node-feature mask rate for MAE methods (GraphMAE/SeeGera).
+    pub p_node_mask: f32,
+    /// Edge mask rate for edge-MAE methods (MaskGAE/S2GAE).
+    pub p_edge_mask: f32,
+    /// InfoNCE temperature.
+    pub tau: f32,
+    /// Anchor subsample for InfoNCE-style losses (0 = all).
+    pub contrast_sample: usize,
+}
+
+impl Default for SslConfig {
+    fn default() -> Self {
+        Self {
+            encoder: EncoderKind::Gcn,
+            hidden_dim: 256,
+            proj_dim: 64,
+            layers: 2,
+            epochs: 200,
+            lr: 0.001,
+            weight_decay: 1e-4,
+            dropout: 0.2,
+            p_edge_drop: 0.3,
+            p_feat_mask: 0.3,
+            p_node_mask: 0.5,
+            p_edge_mask: 0.7,
+            tau: 0.5,
+            contrast_sample: 1024,
+        }
+    }
+}
+
+impl SslConfig {
+    /// Fast preset for tests and Criterion benches.
+    pub fn fast() -> Self {
+        Self {
+            hidden_dim: 32,
+            proj_dim: 16,
+            epochs: 15,
+            contrast_sample: 128,
+            ..Self::default()
+        }
+    }
+
+    /// Encoder configuration for inputs of width `in_dim`.
+    pub fn encoder_config(&self, in_dim: usize) -> EncoderConfig {
+        EncoderConfig {
+            kind: self.encoder,
+            in_dim,
+            hidden_dim: self.hidden_dim,
+            out_dim: self.hidden_dim,
+            layers: self.layers,
+            act: Act::Elu,
+            dropout: self.dropout,
+        }
+    }
+}
+
+/// Deterministic per-method RNG.
+pub fn method_rng(seed: u64, tag: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x2545f4914f6cdd1d) ^ tag)
+}
+
+/// Eval-mode embeddings of the full dataset.
+pub fn eval_embed(encoder: &Encoder, store: &ParamStore, ds: &Dataset, rng: &mut StdRng) -> Matrix {
+    let ops = GraphOps::new(&ds.graph);
+    let mut sess = Session::new();
+    let x = sess.tape.constant(ds.features.clone());
+    let h = encoder.forward(&mut sess, store, x, &ops, false, rng);
+    sess.tape.value(h).clone()
+}
+
+/// Per-edge dot-product logits `⟨h_u, h_v⟩` as an `E × 1` tape tensor.
+pub fn edge_logits(
+    sess: &mut Session,
+    h: TensorId,
+    edges: &[(usize, usize)],
+) -> TensorId {
+    let us: Vec<usize> = edges.iter().map(|&(u, _)| u).collect();
+    let vs: Vec<usize> = edges.iter().map(|&(_, v)| v).collect();
+    let hu = sess.tape.gather_rows(h, us);
+    let hv = sess.tape.gather_rows(h, vs);
+    let prod = sess.tape.hadamard(hu, hv);
+    let d = sess.tape.value(prod).cols();
+    let ones = sess.tape.constant(Matrix::full(d, 1, 1.0));
+    sess.tape.matmul(prod, ones)
+}
+
+/// Stacked 0/1 target column for `n_pos` positives followed by `n_neg`
+/// negatives.
+pub fn edge_targets(n_pos: usize, n_neg: usize) -> Matrix {
+    Matrix::from_fn(n_pos + n_neg, 1, |r, _| if r < n_pos { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::citation::{generate, CitationSpec};
+
+    #[test]
+    fn edge_logits_compute_dot_products() {
+        let mut sess = Session::new();
+        let h = sess.tape.constant(Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 2.0, 3.0, 1.0]));
+        let l = edge_logits(&mut sess, h, &[(0, 2), (1, 2)]);
+        let v = sess.tape.value(l);
+        assert_eq!(v.shape(), (2, 1));
+        assert_eq!(v.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn eval_embed_shape() {
+        let ds = generate(&CitationSpec::cora().scaled(0.02), 1);
+        let cfg = SslConfig::fast();
+        let mut rng = method_rng(1, 0);
+        let mut store = ParamStore::new();
+        let enc = Encoder::new(&mut store, &cfg.encoder_config(ds.feature_dim()), &mut rng);
+        let e = eval_embed(&enc, &store, &ds, &mut rng);
+        assert_eq!(e.shape(), (ds.num_nodes(), cfg.hidden_dim));
+    }
+
+    #[test]
+    fn edge_targets_layout() {
+        let t = edge_targets(2, 3);
+        assert_eq!(t.as_slice(), &[1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+}

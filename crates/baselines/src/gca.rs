@@ -1,0 +1,168 @@
+//! GCA (Zhu et al., WWW 2021): graph contrastive learning with *adaptive*
+//! augmentation.
+//!
+//! **Extension** — discussed in the paper's related work (§6.1) but not in
+//! its tables. GCA refines GRACE by making corruption probabilities
+//! importance-aware: edges incident to high-centrality nodes and feature
+//! dimensions frequent in high-centrality nodes are dropped *less* often.
+
+use gcmae_graph::sampling::sample_nodes;
+use gcmae_graph::{Dataset, Graph};
+use gcmae_nn::{Act, Adam, Encoder, GraphOps, Mlp, ParamStore, Session};
+use gcmae_tensor::Matrix;
+use rand::Rng;
+
+use crate::common::{eval_embed, method_rng, SslConfig};
+
+/// Per-edge and per-dimension drop probabilities derived from degree
+/// centrality (the paper's `degree` variant).
+pub struct AdaptiveWeights {
+    /// Drop probability per undirected edge (aligned with
+    /// `graph.undirected_edges()` order).
+    pub edge_drop: Vec<f32>,
+    /// Mask probability per feature dimension.
+    pub dim_mask: Vec<f32>,
+}
+
+/// Computes adaptive corruption probabilities with mean rates `p_edge` /
+/// `p_dim`, clipped to at most `cap`.
+pub fn adaptive_weights(ds: &Dataset, p_edge: f32, p_dim: f32, cap: f32) -> AdaptiveWeights {
+    let g = &ds.graph;
+    // edge centrality: log degree of the lower-degree endpoint
+    let cent: Vec<f32> =
+        (0..g.num_nodes()).map(|v| ((g.degree(v) + 1) as f32).ln()).collect();
+    let edge_scores: Vec<f32> = g
+        .undirected_edges()
+        .map(|(u, v)| cent[u].min(cent[v]))
+        .collect();
+    let edge_drop = scores_to_probs(&edge_scores, p_edge, cap);
+
+    // dimension centrality: weighted frequency of the dimension among
+    // high-degree nodes
+    let d = ds.feature_dim();
+    let mut dim_scores = vec![0.0f32; d];
+    for v in 0..g.num_nodes() {
+        let w = cent[v];
+        for (s, &x) in dim_scores.iter_mut().zip(ds.features.row(v)) {
+            if x != 0.0 {
+                *s += w;
+            }
+        }
+    }
+    for s in &mut dim_scores {
+        *s = (*s + 1.0).ln();
+    }
+    let dim_mask = scores_to_probs(&dim_scores, p_dim, cap);
+    AdaptiveWeights { edge_drop, dim_mask }
+}
+
+/// Maps importance scores to drop probabilities: high score → low
+/// probability, normalized so the mean equals `target_mean`.
+fn scores_to_probs(scores: &[f32], target_mean: f32, cap: f32) -> Vec<f32> {
+    let max = scores.iter().copied().fold(f32::MIN, f32::max);
+    let mean = scores.iter().sum::<f32>() / scores.len().max(1) as f32;
+    let denom = (max - mean).max(1e-6);
+    // raw ∝ (max − s): important (high-score) items get small raw values
+    let raw: Vec<f32> = scores.iter().map(|&s| (max - s) / denom).collect();
+    let raw_mean = raw.iter().sum::<f32>() / raw.len().max(1) as f32;
+    let scale = if raw_mean > 0.0 { target_mean / raw_mean } else { 0.0 };
+    raw.iter().map(|&r| (r * scale).min(cap)).collect()
+}
+
+/// Trains GCA and returns eval-mode node embeddings.
+pub fn train(ds: &Dataset, cfg: &SslConfig, seed: u64) -> Matrix {
+    let mut rng = method_rng(seed, 0x9ca0);
+    let weights = adaptive_weights(ds, cfg.p_edge_drop, cfg.p_feat_mask, 0.9);
+    let edges: Vec<(usize, usize)> = ds.graph.undirected_edges().collect();
+    let mut store = ParamStore::new();
+    let encoder = Encoder::new(&mut store, &cfg.encoder_config(ds.feature_dim()), &mut rng);
+    let proj =
+        Mlp::new(&mut store, &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim], Act::Elu, &mut rng);
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+    let n = ds.num_nodes();
+    for _ in 0..cfg.epochs {
+        let mut sess = Session::new();
+        let view = |sess: &mut Session, rng: &mut rand::rngs::StdRng| {
+            let kept: Vec<(usize, usize)> = edges
+                .iter()
+                .zip(&weights.edge_drop)
+                .filter(|&(_, &p)| rng.gen::<f32>() >= p)
+                .map(|(&e, _)| e)
+                .collect();
+            let g = Graph::from_edges(n, &kept);
+            let mut x = ds.features.clone();
+            let keep_dim: Vec<bool> =
+                weights.dim_mask.iter().map(|&p| rng.gen::<f32>() >= p).collect();
+            for r in 0..n {
+                for (v, &k) in x.row_mut(r).iter_mut().zip(&keep_dim) {
+                    if !k {
+                        *v = 0.0;
+                    }
+                }
+            }
+            let ops = GraphOps::new(&g);
+            (sess.tape.constant(x), ops)
+        };
+        let (x1, ops1) = view(&mut sess, &mut rng);
+        let (x2, ops2) = view(&mut sess, &mut rng);
+        let h1 = encoder.forward(&mut sess, &store, x1, &ops1, true, &mut rng);
+        let h2 = encoder.forward(&mut sess, &store, x2, &ops2, true, &mut rng);
+        let u = proj.forward(&mut sess, &store, h1);
+        let v = proj.forward(&mut sess, &store, h2);
+        let (u, v) = if cfg.contrast_sample > 0 && cfg.contrast_sample < n {
+            let anchors = sample_nodes(n, cfg.contrast_sample, &mut rng);
+            (sess.tape.gather_rows(u, anchors.clone()), sess.tape.gather_rows(v, anchors))
+        } else {
+            (u, v)
+        };
+        let loss = sess.tape.info_nce(u, v, cfg.tau);
+        let mut grads = sess.tape.backward(loss);
+        adam.step(&mut store, &sess, &mut grads);
+    }
+    eval_embed(&encoder, &store, ds, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::citation::{generate, CitationSpec};
+
+    #[test]
+    fn adaptive_weights_protect_important_edges() {
+        let ds = generate(&CitationSpec::cora().scaled(0.03), 1);
+        let w = adaptive_weights(&ds, 0.3, 0.3, 0.9);
+        let edges: Vec<(usize, usize)> = ds.graph.undirected_edges().collect();
+        assert_eq!(w.edge_drop.len(), edges.len());
+        assert!(w.edge_drop.iter().all(|&p| (0.0..=0.9).contains(&p)));
+        // hub-incident edges get lower drop probability than leaf edges
+        let deg = |e: &(usize, usize)| ds.graph.degree(e.0).min(ds.graph.degree(e.1));
+        let hub = edges
+            .iter()
+            .zip(&w.edge_drop)
+            .max_by_key(|(e, _)| deg(e))
+            .unwrap();
+        let leaf = edges
+            .iter()
+            .zip(&w.edge_drop)
+            .min_by_key(|(e, _)| deg(e))
+            .unwrap();
+        assert!(hub.1 <= leaf.1, "hub edge p={} leaf edge p={}", hub.1, leaf.1);
+    }
+
+    #[test]
+    fn mean_drop_rate_matches_target() {
+        let ds = generate(&CitationSpec::cora().scaled(0.03), 2);
+        let w = adaptive_weights(&ds, 0.3, 0.2, 0.9);
+        let mean_e: f32 = w.edge_drop.iter().sum::<f32>() / w.edge_drop.len() as f32;
+        assert!((mean_e - 0.3).abs() < 0.1, "mean edge drop {mean_e}");
+    }
+
+    #[test]
+    fn produces_finite_embeddings() {
+        let ds = generate(&CitationSpec::cora().scaled(0.02), 3);
+        let cfg = SslConfig { epochs: 5, ..SslConfig::fast() };
+        let e = train(&ds, &cfg, 1);
+        assert_eq!(e.shape(), (ds.num_nodes(), cfg.hidden_dim));
+        assert!(e.all_finite());
+    }
+}

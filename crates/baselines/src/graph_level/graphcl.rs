@@ -1,0 +1,89 @@
+//! GraphCL (You et al., NeurIPS 2020): graph contrastive learning with
+//! augmentations. Two random augmentations per batch, mean-pooled graph
+//! embeddings, InfoNCE over the graphs in the batch.
+
+use gcmae_graph::GraphCollection;
+use gcmae_nn::{Act, Adam, Encoder, GraphOps, Mlp, ParamStore, Session};
+use gcmae_tensor::Matrix;
+use rand::Rng;
+
+use crate::common::{method_rng, SslConfig};
+use crate::graph_level::{eval_graph_embeddings, shuffled_batches, Aug};
+
+/// Trains GraphCL and returns one embedding per graph.
+pub fn train(
+    collection: &GraphCollection,
+    cfg: &SslConfig,
+    graphs_per_batch: usize,
+    seed: u64,
+) -> Matrix {
+    train_with_pair_picker(collection, cfg, graphs_per_batch, seed, |rng, _| {
+        let pool = Aug::pool();
+        (pool[rng.gen_range(0..pool.len())], pool[rng.gen_range(0..pool.len())])
+    })
+}
+
+/// Core GraphCL loop, parameterized by the augmentation-pair policy (JOAO
+/// and InfoGCL plug their own pickers in). The picker receives the RNG and
+/// the running mean loss per (i, j) pair in the 4×4 pool.
+pub fn train_with_pair_picker(
+    collection: &GraphCollection,
+    cfg: &SslConfig,
+    graphs_per_batch: usize,
+    seed: u64,
+    mut pick: impl FnMut(&mut rand::rngs::StdRng, &[[f32; 4]; 4]) -> (Aug, Aug),
+) -> Matrix {
+    let mut rng = method_rng(seed, 0x94afc1);
+    let mut store = ParamStore::new();
+    let encoder = Encoder::new(&mut store, &cfg.encoder_config(collection.feature_dim()), &mut rng);
+    let proj =
+        Mlp::new(&mut store, &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim], Act::Relu, &mut rng);
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+    let pool = Aug::pool();
+    let mut pair_loss = [[0.0f32; 4]; 4];
+    for _ in 0..cfg.epochs {
+        for idx in shuffled_batches(collection.len(), graphs_per_batch, &mut rng) {
+            if idx.len() < 2 {
+                continue;
+            }
+            let batch = collection.batch(&idx);
+            let (a1, a2) = pick(&mut rng, &pair_loss);
+            let mut sess = Session::new();
+            let encode = |sess: &mut Session, aug: Aug, rng: &mut rand::rngs::StdRng| {
+                let (g, x) = aug.apply(&batch, rng);
+                let ops = GraphOps::new(&g);
+                let xi = sess.tape.constant(x);
+                let h = encoder.forward(sess, &store, xi, &ops, true, rng);
+                let pooled = sess.tape.segment_mean(h, batch.segments.clone(), idx.len());
+                proj.forward(sess, &store, pooled)
+            };
+            let u = encode(&mut sess, a1, &mut rng);
+            let v = encode(&mut sess, a2, &mut rng);
+            let loss = sess.tape.info_nce(u, v, cfg.tau);
+            let lv = sess.tape.value(loss).scalar_value();
+            let (i, j) = (
+                pool.iter().position(|&a| a == a1).unwrap_or(0),
+                pool.iter().position(|&a| a == a2).unwrap_or(0),
+            );
+            pair_loss[i][j] = 0.9 * pair_loss[i][j] + 0.1 * lv;
+            let mut grads = sess.tape.backward(loss);
+            adam.step(&mut store, &sess, &mut grads);
+        }
+    }
+    eval_graph_embeddings(&encoder, &store, collection, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::collection::{generate, CollectionSpec};
+
+    #[test]
+    fn produces_one_embedding_per_graph() {
+        let c = generate(&CollectionSpec::mutag().scaled(0.12), 1);
+        let cfg = SslConfig { epochs: 2, ..SslConfig::fast() };
+        let e = train(&c, &cfg, 8, 1);
+        assert_eq!(e.shape(), (c.len(), cfg.hidden_dim));
+        assert!(e.all_finite());
+    }
+}

@@ -1,0 +1,60 @@
+//! JOAO (You et al., ICML 2021): GraphCL with joint augmentation
+//! optimization. Simplification (DESIGN.md): the min-max bilevel
+//! optimization is replaced by its practical effect — sampling augmentation
+//! pairs with probability proportional to their running contrastive loss
+//! (prefer harder augmentations).
+
+use gcmae_graph::GraphCollection;
+use gcmae_tensor::Matrix;
+use rand::Rng;
+
+use crate::common::SslConfig;
+use crate::graph_level::graphcl::train_with_pair_picker;
+use crate::graph_level::Aug;
+
+/// Trains JOAO and returns one embedding per graph.
+pub fn train(
+    collection: &GraphCollection,
+    cfg: &SslConfig,
+    graphs_per_batch: usize,
+    seed: u64,
+) -> Matrix {
+    train_with_pair_picker(collection, cfg, graphs_per_batch, seed, |rng, pair_loss| {
+        let pool = Aug::pool();
+        // softmax over running losses → prefer hard pairs
+        let mut weights = [[0.0f32; 4]; 4];
+        let mut total = 0.0f32;
+        for i in 0..4 {
+            for j in 0..4 {
+                let w = (pair_loss[i][j]).exp();
+                weights[i][j] = w;
+                total += w;
+            }
+        }
+        let mut t = rng.gen_range(0.0..total);
+        for i in 0..4 {
+            for j in 0..4 {
+                if t < weights[i][j] {
+                    return (pool[i], pool[j]);
+                }
+                t -= weights[i][j];
+            }
+        }
+        (pool[3], pool[3])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::collection::{generate, CollectionSpec};
+
+    #[test]
+    fn produces_one_embedding_per_graph() {
+        let c = generate(&CollectionSpec::mutag().scaled(0.12), 1);
+        let cfg = SslConfig { epochs: 2, ..SslConfig::fast() };
+        let e = train(&c, &cfg, 8, 1);
+        assert_eq!(e.shape(), (c.len(), cfg.hidden_dim));
+        assert!(e.all_finite());
+    }
+}

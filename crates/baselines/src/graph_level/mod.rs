@@ -1,0 +1,164 @@
+//! Graph-level contrastive baselines (Table 7): InfoGraph, GraphCL, JOAO,
+//! InfoGCL.
+
+pub mod graphcl;
+pub mod infogcl;
+pub mod infograph;
+pub mod joao;
+pub mod mvgrl_g;
+pub mod s2gae_g;
+
+use gcmae_graph::augment::{drop_edges, drop_nodes, mask_feature_dims};
+use gcmae_graph::{BatchedGraphs, Graph, GraphCollection};
+use gcmae_nn::{Encoder, GraphOps, ParamStore, Session};
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A graph augmentation, applied to a block-diagonal batch (per-graph and
+/// per-batch augmentation coincide for edge/node dropping and feature
+/// masking).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Aug {
+    /// Identity.
+    Identity,
+    /// Edge Drop.
+    EdgeDrop(f32),
+    /// Node Drop.
+    NodeDrop(f32),
+    /// Feat Mask.
+    FeatMask(f32),
+    /// Keep a random-walk subgraph covering roughly the given fraction of
+    /// each graph's nodes (GraphCL's fourth augmentation).
+    Subgraph(f32),
+}
+
+impl Aug {
+    /// The candidate pool used by GraphCL/JOAO/InfoGCL — the paper's four
+    /// augmentation types.
+    pub fn pool() -> [Aug; 4] {
+        [Aug::EdgeDrop(0.2), Aug::NodeDrop(0.2), Aug::FeatMask(0.3), Aug::Subgraph(0.8)]
+    }
+
+    /// Applies the augmentation, returning a `(graph, features)` view.
+    pub fn apply(self, batch: &BatchedGraphs, rng: &mut StdRng) -> (Graph, Matrix) {
+        match self {
+            Aug::Identity => (batch.graph.clone(), batch.features.clone()),
+            Aug::EdgeDrop(p) => (drop_edges(&batch.graph, p, rng), batch.features.clone()),
+            Aug::NodeDrop(p) => {
+                let d = drop_nodes(&batch.graph, &batch.features, p, rng);
+                (d.graph, d.features)
+            }
+            Aug::FeatMask(p) => {
+                (batch.graph.clone(), mask_feature_dims(&batch.features, p, rng))
+            }
+            Aug::Subgraph(keep) => subgraph_view(batch, keep, rng),
+        }
+    }
+}
+
+/// Random-walk subgraph per segment: nodes not reached by the walk are
+/// isolated (rows stay aligned with the batch).
+fn subgraph_view(batch: &BatchedGraphs, keep: f32, rng: &mut StdRng) -> (Graph, Matrix) {
+    let n = batch.graph.num_nodes();
+    let mut kept = vec![false; n];
+    // group rows by segment
+    let mut segments: Vec<Vec<usize>> = vec![vec![]; batch.num_graphs];
+    for (r, &s) in batch.segments.iter().enumerate() {
+        segments[s as usize].push(r);
+    }
+    for rows in &segments {
+        if rows.is_empty() {
+            continue;
+        }
+        let budget = ((rows.len() as f32 * keep).ceil() as usize).max(1);
+        let mut cur = rows[rng.gen_range(0..rows.len())];
+        let mut count = 0usize;
+        let mut guard = 0usize;
+        while count < budget && guard < budget * 20 {
+            guard += 1;
+            if !kept[cur] {
+                kept[cur] = true;
+                count += 1;
+            }
+            let nbrs = batch.graph.neighbors(cur);
+            if nbrs.is_empty() {
+                cur = rows[rng.gen_range(0..rows.len())];
+            } else {
+                cur = nbrs[rng.gen_range(0..nbrs.len())] as usize;
+            }
+        }
+    }
+    let dropped: Vec<bool> = kept.iter().map(|&k| !k).collect();
+    let graph = batch.graph.isolate_nodes(&dropped);
+    let mut features = batch.features.clone();
+    for (r, &d) in dropped.iter().enumerate() {
+        if d {
+            features.row_mut(r).fill(0.0);
+        }
+    }
+    (graph, features)
+}
+
+/// Shuffled mini-batches of graph indices.
+pub fn shuffled_batches(n: usize, batch: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    order.chunks(batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Eval-mode mean-pooled graph embeddings for the whole collection.
+pub fn eval_graph_embeddings(
+    encoder: &Encoder,
+    store: &ParamStore,
+    collection: &GraphCollection,
+    rng: &mut StdRng,
+) -> Matrix {
+    let g = collection.len();
+    let d = encoder.out_dim();
+    let mut out = Matrix::zeros(g, d);
+    let all: Vec<usize> = (0..g).collect();
+    for chunk in all.chunks(32) {
+        let batch = collection.batch(chunk);
+        let ops = GraphOps::new(&batch.graph);
+        let mut sess = Session::new();
+        let x = sess.tape.constant(batch.features.clone());
+        let h = encoder.forward(&mut sess, store, x, &ops, false, rng);
+        let pooled = sess.tape.segment_mean(h, batch.segments.clone(), chunk.len());
+        let p = sess.tape.value(pooled);
+        for (s, &gi) in chunk.iter().enumerate() {
+            out.row_mut(gi).copy_from_slice(p.row(s));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::collection::{generate, CollectionSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn augmentations_preserve_node_count() {
+        let c = generate(&CollectionSpec::mutag().scaled(0.1), 1);
+        let batch = c.batch(&[0, 1, 2]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for aug in Aug::pool() {
+            let (g, x) = aug.apply(&batch, &mut rng);
+            assert_eq!(g.num_nodes(), batch.graph.num_nodes(), "{aug:?}");
+            assert_eq!(x.rows(), batch.features.rows(), "{aug:?}");
+        }
+    }
+
+    #[test]
+    fn shuffled_batches_cover_all() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let batches = shuffled_batches(17, 5, &mut rng);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..17).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,79 @@
+//! GraphMAE (Hou et al., KDD 2022): masked feature reconstruction with a
+//! re-mask step and scaled cosine error — the paper's backbone.
+
+use std::sync::Arc;
+
+use gcmae_graph::augment::mask_node_features;
+use gcmae_graph::Dataset;
+use gcmae_nn::{Act, Adam, Encoder, EncoderConfig, GraphOps, ParamStore, Session};
+use gcmae_tensor::Matrix;
+
+use crate::common::{eval_embed, method_rng, SslConfig};
+
+/// SCE sharpening exponent (GraphMAE default).
+const GAMMA: f32 = 2.0;
+
+/// Trains GraphMAE and returns eval-mode node embeddings.
+pub fn train(ds: &Dataset, cfg: &SslConfig, seed: u64) -> Matrix {
+    let mut rng = method_rng(seed, 0x93ae);
+    let mut store = ParamStore::new();
+    let encoder = Encoder::new(&mut store, &cfg.encoder_config(ds.feature_dim()), &mut rng);
+    let dec_cfg = EncoderConfig {
+        kind: cfg.encoder,
+        in_dim: cfg.hidden_dim,
+        hidden_dim: cfg.hidden_dim,
+        out_dim: ds.feature_dim(),
+        layers: 1,
+        act: Act::Elu,
+        dropout: 0.0,
+    };
+    let decoder = Encoder::new(&mut store, &dec_cfg, &mut rng);
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+    let ops = GraphOps::new(&ds.graph);
+    let target = Arc::new(ds.features.clone());
+    for _ in 0..cfg.epochs {
+        let mut sess = Session::new();
+        let masked = mask_node_features(&ds.features, cfg.p_node_mask, &mut rng);
+        let x = sess.tape.constant(masked.features);
+        let h = encoder.forward(&mut sess, &store, x, &ops, true, &mut rng);
+        // re-mask before decoding (GraphMAE's key trick)
+        let h_rm = sess.tape.mask_rows(h, masked.masked.clone());
+        let z = decoder.forward(&mut sess, &store, h_rm, &ops, true, &mut rng);
+        let loss = sess.tape.sce_loss(z, target.clone(), masked.masked, GAMMA);
+        let mut grads = sess.tape.backward(loss);
+        adam.step(&mut store, &sess, &mut grads);
+    }
+    eval_embed(&encoder, &store, ds, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::citation::{generate, CitationSpec};
+
+    #[test]
+    fn reconstruction_loss_decreases() {
+        let ds = generate(&CitationSpec::cora().scaled(0.02), 1);
+        let cfg = SslConfig { epochs: 1, ..SslConfig::fast() };
+        // train twice with different epoch budgets; longer training should
+        // produce different (better-fit) weights — here we at least assert
+        // the pipeline runs end-to-end and stays finite
+        let e1 = train(&ds, &cfg, 1);
+        let cfg20 = SslConfig { epochs: 20, ..SslConfig::fast() };
+        let e2 = train(&ds, &cfg20, 1);
+        assert!(e1.all_finite() && e2.all_finite());
+        assert!(e1.max_abs_diff(&e2) > 0.0, "training had no effect");
+    }
+
+    #[test]
+    fn works_with_gat_encoder() {
+        let ds = generate(&CitationSpec::cora().scaled(0.02), 2);
+        let cfg = SslConfig {
+            encoder: gcmae_nn::EncoderKind::Gat { heads: 2 },
+            epochs: 3,
+            ..SslConfig::fast()
+        };
+        let e = train(&ds, &cfg, 2);
+        assert_eq!(e.shape(), (ds.num_nodes(), cfg.hidden_dim));
+    }
+}

@@ -1,0 +1,40 @@
+// Indexed loops over parallel arrays are idiomatic in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+//! # gcmae-baselines
+//!
+//! The 17 comparison methods from the GCMAE paper's evaluation:
+//!
+//! * **Contrastive (node)** — [`dgi`], [`mvgrl`], [`grace`], [`cca_ssg`]
+//! * **MAE (node)** — [`graphmae`], [`seegera`], [`s2gae`], [`maskgae`]
+//! * **Supervised** — [`supervised`] (GCN, GAT)
+//! * **Contrastive (graph)** — [`graph_level::infograph`],
+//!   [`graph_level::graphcl`], [`graph_level::joao`],
+//!   [`graph_level::infogcl`]
+//! * **Deep clustering** — [`clustering::gc_vge`], [`clustering::scgc`],
+//!   [`clustering::gcc`]
+//! * **Extensions** (related-work methods, not in the paper's tables) —
+//!   [`bgrl`] (negative-free bootstrap), [`gca`] (adaptive augmentation)
+//!
+//! Every node-level method exposes `train(&Dataset, &SslConfig, seed) ->
+//! Matrix` returning frozen embeddings; evaluation is shared downstream
+//! (`gcmae-eval`). Simplifications versus the original papers are noted in
+//! each module header and in DESIGN.md.
+
+pub mod bgrl;
+pub mod cca_ssg;
+pub mod clustering;
+pub mod common;
+pub mod dgi;
+pub mod gca;
+pub mod grace;
+pub mod graph_level;
+pub mod graphmae;
+pub mod maskgae;
+pub mod mvgrl;
+pub mod s2gae;
+pub mod seegera;
+pub mod supervised;
+
+pub use common::SslConfig;
+pub use supervised::SupervisedConfig;

@@ -1,0 +1,112 @@
+//! SeeGera (Li et al., WWW 2023): self-supervised semi-implicit graph
+//! variational autoencoder with masking.
+//!
+//! Simplification (documented in DESIGN.md): the hierarchical semi-implicit
+//! posterior is reduced to a standard VGAE-style Gaussian posterior, kept
+//! together with SeeGera's two distinguishing traits — joint
+//! feature+structure reconstruction and feature masking.
+
+use std::sync::Arc;
+
+use gcmae_graph::augment::mask_node_features;
+use gcmae_graph::sampling::sample_non_edges;
+use gcmae_graph::Dataset;
+use gcmae_nn::{Adam, Encoder, GraphOps, Linear, ParamStore, Session};
+use gcmae_tensor::Matrix;
+use rand::Rng;
+
+use crate::common::{edge_logits, edge_targets, eval_embed, method_rng, SslConfig};
+
+/// KL weight (β).
+const KL_WEIGHT: f32 = 1e-3;
+/// Feature-reconstruction weight.
+const FEAT_WEIGHT: f32 = 1.0;
+
+/// Trains SeeGera and returns eval-mode node embeddings (posterior mean).
+pub fn train(ds: &Dataset, cfg: &SslConfig, seed: u64) -> Matrix {
+    let mut rng = method_rng(seed, 0x5ee9e4a);
+    let mut store = ParamStore::new();
+    let encoder = Encoder::new(&mut store, &cfg.encoder_config(ds.feature_dim()), &mut rng);
+    let mu_head = Linear::new(&mut store, cfg.hidden_dim, cfg.hidden_dim, true, &mut rng);
+    let logvar_head = Linear::new(&mut store, cfg.hidden_dim, cfg.hidden_dim, true, &mut rng);
+    let feat_dec = Linear::new(&mut store, cfg.hidden_dim, ds.feature_dim(), true, &mut rng);
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+    let ops = GraphOps::new(&ds.graph);
+    let target = Arc::new(ds.features.clone());
+    let edges: Vec<(usize, usize)> = ds.graph.undirected_edges().collect();
+    let n = ds.num_nodes();
+    for _ in 0..cfg.epochs {
+        let mut sess = Session::new();
+        let masked = mask_node_features(&ds.features, cfg.p_node_mask, &mut rng);
+        let x = sess.tape.constant(masked.features);
+        let h = encoder.forward(&mut sess, &store, x, &ops, true, &mut rng);
+        let mu = mu_head.forward(&mut sess, &store, h);
+        let logvar = logvar_head.forward(&mut sess, &store, h);
+        // reparameterize: z = μ + ε ⊙ exp(logvar/2)
+        let half = sess.tape.scale(logvar, 0.5);
+        let std = sess.tape.exp(half);
+        let noise = {
+            let mut m = Matrix::zeros(n, cfg.hidden_dim);
+            m.map_inplace(|_| {
+                // Box–Muller
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            });
+            sess.tape.constant(m)
+        };
+        let eps_std = sess.tape.hadamard(noise, std);
+        let z = sess.tape.add(mu, eps_std);
+
+        // structure reconstruction on a subsample of edges + negatives
+        let sample: Vec<(usize, usize)> = if edges.len() > 2048 {
+            (0..2048).map(|_| edges[rng.gen_range(0..edges.len())]).collect()
+        } else {
+            edges.clone()
+        };
+        let negs = sample_non_edges(&ds.graph, sample.len(), &mut rng);
+        let mut pairs = sample.clone();
+        pairs.extend(&negs);
+        let logits = edge_logits(&mut sess, z, &pairs);
+        let targets = Arc::new(edge_targets(sample.len(), negs.len()));
+        let struct_loss = sess.tape.bce_with_logits(logits, targets);
+
+        // feature reconstruction on masked rows
+        let xr = feat_dec.forward(&mut sess, &store, z);
+        let feat_loss = sess.tape.sce_loss(xr, target.clone(), masked.masked, 2.0);
+
+        // KL(q‖N(0,I)) = −0.5 Σ (1 + logvar − μ² − exp(logvar))
+        let mu2 = sess.tape.hadamard(mu, mu);
+        let evar = sess.tape.exp(logvar);
+        let a = sess.tape.sub(logvar, mu2);
+        let b = sess.tape.sub(a, evar);
+        let s = sess.tape.mean_all(b); // mean over n·d; +1 is constant
+        let kl = sess.tape.scale(s, -0.5);
+
+        let l1 = sess.tape.add_scaled(struct_loss, feat_loss, FEAT_WEIGHT);
+        let loss = sess.tape.add_scaled(l1, kl, KL_WEIGHT);
+        let mut grads = sess.tape.backward(loss);
+        adam.step(&mut store, &sess, &mut grads);
+    }
+    // embeddings: posterior mean of the un-masked input
+    let base = eval_embed(&encoder, &store, ds, &mut rng);
+    let mut sess = Session::new();
+    let h = sess.tape.constant(base);
+    let mu = mu_head.forward(&mut sess, &store, h);
+    sess.tape.value(mu).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::citation::{generate, CitationSpec};
+
+    #[test]
+    fn produces_finite_embeddings() {
+        let ds = generate(&CitationSpec::cora().scaled(0.02), 1);
+        let cfg = SslConfig { epochs: 5, ..SslConfig::fast() };
+        let e = train(&ds, &cfg, 1);
+        assert_eq!(e.shape(), (ds.num_nodes(), cfg.hidden_dim));
+        assert!(e.all_finite());
+    }
+}

@@ -1,0 +1,126 @@
+//! Supervised GCN/GAT baselines (Table 4): end-to-end cross-entropy on the
+//! labeled training nodes, early selection on validation accuracy.
+
+use gcmae_graph::{Dataset, NodeSplit};
+use gcmae_nn::{Act, Adam, Encoder, EncoderConfig, EncoderKind, GraphOps, ParamStore, Session};
+use gcmae_tensor::ops::softmax_ce::predict;
+
+use crate::common::method_rng;
+
+/// Supervised training configuration.
+#[derive(Clone, Debug)]
+pub struct SupervisedConfig {
+    /// kind.
+    pub kind: EncoderKind,
+    /// hidden dim.
+    pub hidden_dim: usize,
+    /// layers.
+    pub layers: usize,
+    /// epochs.
+    pub epochs: usize,
+    /// lr.
+    pub lr: f32,
+    /// weight decay.
+    pub weight_decay: f32,
+    /// dropout.
+    pub dropout: f32,
+}
+
+impl SupervisedConfig {
+    /// 2-layer GCN with the classic planetoid hyper-parameters.
+    pub fn gcn() -> Self {
+        Self {
+            kind: EncoderKind::Gcn,
+            hidden_dim: 64,
+            layers: 2,
+            epochs: 200,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            dropout: 0.5,
+        }
+    }
+
+    /// 2-layer GAT with 4 heads.
+    pub fn gat() -> Self {
+        Self { kind: EncoderKind::Gat { heads: 4 }, ..Self::gcn() }
+    }
+
+    /// Fast preset for tests.
+    pub fn fast(kind: EncoderKind) -> Self {
+        Self { kind, hidden_dim: 16, epochs: 40, ..Self::gcn() }
+    }
+}
+
+/// Trains a supervised GNN and returns test accuracy (best-validation
+/// checkpointing, matching common planetoid protocol).
+pub fn train(ds: &Dataset, split: &NodeSplit, cfg: &SupervisedConfig, seed: u64) -> f64 {
+    let mut rng = method_rng(seed, 0x5093);
+    let mut store = ParamStore::new();
+    let enc_cfg = EncoderConfig {
+        kind: cfg.kind,
+        in_dim: ds.feature_dim(),
+        hidden_dim: cfg.hidden_dim,
+        out_dim: ds.num_classes,
+        layers: cfg.layers,
+        act: Act::Elu,
+        dropout: cfg.dropout,
+    };
+    let model = Encoder::new(&mut store, &enc_cfg, &mut rng);
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+    let ops = GraphOps::new(&ds.graph);
+    let train_labels: Vec<usize> = split.train.iter().map(|&v| ds.labels[v]).collect();
+    let mut best_val = -1.0f64;
+    let mut best_test = 0.0f64;
+    for _ in 0..cfg.epochs {
+        let mut sess = Session::new();
+        let x = sess.tape.constant(ds.features.clone());
+        let logits = model.forward(&mut sess, &store, x, &ops, true, &mut rng);
+        let loss = sess.tape.softmax_ce(logits, split.train.clone(), train_labels.clone());
+        // eval-mode predictions for selection
+        let mut eval_sess = Session::new();
+        let xe = eval_sess.tape.constant(ds.features.clone());
+        let le = model.forward(&mut eval_sess, &store, xe, &ops, false, &mut rng);
+        let preds = predict(eval_sess.tape.value(le));
+        let acc_on = |nodes: &[usize]| -> f64 {
+            if nodes.is_empty() {
+                return 1.0;
+            }
+            let hit = nodes.iter().filter(|&&v| preds[v] == ds.labels[v]).count();
+            hit as f64 / nodes.len() as f64
+        };
+        let val = acc_on(&split.val);
+        if val > best_val {
+            best_val = val;
+            best_test = acc_on(&split.test);
+        }
+        let mut grads = sess.tape.backward(loss);
+        adam.step(&mut store, &sess, &mut grads);
+    }
+    best_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::citation::{generate, CitationSpec};
+    use gcmae_graph::splits::planetoid_split;
+
+    #[test]
+    fn gcn_beats_chance_on_homophilous_graph() {
+        let ds = generate(&CitationSpec::cora().scaled(0.05), 1);
+        let mut rng = method_rng(1, 1);
+        let split = planetoid_split(&ds.labels, ds.num_classes, 5, 30, &mut rng);
+        let acc = train(&ds, &split, &SupervisedConfig::fast(gcmae_nn::EncoderKind::Gcn), 1);
+        assert!(acc > 1.5 / ds.num_classes as f64, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gat_runs_end_to_end() {
+        let ds = generate(&CitationSpec::cora().scaled(0.03), 2);
+        let mut rng = method_rng(2, 2);
+        let split = planetoid_split(&ds.labels, ds.num_classes, 5, 20, &mut rng);
+        let cfg = SupervisedConfig::fast(gcmae_nn::EncoderKind::Gat { heads: 2 });
+        let acc = train(&ds, &split, &cfg, 2);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

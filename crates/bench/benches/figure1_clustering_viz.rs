@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 1 pipeline: k-means + NMI + 2-D PCA
+//! projection of frozen embeddings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, Scale};
+use gcmae_eval::metrics::clustering::nmi;
+use gcmae_eval::{kmeans, pca};
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let cfg = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let emb = gcmae_core::train(&ds, &cfg, 0).embeddings;
+
+    let mut g = c.benchmark_group("figure1");
+    g.sample_size(10);
+    g.bench_function("kmeans_nmi", |b| {
+        b.iter(|| {
+            let km = kmeans(&emb, ds.num_classes, 100, 0);
+            std::hint::black_box(nmi(&km.assignments, &ds.labels))
+        })
+    });
+    g.bench_function("pca_2d_projection", |b| {
+        b.iter(|| std::hint::black_box(pca(&emb, 2, 0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 4 pipeline: the per-epoch 5-hop
+//! similarity measurement (k-hop BFS rings + cosine similarities).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcmae_bench::figures::five_hop_similarity;
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, Scale};
+use gcmae_graph::sampling::sample_nodes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let cfg = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let emb = gcmae_core::train(&ds, &cfg, 0).embeddings;
+    let mut rng = StdRng::seed_from_u64(1);
+    let anchors = sample_nodes(ds.num_nodes(), 32, &mut rng);
+
+    let mut g = c.benchmark_group("figure4");
+    g.sample_size(20);
+    g.bench_function("five_hop_similarity", |b| {
+        b.iter(|| std::hint::black_box(five_hop_similarity(&ds, &emb, &anchors)))
+    });
+    g.bench_function("k_hop_ring_bfs", |b| {
+        b.iter(|| std::hint::black_box(ds.graph.k_hop_ring(anchors[0], 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

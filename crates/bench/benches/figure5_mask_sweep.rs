@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 5 sweep: one grid cell (train with a
+//! given `p_mask`/`p_drop`) at low and high mask rates, showing that the
+//! sweep cost is mask-rate independent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, Scale};
+use gcmae_core::GcmaeConfig;
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let base = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let mut g = c.benchmark_group("figure5");
+    g.sample_size(10);
+    for (pm, pd) in [(0.2f32, 0.2f32), (0.8, 0.8)] {
+        let cfg = GcmaeConfig { p_mask: pm, p_drop: pd, ..base.clone() };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("pm{pm}_pd{pd}")),
+            &cfg,
+            |b, cfg| b.iter(|| std::hint::black_box(gcmae_core::train(&ds, cfg, 0))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 6 sweep: training cost vs encoder width
+//! and depth (the sweep's own scaling behaviour).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, Scale};
+use gcmae_core::GcmaeConfig;
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let base = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let mut g = c.benchmark_group("figure6");
+    g.sample_size(10);
+    for width in [16usize, 64] {
+        let cfg = GcmaeConfig { hidden_dim: width, proj_dim: width / 2, ..base.clone() };
+        g.bench_with_input(BenchmarkId::new("width", width), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(gcmae_core::train(&ds, cfg, 0)))
+        });
+    }
+    for layers in [2usize, 4] {
+        let cfg = GcmaeConfig { layers, ..base.clone() };
+        g.bench_with_input(BenchmarkId::new("depth", layers), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(gcmae_core::train(&ds, cfg, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

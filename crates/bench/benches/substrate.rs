@@ -1,0 +1,103 @@
+//! Substrate ablation benches (DESIGN.md): dense matmul (serial vs
+//! parallel), CSR spmm, the individual GCMAE loss kernels, and full-graph vs
+//! subgraph-sampled training steps (§4.4's mitigation).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, Scale};
+use gcmae_core::GcmaeConfig;
+use gcmae_tensor::ops::{adj_recon, infonce, sce, variance};
+use gcmae_tensor::parallel::set_num_threads;
+use gcmae_tensor::{dense, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::uniform(512, 256, -1.0, 1.0, &mut rng);
+    let b = Matrix::uniform(256, 256, -1.0, 1.0, &mut rng);
+
+    let mut g = c.benchmark_group("substrate_matmul");
+    g.bench_function("matmul_512x256x256_parallel", |bch| {
+        set_num_threads(0);
+        bch.iter(|| std::hint::black_box(dense::matmul(&a, &b)))
+    });
+    g.bench_function("matmul_512x256x256_serial", |bch| {
+        set_num_threads(1);
+        bch.iter(|| std::hint::black_box(dense::matmul(&a, &b)));
+        set_num_threads(0);
+    });
+    g.finish();
+
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let norm = ds.graph.gcn_norm();
+    let x = Matrix::uniform(ds.num_nodes(), 64, -1.0, 1.0, &mut rng);
+    let mut g = c.benchmark_group("substrate_spmm");
+    g.bench_function("gcn_norm_spmm", |bch| {
+        bch.iter(|| std::hint::black_box(norm.matmul_dense(&x)))
+    });
+    g.finish();
+}
+
+fn bench_losses(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 256;
+    let d = 64;
+    let z = Matrix::uniform(n, d, -1.0, 1.0, &mut rng);
+    let target = Arc::new(Matrix::uniform(n, d, 0.0, 1.0, &mut rng));
+    let rows: Vec<usize> = (0..n / 2).collect();
+    let u = Matrix::uniform(n, d, -1.0, 1.0, &mut rng);
+    let v = Matrix::uniform(n, d, -1.0, 1.0, &mut rng);
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let sub: Vec<usize> = (0..n.min(ds.num_nodes())).collect();
+    let adj = ds.graph.induced_subgraph(&sub).adjacency();
+    let zs = Matrix::uniform(sub.len(), d, -1.0, 1.0, &mut rng);
+
+    let mut g = c.benchmark_group("substrate_losses");
+    g.bench_function("sce_forward_backward", |b| {
+        b.iter(|| {
+            let (_, saved) = sce::forward(&z, target.clone(), rows.clone(), 2.0);
+            std::hint::black_box(sce::backward(&saved, &z, 1.0))
+        })
+    });
+    g.bench_function("infonce_forward_backward", |b| {
+        b.iter(|| {
+            let (_, saved) = infonce::forward(&u, &v, 0.5);
+            std::hint::black_box(infonce::backward(&saved, 1.0))
+        })
+    });
+    g.bench_function("adj_recon_forward_backward", |b| {
+        b.iter(|| {
+            let (_, _, saved) = adj_recon::forward(&zs, adj.clone(), Default::default());
+            std::hint::black_box(adj_recon::backward(&saved, &zs, 1.0))
+        })
+    });
+    g.bench_function("variance_forward_backward", |b| {
+        b.iter(|| {
+            let (_, saved) = variance::forward(&z, 1e-4);
+            std::hint::black_box(variance::backward(&saved, &z, 1.0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let ds = node_dataset("PubMed", Scale::Smoke, DATA_SEED);
+    let full = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let full = GcmaeConfig { epochs: 2, batch_nodes: 0, ..full };
+    let batched = GcmaeConfig { batch_nodes: 96, ..full.clone() };
+    let mut g = c.benchmark_group("substrate_sampling");
+    g.sample_size(10);
+    g.bench_function("full_graph_2_epochs", |b| {
+        b.iter(|| std::hint::black_box(gcmae_core::train(&ds, &full, 0)))
+    });
+    g.bench_function("subgraph_batched_2_epochs", |b| {
+        b.iter(|| std::hint::black_box(gcmae_core::train(&ds, &batched, 0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_losses, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the Table 10 ablation: per-loss-component training
+//! cost (full objective vs each component removed). This doubles as the
+//! DESIGN.md ablation bench quantifying §4.4's claim that adjacency
+//! reconstruction dominates GCMAE's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, Scale};
+use gcmae_core::GcmaeConfig;
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let base = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let variants: Vec<(&str, GcmaeConfig)> = vec![
+        ("full", base.clone()),
+        ("wo_contrastive", base.clone().without_contrastive()),
+        ("wo_struct_recon", base.clone().without_struct_recon()),
+        ("wo_discrimination", base.clone().without_discrimination()),
+        (
+            "graphmae_equiv",
+            base.clone().without_contrastive().without_struct_recon().without_discrimination(),
+        ),
+    ];
+    let mut g = c.benchmark_group("table10");
+    g.sample_size(10);
+    for (name, cfg) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(gcmae_core::train(&ds, cfg, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Table 4 pipeline: GCMAE pre-training + linear
+//! probe vs the GraphMAE and GRACE baselines, at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcmae_bench::runners::{classification_split, probe_accuracy, DATA_SEED};
+use gcmae_bench::scale::{gcmae_config, node_dataset, ssl_config, Scale};
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let split = classification_split(&ds);
+    let gc = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let ssl = ssl_config(Scale::Smoke, ds.num_nodes());
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("gcmae_pretrain_probe", |b| {
+        b.iter(|| {
+            let out = gcmae_core::train(&ds, &gc, 0);
+            std::hint::black_box(probe_accuracy(&out.embeddings, &ds, &split, 0))
+        })
+    });
+    g.bench_function("graphmae_pretrain_probe", |b| {
+        b.iter(|| {
+            let emb = gcmae_baselines::graphmae::train(&ds, &ssl, 0);
+            std::hint::black_box(probe_accuracy(&emb, &ds, &split, 0))
+        })
+    });
+    g.bench_function("grace_pretrain_probe", |b| {
+        b.iter(|| {
+            let emb = gcmae_baselines::grace::train(&ds, &ssl, 0);
+            std::hint::black_box(probe_accuracy(&emb, &ds, &split, 0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

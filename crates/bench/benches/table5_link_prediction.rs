@@ -1,0 +1,39 @@
+//! Criterion bench for the Table 5 pipeline: edge split + pre-train +
+//! fine-tuned link scoring, GCMAE vs MaskGAE (the strongest MAE baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, ssl_config, Scale};
+use gcmae_eval::finetuned_eval;
+use gcmae_graph::splits::link_split;
+use gcmae_graph::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let mut rng = StdRng::seed_from_u64(7);
+    let split = link_split(&ds.graph, 0.05, 0.10, &mut rng);
+    let train_ds = Dataset { graph: split.train_graph.clone(), ..ds.clone() };
+    let gc = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let ssl = ssl_config(Scale::Smoke, ds.num_nodes());
+
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("gcmae_link_prediction", |b| {
+        b.iter(|| {
+            let out = gcmae_core::train(&train_ds, &gc, 0);
+            std::hint::black_box(finetuned_eval(&out.embeddings, &split, 0))
+        })
+    });
+    g.bench_function("maskgae_link_prediction", |b| {
+        b.iter(|| {
+            let emb = gcmae_baselines::maskgae::train(&train_ds, &ssl, 0);
+            std::hint::black_box(finetuned_eval(&emb, &split, 0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

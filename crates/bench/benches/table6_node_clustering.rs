@@ -1,0 +1,39 @@
+//! Criterion bench for the Table 6 pipeline: pre-train + k-means + NMI/ARI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, ssl_config, Scale};
+use gcmae_eval::kmeans;
+use gcmae_eval::metrics::clustering::{ari, nmi};
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let gc = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let ssl = ssl_config(Scale::Smoke, ds.num_nodes());
+    // embeddings computed once: the clustering stage is what Table 6 adds
+    let emb = gcmae_core::train(&ds, &gc, 0).embeddings;
+
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("kmeans_nmi_ari", |b| {
+        b.iter(|| {
+            let km = kmeans(&emb, ds.num_classes, 100, 0);
+            std::hint::black_box((nmi(&km.assignments, &ds.labels), ari(&km.assignments, &ds.labels)))
+        })
+    });
+    g.bench_function("gcc_specialist_end_to_end", |b| {
+        b.iter(|| {
+            std::hint::black_box(gcmae_baselines::clustering::gcc::train(
+                &ds,
+                ds.num_classes,
+                ssl.hidden_dim,
+                2,
+                0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the Table 7 pipeline: graph-level pre-training +
+//! SVM 5-fold cross-validation, GCMAE vs GraphCL.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, ssl_config, Scale};
+use gcmae_eval::{cross_validate, SvmConfig};
+use gcmae_graph::generators::collection::{generate, CollectionSpec};
+
+fn bench(c: &mut Criterion) {
+    let coll = generate(&CollectionSpec::mutag().scaled(0.25), DATA_SEED);
+    let gc = gcmae_config(Scale::Smoke, 512);
+    let ssl = ssl_config(Scale::Smoke, 512);
+
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(10);
+    g.bench_function("gcmae_graph_level", |b| {
+        b.iter(|| {
+            let emb = gcmae_core::train_graph_level(&coll, &gc, 16, 0);
+            std::hint::black_box(cross_validate(
+                &emb,
+                &coll.labels,
+                coll.num_classes,
+                5,
+                &SvmConfig::default(),
+                0,
+            ))
+        })
+    });
+    g.bench_function("graphcl_graph_level", |b| {
+        b.iter(|| {
+            let emb = gcmae_baselines::graph_level::graphcl::train(&coll, &ssl, 16, 0);
+            std::hint::black_box(cross_validate(
+                &emb,
+                &coll.labels,
+                coll.num_classes,
+                5,
+                &SvmConfig::default(),
+                0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Table 8 ablation: one pre-training run per
+//! encoder design (MAE-only / contrastive-only / fusion / shared).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, Scale};
+use gcmae_core::{train_variant, EncoderVariant};
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let cfg = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let mut g = c.benchmark_group("table8");
+    g.sample_size(10);
+    for variant in EncoderVariant::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(variant.label()), &variant, |b, &v| {
+            b.iter(|| std::hint::black_box(train_variant(&ds, &cfg, v, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench mirroring Table 9: end-to-end pre-training wall time of
+//! the four methods the paper times (CCA-SSG, GraphMAE, MaskGAE, GCMAE) on
+//! the same smoke-scale Cora, so the *ratios* can be compared with the
+//! paper's (CCA-SSG fastest; GraphMAE slowest due to its GAT encoder;
+//! GCMAE ≈ MaskGAE).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcmae_bench::runners::DATA_SEED;
+use gcmae_bench::scale::{gcmae_config, node_dataset, ssl_config, Scale};
+use gcmae_nn::EncoderKind;
+
+fn bench(c: &mut Criterion) {
+    let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+    let gc = gcmae_config(Scale::Smoke, ds.num_nodes());
+    let ssl = ssl_config(Scale::Smoke, ds.num_nodes());
+    let mut gat_ssl = ssl.clone();
+    gat_ssl.encoder = EncoderKind::Gat { heads: 2 };
+
+    let mut g = c.benchmark_group("table9");
+    g.sample_size(10);
+    g.bench_function("cca_ssg", |b| {
+        b.iter(|| std::hint::black_box(gcmae_baselines::cca_ssg::train(&ds, &ssl, 0)))
+    });
+    g.bench_function("graphmae_gat", |b| {
+        b.iter(|| std::hint::black_box(gcmae_baselines::graphmae::train(&ds, &gat_ssl, 0)))
+    });
+    g.bench_function("maskgae", |b| {
+        b.iter(|| std::hint::black_box(gcmae_baselines::maskgae::train(&ds, &ssl, 0)))
+    });
+    g.bench_function("gcmae", |b| {
+        b.iter(|| std::hint::black_box(gcmae_core::train(&ds, &gc, 0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Quick calibration: runs a representative method subset on one dataset
+//! and prints node-classification accuracy, so generator/hyper-parameter
+//! changes can be sanity-checked against the paper's ordering
+//! (supervised < contrastive < MAE < GCMAE) in a couple of minutes.
+//!
+//! ```sh
+//! cargo run --release -p gcmae-bench --bin calibrate -- --scale fast Cora
+//! ```
+
+use gcmae_baselines::supervised::{self, SupervisedConfig};
+use gcmae_bench::methods::NodeMethod;
+use gcmae_bench::runners::{classification_split, probe_accuracy, DATA_SEED};
+use gcmae_bench::scale::{gcmae_config, node_dataset, ssl_config, Scale};
+
+fn main() {
+    let (scale, seeds) = Scale::from_args();
+    let name = std::env::args()
+        .skip(1)
+        .find(|a| ["Cora", "Citeseer", "PubMed", "Reddit"].contains(&a.as_str()))
+        .unwrap_or_else(|| "Cora".into());
+    let ds = node_dataset(&name, scale, DATA_SEED);
+    let split = classification_split(&ds);
+    println!(
+        "{name} @ {scale:?}: {} nodes, {} edges, {} feats, {} classes, {} train nodes",
+        ds.num_nodes(),
+        ds.graph.num_edges(),
+        ds.feature_dim(),
+        ds.num_classes,
+        split.train.len()
+    );
+    let ssl = ssl_config(scale, ds.num_nodes());
+    let mut gc = gcmae_config(scale, ds.num_nodes());
+    // optional loss-weight overrides: --alpha X --lambda Y --mu Z
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<f32> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    };
+    if let Some(v) = flag("--alpha") {
+        gc.alpha = v;
+    }
+    if let Some(v) = flag("--lambda") {
+        gc.lambda = v;
+    }
+    if let Some(v) = flag("--mu") {
+        gc.mu = v;
+    }
+    let mut ssl = ssl;
+    if let Some(v) = flag("--epochs") {
+        gc.epochs = v as usize;
+        ssl.epochs = v as usize;
+    }
+    if let Some(v) = flag("--proj") {
+        gc.proj_dim = v as usize;
+    }
+    if let Some(v) = flag("--tau") {
+        gc.tau = v;
+    }
+    let only_gcmae = args.iter().any(|a| a == "--only-gcmae");
+    eprintln!("weights: alpha={} lambda={} mu={}", gc.alpha, gc.lambda, gc.mu);
+
+    let sup_cfg = SupervisedConfig {
+        epochs: scale.epochs(),
+        hidden_dim: scale.hidden_dim().min(64),
+        ..SupervisedConfig::gcn()
+    };
+    if !only_gcmae {
+        let mut accs = vec![];
+        for s in 0..seeds as u64 {
+            accs.push(supervised::train(&ds, &split, &sup_cfg, s) * 100.0);
+        }
+        println!("{:10} {:6.2}", "GCN(sup)", accs.iter().sum::<f64>() / accs.len() as f64);
+    }
+
+    if args.iter().any(|a| a == "--ablate") {
+        let variants: Vec<(&str, gcmae_core::GcmaeConfig)> = vec![
+            ("full", gc.clone()),
+            ("wo_con", gc.clone().without_contrastive()),
+            ("wo_stru", gc.clone().without_struct_recon()),
+            ("wo_disc", gc.clone().without_discrimination()),
+            ("only_con", {
+                let mut c = gc.clone().without_struct_recon().without_discrimination();
+                c.alpha = gc.alpha;
+                c
+            }),
+            ("mae_only", gc
+                .clone()
+                .without_contrastive()
+                .without_struct_recon()
+                .without_discrimination()),
+        ];
+        for (label, cfg) in variants {
+            let mut accs = vec![];
+            for s in 0..seeds as u64 {
+                let out = gcmae_core::train(&ds, &cfg, s);
+                accs.push(probe_accuracy(&out.embeddings, &ds, &split, s));
+            }
+            println!("{label:10} {:6.2}", accs.iter().sum::<f64>() / accs.len() as f64);
+        }
+        return;
+    }
+    let methods: Vec<NodeMethod> = if only_gcmae {
+        vec![NodeMethod::GraphMae, NodeMethod::Gcmae]
+    } else {
+        vec![
+            NodeMethod::Grace,
+            NodeMethod::CcaSsg,
+            NodeMethod::GraphMae,
+            NodeMethod::MaskGae,
+            NodeMethod::Gcmae,
+        ]
+    };
+    for method in methods {
+        let mut accs = vec![];
+        for s in 0..seeds as u64 {
+            if let Some(emb) = method.train_embeddings(&ds, &ssl, &gc, s) {
+                accs.push(probe_accuracy(&emb, &ds, &split, s));
+            }
+        }
+        let mean = accs.iter().sum::<f64>() / accs.len().max(1) as f64;
+        println!("{:10} {mean:6.2}", method.name());
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Tables 2 and 3: dataset statistics.
+
+use gcmae_bench::scale::{graph_collections, node_datasets, Scale};
+use gcmae_graph::stats::{CollectionStats, DatasetStats};
+
+fn main() {
+    let (scale, _) = Scale::from_args();
+    println!("== Table 2: node-task datasets (scale {scale:?}) ==");
+    println!("{:10} | {:>8} | {:>10} | {:>9} | {:>8}", "Dataset", "Nodes", "Edges", "Features", "Classes");
+    for ds in node_datasets(scale, gcmae_bench::runners::DATA_SEED) {
+        let s = DatasetStats::of(&ds);
+        println!(
+            "{:10} | {:>8} | {:>10} | {:>9} | {:>8}",
+            ds.name, s.nodes, s.edges, s.features, s.classes
+        );
+    }
+    println!();
+    println!("== Table 3: graph-task datasets (scale {scale:?}) ==");
+    println!("{:10} | {:>8} | {:>8} | {:>12}", "Dataset", "Graphs", "Classes", "Avg. Nodes");
+    for c in graph_collections(scale, gcmae_bench::runners::DATA_SEED) {
+        let s = CollectionStats::of(&c);
+        println!("{:10} | {:>8} | {:>8} | {:>12.1}", c.name, s.graphs, s.classes, s.avg_nodes);
+    }
+    println!();
+    println!(
+        "note: paper-scale statistics are encoded in the generator specs; run with \
+         `--scale paper` to generate at those sizes (Reddit/PubMed stay subsampled per DESIGN.md)."
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 1: node-clustering quality of GCMAE vs GraphMAE vs
+//! CCA-SSG on Cora — NMI scores plus 2-D PCA coordinates (the t-SNE
+//! substitute, see DESIGN.md).
+
+use gcmae_bench::figures::{run_figure1, write_series, Series};
+use gcmae_bench::Scale;
+
+fn main() {
+    let (scale, _) = Scale::from_args();
+    eprintln!("[repro_figure1] scale {scale:?}");
+    let results = run_figure1(scale, 0);
+    println!("== Figure 1: node clustering on Cora (NMI, higher = better) ==");
+    let mut series = vec![];
+    for (name, nmi, pts) in &results {
+        println!("{name:10} NMI = {:.4}", nmi);
+        series.push(Series {
+            name: name.clone(),
+            points: pts.iter().map(|&(x, y, c)| (x as f64, y as f64, c as f64)).collect(),
+        });
+    }
+    // expected ordering per the paper: GCMAE > GraphMAE > CCA-SSG
+    let get = |n: &str| results.iter().find(|(m, _, _)| m == n).map(|(_, s, _)| *s).unwrap();
+    println!(
+        "ordering GCMAE > GraphMAE: {}; GraphMAE > CCA-SSG: {}",
+        get("GCMAE") > get("GraphMAE"),
+        get("GraphMAE") > get("CCA-SSG"),
+    );
+    match write_series("figure1_scatter", &series) {
+        Ok(p) => println!("[csv] {} (columns: series,x,y,label)", p.display()),
+        Err(e) => eprintln!("[csv] failed: {e}"),
+    }
+}

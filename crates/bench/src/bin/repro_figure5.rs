@@ -1,0 +1,38 @@
+//! Regenerates Figure 5: F1 surface over the feature mask rate `p_mask`
+//! and node drop rate `p_drop` on Cora, Citeseer, and PubMed.
+
+use gcmae_bench::figures::{run_figure5, write_series};
+use gcmae_bench::Scale;
+
+fn main() {
+    let (scale, _) = Scale::from_args();
+    eprintln!("[repro_figure5] scale {scale:?}");
+    let grid: Vec<f32> = match scale {
+        Scale::Smoke => vec![0.2, 0.5, 0.8],
+        Scale::Fast => vec![0.2, 0.5, 0.8],
+        Scale::Paper => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+    };
+    let mut all = vec![];
+    for name in ["Cora", "Citeseer", "PubMed"] {
+        let s = run_figure5(name, scale, 0, &grid);
+        println!("== Figure 5 ({name}): F1 over p_mask x p_drop ==");
+        print!("{:>7}", "pm\\pd");
+        for &pd in &grid {
+            print!(" {pd:>6.1}");
+        }
+        println!();
+        for (i, &pm) in grid.iter().enumerate() {
+            print!("{pm:>7.1}");
+            for j in 0..grid.len() {
+                let (_, _, f1) = s.points[i * grid.len() + j];
+                print!(" {f1:>6.1}");
+            }
+            println!();
+        }
+        all.push(s);
+    }
+    match write_series("figure5", &all) {
+        Ok(p) => println!("[csv] {} (columns: series,p_mask,p_drop,f1)", p.display()),
+        Err(e) => eprintln!("[csv] failed: {e}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 6: accuracy vs hidden width {64..2048} and vs depth
+//! {2,4,8} on Cora, Citeseer, and PubMed.
+
+use gcmae_bench::figures::{run_figure6, write_series};
+use gcmae_bench::Scale;
+
+fn main() {
+    let (scale, _) = Scale::from_args();
+    eprintln!("[repro_figure6] scale {scale:?}");
+    let (widths, depths): (Vec<usize>, Vec<usize>) = match scale {
+        Scale::Smoke => (vec![16, 64], vec![2, 4]),
+        Scale::Fast => (vec![16, 64, 256], vec![2, 4, 8]),
+        Scale::Paper => (vec![64, 128, 256, 512, 1024, 2048], vec![2, 4, 8]),
+    };
+    let mut all = vec![];
+    for name in ["Cora", "Citeseer", "PubMed"] {
+        let (w, d) = run_figure6(name, scale, 0, &widths, &depths);
+        println!("== Figure 6 ({name}) ==");
+        print!("width :");
+        for &(x, y, _) in &w.points {
+            print!(" ({x:.0} -> {y:.1})");
+        }
+        println!();
+        print!("depth :");
+        for &(x, y, _) in &d.points {
+            print!(" ({x:.0} -> {y:.1})");
+        }
+        println!();
+        all.push(w);
+        all.push(d);
+    }
+    match write_series("figure6", &all) {
+        Ok(p) => println!("[csv] {}", p.display()),
+        Err(e) => eprintln!("[csv] failed: {e}"),
+    }
+}

@@ -1,0 +1,54 @@
+//! Regenerates Table 1: GCMAE's improvement over the best-performing
+//! baseline of each category, per task. Aggregates the Table 4-7 runners.
+
+use gcmae_bench::runners::{
+    run_graph_classification, run_link_prediction, run_node_classification, run_node_clustering,
+};
+use gcmae_bench::summary::{categories, improvement_over};
+use gcmae_bench::Scale;
+
+fn fmt(v: Option<f64>) -> String {
+    v.map_or("-".to_string(), |x| format!("{x:+.1}%"))
+}
+
+fn main() {
+    let (scale, seeds) = Scale::from_args();
+    eprintln!("[repro_table1] scale {scale:?}, {seeds} seeds (runs tables 4-7 internally)");
+
+    let t4 = run_node_classification(scale, seeds);
+    let t5 = run_link_prediction(scale, seeds);
+    let t6 = run_node_clustering(scale, seeds);
+    let t7 = run_graph_classification(scale, seeds);
+
+    println!("== Table 1: GCMAE improvement over best baseline per category ==");
+    println!("{:22} | {:>12} | {:>8} | {:>8}", "Graph Task", "vs. Contrast", "vs. MAE", "Others");
+    println!("{}", "-".repeat(60));
+    println!(
+        "{:22} | {:>12} | {:>8} | {:>8}",
+        "Node classification",
+        fmt(improvement_over(&t4, "GCMAE", &categories::CONTRASTIVE)),
+        fmt(improvement_over(&t4, "GCMAE", &categories::MAE)),
+        fmt(improvement_over(&t4, "GCMAE", &categories::SUPERVISED)),
+    );
+    println!(
+        "{:22} | {:>12} | {:>8} | {:>8}",
+        "Link prediction",
+        fmt(improvement_over(&t5, "GCMAE", &categories::CONTRASTIVE)),
+        fmt(improvement_over(&t5, "GCMAE", &categories::MAE)),
+        "-",
+    );
+    println!(
+        "{:22} | {:>12} | {:>8} | {:>8}",
+        "Node clustering",
+        fmt(improvement_over(&t6, "GCMAE", &categories::CONTRASTIVE)),
+        fmt(improvement_over(&t6, "GCMAE", &categories::MAE)),
+        fmt(improvement_over(&t6, "GCMAE", &categories::CLUSTERING)),
+    );
+    println!(
+        "{:22} | {:>12} | {:>8} | {:>8}",
+        "Graph classification",
+        fmt(improvement_over(&t7, "GCMAE", &categories::GRAPH_CONTRASTIVE)),
+        fmt(improvement_over(&t7, "GCMAE", &categories::GRAPH_MAE)),
+        "-",
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 10: loss-component ablation.
+
+use gcmae_bench::runners::run_component_ablation;
+use gcmae_bench::{emit, Scale};
+
+fn main() {
+    let (scale, seeds) = Scale::from_args();
+    eprintln!("[repro_table10] scale {scale:?}, {seeds} seeds");
+    let table = run_component_ablation(scale, seeds);
+    emit(&table, "table10");
+}

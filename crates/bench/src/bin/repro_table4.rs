@@ -1,0 +1,11 @@
+//! Regenerates Table 4: node classification.
+
+use gcmae_bench::runners::run_node_classification;
+use gcmae_bench::{emit, Scale};
+
+fn main() {
+    let (scale, seeds) = Scale::from_args();
+    eprintln!("[repro_table4] scale {scale:?}, {seeds} seeds");
+    let table = run_node_classification(scale, seeds);
+    emit(&table, "table4");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 5: link prediction.
+
+use gcmae_bench::runners::run_link_prediction;
+use gcmae_bench::{emit, Scale};
+
+fn main() {
+    let (scale, seeds) = Scale::from_args();
+    eprintln!("[repro_table5] scale {scale:?}, {seeds} seeds");
+    let table = run_link_prediction(scale, seeds);
+    emit(&table, "table5");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 6: node clustering.
+
+use gcmae_bench::runners::run_node_clustering;
+use gcmae_bench::{emit, Scale};
+
+fn main() {
+    let (scale, seeds) = Scale::from_args();
+    eprintln!("[repro_table6] scale {scale:?}, {seeds} seeds");
+    let table = run_node_clustering(scale, seeds);
+    emit(&table, "table6");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 7: graph classification.
+
+use gcmae_bench::runners::run_graph_classification;
+use gcmae_bench::{emit, Scale};
+
+fn main() {
+    let (scale, seeds) = Scale::from_args();
+    eprintln!("[repro_table7] scale {scale:?}, {seeds} seeds");
+    let table = run_graph_classification(scale, seeds);
+    emit(&table, "table7");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 8: encoder ablation.
+
+use gcmae_bench::runners::run_encoder_ablation;
+use gcmae_bench::{emit, Scale};
+
+fn main() {
+    let (scale, seeds) = Scale::from_args();
+    eprintln!("[repro_table8] scale {scale:?}, {seeds} seeds");
+    let table = run_encoder_ablation(scale, seeds);
+    emit(&table, "table8");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 9: end-to-end training time.
+
+use gcmae_bench::runners::run_training_time;
+use gcmae_bench::{emit, Scale};
+
+fn main() {
+    let (scale, _) = Scale::from_args();
+    eprintln!("[repro_table9] scale {scale:?} (timing: single run per cell)");
+    let table = run_training_time(scale);
+    emit(&table, "table9");
+}

@@ -1,0 +1,223 @@
+//! Experiment runners for the paper's figures.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use gcmae_baselines::cca_ssg;
+use gcmae_core::train_traced;
+use gcmae_eval::metrics::clustering::nmi;
+use gcmae_eval::{kmeans, pca, tsne, TsneConfig};
+use gcmae_graph::sampling::sample_nodes;
+use gcmae_graph::Dataset;
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::runners::{classification_split, probe_accuracy, probe_f1, DATA_SEED};
+use crate::scale::{gcmae_config, node_dataset, ssl_config, Scale};
+
+/// One (x, y[, z]) series for a figure, dumped as CSV.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// name.
+    pub name: String,
+    /// points.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Writes named series to `target/repro/<slug>.csv`.
+pub fn write_series(slug: &str, series: &[Series]) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/repro");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{slug}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "series,x,y,z")?;
+    for s in series {
+        for &(x, y, z) in &s.points {
+            writeln!(f, "{},{x},{y},{z}", s.name)?;
+        }
+    }
+    Ok(path)
+}
+
+/// One Figure 1 result: `(method, NMI, 2-D coordinates with class labels)`.
+pub type Figure1Entry = (String, f64, Vec<(f32, f32, usize)>);
+
+/// Figure 1: clustering quality of GCMAE vs GraphMAE vs CCA-SSG on Cora.
+/// Returns one [`Figure1Entry`] per method; the coordinates substitute the
+/// paper's t-SNE scatter (DESIGN.md).
+pub fn run_figure1(scale: Scale, seed: u64) -> Vec<Figure1Entry> {
+    let ds = node_dataset("Cora", scale, DATA_SEED);
+    let gc = gcmae_config(scale, ds.num_nodes());
+    let ssl = ssl_config(scale, ds.num_nodes());
+    let mae_cfg =
+        gc.clone().without_contrastive().without_struct_recon().without_discrimination();
+    let runs: Vec<(String, Matrix)> = vec![
+        ("GCMAE".into(), gcmae_core::train(&ds, &gc, seed).embeddings),
+        ("GraphMAE".into(), gcmae_core::train(&ds, &mae_cfg, seed).embeddings),
+        ("CCA-SSG".into(), cca_ssg::train(&ds, &ssl, seed)),
+    ];
+    runs.into_iter()
+        .map(|(name, emb)| {
+            let km = kmeans(&emb, ds.num_classes, 100, seed);
+            let score = nmi(&km.assignments, &ds.labels);
+            // t-SNE on PCA-reduced embeddings (standard pipeline); exact
+            // t-SNE is O(n²) so cap the point count at fast scale
+            let coords = if ds.num_nodes() <= 1200 {
+                let reduced = pca(&emb, 2.max(emb.cols().min(16)), seed);
+                tsne(&reduced, &TsneConfig::default(), seed)
+            } else {
+                pca(&emb, 2, seed)
+            };
+            let pts: Vec<(f32, f32, usize)> = (0..ds.num_nodes())
+                .map(|v| (coords[(v, 0)], coords[(v, 1)], ds.labels[v]))
+                .collect();
+            (name, score, pts)
+        })
+        .collect()
+}
+
+/// Mean cosine similarity between sampled anchor nodes and their 5-hop
+/// rings.
+pub fn five_hop_similarity(ds: &Dataset, emb: &Matrix, anchors: &[usize]) -> f64 {
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for &a in anchors {
+        let ring = ds.graph.k_hop_ring(a, 5);
+        if ring.is_empty() {
+            continue;
+        }
+        let na = norm(emb.row(a));
+        for &b in ring.iter().take(16) {
+            let nb = norm(emb.row(b));
+            if na > 1e-8 && nb > 1e-8 {
+                total += (dot(emb.row(a), emb.row(b)) / (na * nb)) as f64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Figure 4: 5-hop similarity vs training epoch, GCMAE vs GraphMAE, on the
+/// given dataset. Returns one series per method.
+pub fn run_figure4(name: &str, scale: Scale, seed: u64, stride: usize) -> Vec<Series> {
+    let ds = node_dataset(name, scale, DATA_SEED);
+    let mut anchor_rng = StdRng::seed_from_u64(1234);
+    let anchors = sample_nodes(ds.num_nodes(), 32.min(ds.num_nodes()), &mut anchor_rng);
+    let gc = gcmae_config(scale, ds.num_nodes());
+    let mae_cfg =
+        gc.clone().without_contrastive().without_struct_recon().without_discrimination();
+    let mut out = vec![];
+    for (label, cfg) in [("GCMAE", gc), ("GraphMAE", mae_cfg)] {
+        let mut points = vec![];
+        let mut eval_rng = StdRng::seed_from_u64(seed);
+        let _ = train_traced(&ds, &cfg, seed, |epoch, model| {
+            if epoch % stride == 0 {
+                let emb = model.embed_dataset(&ds, &mut eval_rng);
+                points.push((epoch as f64, five_hop_similarity(&ds, &emb, &anchors), 0.0));
+            }
+        });
+        out.push(Series { name: format!("{label}/{name}"), points });
+    }
+    out
+}
+
+/// Figure 5: accuracy surface over `p_mask` × `p_drop` for one dataset.
+/// Returns one series with `(p_mask, p_drop, F1)` points.
+pub fn run_figure5(name: &str, scale: Scale, seed: u64, grid: &[f32]) -> Series {
+    let ds = node_dataset(name, scale, DATA_SEED);
+    let split = classification_split(&ds);
+    let base = gcmae_config(scale, ds.num_nodes());
+    let mut points = vec![];
+    for &pm in grid {
+        for &pd in grid {
+            let cfg = gcmae_core::GcmaeConfig { p_mask: pm, p_drop: pd, ..base.clone() };
+            let out = gcmae_core::train(&ds, &cfg, seed);
+            let f1 = probe_f1(&out.embeddings, &ds, &split, seed);
+            points.push((pm as f64, pd as f64, f1));
+        }
+    }
+    Series { name: name.to_string(), points }
+}
+
+/// Figure 6: accuracy vs hidden width and vs depth for one dataset.
+/// Returns two series: `(width, acc, _)` and `(depth, acc, _)`.
+pub fn run_figure6(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    widths: &[usize],
+    depths: &[usize],
+) -> (Series, Series) {
+    let ds = node_dataset(name, scale, DATA_SEED);
+    let split = classification_split(&ds);
+    let base = gcmae_config(scale, ds.num_nodes());
+    let width_pts: Vec<(f64, f64, f64)> = widths
+        .iter()
+        .map(|&w| {
+            let cfg = gcmae_core::GcmaeConfig {
+                hidden_dim: w,
+                proj_dim: (w / 4).max(8),
+                ..base.clone()
+            };
+            let out = gcmae_core::train(&ds, &cfg, seed);
+            (w as f64, probe_accuracy(&out.embeddings, &ds, &split, seed), 0.0)
+        })
+        .collect();
+    let depth_pts: Vec<(f64, f64, f64)> = depths
+        .iter()
+        .map(|&l| {
+            let cfg = gcmae_core::GcmaeConfig { layers: l, ..base.clone() };
+            let out = gcmae_core::train(&ds, &cfg, seed);
+            (l as f64, probe_accuracy(&out.embeddings, &ds, &split, seed), 0.0)
+        })
+        .collect();
+    (
+        Series { name: format!("{name}/width"), points: width_pts },
+        Series { name: format!("{name}/depth"), points: depth_pts },
+    )
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_hop_similarity_is_bounded() {
+        let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Matrix::uniform(ds.num_nodes(), 8, -1.0, 1.0, &mut rng);
+        let anchors: Vec<usize> = (0..20).collect();
+        let s = five_hop_similarity(&ds, &emb, &anchors);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn figure4_produces_two_series() {
+        let series = run_figure4("Cora", Scale::Smoke, 1, 5);
+        assert_eq!(series.len(), 2);
+        assert!(series.iter().all(|s| !s.points.is_empty()));
+    }
+
+    #[test]
+    fn write_series_creates_csv() {
+        let s = Series { name: "t".into(), points: vec![(1.0, 2.0, 0.0)] };
+        let p = write_series("test_series", &[s]).unwrap();
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.contains("t,1,2,0"));
+    }
+}

@@ -1,0 +1,31 @@
+// Indexed loops over parallel arrays are idiomatic in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+//! # gcmae-bench
+//!
+//! Experiment harness that regenerates every table and figure of the GCMAE
+//! paper's evaluation (§5). Each `repro_*` binary prints the same rows or
+//! series the paper reports and writes CSV under `target/repro/`.
+//!
+//! Run e.g. `cargo run --release -p gcmae-bench --bin repro_table4 --
+//! --scale fast --seeds 2`. Criterion benches in `benches/` exercise the
+//! same code paths at smoke scale with wall-clock measurement.
+
+pub mod figures;
+pub mod methods;
+pub mod runners;
+pub mod scale;
+pub mod summary;
+pub mod table;
+
+pub use scale::Scale;
+pub use table::{MeanStd, Table};
+
+/// Prints a table, writes its CSV, and reports where it went.
+pub fn emit(table: &table::Table, slug: &str) {
+    println!("{}", table.render());
+    match table.write_csv(slug) {
+        Ok(p) => println!("[csv] {}", p.display()),
+        Err(e) => eprintln!("[csv] failed to write {slug}: {e}"),
+    }
+}

@@ -1,0 +1,250 @@
+//! Method registries: every row of Tables 4–7 maps to one variant here.
+
+use gcmae_baselines::{clustering, graph_level, SslConfig};
+use gcmae_core::GcmaeConfig;
+use gcmae_graph::{Dataset, GraphCollection};
+use gcmae_tensor::Matrix;
+
+/// Node-level self-supervised methods (rows of Tables 4–6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeMethod {
+    /// Dgi.
+    Dgi,
+    /// Mvgrl.
+    Mvgrl,
+    /// Grace.
+    Grace,
+    /// Cca Ssg.
+    CcaSsg,
+    /// Graph Mae.
+    GraphMae,
+    /// See Gera.
+    SeeGera,
+    /// S2gae.
+    S2gae,
+    /// Mask Gae.
+    MaskGae,
+    /// Gcmae.
+    Gcmae,
+    // clustering-only specialists (Table 6)
+    /// Gc Vge.
+    GcVge,
+    /// Scgc.
+    Scgc,
+    /// Gcc.
+    Gcc,
+}
+
+impl NodeMethod {
+    /// The SSL methods compared on all node-level tasks, in the paper's
+    /// row order.
+    pub const STANDARD: [NodeMethod; 9] = [
+        Self::Dgi,
+        Self::Mvgrl,
+        Self::Grace,
+        Self::CcaSsg,
+        Self::GraphMae,
+        Self::SeeGera,
+        Self::S2gae,
+        Self::MaskGae,
+        Self::Gcmae,
+    ];
+
+    /// The deep-clustering specialists added in Table 6.
+    pub const CLUSTERING: [NodeMethod; 3] = [Self::GcVge, Self::Scgc, Self::Gcc];
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dgi => "DGI",
+            Self::Mvgrl => "MVGRL",
+            Self::Grace => "GRACE",
+            Self::CcaSsg => "CCA-SSG",
+            Self::GraphMae => "GraphMAE",
+            Self::SeeGera => "SeeGera",
+            Self::S2gae => "S2GAE",
+            Self::MaskGae => "MaskGAE",
+            Self::Gcmae => "GCMAE",
+            Self::GcVge => "GC-VGE",
+            Self::Scgc => "SCGC",
+            Self::Gcc => "GCC",
+        }
+    }
+
+    /// Category label as grouped in the paper's tables.
+    pub fn category(self) -> &'static str {
+        match self {
+            Self::Dgi | Self::Mvgrl | Self::Grace | Self::CcaSsg => "Contrastive",
+            Self::GraphMae | Self::SeeGera | Self::S2gae | Self::MaskGae => "MAE",
+            Self::Gcmae => "ConMAE",
+            Self::GcVge | Self::Scgc | Self::Gcc => "Clustering",
+        }
+    }
+
+    /// Trains the method and returns frozen node embeddings, or `None` when
+    /// the method is marked OOM/NA on this dataset in the paper (MVGRL on
+    /// Reddit-scale graphs; SCGC on large graphs).
+    pub fn train_embeddings(
+        self,
+        ds: &Dataset,
+        ssl: &SslConfig,
+        gcmae: &GcmaeConfig,
+        seed: u64,
+    ) -> Option<Matrix> {
+        let n = ds.num_nodes();
+        match self {
+            Self::Dgi => Some(gcmae_baselines::dgi::train(ds, ssl, seed)),
+            Self::Mvgrl => {
+                if n > 12_000 {
+                    None // paper: OOM on Reddit
+                } else {
+                    Some(gcmae_baselines::mvgrl::train(ds, ssl, seed))
+                }
+            }
+            Self::Grace => Some(gcmae_baselines::grace::train(ds, ssl, seed)),
+            Self::CcaSsg => Some(gcmae_baselines::cca_ssg::train(ds, ssl, seed)),
+            Self::GraphMae => Some(gcmae_baselines::graphmae::train(ds, ssl, seed)),
+            Self::SeeGera => Some(gcmae_baselines::seegera::train(ds, ssl, seed)),
+            Self::S2gae => Some(gcmae_baselines::s2gae::train(ds, ssl, seed)),
+            Self::MaskGae => Some(gcmae_baselines::maskgae::train(ds, ssl, seed)),
+            Self::Gcmae => Some(gcmae_core::train(ds, gcmae, seed).embeddings),
+            Self::GcVge => Some(clustering::gc_vge::train(ds, ssl, seed)),
+            Self::Scgc => {
+                if n > 25_000 {
+                    None // paper: NA on Reddit / PubMed rows
+                } else {
+                    Some(clustering::scgc::train(ds, ssl, seed))
+                }
+            }
+            Self::Gcc => {
+                Some(clustering::gcc::train(ds, ds.num_classes, ssl.hidden_dim, 2, seed).embeddings)
+            }
+        }
+    }
+}
+
+/// Graph-level methods (rows of Table 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphMethod {
+    /// Infograph.
+    Infograph,
+    /// Graph Cl.
+    GraphCl,
+    /// Joao.
+    Joao,
+    /// Mvgrl.
+    Mvgrl,
+    /// Info Gcl.
+    InfoGcl,
+    /// Graph Mae.
+    GraphMae,
+    /// S2gae.
+    S2gae,
+    /// Gcmae.
+    Gcmae,
+}
+
+impl GraphMethod {
+    /// Table 7 row order.
+    pub const ALL: [GraphMethod; 8] = [
+        Self::Infograph,
+        Self::GraphCl,
+        Self::Joao,
+        Self::Mvgrl,
+        Self::InfoGcl,
+        Self::GraphMae,
+        Self::S2gae,
+        Self::Gcmae,
+    ];
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Infograph => "Infograph",
+            Self::GraphCl => "GraphCL",
+            Self::Joao => "JOAO",
+            Self::Mvgrl => "MVGRL",
+            Self::InfoGcl => "InfoGCL",
+            Self::GraphMae => "GraphMAE",
+            Self::S2gae => "S2GAE",
+            Self::Gcmae => "GCMAE",
+        }
+    }
+
+    /// Category as grouped in Table 7.
+    pub fn category(self) -> &'static str {
+        match self {
+            Self::Infograph | Self::GraphCl | Self::Joao | Self::Mvgrl | Self::InfoGcl => {
+                "Contrastive"
+            }
+            Self::GraphMae | Self::S2gae => "MAE",
+            Self::Gcmae => "ConMAE",
+        }
+    }
+
+    /// Trains and returns one embedding per graph, or `None` for the
+    /// paper's OOM entries (MVGRL on COLLAB/NCI1, InfoGCL on REDDIT-B).
+    pub fn train_embeddings(
+        self,
+        c: &GraphCollection,
+        ssl: &SslConfig,
+        gcmae: &GcmaeConfig,
+        batch: usize,
+        seed: u64,
+    ) -> Option<Matrix> {
+        let oom = |names: &[&str]| names.contains(&c.name.as_str());
+        match self {
+            Self::Infograph => Some(graph_level::infograph::train(c, ssl, batch, seed)),
+            Self::GraphCl => Some(graph_level::graphcl::train(c, ssl, batch, seed)),
+            Self::Joao => Some(graph_level::joao::train(c, ssl, batch, seed)),
+            Self::Mvgrl => {
+                if oom(&["COLLAB", "NCI1"]) {
+                    None
+                } else {
+                    Some(graph_level::mvgrl_g::train(c, ssl, batch, seed))
+                }
+            }
+            Self::InfoGcl => {
+                if oom(&["REDDIT-B"]) {
+                    None
+                } else {
+                    Some(graph_level::infogcl::train(c, ssl, batch, seed))
+                }
+            }
+            Self::GraphMae => {
+                // MAE-only GCMAE degenerates to GraphMAE (§ Table 8)
+                let cfg = gcmae
+                    .clone()
+                    .without_contrastive()
+                    .without_struct_recon()
+                    .without_discrimination();
+                Some(gcmae_core::train_graph_level(c, &cfg, batch, seed))
+            }
+            Self::S2gae => Some(graph_level::s2gae_g::train(c, ssl, batch, seed)),
+            Self::Gcmae => Some(gcmae_core::train_graph_level(c, gcmae, batch, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_orders_match_paper() {
+        let names: Vec<&str> = NodeMethod::STANDARD.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            ["DGI", "MVGRL", "GRACE", "CCA-SSG", "GraphMAE", "SeeGera", "S2GAE", "MaskGAE", "GCMAE"]
+        );
+        assert_eq!(GraphMethod::ALL.len(), 8);
+    }
+
+    #[test]
+    fn categories_are_consistent() {
+        assert_eq!(NodeMethod::Gcmae.category(), "ConMAE");
+        assert_eq!(NodeMethod::Dgi.category(), "Contrastive");
+        assert_eq!(NodeMethod::MaskGae.category(), "MAE");
+        assert_eq!(GraphMethod::GraphMae.category(), "MAE");
+    }
+}

@@ -1,0 +1,227 @@
+//! Experiment scale presets.
+//!
+//! The paper's testbed is a GPU; this reproduction runs on CPU, so every
+//! `repro_*` binary takes a `--scale` flag:
+//!
+//! * `smoke` — seconds; used by tests and Criterion benches,
+//! * `fast`  — minutes; the default, preserves method *ranking*,
+//! * `paper` — paper-sized graphs (Reddit scaled per DESIGN.md), hours.
+
+use gcmae_baselines::SslConfig;
+use gcmae_core::GcmaeConfig;
+use gcmae_graph::generators::citation::{self, CitationSpec};
+use gcmae_graph::generators::collection::{self, CollectionSpec};
+use gcmae_graph::{Dataset, GraphCollection};
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke.
+    Smoke,
+    /// Fast.
+    Fast,
+    /// Paper.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale <v>` and `--seeds <n>` from CLI args; defaults to
+    /// `fast` with the scale's default seed count.
+    pub fn from_args() -> (Scale, usize) {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Scale::Fast;
+        let mut seeds = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    scale = match it.next().map(String::as_str) {
+                        Some("smoke") => Scale::Smoke,
+                        Some("fast") | None => Scale::Fast,
+                        Some("paper") => Scale::Paper,
+                        Some(other) => panic!("unknown scale {other}"),
+                    }
+                }
+                "--seeds" => {
+                    seeds = it.next().and_then(|s| s.parse().ok());
+                }
+                _ => {}
+            }
+        }
+        let seeds = seeds.unwrap_or(match scale {
+            Scale::Smoke => 1,
+            Scale::Fast => 2,
+            Scale::Paper => 5,
+        });
+        (scale, seeds)
+    }
+
+    /// Graph-size factor per dataset family.
+    fn citation_factor(self, spec: &CitationSpec) -> f64 {
+        let base = match self {
+            Scale::Smoke => 0.04,
+            Scale::Fast => 0.25,
+            Scale::Paper => 1.0,
+        };
+        // Reddit is 100× Cora: always subsample it (DESIGN.md substitution)
+        match (spec.name, self) {
+            ("Reddit", Scale::Smoke) => 0.002,
+            ("Reddit", Scale::Fast) => 0.005,
+            ("Reddit", Scale::Paper) => 0.05,
+            ("PubMed", Scale::Smoke) => 0.01,
+            ("PubMed", Scale::Fast) => 0.04,
+            _ => base,
+        }
+    }
+
+    /// Number of pre-training epochs.
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Fast => 100,
+            Scale::Paper => 300,
+        }
+    }
+
+    /// Encoder hidden width.
+    pub fn hidden_dim(self) -> usize {
+        match self {
+            Scale::Smoke => 32,
+            Scale::Fast => 64,
+            Scale::Paper => 256,
+        }
+    }
+}
+
+/// The four node-level datasets (Table 2), generated at this scale.
+pub fn node_datasets(scale: Scale, seed: u64) -> Vec<Dataset> {
+    [
+        CitationSpec::cora(),
+        CitationSpec::citeseer(),
+        CitationSpec::pubmed(),
+        CitationSpec::reddit(),
+    ]
+    .into_iter()
+    .map(|spec| {
+        let f = scale.citation_factor(&spec);
+        citation::generate(&spec.scaled(f), seed)
+    })
+    .collect()
+}
+
+/// A single node-level dataset by name.
+pub fn node_dataset(name: &str, scale: Scale, seed: u64) -> Dataset {
+    let spec = match name {
+        "Cora" => CitationSpec::cora(),
+        "Citeseer" => CitationSpec::citeseer(),
+        "PubMed" => CitationSpec::pubmed(),
+        "Reddit" => CitationSpec::reddit(),
+        other => panic!("unknown dataset {other}"),
+    };
+    let f = scale.citation_factor(&spec);
+    citation::generate(&spec.scaled(f), seed)
+}
+
+/// The six graph-level collections (Table 3), generated at this scale.
+pub fn graph_collections(scale: Scale, seed: u64) -> Vec<GraphCollection> {
+    let f = match scale {
+        Scale::Smoke => 0.04,
+        Scale::Fast => 0.12,
+        Scale::Paper => 0.5,
+    };
+    [
+        CollectionSpec::imdb_b(),
+        CollectionSpec::imdb_m(),
+        CollectionSpec::collab(),
+        CollectionSpec::mutag(),
+        CollectionSpec::reddit_b(),
+        CollectionSpec::nci1(),
+    ]
+    .into_iter()
+    .map(|spec| collection::generate(&spec.scaled(f), seed))
+    .collect()
+}
+
+/// Baseline SSL configuration at this scale.
+pub fn ssl_config(scale: Scale, num_nodes: usize) -> SslConfig {
+    SslConfig {
+        hidden_dim: scale.hidden_dim(),
+        proj_dim: scale.hidden_dim() / 2,
+        epochs: scale.epochs(),
+        contrast_sample: contrast_sample(num_nodes),
+        ..SslConfig::default()
+    }
+}
+
+/// GCMAE configuration at this scale, adapted to the graph size
+/// (subgraph-sampled training on large graphs, §4.4).
+pub fn gcmae_config(scale: Scale, num_nodes: usize) -> GcmaeConfig {
+    let batched = num_nodes > 6000;
+    GcmaeConfig {
+        // GraphSAGE enables subgraph mini-batching on large graphs (§5.4);
+        // on full-graph datasets GCN matches the baselines' encoder
+        encoder: if batched {
+            gcmae_core::EncoderChoice::Sage
+        } else {
+            gcmae_core::EncoderChoice::Gcn
+        },
+        hidden_dim: scale.hidden_dim(),
+        proj_dim: scale.hidden_dim() / 2,
+        epochs: scale.epochs(),
+        contrast_sample: contrast_sample(num_nodes),
+        // §4.4: adjacency reconstruction on sampled subgraphs; the sample
+        // size is the main cost knob because the decoder output has the
+        // input feature dimensionality
+        adj_sample: match scale {
+            Scale::Smoke => 64,
+            Scale::Fast => 192,
+            Scale::Paper => 512,
+        }
+        .min(num_nodes),
+        batch_nodes: if batched { 2048 } else { 0 },
+        alpha: 0.3,
+        lambda: 0.1,
+        mu: 0.2,
+        ..GcmaeConfig::default()
+    }
+}
+
+fn contrast_sample(num_nodes: usize) -> usize {
+    if num_nodes <= 1024 {
+        0 // all nodes
+    } else {
+        1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_datasets_are_small() {
+        let ds = node_datasets(Scale::Smoke, 1);
+        assert_eq!(ds.len(), 4);
+        assert!(ds.iter().all(|d| d.num_nodes() < 1500), "sizes: {:?}",
+            ds.iter().map(|d| d.num_nodes()).collect::<Vec<_>>());
+        let names: Vec<&str> = ds.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["Cora", "Citeseer", "PubMed", "Reddit"]);
+    }
+
+    #[test]
+    fn configs_adapt_to_graph_size() {
+        let small = gcmae_config(Scale::Fast, 500);
+        assert_eq!(small.batch_nodes, 0);
+        assert_eq!(small.contrast_sample, 0);
+        let big = gcmae_config(Scale::Fast, 20_000);
+        assert_eq!(big.batch_nodes, 2048);
+        assert_eq!(big.contrast_sample, 1024);
+    }
+
+    #[test]
+    fn collections_cover_table3() {
+        let cs = graph_collections(Scale::Smoke, 1);
+        assert_eq!(cs.len(), 6);
+        assert_eq!(cs[3].name, "MUTAG");
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 1 aggregation: GCMAE's relative improvement over the best baseline
+//! of each category.
+
+use crate::table::Table;
+
+/// Relative improvement (%) of `our_row` over the best row among `members`,
+/// averaged over the columns where both sides have values. `None` when no
+/// comparison is possible.
+pub fn improvement_over(table: &Table, our_row: &str, members: &[&str]) -> Option<f64> {
+    let ours = table.rows.iter().find(|(m, _)| m == our_row)?;
+    let mut rel = vec![];
+    for c in 0..table.columns.len() {
+        let Some(our_cell) = ours.1[c] else { continue };
+        let best = table
+            .rows
+            .iter()
+            .filter(|(m, _)| members.contains(&m.as_str()))
+            .filter_map(|(_, cells)| cells[c].map(|v| v.mean))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best.is_finite() && best > 0.0 {
+            rel.push((our_cell.mean - best) / best * 100.0);
+        }
+    }
+    if rel.is_empty() {
+        None
+    } else {
+        Some(rel.iter().sum::<f64>() / rel.len() as f64)
+    }
+}
+
+/// Category membership used by Table 1.
+pub mod categories {
+    /// Node-level contrastive methods.
+    pub const CONTRASTIVE: [&str; 4] = ["DGI", "MVGRL", "GRACE", "CCA-SSG"];
+    /// Node-level MAE methods.
+    pub const MAE: [&str; 4] = ["GraphMAE", "SeeGera", "S2GAE", "MaskGAE"];
+    /// Supervised classifiers (Table 4's "Others").
+    pub const SUPERVISED: [&str; 2] = ["GCN", "GAT"];
+    /// Deep clustering specialists (Table 6's "Others").
+    pub const CLUSTERING: [&str; 3] = ["GC-VGE", "SCGC", "GCC"];
+    /// Graph-level contrastive methods.
+    pub const GRAPH_CONTRASTIVE: [&str; 5] =
+        ["Infograph", "GraphCL", "JOAO", "MVGRL", "InfoGCL"];
+    /// Graph-level MAE methods.
+    pub const GRAPH_MAE: [&str; 2] = ["GraphMAE", "S2GAE"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{MeanStd, Table};
+
+    fn table() -> Table {
+        let mut t = Table::new("t", vec!["A".into(), "B".into()]);
+        let cell = |m: f64| Some(MeanStd { mean: m, std: 0.0 });
+        t.push_row("base1", vec![cell(80.0), cell(60.0)]);
+        t.push_row("base2", vec![cell(85.0), None]);
+        t.push_row("GCMAE", vec![cell(90.0), cell(66.0)]);
+        t
+    }
+
+    #[test]
+    fn improvement_uses_best_baseline_per_column() {
+        let t = table();
+        // column A best = 85 → +5.88%; column B best = 60 → +10%
+        let imp = improvement_over(&t, "GCMAE", &["base1", "base2"]).unwrap();
+        assert!((imp - (5.882_352_94 + 10.0) / 2.0).abs() < 1e-6, "imp = {imp}");
+    }
+
+    #[test]
+    fn missing_rows_give_none() {
+        let t = table();
+        assert!(improvement_over(&t, "nope", &["base1"]).is_none());
+        assert!(improvement_over(&t, "GCMAE", &["nope"]).is_none());
+    }
+
+    #[test]
+    fn oom_cells_are_skipped() {
+        let t = table();
+        // base2 has no B value: comparison against base2 alone only uses A
+        let imp = improvement_over(&t, "GCMAE", &["base2"]).unwrap();
+        assert!((imp - 5.882_352_94).abs() < 1e-6);
+    }
+}

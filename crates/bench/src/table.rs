@@ -1,0 +1,163 @@
+//! Result tables: mean ± std cells, aligned text output matching the
+//! paper's row/column layout, and CSV dumps under `target/repro/`.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Mean ± standard deviation over seeds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeanStd {
+    /// mean.
+    pub mean: f64,
+    /// std.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Aggregates raw values.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "no values to aggregate");
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        Self { mean, std: var.sqrt() }
+    }
+}
+
+impl fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}±{:.2}", self.mean, self.std)
+    }
+}
+
+/// A results table: one row per method, one column per dataset/metric.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// title.
+    pub title: String,
+    /// columns.
+    pub columns: Vec<String>,
+    /// rows.
+    pub rows: Vec<(String, Vec<Option<MeanStd>>)>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self { title: title.into(), columns, rows: vec![] }
+    }
+
+    /// Appends a row; `None` cells print as `-` (e.g. OOM/NA entries).
+    pub fn push_row(&mut self, method: impl Into<String>, cells: Vec<Option<MeanStd>>) {
+        assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
+        self.rows.push((method.into(), cells));
+    }
+
+    /// Best (max-mean) row index per column.
+    pub fn best_per_column(&self) -> Vec<Option<usize>> {
+        (0..self.columns.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, (_, cells))| cells[c].map(|m| (i, m.mean)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .map(|(i, _)| i)
+            })
+            .collect()
+    }
+
+    /// Renders aligned text, starring the best entry per column.
+    pub fn render(&self) -> String {
+        let best = self.best_per_column();
+        let name_w = self
+            .rows
+            .iter()
+            .map(|(m, _)| m.len())
+            .chain([6])
+            .max()
+            .unwrap_or(6)
+            .max("Method".len());
+        let cell_w = 13usize;
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:name_w$}", "Method"));
+        for c in &self.columns {
+            out.push_str(&format!(" | {c:>cell_w$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(name_w + (cell_w + 3) * self.columns.len()));
+        out.push('\n');
+        for (i, (m, cells)) in self.rows.iter().enumerate() {
+            out.push_str(&format!("{m:name_w$}"));
+            for (c, cell) in cells.iter().enumerate() {
+                let s = match cell {
+                    Some(v) => {
+                        let star = if best[c] == Some(i) { "*" } else { " " };
+                        format!("{v}{star}")
+                    }
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!(" | {s:>cell_w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `target/repro/<slug>.csv`.
+    pub fn write_csv(&self, slug: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/repro");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{slug}.csv"));
+        let mut f = fs::File::create(&path)?;
+        write!(f, "method")?;
+        for c in &self.columns {
+            write!(f, ",{c}_mean,{c}_std")?;
+        }
+        writeln!(f)?;
+        for (m, cells) in &self.rows {
+            write!(f, "{m}")?;
+            for cell in cells {
+                match cell {
+                    Some(v) => write!(f, ",{:.4},{:.4}", v.mean, v.std)?,
+                    None => write!(f, ",,")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_aggregation() {
+        let m = MeanStd::from_values(&[1.0, 2.0, 3.0]);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_marks_best_and_missing() {
+        let mut t = Table::new("T", vec!["A".into(), "B".into()]);
+        t.push_row("m1", vec![Some(MeanStd { mean: 1.0, std: 0.1 }), None]);
+        t.push_row("m2", vec![Some(MeanStd { mean: 2.0, std: 0.1 }), Some(MeanStd::default())]);
+        let s = t.render();
+        assert!(s.contains("2.00±0.10*"));
+        assert!(s.contains('-'));
+        assert_eq!(t.best_per_column()[0], Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn wrong_cell_count_panics() {
+        let mut t = Table::new("T", vec!["A".into()]);
+        t.push_row("m", vec![]);
+    }
+}

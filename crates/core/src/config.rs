@@ -1,0 +1,175 @@
+//! GCMAE hyper-parameters (paper §4, §5.1, and Figure 5/6 sweeps).
+
+use gcmae_nn::{Act, EncoderKind};
+use serde::{Deserialize, Serialize};
+
+/// Serializable mirror of [`EncoderKind`] for experiment records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderChoice {
+    /// Gcn.
+    Gcn,
+    /// Sage.
+    Sage,
+    /// Gat.
+    Gat {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Gin.
+    Gin,
+}
+
+impl From<EncoderChoice> for EncoderKind {
+    fn from(c: EncoderChoice) -> Self {
+        match c {
+            EncoderChoice::Gcn => EncoderKind::Gcn,
+            EncoderChoice::Sage => EncoderKind::Sage,
+            EncoderChoice::Gat { heads } => EncoderKind::Gat { heads },
+            EncoderChoice::Gin => EncoderKind::Gin,
+        }
+    }
+}
+
+/// Full GCMAE configuration. The defaults follow the paper: GraphSAGE
+/// encoder (§5.4), 2 layers / 512 hidden (Figure 6 optimum — scaled to 256
+/// by the fast harness presets), `p_mask = 0.5`, Adam(0.001) with weight
+/// decay 1e-4, SCE with γ = 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GcmaeConfig {
+    /// encoder.
+    pub encoder: EncoderChoice,
+    /// hidden dim.
+    pub hidden_dim: usize,
+    /// layers.
+    pub layers: usize,
+    /// Projector output width for the contrastive branch.
+    pub proj_dim: usize,
+    /// Feature mask rate `p_mask` (MAE view, `T₁`).
+    pub p_mask: f32,
+    /// Node drop rate `p_drop` (contrastive view, `T₂`).
+    pub p_drop: f32,
+    /// Weight `α` of the contrastive loss `L_C`.
+    pub alpha: f32,
+    /// Weight `λ` of the adjacency-reconstruction loss `L_E`.
+    pub lambda: f32,
+    /// Weight `μ` of the discrimination loss `L_Var`.
+    pub mu: f32,
+    /// SCE sharpening exponent `γ`.
+    pub gamma: f32,
+    /// InfoNCE temperature `τ`.
+    pub tau: f32,
+    /// epochs.
+    pub epochs: usize,
+    /// lr.
+    pub lr: f32,
+    /// weight decay.
+    pub weight_decay: f32,
+    /// dropout.
+    pub dropout: f32,
+    /// Nodes sampled for each adjacency-reconstruction subgraph (§4.4).
+    pub adj_sample: usize,
+    /// Anchors sampled for InfoNCE (`0` = all nodes).
+    pub contrast_sample: usize,
+    /// Subgraph mini-batch size for large graphs (`0` = full graph).
+    pub batch_nodes: usize,
+    /// Ablation toggles (Table 10): `w/o Con.`, `w/o Stru. Rec.`, `w/o Disc.`
+    pub use_contrastive: bool,
+    /// use struct recon.
+    pub use_struct_recon: bool,
+    /// use discrimination.
+    pub use_discrimination: bool,
+}
+
+impl Default for GcmaeConfig {
+    fn default() -> Self {
+        Self {
+            encoder: EncoderChoice::Sage,
+            hidden_dim: 256,
+            layers: 2,
+            proj_dim: 64,
+            p_mask: 0.5,
+            p_drop: 0.2,
+            alpha: 1.0,
+            lambda: 0.5,
+            mu: 0.5,
+            gamma: 2.0,
+            tau: 0.5,
+            epochs: 200,
+            lr: 0.001,
+            weight_decay: 1e-4,
+            dropout: 0.2,
+            adj_sample: 512,
+            contrast_sample: 1024,
+            batch_nodes: 0,
+            use_contrastive: true,
+            use_struct_recon: true,
+            use_discrimination: true,
+        }
+    }
+}
+
+impl GcmaeConfig {
+    /// Activation used between encoder layers (fixed, as in GraphMAE).
+    pub fn act(&self) -> Act {
+        Act::Elu
+    }
+
+    /// Fast preset for tests and Criterion benches.
+    pub fn fast() -> Self {
+        Self {
+            hidden_dim: 32,
+            proj_dim: 16,
+            epochs: 20,
+            adj_sample: 64,
+            contrast_sample: 128,
+            ..Self::default()
+        }
+    }
+
+    /// Table 10 variant: remove the contrastive branch.
+    pub fn without_contrastive(mut self) -> Self {
+        self.use_contrastive = false;
+        self
+    }
+
+    /// Table 10 variant: remove adjacency-matrix reconstruction.
+    pub fn without_struct_recon(mut self) -> Self {
+        self.use_struct_recon = false;
+        self
+    }
+
+    /// Table 10 variant: remove the discrimination loss.
+    pub fn without_discrimination(mut self) -> Self {
+        self.use_discrimination = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GcmaeConfig::default();
+        assert_eq!(c.layers, 2);
+        assert_eq!(c.gamma, 2.0);
+        assert_eq!(c.lr, 0.001);
+        assert_eq!(c.weight_decay, 1e-4);
+        assert!(c.use_contrastive && c.use_struct_recon && c.use_discrimination);
+    }
+
+    #[test]
+    fn ablation_builders_toggle_flags() {
+        assert!(!GcmaeConfig::default().without_contrastive().use_contrastive);
+        assert!(!GcmaeConfig::default().without_struct_recon().use_struct_recon);
+        assert!(!GcmaeConfig::default().without_discrimination().use_discrimination);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = GcmaeConfig::fast();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("p_mask"));
+    }
+}

@@ -1,0 +1,168 @@
+//! K-means++ clustering, applied to frozen node embeddings for the node
+//! clustering task (§5.1: "we apply K-means on the node embeddings").
+
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KmeansResult {
+    /// assignments.
+    pub assignments: Vec<usize>,
+    /// centroids.
+    pub centroids: Matrix,
+    /// inertia.
+    pub inertia: f64,
+}
+
+/// Runs k-means++ with Lloyd iterations until convergence or `max_iters`.
+pub fn kmeans(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> KmeansResult {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(k >= 1 && k <= n, "k = {k} out of range for {n} points");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b6d_6561_6e73);
+
+    // k-means++ seeding
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut min_d2: Vec<f64> = (0..n).map(|i| dist2(data.row(i), centroids.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut t = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &w) in min_d2.iter().enumerate() {
+                if t < w {
+                    pick = i;
+                    break;
+                }
+                t -= w;
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(next));
+        for i in 0..n {
+            let nd = dist2(data.row(i), centroids.row(c));
+            if nd < min_d2[i] {
+                min_d2[i] = nd;
+            }
+        }
+    }
+
+    // Lloyd
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::MAX;
+    for _ in 0..max_iters {
+        let mut changed = false;
+        let mut new_inertia = 0.0f64;
+        for i in 0..n {
+            let (mut best, mut best_d) = (0usize, f64::MAX);
+            for c in 0..k {
+                let dd = dist2(data.row(i), centroids.row(c));
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+            new_inertia += best_d;
+        }
+        // recompute centroids; empty clusters get re-seeded from the point
+        // farthest from its centroid
+        let mut counts = vec![0usize; k];
+        let mut sums = Matrix::zeros(k, d);
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &v) in sums.row_mut(c).iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        dist2(data.row(a), centroids.row(assignments[a]))
+                            .partial_cmp(&dist2(data.row(b), centroids.row(assignments[b])))
+                            .unwrap()
+                    })
+                    .unwrap();
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                for (o, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *o = s * inv;
+                }
+            }
+        }
+        inertia = new_inertia;
+        if !changed {
+            break;
+        }
+    }
+    KmeansResult { assignments, centroids, inertia }
+}
+
+#[inline]
+fn dist2(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::clustering::nmi;
+
+    fn blobs(per: usize, centers: &[(f32, f32)], spread: f32, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = per * centers.len();
+        let mut data = Matrix::zeros(n, 2);
+        let mut labels = vec![0usize; n];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..per {
+                let r = c * per + i;
+                data[(r, 0)] = cx + rng.gen_range(-spread..spread);
+                data[(r, 1)] = cy + rng.gen_range(-spread..spread);
+                labels[r] = c;
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn separable_blobs_recovered() {
+        let (data, truth) = blobs(50, &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 0.5, 1);
+        let res = kmeans(&data, 3, 50, 1);
+        assert!(nmi(&res.assignments, &truth) > 0.99);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (data, _) = blobs(30, &[(0.0, 0.0), (5.0, 5.0)], 1.0, 2);
+        let a = kmeans(&data, 2, 50, 7);
+        let b = kmeans(&data, 2, 50, 7);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (data, _) = blobs(40, &[(0.0, 0.0), (8.0, 0.0), (0.0, 8.0), (8.0, 8.0)], 1.0, 3);
+        let i2 = kmeans(&data, 2, 50, 1).inertia;
+        let i4 = kmeans(&data, 4, 50, 1).inertia;
+        assert!(i4 < i2);
+    }
+
+    #[test]
+    fn k_equals_one_assigns_everything_together() {
+        let (data, _) = blobs(10, &[(0.0, 0.0), (5.0, 5.0)], 0.5, 4);
+        let res = kmeans(&data, 1, 10, 1);
+        assert!(res.assignments.iter().all(|&a| a == 0));
+    }
+}

@@ -1,0 +1,25 @@
+// Indexed loops over parallel arrays are idiomatic in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+//! # gcmae-eval
+//!
+//! Downstream evaluation of frozen self-supervised embeddings: a
+//! logistic-regression linear probe, a linear one-vs-rest SVM with k-fold
+//! cross-validation (the LIBSVM substitute), k-means++ clustering, link
+//! scorers, PCA, and the metrics the paper reports (ACC, macro-F1, NMI,
+//! ARI, AUC, AP).
+
+pub mod kmeans;
+pub mod link;
+pub mod metrics;
+pub mod pca;
+pub mod probe;
+pub mod svm;
+pub mod tsne;
+
+pub use kmeans::{kmeans, KmeansResult};
+pub use link::{dot_product_eval, finetuned_eval};
+pub use pca::pca;
+pub use probe::{linear_probe, ProbeConfig, ProbeResult};
+pub use tsne::{tsne, TsneConfig};
+pub use svm::{cross_validate, LinearSvm, SvmConfig};

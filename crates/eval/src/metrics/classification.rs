@@ -1,0 +1,83 @@
+//! Classification metrics: accuracy and F1.
+
+/// Fraction of positions where `pred == truth`.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty predictions");
+    let hit = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    hit as f64 / pred.len() as f64
+}
+
+/// Macro-averaged F1 over `num_classes` classes (classes absent from both
+/// `pred` and `truth` are skipped).
+pub fn macro_f1(pred: &[usize], truth: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fnn = vec![0usize; num_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        if p == t {
+            tp[p] += 1;
+        } else {
+            fp[p] += 1;
+            fnn[t] += 1;
+        }
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for c in 0..num_classes {
+        if tp[c] + fp[c] + fnn[c] == 0 {
+            continue;
+        }
+        let f1 = 2.0 * tp[c] as f64 / (2.0 * tp[c] as f64 + fp[c] as f64 + fnn[c] as f64);
+        total += f1;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Micro-averaged F1 (equals accuracy for single-label classification).
+pub fn micro_f1(pred: &[usize], truth: &[usize]) -> f64 {
+    accuracy(pred, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[0, 1, 2]), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_worst() {
+        assert_eq!(macro_f1(&[0, 1, 0, 1], &[0, 1, 0, 1], 2), 1.0);
+        assert_eq!(macro_f1(&[1, 0, 1, 0], &[0, 1, 0, 1], 2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_minority_errors_more_than_accuracy() {
+        // 9 of class 0 right, 1 of class 1 wrong
+        let truth: Vec<usize> = [vec![0; 9], vec![1; 1]].concat();
+        let pred = vec![0; 10];
+        let acc = accuracy(&pred, &truth);
+        let f1 = macro_f1(&pred, &truth, 2);
+        assert!(f1 < acc, "macro F1 {f1} should be below accuracy {acc}");
+    }
+
+    #[test]
+    fn micro_equals_accuracy() {
+        let p = [0, 1, 1, 2];
+        let t = [0, 1, 2, 2];
+        assert_eq!(micro_f1(&p, &t), accuracy(&p, &t));
+    }
+}

@@ -1,0 +1,111 @@
+//! Clustering metrics: Normalized Mutual Information (NMI) and Adjusted
+//! Rand Index (ARI), the two measures the paper reports for node clustering.
+
+/// Contingency counts between two labelings.
+fn contingency(a: &[usize], b: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty labeling");
+    let ka = a.iter().max().unwrap() + 1;
+    let kb = b.iter().max().unwrap() + 1;
+    let mut table = vec![vec![0.0f64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1.0;
+    }
+    let rows: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let cols: Vec<f64> = (0..kb).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    (table, rows, cols)
+}
+
+/// NMI with arithmetic-mean normalization: `2·I(a;b)/(H(a)+H(b))`.
+pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
+    let n = a.len() as f64;
+    let (table, rows, cols) = contingency(a, b);
+    let mut mi = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c > 0.0 {
+                mi += (c / n) * ((c * n) / (rows[i] * cols[j])).ln();
+            }
+        }
+    }
+    let entropy = |m: &[f64]| -> f64 {
+        m.iter().filter(|&&x| x > 0.0).map(|&x| -(x / n) * (x / n).ln()).sum()
+    };
+    let (ha, hb) = (entropy(&rows), entropy(&cols));
+    if ha + hb == 0.0 {
+        // both labelings are constant: identical by definition
+        1.0
+    } else {
+        (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Adjusted Rand Index.
+pub fn ari(a: &[usize], b: &[usize]) -> f64 {
+    let n = a.len() as f64;
+    let (table, rows, cols) = contingency(a, b);
+    let comb2 = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_ij: f64 = table.iter().flatten().map(|&c| comb2(c)).sum();
+    let sum_a: f64 = rows.iter().map(|&c| comb2(c)).sum();
+    let sum_b: f64 = cols.iter().map(|&c| comb2(c)).sum();
+    let expected = sum_a * sum_b / comb2(n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // degenerate: e.g. both constant labelings
+        if sum_ij == max_index {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (sum_ij - expected) / (max_index - expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_labelings_are_perfect() {
+        let l = [0, 0, 1, 1, 2, 2];
+        assert!((nmi(&l, &l) - 1.0).abs() < 1e-12);
+        assert!((ari(&l, &l) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_cluster_ids_are_still_perfect() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [2, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((ari(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_labelings_score_near_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Vec<usize> = (0..2000).map(|_| rng.gen_range(0..4)).collect();
+        let b: Vec<usize> = (0..2000).map(|_| rng.gen_range(0..4)).collect();
+        assert!(nmi(&a, &b) < 0.02, "nmi = {}", nmi(&a, &b));
+        assert!(ari(&a, &b).abs() < 0.02, "ari = {}", ari(&a, &b));
+    }
+
+    #[test]
+    fn partial_agreement_is_intermediate() {
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        let half = [0, 0, 0, 1, 1, 1, 1, 0]; // 2 mistakes
+        let n = nmi(&truth, &half);
+        let r = ari(&truth, &half);
+        assert!(n > 0.05 && n < 0.95, "nmi = {n}");
+        assert!(r > 0.0 && r < 1.0, "ari = {r}");
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // sklearn example: ari([0,0,1,2], [0,0,1,1]) = 0.57142857
+        let r = ari(&[0, 0, 1, 2], &[0, 0, 1, 1]);
+        assert!((r - 0.571_428_57).abs() < 1e-6, "ari = {r}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Link-prediction metrics: ROC-AUC and Average Precision.
+
+/// ROC-AUC from scores and binary labels, computed via the Mann–Whitney
+/// rank statistic with average ranks for ties.
+///
+/// # Panics
+/// Panics unless both classes are present.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    assert!(pos > 0 && neg > 0, "AUC needs both classes");
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // average ranks over tie groups (1-based ranks)
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Average precision (area under the precision–recall curve via the step
+/// interpolation used by scikit-learn).
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    assert!(pos > 0, "AP needs at least one positive");
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (k, &i) in idx.iter().enumerate() {
+        if labels[i] {
+            tp += 1;
+            ap += tp as f64 / (k + 1) as f64;
+        }
+    }
+    ap / pos as f64
+}
+
+/// Convenience: scores positive/negative edge lists via `scorer` and
+/// returns `(auc, ap)`.
+pub fn score_edges(
+    pos: &[(usize, usize)],
+    neg: &[(usize, usize)],
+    mut scorer: impl FnMut(usize, usize) -> f32,
+) -> (f64, f64) {
+    let mut scores = Vec::with_capacity(pos.len() + neg.len());
+    let mut labels = Vec::with_capacity(pos.len() + neg.len());
+    for &(u, v) in pos {
+        scores.push(scorer(u, v));
+        labels.push(true);
+    }
+    for &(u, v) in neg {
+        scores.push(scorer(u, v));
+        labels.push(false);
+    }
+    (roc_auc(&scores, &labels), average_precision(&scores, &labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        assert_eq!(average_precision(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_scores_give_zero_auc() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn constant_scores_are_chance_level() {
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+        // AP under total ties depends on the (stable) tie order; it must at
+        // least stay away from both perfect and zero
+        let ap = average_precision(&scores, &labels);
+        assert!(ap > 0.4 && ap < 0.8, "ap = {ap}");
+    }
+
+    #[test]
+    fn auc_known_value_with_ties() {
+        // scores: pos {0.8, 0.5}, neg {0.5, 0.2}
+        // pairs: (0.8 vs 0.5)=1, (0.8 vs 0.2)=1, (0.5 vs 0.5)=0.5, (0.5 vs 0.2)=1 → 3.5/4
+        let scores = [0.8, 0.5, 0.5, 0.2];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_known_value() {
+        // ranking: pos, neg, pos → AP = (1/1 + 2/3)/2 = 0.8333
+        let scores = [0.9, 0.8, 0.7];
+        let labels = [true, false, true];
+        assert!((average_precision(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_edges_plumbs_through() {
+        let pos = [(0, 1), (1, 2)];
+        let neg = [(0, 3), (2, 3)];
+        let (auc, ap) =
+            score_edges(&pos, &neg, |u, v| if matches!((u, v), (0, 1) | (1, 2)) { 1.0 } else { 0.0 });
+        assert_eq!(auc, 1.0);
+        assert_eq!(ap, 1.0);
+    }
+}

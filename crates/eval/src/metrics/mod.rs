@@ -1,0 +1,5 @@
+//! Accuracy measures for the four graph tasks (paper §5.1).
+
+pub mod classification;
+pub mod clustering;
+pub mod link;

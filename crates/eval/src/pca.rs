@@ -1,0 +1,140 @@
+//! Principal component analysis via power iteration with deflation — the
+//! 2-D projection used as the t-SNE substitute for Figure 1 (see DESIGN.md).
+
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Projects `data` (`n × d`) onto its top `k` principal components.
+pub fn pca(data: &Matrix, k: usize, seed: u64) -> Matrix {
+    let (n, d) = data.shape();
+    assert!(k >= 1 && k <= d, "k out of range");
+    // center
+    let mut means = vec![0.0f32; d];
+    for r in 0..n {
+        for (m, &v) in means.iter_mut().zip(data.row(r)) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f32;
+    }
+    let mut centered = data.clone();
+    for r in 0..n {
+        for (v, &m) in centered.row_mut(r).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9ca);
+    let mut components: Vec<Vec<f32>> = vec![];
+    let mut work = centered.clone();
+    for _ in 0..k {
+        // power iteration on Xᵀ X (implicitly)
+        let mut v = Matrix::uniform(d, 1, -1.0, 1.0, &mut rng).into_vec();
+        normalize(&mut v);
+        for _ in 0..60 {
+            // u = X v (n), then v' = Xᵀ u (d)
+            let mut u = vec![0.0f32; n];
+            for r in 0..n {
+                u[r] = dot(work.row(r), &v);
+            }
+            let mut nv = vec![0.0f32; d];
+            for r in 0..n {
+                let ur = u[r];
+                if ur == 0.0 {
+                    continue;
+                }
+                for (o, &x) in nv.iter_mut().zip(work.row(r)) {
+                    *o += ur * x;
+                }
+            }
+            normalize(&mut nv);
+            v = nv;
+        }
+        // deflate: X ← X − (X v) vᵀ
+        for r in 0..n {
+            let proj = dot(work.row(r), &v);
+            for (x, &vv) in work.row_mut(r).iter_mut().zip(&v) {
+                *x -= proj * vv;
+            }
+        }
+        components.push(v);
+    }
+
+    let mut out = Matrix::zeros(n, k);
+    for r in 0..n {
+        for (c, comp) in components.iter().enumerate() {
+            out[(r, c)] = dot(centered.row(r), comp);
+        }
+    }
+    out
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f32]) {
+    let n = dot(v, v).sqrt().max(1e-12);
+    for x in v {
+        *x /= n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // points spread along (1,1,0) with small noise
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200;
+        let mut data = Matrix::zeros(n, 3);
+        for r in 0..n {
+            let t: f32 = rng.gen_range(-5.0..5.0);
+            data[(r, 0)] = t + rng.gen_range(-0.1..0.1);
+            data[(r, 1)] = t + rng.gen_range(-0.1..0.1);
+            data[(r, 2)] = rng.gen_range(-0.1..0.1);
+        }
+        let p = pca(&data, 2, 1);
+        // variance of the first component ≈ variance of sqrt(2)·t ≫ second
+        let var = |c: usize| -> f32 {
+            let m: f32 = (0..n).map(|r| p[(r, c)]).sum::<f32>() / n as f32;
+            (0..n).map(|r| (p[(r, c)] - m).powi(2)).sum::<f32>() / n as f32
+        };
+        assert!(var(0) > 10.0 * var(1), "v0={} v1={}", var(0), var(1));
+    }
+
+    #[test]
+    fn components_are_centered() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Matrix::uniform(50, 4, 5.0, 6.0, &mut rng);
+        let p = pca(&data, 2, 2);
+        for c in 0..2 {
+            let m: f32 = (0..50).map(|r| p[(r, c)]).sum::<f32>() / 50.0;
+            assert!(m.abs() < 1e-3, "component {c} mean {m}");
+        }
+    }
+
+    #[test]
+    fn separable_clusters_stay_separable_in_2d() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100;
+        let mut data = Matrix::zeros(n, 8);
+        for r in 0..n {
+            let c = r % 2;
+            for j in 0..8 {
+                data[(r, j)] = if c == 0 { -2.0 } else { 2.0 } + rng.gen_range(-0.5..0.5);
+            }
+        }
+        let p = pca(&data, 2, 3);
+        // clusters separate on PC1
+        let m0: f32 = (0..n).step_by(2).map(|r| p[(r, 0)]).sum::<f32>() / 50.0;
+        let m1: f32 = (1..n).step_by(2).map(|r| p[(r, 0)]).sum::<f32>() / 50.0;
+        assert!((m0 - m1).abs() > 2.0, "m0={m0} m1={m1}");
+    }
+}

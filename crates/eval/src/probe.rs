@@ -1,0 +1,150 @@
+//! Linear probes over frozen embeddings.
+//!
+//! A multinomial logistic regression trained with Adam: the standard
+//! protocol for evaluating self-supervised node embeddings (the paper tunes
+//! "a separate model" per downstream task; LIBSVM is replaced by this probe
+//! and by [`crate::svm`], see DESIGN.md).
+
+use gcmae_graph::NodeSplit;
+use gcmae_nn::{Adam, Linear, ParamStore, Session};
+use gcmae_tensor::ops::softmax_ce::predict;
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::classification::{accuracy, macro_f1};
+
+/// Probe hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeConfig {
+    /// epochs.
+    pub epochs: usize,
+    /// lr.
+    pub lr: f32,
+    /// weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        Self { epochs: 150, lr: 0.05, weight_decay: 1e-4 }
+    }
+}
+
+/// Probe result on the test split.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeResult {
+    /// accuracy.
+    pub accuracy: f64,
+    /// macro f1.
+    pub macro_f1: f64,
+}
+
+/// Trains a logistic-regression probe on `embeddings[train]` and evaluates
+/// on `embeddings[test]` (validation is used for early selection of the
+/// best epoch).
+pub fn linear_probe(
+    embeddings: &Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    split: &NodeSplit,
+    cfg: &ProbeConfig,
+    seed: u64,
+) -> ProbeResult {
+    assert_eq!(embeddings.rows(), labels.len(), "embedding/label mismatch");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0092_06be);
+    let mut store = ParamStore::new();
+    let lin = Linear::new(&mut store, embeddings.cols(), num_classes, true, &mut rng);
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+
+    let train_labels: Vec<usize> = split.train.iter().map(|&v| labels[v]).collect();
+    let val_labels: Vec<usize> = split.val.iter().map(|&v| labels[v]).collect();
+    let test_labels: Vec<usize> = split.test.iter().map(|&v| labels[v]).collect();
+
+    let mut best_val = -1.0f64;
+    let mut best_test = ProbeResult { accuracy: 0.0, macro_f1: 0.0 };
+    for _ in 0..cfg.epochs {
+        let mut sess = Session::new();
+        let x = sess.tape.constant(embeddings.clone());
+        let logits = lin.forward(&mut sess, &store, x);
+        let loss = sess.tape.softmax_ce(logits, split.train.clone(), train_labels.clone());
+        let logits_val = sess.tape.value(logits);
+        // evaluate before the update (logits from current weights)
+        let preds = predict(logits_val);
+        let val_acc = if split.val.is_empty() {
+            1.0
+        } else {
+            let vp: Vec<usize> = split.val.iter().map(|&v| preds[v]).collect();
+            accuracy(&vp, &val_labels)
+        };
+        if val_acc > best_val {
+            best_val = val_acc;
+            let tp: Vec<usize> = split.test.iter().map(|&v| preds[v]).collect();
+            best_test = ProbeResult {
+                accuracy: accuracy(&tp, &test_labels),
+                macro_f1: macro_f1(&tp, &test_labels, num_classes),
+            };
+        }
+        let mut grads = sess.tape.backward(loss);
+        adam.step(&mut store, &sess, &mut grads);
+    }
+    best_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Linearly separable two-class embeddings.
+    fn toy(n: usize, seed: u64) -> (Matrix, Vec<usize>, NodeSplit) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = vec![0usize; n];
+        for i in 0..n {
+            let c = i % 2;
+            y[i] = c;
+            let base = if c == 0 { -1.0 } else { 1.0 };
+            for j in 0..3 {
+                x[(i, j)] = base + rng.gen_range(-0.3..0.3);
+            }
+        }
+        let split = NodeSplit {
+            train: (0..n / 2).collect(),
+            val: (n / 2..n * 3 / 4).collect(),
+            test: (n * 3 / 4..n).collect(),
+        };
+        (x, y, split)
+    }
+
+    #[test]
+    fn separable_data_reaches_high_accuracy() {
+        let (x, y, split) = toy(80, 1);
+        let r = linear_probe(&x, &y, 2, &split, &ProbeConfig::default(), 1);
+        assert!(r.accuracy > 0.95, "accuracy {}", r.accuracy);
+        assert!(r.macro_f1 > 0.95);
+    }
+
+    #[test]
+    fn random_embeddings_are_near_chance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200;
+        let x = Matrix::uniform(n, 4, -1.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let split = NodeSplit {
+            train: (0..100).collect(),
+            val: (100..150).collect(),
+            test: (150..200).collect(),
+        };
+        let r = linear_probe(&x, &y, 2, &split, &ProbeConfig::default(), 2);
+        assert!(r.accuracy < 0.8, "random data should not be very separable: {}", r.accuracy);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y, split) = toy(60, 3);
+        let a = linear_probe(&x, &y, 2, &split, &ProbeConfig::default(), 5);
+        let b = linear_probe(&x, &y, 2, &split, &ProbeConfig::default(), 5);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+}

@@ -1,0 +1,181 @@
+//! Linear one-vs-rest SVM with hinge loss, trained by SGD — the LIBSVM
+//! replacement used for graph classification (paper §5.1: SVM + 5-fold
+//! cross-validation on frozen embeddings).
+
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::classification::accuracy;
+
+/// SVM hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SvmConfig {
+    /// epochs.
+    pub epochs: usize,
+    /// lr.
+    pub lr: f32,
+    /// L2 regularization strength.
+    pub reg: f32,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self { epochs: 60, lr: 0.05, reg: 1e-4 }
+    }
+}
+
+/// A trained linear one-vs-rest SVM.
+pub struct LinearSvm {
+    /// `num_classes × (d + 1)` weights (bias in the last column).
+    w: Matrix,
+}
+
+impl LinearSvm {
+    /// Trains on the listed rows of `x`.
+    pub fn fit(
+        x: &Matrix,
+        y: &[usize],
+        rows: &[usize],
+        num_classes: usize,
+        cfg: &SvmConfig,
+        seed: u64,
+    ) -> Self {
+        let d = x.cols();
+        let mut w = Matrix::zeros(num_classes, d + 1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51u64);
+        let mut order = rows.to_vec();
+        for epoch in 0..cfg.epochs {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let lr = cfg.lr / (1.0 + 0.1 * epoch as f32);
+            for &r in &order {
+                let xi = x.row(r);
+                for c in 0..num_classes {
+                    let target = if y[r] == c { 1.0f32 } else { -1.0 };
+                    let wc = w.row(c);
+                    let margin =
+                        target * (dot(&wc[..d], xi) + wc[d]);
+                    let wc = w.row_mut(c);
+                    if margin < 1.0 {
+                        for (wv, &xv) in wc[..d].iter_mut().zip(xi) {
+                            *wv += lr * (target * xv - cfg.reg * *wv);
+                        }
+                        wc[d] += lr * target;
+                    } else {
+                        for wv in wc[..d].iter_mut() {
+                            *wv -= lr * cfg.reg * *wv;
+                        }
+                    }
+                }
+            }
+        }
+        Self { w }
+    }
+
+    /// Predicted class for each listed row.
+    pub fn predict(&self, x: &Matrix, rows: &[usize]) -> Vec<usize> {
+        let d = x.cols();
+        rows.iter()
+            .map(|&r| {
+                let xi = x.row(r);
+                (0..self.w.rows())
+                    .map(|c| {
+                        let wc = self.w.row(c);
+                        dot(&wc[..d], xi) + wc[d]
+                    })
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// 5-fold (or `folds`-fold) cross-validated SVM accuracy: mean and standard
+/// deviation across folds — the paper's graph-classification protocol.
+pub fn cross_validate(
+    x: &Matrix,
+    y: &[usize],
+    num_classes: usize,
+    folds: usize,
+    cfg: &SvmConfig,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(folds >= 2, "need at least two folds");
+    let n = x.rows();
+    assert_eq!(y.len(), n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xcf);
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut accs = vec![];
+    for f in 0..folds {
+        let (lo, hi) = (f * n / folds, (f + 1) * n / folds);
+        let test: Vec<usize> = order[lo..hi].to_vec();
+        let train: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+        if test.is_empty() || train.is_empty() {
+            continue;
+        }
+        let svm = LinearSvm::fit(x, y, &train, num_classes, cfg, seed + f as u64);
+        let pred = svm.predict(x, &test);
+        let truth: Vec<usize> = test.iter().map(|&r| y[r]).collect();
+        accs.push(accuracy(&pred, &truth));
+    }
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let var = accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Matrix::zeros(n, classes);
+        let mut y = vec![0usize; n];
+        for i in 0..n {
+            let c = i % classes;
+            y[i] = c;
+            for j in 0..classes {
+                x[(i, j)] = if j == c { 2.0 } else { 0.0 } + rng.gen_range(-0.4..0.4);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_separable_data() {
+        let (x, y) = separable(90, 3, 1);
+        let rows: Vec<usize> = (0..90).collect();
+        let svm = LinearSvm::fit(&x, &y, &rows, 3, &SvmConfig::default(), 1);
+        let pred = svm.predict(&x, &rows);
+        assert!(accuracy(&pred, &y) > 0.95);
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data() {
+        let (x, y) = separable(100, 2, 2);
+        let (mean, std) = cross_validate(&x, &y, 2, 5, &SvmConfig::default(), 2);
+        assert!(mean > 0.9, "cv accuracy {mean}");
+        assert!(std < 0.2);
+    }
+
+    #[test]
+    fn chance_level_on_random_labels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Matrix::uniform(120, 4, -1.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..120).map(|_| rng.gen_range(0..3)).collect();
+        let (mean, _) = cross_validate(&x, &y, 3, 5, &SvmConfig::default(), 3);
+        assert!(mean < 0.6, "random labels should be near 1/3: {mean}");
+    }
+}

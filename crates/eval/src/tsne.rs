@@ -1,0 +1,228 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for 2-D embedding
+//! visualization — used by the Figure 1 reproduction. The O(n²) exact
+//! formulation is deliberate: the paper visualizes ~2.7k nodes, well within
+//! range, and exactness keeps the implementation testable.
+
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Early-exaggeration factor applied for the first quarter of training.
+    pub exaggeration: f32,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iters: 300, lr: 100.0, exaggeration: 4.0 }
+    }
+}
+
+/// Embeds `data` (`n × d`) into 2-D.
+///
+/// # Panics
+/// Panics if `n < 4`.
+pub fn tsne(data: &Matrix, cfg: &TsneConfig, seed: u64) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 4, "t-SNE needs at least 4 points");
+    let perplexity = cfg.perplexity.min((n as f32 - 1.0) / 3.0).max(2.0);
+
+    // pairwise squared distances in the input space
+    let mut d2 = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let dist: f32 = data
+                .row(i)
+                .iter()
+                .zip(data.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    // per-point bandwidths via binary search on perplexity
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let (mut lo, mut hi) = (1e-10f32, 1e10f32);
+        let mut beta = 1.0f32;
+        for _ in 0..50 {
+            // conditional distribution with precision beta
+            let mut sum = 0.0f64;
+            let mut sum_dp = 0.0f64;
+            for (j, &d) in row.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let e = (-d * beta).exp() as f64;
+                sum += e;
+                sum_dp += d as f64 * e;
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            // H = ln(sum) + beta * E[d]
+            let h = (sum.ln() + beta as f64 * sum_dp / sum) as f32;
+            if (h - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if h > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e10 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f32;
+        for (j, &d) in row.iter().enumerate() {
+            if j != i {
+                let e = (-d * beta).exp();
+                p[i * n + j] = e;
+                sum += e;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // symmetrize: P = (P + Pᵀ) / 2n, floored
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+            p[i * n + j] = v;
+            p[j * n + i] = v;
+        }
+    }
+
+    // gradient descent with momentum on the 2-D map
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x75e);
+    let mut y: Vec<f32> = (0..2 * n).map(|_| rng.gen_range(-1e-2f32..1e-2)).collect();
+    let mut vel = vec![0.0f32; 2 * n];
+    let mut q = vec![0.0f32; n * n];
+    let exag_until = cfg.iters / 4;
+    for it in 0..cfg.iters {
+        let exag = if it < exag_until { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = y[2 * i] - y[2 * j];
+                let dy = y[2 * i + 1] - y[2 * j + 1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w as f64;
+            }
+        }
+        let qsum = qsum.max(1e-12) as f32;
+        // gradient: 4 Σ_j (p_ij·exag − q_ij/qsum)·w_ij·(y_i − y_j)
+        let momentum = if it < exag_until { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let (mut gx, mut gy) = (0.0f32, 0.0f32);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let coeff = (exag * p[i * n + j] - w / qsum) * w;
+                gx += coeff * (y[2 * i] - y[2 * j]);
+                gy += coeff * (y[2 * i + 1] - y[2 * j + 1]);
+            }
+            vel[2 * i] = momentum * vel[2 * i] - cfg.lr * 4.0 * gx;
+            vel[2 * i + 1] = momentum * vel[2 * i + 1] - cfg.lr * 4.0 * gy;
+        }
+        for (yi, vi) in y.iter_mut().zip(&vel) {
+            *yi += vi;
+        }
+        // re-center
+        let (mx, my) = (
+            y.iter().step_by(2).sum::<f32>() / n as f32,
+            y.iter().skip(1).step_by(2).sum::<f32>() / n as f32,
+        );
+        for i in 0..n {
+            y[2 * i] -= mx;
+            y[2 * i + 1] -= my;
+        }
+    }
+    Matrix::from_vec(n, 2, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per: usize, centers: &[(f32, f32, f32)], seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = per * centers.len();
+        let mut x = Matrix::zeros(n, 3);
+        let mut labels = vec![0usize; n];
+        for (c, &(a, b, d)) in centers.iter().enumerate() {
+            for i in 0..per {
+                let r = c * per + i;
+                x[(r, 0)] = a + rng.gen_range(-0.3..0.3);
+                x[(r, 1)] = b + rng.gen_range(-0.3..0.3);
+                x[(r, 2)] = d + rng.gen_range(-0.3..0.3);
+                labels[r] = c;
+            }
+        }
+        (x, labels)
+    }
+
+    #[test]
+    fn separable_clusters_stay_separated() {
+        let (x, labels) = blobs(25, &[(0.0, 0.0, 0.0), (8.0, 0.0, 0.0), (0.0, 8.0, 8.0)], 1);
+        let y = tsne(&x, &TsneConfig { iters: 250, ..Default::default() }, 1);
+        // mean intra-cluster distance must be well below inter-cluster
+        let dist = |a: usize, b: usize| -> f32 {
+            let dx = y[(a, 0)] - y[(b, 0)];
+            let dy = y[(a, 1)] - y[(b, 1)];
+            (dx * dx + dy * dy).sqrt()
+        };
+        let n = y.rows();
+        let (mut intra, mut inter) = ((0.0, 0usize), (0.0, 0usize));
+        for a in 0..n {
+            for b in a + 1..n {
+                if labels[a] == labels[b] {
+                    intra = (intra.0 + dist(a, b), intra.1 + 1);
+                } else {
+                    inter = (inter.0 + dist(a, b), inter.1 + 1);
+                }
+            }
+        }
+        let intra = intra.0 / intra.1 as f32;
+        let inter = inter.0 / inter.1 as f32;
+        assert!(inter > 1.5 * intra, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn output_is_centered_and_finite() {
+        let (x, _) = blobs(10, &[(0.0, 0.0, 0.0), (4.0, 4.0, 4.0)], 2);
+        let y = tsne(&x, &TsneConfig { iters: 100, ..Default::default() }, 2);
+        assert!(y.all_finite());
+        let mx: f32 = (0..y.rows()).map(|r| y[(r, 0)]).sum::<f32>() / y.rows() as f32;
+        assert!(mx.abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, _) = blobs(8, &[(0.0, 0.0, 0.0), (5.0, 0.0, 0.0)], 3);
+        let cfg = TsneConfig { iters: 50, ..Default::default() };
+        let a = tsne(&x, &cfg, 9);
+        let b = tsne(&x, &cfg, 9);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Graph data augmentations used by the MAE and contrastive branches.
+//!
+//! All augmentations are pure: they return new views and never mutate the
+//! input graph or features.
+
+use gcmae_tensor::{Matrix, SharedCsr};
+use rand::Rng;
+
+use crate::csr::Graph;
+
+/// Result of node-feature masking (paper Eq. 9): masked rows are zeroed and
+/// their indices recorded for the reconstruction loss.
+#[derive(Clone, Debug)]
+pub struct MaskedFeatures {
+    /// features.
+    pub features: Matrix,
+    /// masked.
+    pub masked: Vec<usize>,
+}
+
+/// Masks each node's feature row independently with probability `rate`
+/// (Bernoulli node sampling, as in GraphMAE/GCMAE). Guarantees at least one
+/// masked and one visible node.
+pub fn mask_node_features<R: Rng>(x: &Matrix, rate: f32, rng: &mut R) -> MaskedFeatures {
+    assert!((0.0..=1.0).contains(&rate), "mask rate out of range");
+    let n = x.rows();
+    assert!(n >= 2, "need at least two nodes to mask");
+    let mut masked: Vec<usize> = (0..n).filter(|_| rng.gen::<f32>() < rate).collect();
+    if masked.is_empty() {
+        masked.push(rng.gen_range(0..n));
+    }
+    if masked.len() == n {
+        masked.remove(rng.gen_range(0..n));
+    }
+    let mut features = x.clone();
+    for &r in &masked {
+        features.row_mut(r).fill(0.0);
+    }
+    MaskedFeatures { features, masked }
+}
+
+/// Result of node dropping: dropped nodes keep their rows (zeroed) so the
+/// view stays aligned with the original node indexing.
+#[derive(Clone, Debug)]
+pub struct DroppedNodes {
+    /// graph.
+    pub graph: Graph,
+    /// features.
+    pub features: Matrix,
+    /// dropped.
+    pub dropped: Vec<usize>,
+}
+
+/// Drops each node independently with probability `rate`: its feature row is
+/// zeroed and its incident edges removed (the contrastive view `T₂`).
+pub fn drop_nodes<R: Rng>(g: &Graph, x: &Matrix, rate: f32, rng: &mut R) -> DroppedNodes {
+    assert!((0.0..=1.0).contains(&rate), "drop rate out of range");
+    let n = g.num_nodes();
+    let mut flags = vec![false; n];
+    let mut dropped = vec![];
+    for (v, f) in flags.iter_mut().enumerate() {
+        if rng.gen::<f32>() < rate {
+            *f = true;
+            dropped.push(v);
+        }
+    }
+    if dropped.len() == n {
+        let keep = rng.gen_range(0..n);
+        flags[keep] = false;
+        dropped.retain(|&v| v != keep);
+    }
+    let graph = g.isolate_nodes(&flags);
+    let mut features = x.clone();
+    for &r in &dropped {
+        features.row_mut(r).fill(0.0);
+    }
+    DroppedNodes { graph, features, dropped }
+}
+
+/// Removes each undirected edge independently with probability `rate`
+/// (GRACE's topology augmentation).
+pub fn drop_edges<R: Rng>(g: &Graph, rate: f32, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&rate), "drop rate out of range");
+    let kept: Vec<(usize, usize)> =
+        g.undirected_edges().filter(|_| rng.gen::<f32>() >= rate).collect();
+    Graph::from_edges(g.num_nodes(), &kept)
+}
+
+/// Zeroes each feature *dimension* independently with probability `rate`
+/// (GRACE's attribute augmentation).
+pub fn mask_feature_dims<R: Rng>(x: &Matrix, rate: f32, rng: &mut R) -> Matrix {
+    assert!((0.0..=1.0).contains(&rate), "mask rate out of range");
+    let d = x.cols();
+    let keep: Vec<bool> = (0..d).map(|_| rng.gen::<f32>() >= rate).collect();
+    let mut out = x.clone();
+    for r in 0..x.rows() {
+        for (v, &k) in out.row_mut(r).iter_mut().zip(&keep) {
+            if !k {
+                *v = 0.0;
+            }
+        }
+    }
+    out
+}
+
+/// Randomly permutes feature rows (DGI's corruption function).
+pub fn shuffle_rows<R: Rng>(x: &Matrix, rng: &mut R) -> Matrix {
+    let n = x.rows();
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Fisher–Yates
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    x.gather_rows(&perm)
+}
+
+/// Approximate personalized-PageRank diffusion (MVGRL's second view):
+/// truncated power series `Σ_k α(1−α)^k T^k` with `T = D̃^{-1}(A+I)`, keeping
+/// the `topk` largest entries per row and row-normalizing.
+pub fn ppr_diffusion(g: &Graph, alpha: f32, iters: usize, topk: usize) -> SharedCsr {
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in (0,1)");
+    let n = g.num_nodes();
+    let (t, _) = g.mean_norm();
+    // Per-row push: start with e_i, apply T iteratively, accumulate.
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(n * topk);
+    let mut cur = vec![0.0f32; n];
+    let mut next = vec![0.0f32; n];
+    for i in 0..n {
+        cur.fill(0.0);
+        cur[i] = 1.0;
+        let mut acc: Vec<(usize, f32)> = vec![(i, alpha)];
+        let mut weight = alpha;
+        for _ in 0..iters {
+            weight *= 1.0 - alpha;
+            next.fill(0.0);
+            for (u, &cv) in cur.iter().enumerate() {
+                if cv == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = (t.row(u).0, t.row(u).1);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    next[c as usize] += cv * v;
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+            for (u, &cv) in cur.iter().enumerate() {
+                if cv > 1e-6 {
+                    acc.push((u, weight * cv));
+                }
+            }
+        }
+        // merge, keep topk, normalize
+        acc.sort_unstable_by_key(|&(u, _)| u);
+        let mut merged: Vec<(usize, f32)> = vec![];
+        for (u, v) in acc {
+            match merged.last_mut() {
+                Some((lu, lv)) if *lu == u => *lv += v,
+                _ => merged.push((u, v)),
+            }
+        }
+        merged.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        merged.truncate(topk);
+        let total: f32 = merged.iter().map(|&(_, v)| v).sum();
+        for (u, v) in merged {
+            triplets.push((i, u, v / total.max(1e-8)));
+        }
+    }
+    std::sync::Arc::new(gcmae_tensor::CsrMatrix::from_triplets(n, n, &triplets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn feature_masking_zeroes_selected_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Matrix::full(10, 3, 1.0);
+        let m = mask_node_features(&x, 0.5, &mut rng);
+        assert!(!m.masked.is_empty() && m.masked.len() < 10);
+        for &r in &m.masked {
+            assert!(m.features.row(r).iter().all(|&v| v == 0.0));
+        }
+        let visible = (0..10).find(|v| !m.masked.contains(v)).unwrap();
+        assert_eq!(m.features.row(visible), x.row(visible));
+    }
+
+    #[test]
+    fn masking_never_masks_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Matrix::full(4, 2, 1.0);
+        for _ in 0..50 {
+            let m = mask_node_features(&x, 1.0, &mut rng);
+            assert!(m.masked.len() < 4);
+            let m0 = mask_node_features(&x, 0.0, &mut rng);
+            assert_eq!(m0.masked.len(), 1, "at least one node is always masked");
+        }
+    }
+
+    #[test]
+    fn node_dropping_preserves_alignment() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = cycle(8);
+        let x = Matrix::from_fn(8, 2, |r, _| r as f32 + 1.0);
+        let d = drop_nodes(&g, &x, 0.4, &mut rng);
+        assert_eq!(d.graph.num_nodes(), 8);
+        assert_eq!(d.features.rows(), 8);
+        for &v in &d.dropped {
+            assert_eq!(d.graph.degree(v), 0);
+            assert!(d.features.row(v).iter().all(|&f| f == 0.0));
+        }
+    }
+
+    #[test]
+    fn edge_dropping_rate_zero_and_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = cycle(10);
+        assert_eq!(drop_edges(&g, 0.0, &mut rng).num_edges(), 10);
+        assert_eq!(drop_edges(&g, 1.0, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn dim_masking_zeroes_whole_columns() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Matrix::full(6, 10, 1.0);
+        let m = mask_feature_dims(&x, 0.5, &mut rng);
+        for c in 0..10 {
+            let col: Vec<f32> = (0..6).map(|r| m[(r, c)]).collect();
+            assert!(col.iter().all(|&v| v == 0.0) || col.iter().all(|&v| v == 1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Matrix::from_fn(7, 1, |r, _| r as f32);
+        let s = shuffle_rows(&x, &mut rng);
+        let mut vals: Vec<f32> = s.as_slice().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, (0..7).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ppr_rows_are_stochastic_and_local() {
+        let g = cycle(12);
+        let d = ppr_diffusion(&g, 0.2, 8, 6);
+        for r in 0..12 {
+            let (_, vals) = d.row(r);
+            let s: f32 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            assert!(vals.len() <= 6);
+        }
+        // the diffusion should reach beyond the 1-hop neighborhood
+        let (cols, _) = d.row(0);
+        assert!(cols.iter().any(|&c| c != 0 && c != 1 && c != 11));
+    }
+}

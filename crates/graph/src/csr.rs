@@ -1,0 +1,320 @@
+//! Immutable undirected graph stored as a symmetric CSR adjacency.
+
+use std::sync::Arc;
+
+use gcmae_tensor::{CsrMatrix, SharedCsr};
+
+/// An undirected graph: a symmetric, binary CSR adjacency without self loops.
+///
+/// All augmentations and samplers produce new [`Graph`] values; the structure
+/// itself is never mutated after construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    adj: SharedCsr,
+}
+
+impl Graph {
+    /// Builds a graph from a symmetric adjacency.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square, contains self loops, or is not
+    /// symmetric in structure.
+    pub fn from_adjacency(adj: CsrMatrix) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        for (r, c, _) in adj.iter() {
+            assert_ne!(r, c, "self loop at node {r}");
+            assert!(adj.contains(c, r), "edge ({r},{c}) missing its reverse");
+        }
+        Self { adj: Arc::new(adj) }
+    }
+
+    /// Builds a graph from undirected edges `(u, v)`; duplicates and self
+    /// loops are dropped.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut triplets = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            triplets.push((u, v, 1.0));
+            triplets.push((v, u, 1.0));
+        }
+        let mut adj = CsrMatrix::from_triplets(n, n, &triplets);
+        // from_triplets sums duplicates; re-binarize.
+        let values = vec![1.0; adj.nnz()];
+        adj = CsrMatrix::new(
+            n,
+            n,
+            adj.indptr().to_vec(),
+            adj.indices().to_vec(),
+            values,
+        );
+        Self { adj: Arc::new(adj) }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz() / 2
+    }
+
+    /// Number of directed adjacency entries (2 × edges), as papers usually
+    /// report for citation graphs.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj.row_nnz(v)
+    }
+
+    /// Neighbors of node `v` (sorted).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        self.adj.row(v).0
+    }
+
+    /// `true` if `(u, v)` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj.contains(u, v)
+    }
+
+    /// Iterator over directed edge pairs `(u, v)` (each undirected edge
+    /// appears twice).
+    pub fn directed_edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj.iter().map(|(r, c, _)| (r, c))
+    }
+
+    /// Iterator over undirected edges with `u < v`.
+    pub fn undirected_edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.directed_edges().filter(|&(u, v)| u < v)
+    }
+
+    /// The raw binary adjacency (shared).
+    #[inline]
+    pub fn adjacency(&self) -> SharedCsr {
+        self.adj.clone()
+    }
+
+    /// Adjacency with self loops added (values 1), e.g. for GAT attention.
+    pub fn adjacency_with_self_loops(&self) -> SharedCsr {
+        let n = self.num_nodes();
+        let mut triplets: Vec<(usize, usize, f32)> =
+            self.adj.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
+        for i in 0..n {
+            triplets.push((i, i, 1.0));
+        }
+        Arc::new(CsrMatrix::from_triplets(n, n, &triplets))
+    }
+
+    /// Symmetric GCN normalization `D̃^{-1/2}(A+I)D̃^{-1/2}`.
+    ///
+    /// The result is symmetric, so the same handle serves forward and
+    /// backward sparse products.
+    pub fn gcn_norm(&self) -> SharedCsr {
+        let n = self.num_nodes();
+        let mut deg = vec![1.0f32; n]; // self loop
+        for v in 0..n {
+            deg[v] += self.degree(v) as f32;
+        }
+        let inv_sqrt: Vec<f32> = deg.iter().map(|&d| 1.0 / d.sqrt()).collect();
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(self.adj.nnz() + n);
+        for (r, c, _) in self.adj.iter() {
+            triplets.push((r, c, inv_sqrt[r] * inv_sqrt[c]));
+        }
+        for i in 0..n {
+            triplets.push((i, i, inv_sqrt[i] * inv_sqrt[i]));
+        }
+        Arc::new(CsrMatrix::from_triplets(n, n, &triplets))
+    }
+
+    /// Row-stochastic mean normalization `D̃^{-1}(A+I)` and its transpose
+    /// (needed for the backward sparse product).
+    pub fn mean_norm(&self) -> (SharedCsr, SharedCsr) {
+        let n = self.num_nodes();
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(self.adj.nnz() + n);
+        for v in 0..n {
+            let inv = 1.0 / (self.degree(v) + 1) as f32;
+            for &u in self.neighbors(v) {
+                triplets.push((v, u as usize, inv));
+            }
+            triplets.push((v, v, inv));
+        }
+        let fwd = CsrMatrix::from_triplets(n, n, &triplets);
+        let bwd = fwd.transposed();
+        (Arc::new(fwd), Arc::new(bwd))
+    }
+
+    /// Nodes at exactly `k` hops from `start` (BFS ring), used by the
+    /// Figure 4 long-range-similarity experiment.
+    pub fn k_hop_ring(&self, start: usize, k: usize) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut dist = vec![usize::MAX; n];
+        dist[start] = 0;
+        let mut frontier = vec![start];
+        for d in 1..=k {
+            let mut next = vec![];
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    let v = v as usize;
+                    if dist[v] == usize::MAX {
+                        dist[v] = d;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        (0..n).filter(|&v| dist[v] == k).collect()
+    }
+
+    /// Induced subgraph over `nodes`; returns the subgraph (nodes renumbered
+    /// in the order given). `nodes` must not contain duplicates.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> Graph {
+        let n = self.num_nodes();
+        let mut position = vec![usize::MAX; n];
+        for (i, &v) in nodes.iter().enumerate() {
+            assert!(position[v] == usize::MAX, "duplicate node {v}");
+            position[v] = i;
+        }
+        let mut edges = vec![];
+        for (i, &v) in nodes.iter().enumerate() {
+            for &u in self.neighbors(v) {
+                let p = position[u as usize];
+                if p != usize::MAX && p > i {
+                    edges.push((i, p));
+                }
+            }
+        }
+        Graph::from_edges(nodes.len(), &edges)
+    }
+
+    /// Graph with the listed nodes removed (used by the node-dropping
+    /// augmentation); returns the new graph over the *same* node count with
+    /// dropped nodes isolated, preserving row alignment with features.
+    pub fn isolate_nodes(&self, dropped: &[bool]) -> Graph {
+        assert_eq!(dropped.len(), self.num_nodes());
+        let edges: Vec<(usize, usize)> = self
+            .undirected_edges()
+            .filter(|&(u, v)| !dropped[u] && !dropped[v])
+            .collect();
+        Graph::from_edges(self.num_nodes(), &edges)
+    }
+
+    /// Mean node degree.
+    pub fn avg_degree(&self) -> f32 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.adj.nnz() as f32 / self.num_nodes() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path(4);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_directed_edges(), 6);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_dropped() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn gcn_norm_rows_reflect_degrees() {
+        let g = path(3);
+        let norm = g.gcn_norm();
+        // middle node: degree 2 + self loop = 3; end nodes: 2
+        // entry (0,1) = 1/sqrt(2*3)
+        let dense = norm.to_dense();
+        assert!((dense[(0, 1)] - 1.0 / (6.0f32).sqrt()).abs() < 1e-6);
+        assert!((dense[(0, 0)] - 0.5).abs() < 1e-6);
+        // symmetry
+        assert!((dense[(1, 0)] - dense[(0, 1)]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mean_norm_rows_sum_to_one() {
+        let g = path(4);
+        let (fwd, bwd) = g.mean_norm();
+        let dense = fwd.to_dense();
+        for r in 0..4 {
+            let s: f32 = (0..4).map(|c| dense[(r, c)]).sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+        assert_eq!(bwd.to_dense(), dense.transposed());
+    }
+
+    #[test]
+    fn k_hop_ring_on_path() {
+        let g = path(6);
+        assert_eq!(g.k_hop_ring(0, 3), vec![3]);
+        assert_eq!(g.k_hop_ring(2, 2), vec![0, 4]);
+        assert!(g.k_hop_ring(0, 9).is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let s = g.induced_subgraph(&[0, 1, 4]);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_edges(), 2); // (0,1) and (0,4)
+        assert!(s.has_edge(0, 1));
+        assert!(s.has_edge(0, 2)); // node 4 renumbered to 2
+    }
+
+    #[test]
+    fn isolate_nodes_removes_incident_edges() {
+        let g = path(4);
+        let iso = g.isolate_nodes(&[false, true, false, false]);
+        assert_eq!(iso.num_nodes(), 4);
+        assert_eq!(iso.num_edges(), 1); // only (2,3) survives
+        assert_eq!(iso.degree(1), 0);
+    }
+
+    #[test]
+    fn self_loops_added_once() {
+        let g = path(3);
+        let sl = g.adjacency_with_self_loops();
+        assert_eq!(sl.nnz(), g.num_directed_edges() + 3);
+        for i in 0..3 {
+            assert!(sl.contains(i, i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn from_adjacency_rejects_self_loops() {
+        let adj = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        let _ = Graph::from_adjacency(adj);
+    }
+}

@@ -1,0 +1,209 @@
+//! Dataset containers: single attributed graphs (node-level tasks) and
+//! collections of small graphs (graph-level tasks).
+
+use std::sync::Arc;
+
+use gcmae_tensor::Matrix;
+
+use crate::csr::Graph;
+
+/// A single attributed, labeled graph (node classification / clustering /
+/// link prediction).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// name.
+    pub name: String,
+    /// graph.
+    pub graph: Graph,
+    /// `n × d` node features.
+    pub features: Matrix,
+    /// Class label per node.
+    pub labels: Vec<usize>,
+    /// num classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Basic shape invariants; call after constructing a dataset by hand.
+    pub fn validate(&self) {
+        assert_eq!(self.features.rows(), self.graph.num_nodes(), "feature rows != nodes");
+        assert_eq!(self.labels.len(), self.graph.num_nodes(), "labels != nodes");
+        assert!(
+            self.labels.iter().all(|&l| l < self.num_classes),
+            "label out of range"
+        );
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Restricts the dataset to the induced subgraph over `nodes`.
+    pub fn induced(&self, nodes: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            graph: self.graph.induced_subgraph(nodes),
+            features: self.features.gather_rows(nodes),
+            labels: nodes.iter().map(|&v| self.labels[v]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+/// A labeled collection of small graphs (graph classification).
+#[derive(Clone, Debug)]
+pub struct GraphCollection {
+    /// name.
+    pub name: String,
+    /// graphs.
+    pub graphs: Vec<Graph>,
+    /// Per-graph node features, aligned with `graphs`.
+    pub features: Vec<Matrix>,
+    /// Class label per graph.
+    pub labels: Vec<usize>,
+    /// num classes.
+    pub num_classes: usize,
+}
+
+/// Several small graphs merged into one block-diagonal graph so a single
+/// GNN forward pass covers the whole batch. `segments[r]` maps node row `r`
+/// back to its position in the `indices` list passed to
+/// [`GraphCollection::batch`].
+#[derive(Clone, Debug)]
+pub struct BatchedGraphs {
+    /// graph.
+    pub graph: Graph,
+    /// features.
+    pub features: Matrix,
+    /// segments.
+    pub segments: Arc<Vec<u32>>,
+    /// num graphs.
+    pub num_graphs: usize,
+}
+
+impl GraphCollection {
+    /// Number of graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// `true` when the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Feature dimensionality (uniform across the collection).
+    pub fn feature_dim(&self) -> usize {
+        self.features.first().map_or(0, Matrix::cols)
+    }
+
+    /// Mean node count across graphs.
+    pub fn avg_nodes(&self) -> f32 {
+        if self.graphs.is_empty() {
+            return 0.0;
+        }
+        self.graphs.iter().map(Graph::num_nodes).sum::<usize>() as f32 / self.len() as f32
+    }
+
+    /// Shape invariants.
+    pub fn validate(&self) {
+        assert_eq!(self.graphs.len(), self.features.len());
+        assert_eq!(self.graphs.len(), self.labels.len());
+        let d = self.feature_dim();
+        for (g, f) in self.graphs.iter().zip(&self.features) {
+            assert_eq!(g.num_nodes(), f.rows(), "feature rows != nodes");
+            assert_eq!(f.cols(), d, "inconsistent feature dims");
+        }
+        assert!(self.labels.iter().all(|&l| l < self.num_classes));
+    }
+
+    /// Merges the graphs at `indices` into one block-diagonal batch.
+    pub fn batch(&self, indices: &[usize]) -> BatchedGraphs {
+        assert!(!indices.is_empty(), "empty batch");
+        let total_nodes: usize = indices.iter().map(|&i| self.graphs[i].num_nodes()).sum();
+        let d = self.feature_dim();
+        let mut features = Matrix::zeros(total_nodes, d);
+        let mut segments = Vec::with_capacity(total_nodes);
+        let mut edges = vec![];
+        let mut offset = 0usize;
+        for (slot, &gi) in indices.iter().enumerate() {
+            let g = &self.graphs[gi];
+            let f = &self.features[gi];
+            for (u, v) in g.undirected_edges() {
+                edges.push((u + offset, v + offset));
+            }
+            for r in 0..g.num_nodes() {
+                features.row_mut(offset + r).copy_from_slice(f.row(r));
+                segments.push(slot as u32);
+            }
+            offset += g.num_nodes();
+        }
+        BatchedGraphs {
+            graph: Graph::from_edges(total_nodes, &edges),
+            features,
+            segments: Arc::new(segments),
+            num_graphs: indices.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_collection() -> GraphCollection {
+        let g0 = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let g1 = Graph::from_edges(2, &[(0, 1)]);
+        GraphCollection {
+            name: "tiny".into(),
+            graphs: vec![g0, g1],
+            features: vec![Matrix::full(3, 2, 1.0), Matrix::full(2, 2, 2.0)],
+            labels: vec![0, 1],
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn batch_is_block_diagonal() {
+        let c = tiny_collection();
+        c.validate();
+        let b = c.batch(&[0, 1]);
+        assert_eq!(b.graph.num_nodes(), 5);
+        assert_eq!(b.graph.num_edges(), 3);
+        assert!(b.graph.has_edge(3, 4));
+        assert!(!b.graph.has_edge(2, 3), "no cross-graph edge");
+        assert_eq!(b.segments.as_slice(), &[0, 0, 0, 1, 1]);
+        assert_eq!(b.features.row(3), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_respects_index_order() {
+        let c = tiny_collection();
+        let b = c.batch(&[1, 0]);
+        assert_eq!(b.segments.as_slice(), &[0, 0, 1, 1, 1]);
+        assert_eq!(b.features.row(0), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn induced_dataset_realigns_labels() {
+        let d = Dataset {
+            name: "t".into(),
+            graph: Graph::from_edges(4, &[(0, 1), (2, 3)]),
+            features: Matrix::from_fn(4, 1, |r, _| r as f32),
+            labels: vec![0, 1, 0, 1],
+            num_classes: 2,
+        };
+        d.validate();
+        let s = d.induced(&[2, 3]);
+        s.validate();
+        assert_eq!(s.labels, vec![0, 1]);
+        assert_eq!(s.features.row(0), &[2.0]);
+        assert!(s.graph.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,342 @@
+//! Degree-corrected stochastic-block-model citation-network generator with
+//! class-conditional sparse bag-of-words features.
+//!
+//! Presets match the statistics of the four node-level datasets in the
+//! paper's Table 2 (Cora, Citeseer, PubMed, Reddit).
+
+use std::collections::HashSet;
+
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Graph;
+use crate::datasets::Dataset;
+
+/// Parameters of a citation-style graph.
+#[derive(Clone, Debug)]
+pub struct CitationSpec {
+    /// name.
+    pub name: &'static str,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges (papers report the directed count, 2×).
+    pub edges: usize,
+    /// Bag-of-words feature dimensionality.
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Fraction of edges that stay within a class (edge homophily).
+    pub homophily: f32,
+    /// Mean number of word draws per node.
+    pub words_per_node: usize,
+    /// Topic vocabulary size per class.
+    pub topic_words: usize,
+    /// Probability a word draw comes from the node's class topic.
+    pub topic_prob: f32,
+    /// Fraction of each topic window shared with the neighboring class
+    /// (higher overlap → less discriminative features, as in real
+    /// bag-of-words corpora where classes share vocabulary).
+    pub topic_overlap: f32,
+}
+
+impl CitationSpec {
+    /// Scales nodes/edges by `f` (for tests and fast benches); feature and
+    /// class structure are preserved.
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.nodes = ((self.nodes as f64 * f) as usize).max(self.classes * 8);
+        self.edges = ((self.edges as f64 * f) as usize).max(self.nodes);
+        self
+    }
+
+    /// Cora: 2,708 nodes / 10,556 directed edges / 1,433 features / 7 classes.
+    pub fn cora() -> Self {
+        Self {
+            name: "Cora",
+            nodes: 2708,
+            edges: 5278,
+            feature_dim: 1433,
+            classes: 7,
+            homophily: 0.81,
+            words_per_node: 18,
+            topic_words: 200,
+            topic_prob: 0.45,
+            topic_overlap: 0.65,
+        }
+    }
+
+    /// Citeseer: 3,327 nodes / 9,228 directed edges / 3,703 features / 6 classes.
+    pub fn citeseer() -> Self {
+        Self {
+            name: "Citeseer",
+            nodes: 3327,
+            edges: 4614,
+            feature_dim: 3703,
+            classes: 6,
+            homophily: 0.74,
+            words_per_node: 31,
+            topic_words: 520,
+            topic_prob: 0.55,
+            topic_overlap: 0.5,
+        }
+    }
+
+    /// PubMed: 19,717 nodes / 88,651 directed edges / 500 features / 3 classes.
+    pub fn pubmed() -> Self {
+        Self {
+            name: "PubMed",
+            nodes: 19717,
+            edges: 44326,
+            feature_dim: 500,
+            classes: 3,
+            homophily: 0.80,
+            words_per_node: 50,
+            topic_words: 160,
+            topic_prob: 0.55,
+            topic_overlap: 0.55,
+        }
+    }
+
+    /// Reddit: 232,965 nodes / 11,606,919 directed edges / 602 features /
+    /// 41 classes. Run through [`CitationSpec::scaled`] before generating —
+    /// the harness uses `scaled(0.05)` by default (see DESIGN.md).
+    pub fn reddit() -> Self {
+        Self {
+            name: "Reddit",
+            nodes: 232_965,
+            edges: 5_803_459,
+            feature_dim: 602,
+            classes: 41,
+            homophily: 0.78,
+            words_per_node: 60,
+            topic_words: 48,
+            topic_prob: 0.6,
+            topic_overlap: 0.4,
+        }
+    }
+}
+
+/// Generates a dataset from a spec, deterministically from `seed`.
+pub fn generate(spec: &CitationSpec, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c17a_710f);
+    let n = spec.nodes;
+    let k = spec.classes;
+
+    // Class assignment: uniform.
+    let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
+    let mut by_class: Vec<Vec<usize>> = vec![vec![]; k];
+    for (v, &c) in labels.iter().enumerate() {
+        by_class[c].push(v);
+    }
+
+    // Degree propensities: Pareto-ish tail, θ = u^{-1/2} clipped.
+    let theta: Vec<f32> = (0..n)
+        .map(|_| {
+            let u: f32 = rng.gen_range(0.01f32..1.0);
+            u.powf(-0.5).min(12.0)
+        })
+        .collect();
+
+    // Per-class prefix sums for weighted node sampling.
+    let class_cdf: Vec<Vec<f32>> = by_class
+        .iter()
+        .map(|nodes| {
+            let mut acc = 0.0;
+            nodes
+                .iter()
+                .map(|&v| {
+                    acc += theta[v];
+                    acc
+                })
+                .collect()
+        })
+        .collect();
+    let class_weight: Vec<f32> = class_cdf.iter().map(|c| c.last().copied().unwrap_or(0.0)).collect();
+    let total_weight: f32 = class_weight.iter().sum();
+
+    let sample_from_class = |c: usize, rng: &mut StdRng| -> usize {
+        let cdf = &class_cdf[c];
+        let t = rng.gen_range(0.0..*cdf.last().expect("empty class"));
+        let idx = cdf.partition_point(|&x| x < t).min(cdf.len() - 1);
+        by_class[c][idx]
+    };
+    let sample_class = |rng: &mut StdRng| -> usize {
+        let t = rng.gen_range(0.0..total_weight);
+        let mut acc = 0.0;
+        for (c, &w) in class_weight.iter().enumerate() {
+            acc += w;
+            if t < acc {
+                return c;
+            }
+        }
+        k - 1
+    };
+
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(spec.edges);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(spec.edges * 2);
+    let max_attempts = spec.edges.saturating_mul(50).max(1000);
+    let mut attempts = 0usize;
+    while edges.len() < spec.edges && attempts < max_attempts {
+        attempts += 1;
+        let (u, v) = if rng.gen::<f32>() < spec.homophily {
+            let c = sample_class(&mut rng);
+            (sample_from_class(c, &mut rng), sample_from_class(c, &mut rng))
+        } else {
+            let c1 = sample_class(&mut rng);
+            let mut c2 = sample_class(&mut rng);
+            let mut guard = 0;
+            while c2 == c1 && guard < 16 {
+                c2 = sample_class(&mut rng);
+                guard += 1;
+            }
+            (sample_from_class(c1, &mut rng), sample_from_class(c2, &mut rng))
+        };
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        if seen.insert(key) {
+            edges.push((u, v));
+        }
+    }
+    let graph = Graph::from_edges(n, &edges);
+
+    // Topic vocabularies: contiguous windows that overlap between
+    // neighboring classes, mirroring how real bag-of-words topics share
+    // vocabulary; the overlap keeps raw features only weakly separable.
+    let d = spec.feature_dim;
+    let topic_span = spec.topic_words.min(d);
+    let stride = ((topic_span as f32) * (1.0 - spec.topic_overlap)).max(1.0) as usize;
+    let max_start = d.saturating_sub(topic_span);
+    let topics: Vec<usize> = (0..k).map(|c| (c * stride).min(max_start)).collect();
+
+    let mut features = Matrix::zeros(n, d);
+    for v in 0..n {
+        let c = labels[v];
+        let w_draws = (spec.words_per_node as f32
+            * rng.gen_range(0.5f32..1.5))
+        .round()
+        .max(1.0) as usize;
+        for _ in 0..w_draws {
+            let word = if rng.gen::<f32>() < spec.topic_prob {
+                topics[c] + rng.gen_range(0..topic_span)
+            } else {
+                rng.gen_range(0..d)
+            };
+            features[(v, word)] = 1.0;
+        }
+    }
+
+    let ds = Dataset {
+        name: spec.name.to_string(),
+        graph,
+        features,
+        labels,
+        num_classes: k,
+    };
+    ds.validate();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CitationSpec {
+        CitationSpec::cora().scaled(0.1)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small(), 1);
+        let b = generate(&small(), 1);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert!(a.features.max_abs_diff(&b.features) == 0.0);
+        let c = generate(&small(), 2);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    fn edge_count_close_to_spec() {
+        let spec = small();
+        let d = generate(&spec, 3);
+        let e = d.graph.num_edges();
+        assert!(
+            (e as f32 - spec.edges as f32).abs() / (spec.edges as f32) < 0.05,
+            "edges {e} vs spec {}",
+            spec.edges
+        );
+    }
+
+    #[test]
+    fn homophily_is_respected() {
+        let spec = small();
+        let d = generate(&spec, 4);
+        let intra = d
+            .graph
+            .undirected_edges()
+            .filter(|&(u, v)| d.labels[u] == d.labels[v])
+            .count();
+        let frac = intra as f32 / d.graph.num_edges() as f32;
+        assert!(
+            (frac - spec.homophily).abs() < 0.08,
+            "intra-class fraction {frac} vs target {}",
+            spec.homophily
+        );
+    }
+
+    #[test]
+    fn features_are_sparse_and_class_informative() {
+        let spec = small();
+        let d = generate(&spec, 5);
+        // sparsity
+        let nnz = d.features.as_slice().iter().filter(|&&v| v != 0.0).count();
+        let per_node = nnz as f32 / d.num_nodes() as f32;
+        assert!(per_node > 4.0 && per_node < 3.0 * spec.words_per_node as f32);
+        // class centroids should differ more across classes than within
+        let k = d.num_classes;
+        let dim = d.feature_dim();
+        let mut centroids = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for v in 0..d.num_nodes() {
+            let c = d.labels[v];
+            counts[c] += 1;
+            for (acc, &x) in centroids[c].iter_mut().zip(d.features.row(v)) {
+                *acc += x;
+            }
+        }
+        for (c, cent) in centroids.iter_mut().enumerate() {
+            for x in cent.iter_mut() {
+                *x /= counts[c].max(1) as f32;
+            }
+        }
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let d01 = dist(&centroids[0], &centroids[1]);
+        assert!(d01 > 0.01, "centroids must be separable, got {d01}");
+    }
+
+    #[test]
+    fn presets_match_table2() {
+        let c = CitationSpec::cora();
+        assert_eq!((c.nodes, c.edges * 2, c.feature_dim, c.classes), (2708, 10556, 1433, 7));
+        let s = CitationSpec::citeseer();
+        assert_eq!((s.nodes, s.edges * 2, s.feature_dim, s.classes), (3327, 9228, 3703, 6));
+        let p = CitationSpec::pubmed();
+        assert_eq!((p.nodes, p.feature_dim, p.classes), (19717, 500, 3));
+        let r = CitationSpec::reddit();
+        assert_eq!((r.nodes, r.feature_dim, r.classes), (232_965, 602, 41));
+    }
+
+    #[test]
+    fn scaled_keeps_structure() {
+        let s = CitationSpec::pubmed().scaled(0.01);
+        assert!(s.nodes < 300);
+        assert_eq!(s.classes, 3);
+        assert_eq!(s.feature_dim, 500);
+        let d = generate(&s, 6);
+        assert_eq!(d.num_nodes(), s.nodes);
+    }
+}

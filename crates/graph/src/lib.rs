@@ -1,0 +1,31 @@
+// Indexed loops over parallel arrays are idiomatic in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+//! # gcmae-graph
+//!
+//! Graph substrate for the GCMAE reproduction: immutable CSR graphs,
+//! synthetic dataset generators matched to the paper's Tables 2–3,
+//! augmentations (feature masking, node/edge dropping, shuffling, PPR
+//! diffusion), subgraph sampling, and node/edge splits.
+//!
+//! ## Example
+//!
+//! ```
+//! use gcmae_graph::generators::citation::{generate, CitationSpec};
+//!
+//! let ds = generate(&CitationSpec::cora().scaled(0.05), 42);
+//! assert_eq!(ds.num_classes, 7);
+//! assert!(ds.graph.num_edges() > 0);
+//! ```
+
+pub mod augment;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod sampling;
+pub mod splits;
+pub mod stats;
+
+pub use csr::Graph;
+pub use datasets::{BatchedGraphs, Dataset, GraphCollection};
+pub use splits::{LinkSplit, NodeSplit};

@@ -1,0 +1,180 @@
+//! Subgraph sampling for mini-batch training on large graphs (paper §4.4:
+//! "we sample multiple sub-graphs from the original graph for
+//! reconstruction").
+
+use rand::Rng;
+
+use crate::csr::Graph;
+use crate::datasets::Dataset;
+
+/// Samples `k` distinct node ids uniformly (partial Fisher–Yates).
+pub fn sample_nodes<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let k = k.min(n);
+    let mut ids: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids
+}
+
+/// Collects the distinct nodes touched by `walks` random walks of length
+/// `len` from random start nodes, capped at `max_nodes`.
+pub fn random_walk_nodes<R: Rng>(
+    g: &Graph,
+    walks: usize,
+    len: usize,
+    max_nodes: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut out = vec![];
+    'outer: for _ in 0..walks {
+        let mut cur = rng.gen_range(0..n);
+        for _ in 0..=len {
+            if !seen[cur] {
+                seen[cur] = true;
+                out.push(cur);
+                if out.len() >= max_nodes {
+                    break 'outer;
+                }
+            }
+            let nbrs = g.neighbors(cur);
+            if nbrs.is_empty() {
+                break;
+            }
+            cur = nbrs[rng.gen_range(0..nbrs.len())] as usize;
+        }
+    }
+    out
+}
+
+/// Samples `count` distinct non-edges (negative samples) of `g`.
+pub fn sample_non_edges<R: Rng>(g: &Graph, count: usize, rng: &mut R) -> Vec<(usize, usize)> {
+    let n = g.num_nodes();
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    let mut guard = 0usize;
+    while out.len() < count && guard < count.saturating_mul(200).max(1000) {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || g.has_edge(u, v) {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// A sampled subgraph batch: the induced dataset plus the original node ids.
+#[derive(Clone, Debug)]
+pub struct SubgraphBatch {
+    /// nodes.
+    pub nodes: Vec<usize>,
+    /// data.
+    pub data: Dataset,
+}
+
+/// Uniform induced-subgraph batch of (at most) `size` nodes.
+pub fn uniform_subgraph<R: Rng>(ds: &Dataset, size: usize, rng: &mut R) -> SubgraphBatch {
+    let nodes = sample_nodes(ds.num_nodes(), size, rng);
+    SubgraphBatch { data: ds.induced(&nodes), nodes }
+}
+
+/// Random-walk induced-subgraph batch of (at most) `size` nodes — preserves
+/// more edges than uniform sampling on sparse graphs.
+pub fn walk_subgraph<R: Rng>(ds: &Dataset, size: usize, rng: &mut R) -> SubgraphBatch {
+    let walks = (size / 8).max(1);
+    let mut nodes = random_walk_nodes(&ds.graph, walks, 16, size, rng);
+    if nodes.len() < size.min(ds.num_nodes()) {
+        // top up with uniform nodes
+        let mut in_set = vec![false; ds.num_nodes()];
+        for &v in &nodes {
+            in_set[v] = true;
+        }
+        for v in sample_nodes(ds.num_nodes(), ds.num_nodes(), rng) {
+            if nodes.len() >= size {
+                break;
+            }
+            if !in_set[v] {
+                in_set[v] = true;
+                nodes.push(v);
+            }
+        }
+    }
+    SubgraphBatch { data: ds.induced(&nodes), nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Dataset {
+            name: "toy".into(),
+            graph: Graph::from_edges(n, &edges),
+            features: Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32),
+            labels: (0..n).map(|v| v % 2).collect(),
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn sample_nodes_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_nodes(20, 8, &mut rng);
+        assert_eq!(s.len(), 8);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "duplicates in sample");
+        assert_eq!(sample_nodes(5, 50, &mut rng).len(), 5);
+    }
+
+    #[test]
+    fn uniform_subgraph_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = toy_dataset(30);
+        let b = uniform_subgraph(&ds, 10, &mut rng);
+        assert_eq!(b.nodes.len(), 10);
+        assert_eq!(b.data.num_nodes(), 10);
+        for (i, &v) in b.nodes.iter().enumerate() {
+            assert_eq!(b.data.labels[i], ds.labels[v]);
+            assert_eq!(b.data.features.row(i), ds.features.row(v));
+        }
+    }
+
+    #[test]
+    fn walk_subgraph_keeps_more_edges_than_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = toy_dataset(400);
+        let mut walk_edges = 0usize;
+        let mut unif_edges = 0usize;
+        for _ in 0..10 {
+            walk_edges += walk_subgraph(&ds, 50, &mut rng).data.graph.num_edges();
+            unif_edges += uniform_subgraph(&ds, 50, &mut rng).data.graph.num_edges();
+        }
+        assert!(
+            walk_edges > unif_edges,
+            "walk {walk_edges} should beat uniform {unif_edges} on a path graph"
+        );
+    }
+
+    #[test]
+    fn walk_subgraph_tops_up_to_requested_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = toy_dataset(100);
+        let b = walk_subgraph(&ds, 60, &mut rng);
+        assert_eq!(b.nodes.len(), 60);
+    }
+}

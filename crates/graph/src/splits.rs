@@ -1,0 +1,206 @@
+//! Train/validation/test splits for nodes (classification) and edges (link
+//! prediction).
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::csr::Graph;
+
+/// Node split for classification probes.
+#[derive(Clone, Debug)]
+pub struct NodeSplit {
+    /// train.
+    pub train: Vec<usize>,
+    /// val.
+    pub val: Vec<usize>,
+    /// test.
+    pub test: Vec<usize>,
+}
+
+/// Planetoid-style split: `per_class_train` training nodes per class,
+/// `num_val` validation nodes, remainder test.
+pub fn planetoid_split<R: Rng>(
+    labels: &[usize],
+    num_classes: usize,
+    per_class_train: usize,
+    num_val: usize,
+    rng: &mut R,
+) -> NodeSplit {
+    let n = labels.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut taken = vec![false; n];
+    let mut per_class = vec![0usize; num_classes];
+    let mut train = vec![];
+    for &v in &order {
+        let c = labels[v];
+        if per_class[c] < per_class_train {
+            per_class[c] += 1;
+            taken[v] = true;
+            train.push(v);
+        }
+    }
+    let mut val = vec![];
+    let mut test = vec![];
+    for &v in &order {
+        if taken[v] {
+            continue;
+        }
+        if val.len() < num_val {
+            val.push(v);
+        } else {
+            test.push(v);
+        }
+    }
+    NodeSplit { train, val, test }
+}
+
+/// Fraction-based split (`train_frac`/`val_frac`, rest test).
+pub fn fraction_split<R: Rng>(
+    n: usize,
+    train_frac: f32,
+    val_frac: f32,
+    rng: &mut R,
+) -> NodeSplit {
+    assert!(train_frac + val_frac < 1.0, "fractions must leave room for test");
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let tr = ((n as f32 * train_frac) as usize).max(1);
+    let va = ((n as f32 * val_frac) as usize).max(1);
+    NodeSplit {
+        train: order[..tr].to_vec(),
+        val: order[tr..tr + va].to_vec(),
+        test: order[tr + va..].to_vec(),
+    }
+}
+
+/// Edge split for link prediction: held-out positive edges are removed from
+/// the training graph; negatives are sampled non-edges.
+#[derive(Clone, Debug)]
+pub struct LinkSplit {
+    /// Graph with val/test positives removed.
+    pub train_graph: Graph,
+    /// val pos.
+    pub val_pos: Vec<(usize, usize)>,
+    /// val neg.
+    pub val_neg: Vec<(usize, usize)>,
+    /// test pos.
+    pub test_pos: Vec<(usize, usize)>,
+    /// test neg.
+    pub test_neg: Vec<(usize, usize)>,
+}
+
+/// Standard 85/5/10-style link split: `val_frac` and `test_frac` of the
+/// undirected edges are held out, with an equal number of sampled non-edges.
+pub fn link_split<R: Rng>(g: &Graph, val_frac: f32, test_frac: f32, rng: &mut R) -> LinkSplit {
+    assert!(val_frac + test_frac < 1.0, "held-out fractions too large");
+    let mut edges: Vec<(usize, usize)> = g.undirected_edges().collect();
+    let m = edges.len();
+    for i in (1..m).rev() {
+        edges.swap(i, rng.gen_range(0..=i));
+    }
+    let n_val = ((m as f32 * val_frac) as usize).max(1);
+    let n_test = ((m as f32 * test_frac) as usize).max(1);
+    let val_pos = edges[..n_val].to_vec();
+    let test_pos = edges[n_val..n_val + n_test].to_vec();
+    let train_edges = &edges[n_val + n_test..];
+    let train_graph = Graph::from_edges(g.num_nodes(), train_edges);
+
+    let sample_negatives = |count: usize, rng: &mut R, used: &mut HashSet<(usize, usize)>| {
+        let n = g.num_nodes();
+        let mut out = Vec::with_capacity(count);
+        let mut guard = 0usize;
+        while out.len() < count && guard < count * 200 {
+            guard += 1;
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v || g.has_edge(u, v) {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if used.insert(key) {
+                out.push(key);
+            }
+        }
+        out
+    };
+    let mut used = HashSet::new();
+    let val_neg = sample_negatives(n_val, rng, &mut used);
+    let test_neg = sample_negatives(n_test, rng, &mut used);
+    LinkSplit { train_graph, val_pos, val_neg, test_pos, test_neg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planetoid_split_balances_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels: Vec<usize> = (0..100).map(|v| v % 4).collect();
+        let s = planetoid_split(&labels, 4, 5, 20, &mut rng);
+        assert_eq!(s.train.len(), 20);
+        for c in 0..4 {
+            assert_eq!(s.train.iter().filter(|&&v| labels[v] == c).count(), 5);
+        }
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 100);
+        // disjoint
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn fraction_split_covers_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = fraction_split(50, 0.1, 0.2, &mut rng);
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 50);
+        assert_eq!(s.train.len(), 5);
+        assert_eq!(s.val.len(), 10);
+    }
+
+    #[test]
+    fn link_split_removes_held_out_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let edges: Vec<(usize, usize)> = (0..40).map(|i| (i, (i + 1) % 41)).collect();
+        let g = Graph::from_edges(41, &edges);
+        let s = link_split(&g, 0.05, 0.10, &mut rng);
+        assert_eq!(
+            s.train_graph.num_edges() + s.val_pos.len() + s.test_pos.len(),
+            g.num_edges()
+        );
+        for &(u, v) in s.test_pos.iter().chain(&s.val_pos) {
+            assert!(!s.train_graph.has_edge(u, v), "held-out edge leaked");
+            assert!(g.has_edge(u, v));
+        }
+        for &(u, v) in s.test_neg.iter().chain(&s.val_neg) {
+            assert!(!g.has_edge(u, v), "negative is a real edge");
+            assert_ne!(u, v);
+        }
+        assert_eq!(s.test_neg.len(), s.test_pos.len());
+    }
+
+    #[test]
+    fn link_split_negatives_are_unique() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let edges: Vec<(usize, usize)> = (0..30).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(31, &edges);
+        let s = link_split(&g, 0.1, 0.1, &mut rng);
+        let mut all = s.val_neg.clone();
+        all.extend(&s.test_neg);
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len);
+    }
+}

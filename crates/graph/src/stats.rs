@@ -1,0 +1,81 @@
+//! Dataset statistics (the paper's Tables 2 and 3).
+
+use std::fmt;
+
+use crate::datasets::{Dataset, GraphCollection};
+
+/// Statistics of a node-level dataset (Table 2 row).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// nodes.
+    pub nodes: usize,
+    /// Directed adjacency entries (papers report 2× the undirected count).
+    pub edges: usize,
+    /// features.
+    pub features: usize,
+    /// classes.
+    pub classes: usize,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a dataset.
+    pub fn of(ds: &Dataset) -> Self {
+        Self {
+            nodes: ds.num_nodes(),
+            edges: ds.graph.num_directed_edges(),
+            features: ds.feature_dim(),
+            classes: ds.num_classes,
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes | {} edges | {} features | {} classes",
+            self.nodes, self.edges, self.features, self.classes
+        )
+    }
+}
+
+/// Statistics of a graph-level collection (Table 3 row).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CollectionStats {
+    /// graphs.
+    pub graphs: usize,
+    /// classes.
+    pub classes: usize,
+    /// avg nodes.
+    pub avg_nodes: f32,
+}
+
+impl CollectionStats {
+    /// Computes the statistics of a collection.
+    pub fn of(c: &GraphCollection) -> Self {
+        Self { graphs: c.len(), classes: c.num_classes, avg_nodes: c.avg_nodes() }
+    }
+}
+
+impl fmt::Display for CollectionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} graphs | {} classes | {:.1} avg nodes", self.graphs, self.classes, self.avg_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::citation::{generate, CitationSpec};
+
+    #[test]
+    fn stats_reflect_generated_dataset() {
+        let spec = CitationSpec::cora().scaled(0.05);
+        let ds = generate(&spec, 1);
+        let s = DatasetStats::of(&ds);
+        assert_eq!(s.nodes, spec.nodes);
+        assert_eq!(s.features, 1433);
+        assert_eq!(s.classes, 7);
+        assert!(s.to_string().contains("nodes"));
+    }
+}

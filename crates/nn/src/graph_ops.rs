@@ -1,0 +1,59 @@
+//! Precomputed sparse operators for one graph view.
+//!
+//! Every augmented view used in a training step gets its own [`GraphOps`],
+//! computed once per step and shared (via `Arc`) into the tape ops that
+//! need them.
+
+use gcmae_graph::Graph;
+use gcmae_tensor::SharedCsr;
+
+/// The sparse operators a GNN encoder may need for one graph view.
+#[derive(Clone)]
+pub struct GraphOps {
+    /// Symmetric GCN normalization `D̃^{-1/2}(A+I)D̃^{-1/2}`.
+    pub gcn: SharedCsr,
+    /// Row-stochastic mean normalization `D̃^{-1}(A+I)` (GraphSAGE).
+    pub mean_fwd: SharedCsr,
+    /// Transpose of `mean_fwd` for the backward pass.
+    pub mean_bwd: SharedCsr,
+    /// Binary adjacency with self loops (GAT attention support).
+    pub loops: SharedCsr,
+    /// Raw binary adjacency without self loops (GIN sum aggregation;
+    /// symmetric, so it is its own transpose).
+    pub adj: SharedCsr,
+    /// Number of nodes.
+    pub num_nodes: usize,
+}
+
+impl GraphOps {
+    /// Computes all operators for a graph.
+    pub fn new(g: &Graph) -> Self {
+        let (mean_fwd, mean_bwd) = g.mean_norm();
+        Self {
+            gcn: g.gcn_norm(),
+            mean_fwd,
+            mean_bwd,
+            loops: g.adjacency_with_self_loops(),
+            adj: g.adjacency(),
+            num_nodes: g.num_nodes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_share_node_count() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let ops = GraphOps::new(&g);
+        assert_eq!(ops.num_nodes, 5);
+        for m in [&ops.gcn, &ops.mean_fwd, &ops.loops, &ops.adj] {
+            assert_eq!(m.rows(), 5);
+            assert_eq!(m.cols(), 5);
+        }
+        assert_eq!(ops.adj.nnz(), 8);
+        assert_eq!(ops.loops.nnz(), 13);
+    }
+}

@@ -1,0 +1,196 @@
+//! Dense layers: linear, MLP, activations, dropout.
+
+use std::sync::Arc;
+
+use gcmae_tensor::{init, TensorId};
+use rand::Rng;
+
+use crate::param::{ParamStore, Session};
+
+/// Activation functions used across the models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Act {
+    /// None.
+    None,
+    /// Relu.
+    Relu,
+    /// Elu.
+    Elu,
+    /// Tanh.
+    Tanh,
+    /// PReLU-style leaky with fixed slope (GraphMAE default family).
+    Leaky,
+}
+
+impl Act {
+    /// Applies the activation on the tape.
+    pub fn apply(self, sess: &mut Session, x: TensorId) -> TensorId {
+        match self {
+            Act::None => x,
+            Act::Relu => sess.tape.relu(x),
+            Act::Elu => sess.tape.elu(x, 1.0),
+            Act::Tanh => sess.tape.tanh(x),
+            Act::Leaky => sess.tape.leaky_relu(x, 0.2),
+        }
+    }
+}
+
+/// Inverted dropout; identity when `training` is false or `p == 0`.
+pub fn dropout<R: Rng>(
+    sess: &mut Session,
+    x: TensorId,
+    p: f32,
+    training: bool,
+    rng: &mut R,
+) -> TensorId {
+    if !training || p <= 0.0 {
+        return x;
+    }
+    assert!(p < 1.0, "dropout rate must be < 1");
+    let len = sess.tape.value(x).len();
+    let keep = 1.0 - p;
+    let inv = 1.0 / keep;
+    let mask: Vec<f32> =
+        (0..len).map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 }).collect();
+    sess.tape.dropout(x, Arc::new(mask))
+}
+
+/// Fully-connected layer `x·W (+ b)`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: crate::param::ParamId,
+    b: Option<crate::param::ParamId>,
+    /// in dim.
+    pub in_dim: usize,
+    /// out dim.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Glorot-initialized linear layer.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.create(init::glorot_uniform(in_dim, out_dim, rng));
+        let b = bias.then(|| store.create(init::zeros(1, out_dim)));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, sess: &mut Session, store: &ParamStore, x: TensorId) -> TensorId {
+        let w = sess.param(store, self.w);
+        let mut out = sess.tape.matmul(x, w);
+        if let Some(b) = self.b {
+            let b = sess.param(store, b);
+            out = sess.tape.add_bias(out, b);
+        }
+        out
+    }
+}
+
+/// Multi-layer perceptron with a shared activation between layers.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    act: Act,
+}
+
+impl Mlp {
+    /// Builds an MLP over the given layer widths (`dims.len() >= 2`).
+    pub fn new<R: Rng>(store: &mut ParamStore, dims: &[usize], act: Act, rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(store, w[0], w[1], true, rng))
+            .collect();
+        Self { layers, act }
+    }
+
+    /// Applies the MLP (activation between layers, none after the last).
+    pub fn forward(&self, sess: &mut Session, store: &ParamStore, x: TensorId) -> TensorId {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, l) in self.layers.iter().enumerate() {
+            h = l.forward(sess, store, h);
+            if i != last {
+                h = self.act.apply(sess, h);
+            }
+        }
+        h
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, 4, 3, true, &mut rng);
+        let mut sess = Session::new();
+        let x = sess.tape.constant(Matrix::zeros(5, 4));
+        let y = lin.forward(&mut sess, &store, x);
+        assert_eq!(sess.tape.value(y).shape(), (5, 3));
+        // zero input + zero bias → zero output
+        assert_eq!(sess.tape.value(y).sum(), 0.0);
+    }
+
+    #[test]
+    fn mlp_learns_identity_ish_mapping() {
+        // Train a 1-2-1 MLP to fit y = 2x on a few points.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &[1, 8, 1], Act::Tanh, &mut rng);
+        let xs = Matrix::from_vec(4, 1, vec![-1.0, -0.5, 0.5, 1.0]);
+        let ys = Matrix::from_vec(4, 1, vec![-2.0, -1.0, 1.0, 2.0]);
+        let mut adam = crate::optim::Adam::new(0.05, 0.0);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let mut sess = Session::new();
+            let x = sess.tape.constant(xs.clone());
+            let t = sess.tape.constant(ys.clone());
+            let p = mlp.forward(&mut sess, &store, x);
+            let d = sess.tape.sub(p, t);
+            let loss = sess.tape.frob_sq(d);
+            last = sess.tape.value(loss).scalar_value();
+            first.get_or_insert(last);
+            let mut grads = sess.tape.backward(loss);
+            adam.step(&mut store, &sess, &mut grads);
+        }
+        assert!(last < first.unwrap() * 0.05, "loss {} -> {}", first.unwrap(), last);
+    }
+
+    #[test]
+    fn dropout_is_identity_in_eval_mode() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sess = Session::new();
+        let x = sess.tape.constant(Matrix::full(4, 4, 1.0));
+        let y = dropout(&mut sess, x, 0.5, false, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sess = Session::new();
+        let x = sess.tape.constant(Matrix::full(100, 100, 1.0));
+        let y = dropout(&mut sess, x, 0.3, true, &mut rng);
+        let mean = sess.tape.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+}

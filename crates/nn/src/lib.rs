@@ -1,0 +1,44 @@
+// Indexed loops over parallel arrays are idiomatic in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+//! # gcmae-nn
+//!
+//! GNN building blocks on top of the [`gcmae_tensor`] tape: parameter
+//! storage/binding, GCN/GraphSAGE/GAT/GIN layers, MLPs, dropout, and
+//! Adam/SGD optimizers.
+//!
+//! ## Example
+//!
+//! ```
+//! use gcmae_graph::Graph;
+//! use gcmae_nn::{Encoder, EncoderConfig, GraphOps, ParamStore, Session};
+//! use gcmae_tensor::Matrix;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let enc = Encoder::new(&mut store, &EncoderConfig::gcn(3, 8, 4), &mut rng);
+//! let ops = GraphOps::new(&g);
+//! let mut sess = Session::new();
+//! let x = sess.tape.constant(Matrix::zeros(4, 3));
+//! let h = enc.forward(&mut sess, &store, x, &ops, false, &mut rng);
+//! assert_eq!(sess.tape.value(h).shape(), (4, 4));
+//! ```
+
+pub mod encoder;
+pub mod gnn;
+pub mod graph_ops;
+pub mod layers;
+pub mod optim;
+pub mod param;
+pub mod schedule;
+pub mod serialize;
+
+pub use encoder::{Encoder, EncoderConfig, EncoderKind};
+pub use graph_ops::GraphOps;
+pub use layers::{dropout, Act, Linear, Mlp};
+pub use optim::{Adam, Sgd};
+pub use schedule::Schedule;
+pub use param::{ParamId, ParamStore, Session};
+pub use serialize::{load_params, save_params, CheckpointError};

@@ -1,0 +1,153 @@
+//! Parameter storage and per-step tape binding.
+//!
+//! Parameters outlive the per-step [`Tape`]: a [`ParamStore`] owns the values
+//! (plus Adam moments), and a [`Session`] binds them as tape leaves for one
+//! forward/backward pass. Binding the same parameter twice in a session
+//! (e.g. the shared encoder running on two views) returns the same leaf so
+//! the gradients accumulate.
+
+use gcmae_tensor::{Matrix, Tape, TensorId};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// Reconstructs a handle from a creation-order index (checkpointing).
+    pub fn from_index(i: usize) -> Self {
+        Self(i)
+    }
+
+    /// Creation-order index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One trainable parameter with its Adam moment estimates.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// value.
+    pub value: Matrix,
+    pub(crate) m: Matrix,
+    pub(crate) v: Matrix,
+}
+
+/// Owns all parameters of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter initialized to `value`.
+    pub fn create(&mut self, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(Param { value, m: Matrix::zeros(r, c), v: Matrix::zeros(r, c) });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access (used by optimizers and tests).
+    pub fn param_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+}
+
+/// A single training step's tape plus the parameter bindings made on it.
+pub struct Session {
+    /// tape.
+    pub tape: Tape,
+    binds: Vec<(ParamId, TensorId)>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Fresh session with an empty tape.
+    pub fn new() -> Self {
+        Self { tape: Tape::new(), binds: vec![] }
+    }
+
+    /// Binds a parameter as a trainable tape leaf (idempotent per session).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> TensorId {
+        if let Some(&(_, tid)) = self.binds.iter().find(|&&(pid, _)| pid == id) {
+            return tid;
+        }
+        let tid = self.tape.leaf(store.value(id).clone());
+        self.binds.push((id, tid));
+        tid
+    }
+
+    /// All `(parameter, leaf)` bindings made this session.
+    pub fn binds(&self) -> &[(ParamId, TensorId)] {
+        &self.binds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_read() {
+        let mut store = ParamStore::new();
+        let id = store.create(Matrix::full(2, 3, 1.5));
+        assert_eq!(store.value(id).shape(), (2, 3));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    fn binding_is_idempotent() {
+        let mut store = ParamStore::new();
+        let id = store.create(Matrix::scalar(2.0));
+        let mut sess = Session::new();
+        let a = sess.param(&store, id);
+        let b = sess.param(&store, id);
+        assert_eq!(a, b);
+        assert_eq!(sess.binds().len(), 1);
+    }
+
+    #[test]
+    fn rebinding_shares_gradient_accumulation() {
+        // loss = p + p → dp = 2
+        let mut store = ParamStore::new();
+        let id = store.create(Matrix::scalar(3.0));
+        let mut sess = Session::new();
+        let p1 = sess.param(&store, id);
+        let p2 = sess.param(&store, id);
+        let s = sess.tape.add(p1, p2);
+        let loss = sess.tape.sum_all(s);
+        let grads = sess.tape.backward(loss);
+        assert_eq!(grads.get(p1).unwrap().scalar_value(), 2.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Learning-rate schedules: linear warmup followed by cosine decay, the
+//! schedule GraphMAE-family implementations ship with. Optional — the
+//! paper's main results use a constant rate, so trainers default to
+//! [`Schedule::Constant`].
+
+/// A learning-rate schedule over a fixed number of steps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Schedule {
+    /// Constant rate.
+    Constant,
+    /// Linear warmup over `warmup` steps, then cosine decay to
+    /// `floor × base` at `total` steps.
+    WarmupCosine {
+        /// Warmup steps.
+        warmup: usize,
+        /// Total steps (≥ warmup).
+        total: usize,
+        /// Final rate as a fraction of the base rate.
+        floor: f32,
+    },
+}
+
+impl Schedule {
+    /// Multiplier applied to the base learning rate at `step`.
+    pub fn factor(&self, step: usize) -> f32 {
+        match *self {
+            Schedule::Constant => 1.0,
+            Schedule::WarmupCosine { warmup, total, floor } => {
+                if warmup > 0 && step < warmup {
+                    (step + 1) as f32 / warmup as f32
+                } else if step >= total {
+                    floor
+                } else {
+                    let span = (total - warmup).max(1) as f32;
+                    let t = (step - warmup) as f32 / span;
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                    floor + (1.0 - floor) * cos
+                }
+            }
+        }
+    }
+
+    /// Absolute learning rate at `step` for the given base rate.
+    pub fn lr(&self, base: f32, step: usize) -> f32 {
+        base * self.factor(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = Schedule::Constant;
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(1000), 1.0);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = Schedule::WarmupCosine { warmup: 10, total: 100, floor: 0.0 };
+        assert!((s.factor(0) - 0.1).abs() < 1e-6);
+        assert!((s.factor(4) - 0.5).abs() < 1e-6);
+        assert!((s.factor(9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor() {
+        let s = Schedule::WarmupCosine { warmup: 0, total: 100, floor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-5);
+        let mid = s.factor(50);
+        assert!(mid > 0.1 && mid < 1.0);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        assert!((s.factor(500) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn factor_is_monotone_after_warmup() {
+        let s = Schedule::WarmupCosine { warmup: 5, total: 50, floor: 0.0 };
+        let mut prev = f32::MAX;
+        for step in 5..50 {
+            let f = s.factor(step);
+            assert!(f <= prev + 1e-6, "not monotone at {step}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn lr_scales_base() {
+        let s = Schedule::WarmupCosine { warmup: 0, total: 10, floor: 0.5 };
+        assert!((s.lr(0.002, 10) - 0.001).abs() < 1e-9);
+    }
+}

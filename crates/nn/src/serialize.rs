@@ -1,0 +1,173 @@
+//! Checkpointing: serialize parameter values to a compact binary format.
+//!
+//! Models in this workspace are reconstructed deterministically from
+//! `(config, seed)`, so a checkpoint only needs the parameter *values* in
+//! creation order. Adam moments are deliberately not stored — checkpoints
+//! are for inference/embedding reuse, not for resuming optimization.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gcmae_tensor::Matrix;
+
+use crate::param::ParamStore;
+
+const MAGIC: u32 = 0x47434d41; // "GCMA"
+const VERSION: u32 = 1;
+
+/// Serialization errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Bad Magic.
+    BadMagic,
+    /// Bad Version.
+    BadVersion(u32),
+    /// Truncated.
+    Truncated,
+    /// Shape Mismatch.
+    ShapeMismatch {
+        /// Creation-order index of the offending parameter.
+        index: usize,
+    },
+    /// Count Mismatch.
+    CountMismatch {
+        /// Parameters in the model.
+        expected: usize,
+        /// Parameters in the checkpoint.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a GCMAE checkpoint (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Self::Truncated => write!(f, "checkpoint is truncated"),
+            Self::ShapeMismatch { index } => {
+                write!(f, "parameter {index} has a different shape than the model")
+            }
+            Self::CountMismatch { expected, found } => {
+                write!(f, "model has {expected} parameters, checkpoint has {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes all parameter values of a store.
+pub fn save_params(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(store.len() as u64);
+    for i in 0..store.len() {
+        let m = store.value(crate::param::ParamId::from_index(i));
+        buf.put_u32_le(m.rows() as u32);
+        buf.put_u32_le(m.cols() as u32);
+        for &v in m.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores parameter values into a store built with the same architecture
+/// (same creation order and shapes).
+pub fn load_params(store: &mut ParamStore, mut data: Bytes) -> Result<(), CheckpointError> {
+    if data.remaining() < 16 {
+        return Err(CheckpointError::Truncated);
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = data.get_u64_le() as usize;
+    if count != store.len() {
+        return Err(CheckpointError::CountMismatch { expected: store.len(), found: count });
+    }
+    for i in 0..count {
+        if data.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rows = data.get_u32_le() as usize;
+        let cols = data.get_u32_le() as usize;
+        let id = crate::param::ParamId::from_index(i);
+        if store.value(id).shape() != (rows, cols) {
+            return Err(CheckpointError::ShapeMismatch { index: i });
+        }
+        if data.remaining() < rows * cols * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = data.get_f32_le();
+        }
+        store.param_mut(id).value = m;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.create(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        s.create(Matrix::from_vec(1, 3, vec![-1.0, 0.5, 9.0]));
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let store = sample_store();
+        let bytes = save_params(&store);
+        let mut fresh = sample_store();
+        fresh.param_mut(crate::param::ParamId::from_index(0)).value.scale_inplace(0.0);
+        load_params(&mut fresh, bytes).unwrap();
+        for i in 0..store.len() {
+            let id = crate::param::ParamId::from_index(i);
+            assert_eq!(store.value(id).max_abs_diff(fresh.value(id)), 0.0);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut store = sample_store();
+        let err = load_params(&mut store, Bytes::from_static(&[0u8; 32])).unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let store = sample_store();
+        let bytes = save_params(&store);
+        let mut small = ParamStore::new();
+        small.create(Matrix::zeros(2, 2));
+        let err = load_params(&mut small, bytes).unwrap_err();
+        assert_eq!(err, CheckpointError::CountMismatch { expected: 1, found: 2 });
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let store = sample_store();
+        let bytes = save_params(&store);
+        let mut other = ParamStore::new();
+        other.create(Matrix::zeros(2, 2));
+        other.create(Matrix::zeros(3, 1)); // transposed shape
+        let err = load_params(&mut other, bytes).unwrap_err();
+        assert_eq!(err, CheckpointError::ShapeMismatch { index: 1 });
+    }
+
+    #[test]
+    fn truncated_data_is_rejected() {
+        let store = sample_store();
+        let bytes = save_params(&store);
+        let cut = bytes.slice(0..bytes.len() - 4);
+        let mut fresh = sample_store();
+        assert_eq!(load_params(&mut fresh, cut).unwrap_err(), CheckpointError::Truncated);
+    }
+}

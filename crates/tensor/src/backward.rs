@@ -1,0 +1,317 @@
+//! Backward rules for every op — one reverse step per recorded node.
+
+use crate::dense::{matmul, matmul_nt, matmul_tn};
+use crate::matrix::Matrix;
+use crate::node::{Op, TensorId};
+use crate::ops::{adj_recon, gat, infonce, sce, softmax_ce, variance};
+use crate::tape::Tape;
+
+/// Accumulates `delta` into the gradient slot of `id` (skipping nodes that do
+/// not require gradients).
+fn acc(tape: &Tape, grads: &mut [Option<Matrix>], id: TensorId, delta: Matrix) {
+    if !tape.nodes[id.0].requires {
+        return;
+    }
+    match &mut grads[id.0] {
+        Some(g) => g.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Propagates the output gradient `g` of node `i` into its inputs.
+pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+    let node = &tape.nodes[i];
+    match &node.op {
+        Op::Leaf | Op::Constant => {}
+
+        Op::MatMul(a, b) => {
+            // C = A·B ⇒ dA = G·Bᵀ, dB = Aᵀ·G
+            if tape.nodes[a.0].requires {
+                acc(tape, grads, *a, matmul_nt(g, tape.value(*b)));
+            }
+            if tape.nodes[b.0].requires {
+                acc(tape, grads, *b, matmul_tn(tape.value(*a), g));
+            }
+        }
+        Op::MatMulNT(a, b) => {
+            // C = A·Bᵀ ⇒ dA = G·B, dB = Gᵀ·A
+            if tape.nodes[a.0].requires {
+                acc(tape, grads, *a, matmul(g, tape.value(*b)));
+            }
+            if tape.nodes[b.0].requires {
+                acc(tape, grads, *b, matmul_tn(g, tape.value(*a)));
+            }
+        }
+        Op::SpMM { bwd, rhs, .. } => {
+            acc(tape, grads, *rhs, bwd.matmul_dense(g));
+        }
+        Op::Add(a, b) => {
+            acc(tape, grads, *a, g.clone());
+            acc(tape, grads, *b, g.clone());
+        }
+        Op::Sub(a, b) => {
+            acc(tape, grads, *a, g.clone());
+            let mut neg = g.clone();
+            neg.scale_inplace(-1.0);
+            acc(tape, grads, *b, neg);
+        }
+        Op::Hadamard(a, b) => {
+            if tape.nodes[a.0].requires {
+                let mut d = g.clone();
+                for (x, &y) in d.as_mut_slice().iter_mut().zip(tape.value(*b).as_slice()) {
+                    *x *= y;
+                }
+                acc(tape, grads, *a, d);
+            }
+            if tape.nodes[b.0].requires {
+                let mut d = g.clone();
+                for (x, &y) in d.as_mut_slice().iter_mut().zip(tape.value(*a).as_slice()) {
+                    *x *= y;
+                }
+                acc(tape, grads, *b, d);
+            }
+        }
+        Op::Scale(a, c) => {
+            let mut d = g.clone();
+            d.scale_inplace(*c);
+            acc(tape, grads, *a, d);
+        }
+        Op::AddBias { input, bias } => {
+            acc(tape, grads, *input, g.clone());
+            if tape.nodes[bias.0].requires {
+                let mut d = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &gv) in d.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += gv;
+                    }
+                }
+                acc(tape, grads, *bias, d);
+            }
+        }
+        Op::Transpose(a) => {
+            acc(tape, grads, *a, g.transposed());
+        }
+
+        Op::Relu(a) => {
+            let mut d = g.clone();
+            for (x, &v) in d.as_mut_slice().iter_mut().zip(tape.value(*a).as_slice()) {
+                if v <= 0.0 {
+                    *x = 0.0;
+                }
+            }
+            acc(tape, grads, *a, d);
+        }
+        Op::LeakyRelu(a, slope) => {
+            let mut d = g.clone();
+            for (x, &v) in d.as_mut_slice().iter_mut().zip(tape.value(*a).as_slice()) {
+                if v <= 0.0 {
+                    *x *= slope;
+                }
+            }
+            acc(tape, grads, *a, d);
+        }
+        Op::Elu(a, alpha) => {
+            // out = x>0 ? x : α(eˣ−1) ⇒ d = x>0 ? 1 : out+α
+            let mut d = g.clone();
+            let input = tape.value(*a);
+            for ((x, &v), &o) in d
+                .as_mut_slice()
+                .iter_mut()
+                .zip(input.as_slice())
+                .zip(node.value.as_slice())
+            {
+                if v <= 0.0 {
+                    *x *= o + alpha;
+                }
+            }
+            acc(tape, grads, *a, d);
+        }
+        Op::Sigmoid(a) => {
+            let mut d = g.clone();
+            for (x, &o) in d.as_mut_slice().iter_mut().zip(node.value.as_slice()) {
+                *x *= o * (1.0 - o);
+            }
+            acc(tape, grads, *a, d);
+        }
+        Op::Tanh(a) => {
+            let mut d = g.clone();
+            for (x, &o) in d.as_mut_slice().iter_mut().zip(node.value.as_slice()) {
+                *x *= 1.0 - o * o;
+            }
+            acc(tape, grads, *a, d);
+        }
+        Op::Exp(a) => {
+            let mut d = g.clone();
+            for (x, &o) in d.as_mut_slice().iter_mut().zip(node.value.as_slice()) {
+                *x *= o;
+            }
+            acc(tape, grads, *a, d);
+        }
+
+        Op::RowNormalize { input, norms } => {
+            // y = x/‖x‖ ⇒ dx = (g − (g·y)y)/‖x‖
+            let y = &node.value;
+            let mut d = Matrix::zeros(g.rows(), g.cols());
+            for r in 0..g.rows() {
+                let gr = g.row(r);
+                let yr = y.row(r);
+                let gy: f32 = gr.iter().zip(yr).map(|(a, b)| a * b).sum();
+                let inv = 1.0 / norms[r];
+                for ((o, &gv), &yv) in d.row_mut(r).iter_mut().zip(gr).zip(yr) {
+                    *o = (gv - gy * yv) * inv;
+                }
+            }
+            acc(tape, grads, *input, d);
+        }
+        Op::StandardizeCols { input, stds } => {
+            // Per column: x̂ = (x−μ)/σ ⇒ dx = (1/σ)(dŷ − mean(dŷ) − x̂·mean(dŷ·x̂))
+            let y = &node.value;
+            let (n, dcols) = y.shape();
+            let mut mean_g = vec![0.0f32; dcols];
+            let mut mean_gy = vec![0.0f32; dcols];
+            for r in 0..n {
+                for ((mg, &gv), (mgy, &yv)) in mean_g
+                    .iter_mut()
+                    .zip(g.row(r))
+                    .zip(mean_gy.iter_mut().zip(y.row(r)))
+                {
+                    *mg += gv;
+                    *mgy += gv * yv;
+                }
+            }
+            for v in &mut mean_g {
+                *v /= n as f32;
+            }
+            for v in &mut mean_gy {
+                *v /= n as f32;
+            }
+            let mut d = Matrix::zeros(n, dcols);
+            for r in 0..n {
+                for c in 0..dcols {
+                    d[(r, c)] =
+                        (g[(r, c)] - mean_g[c] - y[(r, c)] * mean_gy[c]) / stds[c];
+                }
+            }
+            acc(tape, grads, *input, d);
+        }
+        Op::Dropout { input, mask } => {
+            let mut d = g.clone();
+            for (x, &m) in d.as_mut_slice().iter_mut().zip(mask.iter()) {
+                *x *= m;
+            }
+            acc(tape, grads, *input, d);
+        }
+        Op::MaskRows { input, rows } => {
+            let mut d = g.clone();
+            for &r in rows {
+                d.row_mut(r).fill(0.0);
+            }
+            acc(tape, grads, *input, d);
+        }
+        Op::GatherRows { input, rows, in_rows } => {
+            let mut d = Matrix::zeros(*in_rows, g.cols());
+            for (i, &r) in rows.iter().enumerate() {
+                for (o, &gv) in d.row_mut(r).iter_mut().zip(g.row(i)) {
+                    *o += gv;
+                }
+            }
+            acc(tape, grads, *input, d);
+        }
+        Op::ConcatCols(parts) => {
+            let mut off = 0;
+            for &p in parts {
+                let w = tape.value(p).cols();
+                if tape.nodes[p.0].requires {
+                    let mut d = Matrix::zeros(g.rows(), w);
+                    for r in 0..g.rows() {
+                        d.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                    }
+                    acc(tape, grads, p, d);
+                }
+                off += w;
+            }
+        }
+
+        Op::MeanRows(a) => {
+            let n = tape.value(*a).rows();
+            let mut d = Matrix::zeros(n, g.cols());
+            let inv = 1.0 / n as f32;
+            for r in 0..n {
+                for (o, &gv) in d.row_mut(r).iter_mut().zip(g.row(0)) {
+                    *o = gv * inv;
+                }
+            }
+            acc(tape, grads, *a, d);
+        }
+        Op::SegmentMean { input, segments, counts } => {
+            let x = tape.value(*input);
+            let mut d = Matrix::zeros(x.rows(), x.cols());
+            for (r, &s) in segments.iter().enumerate() {
+                let s = s as usize;
+                let inv = 1.0 / counts[s].max(1.0);
+                for (o, &gv) in d.row_mut(r).iter_mut().zip(g.row(s)) {
+                    *o = gv * inv;
+                }
+            }
+            acc(tape, grads, *input, d);
+        }
+        Op::SumAll(a) => {
+            let x = tape.value(*a);
+            acc(tape, grads, *a, Matrix::full(x.rows(), x.cols(), g.scalar_value()));
+        }
+        Op::MeanAll(a) => {
+            let x = tape.value(*a);
+            let v = g.scalar_value() / x.len() as f32;
+            acc(tape, grads, *a, Matrix::full(x.rows(), x.cols(), v));
+        }
+        Op::FrobSq(a) => {
+            let mut d = tape.value(*a).clone();
+            d.scale_inplace(2.0 * g.scalar_value());
+            acc(tape, grads, *a, d);
+        }
+
+        Op::SoftmaxCe { logits, saved } => {
+            let d = softmax_ce::backward(saved, tape.value(*logits).shape(), g.scalar_value());
+            acc(tape, grads, *logits, d);
+        }
+        Op::BceWithLogits { logits, targets } => {
+            let l = tape.value(*logits);
+            let scale = g.scalar_value() / l.len() as f32;
+            let mut d = Matrix::zeros(l.rows(), l.cols());
+            for ((o, &x), &t) in d
+                .as_mut_slice()
+                .iter_mut()
+                .zip(l.as_slice())
+                .zip(targets.as_slice())
+            {
+                let s = 1.0 / (1.0 + (-x).exp());
+                *o = scale * (s - t);
+            }
+            acc(tape, grads, *logits, d);
+        }
+        Op::Sce { pred, saved } => {
+            let d = sce::backward(saved, tape.value(*pred), g.scalar_value());
+            acc(tape, grads, *pred, d);
+        }
+        Op::InfoNce { u, v, saved } => {
+            let (du, dv) = infonce::backward(saved, g.scalar_value());
+            acc(tape, grads, *u, du);
+            acc(tape, grads, *v, dv);
+        }
+        Op::AdjRecon { z, saved } => {
+            let d = adj_recon::backward(saved, tape.value(*z), g.scalar_value());
+            acc(tape, grads, *z, d);
+        }
+        Op::VarianceHinge { input, saved } => {
+            let d = variance::backward(saved, tape.value(*input), g.scalar_value());
+            acc(tape, grads, *input, d);
+        }
+        Op::Gat { h, a_src, a_dst, saved } => {
+            let (dh, dsrc, ddst) =
+                gat::backward(saved, tape.value(*h), tape.value(*a_src), tape.value(*a_dst), g);
+            acc(tape, grads, *h, dh);
+            acc(tape, grads, *a_src, dsrc);
+            acc(tape, grads, *a_dst, ddst);
+        }
+    }
+}

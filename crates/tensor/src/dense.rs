@@ -1,0 +1,156 @@
+//! Dense matrix-multiplication kernels.
+//!
+//! Three variants are provided because autograd needs products against
+//! transposes and materializing the transpose would double memory traffic:
+//! `A·B`, `A·Bᵀ`, and `Aᵀ·B`. All use ikj loop order (row-major friendly) and
+//! row-block parallelism over the output.
+
+use crate::matrix::Matrix;
+use crate::parallel::par_row_chunks;
+
+/// `A (m×k) · B (k×n) → (m×n)`.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch {:?} x {:?}", a.shape(), b.shape());
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    par_row_chunks(out.as_mut_slice(), n, |r0, chunk| {
+        for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+            let ar = a.row(r0 + dr);
+            for p in 0..k {
+                let av = ar[p];
+                if av == 0.0 {
+                    continue;
+                }
+                let br = b.row(p);
+                for (o, &bv) in out_row.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `A (m×k) · Bᵀ (k×n from B n×k) → (m×n)`.
+///
+/// Both operands are walked row-wise, so this is the cache-friendly way to
+/// build similarity/Gram matrices.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch {:?} x {:?}ᵀ", a.shape(), b.shape());
+    let m = a.rows();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    par_row_chunks(out.as_mut_slice(), n, |r0, chunk| {
+        for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+            let ar = a.row(r0 + dr);
+            for (o, j) in out_row.iter_mut().zip(0..n) {
+                let br = b.row(j);
+                let mut acc = 0.0f32;
+                for (&x, &y) in ar.iter().zip(br) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    });
+    out
+}
+
+/// `Aᵀ (k×m from A m×k) · B (m×n) → (k×n)`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch {:?}ᵀ x {:?}", a.shape(), b.shape());
+    let k = a.cols();
+    let n = b.cols();
+    let m = a.rows();
+    let mut out = Matrix::zeros(k, n);
+    // Serial over the (usually small) k×n output; accumulating row p of B
+    // scaled by A[p][row] keeps everything sequential in memory.
+    par_row_chunks(out.as_mut_slice(), n, |r0, chunk| {
+        for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+            let c = r0 + dr; // output row == column of A
+            for p in 0..m {
+                let av = a.row(p)[c];
+                if av == 0.0 {
+                    continue;
+                }
+                let br = b.row(p);
+                for (o, &bv) in out_row.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::uniform(7, 5, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(5, 9, -1.0, 1.0, &mut rng);
+        assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::uniform(6, 4, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(8, 4, -1.0, 1.0, &mut rng);
+        assert!(matmul_nt(&a, &b).max_abs_diff(&matmul(&a, &b.transposed())) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::uniform(6, 4, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(6, 3, -1.0, 1.0, &mut rng);
+        assert!(matmul_tn(&a, &b).max_abs_diff(&matmul(&a.transposed(), &b)) < 1e-5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::uniform(5, 5, -1.0, 1.0, &mut rng);
+        assert!(matmul(&a, &Matrix::identity(5)).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&Matrix::identity(5), &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Matrix::uniform(300, 40, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(40, 120, -1.0, 1.0, &mut rng);
+        assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+}

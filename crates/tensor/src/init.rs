@@ -1,0 +1,74 @@
+//! Weight initializers.
+
+use rand::Rng;
+use rand_distr_free::normal_pair;
+
+use crate::matrix::Matrix;
+
+/// Glorot/Xavier uniform initialization for a `fan_in × fan_out` weight.
+pub fn glorot_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let limit = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::uniform(fan_in, fan_out, -limit, limit, rng)
+}
+
+/// Glorot/Xavier normal initialization.
+pub fn glorot_normal<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let std = (2.0f32 / (fan_in + fan_out) as f32).sqrt();
+    let mut out = Matrix::zeros(fan_in, fan_out);
+    let mut pending: Option<f32> = None;
+    out.map_inplace(|_| {
+        if let Some(z) = pending.take() {
+            z * std
+        } else {
+            let (a, b) = normal_pair(rng);
+            pending = Some(b);
+            a * std
+        }
+    });
+    out
+}
+
+/// Zero initialization (biases).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+mod rand_distr_free {
+    //! Box–Muller without pulling in `rand_distr`.
+    use rand::Rng;
+
+    /// Two independent standard-normal samples.
+    pub fn normal_pair<R: Rng>(rng: &mut R) -> (f32, f32) {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        (r * theta.cos(), r * theta.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = glorot_uniform(100, 50, &mut rng);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= limit));
+        // roughly centered
+        assert!(w.mean().abs() < 0.02);
+    }
+
+    #[test]
+    fn glorot_normal_has_expected_std() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = glorot_normal(200, 200, &mut rng);
+        let std_target = (2.0f32 / 400.0).sqrt();
+        let var = w.frob_sq() / w.len() as f32;
+        assert!((var.sqrt() - std_target).abs() < 0.01, "std = {}", var.sqrt());
+    }
+}

@@ -1,0 +1,40 @@
+// Indexed loops over parallel arrays are idiomatic in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+//! # gcmae-tensor
+//!
+//! Dense `f32` matrices, CSR sparse matrices, and an eager reverse-mode
+//! autograd tape — the numerical substrate for the GCMAE reproduction.
+//!
+//! The crate is deliberately small and CPU-only: everything the paper's
+//! models need (matmul, sparse message passing, activations, the GCMAE loss
+//! kernels, and a GAT attention kernel) and nothing else.
+//!
+//! ## Example
+//!
+//! ```
+//! use gcmae_tensor::{Matrix, Tape};
+//!
+//! let mut tape = Tape::new();
+//! let w = tape.leaf(Matrix::from_vec(2, 1, vec![0.5, -0.5]));
+//! let x = tape.constant(Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+//! let y = tape.matmul(x, w);
+//! let loss = tape.frob_sq(y);
+//! let grads = tape.backward(loss);
+//! assert!(grads.get(w).is_some());
+//! ```
+
+pub mod backward;
+pub mod dense;
+pub mod init;
+pub mod matrix;
+pub mod node;
+pub mod ops;
+pub mod parallel;
+pub mod sparse;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use node::TensorId;
+pub use sparse::{CsrMatrix, SharedCsr};
+pub use tape::{Grads, Tape};

@@ -1,0 +1,372 @@
+//! Dense row-major `f32` matrix.
+//!
+//! This is the single dense container used everywhere in the workspace:
+//! node-feature matrices, hidden embeddings, weight matrices, and scalar
+//! losses (as `1×1` matrices) are all [`Matrix`] values.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a `1×1` matrix holding a scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self { rows: 1, cols: 1, data: vec![value] }
+    }
+
+    /// Creates the `n×n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix with entries sampled uniformly from `[lo, hi)`.
+    pub fn uniform<R: Rng>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The value of a `1×1` matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `1×1`.
+    pub fn scalar_value(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "scalar_value on a {}x{} matrix", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every entry.
+    pub fn map(&self, f: impl FnMut(f32) -> f32) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries (0.0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frob_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Euclidean (L2) norm of row `r`.
+    pub fn row_norm(&self, r: usize) -> f32 {
+        self.row(r).iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// `self += other` (element-wise).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other` (element-wise AXPY).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, scale: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Scales every entry by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Copies the rows listed in `rows` into a new matrix (gather).
+    pub fn gather_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Maximum absolute difference against another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// `true` when every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for r in 0..show_rows {
+            let row: Vec<String> =
+                self.row(r).iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let ell = if self.cols > 8 { ", ..." } else { "" };
+            writeln!(f, "  [{}{}]", row.join(", "), ell)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::uniform(3, 5, -1.0, 1.0, &mut rng);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn identity_matmul_fixture() {
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    fn row_views() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        m.row_mut(0)[2] = 9.0;
+        assert_eq!(m[(0, 2)], 9.0);
+    }
+
+    #[test]
+    fn sum_mean_frob() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.frob_sq(), 30.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a[(0, 0)], 2.0);
+        a.scale_inplace(2.0);
+        assert_eq!(a[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = m.gather_rows(&[2, 0]);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_value_roundtrip() {
+        assert_eq!(Matrix::scalar(3.5).scalar_value(), 3.5);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.all_finite());
+        m[(0, 0)] = f32::NAN;
+        assert!(!m.all_finite());
+    }
+}

@@ -1,0 +1,77 @@
+//! Tape node and operation definitions.
+
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+use crate::ops::{adj_recon, gat, infonce, sce, softmax_ce, variance};
+use crate::sparse::SharedCsr;
+
+/// Identifier of a tensor on the tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TensorId(pub(crate) usize);
+
+impl TensorId {
+    /// Raw index (stable for the lifetime of the tape).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One recorded operation. Saved state needed for the backward pass is stored
+/// inline because the forward pass is eager.
+pub(crate) enum Op {
+    Leaf,
+    Constant,
+    MatMul(TensorId, TensorId),
+    /// `A · Bᵀ`.
+    MatMulNT(TensorId, TensorId),
+    /// Sparse × dense; only the transpose (`bwd`) is needed after the eager
+    /// forward multiplication.
+    SpMM { bwd: SharedCsr, rhs: TensorId },
+    Add(TensorId, TensorId),
+    Sub(TensorId, TensorId),
+    Hadamard(TensorId, TensorId),
+    Scale(TensorId, f32),
+    /// `(n×d) + (1×d)` broadcast.
+    AddBias { input: TensorId, bias: TensorId },
+    Transpose(TensorId),
+    Relu(TensorId),
+    LeakyRelu(TensorId, f32),
+    Elu(TensorId, f32),
+    Sigmoid(TensorId),
+    Tanh(TensorId),
+    Exp(TensorId),
+    /// Row L2 normalization; saves the pre-normalization row norms.
+    RowNormalize { input: TensorId, norms: Vec<f32> },
+    /// Column standardization (zero mean / unit variance); saves the stds.
+    StandardizeCols { input: TensorId, stds: Vec<f32> },
+    /// Inverted dropout with a precomputed `{0, 1/(1−p)}` mask.
+    Dropout { input: TensorId, mask: Arc<Vec<f32>> },
+    /// Zeroes the listed rows.
+    MaskRows { input: TensorId, rows: Vec<usize> },
+    /// Gathers the listed rows into a new matrix.
+    GatherRows { input: TensorId, rows: Vec<usize>, in_rows: usize },
+    ConcatCols(Vec<TensorId>),
+    /// Column means over all rows → `1 × d`.
+    MeanRows(TensorId),
+    /// Per-segment column means (graph read-out).
+    SegmentMean { input: TensorId, segments: Arc<Vec<u32>>, counts: Vec<f32> },
+    SumAll(TensorId),
+    MeanAll(TensorId),
+    /// Sum of squares of all entries.
+    FrobSq(TensorId),
+    SoftmaxCe { logits: TensorId, saved: softmax_ce::Saved },
+    BceWithLogits { logits: TensorId, targets: Arc<Matrix> },
+    Sce { pred: TensorId, saved: sce::Saved },
+    InfoNce { u: TensorId, v: TensorId, saved: Box<infonce::Saved> },
+    AdjRecon { z: TensorId, saved: Box<adj_recon::Saved> },
+    VarianceHinge { input: TensorId, saved: variance::Saved },
+    Gat { h: TensorId, a_src: TensorId, a_dst: TensorId, saved: Box<gat::Saved> },
+}
+
+pub(crate) struct Node {
+    pub value: Matrix,
+    pub op: Op,
+    /// Whether a gradient must be propagated into (or through) this node.
+    pub requires: bool,
+}

@@ -1,0 +1,279 @@
+//! Adjacency-matrix reconstruction loss (paper Eqs. 16–19):
+//! `L_E = ℓ_MSE + ℓ_BCE + ℓ_DIST` over a (sub)graph's node representations.
+//!
+//! * `ℓ_MSE`  — mean squared error between `σ(z_i·z_j)` and `A_ij`,
+//! * `ℓ_BCE`  — binary cross entropy of the same probabilities,
+//! * `ℓ_DIST` — relative-distance loss pulling adjacent nodes together
+//!   relative to non-adjacent ones.
+//!
+//! Fidelity notes (see DESIGN.md): the paper applies MSE/BCE directly to
+//! `ZZᵀ`; BCE needs probabilities, so we pass the Gram matrix through a
+//! sigmoid for both terms, and — because real adjacencies are ~99% zeros —
+//! the BCE/MSE are class-balanced (positives and negatives contribute
+//! equally), the standard correction without which the objective collapses
+//! to "predict no edge". Eq. 18's ratio as printed would push adjacent
+//! nodes apart; we use the sign that matches the surrounding text
+//! (`ℓ_DIST = log(mean_adj D + ε) − log(mean_nonadj D + ε)`, with per-pair
+//! means and an ε floor bounding the gradient). Diagonal pairs are excluded
+//! from all three sums.
+
+use crate::dense::{dot, matmul, matmul_nt};
+use crate::matrix::Matrix;
+use crate::sparse::SharedCsr;
+
+/// Floor inside the relative-distance logs (bounds the gradient).
+const DIST_EPS: f32 = 1e-3;
+/// Clamp for probabilities inside logs.
+const P_CLAMP: f32 = 1e-6;
+
+/// Per-term weights, all `1.0` per Eq. 19; exposed for ablations.
+#[derive(Clone, Copy, Debug)]
+pub struct Weights {
+    /// mse.
+    pub mse: f32,
+    /// bce.
+    pub bce: f32,
+    /// dist.
+    pub dist: f32,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Self { mse: 1.0, bce: 1.0, dist: 1.0 }
+    }
+}
+
+/// State saved by the forward pass.
+pub struct Saved {
+    adj: SharedCsr,
+    /// Combined `∂(w_mse·ℓ_MSE + w_bce·ℓ_BCE)/∂S_ij` coefficients.
+    coeff: Matrix,
+    /// Σ of adjacent squared distances (CSR counts each direction once).
+    den: f32,
+    /// Σ of non-adjacent (i≠j) squared distances.
+    num: f32,
+    /// Number of adjacent ordered pairs.
+    pos_pairs: f32,
+    /// Number of non-adjacent ordered pairs.
+    neg_pairs: f32,
+    w_dist: f32,
+}
+
+/// Loss value broken into components (useful for logging and ablation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Components {
+    /// mse.
+    pub mse: f32,
+    /// bce.
+    pub bce: f32,
+    /// dist.
+    pub dist: f32,
+}
+
+impl Components {
+    /// Sum of the three components.
+    pub fn total(&self) -> f32 {
+        self.mse + self.bce + self.dist
+    }
+}
+
+/// Computes `L_E` for representations `z` (`n × d`) of a subgraph whose
+/// binary adjacency (no self loops, symmetric) is `adj` (`n × n`).
+pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Saved) {
+    let n = z.rows();
+    assert_eq!(adj.rows(), n, "adjacency rows mismatch");
+    assert_eq!(adj.cols(), n, "adjacency must be square over the subgraph");
+    assert!(n >= 2, "adjacency reconstruction needs >= 2 nodes");
+
+    let s = matmul_nt(z, z);
+    let pairs = (n * (n - 1)) as f32;
+    // class-balanced weights: each class contributes half the loss
+    let pos_pairs = (adj.nnz() as f32).max(1.0);
+    let neg_pairs = (pairs - adj.nnz() as f32).max(1.0);
+    let w_pos = 0.5 / pos_pairs;
+    let w_neg = 0.5 / neg_pairs;
+
+    let mut mse = 0.0f64;
+    let mut bce = 0.0f64;
+    let mut coeff = Matrix::zeros(n, n);
+    for i in 0..n {
+        let (adj_cols, _) = adj.row(i);
+        let mut next = 0usize;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            // advance over the sorted adjacency row to test membership in O(deg)
+            while next < adj_cols.len() && (adj_cols[next] as usize) < j {
+                next += 1;
+            }
+            let a = if next < adj_cols.len() && adj_cols[next] as usize == j { 1.0 } else { 0.0 };
+            let wc = if a == 1.0 { w_pos } else { w_neg };
+            let p = sigmoid(s[(i, j)]);
+            let pc = p.clamp(P_CLAMP, 1.0 - P_CLAMP);
+            mse += (wc * (p - a) * (p - a)) as f64;
+            bce += (-wc * (a * pc.ln() + (1.0 - a) * (1.0 - pc).ln())) as f64;
+            // dℓ/dS = [w_mse·2(p−a) + w_bce·(p−a)] · p(1−p) · wc
+            // (BCE with logits derivative is exactly p − a.)
+            let dmse = w.mse * 2.0 * (p - a) * p * (1.0 - p);
+            let dbce = w.bce * (p - a);
+            coeff[(i, j)] = (dmse + dbce) * wc;
+        }
+    }
+    let mse = mse as f32;
+    let bce = bce as f32;
+
+    // Distance sums. Σ_all pairs ‖z_i−z_j‖² = 2n·Σ‖z_i‖² − 2‖Σz‖².
+    let mut sq_sum = 0.0f32;
+    let mut col_sum = vec![0.0f32; z.cols()];
+    for r in 0..n {
+        let row = z.row(r);
+        sq_sum += dot(row, row);
+        for (c, &v) in col_sum.iter_mut().zip(row) {
+            *c += v;
+        }
+    }
+    let all = 2.0 * n as f32 * sq_sum - 2.0 * dot(&col_sum, &col_sum);
+    let mut den = 0.0f32;
+    for (i, j, _) in adj.iter() {
+        let (zi, zj) = (z.row(i), z.row(j));
+        let mut d = 0.0f32;
+        for (&a, &b) in zi.iter().zip(zj) {
+            d += (a - b) * (a - b);
+        }
+        den += d;
+    }
+    let num = (all - den).max(0.0);
+    // per-pair means with an ε floor so the log gradient stays bounded
+    let den_mean = den / pos_pairs;
+    let num_mean = num / neg_pairs;
+    let dist = (den_mean + DIST_EPS).ln() - (num_mean + DIST_EPS).ln();
+
+    let comps = Components { mse: w.mse * mse, bce: w.bce * bce, dist: w.dist * dist };
+    (
+        comps.total(),
+        comps,
+        Saved { adj, coeff, den, num, pos_pairs, neg_pairs, w_dist: w.dist },
+    )
+}
+
+/// Gradient of the total loss with respect to `z`.
+pub fn backward(saved: &Saved, z: &Matrix, gout: f32) -> Matrix {
+    let n = z.rows();
+    let d = z.cols();
+
+    // MSE + BCE part: dZ = (C + Cᵀ)·Z.
+    let mut c_sym = saved.coeff.clone();
+    c_sym.add_assign(&saved.coeff.transposed());
+    let mut grad = matmul(&c_sym, z);
+
+    // Distance part: ℓ = log(den/P + ε) − log(num/Q + ε), num = all − den.
+    // d/dden = 1/(den + εP) ; d/dnum = −1/(num + εQ).
+    // dall/dz_k = 4n·z_k − 4·Σz ;  dden/dz_k = 4(deg_k z_k − Σ_{j∈N(k)} z_j).
+    let inv_den = 1.0 / (saved.den + DIST_EPS * saved.pos_pairs);
+    let inv_num = 1.0 / (saved.num + DIST_EPS * saved.neg_pairs);
+    let g_den = saved.w_dist * (inv_den + inv_num);
+    let g_all = saved.w_dist * (-inv_num);
+    let mut col_sum = vec![0.0f32; d];
+    for r in 0..n {
+        for (c, &v) in col_sum.iter_mut().zip(z.row(r)) {
+            *c += v;
+        }
+    }
+    let neigh_sum = saved.adj.matmul_dense(z); // row k = Σ_{j∈N(k)} z_j (0/1 weights)
+    for k in 0..n {
+        let deg = saved.adj.row_nnz(k) as f32;
+        let zk = z.row(k);
+        let ns = neigh_sum.row(k);
+        let gk = grad.row_mut(k);
+        for (((g, &zv), &nv), &cs) in gk.iter_mut().zip(zk).zip(ns).zip(&col_sum) {
+            let dden = 4.0 * (deg * zv - nv);
+            let dall = 4.0 * (n as f32 * zv - cs);
+            *g += g_den * dden + g_all * dall;
+        }
+    }
+    grad.scale_inplace(gout);
+    grad
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn path_graph(n: usize) -> SharedCsr {
+        let mut t = vec![];
+        for i in 0..n - 1 {
+            t.push((i, i + 1, 1.0));
+            t.push((i + 1, i, 1.0));
+        }
+        Arc::new(CsrMatrix::from_triplets(n, n, &t))
+    }
+
+    #[test]
+    fn good_embeddings_beat_bad_embeddings() {
+        // Embeddings aligned with the path structure vs. anti-aligned.
+        let adj = path_graph(4);
+        let good = Matrix::from_vec(4, 2, vec![2.0, 0.0, 1.5, 0.5, 0.5, 1.5, 0.0, 2.0]);
+        let bad = Matrix::from_vec(4, 2, vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0, 0.0, 2.0]);
+        let (lg, _, _) = forward(&good, adj.clone(), Weights::default());
+        let (lb, _, _) = forward(&bad, adj, Weights::default());
+        assert!(lg < lb, "structured {lg} !< anti-structured {lb}");
+    }
+
+    #[test]
+    fn components_respect_weights() {
+        let adj = path_graph(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Matrix::uniform(3, 2, -1.0, 1.0, &mut rng);
+        let (_, c, _) = forward(&z, adj.clone(), Weights { mse: 0.0, bce: 1.0, dist: 0.0 });
+        assert_eq!(c.mse, 0.0);
+        assert_eq!(c.dist, 0.0);
+        assert!(c.bce > 0.0);
+        let (total, c2, _) = forward(&z, adj, Weights::default());
+        assert!((total - c2.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let adj = path_graph(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let z = Matrix::uniform(4, 3, -0.8, 0.8, &mut rng);
+        let (_, _, saved) = forward(&z, adj.clone(), Weights::default());
+        let grad = backward(&saved, &z, 1.0);
+        let h = 1e-3;
+        for i in 0..z.len() {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[i] += h;
+            let (lp, _, _) = forward(&zp, adj.clone(), Weights::default());
+            zp.as_mut_slice()[i] -= 2.0 * h;
+            let (lm, _, _) = forward(&zp, adj.clone(), Weights::default());
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 5e-3,
+                "entry {i}: fd={fd} analytic={}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dist_term_pulls_neighbors_together() {
+        // Gradient on an adjacent far-apart pair should point them toward
+        // each other when only the distance term is active.
+        let adj = path_graph(2);
+        let z = Matrix::from_vec(2, 1, vec![-1.0, 1.0]);
+        let (_, _, saved) = forward(&z, adj, Weights { mse: 0.0, bce: 0.0, dist: 1.0 });
+        let g = backward(&saved, &z, 1.0);
+        // minimizing: z0 should move toward +, z1 toward −
+        assert!(g.as_slice()[0] < 0.0 && g.as_slice()[1] > 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Fused graph-attention aggregation (one GAT head).
+//!
+//! Given per-node transformed features `H = X·W` and attention vectors
+//! `a_src`, `a_dst` (each `1 × d`), computes for every node `i`
+//!
+//! ```text
+//! e_ij  = LeakyReLU(H_i·a_src + H_j·a_dst)        for j ∈ N(i)
+//! α_ij  = softmax_j(e_ij)
+//! out_i = Σ_j α_ij · H_j
+//! ```
+//!
+//! The graph is expected to already contain self loops so every node attends
+//! to at least itself.
+
+use crate::matrix::Matrix;
+use crate::sparse::SharedCsr;
+
+/// State saved by the forward pass.
+pub struct Saved {
+    graph: SharedCsr,
+    /// Attention coefficient per stored edge (CSR order).
+    alpha: Vec<f32>,
+    /// LeakyReLU derivative per stored edge.
+    act_deriv: Vec<f32>,
+}
+
+/// Forward pass. `graph` is an `n × n` CSR whose stored coordinates are the
+/// edges (values ignored); `h` is `n × d`.
+pub fn forward(
+    h: &Matrix,
+    a_src: &Matrix,
+    a_dst: &Matrix,
+    graph: SharedCsr,
+    neg_slope: f32,
+) -> (Matrix, Saved) {
+    let (n, d) = h.shape();
+    assert_eq!(graph.rows(), n, "graph size mismatch");
+    assert_eq!(graph.cols(), n, "graph must be square");
+    assert_eq!(a_src.shape(), (1, d), "a_src must be 1 x d");
+    assert_eq!(a_dst.shape(), (1, d), "a_dst must be 1 x d");
+
+    // Per-node scalar scores.
+    let asr = a_src.row(0);
+    let adr = a_dst.row(0);
+    let mut s = vec![0.0f32; n];
+    let mut t = vec![0.0f32; n];
+    for i in 0..n {
+        let hi = h.row(i);
+        s[i] = dot(hi, asr);
+        t[i] = dot(hi, adr);
+    }
+
+    let nnz = graph.nnz();
+    let mut alpha = vec![0.0f32; nnz];
+    let mut act_deriv = vec![0.0f32; nnz];
+    let mut out = Matrix::zeros(n, d);
+    let indptr = graph.indptr();
+    let indices = graph.indices();
+    for i in 0..n {
+        let (lo, hi_) = (indptr[i], indptr[i + 1]);
+        if lo == hi_ {
+            continue;
+        }
+        // raw scores + leaky relu
+        let mut m = f32::NEG_INFINITY;
+        for e in lo..hi_ {
+            let j = indices[e] as usize;
+            let raw = s[i] + t[j];
+            let (act, deriv) =
+                if raw > 0.0 { (raw, 1.0) } else { (neg_slope * raw, neg_slope) };
+            alpha[e] = act;
+            act_deriv[e] = deriv;
+            m = m.max(act);
+        }
+        // softmax over the neighborhood
+        let mut denom = 0.0f32;
+        for a in &mut alpha[lo..hi_] {
+            *a = (*a - m).exp();
+            denom += *a;
+        }
+        for a in &mut alpha[lo..hi_] {
+            *a /= denom;
+        }
+        // aggregate
+        let out_row = out.row_mut(i);
+        for e in lo..hi_ {
+            let j = indices[e] as usize;
+            let a = alpha[e];
+            for (o, &v) in out_row.iter_mut().zip(h.row(j)) {
+                *o += a * v;
+            }
+        }
+    }
+    (out, Saved { graph, alpha, act_deriv })
+}
+
+/// Backward pass: gradients with respect to `h`, `a_src`, and `a_dst`.
+pub fn backward(
+    saved: &Saved,
+    h: &Matrix,
+    a_src: &Matrix,
+    a_dst: &Matrix,
+    gout: &Matrix,
+) -> (Matrix, Matrix, Matrix) {
+    let (n, d) = h.shape();
+    let indptr = saved.graph.indptr();
+    let indices = saved.graph.indices();
+    let asr = a_src.row(0);
+    let adr = a_dst.row(0);
+
+    let mut dh = Matrix::zeros(n, d);
+    let mut ds = vec![0.0f32; n]; // grad of per-node source score
+    let mut dt = vec![0.0f32; n]; // grad of per-node target score
+
+    for i in 0..n {
+        let (lo, hi_) = (indptr[i], indptr[i + 1]);
+        if lo == hi_ {
+            continue;
+        }
+        let gi = gout.row(i);
+        // dα_ij (direct) = g_i · h_j ; also dh_j += α_ij g_i
+        let deg = hi_ - lo;
+        let mut dots = vec![0.0f32; deg];
+        let mut weighted_sum = 0.0f32;
+        for (k, e) in (lo..hi_).enumerate() {
+            let j = indices[e] as usize;
+            let dj = dot(gi, h.row(j));
+            dots[k] = dj;
+            weighted_sum += saved.alpha[e] * dj;
+            let a = saved.alpha[e];
+            for (o, &g) in dh.row_mut(j).iter_mut().zip(gi) {
+                *o += a * g;
+            }
+        }
+        // softmax backward then leaky-relu backward
+        for (k, e) in (lo..hi_).enumerate() {
+            let de = saved.alpha[e] * (dots[k] - weighted_sum);
+            let draw = de * saved.act_deriv[e];
+            ds[i] += draw;
+            dt[indices[e] as usize] += draw;
+        }
+    }
+
+    // Route score grads into h and the attention vectors.
+    let mut da_src = Matrix::zeros(1, d);
+    let mut da_dst = Matrix::zeros(1, d);
+    for i in 0..n {
+        let hi = h.row(i);
+        if ds[i] != 0.0 {
+            let c = ds[i];
+            for ((g, &a), (&hv, das)) in dh
+                .row_mut(i)
+                .iter_mut()
+                .zip(asr)
+                .zip(hi.iter().zip(da_src.row_mut(0).iter_mut()))
+            {
+                *g += c * a;
+                *das += c * hv;
+            }
+        }
+        if dt[i] != 0.0 {
+            let c = dt[i];
+            for ((g, &a), (&hv, dad)) in dh
+                .row_mut(i)
+                .iter_mut()
+                .zip(adr)
+                .zip(hi.iter().zip(da_dst.row_mut(0).iter_mut()))
+            {
+                *g += c * a;
+                *dad += c * hv;
+            }
+        }
+    }
+    (dh, da_src, da_dst)
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// Triangle with self loops.
+    fn tri() -> SharedCsr {
+        let mut t = vec![];
+        for i in 0..3 {
+            t.push((i, i, 1.0));
+            for j in 0..3 {
+                if i != j {
+                    t.push((i, j, 1.0));
+                }
+            }
+        }
+        Arc::new(CsrMatrix::from_triplets(3, 3, &t))
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = Matrix::uniform(3, 4, -1.0, 1.0, &mut rng);
+        let a_src = Matrix::uniform(1, 4, -0.5, 0.5, &mut rng);
+        let a_dst = Matrix::uniform(1, 4, -0.5, 0.5, &mut rng);
+        let (out, saved) = forward(&h, &a_src, &a_dst, tri(), 0.2);
+        // alphas per row sum to 1
+        let indptr = saved.graph.indptr();
+        for i in 0..3 {
+            let s: f32 = saved.alpha[indptr[i]..indptr[i + 1]].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // output stays within the convex hull's bounding box per dimension
+        for c in 0..4 {
+            let lo = (0..3).map(|r| h[(r, c)]).fold(f32::INFINITY, f32::min);
+            let hi = (0..3).map(|r| h[(r, c)]).fold(f32::NEG_INFINITY, f32::max);
+            for r in 0..3 {
+                assert!(out[(r, c)] >= lo - 1e-5 && out[(r, c)] <= hi + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_with_self_loop_copies_itself() {
+        let g = Arc::new(CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]));
+        let h = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let a = Matrix::zeros(1, 2);
+        let (out, _) = forward(&h, &a, &a, g, 0.2);
+        assert!(out.max_abs_diff(&h) < 1e-6);
+    }
+
+    #[test]
+    fn grads_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = Matrix::uniform(3, 3, -1.0, 1.0, &mut rng);
+        let a_src = Matrix::uniform(1, 3, -0.5, 0.5, &mut rng);
+        let a_dst = Matrix::uniform(1, 3, -0.5, 0.5, &mut rng);
+        let g = tri();
+        // scalar objective: sum of outputs
+        let loss = |h: &Matrix, s: &Matrix, d: &Matrix| forward(h, s, d, g.clone(), 0.2).0.sum();
+        let (_, saved) = forward(&h, &a_src, &a_dst, g.clone(), 0.2);
+        let gout = Matrix::full(3, 3, 1.0);
+        let (dh, dsrc, ddst) = backward(&saved, &h, &a_src, &a_dst, &gout);
+        let step = 1e-3;
+        let check = |analytic: &Matrix, which: &str, perturb: &dyn Fn(usize, f32) -> f32| {
+            for i in 0..analytic.len() {
+                let fd = (perturb(i, step) - perturb(i, -step)) / (2.0 * step);
+                assert!(
+                    (fd - analytic.as_slice()[i]).abs() < 5e-3,
+                    "{which}[{i}]: fd={fd} analytic={}",
+                    analytic.as_slice()[i]
+                );
+            }
+        };
+        check(&dh, "dh", &|i, e| {
+            let mut hp = h.clone();
+            hp.as_mut_slice()[i] += e;
+            loss(&hp, &a_src, &a_dst)
+        });
+        check(&dsrc, "da_src", &|i, e| {
+            let mut sp = a_src.clone();
+            sp.as_mut_slice()[i] += e;
+            loss(&h, &sp, &a_dst)
+        });
+        check(&ddst, "da_dst", &|i, e| {
+            let mut dp = a_dst.clone();
+            dp.as_mut_slice()[i] += e;
+            loss(&h, &a_src, &dp)
+        });
+    }
+}

@@ -1,0 +1,235 @@
+//! Symmetric InfoNCE contrastive loss (paper Eqs. 14–15), GRACE-style:
+//! for each positive pair `(u_i, v_i)` the denominator contains the
+//! inter-view similarities to every `v_j` and the intra-view similarities to
+//! every `u_j (j ≠ i)`, and the loss is averaged over both directions.
+
+use crate::dense::matmul_nt;
+use crate::matrix::Matrix;
+
+const EPS: f32 = 1e-8;
+
+/// State saved by the forward pass.
+pub struct Saved {
+    /// Row-normalized views.
+    un: Matrix,
+    vn: Matrix,
+    /// Row norms of the raw inputs (for the normalization chain rule).
+    u_norms: Vec<f32>,
+    v_norms: Vec<f32>,
+    /// Coefficient matrices `∂L/∂S` for the four similarity blocks
+    /// (already including the `−δ_ij` positive term where applicable).
+    g_uv: Matrix,
+    g_uu: Matrix,
+    g_vu: Matrix,
+    g_vv: Matrix,
+    tau: f32,
+}
+
+/// Computes the symmetric InfoNCE loss between two views `u` and `v`
+/// (`n × d` each) with temperature `tau`.
+pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
+    assert_eq!(u.shape(), v.shape(), "InfoNCE views must have equal shape");
+    assert!(tau > 0.0, "temperature must be positive");
+    let n = u.rows();
+    assert!(n >= 2, "InfoNCE needs at least two anchors");
+
+    let (un, u_norms) = normalize_rows(u);
+    let (vn, v_norms) = normalize_rows(v);
+
+    // Cosine-similarity blocks, divided by tau.
+    let mut s_uv = matmul_nt(&un, &vn);
+    let mut s_uu = matmul_nt(&un, &un);
+    let mut s_vv = matmul_nt(&vn, &vn);
+    let inv_tau = 1.0 / tau;
+    for m in [&mut s_uv, &mut s_uu, &mut s_vv] {
+        m.scale_inplace(inv_tau);
+    }
+
+    let mut loss = 0.0f64;
+    let mut g_uv = Matrix::zeros(n, n);
+    let mut g_uu = Matrix::zeros(n, n);
+    let mut g_vu = Matrix::zeros(n, n);
+    let mut g_vv = Matrix::zeros(n, n);
+
+    // u-side: anchor u_i against {v_j} ∪ {u_j, j≠i}.
+    for i in 0..n {
+        loss += side_row(i, s_uv.row(i), s_uu.row(i), g_uv.row_mut(i), g_uu.row_mut(i));
+    }
+    // v-side: anchor v_i against {u_j} ∪ {v_j, j≠i}. s_vu = s_uvᵀ.
+    let s_vu = s_uv.transposed();
+    for i in 0..n {
+        loss += side_row(i, s_vu.row(i), s_vv.row(i), g_vu.row_mut(i), g_vv.row_mut(i));
+    }
+    let loss = (loss / (2 * n) as f64) as f32;
+    (loss, Saved { un, vn, u_norms, v_norms, g_uv, g_uu, g_vu, g_vv, tau })
+}
+
+/// One anchor's loss; fills coefficient rows with `p_j − δ_ij` (inter) and
+/// `p_j` for `j ≠ i` (intra), where `p` is the softmax over the concatenated
+/// logits with the intra self-term removed.
+fn side_row(
+    i: usize,
+    inter: &[f32],
+    intra: &[f32],
+    g_inter: &mut [f32],
+    g_intra: &mut [f32],
+) -> f64 {
+    let n = inter.len();
+    let mut m = f32::NEG_INFINITY;
+    for &x in inter {
+        m = m.max(x);
+    }
+    for (j, &x) in intra.iter().enumerate() {
+        if j != i {
+            m = m.max(x);
+        }
+    }
+    let mut denom = 0.0f64;
+    for &x in inter {
+        denom += ((x - m) as f64).exp();
+    }
+    for (j, &x) in intra.iter().enumerate() {
+        if j != i {
+            denom += ((x - m) as f64).exp();
+        }
+    }
+    let log_denom = denom.ln() + m as f64;
+    let loss = log_denom - inter[i] as f64;
+    for j in 0..n {
+        let p = (((inter[j] - m) as f64).exp() / denom) as f32;
+        g_inter[j] = if j == i { p - 1.0 } else { p };
+        g_intra[j] = if j == i { 0.0 } else { (((intra[j] - m) as f64).exp() / denom) as f32 };
+    }
+    loss
+}
+
+/// Gradients with respect to the raw (un-normalized) views.
+pub fn backward(saved: &Saved, gout: f32) -> (Matrix, Matrix) {
+    let n = saved.un.rows();
+    let scale = gout / (2.0 * n as f32 * saved.tau);
+
+    // Gradients w.r.t. the normalized views.
+    // dÛ = Guv·V̂ + (Guu + Guuᵀ)·Û + Gvuᵀ·V̂
+    let mut dun = crate::dense::matmul(&saved.g_uv, &saved.vn);
+    let guu_sym = add_transpose(&saved.g_uu);
+    dun.add_assign(&crate::dense::matmul(&guu_sym, &saved.un));
+    dun.add_assign(&crate::dense::matmul_tn(&saved.g_vu, &saved.vn));
+    // dV̂ = Guvᵀ·Û + (Gvv + Gvvᵀ)·V̂ + Gvu·Û
+    let mut dvn = crate::dense::matmul_tn(&saved.g_uv, &saved.un);
+    let gvv_sym = add_transpose(&saved.g_vv);
+    dvn.add_assign(&crate::dense::matmul(&gvv_sym, &saved.vn));
+    dvn.add_assign(&crate::dense::matmul(&saved.g_vu, &saved.un));
+
+    dun.scale_inplace(scale);
+    dvn.scale_inplace(scale);
+
+    let du = normalize_backward(&dun, &saved.un, &saved.u_norms);
+    let dv = normalize_backward(&dvn, &saved.vn, &saved.v_norms);
+    (du, dv)
+}
+
+fn add_transpose(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    let t = m.transposed();
+    out.add_assign(&t);
+    out
+}
+
+fn normalize_rows(m: &Matrix) -> (Matrix, Vec<f32>) {
+    let mut out = m.clone();
+    let mut norms = Vec::with_capacity(m.rows());
+    for r in 0..m.rows() {
+        let n = m.row_norm(r).max(EPS);
+        norms.push(n);
+        for v in out.row_mut(r) {
+            *v /= n;
+        }
+    }
+    (out, norms)
+}
+
+/// Chain rule through row L2 normalization: `dx = (dŷ − (dŷ·ŷ)ŷ)/‖x‖`.
+fn normalize_backward(dn: &Matrix, normalized: &Matrix, norms: &[f32]) -> Matrix {
+    let mut out = Matrix::zeros(dn.rows(), dn.cols());
+    for r in 0..dn.rows() {
+        let g = dn.row(r);
+        let y = normalized.row(r);
+        let gy: f32 = g.iter().zip(y).map(|(a, b)| a * b).sum();
+        let inv = 1.0 / norms[r];
+        for ((o, &gv), &yv) in out.row_mut(r).iter_mut().zip(g).zip(y) {
+            *o = (gv - gy * yv) * inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_views_have_lower_loss_than_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let u = Matrix::uniform(8, 4, -1.0, 1.0, &mut rng);
+        let w = Matrix::uniform(8, 4, -1.0, 1.0, &mut rng);
+        let (aligned, _) = forward(&u, &u, 0.5);
+        let (random, _) = forward(&u, &w, 0.5);
+        assert!(aligned < random, "aligned {aligned} !< random {random}");
+    }
+
+    #[test]
+    fn loss_is_permutation_sensitive() {
+        // Swapping the positive pairing must raise the loss.
+        let mut rng = StdRng::seed_from_u64(12);
+        let u = Matrix::uniform(6, 4, -1.0, 1.0, &mut rng);
+        let mut v = u.clone();
+        let (paired, _) = forward(&u, &v, 0.5);
+        // rotate rows of v by one
+        let first = v.row(0).to_vec();
+        for r in 0..5 {
+            let next = v.row(r + 1).to_vec();
+            v.row_mut(r).copy_from_slice(&next);
+        }
+        v.row_mut(5).copy_from_slice(&first);
+        let (shuffled, _) = forward(&u, &v, 0.5);
+        assert!(paired < shuffled);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let u = Matrix::uniform(5, 3, -1.0, 1.0, &mut rng);
+        let v = Matrix::uniform(5, 3, -1.0, 1.0, &mut rng);
+        let (_, saved) = forward(&u, &v, 0.7);
+        let (du, dv) = backward(&saved, 1.0);
+        let h = 1e-3;
+        for i in 0..u.len() {
+            let mut up = u.clone();
+            up.as_mut_slice()[i] += h;
+            let (lp, _) = forward(&up, &v, 0.7);
+            up.as_mut_slice()[i] -= 2.0 * h;
+            let (lm, _) = forward(&up, &v, 0.7);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - du.as_slice()[i]).abs() < 2e-3,
+                "du[{i}]: fd={fd} analytic={}",
+                du.as_slice()[i]
+            );
+        }
+        for i in 0..v.len() {
+            let mut vp = v.clone();
+            vp.as_mut_slice()[i] += h;
+            let (lp, _) = forward(&u, &vp, 0.7);
+            vp.as_mut_slice()[i] -= 2.0 * h;
+            let (lm, _) = forward(&u, &vp, 0.7);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - dv.as_slice()[i]).abs() < 2e-3,
+                "dv[{i}]: fd={fd} analytic={}",
+                dv.as_slice()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Fused operation kernels with analytic backward passes.
+//!
+//! Each module exposes a `forward` returning `(value, Saved)` and a
+//! `backward` consuming the saved state. Keeping these separate from the tape
+//! makes every kernel unit-testable in isolation; the end-to-end gradients are
+//! additionally verified against central finite differences in
+//! `tests/gradcheck.rs`.
+
+pub mod adj_recon;
+pub mod gat;
+pub mod infonce;
+pub mod sce;
+pub mod softmax_ce;
+pub mod variance;

@@ -1,0 +1,136 @@
+//! Scaled cosine error (SCE), the feature-reconstruction loss of GraphMAE and
+//! GCMAE (paper Eq. 11):
+//!
+//! `L_SCE = (1/|Ṽ|) Σ_{v_i ∈ Ṽ} (1 − cos(x_i, z_i))^γ`, with `γ > 1`.
+
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+
+const EPS: f32 = 1e-8;
+
+/// State saved by the forward pass for the backward pass.
+pub struct Saved {
+    target: Arc<Matrix>,
+    rows: Vec<usize>,
+    gamma: f32,
+    /// Per masked row: (cosine, ‖x‖, ‖z‖).
+    cached: Vec<(f32, f32, f32)>,
+}
+
+/// Computes the SCE loss of `pred` against `target` over the given rows.
+///
+/// # Panics
+/// Panics if shapes differ or `rows` is empty.
+pub fn forward(pred: &Matrix, target: Arc<Matrix>, rows: Vec<usize>, gamma: f32) -> (f32, Saved) {
+    assert_eq!(pred.shape(), target.shape(), "SCE shape mismatch");
+    assert!(!rows.is_empty(), "SCE needs at least one masked row");
+    assert!(gamma >= 1.0, "SCE gamma must be >= 1");
+    let mut loss = 0.0f64;
+    let mut cached = Vec::with_capacity(rows.len());
+    for &r in &rows {
+        let x = target.row(r);
+        let z = pred.row(r);
+        let xn = norm(x).max(EPS);
+        let zn = norm(z).max(EPS);
+        let cos = dot(x, z) / (xn * zn);
+        cached.push((cos, xn, zn));
+        loss += ((1.0 - cos).max(0.0) as f64).powf(gamma as f64);
+    }
+    let loss = (loss / rows.len() as f64) as f32;
+    (loss, Saved { target, rows, gamma, cached })
+}
+
+/// Gradient of the loss with respect to `pred`, scaled by the upstream scalar
+/// gradient `gout`. Returns a dense matrix shaped like `pred`.
+pub fn backward(saved: &Saved, pred: &Matrix, gout: f32) -> Matrix {
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let scale = gout / saved.rows.len() as f32;
+    for (idx, &r) in saved.rows.iter().enumerate() {
+        let (cos, xn, zn) = saved.cached[idx];
+        let one_minus = (1.0 - cos).max(0.0);
+        // d/dcos of (1-cos)^γ = -γ (1-cos)^(γ-1)
+        let dcos_coeff = -saved.gamma * one_minus.powf(saved.gamma - 1.0) * scale;
+        let x = saved.target.row(r);
+        let z = pred.row(r);
+        let g = grad.row_mut(r);
+        // dcos/dz = x/(‖x‖‖z‖) − cos·z/‖z‖²
+        let inv_xz = 1.0 / (xn * zn);
+        let inv_zz = cos / (zn * zn);
+        for ((gv, &xv), &zv) in g.iter_mut().zip(x).zip(z) {
+            *gv += dcos_coeff * (xv * inv_xz - zv * inv_zz);
+        }
+    }
+    grad
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_reconstruction_is_zero() {
+        let x = Arc::new(Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.5, 0.5, 0.5]));
+        let (loss, _) = forward(&x, x.clone(), vec![0, 1], 2.0);
+        assert!(loss.abs() < 1e-10, "loss = {loss}");
+    }
+
+    #[test]
+    fn orthogonal_rows_give_one() {
+        let target = Arc::new(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        let pred = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, _) = forward(&pred, target, vec![0], 2.0);
+        assert!((loss - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gamma_sharpens_small_errors() {
+        let target = Arc::new(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 0.3]);
+        let (l1, _) = forward(&pred, target.clone(), vec![0], 1.0);
+        let (l3, _) = forward(&pred, target, vec![0], 3.0);
+        assert!(l3 < l1, "higher gamma must shrink sub-1 errors: {l3} !< {l1}");
+    }
+
+    #[test]
+    fn only_masked_rows_get_gradient() {
+        let target = Arc::new(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let pred = Matrix::from_vec(2, 2, vec![0.4, 0.6, 0.7, 0.1]);
+        let (_, saved) = forward(&pred, target, vec![1], 2.0);
+        let grad = backward(&saved, &pred, 1.0);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+        assert!(grad.row(1).iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let target = Arc::new(Matrix::from_vec(2, 3, vec![1.0, 0.2, 0.0, 0.3, 0.9, 0.5]));
+        let pred = Matrix::from_vec(2, 3, vec![0.4, 0.6, -0.2, 0.7, 0.1, 0.3]);
+        let (_, saved) = forward(&pred, target.clone(), vec![0, 1], 2.0);
+        let grad = backward(&saved, &pred, 1.0);
+        let h = 1e-3;
+        for i in 0..pred.len() {
+            let mut p = pred.clone();
+            p.as_mut_slice()[i] += h;
+            let (lp, _) = forward(&p, target.clone(), vec![0, 1], 2.0);
+            p.as_mut_slice()[i] -= 2.0 * h;
+            let (lm, _) = forward(&p, target.clone(), vec![0, 1], 2.0);
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "entry {i}: fd={fd} analytic={}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+}

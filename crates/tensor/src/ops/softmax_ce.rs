@@ -1,0 +1,134 @@
+//! Softmax cross-entropy over a subset of rows (the labeled nodes).
+//!
+//! Used by the supervised GCN/GAT baselines and by the logistic-regression
+//! probe that evaluates frozen SSL embeddings.
+
+use crate::matrix::Matrix;
+
+/// State saved by the forward pass.
+pub struct Saved {
+    /// Softmax probabilities for the selected rows (`|rows| × k`).
+    probs: Matrix,
+    /// Row indices into the logits matrix.
+    rows: Vec<usize>,
+    /// Class label per selected row.
+    labels: Vec<usize>,
+}
+
+/// Mean negative log-likelihood of `labels` under row-softmaxed `logits`,
+/// restricted to `rows`.
+///
+/// # Panics
+/// Panics if `rows`/`labels` lengths differ, are empty, or any label is out
+/// of range.
+pub fn forward(logits: &Matrix, rows: Vec<usize>, labels: Vec<usize>) -> (f32, Saved) {
+    assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
+    assert!(!rows.is_empty(), "cross entropy needs at least one row");
+    let k = logits.cols();
+    let mut probs = Matrix::zeros(rows.len(), k);
+    let mut loss = 0.0f64;
+    for (i, (&r, &y)) in rows.iter().zip(&labels).enumerate() {
+        assert!(y < k, "label {y} out of range for {k} classes");
+        let row = logits.row(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += ((v - m) as f64).exp();
+        }
+        let log_denom = denom.ln() + m as f64;
+        loss += log_denom - row[y] as f64;
+        let p = probs.row_mut(i);
+        for (pv, &v) in p.iter_mut().zip(row) {
+            *pv = (((v - m) as f64).exp() / denom) as f32;
+        }
+    }
+    let loss = (loss / rows.len() as f64) as f32;
+    (loss, Saved { probs, rows, labels })
+}
+
+/// Gradient with respect to the logits (zero outside the selected rows).
+pub fn backward(saved: &Saved, logits_shape: (usize, usize), gout: f32) -> Matrix {
+    let mut grad = Matrix::zeros(logits_shape.0, logits_shape.1);
+    let scale = gout / saved.rows.len() as f32;
+    for (i, (&r, &y)) in saved.rows.iter().zip(&saved.labels).enumerate() {
+        let p = saved.probs.row(i);
+        let g = grad.row_mut(r);
+        for (c, (gv, &pv)) in g.iter_mut().zip(p).enumerate() {
+            *gv += scale * (pv - if c == y { 1.0 } else { 0.0 });
+        }
+    }
+    grad
+}
+
+/// Predicted class per row of `logits` (argmax).
+pub fn predict(logits: &Matrix) -> Vec<usize> {
+    (0..logits.rows())
+        .map(|r| {
+            logits
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_logits_have_low_loss() {
+        let logits = Matrix::from_vec(2, 3, vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]);
+        let (loss, _) = forward(&logits, vec![0, 1], vec![0, 1]);
+        assert!(loss < 1e-3, "loss = {loss}");
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Matrix::zeros(1, 4);
+        let (loss, _) = forward(&logits, vec![0], vec![2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unselected_rows_get_no_gradient() {
+        let logits = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5]);
+        let (_, saved) = forward(&logits, vec![1], vec![0]);
+        let g = backward(&saved, logits.shape(), 1.0);
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(2), &[0.0, 0.0]);
+        assert!(g.row(1)[0] < 0.0, "pull true class up");
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = Matrix::from_vec(3, 3, vec![0.2, -0.4, 0.1, 1.0, 0.3, -0.2, -0.5, 0.5, 0.0]);
+        let rows = vec![0, 2];
+        let labels = vec![1, 2];
+        let (_, saved) = forward(&logits, rows.clone(), labels.clone());
+        let grad = backward(&saved, logits.shape(), 1.0);
+        let h = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += h;
+            let (a, _) = forward(&lp, rows.clone(), labels.clone());
+            lp.as_mut_slice()[i] -= 2.0 * h;
+            let (b, _) = forward(&lp, rows.clone(), labels.clone());
+            let fd = (a - b) / (2.0 * h);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "entry {i}: fd={fd} analytic={}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn predict_takes_argmax() {
+        let logits = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.0, 0.3, 0.2, 0.5]);
+        assert_eq!(predict(&logits), vec![1, 2]);
+    }
+}

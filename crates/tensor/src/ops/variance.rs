@@ -1,0 +1,133 @@
+//! Variance-based discrimination loss (paper Eq. 20).
+//!
+//! The paper defines `L_Var(h, ε) = sqrt(Var(h) + ε)` and explains the term
+//! must keep node embeddings *diverse*; minimizing the expression as printed
+//! would do the opposite, so — as argued in DESIGN.md — we implement the
+//! VICReg-style hinge that penalizes columns whose standard deviation falls
+//! below a target: `L_Var = (1/d) Σ_c max(0, s − sqrt(Var_c(h) + ε))` with
+//! target standard deviation `s = 1`.
+
+use crate::matrix::Matrix;
+
+/// Target per-dimension standard deviation.
+pub const TARGET_STD: f32 = 1.0;
+
+/// State saved by the forward pass.
+pub struct Saved {
+    /// Column means.
+    means: Vec<f32>,
+    /// Per-column `sqrt(var + eps)`.
+    stds: Vec<f32>,
+    /// Columns whose hinge is active (`std < TARGET_STD`).
+    active: Vec<bool>,
+}
+
+/// Computes the hinge variance loss over the columns of `h` (`n × d`).
+pub fn forward(h: &Matrix, eps: f32) -> (f32, Saved) {
+    let (n, d) = h.shape();
+    assert!(n >= 2, "variance needs at least two rows");
+    let mut means = vec![0.0f32; d];
+    for r in 0..n {
+        for (m, &v) in means.iter_mut().zip(h.row(r)) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f32;
+    }
+    let mut vars = vec![0.0f32; d];
+    for r in 0..n {
+        for ((vv, &v), &m) in vars.iter_mut().zip(h.row(r)).zip(&means) {
+            let c = v - m;
+            *vv += c * c;
+        }
+    }
+    let mut loss = 0.0f32;
+    let mut stds = Vec::with_capacity(d);
+    let mut active = Vec::with_capacity(d);
+    for vv in &mut vars {
+        let std = (*vv / n as f32 + eps).sqrt();
+        stds.push(std);
+        let hinge = TARGET_STD - std;
+        active.push(hinge > 0.0);
+        loss += hinge.max(0.0);
+    }
+    (loss / d as f32, Saved { means, stds, active })
+}
+
+/// Gradient of the hinge variance loss with respect to `h`.
+pub fn backward(saved: &Saved, h: &Matrix, gout: f32) -> Matrix {
+    let (n, d) = h.shape();
+    let mut grad = Matrix::zeros(n, d);
+    // d/dh_ic of −sqrt(var_c+ε) = −(h_ic − mean_c)/(n·std_c)
+    // (the mean's own dependence on h_ic integrates to zero across the column
+    // only in expectation; the exact derivative of var_c w.r.t. h_ic is
+    // 2(h_ic − mean_c)·(1 − 1/n)/n + cross terms which sum to
+    // 2(h_ic − mean_c)/n — the standard centered-variance gradient.)
+    let scale = gout / d as f32;
+    for r in 0..n {
+        let hr = h.row(r);
+        let gr = grad.row_mut(r);
+        for c in 0..d {
+            if saved.active[c] {
+                gr[c] = -scale * (hr[c] - saved.means[c]) / (n as f32 * saved.stds[c]);
+            }
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn collapsed_embeddings_have_max_loss() {
+        let h = Matrix::full(4, 3, 0.7);
+        let (loss, _) = forward(&h, 1e-6);
+        assert!((loss - TARGET_STD).abs() < 1e-2, "loss = {loss}");
+    }
+
+    #[test]
+    fn diverse_embeddings_have_zero_loss() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = Matrix::uniform(64, 4, -3.0, 3.0, &mut rng);
+        let (loss, _) = forward(&h, 1e-6);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn gradient_pushes_away_from_mean() {
+        let h = Matrix::from_vec(2, 1, vec![0.1, -0.1]);
+        let (_, saved) = forward(&h, 1e-6);
+        let g = backward(&saved, &h, 1.0);
+        // loss decreases when rows move apart: grad on the higher row is
+        // negative (gradient descent subtracts it, increasing the value)
+        assert!(g.as_slice()[0] < 0.0);
+        assert!(g.as_slice()[1] > 0.0);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let h = Matrix::uniform(5, 3, -0.4, 0.4, &mut rng);
+        let (_, saved) = forward(&h, 1e-4);
+        let grad = backward(&saved, &h, 1.0);
+        let step = 1e-3;
+        for i in 0..h.len() {
+            let mut hp = h.clone();
+            hp.as_mut_slice()[i] += step;
+            let (lp, _) = forward(&hp, 1e-4);
+            hp.as_mut_slice()[i] -= 2.0 * step;
+            let (lm, _) = forward(&hp, 1e-4);
+            let fd = (lp - lm) / (2.0 * step);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "entry {i}: fd={fd} analytic={}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+}

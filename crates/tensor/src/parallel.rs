@@ -1,0 +1,116 @@
+//! Row-block parallelism helpers built on `crossbeam::scope`.
+//!
+//! Dense matmul and CSR spmm dominate training time, so their output rows are
+//! split into contiguous blocks processed by scoped threads. Work below a
+//! small threshold runs inline to avoid thread overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used for parallel kernels.
+///
+/// Defaults to `available_parallelism`, clamped to `[1, 16]`; overridable via
+/// [`set_num_threads`] (used by benches to compare serial vs parallel).
+pub fn num_threads() -> usize {
+    let forced = FORCED_THREADS.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, 16)
+}
+
+static FORCED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the kernel thread count (0 restores the automatic default).
+pub fn set_num_threads(n: usize) {
+    FORCED_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Minimum number of f32 entries in the output before threads are spawned.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Splits `out` (a row-major buffer of rows of length `row_len`) into
+/// contiguous row blocks and runs `f(first_row, block)` on each, in parallel
+/// when the buffer is large enough.
+pub fn par_row_chunks<F>(out: &mut [f32], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if row_len == 0 || out.is_empty() {
+        return;
+    }
+    debug_assert_eq!(out.len() % row_len, 0, "buffer not a whole number of rows");
+    let rows = out.len() / row_len;
+    let threads = num_threads();
+    if threads <= 1 || out.len() < PAR_THRESHOLD || rows < 2 {
+        f(0, out);
+        return;
+    }
+    let block_rows = rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = out;
+        let mut r0 = 0usize;
+        while !rest.is_empty() {
+            let take = (block_rows * row_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let start = r0;
+            let fr = &f;
+            s.spawn(move |_| fr(start, head));
+            r0 += take / row_len;
+            rest = tail;
+        }
+    })
+    .expect("parallel kernel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_rows_small() {
+        let mut buf = vec![0.0f32; 10 * 3];
+        par_row_chunks(&mut buf, 3, |r0, chunk| {
+            for (i, row) in chunk.chunks_mut(3).enumerate() {
+                row.fill((r0 + i) as f32);
+            }
+        });
+        for r in 0..10 {
+            assert_eq!(buf[r * 3], r as f32);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_large() {
+        let rows = 4096;
+        let cols = 16;
+        let mut buf = vec![0.0f32; rows * cols];
+        par_row_chunks(&mut buf, cols, |r0, chunk| {
+            for (i, row) in chunk.chunks_mut(cols).enumerate() {
+                row.fill((r0 + i) as f32);
+            }
+        });
+        for r in 0..rows {
+            assert_eq!(buf[r * cols], r as f32, "row {r}");
+            assert_eq!(buf[r * cols + cols - 1], r as f32, "row {r} tail");
+        }
+    }
+
+    #[test]
+    fn forced_single_thread_still_correct() {
+        set_num_threads(1);
+        let mut buf = vec![1.0f32; 64];
+        par_row_chunks(&mut buf, 8, |_, chunk| {
+            for v in chunk {
+                *v += 1.0;
+            }
+        });
+        assert!(buf.iter().all(|&v| v == 2.0));
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn empty_buffer_is_noop() {
+        let mut buf: Vec<f32> = vec![];
+        par_row_chunks(&mut buf, 4, |_, _| panic!("must not be called"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Compressed-sparse-row (CSR) matrices.
+//!
+//! Graph adjacency structure is stored once as an immutable [`CsrMatrix`] and
+//! shared into the autograd tape behind an [`std::sync::Arc`], so augmented
+//! views never copy the dense feature data.
+
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+use crate::parallel::par_row_chunks;
+
+/// An immutable CSR sparse matrix of `f32` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw components.
+    ///
+    /// # Panics
+    /// Panics if the components are inconsistent (wrong `indptr` length,
+    /// non-monotone `indptr`, column index out of range, or mismatched
+    /// `indices`/`values` lengths).
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr must have rows+1 entries");
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr tail mismatch");
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
+        assert!(
+            indices.iter().all(|&c| (c as usize) < cols),
+            "column index out of range"
+        );
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds a CSR matrix from unsorted `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            assert!(r < rows, "row index {r} out of range");
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let nnz = triplets.len();
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
+        let mut cursor = indptr.clone();
+        for &(r, c, v) in triplets {
+            assert!(c < cols, "col index {c} out of range");
+            let pos = cursor[r];
+            indices[pos] = c as u32;
+            values[pos] = v;
+            cursor[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut out_indptr = vec![0usize; rows + 1];
+        let mut out_indices = Vec::with_capacity(nnz);
+        let mut out_values = Vec::with_capacity(nnz);
+        for r in 0..rows {
+            let (s, e) = (indptr[r], indptr[r + 1]);
+            let mut row: Vec<(u32, f32)> =
+                indices[s..e].iter().copied().zip(values[s..e].iter().copied()).collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let (c, mut v) = row[i];
+                let mut j = i + 1;
+                while j < row.len() && row[j].0 == c {
+                    v += row[j].1;
+                    j += 1;
+                }
+                out_indices.push(c);
+                out_values.push(v);
+                i = j;
+            }
+            out_indptr[r + 1] = out_indices.len();
+        }
+        Self { rows, cols, indptr: out_indptr, indices: out_indices, values: out_values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Stored values.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Iterator over `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Transposed copy (CSR of the transpose).
+    pub fn transposed(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut cursor = indptr.clone();
+        for (r, c, v) in self.iter() {
+            let pos = cursor[c];
+            indices[pos] = r as u32;
+            values[pos] = v;
+            cursor[c] += 1;
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Dense copy (for tests and small matrices only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out[(r, c)] += v;
+        }
+        out
+    }
+
+    /// Sparse × dense product `self * rhs`, written into a fresh matrix.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_dense(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        self.matmul_dense_into(rhs, &mut out);
+        out
+    }
+
+    /// Sparse × dense product accumulated into `out` (overwritten).
+    pub fn matmul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows(), "spmm shape mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols()), "spmm output shape mismatch");
+        let cols = rhs.cols();
+        par_row_chunks(out.as_mut_slice(), cols, |r0, chunk| {
+            for (dr, out_row) in chunk.chunks_mut(cols).enumerate() {
+                let r = r0 + dr;
+                out_row.fill(0.0);
+                let (cs, vs) = self.row(r);
+                for (&c, &v) in cs.iter().zip(vs) {
+                    let src = rhs.row(c as usize);
+                    for (o, s) in out_row.iter_mut().zip(src) {
+                        *o += v * s;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Row-scaled copy: row `r` multiplied by `scales[r]`.
+    pub fn scale_rows(&self, scales: &[f32]) -> CsrMatrix {
+        assert_eq!(scales.len(), self.rows, "scale_rows length mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let (s, e) = (out.indptr[r], out.indptr[r + 1]);
+            for v in &mut out.values[s..e] {
+                *v *= scales[r];
+            }
+        }
+        out
+    }
+
+    /// `true` when `(r, c)` is a stored coordinate.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        let (cols, _) = self.row(r);
+        cols.binary_search(&(c as u32)).is_ok()
+    }
+}
+
+/// Shared handle to a CSR matrix, as stored inside tape operations.
+pub type SharedCsr = Arc<CsrMatrix>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0]]
+        CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn triplets_roundtrip() {
+        let m = sample();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.to_dense().as_slice(), &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn duplicate_triplets_sum() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_dense()[(0, 1)], 3.5);
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let m = CsrMatrix::from_triplets(1, 4, &[(0, 3, 1.0), (0, 0, 1.0), (0, 2, 1.0)]);
+        assert_eq!(m.indices(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        assert_eq!(m.transposed().to_dense(), m.to_dense().transposed());
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let rhs = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let got = m.matmul_dense(&rhs);
+        // dense product by hand
+        assert_eq!(got.as_slice(), &[11.0, 14.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let m = sample();
+        assert!(m.contains(0, 2));
+        assert!(!m.contains(0, 1));
+        assert!(m.contains(1, 1));
+    }
+
+    #[test]
+    fn scale_rows_scales() {
+        let m = sample().scale_rows(&[2.0, 0.5]);
+        assert_eq!(m.to_dense()[(0, 2)], 4.0);
+        assert_eq!(m.to_dense()[(1, 1)], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "indptr")]
+    fn new_rejects_bad_indptr() {
+        let _ = CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]);
+    }
+}

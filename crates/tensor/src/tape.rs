@@ -1,0 +1,497 @@
+//! Eager reverse-mode autograd tape.
+//!
+//! Values are computed immediately when an op method is called; the op and
+//! whatever state its backward pass needs are recorded on the tape. Because
+//! ids are handed out in construction order, the tape is already a topological
+//! order and [`Tape::backward`] is a single reverse sweep.
+//!
+//! A tape lives for one training step: bind parameter values as [`Tape::leaf`]
+//! nodes, build the loss, call `backward`, read the gradients, drop the tape.
+
+use std::sync::Arc;
+
+use crate::dense;
+use crate::matrix::Matrix;
+use crate::node::{Node, Op, TensorId};
+use crate::ops::{adj_recon, gat, infonce, sce, softmax_ce, variance};
+use crate::sparse::SharedCsr;
+
+/// The autograd tape. See the module docs.
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) nodes: Vec<Node>,
+}
+
+/// Gradients produced by [`Tape::backward`].
+pub struct Grads {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Grads {
+    /// Gradient of the loss with respect to the given tensor, if any was
+    /// propagated to it.
+    pub fn get(&self, id: TensorId) -> Option<&Matrix> {
+        self.grads.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Removes and returns a gradient (avoids cloning in optimizers).
+    pub fn take(&mut self, id: TensorId) -> Option<Matrix> {
+        self.grads.get_mut(id.0).and_then(Option::take)
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a trainable leaf (a parameter binding).
+    pub fn leaf(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Records a constant (inputs, targets): no gradient is propagated to it.
+    pub fn constant(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Constant, false)
+    }
+
+    /// The forward value of a tensor.
+    pub fn value(&self, id: TensorId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, requires: bool) -> TensorId {
+        debug_assert!(value.all_finite(), "non-finite forward value");
+        self.nodes.push(Node { value, op, requires });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    fn req(&self, id: TensorId) -> bool {
+        self.nodes[id.0].requires
+    }
+
+    // ---- linear algebra -------------------------------------------------
+
+    /// `A · B`.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = dense::matmul(self.value(a), self.value(b));
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::MatMul(a, b), r)
+    }
+
+    /// `A · Bᵀ`.
+    pub fn matmul_nt(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = dense::matmul_nt(self.value(a), self.value(b));
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::MatMulNT(a, b), r)
+    }
+
+    /// Sparse × dense. `fwd` multiplies in the forward pass; `bwd` must be its
+    /// transpose (pass the same handle for symmetric matrices).
+    pub fn spmm(&mut self, fwd: SharedCsr, bwd: SharedCsr, rhs: TensorId) -> TensorId {
+        debug_assert_eq!(fwd.rows(), bwd.cols());
+        debug_assert_eq!(fwd.cols(), bwd.rows());
+        let v = fwd.matmul_dense(self.value(rhs));
+        let r = self.req(rhs);
+        self.push(v, Op::SpMM { bwd, rhs }, r)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let mut v = self.value(a).clone();
+        v.add_assign(self.value(b));
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::Add(a, b), r)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let mut v = self.value(a).clone();
+        v.axpy(-1.0, self.value(b));
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::Sub(a, b), r)
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.shape(), bv.shape(), "hadamard shape mismatch");
+        let mut v = av.clone();
+        for (x, &y) in v.as_mut_slice().iter_mut().zip(bv.as_slice()) {
+            *x *= y;
+        }
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::Hadamard(a, b), r)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: TensorId, c: f32) -> TensorId {
+        let mut v = self.value(a).clone();
+        v.scale_inplace(c);
+        let r = self.req(a);
+        self.push(v, Op::Scale(a, c), r)
+    }
+
+    /// `a + beta · b` (two nodes; convenience for loss weighting).
+    pub fn add_scaled(&mut self, a: TensorId, b: TensorId, beta: f32) -> TensorId {
+        let sb = self.scale(b, beta);
+        self.add(a, sb)
+    }
+
+    /// Broadcast-add a `1 × d` bias to every row of an `n × d` input.
+    pub fn add_bias(&mut self, input: TensorId, bias: TensorId) -> TensorId {
+        let x = self.value(input);
+        let b = self.value(bias);
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(b.cols(), x.cols(), "bias width mismatch");
+        let mut v = x.clone();
+        let br = b.row(0).to_vec();
+        for rr in 0..v.rows() {
+            for (o, &bb) in v.row_mut(rr).iter_mut().zip(&br) {
+                *o += bb;
+            }
+        }
+        let r = self.req(input) || self.req(bias);
+        self.push(v, Op::AddBias { input, bias }, r)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).transposed();
+        let r = self.req(a);
+        self.push(v, Op::Transpose(a), r)
+    }
+
+    // ---- activations -----------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let r = self.req(a);
+        self.push(v, Op::Relu(a), r)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: TensorId, slope: f32) -> TensorId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let r = self.req(a);
+        self.push(v, Op::LeakyRelu(a, slope), r)
+    }
+
+    /// Exponential linear unit.
+    pub fn elu(&mut self, a: TensorId, alpha: f32) -> TensorId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let r = self.req(a);
+        self.push(v, Op::Elu(a, alpha), r)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let r = self.req(a);
+        self.push(v, Op::Sigmoid(a), r)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f32::tanh);
+        let r = self.req(a);
+        self.push(v, Op::Tanh(a), r)
+    }
+
+    /// Element-wise exponential (clamped at 60 to keep values finite).
+    pub fn exp(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| x.min(60.0).exp());
+        let r = self.req(a);
+        self.push(v, Op::Exp(a), r)
+    }
+
+    // ---- normalization & regularization -----------------------------------
+
+    /// L2-normalizes every row.
+    pub fn row_normalize(&mut self, a: TensorId) -> TensorId {
+        let x = self.value(a);
+        let mut v = x.clone();
+        let mut norms = Vec::with_capacity(x.rows());
+        for rr in 0..x.rows() {
+            let n = x.row_norm(rr).max(1e-8);
+            norms.push(n);
+            for o in v.row_mut(rr) {
+                *o /= n;
+            }
+        }
+        let r = self.req(a);
+        self.push(v, Op::RowNormalize { input: a, norms }, r)
+    }
+
+    /// Standardizes each column to zero mean / unit variance.
+    pub fn standardize_cols(&mut self, a: TensorId, eps: f32) -> TensorId {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        assert!(n >= 2, "standardize needs at least two rows");
+        let mut means = vec![0.0f32; d];
+        for rr in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(rr)) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f32;
+        }
+        let mut vars = vec![0.0f32; d];
+        for rr in 0..n {
+            for ((s, &v), &m) in vars.iter_mut().zip(x.row(rr)).zip(&means) {
+                let c = v - m;
+                *s += c * c;
+            }
+        }
+        let stds: Vec<f32> = vars.iter().map(|&s| (s / n as f32 + eps).sqrt()).collect();
+        let mut v = x.clone();
+        for rr in 0..n {
+            for ((o, &m), &s) in v.row_mut(rr).iter_mut().zip(&means).zip(&stds) {
+                *o = (*o - m) / s;
+            }
+        }
+        let r = self.req(a);
+        self.push(v, Op::StandardizeCols { input: a, stds }, r)
+    }
+
+    /// Inverted dropout with a caller-supplied mask whose entries are `0` or
+    /// `1/(1−p)`.
+    pub fn dropout(&mut self, a: TensorId, mask: Arc<Vec<f32>>) -> TensorId {
+        let x = self.value(a);
+        assert_eq!(mask.len(), x.len(), "dropout mask length mismatch");
+        let mut v = x.clone();
+        for (o, &m) in v.as_mut_slice().iter_mut().zip(mask.iter()) {
+            *o *= m;
+        }
+        let r = self.req(a);
+        self.push(v, Op::Dropout { input: a, mask }, r)
+    }
+
+    /// Zeroes the listed rows (feature masking).
+    pub fn mask_rows(&mut self, a: TensorId, rows: Vec<usize>) -> TensorId {
+        let mut v = self.value(a).clone();
+        for &rr in &rows {
+            v.row_mut(rr).fill(0.0);
+        }
+        let r = self.req(a);
+        self.push(v, Op::MaskRows { input: a, rows }, r)
+    }
+
+    /// Gathers the listed rows into a new `|rows| × d` matrix.
+    pub fn gather_rows(&mut self, a: TensorId, rows: Vec<usize>) -> TensorId {
+        let x = self.value(a);
+        let in_rows = x.rows();
+        let v = x.gather_rows(&rows);
+        let r = self.req(a);
+        self.push(v, Op::GatherRows { input: a, rows, in_rows }, r)
+    }
+
+    /// Horizontal concatenation (multi-head outputs).
+    pub fn concat_cols(&mut self, parts: &[TensorId]) -> TensorId {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let n = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut v = Matrix::zeros(n, total);
+        let mut off = 0;
+        for &p in parts {
+            let m = self.value(p);
+            assert_eq!(m.rows(), n, "concat row mismatch");
+            for rr in 0..n {
+                v.row_mut(rr)[off..off + m.cols()].copy_from_slice(m.row(rr));
+            }
+            off += m.cols();
+        }
+        let r = parts.iter().any(|&p| self.req(p));
+        self.push(v, Op::ConcatCols(parts.to_vec()), r)
+    }
+
+    // ---- reductions -------------------------------------------------------
+
+    /// Column means over all rows → `1 × d` (whole-graph read-out).
+    pub fn mean_rows(&mut self, a: TensorId) -> TensorId {
+        let x = self.value(a);
+        let (n, d) = x.shape();
+        let mut v = Matrix::zeros(1, d);
+        for rr in 0..n {
+            for (o, &xv) in v.row_mut(0).iter_mut().zip(x.row(rr)) {
+                *o += xv;
+            }
+        }
+        v.scale_inplace(1.0 / n as f32);
+        let r = self.req(a);
+        self.push(v, Op::MeanRows(a), r)
+    }
+
+    /// Per-segment column means → `num_segments × d` (batched graph
+    /// read-out; `segments[r]` is the graph id of row `r`).
+    pub fn segment_mean(
+        &mut self,
+        a: TensorId,
+        segments: Arc<Vec<u32>>,
+        num_segments: usize,
+    ) -> TensorId {
+        let x = self.value(a);
+        assert_eq!(segments.len(), x.rows(), "segment length mismatch");
+        let d = x.cols();
+        let mut v = Matrix::zeros(num_segments, d);
+        let mut counts = vec![0.0f32; num_segments];
+        for (rr, &s) in segments.iter().enumerate() {
+            let s = s as usize;
+            assert!(s < num_segments, "segment id out of range");
+            counts[s] += 1.0;
+            for (o, &xv) in v.row_mut(s).iter_mut().zip(x.row(rr)) {
+                *o += xv;
+            }
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            if c > 0.0 {
+                for o in v.row_mut(s) {
+                    *o /= c;
+                }
+            }
+        }
+        let r = self.req(a);
+        self.push(v, Op::SegmentMean { input: a, segments, counts }, r)
+    }
+
+    /// Sum of all entries → `1 × 1`.
+    pub fn sum_all(&mut self, a: TensorId) -> TensorId {
+        let v = Matrix::scalar(self.value(a).sum());
+        let r = self.req(a);
+        self.push(v, Op::SumAll(a), r)
+    }
+
+    /// Mean of all entries → `1 × 1`.
+    pub fn mean_all(&mut self, a: TensorId) -> TensorId {
+        let v = Matrix::scalar(self.value(a).mean());
+        let r = self.req(a);
+        self.push(v, Op::MeanAll(a), r)
+    }
+
+    /// Squared Frobenius norm → `1 × 1`.
+    pub fn frob_sq(&mut self, a: TensorId) -> TensorId {
+        let v = Matrix::scalar(self.value(a).frob_sq());
+        let r = self.req(a);
+        self.push(v, Op::FrobSq(a), r)
+    }
+
+    // ---- losses ------------------------------------------------------------
+
+    /// Mean softmax cross-entropy of `labels` over the selected `rows`.
+    pub fn softmax_ce(
+        &mut self,
+        logits: TensorId,
+        rows: Vec<usize>,
+        labels: Vec<usize>,
+    ) -> TensorId {
+        let (loss, saved) = softmax_ce::forward(self.value(logits), rows, labels);
+        let r = self.req(logits);
+        self.push(Matrix::scalar(loss), Op::SoftmaxCe { logits, saved }, r)
+    }
+
+    /// Mean binary cross-entropy with logits against constant targets.
+    pub fn bce_with_logits(&mut self, logits: TensorId, targets: Arc<Matrix>) -> TensorId {
+        let l = self.value(logits);
+        assert_eq!(l.shape(), targets.shape(), "bce target shape mismatch");
+        let mut loss = 0.0f64;
+        for (&x, &t) in l.as_slice().iter().zip(targets.as_slice()) {
+            loss += (x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln()) as f64;
+        }
+        let loss = (loss / l.len() as f64) as f32;
+        let r = self.req(logits);
+        self.push(Matrix::scalar(loss), Op::BceWithLogits { logits, targets }, r)
+    }
+
+    /// Scaled cosine error over masked rows (GraphMAE / GCMAE Eq. 11).
+    pub fn sce_loss(
+        &mut self,
+        pred: TensorId,
+        target: Arc<Matrix>,
+        rows: Vec<usize>,
+        gamma: f32,
+    ) -> TensorId {
+        let (loss, saved) = sce::forward(self.value(pred), target, rows, gamma);
+        let r = self.req(pred);
+        self.push(Matrix::scalar(loss), Op::Sce { pred, saved }, r)
+    }
+
+    /// Symmetric InfoNCE between two views (GCMAE Eqs. 14–15).
+    pub fn info_nce(&mut self, u: TensorId, v: TensorId, tau: f32) -> TensorId {
+        let (loss, saved) = infonce::forward(self.value(u), self.value(v), tau);
+        let r = self.req(u) || self.req(v);
+        self.push(Matrix::scalar(loss), Op::InfoNce { u, v, saved: Box::new(saved) }, r)
+    }
+
+    /// Adjacency-matrix reconstruction loss (GCMAE Eqs. 16–19). Returns the
+    /// scalar node and the per-component values for logging.
+    pub fn adj_recon(
+        &mut self,
+        z: TensorId,
+        adj: SharedCsr,
+        weights: adj_recon::Weights,
+    ) -> (TensorId, adj_recon::Components) {
+        let (loss, comps, saved) = adj_recon::forward(self.value(z), adj, weights);
+        let r = self.req(z);
+        let id = self.push(Matrix::scalar(loss), Op::AdjRecon { z, saved: Box::new(saved) }, r);
+        (id, comps)
+    }
+
+    /// Hinge variance discrimination loss (GCMAE Eq. 20).
+    pub fn variance_hinge(&mut self, h: TensorId, eps: f32) -> TensorId {
+        let (loss, saved) = variance::forward(self.value(h), eps);
+        let r = self.req(h);
+        self.push(Matrix::scalar(loss), Op::VarianceHinge { input: h, saved }, r)
+    }
+
+    /// Fused single-head GAT aggregation.
+    pub fn gat(
+        &mut self,
+        h: TensorId,
+        a_src: TensorId,
+        a_dst: TensorId,
+        graph: SharedCsr,
+        neg_slope: f32,
+    ) -> TensorId {
+        let (v, saved) =
+            gat::forward(self.value(h), self.value(a_src), self.value(a_dst), graph, neg_slope);
+        let r = self.req(h) || self.req(a_src) || self.req(a_dst);
+        self.push(v, Op::Gat { h, a_src, a_dst, saved: Box::new(saved) }, r)
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Runs the reverse sweep from a scalar `loss` node and returns all
+    /// accumulated gradients.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&self, loss: TensorId) -> Grads {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward needs a scalar loss");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::scalar(1.0));
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].requires {
+                grads[i] = None;
+                continue;
+            }
+            let Some(g) = grads[i].take() else { continue };
+            crate::backward::step(self, i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        Grads { grads }
+    }
+}

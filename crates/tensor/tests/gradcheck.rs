@@ -1,0 +1,306 @@
+//! End-to-end gradient checks: every tape op participates in at least one
+//! composite graph whose leaf gradients are verified against central finite
+//! differences.
+
+use std::sync::Arc;
+
+use gcmae_tensor::{CsrMatrix, Matrix, Tape, TensorId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checks `d loss / d leaf_k` for every leaf against finite differences.
+fn gradcheck(leaves: &[Matrix], build: impl Fn(&mut Tape, &[TensorId]) -> TensorId, tol: f32) {
+    let run = |ls: &[Matrix]| -> (f32, Vec<Option<Matrix>>) {
+        let mut tape = Tape::new();
+        let ids: Vec<TensorId> = ls.iter().map(|m| tape.leaf(m.clone())).collect();
+        let loss = build(&mut tape, &ids);
+        let value = tape.value(loss).scalar_value();
+        let grads = tape.backward(loss);
+        let gs = ids.iter().map(|&id| grads.get(id).cloned()).collect();
+        (value, gs)
+    };
+    let (_, grads) = run(leaves);
+    let h = 1e-3f32;
+    for (k, leaf) in leaves.iter().enumerate() {
+        let g = grads[k].as_ref().unwrap_or_else(|| panic!("no grad for leaf {k}"));
+        for i in 0..leaf.len() {
+            let mut ls: Vec<Matrix> = leaves.to_vec();
+            ls[k].as_mut_slice()[i] += h;
+            let (lp, _) = run(&ls);
+            ls[k].as_mut_slice()[i] -= 2.0 * h;
+            let (lm, _) = run(&ls);
+            let fd = (lp - lm) / (2.0 * h);
+            let an = g.as_slice()[i];
+            assert!(
+                (fd - an).abs() < tol,
+                "leaf {k} entry {i}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+}
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn small_csr() -> Arc<CsrMatrix> {
+    // 4-node cycle, symmetric, no self loops
+    let mut t = vec![];
+    for i in 0..4usize {
+        let j = (i + 1) % 4;
+        t.push((i, j, 1.0));
+        t.push((j, i, 1.0));
+    }
+    Arc::new(CsrMatrix::from_triplets(4, 4, &t))
+}
+
+#[test]
+fn linear_chain_matmul_bias_activations() {
+    let mut r = rng(1);
+    let x = Matrix::uniform(4, 3, -1.0, 1.0, &mut r);
+    let w = Matrix::uniform(3, 2, -1.0, 1.0, &mut r);
+    let b = Matrix::uniform(1, 2, -0.5, 0.5, &mut r);
+    gradcheck(&[x, w, b], |t, ids| {
+        let h = t.matmul(ids[0], ids[1]);
+        let h = t.add_bias(h, ids[2]);
+        let h = t.tanh(h);
+        let h = t.elu(h, 1.0);
+        t.frob_sq(h)
+    }, 5e-2);
+}
+
+#[test]
+fn exp_through_scale() {
+    let mut r = rng(20);
+    let x = Matrix::uniform(3, 3, -1.0, 1.0, &mut r);
+    gradcheck(&[x], |t, ids| {
+        let s = t.scale(ids[0], 0.5);
+        let e = t.exp(s);
+        t.mean_all(e)
+    }, 2e-2);
+}
+
+#[test]
+fn relu_sigmoid_leaky_chain() {
+    let mut r = rng(2);
+    let x = Matrix::uniform(3, 4, -1.0, 1.0, &mut r);
+    gradcheck(&[x], |t, ids| {
+        let a = t.relu(ids[0]);
+        let b = t.leaky_relu(ids[0], 0.2);
+        let c = t.sigmoid(ids[0]);
+        let s1 = t.add(a, b);
+        let s2 = t.hadamard(s1, c);
+        let m = t.mean_all(s2);
+        t.scale(m, 3.0)
+    }, 2e-2);
+}
+
+#[test]
+fn spmm_through_gcn_style_layer() {
+    let mut r = rng(3);
+    let adj = small_csr();
+    let x = Matrix::uniform(4, 3, -1.0, 1.0, &mut r);
+    let w = Matrix::uniform(3, 2, -1.0, 1.0, &mut r);
+    gradcheck(&[x, w], move |t, ids| {
+        let xw = t.matmul(ids[0], ids[1]);
+        let agg = t.spmm(adj.clone(), adj.clone(), xw); // symmetric
+        let act = t.relu(agg);
+        t.sum_all(act)
+    }, 5e-2);
+}
+
+#[test]
+fn transpose_sub_matmul_nt() {
+    let mut r = rng(4);
+    let a = Matrix::uniform(3, 4, -1.0, 1.0, &mut r);
+    let b = Matrix::uniform(3, 4, -1.0, 1.0, &mut r);
+    gradcheck(&[a, b], |t, ids| {
+        let s = t.matmul_nt(ids[0], ids[1]);
+        let st = t.transpose(s);
+        let d = t.sub(s, st);
+        t.frob_sq(d)
+    }, 1e-1);
+}
+
+#[test]
+fn row_normalize_and_gather() {
+    let mut r = rng(5);
+    let x = Matrix::uniform(5, 3, 0.2, 1.0, &mut r);
+    gradcheck(&[x], |t, ids| {
+        let n = t.row_normalize(ids[0]);
+        let g = t.gather_rows(n, vec![0, 2, 2, 4]);
+        t.frob_sq(g)
+    }, 2e-2);
+}
+
+#[test]
+fn standardize_cols_chain() {
+    let mut r = rng(6);
+    let x = Matrix::uniform(6, 3, -1.0, 1.0, &mut r);
+    gradcheck(&[x], |t, ids| {
+        let s = t.standardize_cols(ids[0], 1e-3);
+        let sq = t.hadamard(s, s);
+        t.mean_all(sq)
+    }, 5e-2);
+}
+
+#[test]
+fn dropout_mask_rows_concat() {
+    let mut r = rng(7);
+    let x = Matrix::uniform(4, 2, -1.0, 1.0, &mut r);
+    let mask: Arc<Vec<f32>> = Arc::new(vec![2.0, 0.0, 2.0, 0.0, 2.0, 2.0, 0.0, 2.0]);
+    gradcheck(&[x], move |t, ids| {
+        let d = t.dropout(ids[0], mask.clone());
+        let m = t.mask_rows(ids[0], vec![1]);
+        let c = t.concat_cols(&[d, m]);
+        t.frob_sq(c)
+    }, 5e-2);
+}
+
+#[test]
+fn mean_rows_and_segment_mean() {
+    let mut r = rng(8);
+    let x = Matrix::uniform(5, 3, -1.0, 1.0, &mut r);
+    let segs = Arc::new(vec![0u32, 0, 1, 1, 1]);
+    gradcheck(&[x], move |t, ids| {
+        let m = t.mean_rows(ids[0]);
+        let s = t.segment_mean(ids[0], segs.clone(), 2);
+        let ms = t.frob_sq(m);
+        let ss = t.frob_sq(s);
+        t.add(ms, ss)
+    }, 2e-2);
+}
+
+#[test]
+fn softmax_ce_through_linear() {
+    let mut r = rng(9);
+    let x = Matrix::uniform(5, 3, -1.0, 1.0, &mut r);
+    let w = Matrix::uniform(3, 3, -1.0, 1.0, &mut r);
+    gradcheck(&[x, w], |t, ids| {
+        let logits = t.matmul(ids[0], ids[1]);
+        t.softmax_ce(logits, vec![0, 2, 4], vec![1, 0, 2])
+    }, 2e-2);
+}
+
+#[test]
+fn bce_with_logits_through_matmul_nt() {
+    let mut r = rng(10);
+    let z = Matrix::uniform(4, 2, -1.0, 1.0, &mut r);
+    let targets = Arc::new(Matrix::from_fn(4, 4, |i, j| ((i + j) % 2) as f32));
+    gradcheck(&[z], move |t, ids| {
+        let s = t.matmul_nt(ids[0], ids[0]);
+        t.bce_with_logits(s, targets.clone())
+    }, 5e-2);
+}
+
+#[test]
+fn sce_loss_through_decoder() {
+    let mut r = rng(11);
+    let h = Matrix::uniform(4, 3, -1.0, 1.0, &mut r);
+    let w = Matrix::uniform(3, 3, -1.0, 1.0, &mut r);
+    let target = Arc::new(Matrix::uniform(4, 3, 0.0, 1.0, &mut r));
+    gradcheck(&[h, w], move |t, ids| {
+        let z = t.matmul(ids[0], ids[1]);
+        t.sce_loss(z, target.clone(), vec![0, 1, 3], 2.0)
+    }, 2e-2);
+}
+
+#[test]
+fn info_nce_through_projectors() {
+    let mut r = rng(12);
+    let h1 = Matrix::uniform(5, 3, -1.0, 1.0, &mut r);
+    let h2 = Matrix::uniform(5, 3, -1.0, 1.0, &mut r);
+    let w = Matrix::uniform(3, 3, -1.0, 1.0, &mut r);
+    gradcheck(&[h1, h2, w], |t, ids| {
+        let u = t.matmul(ids[0], ids[2]);
+        let v = t.matmul(ids[1], ids[2]);
+        t.info_nce(u, v, 0.6)
+    }, 5e-2);
+}
+
+#[test]
+fn adj_recon_through_linear() {
+    let mut r = rng(13);
+    let adj = small_csr();
+    let h = Matrix::uniform(4, 3, -0.8, 0.8, &mut r);
+    let w = Matrix::uniform(3, 2, -0.8, 0.8, &mut r);
+    gradcheck(&[h, w], move |t, ids| {
+        let z = t.matmul(ids[0], ids[1]);
+        let (loss, _) = t.adj_recon(z, adj.clone(), Default::default());
+        loss
+    }, 5e-2);
+}
+
+#[test]
+fn variance_hinge_through_linear() {
+    let mut r = rng(14);
+    let h = Matrix::uniform(5, 3, -0.3, 0.3, &mut r);
+    let w = Matrix::uniform(3, 3, -0.5, 0.5, &mut r);
+    gradcheck(&[h, w], |t, ids| {
+        let z = t.matmul(ids[0], ids[1]);
+        t.variance_hinge(z, 1e-4)
+    }, 2e-2);
+}
+
+#[test]
+fn gat_layer_end_to_end() {
+    let mut r = rng(15);
+    // cycle + self loops
+    let mut trip = vec![];
+    for i in 0..4usize {
+        trip.push((i, i, 1.0));
+        let j = (i + 1) % 4;
+        trip.push((i, j, 1.0));
+        trip.push((j, i, 1.0));
+    }
+    let g = Arc::new(CsrMatrix::from_triplets(4, 4, &trip));
+    let x = Matrix::uniform(4, 3, -1.0, 1.0, &mut r);
+    let w = Matrix::uniform(3, 2, -1.0, 1.0, &mut r);
+    let a_src = Matrix::uniform(1, 2, -0.5, 0.5, &mut r);
+    let a_dst = Matrix::uniform(1, 2, -0.5, 0.5, &mut r);
+    gradcheck(&[x, w, a_src, a_dst], move |t, ids| {
+        let h = t.matmul(ids[0], ids[1]);
+        let o = t.gat(h, ids[2], ids[3], g.clone(), 0.2);
+        let o = t.elu(o, 1.0);
+        t.frob_sq(o)
+    }, 1e-1);
+}
+
+#[test]
+fn multi_loss_weighted_sum() {
+    // The full GCMAE-style composite: several losses added with weights.
+    let mut r = rng(16);
+    let adj = small_csr();
+    let h = Matrix::uniform(4, 3, -0.5, 0.5, &mut r);
+    let target = Arc::new(Matrix::uniform(4, 3, 0.0, 1.0, &mut r));
+    gradcheck(&[h], move |t, ids| {
+        let sce = t.sce_loss(ids[0], target.clone(), vec![0, 2], 2.0);
+        let var = t.variance_hinge(ids[0], 1e-4);
+        let (adj_l, _) = t.adj_recon(ids[0], adj.clone(), Default::default());
+        let s1 = t.add_scaled(sce, var, 0.5);
+        t.add_scaled(s1, adj_l, 0.25)
+    }, 5e-2);
+}
+
+#[test]
+fn grad_not_propagated_to_constants() {
+    let mut tape = Tape::new();
+    let c = tape.constant(Matrix::full(2, 2, 1.0));
+    let l = tape.leaf(Matrix::full(2, 2, 2.0));
+    let p = tape.hadamard(c, l);
+    let loss = tape.sum_all(p);
+    let grads = tape.backward(loss);
+    assert!(grads.get(c).is_none());
+    assert!(grads.get(l).is_some());
+}
+
+#[test]
+fn gradient_accumulates_across_reuse() {
+    // y = x + x ⇒ dy/dx = 2
+    let mut tape = Tape::new();
+    let x = tape.leaf(Matrix::scalar(3.0));
+    let y = tape.add(x, x);
+    let loss = tape.sum_all(y);
+    let grads = tape.backward(loss);
+    assert_eq!(grads.get(x).unwrap().scalar_value(), 2.0);
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the tensor substrate: kernel algebra, CSR
+//! structure, and autograd linearity.
+
+use gcmae_tensor::{dense, CsrMatrix, Matrix, Tape};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(4, 3), b in matrix(3, 5), c in matrix(3, 5)) {
+        // A(B + C) = AB + AC
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = dense::matmul(&a, &bc);
+        let mut rhs = dense::matmul(&a, &b);
+        rhs.add_assign(&dense::matmul(&a, &c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(4, 3), b in matrix(5, 3)) {
+        // A·Bᵀ computed directly equals the two-step transpose version
+        let direct = dense::matmul_nt(&a, &b);
+        let two_step = dense::matmul(&a, &b.transposed());
+        prop_assert!(direct.max_abs_diff(&two_step) < 1e-5);
+        // (A·Bᵀ)ᵀ = B·Aᵀ
+        let t = direct.transposed();
+        let other = dense::matmul_nt(&b, &a);
+        prop_assert!(t.max_abs_diff(&other) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose(a in matrix(4, 3), b in matrix(4, 2)) {
+        let direct = dense::matmul_tn(&a, &b);
+        let two_step = dense::matmul(&a.transposed(), &b);
+        prop_assert!(direct.max_abs_diff(&two_step) < 1e-5);
+    }
+
+    #[test]
+    fn csr_dense_roundtrip(
+        triplets in prop::collection::vec((0usize..5, 0usize..6, -1.0f32..1.0), 0..20)
+    ) {
+        let m = CsrMatrix::from_triplets(5, 6, &triplets);
+        let dense_m = m.to_dense();
+        // every stored entry appears in the dense form
+        for (r, c, v) in m.iter() {
+            prop_assert!((dense_m[(r, c)] - v).abs() < 1e-6);
+        }
+        // nnz never exceeds input count
+        prop_assert!(m.nnz() <= triplets.len());
+        // transpose twice is identity
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense_product(
+        triplets in prop::collection::vec((0usize..4, 0usize..4, -1.0f32..1.0), 1..12),
+        x in matrix(4, 3),
+    ) {
+        let s = CsrMatrix::from_triplets(4, 4, &triplets);
+        let sparse = s.matmul_dense(&x);
+        let dense_result = dense::matmul(&s.to_dense(), &x);
+        prop_assert!(sparse.max_abs_diff(&dense_result) < 1e-4);
+    }
+
+    #[test]
+    fn backward_is_linear_in_upstream_gradient(x in matrix(3, 3), k in 0.5f32..4.0) {
+        // d(k·f)/dx = k·df/dx for f = sum(sigmoid(x))
+        let grad_of = |scale: f32| -> Matrix {
+            let mut tape = Tape::new();
+            let xi = tape.leaf(x.clone());
+            let s = tape.sigmoid(xi);
+            let sum = tape.sum_all(s);
+            let loss = tape.scale(sum, scale);
+            let grads = tape.backward(loss);
+            grads.get(xi).unwrap().clone()
+        };
+        let g1 = grad_of(1.0);
+        let gk = grad_of(k);
+        let mut scaled = g1.clone();
+        scaled.scale_inplace(k);
+        prop_assert!(gk.max_abs_diff(&scaled) < 1e-4);
+    }
+
+    #[test]
+    fn relu_elu_agree_on_positives(x in prop::collection::vec(0.01f32..2.0, 9)) {
+        let m = Matrix::from_vec(3, 3, x);
+        let mut tape = Tape::new();
+        let xi = tape.constant(m.clone());
+        let r = tape.relu(xi);
+        let e = tape.elu(xi, 1.0);
+        prop_assert!(tape.value(r).max_abs_diff(tape.value(e)) < 1e-6);
+        prop_assert!(tape.value(r).max_abs_diff(&m) < 1e-6);
+    }
+
+    #[test]
+    fn row_normalize_produces_unit_rows(x in matrix(4, 5)) {
+        let mut tape = Tape::new();
+        let xi = tape.constant(x.clone());
+        let n = tape.row_normalize(xi);
+        for r in 0..4 {
+            let norm = tape.value(n).row_norm(r);
+            // rows that were near-zero stay near zero; others become unit
+            if x.row_norm(r) > 1e-3 {
+                prop_assert!((norm - 1.0).abs() < 1e-4, "row {r} norm {norm}");
+            }
+        }
+    }
+
+    #[test]
+    fn standardize_cols_yields_zero_mean_unit_var(x in matrix(8, 3)) {
+        let mut tape = Tape::new();
+        let xi = tape.constant(x);
+        let s = tape.standardize_cols(xi, 1e-6);
+        let v = tape.value(s);
+        for c in 0..3 {
+            let mean: f32 = (0..8).map(|r| v[(r, c)]).sum::<f32>() / 8.0;
+            prop_assert!(mean.abs() < 1e-4, "col {c} mean {mean}");
+            let var: f32 = (0..8).map(|r| (v[(r, c)] - mean).powi(2)).sum::<f32>() / 8.0;
+            // degenerate (constant) columns divide by sqrt(eps); skip them
+            if var > 1e-3 {
+                prop_assert!((var - 1.0).abs() < 1e-2, "col {c} var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_preserves_gradient_mass(x in matrix(5, 2)) {
+        // loss = sum(gather(x, rows)) ⇒ grad counts row multiplicity
+        let rows = vec![0usize, 2, 2, 4];
+        let mut tape = Tape::new();
+        let xi = tape.leaf(x);
+        let gathered = tape.gather_rows(xi, rows.clone());
+        let loss = tape.sum_all(gathered);
+        let grads = tape.backward(loss);
+        let g = grads.get(xi).unwrap();
+        prop_assert_eq!(g.row(0), &[1.0, 1.0][..]);
+        prop_assert_eq!(g.row(1), &[0.0, 0.0][..]);
+        prop_assert_eq!(g.row(2), &[2.0, 2.0][..]);
+        prop_assert_eq!(g.row(4), &[1.0, 1.0][..]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # gcmae-repro
+//!
+//! Workspace facade for the GCMAE reproduction: re-exports the public API of
+//! every crate so the examples and integration tests read naturally.
+//!
+//! * [`tensor`] — dense matrices, CSR, autograd tape
+//! * [`graph`] — graphs, generators, augmentations, splits
+//! * [`nn`] — GNN layers and optimizers
+//! * [`core`] — the GCMAE model and trainers
+//! * [`baselines`] — the 17 comparison methods
+//! * [`eval`] — probes, SVM, k-means, metrics
+
+pub use gcmae_baselines as baselines;
+pub use gcmae_core as core;
+pub use gcmae_eval as eval;
+pub use gcmae_graph as graph;
+pub use gcmae_nn as nn;
+pub use gcmae_tensor as tensor;

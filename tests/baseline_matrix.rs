@@ -1,0 +1,102 @@
+//! Cross-crate matrix test: every node-level baseline produces embeddings
+//! that the shared evaluation stack can consume, and every graph-level
+//! baseline produces one embedding per graph — the contract the bench
+//! harness relies on.
+
+use gcmae_repro::baselines::{self, SslConfig};
+use gcmae_repro::core::GcmaeConfig;
+use gcmae_repro::eval::{linear_probe, ProbeConfig};
+use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
+use gcmae_repro::graph::generators::collection::{generate as gen_c, CollectionSpec};
+use gcmae_repro::graph::splits::planetoid_split;
+use gcmae_repro::graph::Dataset;
+use gcmae_repro::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny() -> Dataset {
+    generate(&CitationSpec::cora().scaled(0.03), 42)
+}
+
+fn cfg() -> SslConfig {
+    SslConfig { hidden_dim: 16, proj_dim: 8, epochs: 4, contrast_sample: 64, ..SslConfig::default() }
+}
+
+fn check_node(emb: Matrix, ds: &Dataset, name: &str) {
+    assert_eq!(emb.rows(), ds.num_nodes(), "{name}: wrong row count");
+    assert!(emb.all_finite(), "{name}: non-finite embeddings");
+    let mut rng = StdRng::seed_from_u64(7);
+    let split = planetoid_split(&ds.labels, ds.num_classes, 4, 15, &mut rng);
+    let r = linear_probe(&emb, &ds.labels, ds.num_classes, &split, &ProbeConfig::default(), 0);
+    assert!((0.0..=1.0).contains(&r.accuracy), "{name}: accuracy out of range");
+}
+
+#[test]
+fn all_contrastive_node_baselines_integrate() {
+    let ds = tiny();
+    let c = cfg();
+    check_node(baselines::dgi::train(&ds, &c, 0), &ds, "DGI");
+    check_node(baselines::grace::train(&ds, &c, 0), &ds, "GRACE");
+    check_node(baselines::cca_ssg::train(&ds, &c, 0), &ds, "CCA-SSG");
+    check_node(baselines::mvgrl::train(&ds, &c, 0), &ds, "MVGRL");
+}
+
+#[test]
+fn all_mae_node_baselines_integrate() {
+    let ds = tiny();
+    let c = cfg();
+    check_node(baselines::graphmae::train(&ds, &c, 0), &ds, "GraphMAE");
+    check_node(baselines::maskgae::train(&ds, &c, 0), &ds, "MaskGAE");
+    check_node(baselines::s2gae::train(&ds, &c, 0), &ds, "S2GAE");
+    check_node(baselines::seegera::train(&ds, &c, 0), &ds, "SeeGera");
+}
+
+#[test]
+fn all_clustering_baselines_integrate() {
+    let ds = tiny();
+    let c = cfg();
+    check_node(baselines::clustering::gc_vge::train(&ds, &c, 0), &ds, "GC-VGE");
+    check_node(baselines::clustering::scgc::train(&ds, &c, 0), &ds, "SCGC");
+    let out = baselines::clustering::gcc::train(&ds, ds.num_classes, 16, 2, 0);
+    assert_eq!(out.embeddings.rows(), ds.num_nodes());
+    assert_eq!(out.assignments.len(), ds.num_nodes());
+}
+
+#[test]
+fn all_graph_level_baselines_integrate() {
+    let coll = gen_c(&CollectionSpec::imdb_m().scaled(0.03), 42);
+    let c = cfg();
+    let gc = GcmaeConfig {
+        hidden_dim: 16,
+        proj_dim: 8,
+        epochs: 2,
+        adj_sample: 64,
+        contrast_sample: 64,
+        ..GcmaeConfig::default()
+    };
+    let runs: Vec<(&str, Matrix)> = vec![
+        ("InfoGraph", baselines::graph_level::infograph::train(&coll, &c, 8, 0)),
+        ("GraphCL", baselines::graph_level::graphcl::train(&coll, &c, 8, 0)),
+        ("JOAO", baselines::graph_level::joao::train(&coll, &c, 8, 0)),
+        ("InfoGCL", baselines::graph_level::infogcl::train(&coll, &c, 8, 0)),
+        ("MVGRL-G", baselines::graph_level::mvgrl_g::train(&coll, &c, 8, 0)),
+        ("S2GAE-G", baselines::graph_level::s2gae_g::train(&coll, &c, 8, 0)),
+        ("GCMAE-G", gcmae_repro::core::train_graph_level(&coll, &gc, 8, 0)),
+    ];
+    for (name, emb) in runs {
+        assert_eq!(emb.rows(), coll.len(), "{name}: one row per graph");
+        assert!(emb.all_finite(), "{name}: non-finite");
+    }
+}
+
+#[test]
+fn supervised_baselines_integrate() {
+    let ds = tiny();
+    let mut rng = StdRng::seed_from_u64(7);
+    let split = planetoid_split(&ds.labels, ds.num_classes, 4, 15, &mut rng);
+    for kind in [gcmae_repro::nn::EncoderKind::Gcn, gcmae_repro::nn::EncoderKind::Gat { heads: 2 }] {
+        let cfg = baselines::SupervisedConfig::fast(kind);
+        let acc = baselines::supervised::train(&ds, &split, &cfg, 0);
+        assert!((0.0..=1.0).contains(&acc), "{kind:?}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Failure-injection and degenerate-input tests: the library must either
+//! handle edge cases gracefully or fail fast with a clear panic — never
+//! return silently-wrong results.
+
+use gcmae_repro::core::{train, GcmaeConfig};
+use gcmae_repro::eval::kmeans;
+use gcmae_repro::graph::augment::mask_node_features;
+use gcmae_repro::graph::{Dataset, Graph};
+use gcmae_repro::tensor::{CsrMatrix, Matrix, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn training_survives_disconnected_graph() {
+    // isolated nodes + two components: message passing must not NaN
+    let graph = Graph::from_edges(10, &[(0, 1), (1, 2), (5, 6)]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let features = Matrix::uniform(10, 6, -1.0, 1.0, &mut rng);
+    let ds = Dataset {
+        name: "disconnected".into(),
+        graph,
+        features,
+        labels: vec![0; 10],
+        num_classes: 1,
+    };
+    let cfg = GcmaeConfig {
+        epochs: 5,
+        hidden_dim: 8,
+        proj_dim: 4,
+        adj_sample: 10,
+        contrast_sample: 0,
+        ..GcmaeConfig::default()
+    };
+    let out = train(&ds, &cfg, 0);
+    assert!(out.embeddings.all_finite());
+    assert!(out.history.iter().all(|b| b.total.is_finite()));
+}
+
+#[test]
+fn training_survives_all_zero_features() {
+    let graph = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (6, 7), (3, 4), (5, 6)]);
+    let ds = Dataset {
+        name: "zeros".into(),
+        graph,
+        features: Matrix::zeros(8, 4),
+        labels: vec![0; 8],
+        num_classes: 1,
+    };
+    let cfg = GcmaeConfig {
+        epochs: 3,
+        hidden_dim: 8,
+        proj_dim: 4,
+        adj_sample: 8,
+        contrast_sample: 0,
+        ..GcmaeConfig::default()
+    };
+    let out = train(&ds, &cfg, 0);
+    assert!(out.embeddings.all_finite(), "zero features must not produce NaNs");
+}
+
+#[test]
+fn extreme_mask_rates_are_clamped() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Matrix::uniform(6, 3, 0.0, 1.0, &mut rng);
+    // rate 1.0: at least one node must stay visible
+    let m = mask_node_features(&x, 1.0, &mut rng);
+    assert!(m.masked.len() < 6);
+    // rate 0.0: at least one node must be masked (SCE needs a target)
+    let m = mask_node_features(&x, 0.0, &mut rng);
+    assert_eq!(m.masked.len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "shape mismatch")]
+fn matmul_shape_mismatch_fails_fast() {
+    let mut tape = Tape::new();
+    let a = tape.constant(Matrix::zeros(2, 3));
+    let b = tape.constant(Matrix::zeros(4, 2));
+    let _ = tape.matmul(a, b);
+}
+
+#[test]
+#[should_panic(expected = "scalar loss")]
+fn backward_rejects_non_scalar_loss() {
+    let mut tape = Tape::new();
+    let a = tape.leaf(Matrix::zeros(2, 2));
+    let _ = tape.backward(a);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn csr_rejects_out_of_range_columns() {
+    let _ = CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]);
+}
+
+#[test]
+#[should_panic(expected = "label")]
+fn cross_entropy_rejects_out_of_range_labels() {
+    let mut tape = Tape::new();
+    let logits = tape.constant(Matrix::zeros(2, 3));
+    let _ = tape.softmax_ce(logits, vec![0], vec![7]);
+}
+
+#[test]
+fn kmeans_handles_duplicate_points() {
+    // all points identical: must terminate and put everything somewhere
+    let data = Matrix::full(10, 3, 1.5);
+    let res = kmeans(&data, 3, 20, 0);
+    assert_eq!(res.assignments.len(), 10);
+    assert!(res.inertia < 1e-6);
+}
+
+#[test]
+fn kmeans_with_k_equal_n_is_exact() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = Matrix::uniform(5, 2, -1.0, 1.0, &mut rng);
+    let res = kmeans(&data, 5, 20, 0);
+    // every point can have its own centroid → near-zero inertia
+    assert!(res.inertia < 1e-6, "inertia {}", res.inertia);
+}
+
+#[test]
+fn single_edge_graph_link_split_is_rejected_gracefully() {
+    // splitting a graph with very few edges still produces disjoint sets
+    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    let mut rng = StdRng::seed_from_u64(4);
+    let split = gcmae_repro::graph::splits::link_split(&g, 0.2, 0.2, &mut rng);
+    assert!(split.train_graph.num_edges() >= 1);
+    assert!(!split.test_pos.is_empty());
+}
+
+#[test]
+fn checkpoint_rejects_garbage() {
+    use gcmae_repro::nn::{load_params, ParamStore};
+    let mut store = ParamStore::new();
+    store.create(Matrix::zeros(2, 2));
+    let garbage = bytes_from(vec![1, 2, 3]);
+    assert!(load_params(&mut store, garbage).is_err());
+}
+
+fn bytes_from(v: Vec<u8>) -> bytes::Bytes {
+    bytes::Bytes::from(v)
+}

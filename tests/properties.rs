@@ -1,0 +1,149 @@
+//! Workspace-level property-based tests (proptest) on the core invariants:
+//! graph structure, metrics, clustering, and autograd.
+
+use gcmae_repro::eval::kmeans;
+use gcmae_repro::eval::metrics::classification::accuracy;
+use gcmae_repro::eval::metrics::clustering::{ari, nmi};
+use gcmae_repro::eval::metrics::link::roc_auc;
+use gcmae_repro::graph::Graph;
+use gcmae_repro::tensor::{Matrix, Tape};
+use proptest::prelude::*;
+
+/// Arbitrary small undirected edge list.
+fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..3 * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_edges_are_symmetric(edges in edges_strategy(12)) {
+        let g = Graph::from_edges(12, &edges);
+        for (u, v) in g.directed_edges() {
+            prop_assert!(g.has_edge(v, u), "({u},{v}) missing reverse");
+            prop_assert_ne!(u, v, "self loop survived");
+        }
+        // handshake lemma
+        let deg_sum: usize = (0..12).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn induced_subgraph_never_invents_edges(edges in edges_strategy(10), keep in prop::collection::btree_set(0usize..10, 2..8)) {
+        let g = Graph::from_edges(10, &edges);
+        let nodes: Vec<usize> = keep.into_iter().collect();
+        let sub = g.induced_subgraph(&nodes);
+        for (a, b) in sub.undirected_edges() {
+            prop_assert!(g.has_edge(nodes[a], nodes[b]));
+        }
+    }
+
+    #[test]
+    fn gcn_norm_is_symmetric_positive_with_correct_diagonal(edges in edges_strategy(10)) {
+        let g = Graph::from_edges(10, &edges);
+        let norm = g.gcn_norm();
+        let dense = norm.to_dense();
+        for r in 0..10 {
+            // diagonal entry is 1/(deg+1)
+            let expected = 1.0 / (g.degree(r) as f32 + 1.0);
+            prop_assert!((dense[(r, r)] - expected).abs() < 1e-6);
+            for c in 0..10 {
+                prop_assert!(dense[(r, c)] >= 0.0);
+                prop_assert!((dense[(r, c)] - dense[(c, r)]).abs() < 1e-6, "asymmetry at ({r},{c})");
+            }
+        }
+        // mean normalization, by contrast, IS row-stochastic
+        let (mean, _) = g.mean_norm();
+        let md = mean.to_dense();
+        for r in 0..10 {
+            let s: f32 = (0..10).map(|c| md[(r, c)]).sum();
+            prop_assert!((s - 1.0).abs() < 1e-5, "mean-norm row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn nmi_and_ari_are_permutation_invariant(labels in prop::collection::vec(0usize..4, 8..40), perm_seed in 0u64..100) {
+        // relabel clusters by a fixed permutation: scores must not change
+        let relabel: Vec<usize> = match perm_seed % 3 {
+            0 => vec![1, 2, 3, 0],
+            1 => vec![3, 2, 1, 0],
+            _ => vec![2, 0, 3, 1],
+        };
+        let other: Vec<usize> = labels.iter().map(|&l| relabel[l]).collect();
+        prop_assert!((nmi(&labels, &other) - 1.0).abs() < 1e-9);
+        prop_assert!((ari(&labels, &other) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_is_symmetric_and_bounded(a in prop::collection::vec(0usize..3, 10..40), seed in 0u64..50) {
+        let b: Vec<usize> = a.iter().map(|&x| (x + seed as usize) % 3).collect();
+        let ab = nmi(&a, &b);
+        let ba = nmi(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn auc_is_complemented_by_label_flip(scores in prop::collection::vec(0.0f32..1.0, 10..50)) {
+        let labels: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 2 == 0).collect();
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&scores, &flipped);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+    }
+
+    #[test]
+    fn accuracy_is_bounded_and_exact_for_identity(labels in prop::collection::vec(0usize..5, 1..40)) {
+        prop_assert_eq!(accuracy(&labels, &labels), 1.0);
+    }
+
+    #[test]
+    fn kmeans_assignments_are_valid(
+        points in prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0), 6..40),
+        k in 1usize..4,
+    ) {
+        let n = points.len();
+        let mut m = Matrix::zeros(n, 2);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            m[(i, 0)] = x;
+            m[(i, 1)] = y;
+        }
+        let res = kmeans(&m, k, 20, 0);
+        prop_assert_eq!(res.assignments.len(), n);
+        prop_assert!(res.assignments.iter().all(|&a| a < k));
+        prop_assert!(res.inertia.is_finite() && res.inertia >= 0.0);
+    }
+
+    #[test]
+    fn autograd_linear_layer_gradient_is_exact(
+        xs in prop::collection::vec(-1.0f32..1.0, 6),
+        ws in prop::collection::vec(-1.0f32..1.0, 6),
+    ) {
+        // loss = ‖X·W‖² has a closed-form gradient dW = 2·Xᵀ·X·W
+        let x = Matrix::from_vec(2, 3, xs);
+        let w = Matrix::from_vec(3, 2, ws);
+        let mut tape = Tape::new();
+        let xi = tape.constant(x.clone());
+        let wi = tape.leaf(w.clone());
+        let y = tape.matmul(xi, wi);
+        let loss = tape.frob_sq(y);
+        let grads = tape.backward(loss);
+        let g = grads.get(wi).unwrap();
+        let xtx = gcmae_repro::tensor::dense::matmul_tn(&x, &x);
+        let mut expected = gcmae_repro::tensor::dense::matmul(&xtx, &w);
+        expected.scale_inplace(2.0);
+        prop_assert!(g.max_abs_diff(&expected) < 1e-4, "grad mismatch {}", g.max_abs_diff(&expected));
+    }
+
+    #[test]
+    fn masking_rate_zero_keeps_features(vals in prop::collection::vec(0.0f32..1.0, 12)) {
+        use gcmae_repro::graph::augment::mask_node_features;
+        use rand::{rngs::StdRng, SeedableRng};
+        let x = Matrix::from_vec(4, 3, vals);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = mask_node_features(&x, 0.0, &mut rng);
+        // exactly the one forced row is masked
+        prop_assert_eq!(m.masked.len(), 1);
+    }
+}
