@@ -24,7 +24,7 @@ pub fn train(
     train_with_pair_picker(collection, cfg, graphs_per_batch, seed, |rng, pair_loss| {
         let pool = Aug::pool();
         if rng.gen::<f32>() < EPSILON {
-            return (pool[rng.gen_range(0..4)], pool[rng.gen_range(0..4)]);
+            return (pool[rng.gen_range(0..pool.len())], pool[rng.gen_range(0..pool.len())]);
         }
         let mut best = (0usize, 0usize);
         let mut best_loss = f32::MAX;

@@ -36,14 +36,7 @@ pub fn train(
             let ops = GraphOps::new(&batch.graph);
             let dif = ppr_diffusion(&batch.graph, 0.2, 3, 8);
             let dif_t = Arc::new(dif.transposed());
-            let dif_ops = GraphOps {
-                gcn: dif.clone(),
-                mean_fwd: dif,
-                mean_bwd: dif_t,
-                loops: ops.loops.clone(),
-                adj: ops.adj.clone(),
-                num_nodes: batch.graph.num_nodes(),
-            };
+            let dif_ops = GraphOps::with_message_operator(&batch.graph, dif, dif_t);
             let mut sess = Session::new();
             let x = sess.tape.constant(batch.features.clone());
             let h1 = enc_adj.forward(&mut sess, &store, x, &ops, true, &mut rng);

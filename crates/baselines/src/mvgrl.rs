@@ -30,14 +30,7 @@ pub fn train(ds: &Dataset, cfg: &SslConfig, seed: u64) -> Matrix {
 
     // encoder over the diffusion operator: reuse the GCN stack but replace
     // the gcn operator with the diffusion matrix
-    let dif_ops = GraphOps {
-        gcn: diffusion.clone(),
-        mean_fwd: diffusion.clone(),
-        mean_bwd: diffusion_t.clone(),
-        loops: ops.loops.clone(),
-        adj: ops.adj.clone(),
-        num_nodes: n,
-    };
+    let dif_ops = GraphOps::with_message_operator(&ds.graph, diffusion, diffusion_t);
 
     for _ in 0..cfg.epochs {
         let mut sess = Session::new();

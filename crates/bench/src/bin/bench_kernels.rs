@@ -1,0 +1,114 @@
+//! Kernel microbenchmarks: matmul, spmm, adj_recon forward, infonce forward
+//! at n ∈ {512, 2048, 8192} for 1 thread vs. all available threads. Writes
+//! median wall-clock nanoseconds to `BENCH_kernels.json` (same schema as the
+//! committed file) so the CI kernels job can assert multi-core speedups.
+//!
+//! ```sh
+//! cargo run --release -p gcmae-bench --bin bench_kernels -- [out.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gcmae_tensor::ops::{adj_recon, infonce};
+use gcmae_tensor::parallel::{num_threads, set_num_threads};
+use gcmae_tensor::{CsrMatrix, Matrix, SharedCsr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 32;
+const AVG_DEG: usize = 16;
+
+fn random_graph(n: usize, avg_deg: usize, rng: &mut StdRng) -> SharedCsr {
+    let mut t = Vec::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        t.push((i, j, 1.0));
+        t.push((j, i, 1.0));
+    }
+    for _ in 0..n * avg_deg / 2 {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i != j {
+            t.push((i, j, 1.0));
+            t.push((j, i, 1.0));
+        }
+    }
+    let adj = CsrMatrix::from_triplets(n, n, &t);
+    let values = vec![1.0; adj.nnz()];
+    Arc::new(CsrMatrix::new(n, n, adj.indptr().to_vec(), adj.indices().to_vec(), values))
+}
+
+/// Median over `reps` timed calls, after one untimed warm-up call (the first
+/// call ever pays allocator growth and page faults).
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    f();
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    set_num_threads(threads);
+    let out = f();
+    set_num_threads(0);
+    out
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let max_threads = num_threads();
+    let mut thread_counts = vec![1usize];
+    if max_threads > 1 {
+        thread_counts.push(max_threads);
+    }
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut entries = Vec::new();
+
+    for &n in &[512usize, 2048, 8192] {
+        let reps = if n >= 8192 { 1 } else if n >= 2048 { 3 } else { 5 };
+        let a = Matrix::uniform(n, DIM, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(DIM, n, -1.0, 1.0, &mut rng);
+        let adj = random_graph(n, AVG_DEG, &mut rng);
+        let z = Matrix::uniform(n, DIM, -0.5, 0.5, &mut rng);
+        let v = Matrix::uniform(n, DIM, -0.5, 0.5, &mut rng);
+        for &t in &thread_counts {
+            let timings = with_threads(t, || {
+                [
+                    ("matmul", median_ns(reps, || {
+                        std::hint::black_box(gcmae_tensor::dense::matmul(&a, &b));
+                    })),
+                    ("spmm", median_ns(reps, || {
+                        std::hint::black_box(adj.matmul_dense(&z));
+                    })),
+                    ("adj_recon_forward", median_ns(reps, || {
+                        std::hint::black_box(adj_recon::forward(&z, adj.clone(), Default::default()));
+                    })),
+                    ("infonce_forward", median_ns(reps, || {
+                        std::hint::black_box(infonce::forward(&z, &v, 0.5));
+                    })),
+                ]
+            });
+            for (kernel, ns) in timings {
+                println!("n={n} threads={t} {kernel}: {:.3} ms", ns as f64 / 1e6);
+                entries.push(format!(
+                    "    {{\"kernel\": \"{kernel}\", \"n\": {n}, \"dim\": {DIM}, \"threads\": {t}, \"median_ns\": {ns}, \"reps\": {reps}}}"
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"note\": \"median wall-clock ns per call (one warm-up call excluded)\",\n  \"host_cores\": {host_cores},\n  \"avg_degree\": {AVG_DEG},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -29,7 +29,8 @@ impl GcnLayer {
         ops: &GraphOps,
     ) -> TensorId {
         let xw = self.lin.forward(sess, store, x);
-        sess.tape.spmm(ops.gcn.clone(), ops.gcn.clone(), xw)
+        let gcn = ops.gcn();
+        sess.tape.spmm(gcn.clone(), gcn, xw)
     }
 }
 
@@ -58,7 +59,7 @@ impl SageLayer {
         ops: &GraphOps,
     ) -> TensorId {
         let own = self.w_self.forward(sess, store, x);
-        let agg = sess.tape.spmm(ops.mean_fwd.clone(), ops.mean_bwd.clone(), x);
+        let agg = sess.tape.spmm(ops.mean_fwd(), ops.mean_bwd(), x);
         let neigh = self.w_neigh.forward(sess, store, agg);
         sess.tape.add(own, neigh)
     }
@@ -122,7 +123,7 @@ impl GatLayer {
                 let hw = h.w.forward(sess, store, x);
                 let a_src = sess.param(store, h.a_src);
                 let a_dst = sess.param(store, h.a_dst);
-                sess.tape.gat(hw, a_src, a_dst, ops.loops.clone(), 0.2)
+                sess.tape.gat(hw, a_src, a_dst, ops.loops(), 0.2)
             })
             .collect();
         if outs.len() == 1 {
@@ -162,7 +163,8 @@ impl GinLayer {
         ops: &GraphOps,
     ) -> TensorId {
         // binary symmetric adjacency is its own transpose
-        let agg = sess.tape.spmm(ops.adj.clone(), ops.adj.clone(), x);
+        let adj = ops.adj();
+        let agg = sess.tape.spmm(adj.clone(), adj, x);
         let own = sess.tape.scale(x, 1.0 + self.eps);
         let sum = sess.tape.add(own, agg);
         self.mlp.forward(sess, store, sum)

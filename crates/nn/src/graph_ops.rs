@@ -1,42 +1,78 @@
-//! Precomputed sparse operators for one graph view.
+//! Lazily-computed sparse operators for one graph view.
 //!
 //! Every augmented view used in a training step gets its own [`GraphOps`],
-//! computed once per step and shared (via `Arc`) into the tape ops that
-//! need them.
+//! shared (via `Arc`) into the tape ops that need it. Operators are built on
+//! first use and cached: a GCN encoder never pays for the SAGE normalization
+//! (or its CSR transpose), a SAGE encoder never pays for the GCN one, and so
+//! on — which matters because contrastive methods construct fresh views (and
+//! therefore fresh `GraphOps`) on every step.
+
+use std::sync::OnceLock;
 
 use gcmae_graph::Graph;
 use gcmae_tensor::SharedCsr;
 
-/// The sparse operators a GNN encoder may need for one graph view.
+/// The sparse operators a GNN encoder may need for one graph view, each
+/// computed on first access.
 #[derive(Clone)]
 pub struct GraphOps {
-    /// Symmetric GCN normalization `D̃^{-1/2}(A+I)D̃^{-1/2}`.
-    pub gcn: SharedCsr,
-    /// Row-stochastic mean normalization `D̃^{-1}(A+I)` (GraphSAGE).
-    pub mean_fwd: SharedCsr,
-    /// Transpose of `mean_fwd` for the backward pass.
-    pub mean_bwd: SharedCsr,
-    /// Binary adjacency with self loops (GAT attention support).
-    pub loops: SharedCsr,
-    /// Raw binary adjacency without self loops (GIN sum aggregation;
-    /// symmetric, so it is its own transpose).
-    pub adj: SharedCsr,
+    graph: Graph,
+    gcn: OnceLock<SharedCsr>,
+    mean: OnceLock<(SharedCsr, SharedCsr)>,
+    loops: OnceLock<SharedCsr>,
     /// Number of nodes.
     pub num_nodes: usize,
 }
 
 impl GraphOps {
-    /// Computes all operators for a graph.
+    /// Wraps a graph; no operator is computed yet.
     pub fn new(g: &Graph) -> Self {
-        let (mean_fwd, mean_bwd) = g.mean_norm();
         Self {
-            gcn: g.gcn_norm(),
-            mean_fwd,
-            mean_bwd,
-            loops: g.adjacency_with_self_loops(),
-            adj: g.adjacency(),
+            graph: g.clone(),
+            gcn: OnceLock::new(),
+            mean: OnceLock::new(),
+            loops: OnceLock::new(),
             num_nodes: g.num_nodes(),
         }
+    }
+
+    /// Operators whose message-passing matrix is replaced by a custom
+    /// operator (MVGRL's PPR diffusion view): `op` serves as both the GCN
+    /// and SAGE-forward operator, `op_t` as the SAGE-backward transpose.
+    /// GAT/GIN supports still come lazily from the graph itself.
+    pub fn with_message_operator(g: &Graph, op: SharedCsr, op_t: SharedCsr) -> Self {
+        let ops = Self::new(g);
+        let _ = ops.gcn.set(op.clone());
+        let _ = ops.mean.set((op, op_t));
+        ops
+    }
+
+    /// Symmetric GCN normalization `D̃^{-1/2}(A+I)D̃^{-1/2}` (its own
+    /// transpose, so the same handle serves forward and backward).
+    pub fn gcn(&self) -> SharedCsr {
+        self.gcn.get_or_init(|| self.graph.gcn_norm()).clone()
+    }
+
+    /// Row-stochastic mean normalization `D̃^{-1}(A+I)` (GraphSAGE forward).
+    pub fn mean_fwd(&self) -> SharedCsr {
+        self.mean.get_or_init(|| self.graph.mean_norm()).0.clone()
+    }
+
+    /// Transpose of [`Self::mean_fwd`] for the backward sparse product.
+    pub fn mean_bwd(&self) -> SharedCsr {
+        self.mean.get_or_init(|| self.graph.mean_norm()).1.clone()
+    }
+
+    /// Binary adjacency with self loops (GAT attention support).
+    pub fn loops(&self) -> SharedCsr {
+        self.loops.get_or_init(|| self.graph.adjacency_with_self_loops()).clone()
+    }
+
+    /// Raw binary adjacency without self loops (GIN sum aggregation;
+    /// symmetric, so it is its own transpose). Always cheap: the graph
+    /// already stores it.
+    pub fn adj(&self) -> SharedCsr {
+        self.graph.adjacency()
     }
 }
 
@@ -49,11 +85,32 @@ mod tests {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let ops = GraphOps::new(&g);
         assert_eq!(ops.num_nodes, 5);
-        for m in [&ops.gcn, &ops.mean_fwd, &ops.loops, &ops.adj] {
+        for m in [ops.gcn(), ops.mean_fwd(), ops.loops(), ops.adj()] {
             assert_eq!(m.rows(), 5);
             assert_eq!(m.cols(), 5);
         }
-        assert_eq!(ops.adj.nnz(), 8);
-        assert_eq!(ops.loops.nnz(), 13);
+        assert_eq!(ops.adj().nnz(), 8);
+        assert_eq!(ops.loops().nnz(), 13);
+    }
+
+    #[test]
+    fn operators_are_cached_per_view() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let ops = GraphOps::new(&g);
+        // Two accesses hand out the same shared allocation.
+        assert!(std::sync::Arc::ptr_eq(&ops.gcn(), &ops.gcn()));
+        assert!(std::sync::Arc::ptr_eq(&ops.mean_fwd(), &ops.mean_fwd()));
+    }
+
+    #[test]
+    fn message_operator_override_replaces_gcn_and_mean() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let custom = GraphOps::new(&g).loops(); // any CSR stands in
+        let ops = GraphOps::with_message_operator(&g, custom.clone(), custom.clone());
+        assert!(std::sync::Arc::ptr_eq(&ops.gcn(), &custom));
+        assert!(std::sync::Arc::ptr_eq(&ops.mean_fwd(), &custom));
+        assert!(std::sync::Arc::ptr_eq(&ops.mean_bwd(), &custom));
+        // GAT/GIN supports still come from the graph.
+        assert_eq!(ops.adj().nnz(), 4);
     }
 }

@@ -149,17 +149,23 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
         }
 
         Op::RowNormalize { input, norms } => {
-            // y = x/‖x‖ ⇒ dx = (g − (g·y)y)/‖x‖
+            // y = x/‖x‖ ⇒ dx = (g − (g·y)y)/‖x‖ — rows are independent.
             let y = &node.value;
-            let mut d = Matrix::zeros(g.rows(), g.cols());
-            for r in 0..g.rows() {
-                let gr = g.row(r);
-                let yr = y.row(r);
-                let gy: f32 = gr.iter().zip(yr).map(|(a, b)| a * b).sum();
-                let inv = 1.0 / norms[r];
-                for ((o, &gv), &yv) in d.row_mut(r).iter_mut().zip(gr).zip(yr) {
-                    *o = (gv - gy * yv) * inv;
-                }
+            let cols = g.cols();
+            let mut d = Matrix::zeros(g.rows(), cols);
+            if cols > 0 {
+                crate::parallel::par_row_chunks_cost(d.as_mut_slice(), cols, 4 * cols, |r0, chunk| {
+                    for (dr, orow) in chunk.chunks_mut(cols).enumerate() {
+                        let r = r0 + dr;
+                        let gr = g.row(r);
+                        let yr = y.row(r);
+                        let gy: f32 = gr.iter().zip(yr).map(|(a, b)| a * b).sum();
+                        let inv = 1.0 / norms[r];
+                        for ((o, &gv), &yv) in orow.iter_mut().zip(gr).zip(yr) {
+                            *o = (gv - gy * yv) * inv;
+                        }
+                    }
+                });
             }
             acc(tape, grads, *input, d);
         }

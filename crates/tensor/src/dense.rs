@@ -6,7 +6,7 @@
 //! row-block parallelism over the output.
 
 use crate::matrix::Matrix;
-use crate::parallel::par_row_chunks;
+use crate::parallel::par_row_chunks_cost;
 
 /// `A (m×k) · B (k×n) → (m×n)`.
 ///
@@ -17,7 +17,9 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    par_row_chunks(out.as_mut_slice(), n, |r0, chunk| {
+    // Each output row costs k·n multiply-adds, so a skinny m×n output with a
+    // deep inner dimension still crosses the parallel threshold.
+    par_row_chunks_cost(out.as_mut_slice(), n, k.max(1).saturating_mul(n), |r0, chunk| {
         for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
             let ar = a.row(r0 + dr);
             for p in 0..k {
@@ -43,8 +45,9 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch {:?} x {:?}ᵀ", a.shape(), b.shape());
     let m = a.rows();
     let n = b.rows();
+    let k = a.cols();
     let mut out = Matrix::zeros(m, n);
-    par_row_chunks(out.as_mut_slice(), n, |r0, chunk| {
+    par_row_chunks_cost(out.as_mut_slice(), n, k.max(1).saturating_mul(n), |r0, chunk| {
         for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
             let ar = a.row(r0 + dr);
             for (o, j) in out_row.iter_mut().zip(0..n) {
@@ -67,9 +70,10 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let n = b.cols();
     let m = a.rows();
     let mut out = Matrix::zeros(k, n);
-    // Serial over the (usually small) k×n output; accumulating row p of B
-    // scaled by A[p][row] keeps everything sequential in memory.
-    par_row_chunks(out.as_mut_slice(), n, |r0, chunk| {
+    // Row-parallel over the k×n output like the other variants; each output
+    // row costs m·n multiply-adds (accumulating row p of B scaled by
+    // A[p][row] keeps the inner walk sequential in memory).
+    par_row_chunks_cost(out.as_mut_slice(), n, m.max(1).saturating_mul(n), |r0, chunk| {
         for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
             let c = r0 + dr; // output row == column of A
             for p in 0..m {

@@ -156,14 +156,50 @@ impl Matrix {
         out
     }
 
-    /// Transposed copy.
+    /// Transposed copy, built tile-by-tile so both the source reads and the
+    /// destination writes stay within a cache-sized working set.
     pub fn transposed(&self) -> Self {
-        let mut out = Self::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+        const B: usize = 64;
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = Self::zeros(cols, rows);
+        for rb in (0..rows).step_by(B) {
+            let re = (rb + B).min(rows);
+            for cb in (0..cols).step_by(B) {
+                let ce = (cb + B).min(cols);
+                for r in rb..re {
+                    let src = self.row(r);
+                    for c in cb..ce {
+                        out.data[c * rows + r] = src[c];
+                    }
+                }
             }
         }
+        out
+    }
+
+    /// `self + selfᵀ` for a square matrix, computed tile-by-tile without
+    /// materializing the transpose (used by the N×N loss backward passes,
+    /// where the extra N² buffer and strided full-matrix pass are the
+    /// dominant memory traffic).
+    pub fn add_transposed(&self) -> Self {
+        assert_eq!(self.rows, self.cols, "add_transposed needs a square matrix");
+        let n = self.rows;
+        let mut out = Self::zeros(n, n);
+        crate::parallel::par_row_chunks_cost(out.as_mut_slice(), n.max(1), 2 * n, |r0, chunk| {
+            const B: usize = 64;
+            let mut cb = 0;
+            while cb < n {
+                let ce = (cb + B).min(n);
+                for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+                    let r = r0 + dr;
+                    let src = &self.row(r)[cb..ce];
+                    for (c, &sv) in (cb..ce).zip(src) {
+                        out_row[c] = sv + self.data[c * n + r];
+                    }
+                }
+                cb = ce;
+            }
+        });
         out
     }
 
@@ -313,6 +349,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let m = Matrix::uniform(3, 5, -1.0, 1.0, &mut rng);
         assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_crosses_tile_boundaries() {
+        // 100×70 straddles the 64-wide tiles in both dimensions.
+        let m = Matrix::from_fn(100, 70, |r, c| (r * 1000 + c) as f32);
+        let t = m.transposed();
+        assert_eq!(t.shape(), (70, 100));
+        for r in 0..100 {
+            for c in 0..70 {
+                assert_eq!(t[(c, r)], m[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_transposed_matches_explicit() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for n in [1usize, 5, 64, 97] {
+            let m = Matrix::uniform(n, n, -1.0, 1.0, &mut rng);
+            let mut explicit = m.clone();
+            explicit.add_assign(&m.transposed());
+            assert_eq!(m.add_transposed(), explicit, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn add_transposed_rejects_rectangular() {
+        let _ = Matrix::zeros(2, 3).add_transposed();
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::dense::{dot, matmul, matmul_nt};
 use crate::matrix::Matrix;
+use crate::parallel::{par_rows, RowTable};
 use crate::sparse::SharedCsr;
 
 /// Floor inside the relative-distance logs (bounds the gradient).
@@ -93,35 +94,54 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
     let w_pos = 0.5 / pos_pairs;
     let w_neg = 0.5 / neg_pairs;
 
-    let mut mse = 0.0f64;
-    let mut bce = 0.0f64;
+    // Row-parallel pair loop: row i owns coeff row i plus its own mse/bce
+    // partial; partials are reduced sequentially in row order afterwards, so
+    // the result is bit-identical for any thread count.
     let mut coeff = Matrix::zeros(n, n);
-    for i in 0..n {
-        let (adj_cols, _) = adj.row(i);
-        let mut next = 0usize;
-        for j in 0..n {
-            if j == i {
-                continue;
+    let mut row_mse = vec![0.0f64; n];
+    let mut row_bce = vec![0.0f64; n];
+    {
+        let coeff_rows = RowTable::new(coeff.as_mut_slice(), n);
+        let mse_rows = RowTable::new(&mut row_mse, 1);
+        let bce_rows = RowTable::new(&mut row_bce, 1);
+        // sigmoid + two logs per pair ≈ 16 flops
+        par_rows(n, 16 * n, |i| {
+            // SAFETY: each row index is visited by exactly one participant.
+            let coeff_row = unsafe { coeff_rows.row_mut(i) };
+            let (adj_cols, _) = adj.row(i);
+            let s_row = s.row(i);
+            let mut mse_i = 0.0f64;
+            let mut bce_i = 0.0f64;
+            let mut next = 0usize;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                // advance over the sorted adjacency row to test membership in O(deg)
+                while next < adj_cols.len() && (adj_cols[next] as usize) < j {
+                    next += 1;
+                }
+                let a =
+                    if next < adj_cols.len() && adj_cols[next] as usize == j { 1.0 } else { 0.0 };
+                let wc = if a == 1.0 { w_pos } else { w_neg };
+                let p = sigmoid(s_row[j]);
+                let pc = p.clamp(P_CLAMP, 1.0 - P_CLAMP);
+                mse_i += (wc * (p - a) * (p - a)) as f64;
+                bce_i += (-wc * (a * pc.ln() + (1.0 - a) * (1.0 - pc).ln())) as f64;
+                // dℓ/dS = [w_mse·2(p−a) + w_bce·(p−a)] · p(1−p) · wc
+                // (BCE with logits derivative is exactly p − a.)
+                let dmse = w.mse * 2.0 * (p - a) * p * (1.0 - p);
+                let dbce = w.bce * (p - a);
+                coeff_row[j] = (dmse + dbce) * wc;
             }
-            // advance over the sorted adjacency row to test membership in O(deg)
-            while next < adj_cols.len() && (adj_cols[next] as usize) < j {
-                next += 1;
+            unsafe {
+                mse_rows.row_mut(i)[0] = mse_i;
+                bce_rows.row_mut(i)[0] = bce_i;
             }
-            let a = if next < adj_cols.len() && adj_cols[next] as usize == j { 1.0 } else { 0.0 };
-            let wc = if a == 1.0 { w_pos } else { w_neg };
-            let p = sigmoid(s[(i, j)]);
-            let pc = p.clamp(P_CLAMP, 1.0 - P_CLAMP);
-            mse += (wc * (p - a) * (p - a)) as f64;
-            bce += (-wc * (a * pc.ln() + (1.0 - a) * (1.0 - pc).ln())) as f64;
-            // dℓ/dS = [w_mse·2(p−a) + w_bce·(p−a)] · p(1−p) · wc
-            // (BCE with logits derivative is exactly p − a.)
-            let dmse = w.mse * 2.0 * (p - a) * p * (1.0 - p);
-            let dbce = w.bce * (p - a);
-            coeff[(i, j)] = (dmse + dbce) * wc;
-        }
+        });
     }
-    let mse = mse as f32;
-    let bce = bce as f32;
+    let mse = row_mse.iter().sum::<f64>() as f32;
+    let bce = row_bce.iter().sum::<f64>() as f32;
 
     // Distance sums. Σ_all pairs ‖z_i−z_j‖² = 2n·Σ‖z_i‖² − 2‖Σz‖².
     let mut sq_sum = 0.0f32;
@@ -134,15 +154,27 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
         }
     }
     let all = 2.0 * n as f32 * sq_sum - 2.0 * dot(&col_sum, &col_sum);
-    let mut den = 0.0f32;
-    for (i, j, _) in adj.iter() {
-        let (zi, zj) = (z.row(i), z.row(j));
-        let mut d = 0.0f32;
-        for (&a, &b) in zi.iter().zip(zj) {
-            d += (a - b) * (a - b);
-        }
-        den += d;
+    // Adjacent squared distances, row-parallel with a sequential reduction.
+    let mut row_den = vec![0.0f32; n];
+    {
+        let den_rows = RowTable::new(&mut row_den, 1);
+        let avg_deg = (adj.nnz() / n.max(1)).max(1);
+        par_rows(n, 3 * avg_deg * z.cols(), |i| {
+            let (adj_cols, _) = adj.row(i);
+            let zi = z.row(i);
+            let mut d_i = 0.0f32;
+            for &j in adj_cols {
+                let zj = z.row(j as usize);
+                let mut d = 0.0f32;
+                for (&a, &b) in zi.iter().zip(zj) {
+                    d += (a - b) * (a - b);
+                }
+                d_i += d;
+            }
+            unsafe { den_rows.row_mut(i)[0] = d_i };
+        });
     }
+    let den = row_den.iter().sum::<f32>();
     let num = (all - den).max(0.0);
     // per-pair means with an ε floor so the log gradient stays bounded
     let den_mean = den / pos_pairs;
@@ -162,9 +194,9 @@ pub fn backward(saved: &Saved, z: &Matrix, gout: f32) -> Matrix {
     let n = z.rows();
     let d = z.cols();
 
-    // MSE + BCE part: dZ = (C + Cᵀ)·Z.
-    let mut c_sym = saved.coeff.clone();
-    c_sym.add_assign(&saved.coeff.transposed());
+    // MSE + BCE part: dZ = (C + Cᵀ)·Z. The tiled symmetrization avoids
+    // materializing Cᵀ (an extra N² buffer plus a strided full-matrix pass).
+    let c_sym = saved.coeff.add_transposed();
     let mut grad = matmul(&c_sym, z);
 
     // Distance part: ℓ = log(den/P + ε) − log(num/Q + ε), num = all − den.
@@ -181,16 +213,20 @@ pub fn backward(saved: &Saved, z: &Matrix, gout: f32) -> Matrix {
         }
     }
     let neigh_sum = saved.adj.matmul_dense(z); // row k = Σ_{j∈N(k)} z_j (0/1 weights)
-    for k in 0..n {
-        let deg = saved.adj.row_nnz(k) as f32;
-        let zk = z.row(k);
-        let ns = neigh_sum.row(k);
-        let gk = grad.row_mut(k);
-        for (((g, &zv), &nv), &cs) in gk.iter_mut().zip(zk).zip(ns).zip(&col_sum) {
-            let dden = 4.0 * (deg * zv - nv);
-            let dall = 4.0 * (n as f32 * zv - cs);
-            *g += g_den * dden + g_all * dall;
-        }
+    if d > 0 {
+        let grad_rows = RowTable::new(grad.as_mut_slice(), d);
+        par_rows(n, 6 * d, |k| {
+            let deg = saved.adj.row_nnz(k) as f32;
+            let zk = z.row(k);
+            let ns = neigh_sum.row(k);
+            // SAFETY: each gradient row is written by exactly one participant.
+            let gk = unsafe { grad_rows.row_mut(k) };
+            for (((g, &zv), &nv), &cs) in gk.iter_mut().zip(zk).zip(ns).zip(&col_sum) {
+                let dden = 4.0 * (deg * zv - nv);
+                let dall = 4.0 * (n as f32 * zv - cs);
+                *g += g_den * dden + g_all * dall;
+            }
+        });
     }
     grad.scale_inplace(gout);
     grad

@@ -5,6 +5,7 @@
 
 use crate::dense::matmul_nt;
 use crate::matrix::Matrix;
+use crate::parallel::{par_row_blocks, par_rows, RowTable};
 
 const EPS: f32 = 1e-8;
 
@@ -45,22 +46,65 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
         m.scale_inplace(inv_tau);
     }
 
-    let mut loss = 0.0f64;
     let mut g_uv = Matrix::zeros(n, n);
     let mut g_uu = Matrix::zeros(n, n);
     let mut g_vu = Matrix::zeros(n, n);
     let mut g_vv = Matrix::zeros(n, n);
 
-    // u-side: anchor u_i against {v_j} ∪ {u_j, j≠i}.
-    for i in 0..n {
-        loss += side_row(i, s_uv.row(i), s_uu.row(i), g_uv.row_mut(i), g_uu.row_mut(i));
+    // Both anchor loops are row-parallel: anchor i owns its coefficient rows
+    // and a per-row loss partial; the partials are reduced sequentially in
+    // anchor order afterwards, so the loss is bit-identical for any thread
+    // count. Each anchor costs ~2n exp calls plus a few O(n) passes.
+    let mut row_loss = vec![0.0f64; 2 * n];
+    {
+        let (u_loss, v_loss) = row_loss.split_at_mut(n);
+        // u-side: anchor u_i against {v_j} ∪ {u_j, j≠i}.
+        {
+            let g_uv_rows = RowTable::new(g_uv.as_mut_slice(), n);
+            let g_uu_rows = RowTable::new(g_uu.as_mut_slice(), n);
+            let loss_rows = RowTable::new(u_loss, 1);
+            par_rows(n, 8 * n, |i| {
+                // SAFETY: each anchor row is visited by exactly one participant.
+                unsafe {
+                    loss_rows.row_mut(i)[0] = side_row(
+                        i,
+                        s_uv.row(i),
+                        s_uu.row(i),
+                        g_uv_rows.row_mut(i),
+                        g_uu_rows.row_mut(i),
+                    );
+                }
+            });
+        }
+        // v-side: anchor v_i against {u_j} ∪ {v_j, j≠i}. s_vu = s_uvᵀ; rather
+        // than materializing the transpose (an extra N² buffer), each anchor
+        // gathers its column of s_uv into a participant-local scratch row.
+        {
+            let g_vu_rows = RowTable::new(g_vu.as_mut_slice(), n);
+            let g_vv_rows = RowTable::new(g_vv.as_mut_slice(), n);
+            let loss_rows = RowTable::new(v_loss, 1);
+            par_row_blocks(n, 9 * n, |range| {
+                let mut s_vu_row = vec![0.0f32; n];
+                for i in range {
+                    for (j, x) in s_vu_row.iter_mut().enumerate() {
+                        *x = s_uv[(j, i)];
+                    }
+                    // SAFETY: each anchor row is visited by exactly one
+                    // participant.
+                    unsafe {
+                        loss_rows.row_mut(i)[0] = side_row(
+                            i,
+                            &s_vu_row,
+                            s_vv.row(i),
+                            g_vu_rows.row_mut(i),
+                            g_vv_rows.row_mut(i),
+                        );
+                    }
+                }
+            });
+        }
     }
-    // v-side: anchor v_i against {u_j} ∪ {v_j, j≠i}. s_vu = s_uvᵀ.
-    let s_vu = s_uv.transposed();
-    for i in 0..n {
-        loss += side_row(i, s_vu.row(i), s_vv.row(i), g_vu.row_mut(i), g_vv.row_mut(i));
-    }
-    let loss = (loss / (2 * n) as f64) as f32;
+    let loss = (row_loss.iter().sum::<f64>() / (2 * n) as f64) as f32;
     (loss, Saved { un, vn, u_norms, v_norms, g_uv, g_uu, g_vu, g_vv, tau })
 }
 
@@ -111,12 +155,12 @@ pub fn backward(saved: &Saved, gout: f32) -> (Matrix, Matrix) {
     // Gradients w.r.t. the normalized views.
     // dÛ = Guv·V̂ + (Guu + Guuᵀ)·Û + Gvuᵀ·V̂
     let mut dun = crate::dense::matmul(&saved.g_uv, &saved.vn);
-    let guu_sym = add_transpose(&saved.g_uu);
+    let guu_sym = saved.g_uu.add_transposed();
     dun.add_assign(&crate::dense::matmul(&guu_sym, &saved.un));
     dun.add_assign(&crate::dense::matmul_tn(&saved.g_vu, &saved.vn));
     // dV̂ = Guvᵀ·Û + (Gvv + Gvvᵀ)·V̂ + Gvu·Û
     let mut dvn = crate::dense::matmul_tn(&saved.g_uv, &saved.un);
-    let gvv_sym = add_transpose(&saved.g_vv);
+    let gvv_sym = saved.g_vv.add_transposed();
     dvn.add_assign(&crate::dense::matmul(&gvv_sym, &saved.vn));
     dvn.add_assign(&crate::dense::matmul(&saved.g_vu, &saved.un));
 
@@ -128,37 +172,43 @@ pub fn backward(saved: &Saved, gout: f32) -> (Matrix, Matrix) {
     (du, dv)
 }
 
-fn add_transpose(m: &Matrix) -> Matrix {
-    let mut out = m.clone();
-    let t = m.transposed();
-    out.add_assign(&t);
-    out
-}
-
 fn normalize_rows(m: &Matrix) -> (Matrix, Vec<f32>) {
+    let d = m.cols();
     let mut out = m.clone();
-    let mut norms = Vec::with_capacity(m.rows());
-    for r in 0..m.rows() {
-        let n = m.row_norm(r).max(EPS);
-        norms.push(n);
-        for v in out.row_mut(r) {
-            *v /= n;
-        }
+    let mut norms = vec![0.0f32; m.rows()];
+    if d > 0 {
+        let norm_rows = RowTable::new(&mut norms, 1);
+        crate::parallel::par_row_chunks_cost(out.as_mut_slice(), d, 3 * d, |r0, chunk| {
+            for (dr, row) in chunk.chunks_mut(d).enumerate() {
+                let n = m.row_norm(r0 + dr).max(EPS);
+                // SAFETY: each row is visited by exactly one participant.
+                unsafe { norm_rows.row_mut(r0 + dr)[0] = n };
+                for v in row {
+                    *v /= n;
+                }
+            }
+        });
     }
     (out, norms)
 }
 
 /// Chain rule through row L2 normalization: `dx = (dŷ − (dŷ·ŷ)ŷ)/‖x‖`.
 fn normalize_backward(dn: &Matrix, normalized: &Matrix, norms: &[f32]) -> Matrix {
+    let d = dn.cols();
     let mut out = Matrix::zeros(dn.rows(), dn.cols());
-    for r in 0..dn.rows() {
-        let g = dn.row(r);
-        let y = normalized.row(r);
-        let gy: f32 = g.iter().zip(y).map(|(a, b)| a * b).sum();
-        let inv = 1.0 / norms[r];
-        for ((o, &gv), &yv) in out.row_mut(r).iter_mut().zip(g).zip(y) {
-            *o = (gv - gy * yv) * inv;
-        }
+    if d > 0 {
+        crate::parallel::par_row_chunks_cost(out.as_mut_slice(), d, 4 * d, |r0, chunk| {
+            for (dr, orow) in chunk.chunks_mut(d).enumerate() {
+                let r = r0 + dr;
+                let g = dn.row(r);
+                let y = normalized.row(r);
+                let gy: f32 = g.iter().zip(y).map(|(a, b)| a * b).sum();
+                let inv = 1.0 / norms[r];
+                for ((o, &gv), &yv) in orow.iter_mut().zip(g).zip(y) {
+                    *o = (gv - gy * yv) * inv;
+                }
+            }
+        });
     }
     out
 }

@@ -6,6 +6,7 @@
 use std::sync::Arc;
 
 use crate::matrix::Matrix;
+use crate::parallel::{par_rows, RowTable};
 
 const EPS: f32 = 1e-8;
 
@@ -26,18 +27,32 @@ pub fn forward(pred: &Matrix, target: Arc<Matrix>, rows: Vec<usize>, gamma: f32)
     assert_eq!(pred.shape(), target.shape(), "SCE shape mismatch");
     assert!(!rows.is_empty(), "SCE needs at least one masked row");
     assert!(gamma >= 1.0, "SCE gamma must be >= 1");
-    let mut loss = 0.0f64;
-    let mut cached = Vec::with_capacity(rows.len());
-    for &r in &rows {
-        let x = target.row(r);
-        let z = pred.row(r);
-        let xn = norm(x).max(EPS);
-        let zn = norm(z).max(EPS);
-        let cos = dot(x, z) / (xn * zn);
-        cached.push((cos, xn, zn));
-        loss += ((1.0 - cos).max(0.0) as f64).powf(gamma as f64);
+    // Masked rows are independent: each computes its cached (cos, ‖x‖, ‖z‖)
+    // triple and loss partial in parallel; partials are reduced sequentially
+    // in list order, keeping the loss bit-identical for any thread count.
+    let m = rows.len();
+    let mut cached = vec![(0.0f32, 0.0f32, 0.0f32); m];
+    let mut row_loss = vec![0.0f64; m];
+    {
+        let cached_rows = RowTable::new(&mut cached, 1);
+        let loss_rows = RowTable::new(&mut row_loss, 1);
+        let d = pred.cols();
+        par_rows(m, 3 * d + 16, |i| {
+            let r = rows[i];
+            let x = target.row(r);
+            let z = pred.row(r);
+            let xn = norm(x).max(EPS);
+            let zn = norm(z).max(EPS);
+            let cos = dot(x, z) / (xn * zn);
+            // SAFETY: each list position is visited by exactly one
+            // participant.
+            unsafe {
+                cached_rows.row_mut(i)[0] = (cos, xn, zn);
+                loss_rows.row_mut(i)[0] = ((1.0 - cos).max(0.0) as f64).powf(gamma as f64);
+            }
+        });
     }
-    let loss = (loss / rows.len() as f64) as f32;
+    let loss = (row_loss.iter().sum::<f64>() / m as f64) as f32;
     (loss, Saved { target, rows, gamma, cached })
 }
 
@@ -46,22 +61,44 @@ pub fn forward(pred: &Matrix, target: Arc<Matrix>, rows: Vec<usize>, gamma: f32)
 pub fn backward(saved: &Saved, pred: &Matrix, gout: f32) -> Matrix {
     let mut grad = Matrix::zeros(pred.rows(), pred.cols());
     let scale = gout / saved.rows.len() as f32;
-    for (idx, &r) in saved.rows.iter().enumerate() {
+    let d = pred.cols();
+    let step = |idx: usize, r: usize, g: &mut [f32]| {
         let (cos, xn, zn) = saved.cached[idx];
         let one_minus = (1.0 - cos).max(0.0);
         // d/dcos of (1-cos)^γ = -γ (1-cos)^(γ-1)
         let dcos_coeff = -saved.gamma * one_minus.powf(saved.gamma - 1.0) * scale;
         let x = saved.target.row(r);
         let z = pred.row(r);
-        let g = grad.row_mut(r);
         // dcos/dz = x/(‖x‖‖z‖) − cos·z/‖z‖²
         let inv_xz = 1.0 / (xn * zn);
         let inv_zz = cos / (zn * zn);
         for ((gv, &xv), &zv) in g.iter_mut().zip(x).zip(z) {
             *gv += dcos_coeff * (xv * inv_xz - zv * inv_zz);
         }
+    };
+    // The per-row steps are parallel only when every masked row is distinct
+    // (the usual case — mask indices are drawn without replacement);
+    // duplicates keep the serial accumulate.
+    if d > 0 && all_distinct(&saved.rows, pred.rows()) {
+        let grad_rows = RowTable::new(grad.as_mut_slice(), d);
+        par_rows(saved.rows.len(), 4 * d, |idx| {
+            let r = saved.rows[idx];
+            // SAFETY: `rows` is duplicate-free, so each gradient row is
+            // written by exactly one participant.
+            step(idx, r, unsafe { grad_rows.row_mut(r) });
+        });
+    } else {
+        for (idx, &r) in saved.rows.iter().enumerate() {
+            step(idx, r, grad.row_mut(r));
+        }
     }
     grad
+}
+
+/// `true` when every index in `rows` (all `< n`) appears at most once.
+fn all_distinct(rows: &[usize], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    rows.iter().all(|&r| !std::mem::replace(&mut seen[r], true))
 }
 
 #[inline]

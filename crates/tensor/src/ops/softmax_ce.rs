@@ -4,6 +4,7 @@
 //! probe that evaluates frozen SSL embeddings.
 
 use crate::matrix::Matrix;
+use crate::parallel::{par_rows, RowTable};
 
 /// State saved by the forward pass.
 pub struct Saved {
@@ -25,39 +26,73 @@ pub fn forward(logits: &Matrix, rows: Vec<usize>, labels: Vec<usize>) -> (f32, S
     assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
     assert!(!rows.is_empty(), "cross entropy needs at least one row");
     let k = logits.cols();
-    let mut probs = Matrix::zeros(rows.len(), k);
-    let mut loss = 0.0f64;
-    for (i, (&r, &y)) in rows.iter().zip(&labels).enumerate() {
+    for &y in &labels {
         assert!(y < k, "label {y} out of range for {k} classes");
-        let row = logits.row(r);
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0f64;
-        for &v in row {
-            denom += ((v - m) as f64).exp();
-        }
-        let log_denom = denom.ln() + m as f64;
-        loss += log_denom - row[y] as f64;
-        let p = probs.row_mut(i);
-        for (pv, &v) in p.iter_mut().zip(row) {
-            *pv = (((v - m) as f64).exp() / denom) as f32;
-        }
     }
-    let loss = (loss / rows.len() as f64) as f32;
+    // Each selected row owns one probs row and one loss partial; partials are
+    // reduced sequentially in selection order, so the loss is bit-identical
+    // for any thread count.
+    let mut probs = Matrix::zeros(rows.len(), k);
+    let mut row_loss = vec![0.0f64; rows.len()];
+    if k > 0 {
+        let prob_rows = RowTable::new(probs.as_mut_slice(), k);
+        let loss_rows = RowTable::new(&mut row_loss, 1);
+        par_rows(rows.len(), 4 * k, |i| {
+            let (r, y) = (rows[i], labels[i]);
+            let row = logits.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f64;
+            for &v in row {
+                denom += ((v - m) as f64).exp();
+            }
+            let log_denom = denom.ln() + m as f64;
+            // SAFETY: each selection index is visited by exactly one
+            // participant.
+            unsafe {
+                loss_rows.row_mut(i)[0] = log_denom - row[y] as f64;
+                let p = prob_rows.row_mut(i);
+                for (pv, &v) in p.iter_mut().zip(row) {
+                    *pv = (((v - m) as f64).exp() / denom) as f32;
+                }
+            }
+        });
+    }
+    let loss = (row_loss.iter().sum::<f64>() / rows.len() as f64) as f32;
     (loss, Saved { probs, rows, labels })
 }
 
 /// Gradient with respect to the logits (zero outside the selected rows).
 pub fn backward(saved: &Saved, logits_shape: (usize, usize), gout: f32) -> Matrix {
-    let mut grad = Matrix::zeros(logits_shape.0, logits_shape.1);
+    let (n, k) = logits_shape;
+    let mut grad = Matrix::zeros(n, k);
     let scale = gout / saved.rows.len() as f32;
-    for (i, (&r, &y)) in saved.rows.iter().zip(&saved.labels).enumerate() {
+    let step = |i: usize, y: usize, g: &mut [f32]| {
         let p = saved.probs.row(i);
-        let g = grad.row_mut(r);
         for (c, (gv, &pv)) in g.iter_mut().zip(p).enumerate() {
             *gv += scale * (pv - if c == y { 1.0 } else { 0.0 });
         }
+    };
+    // Parallel only when the selected rows are distinct (always true for
+    // train/validation splits); duplicates keep the serial accumulate.
+    if k > 0 && all_distinct(&saved.rows, n) {
+        let grad_rows = RowTable::new(grad.as_mut_slice(), k);
+        par_rows(saved.rows.len(), 2 * k, |i| {
+            // SAFETY: `rows` is duplicate-free, so each gradient row is
+            // written by exactly one participant.
+            step(i, saved.labels[i], unsafe { grad_rows.row_mut(saved.rows[i]) });
+        });
+    } else {
+        for (i, (&r, &y)) in saved.rows.iter().zip(&saved.labels).enumerate() {
+            step(i, y, grad.row_mut(r));
+        }
     }
     grad
+}
+
+/// `true` when every index in `rows` (all `< n`) appears at most once.
+fn all_distinct(rows: &[usize], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    rows.iter().all(|&r| !std::mem::replace(&mut seen[r], true))
 }
 
 /// Predicted class per row of `logits` (argmax).

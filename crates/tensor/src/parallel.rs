@@ -1,70 +1,425 @@
-//! Row-block parallelism helpers built on `crossbeam::scope`.
+//! Row-block parallelism on a persistent worker pool.
 //!
-//! Dense matmul and CSR spmm dominate training time, so their output rows are
-//! split into contiguous blocks processed by scoped threads. Work below a
-//! small threshold runs inline to avoid thread overhead.
+//! Dense matmul, CSR spmm, and the O(N²) GCMAE loss kernels dominate training
+//! time, so their independent output rows are split into contiguous blocks and
+//! executed on a lazily-started pool of worker threads. The pool is spawned
+//! once and reused for every kernel call — there is no per-call thread
+//! spawn/join — and work below a flop-aware threshold runs inline on the
+//! caller to avoid dispatch overhead.
+//!
+//! ## Determinism
+//!
+//! Every parallel entry point partitions work by *row*, and each row is
+//! processed serially by exactly one participant with the same instruction
+//! sequence the serial path uses. Reductions (loss sums) are never performed
+//! concurrently: kernels write per-row partials and reduce them afterwards in
+//! row order on the caller. Outputs are therefore bit-identical for any
+//! thread count (see `crates/tensor/tests/thread_invariance.rs`).
+//!
+//! ## Scheduling
+//!
+//! The pool is deliberately work-stealing-free: a dispatched task exposes its
+//! row blocks through a single atomic cursor, and every participant (the
+//! caller plus up to `num_threads() - 1` workers) claims the next unclaimed
+//! block until none remain. The caller always participates, so a call
+//! completes even if every worker is busy — queued jobs that never got picked
+//! up are cancelled once the caller has drained all blocks, which also makes
+//! nested parallel calls deadlock-free.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Number of worker threads used for parallel kernels.
+/// Hard upper bound on kernel participants (caller + pool workers).
+const MAX_THREADS: usize = 16;
+
+/// Minimum estimated per-call work (in f32 multiply-add units) before the
+/// pool is engaged; smaller kernels run inline on the caller.
+const PAR_FLOP_THRESHOLD: usize = 32 * 1024;
+
+static FORCED_THREADS: AtomicUsize = AtomicUsize::new(0);
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Number of participants used for parallel kernels.
 ///
-/// Defaults to `available_parallelism`, clamped to `[1, 16]`; overridable via
-/// [`set_num_threads`] (used by benches to compare serial vs parallel).
+/// Resolution order: a value forced through [`set_num_threads`] wins, then a
+/// positive integer in the `GCMAE_NUM_THREADS` environment variable (read
+/// once and cached), then `available_parallelism`. The env/default values are
+/// clamped to `[1, 16]`; a forced value is used as-is so benches can request
+/// oversubscription explicitly.
 pub fn num_threads() -> usize {
     let forced = FORCED_THREADS.load(Ordering::Relaxed);
     if forced != 0 {
         return forced;
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, 16)
+    let env = *ENV_THREADS.get_or_init(|| {
+        std::env::var("GCMAE_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    });
+    resolve_threads(env, std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
-static FORCED_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// Pure thread-count resolution (env wins over the hardware default), kept
+/// separate from the cached statics so it is unit-testable.
+fn resolve_threads(env: usize, available: usize) -> usize {
+    if env != 0 {
+        env.clamp(1, MAX_THREADS)
+    } else {
+        available.clamp(1, MAX_THREADS)
+    }
+}
 
 /// Forces the kernel thread count (0 restores the automatic default).
 pub fn set_num_threads(n: usize) {
     FORCED_THREADS.store(n, Ordering::Relaxed);
 }
 
-/// Minimum number of f32 entries in the output before threads are spawned.
-const PAR_THRESHOLD: usize = 16 * 1024;
+/// Number of worker threads the pool has spawned so far (excludes callers).
+///
+/// Exposed so tests can assert that repeated kernel calls reuse the pool
+/// instead of leaking threads.
+pub fn pool_size() -> usize {
+    POOL.get().map_or(0, |p| p.spawned.load(Ordering::Relaxed))
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// Type-erased handle to an in-flight parallel call, living on the caller's
+/// stack. Workers may only touch it between claiming a job and completing the
+/// job's latch.
+struct TaskHeader {
+    /// Invokes the user closure on rows `[start, start + len)`.
+    call: unsafe fn(*const (), usize, usize),
+    /// Pointer to the user closure (borrowed from the caller's stack).
+    f: *const (),
+    rows: usize,
+    block_rows: usize,
+    /// Cursor over block indices; participants claim blocks until exhausted.
+    next: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+impl TaskHeader {
+    /// Claims and runs blocks until the cursor is exhausted. Panics inside
+    /// the closure are caught and recorded so sibling participants finish
+    /// their blocks and the caller can re-raise after the latch settles.
+    fn participate(&self) {
+        let res = catch_unwind(AssertUnwindSafe(|| loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            let start = i.saturating_mul(self.block_rows);
+            if start >= self.rows {
+                break;
+            }
+            let len = self.block_rows.min(self.rows - start);
+            // SAFETY: `f` outlives the call (the caller waits on the latch
+            // before returning) and blocks are disjoint row ranges.
+            unsafe { (self.call)(self.f, start, len) };
+        }));
+        if res.is_err() {
+            self.panicked.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Completion latch shared between the caller and the jobs it dispatched.
+/// Heap-allocated (`Arc`) so a worker's final `complete_one` never touches
+/// caller-stack memory that may already be gone.
+struct Latch {
+    pending: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(pending: usize) -> Arc<Self> {
+        Arc::new(Self { pending: Mutex::new(pending), cv: Condvar::new() })
+    }
+
+    fn complete(&self, k: usize) {
+        let mut g = self.pending.lock().expect("latch poisoned");
+        *g -= k;
+        if *g == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut g = self.pending.lock().expect("latch poisoned");
+        while *g > 0 {
+            g = self.cv.wait(g).expect("latch poisoned");
+        }
+    }
+}
+
+/// One queued unit of pool work: "participate in this task, then check in".
+struct Job {
+    task: *const TaskHeader,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: the raw task pointer is only dereferenced while the owning caller
+// is blocked waiting on `latch`, which it does not release until every job
+// has completed or been cancelled.
+unsafe impl Send for Job {}
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    spawned: AtomicUsize,
+    /// Serializes worker spawning so the pool never overshoots its target.
+    spawn_lock: Mutex<()>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+        spawn_lock: Mutex::new(()),
+    })
+}
+
+/// Lazily grows the pool to at least `want` workers (capped at
+/// `MAX_THREADS - 1`; the caller itself is the final participant). Spawn
+/// failures are tolerated: undispatched jobs are cancelled by the caller, so
+/// a smaller pool only costs parallelism, never correctness.
+fn ensure_workers(p: &'static Pool, want: usize) {
+    let want = want.min(MAX_THREADS - 1);
+    if p.spawned.load(Ordering::Relaxed) >= want {
+        return;
+    }
+    let _guard = p.spawn_lock.lock().expect("pool spawn lock poisoned");
+    while p.spawned.load(Ordering::Relaxed) < want {
+        let id = p.spawned.load(Ordering::Relaxed);
+        let spawned = std::thread::Builder::new()
+            .name(format!("gcmae-pool-{id}"))
+            .spawn(move || worker_loop(pool()));
+        if spawned.is_err() {
+            break;
+        }
+        p.spawned.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(p: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = p.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = p.cv.wait(q).expect("pool queue poisoned");
+            }
+        };
+        // SAFETY: the dispatching caller is blocked on `job.latch` and keeps
+        // the task alive until this participation is counted.
+        unsafe { (*job.task).participate() };
+        job.latch.complete(1);
+    }
+}
+
+unsafe fn call_closure<F: Fn(Range<usize>) + Sync>(f: *const (), start: usize, len: usize) {
+    (*(f as *const F))(start..start + len);
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Runs `f` over contiguous row ranges covering `0..rows`, in parallel when
+/// the estimated work (`rows × cost_per_row` multiply-adds) crosses the
+/// threshold. `cost_per_row` lets skinny-but-deep kernels (e.g. a `m×k · k×n`
+/// matmul with huge `k`) parallelize even when the output itself is small.
+///
+/// `f` must treat the ranges it receives as disjoint: each row belongs to
+/// exactly one invocation, and invocations may run concurrently.
+pub fn par_row_blocks<F>(rows: usize, cost_per_row: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if rows == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let total_cost = rows.saturating_mul(cost_per_row.max(1));
+    if threads <= 1 || rows < 2 || total_cost < PAR_FLOP_THRESHOLD {
+        f(0..rows);
+        return;
+    }
+
+    let block_rows = rows.div_ceil(threads);
+    let n_blocks = rows.div_ceil(block_rows);
+    let n_jobs = (n_blocks - 1).min(MAX_THREADS - 1);
+    if n_jobs == 0 {
+        f(0..rows);
+        return;
+    }
+
+    let header = TaskHeader {
+        call: call_closure::<F>,
+        f: &f as *const F as *const (),
+        rows,
+        block_rows,
+        next: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+    };
+    let latch = Latch::new(n_jobs);
+
+    let p = pool();
+    ensure_workers(p, n_jobs);
+    {
+        let mut q = p.queue.lock().expect("pool queue poisoned");
+        for _ in 0..n_jobs {
+            q.push_back(Job { task: &header, latch: latch.clone() });
+        }
+    }
+    p.cv.notify_all();
+
+    // The caller is always a participant, so every block is processed even if
+    // no worker ever picks up a job.
+    header.participate();
+
+    // Cancel jobs still sitting in the queue (their blocks are already taken
+    // or will be unclaimable); this also prevents deadlock when the pool is
+    // saturated, e.g. by nested parallel calls.
+    let task_ptr: *const TaskHeader = &header;
+    let cancelled = {
+        let mut q = p.queue.lock().expect("pool queue poisoned");
+        let before = q.len();
+        q.retain(|j| !std::ptr::eq(j.task, task_ptr));
+        before - q.len()
+    };
+    if cancelled > 0 {
+        latch.complete(cancelled);
+    }
+    latch.wait();
+
+    if header.panicked.load(Ordering::Acquire) {
+        panic!("parallel kernel worker panicked");
+    }
+}
+
+/// Runs `f(r)` for every row `r` in `0..rows`; see [`par_row_blocks`].
+pub fn par_rows<F>(rows: usize, cost_per_row: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_row_blocks(rows, cost_per_row, |range| {
+        for r in range {
+            f(r);
+        }
+    });
+}
 
 /// Splits `out` (a row-major buffer of rows of length `row_len`) into
 /// contiguous row blocks and runs `f(first_row, block)` on each, in parallel
-/// when the buffer is large enough.
-pub fn par_row_chunks<F>(out: &mut [f32], row_len: usize, f: F)
+/// when `rows × cost_per_row` crosses the threshold.
+pub fn par_row_chunks_cost<F>(out: &mut [f32], row_len: usize, cost_per_row: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     if row_len == 0 || out.is_empty() {
         return;
     }
-    debug_assert_eq!(out.len() % row_len, 0, "buffer not a whole number of rows");
     let rows = out.len() / row_len;
-    let threads = num_threads();
-    if threads <= 1 || out.len() < PAR_THRESHOLD || rows < 2 {
-        f(0, out);
-        return;
+    let table = RowTable::new(out, row_len);
+    par_row_blocks(rows, cost_per_row, |range| {
+        let start = range.start;
+        // SAFETY: `par_row_blocks` hands out disjoint row ranges.
+        let chunk = unsafe { table.rows_mut(range) };
+        f(start, chunk);
+    });
+}
+
+/// [`par_row_chunks_cost`] with the default cost model of one unit per
+/// output entry (the pre-pool behavior).
+pub fn par_row_chunks<F>(out: &mut [f32], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    par_row_chunks_cost(out, row_len, row_len, f);
+}
+
+// ---------------------------------------------------------------------------
+// RowTable
+// ---------------------------------------------------------------------------
+
+/// Shared view of a row-major buffer that hands out disjoint `&mut` rows to
+/// concurrent participants. Used by kernels whose per-row work writes into
+/// several buffers at once (e.g. a coefficient matrix plus per-row loss
+/// partials), which the chunk-based API cannot express.
+pub struct RowTable<'a, T> {
+    ptr: *mut T,
+    rows: usize,
+    row_len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is mediated by the unsafe row accessors, whose contract
+// requires disjoint row usage across threads.
+unsafe impl<T: Send> Send for RowTable<'_, T> {}
+unsafe impl<T: Send> Sync for RowTable<'_, T> {}
+
+impl<'a, T> RowTable<'a, T> {
+    /// Wraps a row-major buffer of rows of length `row_len`.
+    ///
+    /// # Panics
+    /// Panics if `row_len` is zero or does not divide the buffer length.
+    pub fn new(buf: &'a mut [T], row_len: usize) -> Self {
+        assert!(row_len > 0, "row_len must be positive");
+        assert_eq!(buf.len() % row_len, 0, "buffer not a whole number of rows");
+        Self { ptr: buf.as_mut_ptr(), rows: buf.len() / row_len, row_len, _marker: PhantomData }
     }
-    let block_rows = rows.div_ceil(threads);
-    crossbeam::scope(|s| {
-        let mut rest = out;
-        let mut r0 = 0usize;
-        while !rest.is_empty() {
-            let take = (block_rows * row_len).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            let start = r0;
-            let fr = &f;
-            s.spawn(move |_| fr(start, head));
-            r0 += take / row_len;
-            rest = tail;
-        }
-    })
-    .expect("parallel kernel worker panicked");
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Safety
+    /// No two concurrent calls may touch the same row, and the returned
+    /// reference must not outlive the parallel call.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(&self, r: usize) -> &mut [T] {
+        debug_assert!(r < self.rows);
+        std::slice::from_raw_parts_mut(self.ptr.add(r * self.row_len), self.row_len)
+    }
+
+    /// Mutable view of the contiguous rows in `range`.
+    ///
+    /// # Safety
+    /// Ranges handed to concurrent callers must be disjoint, and the returned
+    /// reference must not outlive the parallel call.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn rows_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.rows);
+        std::slice::from_raw_parts_mut(
+            self.ptr.add(range.start * self.row_len),
+            (range.end - range.start) * self.row_len,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that mutate the global forced thread count.
+    static THREADS_GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(n);
+        let out = f();
+        set_num_threads(0);
+        out
+    }
 
     #[test]
     fn chunks_cover_all_rows_small() {
@@ -84,10 +439,12 @@ mod tests {
         let rows = 4096;
         let cols = 16;
         let mut buf = vec![0.0f32; rows * cols];
-        par_row_chunks(&mut buf, cols, |r0, chunk| {
-            for (i, row) in chunk.chunks_mut(cols).enumerate() {
-                row.fill((r0 + i) as f32);
-            }
+        with_threads(8, || {
+            par_row_chunks(&mut buf, cols, |r0, chunk| {
+                for (i, row) in chunk.chunks_mut(cols).enumerate() {
+                    row.fill((r0 + i) as f32);
+                }
+            });
         });
         for r in 0..rows {
             assert_eq!(buf[r * cols], r as f32, "row {r}");
@@ -97,20 +454,125 @@ mod tests {
 
     #[test]
     fn forced_single_thread_still_correct() {
-        set_num_threads(1);
-        let mut buf = vec![1.0f32; 64];
-        par_row_chunks(&mut buf, 8, |_, chunk| {
-            for v in chunk {
-                *v += 1.0;
-            }
+        with_threads(1, || {
+            let mut buf = vec![1.0f32; 64];
+            par_row_chunks(&mut buf, 8, |_, chunk| {
+                for v in chunk {
+                    *v += 1.0;
+                }
+            });
+            assert!(buf.iter().all(|&v| v == 2.0));
         });
-        assert!(buf.iter().all(|&v| v == 2.0));
-        set_num_threads(0);
     }
 
     #[test]
     fn empty_buffer_is_noop() {
         let mut buf: Vec<f32> = vec![];
         par_row_chunks(&mut buf, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn cost_hint_gates_parallelism() {
+        // Tiny output, huge per-row cost: must still cover every row.
+        let mut buf = vec![0.0f32; 4 * 2];
+        with_threads(4, || {
+            par_row_chunks_cost(&mut buf, 2, 1 << 20, |r0, chunk| {
+                for (i, row) in chunk.chunks_mut(2).enumerate() {
+                    row.fill((r0 + i) as f32 + 1.0);
+                }
+            });
+        });
+        for r in 0..4 {
+            assert_eq!(buf[r * 2], r as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn par_rows_visits_each_row_once() {
+        let rows = 300;
+        let hits: Vec<AtomicUsize> = (0..rows).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            par_rows(rows, 1 << 12, |r| {
+                hits[r].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reused_not_leaked() {
+        with_threads(4, || {
+            for i in 0..2000 {
+                let rows = if i % 2 == 0 { 4 } else { 128 };
+                let mut buf = vec![0.0f32; rows * 64];
+                par_row_chunks_cost(&mut buf, 64, 1 << 12, |_, chunk| {
+                    for v in chunk {
+                        *v += 1.0;
+                    }
+                });
+                assert!(buf.iter().all(|&v| v == 1.0));
+            }
+        });
+        assert!(pool_size() <= MAX_THREADS - 1, "pool leaked threads: {}", pool_size());
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        let rows = 64;
+        let mut buf = vec![0.0f32; rows * 32];
+        with_threads(4, || {
+            let table = RowTable::new(&mut buf, 32);
+            par_row_blocks(rows, 1 << 12, |outer| {
+                for r in outer {
+                    // Nested call: runs inline or on the pool; must not
+                    // deadlock even when every worker is busy.
+                    let mut inner = vec![0.0f32; 64 * 16];
+                    par_row_chunks_cost(&mut inner, 16, 1 << 12, |_, chunk| {
+                        for v in chunk {
+                            *v = 1.0;
+                        }
+                    });
+                    let sum: f32 = inner.iter().sum();
+                    let row = unsafe { table.row_mut(r) };
+                    row.fill(sum);
+                }
+            });
+        });
+        assert!(buf.iter().all(|&v| v == 1024.0));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let mut buf = vec![0.0f32; 1024 * 16];
+                par_row_chunks_cost(&mut buf, 16, 1 << 12, |r0, _| {
+                    if r0 > 0 {
+                        panic!("boom");
+                    }
+                });
+            });
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
+        set_num_threads(0); // the panic skipped with_threads' restore
+        // The pool must stay usable afterwards.
+        let mut buf = vec![0.0f32; 1024 * 16];
+        with_threads(4, || {
+            par_row_chunks_cost(&mut buf, 16, 1 << 12, |_, chunk| {
+                for v in chunk {
+                    *v = 2.0;
+                }
+            });
+        });
+        assert!(buf.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn resolve_threads_order() {
+        assert_eq!(resolve_threads(0, 4), 4);
+        assert_eq!(resolve_threads(0, 64), MAX_THREADS);
+        assert_eq!(resolve_threads(6, 4), 6);
+        assert_eq!(resolve_threads(64, 4), MAX_THREADS);
+        assert_eq!(resolve_threads(0, 1), 1);
     }
 }

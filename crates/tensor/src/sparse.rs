@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use crate::matrix::Matrix;
-use crate::parallel::par_row_chunks;
+use crate::parallel::par_row_chunks_cost;
 
 /// An immutable CSR sparse matrix of `f32` values.
 #[derive(Clone, Debug, PartialEq)]
@@ -198,7 +198,10 @@ impl CsrMatrix {
         assert_eq!(self.cols, rhs.rows(), "spmm shape mismatch");
         assert_eq!(out.shape(), (self.rows, rhs.cols()), "spmm output shape mismatch");
         let cols = rhs.cols();
-        par_row_chunks(out.as_mut_slice(), cols, |r0, chunk| {
+        // Average per-row cost: (nnz / rows) · cols multiply-adds, so sparse
+        // products over few wide rows still engage the pool.
+        let row_cost = (self.nnz() / self.rows.max(1)).max(1).saturating_mul(cols);
+        par_row_chunks_cost(out.as_mut_slice(), cols, row_cost, |r0, chunk| {
             for (dr, out_row) in chunk.chunks_mut(cols).enumerate() {
                 let r = r0 + dr;
                 out_row.fill(0.0);

@@ -1,0 +1,143 @@
+//! Thread-count invariance: every parallel kernel must produce bit-identical
+//! output regardless of the configured thread count (see the Determinism
+//! section in `src/parallel.rs`). Shapes are drawn so cases land on both
+//! sides of the flop threshold that gates pool dispatch.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use gcmae_tensor::ops::{adj_recon, infonce};
+use gcmae_tensor::parallel::{pool_size, set_num_threads};
+use gcmae_tensor::{dense, CsrMatrix, Matrix, SharedCsr};
+use proptest::prelude::*;
+
+/// Serializes tests that mutate the global forced thread count (integration
+/// tests in one binary run concurrently).
+static THREADS_GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> MutexGuard<'static, ()> {
+    THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    set_num_threads(n);
+    let out = f();
+    set_num_threads(0);
+    out
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Random symmetric binary adjacency without self loops over `n` nodes.
+fn adjacency(n: usize) -> impl Strategy<Value = SharedCsr> {
+    prop::collection::vec((0..n, 0..n), 0..3 * n).prop_map(move |pairs| {
+        let mut t = Vec::new();
+        for (i, j) in pairs {
+            if i != j {
+                t.push((i, j, 1.0));
+                t.push((j, i, 1.0));
+            }
+        }
+        let summed = CsrMatrix::from_triplets(n, n, &t);
+        let values = vec![1.0; summed.nnz()];
+        Arc::new(CsrMatrix::new(
+            n,
+            n,
+            summed.indptr().to_vec(),
+            summed.indices().to_vec(),
+            values,
+        ))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_is_thread_invariant(
+        (m, k, n) in (1usize..64, 1usize..48, 1usize..64),
+        seed in any::<u64>(),
+    ) {
+        let _g = guard();
+        let s = seed as usize;
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17 + s) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 7 + s) % 11) as f32 - 5.0);
+        let one = with_threads(1, || dense::matmul(&a, &b));
+        let many = with_threads(8, || dense::matmul(&a, &b));
+        prop_assert_eq!(bits(&one), bits(&many));
+    }
+
+    #[test]
+    fn matmul_nt_is_thread_invariant(a in matrix(51, 33), b in matrix(47, 33)) {
+        let _g = guard();
+        let one = with_threads(1, || dense::matmul_nt(&a, &b));
+        let many = with_threads(8, || dense::matmul_nt(&a, &b));
+        prop_assert_eq!(bits(&one), bits(&many));
+    }
+
+    #[test]
+    fn matmul_tn_is_thread_invariant(a in matrix(49, 35), b in matrix(49, 29)) {
+        let _g = guard();
+        let one = with_threads(1, || dense::matmul_tn(&a, &b));
+        let many = with_threads(8, || dense::matmul_tn(&a, &b));
+        prop_assert_eq!(bits(&one), bits(&many));
+    }
+
+    #[test]
+    fn spmm_is_thread_invariant(adj in adjacency(96), x in matrix(96, 24)) {
+        let _g = guard();
+        let one = with_threads(1, || adj.matmul_dense(&x));
+        let many = with_threads(8, || adj.matmul_dense(&x));
+        prop_assert_eq!(bits(&one), bits(&many));
+    }
+
+    #[test]
+    fn adj_recon_is_thread_invariant(adj in adjacency(40), z in matrix(40, 9)) {
+        let _g = guard();
+        let w = adj_recon::Weights::default();
+        let (l1, c1, s1) = with_threads(1, || adj_recon::forward(&z, adj.clone(), w));
+        let (l8, c8, s8) = with_threads(8, || adj_recon::forward(&z, adj.clone(), w));
+        prop_assert_eq!(l1.to_bits(), l8.to_bits());
+        prop_assert_eq!(c1.mse.to_bits(), c8.mse.to_bits());
+        prop_assert_eq!(c1.bce.to_bits(), c8.bce.to_bits());
+        prop_assert_eq!(c1.dist.to_bits(), c8.dist.to_bits());
+        let g1 = with_threads(1, || adj_recon::backward(&s1, &z, 1.0));
+        let g8 = with_threads(8, || adj_recon::backward(&s8, &z, 1.0));
+        prop_assert_eq!(bits(&g1), bits(&g8));
+    }
+
+    #[test]
+    fn infonce_is_thread_invariant(u in matrix(44, 11), v in matrix(44, 11)) {
+        let _g = guard();
+        let (l1, s1) = with_threads(1, || infonce::forward(&u, &v, 0.5));
+        let (l8, s8) = with_threads(8, || infonce::forward(&u, &v, 0.5));
+        prop_assert_eq!(l1.to_bits(), l8.to_bits());
+        let (du1, dv1) = with_threads(1, || infonce::backward(&s1, 1.0));
+        let (du8, dv8) = with_threads(8, || infonce::backward(&s8, 1.0));
+        prop_assert_eq!(bits(&du1), bits(&du8));
+        prop_assert_eq!(bits(&dv1), bits(&dv8));
+    }
+}
+
+/// Thousands of alternating tiny/large kernel calls must reuse the pool
+/// rather than spawning fresh threads per call.
+#[test]
+fn pool_is_reused_across_kernel_calls() {
+    let _g = guard();
+    with_threads(8, || {
+        let a = Matrix::from_fn(96, 32, |r, c| (r + c) as f32 * 0.01);
+        let b = Matrix::from_fn(32, 96, |r, c| (r * c % 7) as f32 * 0.1);
+        let small = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        for _ in 0..1500 {
+            std::hint::black_box(dense::matmul(&a, &b));
+            std::hint::black_box(dense::matmul(&small, &small));
+        }
+    });
+    assert!(pool_size() <= 15, "pool leaked threads: {}", pool_size());
+}
