@@ -108,6 +108,28 @@ impl Default for GcmaeConfig {
     }
 }
 
+/// Fault-tolerance policy for [`crate::trainer::train_checked`]. Kept out of
+/// [`GcmaeConfig`] on purpose: it changes how a run *recovers*, not what it
+/// optimizes, so experiment records stay comparable across policies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultTolerance {
+    /// Save a full training checkpoint every this many epochs (`0` = only
+    /// the initial snapshot taken before the first step).
+    pub checkpoint_every: usize,
+    /// Rollbacks allowed before the run fails with `RetriesExhausted`.
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied at every rollback.
+    pub lr_backoff: f32,
+    /// Global gradient-norm clip threshold (`0` = no clipping).
+    pub clip_norm: f32,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        Self { checkpoint_every: 10, max_retries: 3, lr_backoff: 0.5, clip_norm: 0.0 }
+    }
+}
+
 impl GcmaeConfig {
     /// Activation used between encoder layers (fixed, as in GraphMAE).
     pub fn act(&self) -> Act {

@@ -1,0 +1,146 @@
+//! Fault taxonomy and test-only fault injection for the checked trainer.
+//!
+//! [`crate::trainer::train_checked`] guards every optimization step: loss
+//! terms and gradients are scanned for non-finite values (via the
+//! `gcmae-tensor` finite-scan kernel), kernel panics are caught at the epoch
+//! boundary, and any fault triggers a rollback to the last good checkpoint
+//! with learning-rate backoff. This module defines what a fault *is*
+//! ([`StepFault`]), what the trainer reports ([`TrainError`],
+//! [`RollbackEvent`]), how a step is guarded ([`StepGuard`]), and a
+//! deterministic injection hook ([`FaultPlan`]) so the recovery machinery is
+//! testable without waiting for real divergence.
+
+use gcmae_nn::CheckpointError;
+
+/// A single training step failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepFault {
+    /// A loss term came back `NaN`/`±∞`.
+    NonFiniteLoss {
+        /// Which term tripped the scan (`"total"`, `"sce"`, …).
+        term: &'static str,
+    },
+    /// A parameter gradient contains a non-finite entry.
+    NonFiniteGradient {
+        /// Creation-order index of the offending parameter.
+        param: usize,
+    },
+    /// A kernel panicked mid-step (caught at the epoch boundary).
+    KernelPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for StepFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteLoss { term } => write!(f, "non-finite loss term `{term}`"),
+            Self::NonFiniteGradient { param } => {
+                write!(f, "non-finite gradient for parameter {param}")
+            }
+            Self::KernelPanic { message } => write!(f, "kernel panic: {message}"),
+        }
+    }
+}
+
+/// Why a checked training run gave up.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Faults kept recurring after exhausting the retry budget.
+    RetriesExhausted {
+        /// Epoch at which the final fault was detected.
+        epoch: usize,
+        /// Retries consumed (== the configured budget).
+        retries: u32,
+        /// The fault that ended the run.
+        last: StepFault,
+    },
+    /// The rollback target could not be restored.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RetriesExhausted { epoch, retries, last } => write!(
+                f,
+                "training diverged at epoch {epoch} after {retries} recovery retries: {last}"
+            ),
+            Self::Checkpoint(e) => write!(f, "rollback checkpoint unusable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// One recovery action taken by the checked trainer, recorded in
+/// [`crate::trainer::TrainOutput::rollbacks`].
+#[derive(Clone, Debug)]
+pub struct RollbackEvent {
+    /// Epoch at which the fault was detected.
+    pub at_epoch: usize,
+    /// Epoch of the checkpoint that was restored.
+    pub restored_epoch: usize,
+    /// Learning rate after the backoff multiplier was applied.
+    pub lr_after: f32,
+    /// The fault that forced the rollback.
+    pub fault: StepFault,
+}
+
+/// Per-step guard configuration, threaded from the trainer into
+/// [`crate::model::Gcmae::train_step_guarded`].
+#[derive(Clone, Debug)]
+pub struct StepGuard {
+    /// Scan loss terms and gradients for non-finite values.
+    pub check_finite: bool,
+    /// Global gradient-norm clip threshold (`0` = no clipping).
+    pub clip_norm: f32,
+    /// Test-only: replace the total loss with `NaN` this step.
+    pub poison_loss: bool,
+    /// Test-only: poison one gradient entry with `NaN` this step.
+    pub poison_grad: bool,
+}
+
+impl StepGuard {
+    /// All guards disabled — `train_step_guarded` then computes exactly what
+    /// the unchecked `train_step` computes, with zero scan overhead.
+    pub fn off() -> Self {
+        Self { check_finite: false, clip_norm: 0.0, poison_loss: false, poison_grad: false }
+    }
+}
+
+/// Deterministic fault-injection schedule (test-only; every fault fires at
+/// most once). Threaded through `train_checked_injected` so recovery tests
+/// don't depend on real divergence showing up.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Poison the loss with `NaN` at this epoch.
+    pub nan_loss_at: Option<usize>,
+    /// Poison a gradient with `NaN` at this epoch.
+    pub nan_grad_at: Option<usize>,
+    /// Panic inside a parallel job at this epoch.
+    pub panic_at: Option<usize>,
+    /// Truncate the trainer's in-memory rollback checkpoint, so the first
+    /// rollback fails with [`TrainError::Checkpoint`].
+    pub truncate_checkpoint: bool,
+}
+
+/// Panics inside a parallel job. The row count × per-row cost clears the
+/// pool's dispatch threshold, so with more than one thread configured the
+/// panic crosses a worker boundary and exercises payload resurfacing; with
+/// one thread it unwinds the calling thread directly. Both paths must reach
+/// the trainer's `catch_unwind` as an error, never a hang.
+pub(crate) fn detonate_parallel_panic() {
+    gcmae_tensor::parallel::par_rows(64, 4096, |i| {
+        if i == 0 {
+            panic!("injected parallel-job fault");
+        }
+    });
+}

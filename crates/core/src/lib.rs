@@ -1,5 +1,9 @@
 // Indexed loops over parallel arrays are idiomatic in this numeric code.
 #![allow(clippy::needless_range_loop)]
+// The fault-tolerant runtime promises structured errors, not panics: library
+// code must route failures through `TrainError`/`GraphError`/`CheckpointError`
+// instead of unwrapping. Tests may unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # gcmae-core
 //!
@@ -22,12 +26,17 @@
 
 pub mod config;
 pub mod encoder_variants;
+pub mod fault;
 pub mod graph_level;
 pub mod model;
 pub mod trainer;
 
-pub use config::{EncoderChoice, GcmaeConfig};
+pub use config::{EncoderChoice, FaultTolerance, GcmaeConfig};
 pub use encoder_variants::{train_variant, EncoderVariant};
+pub use fault::{FaultPlan, RollbackEvent, StepFault, StepGuard, TrainError};
 pub use graph_level::train_graph_level;
 pub use model::{Gcmae, LossBreakdown};
-pub use trainer::{train, train_traced, TrainOutput};
+pub use trainer::{
+    resume_checked, train, train_checked, train_checked_traced, train_traced, EpochView,
+    TrainOutput,
+};

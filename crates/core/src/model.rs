@@ -7,13 +7,16 @@ use std::sync::Arc;
 use gcmae_graph::augment::{drop_nodes, mask_node_features};
 use gcmae_graph::sampling::sample_nodes;
 use gcmae_graph::{Dataset, Graph};
-use gcmae_nn::{Act, Adam, Encoder, EncoderConfig, GraphOps, Mlp, ParamStore, Session};
+use gcmae_nn::{
+    clip_global_norm, Act, Adam, Encoder, EncoderConfig, GraphOps, Mlp, ParamStore, Session,
+};
 use gcmae_tensor::ops::adj_recon::Weights;
 use gcmae_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::config::GcmaeConfig;
+use crate::fault::{StepFault, StepGuard};
 
 /// Per-step loss values (for logging, Figure 4, and the ablation study).
 #[derive(Clone, Copy, Debug, Default)]
@@ -93,6 +96,29 @@ impl Gcmae {
         adam: &mut Adam,
         rng: &mut StdRng,
     ) -> LossBreakdown {
+        match self.train_step_guarded(graph, features, adam, rng, &StepGuard::off()) {
+            Ok(b) => b,
+            // With every guard off there is nothing that can return Err.
+            Err(f) => unreachable!("guards disabled but step faulted: {f}"),
+        }
+    }
+
+    /// [`Gcmae::train_step`] with divergence guards: scans every loss term
+    /// and every gradient for non-finite values *before* the optimizer
+    /// update, and optionally clips the global gradient norm. With
+    /// [`StepGuard::off`] this computes bit-identically to `train_step`.
+    ///
+    /// On `Err` the model and optimizer are untouched — the fault is
+    /// detected before `adam.step` runs, so the caller can retry or roll
+    /// back without restoring state it knows is clean.
+    pub fn train_step_guarded(
+        &mut self,
+        graph: &Graph,
+        features: &Matrix,
+        adam: &mut Adam,
+        rng: &mut StdRng,
+        guard: &StepGuard,
+    ) -> Result<LossBreakdown, StepFault> {
         let cfg = self.cfg.clone();
         let n = graph.num_nodes();
         let mut sess = Session::new();
@@ -161,10 +187,47 @@ impl Gcmae {
             loss = sess.tape.add_scaled(loss, lv, cfg.mu);
         }
 
-        let total = sess.tape.value(loss).scalar_value();
+        let mut total = sess.tape.value(loss).scalar_value();
+        if guard.poison_loss {
+            total = f32::NAN;
+        }
+        let breakdown =
+            LossBreakdown { total, sce: sce_v, contrast: contrast_v, adj: adj_v, variance: var_v };
+        if guard.check_finite {
+            for (term, v) in [
+                ("total", breakdown.total),
+                ("sce", breakdown.sce),
+                ("contrast", breakdown.contrast),
+                ("adj", breakdown.adj),
+                ("variance", breakdown.variance),
+            ] {
+                if !v.is_finite() {
+                    return Err(StepFault::NonFiniteLoss { term });
+                }
+            }
+        }
         let mut grads = sess.tape.backward(loss);
+        if guard.poison_grad {
+            if let Some(&(_, tid)) = sess.binds().first() {
+                if let Some(g) = grads.get_mut(tid) {
+                    g.as_mut_slice()[0] = f32::NAN;
+                }
+            }
+        }
+        if guard.check_finite {
+            for &(pid, tid) in sess.binds() {
+                if let Some(g) = grads.get(tid) {
+                    if !g.all_finite() {
+                        return Err(StepFault::NonFiniteGradient { param: pid.index() });
+                    }
+                }
+            }
+        }
+        if guard.clip_norm > 0.0 {
+            clip_global_norm(&sess, &mut grads, guard.clip_norm);
+        }
         adam.step(&mut self.store, &sess, &mut grads);
-        LossBreakdown { total, sce: sce_v, contrast: contrast_v, adj: adj_v, variance: var_v }
+        Ok(breakdown)
     }
 
     /// Eval-mode node embeddings `H = f_E(A, X)` (no masking, no dropout).

@@ -1,15 +1,31 @@
 //! Training drivers: full-graph and subgraph-sampled (large graphs, §4.4),
 //! with an optional per-epoch callback for trajectory experiments
 //! (Figure 4).
+//!
+//! Two families:
+//!
+//! * [`train`] / [`train_traced`] — the original unchecked loop. One RNG
+//!   threads through everything; cheap, but a crash loses the run and a
+//!   `NaN` poisons it silently.
+//! * [`train_checked`] / [`resume_checked`] — the fault-tolerant loop.
+//!   Every step is scanned for non-finite losses/gradients, kernel panics
+//!   are caught at the epoch boundary, and any fault rolls the run back to
+//!   the last good checkpoint with learning-rate backoff (up to a retry
+//!   budget). Each epoch draws from its own RNG stream derived from
+//!   `(seed, epoch)`, so a run resumed from a v2 checkpoint replays the
+//!   exact bit pattern of an uninterrupted run.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use gcmae_graph::sampling::walk_subgraph;
 use gcmae_graph::Dataset;
-use gcmae_nn::Adam;
+use gcmae_nn::{load_train_state, save_train_state, Adam, Bytes, TrainMeta};
 use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
 
-use crate::config::GcmaeConfig;
+use crate::config::{FaultTolerance, GcmaeConfig};
+use crate::fault::{self, FaultPlan, RollbackEvent, StepFault, StepGuard, TrainError};
 use crate::model::{seeded_rng, Gcmae, LossBreakdown};
 
 /// Result of a pre-training run.
@@ -22,6 +38,8 @@ pub struct TrainOutput {
     pub train_seconds: f64,
     /// The trained model (for link prediction / reconstruction).
     pub model: Gcmae,
+    /// Recovery actions taken (always empty for the unchecked trainers).
+    pub rollbacks: Vec<RollbackEvent>,
 }
 
 /// Pre-trains GCMAE on a dataset.
@@ -73,7 +91,236 @@ pub fn train_traced(
     }
     let train_seconds = start.elapsed().as_secs_f64();
     let embeddings = model.embed_dataset(ds, &mut rng);
-    TrainOutput { embeddings, history, train_seconds, model }
+    TrainOutput { embeddings, history, train_seconds, model, rollbacks: vec![] }
+}
+
+/// RNG stream for one epoch of a checked run. Deriving a fresh stream from
+/// `(seed, epoch)` makes "the RNG state at epoch k" a pure function of two
+/// integers — which is exactly what lets a resumed run replay the bit
+/// pattern of an uninterrupted one without serializing generator internals.
+fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+    use rand::SeedableRng;
+    let stream = seed ^ (epoch as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03);
+    StdRng::seed_from_u64(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Pre-trains with divergence guards and checkpoint/rollback recovery.
+///
+/// Differences from [`train`]: every loss term and gradient is scanned for
+/// non-finite values, kernel panics are contained, and a detected fault
+/// rolls the run back to the last good checkpoint with the learning rate
+/// multiplied by `ft.lr_backoff` — up to `ft.max_retries` times before the
+/// run fails with [`TrainError::RetriesExhausted`]. Every recovery is
+/// recorded in [`TrainOutput::rollbacks`].
+pub fn train_checked(
+    ds: &Dataset,
+    cfg: &GcmaeConfig,
+    seed: u64,
+    ft: &FaultTolerance,
+) -> Result<TrainOutput, TrainError> {
+    train_checked_injected(ds, cfg, seed, ft, FaultPlan::default(), |_, _| {})
+}
+
+/// [`train_checked`] with a per-epoch callback `(epoch, view)`; the view
+/// exposes the model and can serialize the full training state, so callers
+/// can persist resume points wherever they like.
+pub fn train_checked_traced(
+    ds: &Dataset,
+    cfg: &GcmaeConfig,
+    seed: u64,
+    ft: &FaultTolerance,
+    on_epoch: impl FnMut(usize, &EpochView<'_>),
+) -> Result<TrainOutput, TrainError> {
+    train_checked_injected(ds, cfg, seed, ft, FaultPlan::default(), on_epoch)
+}
+
+/// Test-only entry point: [`train_checked_traced`] plus a deterministic
+/// [`FaultPlan`]. Public so the integration suite can exercise recovery,
+/// hidden because production code has no business injecting faults.
+#[doc(hidden)]
+pub fn train_checked_injected(
+    ds: &Dataset,
+    cfg: &GcmaeConfig,
+    seed: u64,
+    ft: &FaultTolerance,
+    plan: FaultPlan,
+    on_epoch: impl FnMut(usize, &EpochView<'_>),
+) -> Result<TrainOutput, TrainError> {
+    let mut init_rng = seeded_rng(seed);
+    let model = Gcmae::new(cfg, ds.feature_dim(), &mut init_rng);
+    let start = TrainMeta { epoch: 0, adam_step: 0, lr: cfg.lr, rng_seed: seed, retries_used: 0 };
+    run_checked(ds, cfg, model, start, ft, plan, on_epoch)
+}
+
+/// Resumes a checked run from v2 training-state bytes (see
+/// [`EpochView::checkpoint`]). The continuation is bit-identical to the
+/// uninterrupted run: parameters, Adam moments and step count, learning
+/// rate, and per-epoch RNG streams all pick up exactly where the checkpoint
+/// left them.
+pub fn resume_checked(
+    ds: &Dataset,
+    cfg: &GcmaeConfig,
+    state: Bytes,
+    ft: &FaultTolerance,
+) -> Result<TrainOutput, TrainError> {
+    // The architecture is deterministic in `cfg`; the init draws below are
+    // overwritten wholesale by the checkpoint, so the init seed is moot.
+    let mut init_rng = seeded_rng(0);
+    let mut model = Gcmae::new(cfg, ds.feature_dim(), &mut init_rng);
+    let meta = load_train_state(&mut model.store, state)?;
+    run_checked(ds, cfg, model, meta, ft, FaultPlan::default(), |_, _| {})
+}
+
+/// What the checked trainer shows its per-epoch callback.
+pub struct EpochView<'a> {
+    /// The model after this epoch's update.
+    pub model: &'a Gcmae,
+    meta: TrainMeta,
+}
+
+impl EpochView<'_> {
+    /// Serializes the full training state as of the end of this epoch
+    /// (checkpoint format v2). Feeding these bytes to [`resume_checked`]
+    /// continues the run bit-identically.
+    pub fn checkpoint(&self) -> Bytes {
+        save_train_state(&self.model.store, &self.meta)
+    }
+}
+
+fn run_checked(
+    ds: &Dataset,
+    cfg: &GcmaeConfig,
+    mut model: Gcmae,
+    start: TrainMeta,
+    ft: &FaultTolerance,
+    mut plan: FaultPlan,
+    mut on_epoch: impl FnMut(usize, &EpochView<'_>),
+) -> Result<TrainOutput, TrainError> {
+    let seed = start.rng_seed;
+    let first_epoch = start.epoch as usize;
+    let mut adam = Adam::new(start.lr, cfg.weight_decay);
+    adam.set_step_count(start.adam_step);
+    let mut retries = start.retries_used;
+    let mut history: Vec<LossBreakdown> = vec![];
+    let mut rollbacks = vec![];
+    let timer = Instant::now();
+
+    let meta_at = |epoch: usize, adam: &Adam, retries: u32| TrainMeta {
+        epoch: epoch as u64,
+        adam_step: adam.step_count(),
+        lr: adam.lr,
+        rng_seed: seed,
+        retries_used: retries,
+    };
+    // The rollback target must exist before the first step, so a divergence
+    // at epoch 0 still has somewhere to go.
+    let mut good = save_train_state(&model.store, &meta_at(first_epoch, &adam, retries));
+    let mut good_epoch = first_epoch;
+    if plan.truncate_checkpoint {
+        good = good.slice(0..good.len() / 2);
+    }
+
+    let mut epoch = first_epoch;
+    while epoch < cfg.epochs {
+        let guard = StepGuard {
+            check_finite: true,
+            clip_norm: ft.clip_norm,
+            poison_loss: plan.nan_loss_at.take_if(|&mut e| e == epoch).is_some(),
+            poison_grad: plan.nan_grad_at.take_if(|&mut e| e == epoch).is_some(),
+        };
+        let detonate = plan.panic_at.take_if(|&mut e| e == epoch).is_some();
+
+        let mut rng = epoch_rng(seed, epoch);
+        // A panic mid-step can leave a half-applied optimizer update behind;
+        // that is fine because the only way forward from here is a full
+        // state restore from `good`.
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            if detonate {
+                fault::detonate_parallel_panic();
+            }
+            run_one_epoch(&mut model, &mut adam, ds, cfg, &guard, &mut rng)
+        }));
+        let fault = match step {
+            Ok(Ok(breakdown)) => {
+                history.push(breakdown);
+                epoch += 1;
+                on_epoch(epoch - 1, &EpochView { model: &model, meta: meta_at(epoch, &adam, retries) });
+                if ft.checkpoint_every > 0 && (epoch - first_epoch) % ft.checkpoint_every == 0 {
+                    good = save_train_state(&model.store, &meta_at(epoch, &adam, retries));
+                    good_epoch = epoch;
+                }
+                continue;
+            }
+            Ok(Err(fault)) => fault,
+            Err(payload) => StepFault::KernelPanic { message: panic_message(payload) },
+        };
+
+        if retries >= ft.max_retries {
+            return Err(TrainError::RetriesExhausted { epoch, retries, last: fault });
+        }
+        retries += 1;
+        // Back off relative to the *current* lr so consecutive rollbacks
+        // onto the same checkpoint keep compounding.
+        let lr_after = adam.lr * ft.lr_backoff;
+        let restored = load_train_state(&mut model.store, good.clone())?;
+        adam.set_step_count(restored.adam_step);
+        adam.lr = lr_after;
+        history.truncate(good_epoch - first_epoch);
+        rollbacks.push(RollbackEvent { at_epoch: epoch, restored_epoch: good_epoch, lr_after, fault });
+        epoch = good_epoch;
+    }
+
+    let train_seconds = timer.elapsed().as_secs_f64();
+    // Embeddings draw from the one-past-the-end stream so they are the same
+    // whether the run was interrupted or not.
+    let mut erng = epoch_rng(seed, cfg.epochs);
+    let embeddings = model.embed_dataset(ds, &mut erng);
+    Ok(TrainOutput { embeddings, history, train_seconds, model, rollbacks })
+}
+
+/// One epoch of the checked loop — same batching structure as
+/// [`train_traced`], but every step goes through the guard. Injected
+/// poisons only apply to the first batch so a fault fires exactly once.
+fn run_one_epoch(
+    model: &mut Gcmae,
+    adam: &mut Adam,
+    ds: &Dataset,
+    cfg: &GcmaeConfig,
+    guard: &StepGuard,
+    rng: &mut StdRng,
+) -> Result<LossBreakdown, StepFault> {
+    let n = ds.num_nodes();
+    let use_batches = cfg.batch_nodes > 0 && cfg.batch_nodes < n;
+    if !use_batches {
+        return model.train_step_guarded(&ds.graph, &ds.features, adam, rng, guard);
+    }
+    let batches = n.div_ceil(cfg.batch_nodes).max(1);
+    let mut acc = LossBreakdown::default();
+    for i in 0..batches {
+        let batch = walk_subgraph(ds, cfg.batch_nodes, rng);
+        let g = if i == 0 {
+            guard.clone()
+        } else {
+            StepGuard { poison_loss: false, poison_grad: false, ..guard.clone() }
+        };
+        let b = model.train_step_guarded(&batch.data.graph, &batch.data.features, adam, rng, &g)?;
+        acc.total += b.total / batches as f32;
+        acc.sce += b.sce / batches as f32;
+        acc.contrast += b.contrast / batches as f32;
+        acc.adj += b.adj / batches as f32;
+        acc.variance += b.variance / batches as f32;
+    }
+    Ok(acc)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +380,131 @@ mod tests {
         let mut seen = vec![];
         let _ = train_traced(&ds, &cfg, 5, |e, _| seen.push(e));
         assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    fn small_cfg(epochs: usize) -> GcmaeConfig {
+        GcmaeConfig { hidden_dim: 8, proj_dim: 4, epochs, ..GcmaeConfig::fast() }
+    }
+
+    #[test]
+    fn checked_run_is_clean_and_deterministic() {
+        let ds = tiny();
+        let cfg = small_cfg(6);
+        let ft = FaultTolerance::default();
+        let a = train_checked(&ds, &cfg, 9, &ft).unwrap();
+        let b = train_checked(&ds, &cfg, 9, &ft).unwrap();
+        assert!(a.rollbacks.is_empty());
+        assert_eq!(a.history.len(), 6);
+        assert_eq!(a.embeddings.max_abs_diff(&b.embeddings), 0.0);
+    }
+
+    #[test]
+    fn resume_replays_the_uninterrupted_run_bit_for_bit() {
+        let ds = tiny();
+        let cfg = small_cfg(8);
+        let ft = FaultTolerance::default();
+        let mut snapshot = None;
+        let full = train_checked_traced(&ds, &cfg, 10, &ft, |e, view| {
+            if e == 3 {
+                snapshot = Some(view.checkpoint());
+            }
+        })
+        .unwrap();
+        let resumed = resume_checked(&ds, &cfg, snapshot.unwrap(), &ft).unwrap();
+        assert_eq!(resumed.history.len(), 4, "epochs 4..8 re-run");
+        assert_eq!(full.embeddings.max_abs_diff(&resumed.embeddings), 0.0);
+        for (a, b) in full.history[4..].iter().zip(&resumed.history) {
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+        }
+    }
+
+    #[test]
+    fn injected_nan_loss_rolls_back_with_lr_backoff() {
+        let ds = tiny();
+        let cfg = small_cfg(8);
+        let ft = FaultTolerance { checkpoint_every: 2, ..FaultTolerance::default() };
+        let plan = FaultPlan { nan_loss_at: Some(5), ..FaultPlan::default() };
+        let out = train_checked_injected(&ds, &cfg, 11, &ft, plan, |_, _| {}).unwrap();
+        assert_eq!(out.rollbacks.len(), 1);
+        let rb = &out.rollbacks[0];
+        assert_eq!(rb.at_epoch, 5);
+        assert_eq!(rb.restored_epoch, 4, "last multiple of checkpoint_every");
+        assert_eq!(rb.lr_after, cfg.lr * ft.lr_backoff);
+        assert_eq!(rb.fault, StepFault::NonFiniteLoss { term: "total" });
+        // run completed all epochs after recovery and still converged
+        assert_eq!(out.history.len(), 8);
+        assert!(out.history.last().unwrap().total < out.history[0].total);
+    }
+
+    #[test]
+    fn injected_nan_gradient_is_caught_before_the_update() {
+        let ds = tiny();
+        let cfg = small_cfg(5);
+        let ft = FaultTolerance::default();
+        let plan = FaultPlan { nan_grad_at: Some(2), ..FaultPlan::default() };
+        let out = train_checked_injected(&ds, &cfg, 12, &ft, plan, |_, _| {}).unwrap();
+        assert_eq!(out.rollbacks.len(), 1);
+        assert!(matches!(out.rollbacks[0].fault, StepFault::NonFiniteGradient { .. }));
+        assert!(out.history.iter().all(|b| b.total.is_finite()));
+    }
+
+    #[test]
+    fn injected_parallel_panic_is_contained_and_recovered() {
+        let ds = tiny();
+        let cfg = small_cfg(5);
+        let ft = FaultTolerance::default();
+        let plan = FaultPlan { panic_at: Some(1), ..FaultPlan::default() };
+        let out = train_checked_injected(&ds, &cfg, 13, &ft, plan, |_, _| {}).unwrap();
+        assert_eq!(out.rollbacks.len(), 1);
+        match &out.rollbacks[0].fault {
+            StepFault::KernelPanic { message } => {
+                assert!(message.contains("injected parallel-job fault"), "payload: {message}")
+            }
+            other => panic!("expected KernelPanic, got {other:?}"),
+        }
+        assert_eq!(out.history.len(), 5);
+    }
+
+    #[test]
+    fn retry_budget_is_enforced() {
+        let ds = tiny();
+        let cfg = small_cfg(4);
+        let ft = FaultTolerance { max_retries: 0, ..FaultTolerance::default() };
+        let plan = FaultPlan { nan_loss_at: Some(1), ..FaultPlan::default() };
+        let Err(err) = train_checked_injected(&ds, &cfg, 14, &ft, plan, |_, _| {}) else {
+            panic!("expected the run to fail")
+        };
+        match err {
+            TrainError::RetriesExhausted { epoch, retries, last } => {
+                assert_eq!((epoch, retries), (1, 0));
+                assert_eq!(last, StepFault::NonFiniteLoss { term: "total" });
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unusable_rollback_checkpoint_is_a_structured_error() {
+        let ds = tiny();
+        let cfg = small_cfg(4);
+        let ft = FaultTolerance { checkpoint_every: 0, ..FaultTolerance::default() };
+        let plan =
+            FaultPlan { nan_loss_at: Some(1), truncate_checkpoint: true, ..FaultPlan::default() };
+        let Err(err) = train_checked_injected(&ds, &cfg, 15, &ft, plan, |_, _| {}) else {
+            panic!("expected the run to fail")
+        };
+        assert!(matches!(err, TrainError::Checkpoint(gcmae_nn::CheckpointError::Truncated)), "{err}");
+    }
+
+    #[test]
+    fn checked_batched_path_guards_every_step() {
+        let ds = tiny();
+        let cfg = GcmaeConfig { batch_nodes: 24, adj_sample: 16, contrast_sample: 16, ..small_cfg(4) };
+        let ft = FaultTolerance::default();
+        let plan = FaultPlan { nan_loss_at: Some(2), ..FaultPlan::default() };
+        let out = train_checked_injected(&ds, &cfg, 16, &ft, plan, |_, _| {}).unwrap();
+        assert_eq!(out.rollbacks.len(), 1);
+        assert_eq!(out.history.len(), 4);
+        assert!(out.history.iter().all(|b| b.total.is_finite()));
     }
 }

@@ -4,6 +4,78 @@ use std::sync::Arc;
 
 use gcmae_tensor::{CsrMatrix, SharedCsr};
 
+/// Why a proposed graph was rejected by the validated constructors
+/// ([`Graph::try_from_edges`], [`Graph::try_from_adjacency`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node `>= num_nodes`.
+    EndpointOutOfRange {
+        /// Index of the offending edge in the input list.
+        edge: usize,
+        /// The out-of-range endpoint.
+        node: usize,
+        /// Declared node count.
+        num_nodes: usize,
+    },
+    /// The adjacency matrix is not square.
+    NotSquare {
+        /// rows.
+        rows: usize,
+        /// cols.
+        cols: usize,
+    },
+    /// The adjacency has a diagonal entry.
+    SelfLoop {
+        /// The node with the self loop.
+        node: usize,
+    },
+    /// A CSR row's column indices are not strictly increasing.
+    UnsortedRow {
+        /// The unsorted row.
+        row: usize,
+    },
+    /// A CSR row lists the same neighbor twice.
+    DuplicateNeighbor {
+        /// The row with the duplicate.
+        row: usize,
+        /// The repeated neighbor.
+        neighbor: usize,
+    },
+    /// Directed entry `(from, to)` has no reverse `(to, from)`.
+    MissingReverse {
+        /// Source of the one-directional entry.
+        from: usize,
+        /// Target of the one-directional entry.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::EndpointOutOfRange { edge, node, num_nodes } => write!(
+                f,
+                "edge {edge} references node {node}, but the graph has only {num_nodes} nodes"
+            ),
+            Self::NotSquare { rows, cols } => {
+                write!(f, "adjacency must be square, got {rows}x{cols}")
+            }
+            Self::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            Self::UnsortedRow { row } => {
+                write!(f, "adjacency row {row} has unsorted column indices")
+            }
+            Self::DuplicateNeighbor { row, neighbor } => {
+                write!(f, "adjacency row {row} lists neighbor {neighbor} more than once")
+            }
+            Self::MissingReverse { from, to } => {
+                write!(f, "edge ({from},{to}) missing its reverse ({to},{from})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// An undirected graph: a symmetric, binary CSR adjacency without self loops.
 ///
 /// All augmentations and samplers produce new [`Graph`] values; the structure
@@ -17,22 +89,64 @@ impl Graph {
     /// Builds a graph from a symmetric adjacency.
     ///
     /// # Panics
-    /// Panics if the matrix is not square, contains self loops, or is not
-    /// symmetric in structure.
+    /// Panics if the matrix fails [`Graph::try_from_adjacency`] validation.
     pub fn from_adjacency(adj: CsrMatrix) -> Self {
-        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
-        for (r, c, _) in adj.iter() {
-            assert_ne!(r, c, "self loop at node {r}");
-            assert!(adj.contains(c, r), "edge ({r},{c}) missing its reverse");
+        Self::try_from_adjacency(adj).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validated form of [`Graph::from_adjacency`]: checks that the matrix is
+    /// square, every row's column indices are sorted and duplicate-free, no
+    /// diagonal entry exists, and every directed entry has its reverse.
+    pub fn try_from_adjacency(adj: CsrMatrix) -> Result<Self, GraphError> {
+        if adj.rows() != adj.cols() {
+            return Err(GraphError::NotSquare { rows: adj.rows(), cols: adj.cols() });
         }
-        Self { adj: Arc::new(adj) }
+        for r in 0..adj.rows() {
+            let (cols, _) = adj.row(r);
+            for (i, &c) in cols.iter().enumerate() {
+                let c = c as usize;
+                if c == r {
+                    return Err(GraphError::SelfLoop { node: r });
+                }
+                if i > 0 {
+                    let prev = cols[i - 1] as usize;
+                    if prev == c {
+                        return Err(GraphError::DuplicateNeighbor { row: r, neighbor: c });
+                    }
+                    if prev > c {
+                        return Err(GraphError::UnsortedRow { row: r });
+                    }
+                }
+                if !adj.contains(c, r) {
+                    return Err(GraphError::MissingReverse { from: r, to: c });
+                }
+            }
+        }
+        Ok(Self { adj: Arc::new(adj) })
     }
 
     /// Builds a graph from undirected edges `(u, v)`; duplicates and self
     /// loops are dropped.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node `>= n`; use
+    /// [`Graph::try_from_edges`] to handle untrusted input.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        Self::try_from_edges(n, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validated form of [`Graph::from_edges`]: returns a descriptive error
+    /// for out-of-range endpoints instead of panicking deep inside the CSR
+    /// builder. Duplicate edges and self loops are dropped, as in
+    /// [`Graph::from_edges`].
+    pub fn try_from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
         let mut triplets = Vec::with_capacity(edges.len() * 2);
-        for &(u, v) in edges {
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            for node in [u, v] {
+                if node >= n {
+                    return Err(GraphError::EndpointOutOfRange { edge: i, node, num_nodes: n });
+                }
+            }
             if u == v {
                 continue;
             }
@@ -49,7 +163,7 @@ impl Graph {
             adj.indices().to_vec(),
             values,
         );
-        Self { adj: Arc::new(adj) }
+        Ok(Self { adj: Arc::new(adj) })
     }
 
     /// Number of nodes.
@@ -316,5 +430,57 @@ mod tests {
     fn from_adjacency_rejects_self_loops() {
         let adj = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
         let _ = Graph::from_adjacency(adj);
+    }
+
+    #[test]
+    fn try_from_edges_reports_out_of_range_endpoint() {
+        let err = Graph::try_from_edges(3, &[(0, 1), (1, 7)]).unwrap_err();
+        assert_eq!(err, GraphError::EndpointOutOfRange { edge: 1, node: 7, num_nodes: 3 });
+        assert!(err.to_string().contains("node 7"));
+        // valid input still builds
+        let g = Graph::try_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn try_from_adjacency_rejects_each_invalid_shape() {
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 1, 1.0)]);
+        assert_eq!(
+            Graph::try_from_adjacency(rect).unwrap_err(),
+            GraphError::NotSquare { rows: 2, cols: 3 }
+        );
+
+        let diag = CsrMatrix::from_triplets(2, 2, &[(1, 1, 1.0)]);
+        assert_eq!(
+            Graph::try_from_adjacency(diag).unwrap_err(),
+            GraphError::SelfLoop { node: 1 }
+        );
+
+        let one_way = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert_eq!(
+            Graph::try_from_adjacency(one_way).unwrap_err(),
+            GraphError::MissingReverse { from: 0, to: 1 }
+        );
+
+        // hand-built CSR with an unsorted row
+        let unsorted = CsrMatrix::new(3, 3, vec![0, 2, 3, 4], vec![2, 1, 0, 0], vec![1.0; 4]);
+        assert_eq!(
+            Graph::try_from_adjacency(unsorted).unwrap_err(),
+            GraphError::UnsortedRow { row: 0 }
+        );
+
+        // hand-built CSR with a duplicate neighbor
+        let dup = CsrMatrix::new(2, 2, vec![0, 2, 4], vec![1, 1, 0, 0], vec![1.0; 4]);
+        assert_eq!(
+            Graph::try_from_adjacency(dup).unwrap_err(),
+            GraphError::DuplicateNeighbor { row: 0, neighbor: 1 }
+        );
+    }
+
+    #[test]
+    fn try_from_adjacency_accepts_valid_symmetric_matrix() {
+        let adj = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let g = Graph::try_from_adjacency(adj).unwrap();
+        assert_eq!(g.num_edges(), 1);
     }
 }

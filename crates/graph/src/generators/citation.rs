@@ -199,7 +199,8 @@ pub fn generate(spec: &CitationSpec, seed: u64) -> Dataset {
             edges.push((u, v));
         }
     }
-    let graph = Graph::from_edges(n, &edges);
+    let graph = Graph::try_from_edges(n, &edges)
+        .unwrap_or_else(|e| panic!("citation generator produced an invalid graph: {e}"));
 
     // Topic vocabularies: contiguous windows that overlap between
     // neighboring classes, mirroring how real bag-of-words topics share

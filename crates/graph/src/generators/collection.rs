@@ -192,7 +192,7 @@ pub fn generate_graph(family: Family, n: usize, rng: &mut StdRng) -> Graph {
                     edges.push((u, v));
                 }
             }
-            Graph::from_edges(n, &edges)
+            valid_graph(family, n, &edges)
         }
         Family::Hub { m } => {
             // Preferential attachment over a seed triangle.
@@ -208,7 +208,7 @@ pub fn generate_graph(family: Family, n: usize, rng: &mut StdRng) -> Graph {
                     }
                 }
             }
-            Graph::from_edges(n, &edges)
+            valid_graph(family, n, &edges)
         }
         Family::Communities { k } => {
             let k = k.max(2).min(n / 2);
@@ -236,7 +236,7 @@ pub fn generate_graph(family: Family, n: usize, rng: &mut StdRng) -> Graph {
                 let v = rng.gen_range((b + 1) * n / k..(b + 2) * n / k);
                 edges.push((u, v));
             }
-            Graph::from_edges(n, &edges)
+            valid_graph(family, n, &edges)
         }
         Family::Molecule { chords } => {
             let mut edges = spanning_tree(n, rng);
@@ -248,13 +248,21 @@ pub fn generate_graph(family: Family, n: usize, rng: &mut StdRng) -> Graph {
                     edges.push((u, v));
                 }
             }
-            Graph::from_edges(n, &edges)
+            valid_graph(family, n, &edges)
         }
     }
 }
 
 fn spanning_tree(n: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
     (1..n).map(|v| (v, rng.gen_range(0..v))).collect()
+}
+
+/// Builds a validated graph; a generator bug (endpoint out of range) is a
+/// programmer error, so it panics with the structural detail instead of the
+/// generic constructor message.
+fn valid_graph(family: Family, n: usize, edges: &[(usize, usize)]) -> Graph {
+    Graph::try_from_edges(n, edges)
+        .unwrap_or_else(|e| panic!("{family:?} generator produced an invalid graph: {e}"))
 }
 
 /// Clipped degree one-hot features, the standard featurization for TU

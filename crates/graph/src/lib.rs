@@ -26,6 +26,6 @@ pub mod sampling;
 pub mod splits;
 pub mod stats;
 
-pub use csr::Graph;
+pub use csr::{Graph, GraphError};
 pub use datasets::{BatchedGraphs, Dataset, GraphCollection};
 pub use splits::{LinkSplit, NodeSplit};

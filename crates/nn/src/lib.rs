@@ -38,7 +38,13 @@ pub mod serialize;
 pub use encoder::{Encoder, EncoderConfig, EncoderKind};
 pub use graph_ops::GraphOps;
 pub use layers::{dropout, Act, Linear, Mlp};
-pub use optim::{Adam, Sgd};
+pub use optim::{clip_global_norm, Adam, Sgd};
 pub use schedule::Schedule;
 pub use param::{ParamId, ParamStore, Session};
-pub use serialize::{load_params, save_params, CheckpointError};
+pub use serialize::{
+    load_params, load_train_state, save_params, save_train_state, CheckpointError, TrainMeta,
+};
+
+// Checkpoints cross the crate boundary as `Bytes`; re-exported so callers
+// (gcmae-core's checked trainer) don't need their own `bytes` dependency.
+pub use bytes::Bytes;

@@ -27,6 +27,18 @@ impl Adam {
         Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0 }
     }
 
+    /// Number of updates applied so far (drives bias correction).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Overwrites the step count. Restoring a training checkpoint must set
+    /// this together with the moment estimates, otherwise the bias
+    /// correction after resume differs from the uninterrupted run.
+    pub fn set_step_count(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Applies one update using the gradients of the session's bound
     /// parameters. Parameters without gradients are left untouched.
     pub fn step(&mut self, store: &mut ParamStore, session: &Session, grads: &mut Grads) {
@@ -53,6 +65,32 @@ impl Adam {
             }
         }
     }
+}
+
+/// Rescales all session-bound gradients in place so their *global* L2 norm
+/// does not exceed `max_norm`, and returns the pre-clip norm.
+///
+/// The norm is accumulated serially in `f64`, so the result is bit-identical
+/// at any thread count. A non-finite norm leaves the gradients untouched —
+/// scaling by `max_norm / NaN` would only smear the poison around; the
+/// trainer's divergence guard is the layer that handles that case.
+pub fn clip_global_norm(session: &Session, grads: &mut Grads, max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for &(_, tid) in session.binds() {
+        if let Some(g) = grads.get(tid) {
+            sq += g.as_slice().iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>();
+        }
+    }
+    let norm = sq.sqrt() as f32;
+    if norm.is_finite() && norm > max_norm {
+        let scale = max_norm / norm;
+        for &(_, tid) in session.binds() {
+            if let Some(g) = grads.get_mut(tid) {
+                g.scale_inplace(scale);
+            }
+        }
+    }
+    norm
 }
 
 /// Plain SGD (probes, SVM-style training loops).
@@ -118,6 +156,64 @@ mod tests {
         let sgd = Sgd::new(0.1, 0.0);
         let h = run_quadratic(&mut |s, sess, g| sgd.step(s, sess, g));
         assert!(h.last().unwrap() < &1e-3, "final loss {}", h.last().unwrap());
+    }
+
+    #[test]
+    fn step_count_roundtrips() {
+        let mut adam = Adam::new(0.1, 0.0);
+        assert_eq!(adam.step_count(), 0);
+        let _ = run_quadratic(&mut |s, sess, g| adam.step(s, sess, g));
+        assert_eq!(adam.step_count(), 50);
+        adam.set_step_count(7);
+        assert_eq!(adam.step_count(), 7);
+    }
+
+    #[test]
+    fn clip_rescales_only_above_threshold() {
+        let mut store = ParamStore::new();
+        let a = store.create(Matrix::from_vec(1, 2, vec![3.0, 0.0]));
+        let b = store.create(Matrix::from_vec(1, 1, vec![-4.0]));
+        let grads_for = |store: &ParamStore| {
+            let mut sess = Session::new();
+            let wa = sess.param(store, a);
+            let wb = sess.param(store, b);
+            // loss = ½‖a‖² + ½‖b‖² → grad = the values themselves
+            let la = sess.tape.frob_sq(wa);
+            let lb = sess.tape.frob_sq(wb);
+            let loss = sess.tape.add(la, lb);
+            let grads = sess.tape.backward(loss);
+            (sess, grads)
+        };
+
+        // grad = 2·w → norm = 2·5 = 10; clip at 1.0
+        let (sess, mut grads) = grads_for(&store);
+        let norm = clip_global_norm(&sess, &mut grads, 1.0);
+        assert!((norm - 10.0).abs() < 1e-5, "pre-clip norm {norm}");
+        let tid = sess.binds()[0].1;
+        let g = grads.get(tid).unwrap();
+        assert!((g.as_slice()[0] - 0.6).abs() < 1e-6, "scaled to 6/10 of unit norm");
+
+        // clip far above the norm → untouched
+        let (sess, mut grads) = grads_for(&store);
+        let norm = clip_global_norm(&sess, &mut grads, 100.0);
+        assert!((norm - 10.0).abs() < 1e-5);
+        let g = grads.get(sess.binds()[0].1).unwrap();
+        assert_eq!(g.as_slice()[0], 6.0);
+    }
+
+    #[test]
+    fn clip_leaves_non_finite_gradients_for_the_guard() {
+        let mut store = ParamStore::new();
+        let a = store.create(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let mut sess = Session::new();
+        let wa = sess.param(&store, a);
+        let loss = sess.tape.frob_sq(wa);
+        let mut grads = sess.tape.backward(loss);
+        grads.get_mut(sess.binds()[0].1).unwrap().as_mut_slice()[0] = f32::NAN;
+        let norm = clip_global_norm(&sess, &mut grads, 1.0);
+        assert!(norm.is_nan());
+        // the finite entry was not rescaled
+        assert_eq!(grads.get(sess.binds()[0].1).unwrap().as_slice()[1], 2.0);
     }
 
     #[test]

@@ -76,6 +76,14 @@ impl ParamStore {
     pub fn num_scalars(&self) -> usize {
         self.params.iter().map(|p| p.value.len()).sum()
     }
+
+    /// Adam moment estimates `(m, v)` of a parameter. Read-only: the
+    /// optimizer owns the updates; this exists so training checkpoints can
+    /// capture (and tests can verify) the full optimizer state.
+    pub fn moments(&self, id: ParamId) -> (&Matrix, &Matrix) {
+        let p = &self.params[id.0];
+        (&p.m, &p.v)
+    }
 }
 
 /// A single training step's tape plus the parameter bindings made on it.

@@ -1,9 +1,17 @@
 //! Checkpointing: serialize parameter values to a compact binary format.
 //!
-//! Models in this workspace are reconstructed deterministically from
-//! `(config, seed)`, so a checkpoint only needs the parameter *values* in
-//! creation order. Adam moments are deliberately not stored — checkpoints
-//! are for inference/embedding reuse, not for resuming optimization.
+//! Two formats share the magic number:
+//!
+//! * **v1** (inference): parameter values in creation order, nothing else.
+//!   Models are reconstructed deterministically from `(config, seed)`, so
+//!   this is all that embedding reuse needs.
+//! * **v2** (training): a [`TrainMeta`] header (epoch, Adam step count,
+//!   learning rate, RNG seed, recovery retries) followed by each parameter's
+//!   value *and* its Adam first/second moments. Restoring v2 state resumes
+//!   optimization bit-identically to an uninterrupted run.
+//!
+//! [`load_params`] reads both (skipping v2's extra state);
+//! [`load_train_state`] requires v2.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gcmae_tensor::Matrix;
@@ -12,6 +20,10 @@ use crate::param::ParamStore;
 
 const MAGIC: u32 = 0x47434d41; // "GCMA"
 const VERSION: u32 = 1;
+const VERSION_TRAIN: u32 = 2;
+/// Bytes of [`TrainMeta`] in a v2 stream: epoch + adam_step + rng_seed as
+/// u64, lr as f32, retries_used as u32.
+const META_BYTES: usize = 8 + 8 + 8 + 4 + 4;
 
 /// Serialization errors.
 #[derive(Debug, PartialEq, Eq)]
@@ -54,6 +66,39 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Training-loop state stored in a v2 checkpoint alongside the parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainMeta {
+    /// Epochs completed; resume starts at this epoch index.
+    pub epoch: u64,
+    /// Adam step count (bias correction must continue where it left off).
+    pub adam_step: u64,
+    /// Learning rate in effect (divergence recovery may have backed it off).
+    pub lr: f32,
+    /// Base RNG seed; the trainer derives one stream per `(seed, epoch)`,
+    /// so seed + epoch fully determine the RNG state at a resume point.
+    pub rng_seed: u64,
+    /// Divergence-recovery retries consumed so far.
+    pub retries_used: u32,
+}
+
+fn read_matrix(data: &mut Bytes, rows: usize, cols: usize) -> Result<Matrix, CheckpointError> {
+    if data.remaining() < rows.saturating_mul(cols).saturating_mul(4) {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = data.get_f32_le();
+    }
+    Ok(m)
+}
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
 /// Serializes all parameter values of a store.
 pub fn save_params(store: &ParamStore) -> Bytes {
     let mut buf = BytesMut::new();
@@ -64,50 +109,138 @@ pub fn save_params(store: &ParamStore) -> Bytes {
         let m = store.value(crate::param::ParamId::from_index(i));
         buf.put_u32_le(m.rows() as u32);
         buf.put_u32_le(m.cols() as u32);
-        for &v in m.as_slice() {
-            buf.put_f32_le(v);
-        }
+        put_matrix(&mut buf, m);
     }
     buf.freeze()
 }
 
-/// Restores parameter values into a store built with the same architecture
-/// (same creation order and shapes).
-pub fn load_params(store: &mut ParamStore, mut data: Bytes) -> Result<(), CheckpointError> {
-    if data.remaining() < 16 {
+/// Serializes the full training state: [`TrainMeta`] plus every parameter's
+/// value and Adam moments (checkpoint format v2).
+pub fn save_train_state(store: &ParamStore, meta: &TrainMeta) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION_TRAIN);
+    buf.put_u64_le(meta.epoch);
+    buf.put_u64_le(meta.adam_step);
+    buf.put_u64_le(meta.rng_seed);
+    buf.put_f32_le(meta.lr);
+    buf.put_u32_le(meta.retries_used);
+    buf.put_u64_le(store.len() as u64);
+    for i in 0..store.len() {
+        let id = crate::param::ParamId::from_index(i);
+        let m = store.value(id);
+        buf.put_u32_le(m.rows() as u32);
+        buf.put_u32_le(m.cols() as u32);
+        put_matrix(&mut buf, m);
+        let (fst, snd) = store.moments(id);
+        put_matrix(&mut buf, fst);
+        put_matrix(&mut buf, snd);
+    }
+    buf.freeze()
+}
+
+/// Checks magic + version and returns the version. `accept` lists readable
+/// versions for the caller.
+fn read_header(data: &mut Bytes, accept: &[u32]) -> Result<u32, CheckpointError> {
+    if data.remaining() < 8 {
         return Err(CheckpointError::Truncated);
     }
     if data.get_u32_le() != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
     let version = data.get_u32_le();
-    if version != VERSION {
+    if !accept.contains(&version) {
         return Err(CheckpointError::BadVersion(version));
+    }
+    Ok(version)
+}
+
+fn read_count(data: &mut Bytes, store: &ParamStore) -> Result<usize, CheckpointError> {
+    if data.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
     }
     let count = data.get_u64_le() as usize;
     if count != store.len() {
         return Err(CheckpointError::CountMismatch { expected: store.len(), found: count });
     }
+    Ok(count)
+}
+
+fn read_shape(
+    data: &mut Bytes,
+    store: &ParamStore,
+    index: usize,
+) -> Result<(usize, usize), CheckpointError> {
+    if data.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let rows = data.get_u32_le() as usize;
+    let cols = data.get_u32_le() as usize;
+    if store.value(crate::param::ParamId::from_index(index)).shape() != (rows, cols) {
+        return Err(CheckpointError::ShapeMismatch { index });
+    }
+    Ok((rows, cols))
+}
+
+/// Restores parameter values into a store built with the same architecture
+/// (same creation order and shapes). Reads v1 checkpoints and the parameter
+/// values of v2 training checkpoints (the optimizer state is skipped — use
+/// [`load_train_state`] to resume training).
+pub fn load_params(store: &mut ParamStore, mut data: Bytes) -> Result<(), CheckpointError> {
+    let version = read_header(&mut data, &[VERSION, VERSION_TRAIN])?;
+    if version == VERSION_TRAIN {
+        if data.remaining() < META_BYTES {
+            return Err(CheckpointError::Truncated);
+        }
+        data.advance(META_BYTES);
+    }
+    let count = read_count(&mut data, store)?;
     for i in 0..count {
-        if data.remaining() < 8 {
-            return Err(CheckpointError::Truncated);
+        let (rows, cols) = read_shape(&mut data, store, i)?;
+        let m = read_matrix(&mut data, rows, cols)?;
+        store.param_mut(crate::param::ParamId::from_index(i)).value = m;
+        if version == VERSION_TRAIN {
+            let moments = rows.saturating_mul(cols).saturating_mul(8);
+            if data.remaining() < moments {
+                return Err(CheckpointError::Truncated);
+            }
+            data.advance(moments);
         }
-        let rows = data.get_u32_le() as usize;
-        let cols = data.get_u32_le() as usize;
-        let id = crate::param::ParamId::from_index(i);
-        if store.value(id).shape() != (rows, cols) {
-            return Err(CheckpointError::ShapeMismatch { index: i });
-        }
-        if data.remaining() < rows * cols * 4 {
-            return Err(CheckpointError::Truncated);
-        }
-        let mut m = Matrix::zeros(rows, cols);
-        for v in m.as_mut_slice() {
-            *v = data.get_f32_le();
-        }
-        store.param_mut(id).value = m;
     }
     Ok(())
+}
+
+/// Restores the full training state saved by [`save_train_state`] and
+/// returns its [`TrainMeta`]. Rejects v1 checkpoints: they carry no
+/// optimizer state, so resuming from one would silently change the
+/// trajectory.
+pub fn load_train_state(
+    store: &mut ParamStore,
+    mut data: Bytes,
+) -> Result<TrainMeta, CheckpointError> {
+    read_header(&mut data, &[VERSION_TRAIN])?;
+    if data.remaining() < META_BYTES {
+        return Err(CheckpointError::Truncated);
+    }
+    let meta = TrainMeta {
+        epoch: data.get_u64_le(),
+        adam_step: data.get_u64_le(),
+        rng_seed: data.get_u64_le(),
+        lr: data.get_f32_le(),
+        retries_used: data.get_u32_le(),
+    };
+    let count = read_count(&mut data, store)?;
+    for i in 0..count {
+        let (rows, cols) = read_shape(&mut data, store, i)?;
+        let value = read_matrix(&mut data, rows, cols)?;
+        let fst = read_matrix(&mut data, rows, cols)?;
+        let snd = read_matrix(&mut data, rows, cols)?;
+        let p = store.param_mut(crate::param::ParamId::from_index(i));
+        p.value = value;
+        p.m = fst;
+        p.v = snd;
+    }
+    Ok(meta)
 }
 
 #[cfg(test)]
@@ -169,5 +302,82 @@ mod tests {
         let cut = bytes.slice(0..bytes.len() - 4);
         let mut fresh = sample_store();
         assert_eq!(load_params(&mut fresh, cut).unwrap_err(), CheckpointError::Truncated);
+    }
+
+    /// A store with distinct, non-zero values AND moments for every slot,
+    /// as if mid-optimization.
+    fn trained_store() -> ParamStore {
+        let mut s = sample_store();
+        for i in 0..s.len() {
+            let p = s.param_mut(crate::param::ParamId::from_index(i));
+            for (j, m) in p.m.as_mut_slice().iter_mut().enumerate() {
+                *m = 0.25 + i as f32 + j as f32;
+            }
+            for (j, v) in p.v.as_mut_slice().iter_mut().enumerate() {
+                *v = 0.5 + (i * 10 + j) as f32;
+            }
+        }
+        s
+    }
+
+    fn meta() -> TrainMeta {
+        TrainMeta { epoch: 17, adam_step: 1700, lr: 1.25e-4, rng_seed: 42, retries_used: 2 }
+    }
+
+    #[test]
+    fn train_state_roundtrips_values_moments_and_meta() {
+        let store = trained_store();
+        let bytes = save_train_state(&store, &meta());
+        let mut fresh = sample_store();
+        let restored = load_train_state(&mut fresh, bytes).unwrap();
+        assert_eq!(restored, meta());
+        for i in 0..store.len() {
+            let id = crate::param::ParamId::from_index(i);
+            assert_eq!(store.value(id).max_abs_diff(fresh.value(id)), 0.0);
+            let (m0, v0) = store.moments(id);
+            let (m1, v1) = fresh.moments(id);
+            assert_eq!(m0.max_abs_diff(m1), 0.0);
+            assert_eq!(v0.max_abs_diff(v1), 0.0);
+        }
+    }
+
+    #[test]
+    fn load_params_reads_v2_values_and_skips_optimizer_state() {
+        let store = trained_store();
+        let bytes = save_train_state(&store, &meta());
+        let mut fresh = sample_store();
+        load_params(&mut fresh, bytes).unwrap();
+        for i in 0..store.len() {
+            let id = crate::param::ParamId::from_index(i);
+            assert_eq!(store.value(id).max_abs_diff(fresh.value(id)), 0.0);
+            // inference load must not touch the moments
+            let (m1, v1) = fresh.moments(id);
+            assert!(m1.as_slice().iter().chain(v1.as_slice()).all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn train_state_rejects_v1_checkpoints() {
+        let store = sample_store();
+        let v1 = save_params(&store);
+        let mut fresh = sample_store();
+        let err = load_train_state(&mut fresh, v1).unwrap_err();
+        assert_eq!(err, CheckpointError::BadVersion(1));
+    }
+
+    #[test]
+    fn truncated_train_state_is_rejected_everywhere() {
+        let store = trained_store();
+        let bytes = save_train_state(&store, &meta());
+        // cut inside the meta header, inside a value, and inside the moments
+        for cut_at in [9, bytes.len() - 5, bytes.len() - 4 * 4] {
+            let cut = bytes.slice(0..cut_at);
+            let mut fresh = sample_store();
+            assert_eq!(
+                load_train_state(&mut fresh, cut).unwrap_err(),
+                CheckpointError::Truncated,
+                "cut at {cut_at}"
+            );
+        }
     }
 }

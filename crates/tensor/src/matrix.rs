@@ -275,9 +275,15 @@ impl Matrix {
             .fold(0.0f32, f32::max)
     }
 
-    /// `true` when every entry is finite.
+    /// `true` when every entry is finite (vectorized, parallel for large
+    /// matrices — see [`crate::ops::finite`]).
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|v| v.is_finite())
+        crate::ops::finite::all_finite(&self.data)
+    }
+
+    /// Index of the first non-finite entry in row-major order, if any.
+    pub fn first_non_finite(&self) -> Option<usize> {
+        crate::ops::finite::first_non_finite(&self.data)
     }
 }
 

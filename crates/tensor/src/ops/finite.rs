@@ -1,0 +1,126 @@
+//! Vectorized finite-scan kernel.
+//!
+//! The fault-tolerant training runtime scans every loss term and gradient
+//! once per step, so the scan has to be close to free: a single pass that
+//! classifies each `f32` by its exponent bits (`NaN`/`±∞` ⇔ all exponent
+//! bits set), auto-vectorizes to integer SIMD, and goes parallel through the
+//! worker pool once the buffer is large enough to pay for dispatch.
+//!
+//! Counting is order-independent, so unlike the loss kernels this reduction
+//! may use a shared atomic without hurting determinism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::parallel::par_rows;
+
+/// All-exponent-bits mask: a value is non-finite iff `bits & MASK == MASK`.
+const EXP_MASK: u32 = 0x7f80_0000;
+
+/// Entries scanned per parallel block; also the serial-path chunk size that
+/// lets the scalar loop vectorize without a per-element branch.
+const BLOCK: usize = 8192;
+
+#[inline]
+fn non_finite_in(chunk: &[f32]) -> usize {
+    // Branch-free per element: counts NaNs and infinities.
+    chunk.iter().map(|v| usize::from(v.to_bits() & EXP_MASK == EXP_MASK)).sum()
+}
+
+/// Number of non-finite (`NaN` or `±∞`) entries in `data`.
+pub fn non_finite_count(data: &[f32]) -> usize {
+    let blocks = data.len().div_ceil(BLOCK);
+    if blocks <= 1 {
+        return non_finite_in(data);
+    }
+    let total = AtomicUsize::new(0);
+    par_rows(blocks, BLOCK, |b| {
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(data.len());
+        let c = non_finite_in(&data[start..end]);
+        if c > 0 {
+            total.fetch_add(c, Ordering::Relaxed);
+        }
+    });
+    total.into_inner()
+}
+
+/// Index of the first non-finite entry, if any. Same scan as
+/// [`non_finite_count`] but keeps the *smallest* offending index so error
+/// messages are deterministic at any thread count.
+pub fn first_non_finite(data: &[f32]) -> Option<usize> {
+    let blocks = data.len().div_ceil(BLOCK);
+    let first = AtomicUsize::new(usize::MAX);
+    let scan_block = |b: usize| {
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(data.len());
+        if let Some(off) = data[start..end].iter().position(|v| !v.is_finite()) {
+            first.fetch_min(start + off, Ordering::Relaxed);
+        }
+    };
+    if blocks <= 1 {
+        scan_block(0);
+    } else {
+        par_rows(blocks, BLOCK, scan_block);
+    }
+    match first.into_inner() {
+        usize::MAX => None,
+        i => Some(i),
+    }
+}
+
+/// `true` when every entry of `data` is finite.
+pub fn all_finite(data: &[f32]) -> bool {
+    non_finite_count(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::set_num_threads;
+
+    #[test]
+    fn clean_buffer_is_finite() {
+        let data = vec![1.0f32; 3 * BLOCK + 17];
+        assert!(all_finite(&data));
+        assert_eq!(non_finite_count(&data), 0);
+        assert_eq!(first_non_finite(&data), None);
+    }
+
+    #[test]
+    fn counts_nan_and_both_infinities() {
+        let mut data = vec![0.5f32; 100];
+        data[3] = f32::NAN;
+        data[50] = f32::INFINITY;
+        data[99] = f32::NEG_INFINITY;
+        assert_eq!(non_finite_count(&data), 3);
+        assert_eq!(first_non_finite(&data), Some(3));
+        assert!(!all_finite(&data));
+    }
+
+    #[test]
+    fn subnormals_and_extremes_are_finite() {
+        let data = [f32::MIN, f32::MAX, f32::MIN_POSITIVE, 1e-45, -0.0, 0.0];
+        assert!(all_finite(&data));
+    }
+
+    #[test]
+    fn empty_buffer_is_finite() {
+        assert!(all_finite(&[]));
+        assert_eq!(first_non_finite(&[]), None);
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let _g = crate::parallel::TEST_THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let n = 5 * BLOCK + 123;
+        let mut data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        data[4 * BLOCK + 7] = f32::NAN;
+        data[2 * BLOCK + 9] = f32::INFINITY;
+        for threads in [1, 4, 8] {
+            set_num_threads(threads);
+            assert_eq!(non_finite_count(&data), 2, "threads={threads}");
+            assert_eq!(first_non_finite(&data), Some(2 * BLOCK + 9), "threads={threads}");
+        }
+        set_num_threads(0);
+    }
+}

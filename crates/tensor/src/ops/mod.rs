@@ -7,6 +7,7 @@
 //! `tests/gradcheck.rs`.
 
 pub mod adj_recon;
+pub mod finite;
 pub mod gat;
 pub mod infonce;
 pub mod sce;

@@ -25,13 +25,35 @@
 //! completes even if every worker is busy — queued jobs that never got picked
 //! up are cancelled once the caller has drained all blocks, which also makes
 //! nested parallel calls deadlock-free.
+//!
+//! ## Crash safety
+//!
+//! A panicking job closure is caught inside the claiming participant, the
+//! remaining participants finish their blocks, and the original panic payload
+//! is re-raised on the submitting thread once the latch has drained — the
+//! pool itself stays healthy. Every mutex acquisition recovers from
+//! poisoning (partial state under these locks is always valid), a worker that
+//! dies while holding a job checks the job in through a completion guard so
+//! the submitting thread can never hang on the latch, and dead workers are
+//! respawned on the next dispatch. Worker death is exercised
+//! deterministically via [`inject_worker_deaths`].
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ops::Range;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Every mutex in this module guards state that is valid after any partial
+/// update (job queues, completion counts), so a panic while holding the lock
+/// must not wedge every later kernel dispatch — clear the poison and move on.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Hard upper bound on kernel participants (caller + pool workers).
 const MAX_THREADS: usize = 16;
@@ -79,7 +101,8 @@ pub fn set_num_threads(n: usize) {
     FORCED_THREADS.store(n, Ordering::Relaxed);
 }
 
-/// Number of worker threads the pool has spawned so far (excludes callers).
+/// Number of live pool worker threads (excludes callers; dead workers are
+/// subtracted and respawned on the next dispatch).
 ///
 /// Exposed so tests can assert that repeated kernel calls reuse the pool
 /// instead of leaking threads.
@@ -104,6 +127,8 @@ struct TaskHeader {
     /// Cursor over block indices; participants claim blocks until exhausted.
     next: AtomicUsize,
     panicked: AtomicBool,
+    /// First captured panic payload, re-raised on the submitting thread.
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl TaskHeader {
@@ -122,9 +147,19 @@ impl TaskHeader {
             // before returning) and blocks are disjoint row ranges.
             unsafe { (self.call)(self.f, start, len) };
         }));
-        if res.is_err() {
-            self.panicked.store(true, Ordering::Release);
+        if let Err(p) = res {
+            self.record_panic(p);
         }
+    }
+
+    /// Marks the task failed, keeping the first payload for the caller.
+    fn record_panic(&self, p: Box<dyn Any + Send>) {
+        let mut slot = lock(&self.payload);
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+        drop(slot);
+        self.panicked.store(true, Ordering::Release);
     }
 }
 
@@ -142,7 +177,7 @@ impl Latch {
     }
 
     fn complete(&self, k: usize) {
-        let mut g = self.pending.lock().expect("latch poisoned");
+        let mut g = lock(&self.pending);
         *g -= k;
         if *g == 0 {
             self.cv.notify_all();
@@ -150,9 +185,9 @@ impl Latch {
     }
 
     fn wait(&self) {
-        let mut g = self.pending.lock().expect("latch poisoned");
+        let mut g = lock(&self.pending);
         while *g > 0 {
-            g = self.cv.wait(g).expect("latch poisoned");
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -161,6 +196,8 @@ impl Latch {
 struct Job {
     task: *const TaskHeader,
     latch: Arc<Latch>,
+    /// Fault-injection tag: the claiming worker dies instead of working.
+    kill: bool,
 }
 
 // SAFETY: the raw task pointer is only dereferenced while the owning caller
@@ -171,7 +208,10 @@ unsafe impl Send for Job {}
 struct Pool {
     queue: Mutex<VecDeque<Job>>,
     cv: Condvar,
+    /// Live workers (decremented by `RespawnGuard` when one dies).
     spawned: AtomicUsize,
+    /// Monotonic id source for worker thread names.
+    next_id: AtomicUsize,
     /// Serializes worker spawning so the pool never overshoots its target.
     spawn_lock: Mutex<()>,
 }
@@ -183,6 +223,7 @@ fn pool() -> &'static Pool {
         queue: Mutex::new(VecDeque::new()),
         cv: Condvar::new(),
         spawned: AtomicUsize::new(0),
+        next_id: AtomicUsize::new(0),
         spawn_lock: Mutex::new(()),
     })
 }
@@ -196,33 +237,128 @@ fn ensure_workers(p: &'static Pool, want: usize) {
     if p.spawned.load(Ordering::Relaxed) >= want {
         return;
     }
-    let _guard = p.spawn_lock.lock().expect("pool spawn lock poisoned");
+    let _guard = lock(&p.spawn_lock);
     while p.spawned.load(Ordering::Relaxed) < want {
-        let id = p.spawned.load(Ordering::Relaxed);
+        let id = p.next_id.fetch_add(1, Ordering::Relaxed);
         let spawned = std::thread::Builder::new()
             .name(format!("gcmae-pool-{id}"))
             .spawn(move || worker_loop(pool()));
         if spawned.is_err() {
+            p.next_id.fetch_sub(1, Ordering::Relaxed);
             break;
         }
         p.spawned.fetch_add(1, Ordering::Relaxed);
     }
 }
 
+/// Fast gate for the fault-injection path below; `false` keeps the dispatch
+/// hot path at a single relaxed load.
+static DEATHS_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// `(injecting thread, remaining deaths)` for [`inject_worker_deaths`].
+static DEATH_PLAN: Mutex<Option<(std::thread::ThreadId, usize)>> = Mutex::new(None);
+
+/// Test/chaos hook: up to `n` jobs dispatched *by the calling thread* are
+/// tagged so the pool worker that claims one kills its own thread. The
+/// in-flight call still completes (the dying worker checks in through its
+/// completion guard and the failure is resurfaced as a panic on the
+/// submitting thread), and the pool respawns replacements on the next
+/// dispatch. Scoped to the calling thread so concurrent tests cannot consume
+/// each other's injected faults.
+#[doc(hidden)]
+pub fn inject_worker_deaths(n: usize) {
+    *lock(&DEATH_PLAN) = Some((std::thread::current().id(), n));
+    DEATHS_ARMED.store(n > 0, Ordering::Release);
+}
+
+/// Worker deaths injected by the calling thread that have not fired yet.
+#[doc(hidden)]
+pub fn pending_worker_deaths() -> usize {
+    match *lock(&DEATH_PLAN) {
+        Some((tid, n)) if tid == std::thread::current().id() => n,
+        _ => 0,
+    }
+}
+
+/// Claims up to `n_jobs` pending deaths for the current dispatch; only the
+/// thread that armed the plan ever claims any.
+fn claim_worker_deaths(n_jobs: usize) -> usize {
+    if !DEATHS_ARMED.load(Ordering::Acquire) {
+        return 0;
+    }
+    let mut plan = lock(&DEATH_PLAN);
+    match plan.as_mut() {
+        Some((tid, n)) if *tid == std::thread::current().id() => {
+            let k = (*n).min(n_jobs);
+            *n -= k;
+            if *n == 0 {
+                *plan = None;
+                DEATHS_ARMED.store(false, Ordering::Release);
+            }
+            k
+        }
+        _ => 0,
+    }
+}
+
+/// Decrements the live-worker count when a worker thread dies, so
+/// `ensure_workers` spawns a replacement on the next dispatch instead of the
+/// pool silently shrinking forever.
+struct RespawnGuard(&'static Pool);
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        self.0.spawned.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Guarantees a claimed job checks in exactly once, even if the worker dies
+/// mid-job: a latch left pending would block the submitting thread forever.
+struct JobCompletion<'a> {
+    job: &'a Job,
+    done: bool,
+}
+
+impl Drop for JobCompletion<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            // Dying with the job still held: fail the task (so the caller
+            // raises an error instead of returning corrupt output) and drain
+            // our slot in the latch.
+            // SAFETY: the caller is still blocked on the latch, so the task
+            // header is alive until this `complete` runs.
+            unsafe {
+                (*self.job.task).record_panic(Box::new(
+                    "parallel pool worker died while holding a job".to_string(),
+                ));
+            }
+            self.job.latch.complete(1);
+        }
+    }
+}
+
 fn worker_loop(p: &'static Pool) {
+    let _respawn = RespawnGuard(p);
     loop {
         let job = {
-            let mut q = p.queue.lock().expect("pool queue poisoned");
+            let mut q = lock(&p.queue);
             loop {
                 if let Some(j) = q.pop_front() {
                     break j;
                 }
-                q = p.cv.wait(q).expect("pool queue poisoned");
+                q = p.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
+        let mut completion = JobCompletion { job: &job, done: false };
+        if job.kill {
+            // Injected fault: unwind out of the loop. `completion` fails the
+            // job and checks in; `_respawn` shrinks the live-worker count.
+            panic!("injected worker death");
+        }
         // SAFETY: the dispatching caller is blocked on `job.latch` and keeps
         // the task alive until this participation is counted.
         unsafe { (*job.task).participate() };
+        completion.done = true;
         job.latch.complete(1);
     }
 }
@@ -271,15 +407,17 @@ where
         block_rows,
         next: AtomicUsize::new(0),
         panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
     };
     let latch = Latch::new(n_jobs);
 
     let p = pool();
     ensure_workers(p, n_jobs);
+    let kills = claim_worker_deaths(n_jobs);
     {
-        let mut q = p.queue.lock().expect("pool queue poisoned");
-        for _ in 0..n_jobs {
-            q.push_back(Job { task: &header, latch: latch.clone() });
+        let mut q = lock(&p.queue);
+        for i in 0..n_jobs {
+            q.push_back(Job { task: &header, latch: latch.clone(), kill: i < kills });
         }
     }
     p.cv.notify_all();
@@ -293,7 +431,7 @@ where
     // saturated, e.g. by nested parallel calls.
     let task_ptr: *const TaskHeader = &header;
     let cancelled = {
-        let mut q = p.queue.lock().expect("pool queue poisoned");
+        let mut q = lock(&p.queue);
         let before = q.len();
         q.retain(|j| !std::ptr::eq(j.task, task_ptr));
         before - q.len()
@@ -303,8 +441,14 @@ where
     }
     latch.wait();
 
+    // Every participant has checked in; resurface the first captured panic on
+    // the submitting thread with its original payload so the error reads as
+    // if the kernel had run serially.
     if header.panicked.load(Ordering::Acquire) {
-        panic!("parallel kernel worker panicked");
+        let payload = lock(&header.payload)
+            .take()
+            .unwrap_or_else(|| Box::new("parallel kernel worker panicked".to_string()));
+        resume_unwind(payload);
     }
 }
 
@@ -406,15 +550,16 @@ impl<'a, T> RowTable<'a, T> {
     }
 }
 
+/// Serializes tests (crate-wide) that mutate the global forced thread count.
+#[cfg(test)]
+pub(crate) static TEST_THREADS_GUARD: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Serializes tests that mutate the global forced thread count.
-    static THREADS_GUARD: Mutex<()> = Mutex::new(());
-
     fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-        let _g = THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = TEST_THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
         set_num_threads(n);
         let out = f();
         set_num_threads(0);
@@ -565,6 +710,71 @@ mod tests {
             });
         });
         assert!(buf.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn panic_payload_reaches_the_caller_intact() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let mut buf = vec![0.0f32; 1024 * 16];
+                par_row_chunks_cost(&mut buf, 16, 1 << 12, |r0, _| {
+                    if r0 > 0 {
+                        panic!("kernel exploded at row {r0}");
+                    }
+                });
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted panics carry a String payload");
+        assert!(msg.contains("kernel exploded"), "payload was replaced: {msg}");
+        set_num_threads(0); // the panic skipped with_threads' restore
+    }
+
+    #[test]
+    fn dead_workers_drain_the_latch_and_are_respawned() {
+        with_threads(4, || {
+            let run = || {
+                let mut buf = vec![0.0f32; 4096 * 16];
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    par_row_chunks_cost(&mut buf, 16, 1 << 12, |_, chunk| {
+                        for v in chunk {
+                            *v += 1.0;
+                        }
+                    });
+                }));
+                (r, buf)
+            };
+            let (healthy, _) = run();
+            healthy.expect("pool healthy before injection");
+
+            inject_worker_deaths(2);
+            // Each call claims pending deaths at dispatch; no call may hang,
+            // and a call whose worker died must report the failure.
+            let mut observed_death = false;
+            for _ in 0..50 {
+                let (r, _) = run();
+                observed_death |= r.is_err();
+                if pending_worker_deaths() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(pending_worker_deaths(), 0, "deaths were never claimed");
+
+            // The pool must service later calls correctly (respawn path).
+            for _ in 0..5 {
+                let (r, buf) = run();
+                r.expect("pool must recover after worker deaths");
+                assert!(buf.iter().all(|&v| v == 1.0));
+            }
+            assert!(pool_size() <= MAX_THREADS - 1);
+            // `observed_death` may stay false only if the caller out-raced
+            // every worker and cancelled the tagged jobs; either way the
+            // invariants above (no hang, healthy pool) are what matter.
+            let _ = observed_death;
+        });
     }
 
     #[test]

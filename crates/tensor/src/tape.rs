@@ -34,6 +34,11 @@ impl Grads {
         self.grads.get(id.0).and_then(Option::as_ref)
     }
 
+    /// Mutable gradient access (gradient clipping rescales in place).
+    pub fn get_mut(&mut self, id: TensorId) -> Option<&mut Matrix> {
+        self.grads.get_mut(id.0).and_then(Option::as_mut)
+    }
+
     /// Removes and returns a gradient (avoids cloning in optimizers).
     pub fn take(&mut self, id: TensorId) -> Option<Matrix> {
         self.grads.get_mut(id.0).and_then(Option::take)

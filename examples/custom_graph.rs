@@ -29,10 +29,12 @@ fn main() {
         }
     }
     edges.push((0, 30)); // the bridge
-    let graph = Graph::from_edges(n, &edges);
+    // `try_from_edges` reports *which* edge is malformed instead of panicking,
+    // which is what you want when the edge list comes from user data.
+    let graph = Graph::try_from_edges(n, &edges).expect("edge list references valid nodes");
     let features = Matrix::from_fn(n, 8, |r, c| {
         let community = if r < 30 { 0.0f32 } else { 1.0 };
-        community * ((c % 2) as f32) + rng.gen_range(-0.2..0.2)
+        community * ((c % 2) as f32) + rng.gen_range(-0.2f32..0.2)
     });
     let labels: Vec<usize> = (0..n).map(|v| usize::from(v >= 30)).collect();
     let ds = Dataset { name: "custom".into(), graph, features, labels, num_classes: 2 };

@@ -1,0 +1,166 @@
+//! Fault-tolerance integration suite: resumable v2 checkpoints, divergence
+//! rollback with learning-rate backoff, crash-safe kernels, and v1/v2
+//! checkpoint compatibility. Runs in CI under `GCMAE_NUM_THREADS=1` and
+//! `=8` — every assertion here must hold at any thread count.
+
+use gcmae_repro::core::model::seeded_rng;
+use gcmae_repro::core::{
+    resume_checked, train_checked_traced, FaultPlan, FaultTolerance, Gcmae, GcmaeConfig,
+    StepFault, TrainError,
+};
+use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
+use gcmae_repro::graph::Dataset;
+use gcmae_repro::nn::{load_params, save_params, CheckpointError};
+use gcmae_repro::tensor::parallel::par_rows;
+
+fn tiny() -> Dataset {
+    generate(&CitationSpec::cora().scaled(0.02), 11)
+}
+
+fn cfg(epochs: usize) -> GcmaeConfig {
+    GcmaeConfig { hidden_dim: 16, proj_dim: 8, epochs, ..GcmaeConfig::fast() }
+}
+
+/// The acceptance bar for checkpoint v2: resuming from a mid-run snapshot
+/// reproduces the uninterrupted run's final embeddings exactly — not close,
+/// identical to the bit.
+#[test]
+fn resume_from_mid_run_checkpoint_is_bit_identical() {
+    let ds = tiny();
+    let cfg = cfg(12);
+    let ft = FaultTolerance::default();
+    let mut snapshots = vec![];
+    let full = train_checked_traced(&ds, &cfg, 3, &ft, |e, view| {
+        if e == 2 || e == 7 {
+            snapshots.push(view.checkpoint());
+        }
+    })
+    .expect("clean run");
+    for (i, snap) in snapshots.into_iter().enumerate() {
+        let resumed = resume_checked(&ds, &cfg, snap, &ft).expect("resume");
+        assert_eq!(
+            full.embeddings.max_abs_diff(&resumed.embeddings),
+            0.0,
+            "snapshot {i} diverged from the uninterrupted run"
+        );
+    }
+}
+
+/// An injected NaN must trigger rollback + learning-rate backoff, and the
+/// recovered run must still converge.
+#[test]
+fn nan_divergence_recovers_and_converges() {
+    let ds = tiny();
+    let cfg = cfg(20);
+    let ft = FaultTolerance { checkpoint_every: 5, clip_norm: 5.0, ..FaultTolerance::default() };
+    let plan = FaultPlan { nan_loss_at: Some(12), ..FaultPlan::default() };
+    let out = gcmae_repro::core::trainer::train_checked_injected(&ds, &cfg, 4, &ft, plan, |_, _| {})
+        .expect("recovery should succeed");
+    assert_eq!(out.rollbacks.len(), 1);
+    assert_eq!(out.rollbacks[0].restored_epoch, 10);
+    assert!(out.rollbacks[0].lr_after < cfg.lr);
+    assert_eq!(out.history.len(), 20);
+    let first = out.history[0].total;
+    let last = out.history.last().unwrap().total;
+    assert!(last < first, "recovered run must still converge: {first} -> {last}");
+    assert!(out.history.iter().all(|b| b.total.is_finite()));
+}
+
+/// A panic inside a parallel job surfaces as a structured error — never a
+/// hang — and the worker pool stays serviceable afterwards.
+#[test]
+fn parallel_panic_surfaces_and_pool_stays_serviceable() {
+    let ds = tiny();
+    let cfg = cfg(6);
+    let ft = FaultTolerance { max_retries: 0, ..FaultTolerance::default() };
+    let plan = FaultPlan { panic_at: Some(1), ..FaultPlan::default() };
+    let Err(err) =
+        gcmae_repro::core::trainer::train_checked_injected(&ds, &cfg, 5, &ft, plan, |_, _| {})
+    else {
+        panic!("zero retries + injected panic must fail the run")
+    };
+    match err {
+        TrainError::RetriesExhausted { last: StepFault::KernelPanic { message }, .. } => {
+            assert!(message.contains("injected parallel-job fault"), "payload: {message}")
+        }
+        other => panic!("expected a kernel-panic failure, got {other}"),
+    }
+    // the pool still does real work after the panic
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let total = AtomicUsize::new(0);
+    par_rows(2048, 64 * 1024, |i| {
+        total.fetch_add(i, Ordering::Relaxed);
+    });
+    assert_eq!(total.into_inner(), 2048 * 2047 / 2);
+}
+
+/// v1 inference checkpoints written by `save_params` stay readable, and
+/// `load_params` also accepts v2 training checkpoints (values only).
+#[test]
+fn checkpoint_compat_v1_and_v2() {
+    let ds = tiny();
+    let cfg = cfg(3);
+    let ft = FaultTolerance::default();
+    let mut mid = None;
+    let out = train_checked_traced(&ds, &cfg, 6, &ft, |e, view| {
+        if e == 2 {
+            mid = Some(view.checkpoint());
+        }
+    })
+    .expect("clean run");
+
+    // v1 roundtrip against the trained model
+    let v1 = save_params(&out.model.store);
+    let mut rng = seeded_rng(6);
+    let mut fresh = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
+    load_params(&mut fresh.store, v1).expect("v1 read");
+    let mut erng = seeded_rng(99);
+    assert_eq!(
+        out.model.embed_dataset(&ds, &mut erng).max_abs_diff(&fresh.embed_dataset(&ds, &mut erng)),
+        0.0
+    );
+
+    // v2 bytes load as params-only through the v1 entry point
+    let mut rng = seeded_rng(7);
+    let mut fresh2 = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
+    load_params(&mut fresh2.store, mid.clone().unwrap()).expect("v2 read via load_params");
+    assert_eq!(
+        out.model.store.value(gcmae_repro::nn::ParamId::from_index(0)).shape(),
+        fresh2.store.value(gcmae_repro::nn::ParamId::from_index(0)).shape()
+    );
+
+    // a truncated v2 checkpoint is a structured error, not a panic
+    let cut = mid.unwrap();
+    let cut = cut.slice(0..cut.len() - 7);
+    let Err(err) = resume_checked(&ds, &cfg, cut, &ft) else {
+        panic!("truncated checkpoint must not resume")
+    };
+    assert!(matches!(err, TrainError::Checkpoint(CheckpointError::Truncated)), "{err}");
+}
+
+/// Exhausting the retry budget on a persistently-diverging run is a
+/// structured `RetriesExhausted`, with the rollbacks it *did* attempt
+/// recorded on the way.
+#[test]
+fn persistent_divergence_exhausts_the_budget() {
+    let ds = tiny();
+    let cfg = cfg(8);
+    // lr large enough to blow up f32 on this tiny graph is hard to force
+    // reliably, so drive the policy with injections at two epochs and a
+    // budget of one.
+    let ft = FaultTolerance { max_retries: 1, checkpoint_every: 1, ..FaultTolerance::default() };
+    let plan = FaultPlan { nan_loss_at: Some(2), nan_grad_at: Some(4), ..FaultPlan::default() };
+    let Err(err) =
+        gcmae_repro::core::trainer::train_checked_injected(&ds, &cfg, 8, &ft, plan, |_, _| {})
+    else {
+        panic!("two faults on a budget of one must fail")
+    };
+    match err {
+        TrainError::RetriesExhausted { epoch, retries, last } => {
+            assert_eq!(epoch, 4);
+            assert_eq!(retries, 1);
+            assert!(matches!(last, StepFault::NonFiniteGradient { .. }));
+        }
+        other => panic!("expected RetriesExhausted, got {other}"),
+    }
+}
