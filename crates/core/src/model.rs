@@ -8,7 +8,8 @@ use gcmae_graph::augment::{drop_nodes, mask_node_features};
 use gcmae_graph::sampling::sample_nodes;
 use gcmae_graph::{Dataset, Graph};
 use gcmae_nn::{
-    clip_global_norm, Act, Adam, Encoder, EncoderConfig, GraphOps, Mlp, ParamStore, Session,
+    clip_global_norm, load_inference, Act, Adam, Bytes, CheckpointError, Encoder, EncoderConfig,
+    GraphOps, Mlp, ParamStore, Session,
 };
 use gcmae_tensor::ops::adj_recon::Weights;
 use gcmae_tensor::Matrix;
@@ -254,6 +255,40 @@ impl Gcmae {
     pub fn embed_dataset(&self, ds: &Dataset, rng: &mut StdRng) -> Matrix {
         self.embed(&ds.graph, &ds.features, rng)
     }
+
+    /// Number of encoder layers (the invalidation radius for cached
+    /// embeddings: a feature or edge change at node `v` can only influence
+    /// embeddings within `encoder_layers` hops of `v`).
+    pub fn encoder_layers(&self) -> usize {
+        self.cfg.layers
+    }
+
+    /// Tape-free eval-mode embeddings, bit-identical to [`Gcmae::embed`].
+    /// Preferred for serving: no autograd bookkeeping is allocated.
+    pub fn encode(&self, graph: &Graph, features: &Matrix) -> Matrix {
+        let ops = GraphOps::new(graph);
+        self.encoder.encode(&self.store, features, &ops)
+    }
+
+    /// Eval-mode embeddings for `targets` only, bit-identical to the
+    /// corresponding rows of [`Gcmae::encode`]. Takes pre-built [`GraphOps`]
+    /// so a server can reuse cached message operators across queries.
+    pub fn encode_rows(&self, ops: &GraphOps, features: &Matrix, targets: &[usize]) -> Matrix {
+        self.encoder.encode_rows(&self.store, features, ops, targets)
+    }
+
+    /// Rebuilds a model from an inference (v1) or training (v2) checkpoint.
+    /// Architecture comes from `cfg`/`in_dim`; parameter values come from
+    /// `data` (optimizer state in v2 checkpoints is ignored).
+    pub fn from_inference(
+        cfg: &GcmaeConfig,
+        in_dim: usize,
+        data: &Bytes,
+    ) -> Result<Self, CheckpointError> {
+        let mut model = Gcmae::new(cfg, in_dim, &mut seeded_rng(0));
+        load_inference(&mut model.store, data.clone())?;
+        Ok(model)
+    }
 }
 
 /// Deterministic per-seed RNG used across all trainers.
@@ -270,6 +305,7 @@ pub fn gen_bool<R: Rng>(rng: &mut R, p: f32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EncoderChoice;
     use gcmae_graph::generators::citation::{generate, CitationSpec};
 
     fn tiny() -> Dataset {
@@ -333,6 +369,52 @@ mod tests {
         assert_eq!(b.adj, 0.0);
         assert_eq!(b.variance, 0.0);
         assert!(b.sce > 0.0);
+    }
+
+    #[test]
+    fn encode_matches_embed_bitwise() {
+        let ds = tiny();
+        for encoder in [
+            EncoderChoice::Gcn,
+            EncoderChoice::Sage,
+            EncoderChoice::Gat { heads: 2 },
+            EncoderChoice::Gin,
+        ] {
+            let cfg = GcmaeConfig { encoder, hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+            let mut rng = seeded_rng(11);
+            let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
+            let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+            for _ in 0..3 {
+                model.train_step(&ds.graph, &ds.features, &mut adam, &mut rng);
+            }
+            let tape = model.embed(&ds.graph, &ds.features, &mut rng);
+            let fast = model.encode(&ds.graph, &ds.features);
+            assert_eq!(tape.as_slice(), fast.as_slice(), "{encoder:?}");
+            let ops = gcmae_nn::GraphOps::new(&ds.graph);
+            let targets = [3usize, 0, 3, ds.num_nodes() - 1];
+            let rows = model.encode_rows(&ops, &ds.features, &targets);
+            for (i, &t) in targets.iter().enumerate() {
+                assert_eq!(rows.row(i), tape.row(t), "{encoder:?} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_inference_restores_encoder_bitwise() {
+        let ds = tiny();
+        let cfg = GcmaeConfig { hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+        let mut rng = seeded_rng(12);
+        let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
+        let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+        for _ in 0..3 {
+            model.train_step(&ds.graph, &ds.features, &mut adam, &mut rng);
+        }
+        let ckpt = gcmae_nn::serialize::save_params(&model.store);
+        let restored = Gcmae::from_inference(&cfg, ds.feature_dim(), &ckpt).unwrap();
+        let a = model.encode(&ds.graph, &ds.features);
+        let b = restored.encode(&ds.graph, &ds.features);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(restored.encoder_layers(), cfg.layers);
     }
 
     #[test]

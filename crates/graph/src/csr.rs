@@ -327,6 +327,159 @@ impl Graph {
         Graph::from_edges(self.num_nodes(), &edges)
     }
 
+    /// Returns a new graph with the given undirected edges added, plus the
+    /// sorted list of nodes whose adjacency rows changed.
+    ///
+    /// This is the incremental path used by the serving subsystem: untouched
+    /// CSR row slices are copied wholesale and only the rows of affected
+    /// endpoints are re-merged, instead of rebuilding from a full triplet
+    /// list. Self loops, already-present edges, and duplicates within the
+    /// batch are dropped — the same policy as [`Graph::try_from_edges`] — and
+    /// the resulting CSR goes through [`CsrMatrix::new`] validation.
+    pub fn add_edges(&self, edges: &[(usize, usize)]) -> Result<(Graph, Vec<usize>), GraphError> {
+        let n = self.num_nodes();
+        // New neighbors per affected row, deduplicated against the existing
+        // adjacency and within the batch.
+        let mut adds: std::collections::BTreeMap<usize, Vec<u32>> = std::collections::BTreeMap::new();
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            for node in [u, v] {
+                if node >= n {
+                    return Err(GraphError::EndpointOutOfRange { edge: i, node, num_nodes: n });
+                }
+            }
+            if u == v || self.has_edge(u, v) {
+                continue;
+            }
+            // Both directions are always inserted together, so checking one
+            // direction catches batch duplicates in either orientation.
+            if adds.get(&u).is_some_and(|l| l.contains(&(v as u32))) {
+                continue;
+            }
+            adds.entry(u).or_default().push(v as u32);
+            adds.entry(v).or_default().push(u as u32);
+        }
+        if adds.is_empty() {
+            return Ok((self.clone(), Vec::new()));
+        }
+
+        let old_indptr = self.adj.indptr();
+        let old_indices = self.adj.indices();
+        let extra: usize = adds.values().map(Vec::len).sum();
+        let mut indices: Vec<u32> = Vec::with_capacity(old_indices.len() + extra);
+        let mut copied = 0usize;
+        for (&r, new_cols) in adds.iter_mut() {
+            let (s, e) = (old_indptr[r], old_indptr[r + 1]);
+            indices.extend_from_slice(&old_indices[copied..s]);
+            new_cols.sort_unstable();
+            // Merge the sorted existing row with the sorted additions; no
+            // equal pair is possible (existing edges were filtered above).
+            let (mut a, mut b) = (s, 0);
+            while a < e && b < new_cols.len() {
+                if old_indices[a] < new_cols[b] {
+                    indices.push(old_indices[a]);
+                    a += 1;
+                } else {
+                    indices.push(new_cols[b]);
+                    b += 1;
+                }
+            }
+            indices.extend_from_slice(&old_indices[a..e]);
+            indices.extend_from_slice(&new_cols[b..]);
+            copied = e;
+        }
+        indices.extend_from_slice(&old_indices[copied..]);
+
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0);
+        let mut shift = 0usize;
+        for r in 0..n {
+            if let Some(cols) = adds.get(&r) {
+                shift += cols.len();
+            }
+            indptr.push(old_indptr[r + 1] + shift);
+        }
+        let values = vec![1.0f32; indices.len()];
+        let adj = CsrMatrix::new(n, n, indptr, indices, values);
+        let affected: Vec<usize> = adds.keys().copied().collect();
+        Ok((Graph { adj: Arc::new(adj) }, affected))
+    }
+
+    /// Returns a new graph with one node appended (id `num_nodes()`),
+    /// connected to the listed existing nodes, plus the sorted list of
+    /// affected nodes (the new node and its neighbors).
+    ///
+    /// The new node has the largest id, so every existing row stays sorted
+    /// with at most one trailing entry appended; duplicates in `neighbors`
+    /// are dropped. The resulting CSR goes through [`CsrMatrix::new`]
+    /// validation.
+    pub fn add_node(&self, neighbors: &[usize]) -> Result<(Graph, Vec<usize>), GraphError> {
+        let n = self.num_nodes();
+        for (i, &v) in neighbors.iter().enumerate() {
+            if v >= n {
+                return Err(GraphError::EndpointOutOfRange { edge: i, node: v, num_nodes: n });
+            }
+        }
+        let mut nbrs: Vec<usize> = neighbors.to_vec();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+
+        let old_indptr = self.adj.indptr();
+        let old_indices = self.adj.indices();
+        let mut indices: Vec<u32> = Vec::with_capacity(old_indices.len() + 2 * nbrs.len());
+        let mut indptr = Vec::with_capacity(n + 2);
+        indptr.push(0);
+        let mut next_nbr = 0usize;
+        for r in 0..n {
+            indices.extend_from_slice(&old_indices[old_indptr[r]..old_indptr[r + 1]]);
+            if next_nbr < nbrs.len() && nbrs[next_nbr] == r {
+                indices.push(n as u32);
+                next_nbr += 1;
+            }
+            indptr.push(indices.len());
+        }
+        indices.extend(nbrs.iter().map(|&v| v as u32));
+        indptr.push(indices.len());
+        let values = vec![1.0f32; indices.len()];
+        let adj = CsrMatrix::new(n + 1, n + 1, indptr, indices, values);
+        let mut affected = nbrs;
+        affected.push(n);
+        Ok((Graph { adj: Arc::new(adj) }, affected))
+    }
+
+    /// Closed `k`-hop neighborhood of a seed set: every node reachable from a
+    /// seed in at most `k` hops, seeds included, sorted ascending. Used to
+    /// bound cache invalidation after an incremental update.
+    ///
+    /// # Panics
+    /// Panics if a seed is out of range.
+    pub fn k_hop_closed(&self, seeds: &[usize], k: usize) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut frontier = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            assert!(s < n, "seed {s} out of range for {n} nodes");
+            if !std::mem::replace(&mut seen[s], true) {
+                frontier.push(s);
+            }
+        }
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    let v = v as usize;
+                    if !std::mem::replace(&mut seen[v], true) {
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        (0..n).filter(|&v| seen[v]).collect()
+    }
+
     /// Mean node degree.
     pub fn avg_degree(&self) -> f32 {
         if self.num_nodes() == 0 {
@@ -475,6 +628,74 @@ mod tests {
             Graph::try_from_adjacency(dup).unwrap_err(),
             GraphError::DuplicateNeighbor { row: 0, neighbor: 1 }
         );
+    }
+
+    #[test]
+    fn add_edges_matches_full_rebuild() {
+        let base_edges = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)];
+        let g = Graph::from_edges(6, &base_edges);
+        let new_edges = [(0, 2), (4, 5), (2, 2), (0, 1), (0, 2), (2, 0), (3, 5)];
+        let (inc, affected) = g.add_edges(&new_edges).unwrap();
+        // Exactly the same CSR as rebuilding from the combined edge list.
+        let mut all: Vec<(usize, usize)> = base_edges.to_vec();
+        all.extend_from_slice(&new_edges);
+        let rebuilt = Graph::from_edges(6, &all);
+        assert_eq!(inc, rebuilt);
+        // Affected = endpoints of the edges that actually landed.
+        assert_eq!(affected, vec![0, 2, 3, 4, 5]);
+        // Original is untouched.
+        assert!(!g.has_edge(0, 2));
+        assert!(inc.has_edge(0, 2) && inc.has_edge(5, 4));
+    }
+
+    #[test]
+    fn add_edges_noop_batch_returns_same_graph() {
+        let g = path(4);
+        let (same, affected) = g.add_edges(&[(0, 1), (2, 2)]).unwrap();
+        assert_eq!(same, g);
+        assert!(affected.is_empty());
+    }
+
+    #[test]
+    fn add_edges_rejects_out_of_range() {
+        let g = path(3);
+        let err = g.add_edges(&[(0, 2), (1, 5)]).unwrap_err();
+        assert_eq!(err, GraphError::EndpointOutOfRange { edge: 1, node: 5, num_nodes: 3 });
+    }
+
+    #[test]
+    fn add_node_appends_and_links() {
+        let g = path(3);
+        let (bigger, affected) = g.add_node(&[0, 2, 0]).unwrap();
+        assert_eq!(bigger.num_nodes(), 4);
+        assert_eq!(bigger.num_edges(), g.num_edges() + 2);
+        assert!(bigger.has_edge(3, 0) && bigger.has_edge(3, 2));
+        assert!(!bigger.has_edge(3, 1));
+        assert_eq!(affected, vec![0, 2, 3]);
+        // Equivalent to a full rebuild with the new node's edges.
+        let rebuilt = Graph::from_edges(4, &[(0, 1), (1, 2), (3, 0), (3, 2)]);
+        assert_eq!(bigger, rebuilt);
+        // Isolated node: no neighbors.
+        let (iso, affected) = g.add_node(&[]).unwrap();
+        assert_eq!(iso.num_nodes(), 4);
+        assert_eq!(iso.degree(3), 0);
+        assert_eq!(affected, vec![3]);
+    }
+
+    #[test]
+    fn add_node_rejects_out_of_range_neighbor() {
+        let g = path(3);
+        let err = g.add_node(&[1, 3]).unwrap_err();
+        assert_eq!(err, GraphError::EndpointOutOfRange { edge: 1, node: 3, num_nodes: 3 });
+    }
+
+    #[test]
+    fn k_hop_closed_on_path() {
+        let g = path(6);
+        assert_eq!(g.k_hop_closed(&[0], 0), vec![0]);
+        assert_eq!(g.k_hop_closed(&[2], 1), vec![1, 2, 3]);
+        assert_eq!(g.k_hop_closed(&[0, 5], 1), vec![0, 1, 4, 5]);
+        assert_eq!(g.k_hop_closed(&[2], 99), vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -8,8 +8,26 @@ use crate::csr::Graph;
 use crate::datasets::Dataset;
 
 /// Samples `k` distinct node ids uniformly (partial Fisher–Yates).
+///
+/// Both code paths consume the same RNG draws and return the same ids; the
+/// sparse path merely avoids materializing all of `0..n` when `k << n`, so
+/// switching paths never changes a seeded training trajectory.
 pub fn sample_nodes<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
     let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    // When most of the range gets touched anyway, the flat vector is cheaper
+    // than hashing.
+    if k.saturating_mul(4) >= n {
+        sample_nodes_dense(n, k, rng)
+    } else {
+        sample_nodes_sparse(n, k, rng)
+    }
+}
+
+/// Full-vector partial Fisher–Yates: O(n) time and space.
+fn sample_nodes_dense<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
     let mut ids: Vec<usize> = (0..n).collect();
     for i in 0..k {
         let j = rng.gen_range(i..n);
@@ -17,6 +35,26 @@ pub fn sample_nodes<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
     }
     ids.truncate(k);
     ids
+}
+
+/// Virtual partial Fisher–Yates over an implicit identity array: only the
+/// displaced entries live in a small map, so time and space are O(k). Draws
+/// and output are identical to [`sample_nodes_dense`].
+fn sample_nodes_sparse<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut displaced: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::with_capacity(2 * k);
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        let vi = displaced.get(&i).copied().unwrap_or(i);
+        let vj = displaced.get(&j).copied().unwrap_or(j);
+        // swap the virtual entries at i and j; position i is final after
+        // this step (later steps only touch positions > i).
+        displaced.insert(i, vj);
+        displaced.insert(j, vi);
+        out.push(vj);
+    }
+    out
 }
 
 /// Collects the distinct nodes touched by `walks` random walks of length
@@ -139,6 +177,57 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 8, "duplicates in sample");
         assert_eq!(sample_nodes(5, 50, &mut rng).len(), 5);
+    }
+
+    #[test]
+    fn sample_nodes_sparse_matches_dense_bitwise() {
+        // Same seed -> same draws -> same ids, for both k<<n (sparse path)
+        // and the dense cutoff, across several seeds.
+        for seed in 0..20u64 {
+            for (n, k) in [(1000, 7), (1000, 100), (64, 60), (5, 5), (1, 1)] {
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                let dense = sample_nodes_dense(n, k, &mut r1);
+                let sparse = sample_nodes_sparse(n, k, &mut r2);
+                assert_eq!(dense, sparse, "seed {seed} n {n} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_nodes_small_k_stays_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let s = sample_nodes(10_000, 5, &mut rng);
+            assert_eq!(s.len(), 5);
+            assert!(s.iter().all(|&v| v < 10_000));
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "duplicates in {s:?}");
+        }
+        assert!(sample_nodes(100, 0, &mut rng).is_empty());
+        assert!(sample_nodes(0, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_walk_nodes_respects_max_nodes_cap() {
+        let ds = toy_dataset(200);
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for cap in [1usize, 7, 50] {
+                let nodes = random_walk_nodes(&ds.graph, 40, 16, cap, &mut rng);
+                assert!(nodes.len() <= cap, "cap {cap} violated: {}", nodes.len());
+                let mut sorted = nodes.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), nodes.len(), "walk nodes must be distinct");
+            }
+        }
+        // Plenty of walks on a small graph: the cap binds exactly.
+        let mut rng = StdRng::seed_from_u64(11);
+        let nodes = random_walk_nodes(&toy_dataset(30).graph, 100, 16, 10, &mut rng);
+        assert_eq!(nodes.len(), 10);
     }
 
     #[test]

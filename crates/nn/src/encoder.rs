@@ -65,7 +65,7 @@ impl EncoderConfig {
     }
 }
 
-enum Layer {
+pub(crate) enum Layer {
     Gcn(GcnLayer),
     Sage(SageLayer),
     Gat(GatLayer),
@@ -74,8 +74,8 @@ enum Layer {
 
 /// A stack of GNN layers with activation + dropout between them.
 pub struct Encoder {
-    layers: Vec<Layer>,
-    act: Act,
+    pub(crate) layers: Vec<Layer>,
+    pub(crate) act: Act,
     dropout: f32,
     out_dim: usize,
 }

@@ -11,7 +11,7 @@ use crate::param::{ParamId, ParamStore, Session};
 /// the encoder).
 #[derive(Clone, Debug)]
 pub struct GcnLayer {
-    lin: Linear,
+    pub(crate) lin: Linear,
 }
 
 impl GcnLayer {
@@ -37,8 +37,8 @@ impl GcnLayer {
 /// GraphSAGE (mean aggregator): `X·W_self + mean_N(X)·W_neigh + b`.
 #[derive(Clone, Debug)]
 pub struct SageLayer {
-    w_self: Linear,
-    w_neigh: Linear,
+    pub(crate) w_self: Linear,
+    pub(crate) w_neigh: Linear,
 }
 
 impl SageLayer {
@@ -69,15 +69,15 @@ impl SageLayer {
 /// averaged when `concat` is false (output layers).
 #[derive(Clone, Debug)]
 pub struct GatLayer {
-    heads: Vec<GatHead>,
-    concat: bool,
+    pub(crate) heads: Vec<GatHead>,
+    pub(crate) concat: bool,
 }
 
 #[derive(Clone, Debug)]
-struct GatHead {
-    w: Linear,
-    a_src: ParamId,
-    a_dst: ParamId,
+pub(crate) struct GatHead {
+    pub(crate) w: Linear,
+    pub(crate) a_src: ParamId,
+    pub(crate) a_dst: ParamId,
 }
 
 impl GatLayer {
@@ -144,8 +144,8 @@ impl GatLayer {
 /// GIN layer: `MLP((1+ε)·x + Σ_{j∈N(i)} x_j)` with fixed ε.
 #[derive(Clone, Debug)]
 pub struct GinLayer {
-    mlp: Mlp,
-    eps: f32,
+    pub(crate) mlp: Mlp,
+    pub(crate) eps: f32,
 }
 
 impl GinLayer {

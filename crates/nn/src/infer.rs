@@ -1,0 +1,377 @@
+//! Tape-free eval-mode inference: a full-graph `encode` and the
+//! neighborhood-restricted `encode_rows` that powers the serving subsystem.
+//!
+//! Both entry points reuse the exact kernels the tape ops call
+//! ([`gcmae_tensor::dense::matmul`], the CSR spmm row kernel, the fused GAT
+//! row kernel) and replicate every elementwise step with the tape's
+//! arithmetic, so their outputs are bit-identical to an eval-mode
+//! [`Encoder::forward`]. Eval-mode dropout is the identity and draws no
+//! randomness, which makes the whole forward RNG-free — the property the
+//! serving cache relies on: a row computed today equals the same row computed
+//! tomorrow, bit for bit.
+//!
+//! `encode_rows` exploits that every GNN layer here reads at most the closed
+//! 1-hop neighborhood of each output row (all operator supports — GCN
+//! normalization, mean normalization, self-loop adjacency, raw adjacency —
+//! are subsets of `A + I`). Working backwards from the requested target rows,
+//! each layer's needed input rows are the closed 1-hop expansion of the
+//! needed output rows; only those rows are computed per layer, scattered into
+//! full-height scratch matrices so the sparse operators keep indexing nodes
+//! by their original ids.
+
+use gcmae_tensor::{dense, ops::gat, CsrMatrix, Matrix};
+
+use crate::encoder::{Encoder, Layer};
+use crate::graph_ops::GraphOps;
+use crate::layers::{Act, Linear, Mlp};
+use crate::param::ParamStore;
+
+impl Encoder {
+    /// Eval-mode forward without a tape. Bit-identical to
+    /// `forward(..., training = false, ..)` and RNG-free.
+    pub fn encode(&self, store: &ParamStore, x: &Matrix, ops: &GraphOps) -> Matrix {
+        let all: Vec<usize> = (0..ops.num_nodes).collect();
+        self.encode_rows(store, x, ops, &all)
+    }
+
+    /// Eval-mode forward restricted to `targets`: returns a
+    /// `targets.len() × out_dim` matrix whose row `i` is bit-identical to row
+    /// `targets[i]` of [`Encoder::encode`]. Duplicate targets are allowed
+    /// (each occurrence gets a copy of the same row).
+    ///
+    /// Per-query cost scales with the size of the targets' `L`-hop
+    /// neighborhood (`L` = number of layers), not with the graph.
+    ///
+    /// # Panics
+    /// Panics if a target id is out of range or `x` has the wrong height.
+    pub fn encode_rows(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        ops: &GraphOps,
+        targets: &[usize],
+    ) -> Matrix {
+        let n = ops.num_nodes;
+        assert_eq!(x.rows(), n, "feature rows must match the graph");
+        assert!(targets.iter().all(|&t| t < n), "target id out of range");
+        if targets.is_empty() {
+            return Matrix::zeros(0, self.out_dim());
+        }
+        let num_layers = self.layers.len();
+        // needed[l] = rows of layer l's input that must hold valid data,
+        // built backwards from the targets by closed 1-hop expansion.
+        let mut needed: Vec<Vec<usize>> = Vec::with_capacity(num_layers + 1);
+        let mut top = targets.to_vec();
+        top.sort_unstable();
+        top.dedup();
+        needed.push(top);
+        let adj = ops.adj();
+        for _ in 0..num_layers {
+            let prev = needed.last().expect("non-empty");
+            needed.push(closed_one_hop(&adj, prev));
+        }
+        needed.reverse();
+
+        let mut h = x.clone();
+        let last = num_layers - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut out = layer.encode_rows(store, &h, ops, &needed[i], &needed[i + 1]);
+            if i != last {
+                apply_act_rows(self.act, &mut out, &needed[i + 1]);
+            }
+            h = out;
+        }
+        h.gather_rows(targets)
+    }
+}
+
+/// Seeds plus all their neighbors, sorted ascending.
+fn closed_one_hop(adj: &CsrMatrix, seeds: &[usize]) -> Vec<usize> {
+    let n = adj.rows();
+    let mut mark = vec![false; n];
+    for &s in seeds {
+        mark[s] = true;
+        for &v in adj.row(s).0 {
+            mark[v as usize] = true;
+        }
+    }
+    (0..n).filter(|&v| mark[v]).collect()
+}
+
+/// `x·W (+ b)` over the listed rows, scattered into an `n`-row matrix.
+/// The dense matmul kernel is per-output-row, so the compact product rows
+/// are bit-identical to the corresponding rows of a full-height product.
+fn linear_rows(store: &ParamStore, lin: &Linear, h: &Matrix, rows: &[usize], n: usize) -> Matrix {
+    let compact = h.gather_rows(rows);
+    let mut y = dense::matmul(&compact, store.value(lin.w));
+    if let Some(b) = lin.b {
+        add_bias_all(&mut y, store.value(b));
+    }
+    let mut full = Matrix::zeros(n, y.cols());
+    full.scatter_rows(rows, &y);
+    full
+}
+
+/// MLP forward over the listed rows (activation between layers, none after
+/// the last — mirroring `Mlp::forward`), scattered into an `n`-row matrix.
+fn mlp_rows(store: &ParamStore, mlp: &Mlp, h: &Matrix, rows: &[usize], n: usize) -> Matrix {
+    let mut compact = h.gather_rows(rows);
+    let last = mlp.layers.len() - 1;
+    for (i, lin) in mlp.layers.iter().enumerate() {
+        let mut y = dense::matmul(&compact, store.value(lin.w));
+        if let Some(b) = lin.b {
+            add_bias_all(&mut y, store.value(b));
+        }
+        if i != last {
+            if let Some(f) = act_fn(mlp.act) {
+                y.map_inplace(f);
+            }
+        }
+        compact = y;
+    }
+    let mut full = Matrix::zeros(n, compact.cols());
+    full.scatter_rows(rows, &compact);
+    full
+}
+
+/// `y += 1·b` broadcast over rows — the tape's `add_bias` arithmetic.
+fn add_bias_all(y: &mut Matrix, b: &Matrix) {
+    let br = b.row(0);
+    for r in 0..y.rows() {
+        for (o, &bb) in y.row_mut(r).iter_mut().zip(br) {
+            *o += bb;
+        }
+    }
+}
+
+/// The elementwise function each [`Act`] applies on the tape, with the same
+/// constants (`Elu` α = 1, `Leaky` slope = 0.2).
+fn act_fn(act: Act) -> Option<fn(f32) -> f32> {
+    match act {
+        Act::None => None,
+        Act::Relu => Some(|x| x.max(0.0)),
+        Act::Elu => Some(|x| if x > 0.0 { x } else { x.exp() - 1.0 }),
+        Act::Tanh => Some(f32::tanh),
+        Act::Leaky => Some(|x| if x > 0.0 { x } else { 0.2 * x }),
+    }
+}
+
+/// Applies the activation to the listed rows only (other rows hold scratch).
+fn apply_act_rows(act: Act, m: &mut Matrix, rows: &[usize]) {
+    let Some(f) = act_fn(act) else { return };
+    for &r in rows {
+        for v in m.row_mut(r) {
+            *v = f(*v);
+        }
+    }
+}
+
+impl Layer {
+    /// Eval forward producing valid data in `rows_out` of a full-height
+    /// output; reads only `rows_in` (⊇ closed 1-hop of `rows_out`) of `h`.
+    fn encode_rows(
+        &self,
+        store: &ParamStore,
+        h: &Matrix,
+        ops: &GraphOps,
+        rows_in: &[usize],
+        rows_out: &[usize],
+    ) -> Matrix {
+        let n = ops.num_nodes;
+        match self {
+            Layer::Gcn(l) => {
+                let xw = linear_rows(store, &l.lin, h, rows_in, n);
+                let mut out = Matrix::zeros(n, l.lin.out_dim);
+                ops.gcn().matmul_dense_rows(&xw, rows_out, &mut out);
+                out
+            }
+            Layer::Sage(l) => {
+                // own + neigh, accumulated in the tape's `add` order.
+                let mut out = linear_rows(store, &l.w_self, h, rows_out, n);
+                let mut agg = Matrix::zeros(n, h.cols());
+                ops.mean_fwd().matmul_dense_rows(h, rows_out, &mut agg);
+                let neigh = linear_rows(store, &l.w_neigh, &agg, rows_out, n);
+                for &r in rows_out {
+                    for (o, &v) in out.row_mut(r).iter_mut().zip(neigh.row(r)) {
+                        *o += v;
+                    }
+                }
+                out
+            }
+            Layer::Gat(l) => {
+                let loops = ops.loops();
+                let head_outs: Vec<Matrix> = l
+                    .heads
+                    .iter()
+                    .map(|head| {
+                        let hw = linear_rows(store, &head.w, h, rows_in, n);
+                        let mut out = Matrix::zeros(n, head.w.out_dim);
+                        gat::forward_rows(
+                            &hw,
+                            store.value(head.a_src),
+                            store.value(head.a_dst),
+                            &loops,
+                            0.2,
+                            rows_out,
+                            &mut out,
+                        );
+                        out
+                    })
+                    .collect();
+                combine_heads(head_outs, l.concat, rows_out, n)
+            }
+            Layer::Gin(l) => {
+                let mut agg = Matrix::zeros(n, h.cols());
+                ops.adj().matmul_dense_rows(h, rows_out, &mut agg);
+                // (1+ε)·x + agg, in the tape's scale-then-add order.
+                let c = 1.0 + l.eps;
+                let mut sum = Matrix::zeros(n, h.cols());
+                for &r in rows_out {
+                    let (sr, hr, ar) = (sum.row_mut(r), h.row(r), agg.row(r));
+                    for ((s, &hv), &av) in sr.iter_mut().zip(hr).zip(ar) {
+                        *s = hv * c + av;
+                    }
+                }
+                mlp_rows(store, &l.mlp, &sum, rows_out, n)
+            }
+        }
+    }
+}
+
+/// Multi-head combination mirroring `GatLayer::forward`: single head passes
+/// through, `concat` copies columns side by side, otherwise heads are summed
+/// in order and scaled by `1/heads`.
+fn combine_heads(head_outs: Vec<Matrix>, concat: bool, rows_out: &[usize], n: usize) -> Matrix {
+    if head_outs.len() == 1 {
+        return head_outs.into_iter().next().expect("one head");
+    }
+    if concat {
+        let total: usize = head_outs.iter().map(Matrix::cols).sum();
+        let mut out = Matrix::zeros(n, total);
+        for &r in rows_out {
+            let mut off = 0;
+            for hm in &head_outs {
+                let w = hm.cols();
+                out.row_mut(r)[off..off + w].copy_from_slice(hm.row(r));
+                off += w;
+            }
+        }
+        out
+    } else {
+        let k = head_outs.len();
+        let mut it = head_outs.into_iter();
+        let mut acc = it.next().expect("at least one head");
+        for hm in it {
+            for &r in rows_out {
+                for (o, &v) in acc.row_mut(r).iter_mut().zip(hm.row(r)) {
+                    *o += v;
+                }
+            }
+        }
+        let c = 1.0 / k as f32;
+        for &r in rows_out {
+            for v in acc.row_mut(r) {
+                *v *= c;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, EncoderKind};
+    use crate::param::Session;
+    use gcmae_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture(kind: EncoderKind, layers: usize) -> (Encoder, ParamStore, GraphOps, Matrix) {
+        let g = Graph::from_edges(
+            9,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 0), (1, 4)],
+        );
+        let ops = GraphOps::new(&g);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig {
+            kind,
+            in_dim: 4,
+            hidden_dim: 6,
+            out_dim: 5,
+            layers,
+            act: Act::Elu,
+            dropout: 0.3,
+        };
+        let enc = Encoder::new(&mut store, &cfg, &mut rng);
+        let x = Matrix::from_fn(9, 4, |r, c| ((r * 4 + c) as f32 * 0.37).sin());
+        (enc, store, ops, x)
+    }
+
+    fn tape_eval(enc: &Encoder, store: &ParamStore, ops: &GraphOps, x: &Matrix) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut sess = Session::new();
+        let xi = sess.tape.constant(x.clone());
+        let h = enc.forward(&mut sess, store, xi, ops, false, &mut rng);
+        sess.tape.value(h).clone()
+    }
+
+    #[test]
+    fn encode_matches_tape_eval_bitwise_all_kinds() {
+        for kind in [
+            EncoderKind::Gcn,
+            EncoderKind::Sage,
+            EncoderKind::Gat { heads: 2 },
+            EncoderKind::Gin,
+        ] {
+            let (enc, store, ops, x) = fixture(kind, 2);
+            let full = tape_eval(&enc, &store, &ops, &x);
+            let fast = enc.encode(&store, &x, &ops);
+            assert_eq!(fast.as_slice(), full.as_slice(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn encode_rows_matches_full_encode_bitwise() {
+        for kind in [
+            EncoderKind::Gcn,
+            EncoderKind::Sage,
+            EncoderKind::Gat { heads: 2 },
+            EncoderKind::Gin,
+        ] {
+            for layers in [1usize, 2, 3] {
+                let (enc, store, ops, x) = fixture(kind, layers);
+                let full = enc.encode(&store, &x, &ops);
+                // unsorted, duplicated targets
+                let targets = [7usize, 0, 3, 7];
+                let got = enc.encode_rows(&store, &x, &ops, &targets);
+                assert_eq!(got.rows(), targets.len());
+                for (i, &t) in targets.iter().enumerate() {
+                    assert_eq!(got.row(i), full.row(t), "{kind:?} L{layers} target {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_rows_empty_targets() {
+        let (enc, store, ops, x) = fixture(EncoderKind::Gcn, 2);
+        let got = enc.encode_rows(&store, &x, &ops, &[]);
+        assert_eq!(got.shape(), (0, 5));
+    }
+
+    #[test]
+    fn encode_is_thread_count_invariant() {
+        let (enc, store, ops, x) = fixture(EncoderKind::Sage, 2);
+        let base = enc.encode(&store, &x, &ops);
+        // Safe to flip the global thread count: every kernel is bit-identical
+        // at any thread count, so concurrent tests cannot be perturbed.
+        for t in [1usize, 8] {
+            gcmae_tensor::parallel::set_num_threads(t);
+            let got = enc.encode(&store, &x, &ops);
+            assert_eq!(got.as_slice(), base.as_slice(), "{t} threads");
+        }
+        gcmae_tensor::parallel::set_num_threads(0);
+    }
+}

@@ -58,8 +58,8 @@ pub fn dropout<R: Rng>(
 /// Fully-connected layer `x·W (+ b)`.
 #[derive(Clone, Debug)]
 pub struct Linear {
-    w: crate::param::ParamId,
-    b: Option<crate::param::ParamId>,
+    pub(crate) w: crate::param::ParamId,
+    pub(crate) b: Option<crate::param::ParamId>,
     /// in dim.
     pub in_dim: usize,
     /// out dim.
@@ -95,8 +95,8 @@ impl Linear {
 /// Multi-layer perceptron with a shared activation between layers.
 #[derive(Clone, Debug)]
 pub struct Mlp {
-    layers: Vec<Linear>,
-    act: Act,
+    pub(crate) layers: Vec<Linear>,
+    pub(crate) act: Act,
 }
 
 impl Mlp {

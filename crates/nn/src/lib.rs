@@ -29,6 +29,7 @@
 pub mod encoder;
 pub mod gnn;
 pub mod graph_ops;
+pub mod infer;
 pub mod layers;
 pub mod optim;
 pub mod param;
@@ -42,7 +43,8 @@ pub use optim::{clip_global_norm, Adam, Sgd};
 pub use schedule::Schedule;
 pub use param::{ParamId, ParamStore, Session};
 pub use serialize::{
-    load_params, load_train_state, save_params, save_train_state, CheckpointError, TrainMeta,
+    load_inference, load_params, load_train_state, save_inference, save_params, save_train_state,
+    CheckpointError, TrainMeta,
 };
 
 // Checkpoints cross the crate boundary as `Bytes`; re-exported so callers

@@ -210,6 +210,56 @@ pub fn load_params(store: &mut ParamStore, mut data: Bytes) -> Result<(), Checkp
     Ok(())
 }
 
+/// Transcodes a checkpoint into the smallest artifact that can serve
+/// inference: a v1 stream holding only parameter values. v2 training
+/// checkpoints are stripped of [`TrainMeta`] and both Adam moment matrices
+/// per parameter (roughly a 3× size reduction); v1 input is returned as-is.
+///
+/// The transcode is a pure byte-stream pass — no [`ParamStore`] is needed —
+/// so a serving host can shrink artifacts it cannot even instantiate.
+pub fn save_inference(data: &Bytes) -> Result<Bytes, CheckpointError> {
+    let mut src = data.clone();
+    let version = read_header(&mut src, &[VERSION, VERSION_TRAIN])?;
+    if version == VERSION {
+        return Ok(data.clone());
+    }
+    if src.remaining() < META_BYTES + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    src.advance(META_BYTES);
+    let count = src.get_u64_le();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(count);
+    for _ in 0..count {
+        if src.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rows = src.get_u32_le() as usize;
+        let cols = src.get_u32_le() as usize;
+        let value_bytes = rows.saturating_mul(cols).saturating_mul(4);
+        if src.remaining() < value_bytes.saturating_mul(3) {
+            return Err(CheckpointError::Truncated);
+        }
+        buf.put_u32_le(rows as u32);
+        buf.put_u32_le(cols as u32);
+        // f32 LE round-trip is a pure byte copy, so values stay bit-exact.
+        for _ in 0..rows * cols {
+            buf.put_f32_le(src.get_f32_le());
+        }
+        src.advance(value_bytes * 2); // skip the Adam m and v matrices
+    }
+    Ok(buf.freeze())
+}
+
+/// Serving-side loader: restores parameter values from a v1 or v2 checkpoint
+/// into a store with matching architecture. Alias of [`load_params`], named
+/// to pair with [`save_inference`] at serving call sites.
+pub fn load_inference(store: &mut ParamStore, data: Bytes) -> Result<(), CheckpointError> {
+    load_params(store, data)
+}
+
 /// Restores the full training state saved by [`save_train_state`] and
 /// returns its [`TrainMeta`]. Rejects v1 checkpoints: they carry no
 /// optimizer state, so resuming from one would silently change the
@@ -354,6 +404,52 @@ mod tests {
             let (m1, v1) = fresh.moments(id);
             assert!(m1.as_slice().iter().chain(v1.as_slice()).all(|&x| x == 0.0));
         }
+    }
+
+    #[test]
+    fn save_inference_strips_v2_to_v1_roundtrip() {
+        let store = trained_store();
+        let v2 = save_train_state(&store, &meta());
+        let stripped = save_inference(&v2).unwrap();
+        // Strictly smaller than v2 and identical to a direct v1 save.
+        assert!(stripped.len() < v2.len(), "{} !< {}", stripped.len(), v2.len());
+        let direct = save_params(&store);
+        assert_eq!(stripped.len(), direct.len());
+        // Round trip restores values bit-exactly without touching moments.
+        let mut fresh = sample_store();
+        load_inference(&mut fresh, stripped).unwrap();
+        for i in 0..store.len() {
+            let id = crate::param::ParamId::from_index(i);
+            assert_eq!(store.value(id).max_abs_diff(fresh.value(id)), 0.0);
+            let (m1, v1) = fresh.moments(id);
+            assert!(m1.as_slice().iter().chain(v1.as_slice()).all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn save_inference_passes_v1_through() {
+        let store = sample_store();
+        let v1 = save_params(&store);
+        let out = save_inference(&v1).unwrap();
+        assert_eq!(out.len(), v1.len());
+        let mut fresh = sample_store();
+        load_inference(&mut fresh, out).unwrap();
+        let id = crate::param::ParamId::from_index(0);
+        assert_eq!(store.value(id), fresh.value(id));
+    }
+
+    #[test]
+    fn save_inference_rejects_truncated_and_garbage() {
+        let store = trained_store();
+        let v2 = save_train_state(&store, &meta());
+        for cut_at in [4usize, 20, v2.len() - 3] {
+            let cut = v2.slice(0..cut_at);
+            assert_eq!(save_inference(&cut).unwrap_err(), CheckpointError::Truncated, "{cut_at}");
+        }
+        assert_eq!(
+            save_inference(&Bytes::from_static(&[1u8; 32])).unwrap_err(),
+            CheckpointError::BadMagic
+        );
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Micro-batching scheduler.
+//!
+//! Connection threads enqueue requests; one scheduler thread owns the
+//! [`Engine`] and drains the queue in arrival order. Runs of consecutive
+//! read-only requests (up to `max_batch`) are *coalesced*: every node any of
+//! them touches is prefetched with a single restricted encoder forward, and
+//! the individual answers are then served from cache hits. Mutations
+//! (`add_edges`, `add_node`, `shutdown`) are executed alone, in order, so
+//! they act as barriers: a query enqueued after a mutation always sees the
+//! mutated graph.
+//!
+//! Coalescing never changes answers: cached rows are bit-identical to cold
+//! recomputes (see [`Engine`] docs), so each request's output is independent
+//! of which batch it happened to land in.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::{Engine, EngineError};
+use crate::json::{f32_to_json, Json};
+use crate::protocol::{err_response, ok_response, Request};
+
+struct Job {
+    request: Request,
+    tx: mpsc::Sender<Json>,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    stopping: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    cv: Condvar,
+}
+
+/// Handle to the scheduler thread. Clone-free: share it via `Arc`.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<Engine>>>,
+}
+
+impl Batcher {
+    /// Starts a scheduler around `engine`. `max_batch` caps how many
+    /// read-only requests one encoder forward may serve; `1` disables
+    /// micro-batching (every request runs alone — the bench baseline).
+    pub fn new(engine: Engine, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), stopping: false }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle =
+            std::thread::spawn(move || scheduler_loop(engine, worker_shared, max_batch));
+        Self { shared, handle: Mutex::new(Some(handle)) }
+    }
+
+    /// Submits one request and blocks until its response is ready.
+    pub fn submit(&self, request: Request) -> Json {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            if q.stopping && matches!(request, Request::Shutdown) {
+                // Idempotent shutdown: don't enqueue into a draining queue.
+                return ok_response(vec![]);
+            }
+            q.jobs.push_back(Job { request, tx });
+        }
+        self.shared.cv.notify_one();
+        rx.recv().unwrap_or_else(|_| err_response("server is shutting down"))
+    }
+
+    /// True once a shutdown request has been observed.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.queue.lock().expect("queue poisoned").stopping
+    }
+
+    /// Stops the scheduler (processing anything already queued) and returns
+    /// the engine. Subsequent calls return `None`.
+    pub fn shutdown(&self) -> Option<Engine> {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.stopping = true;
+        }
+        self.shared.cv.notify_all();
+        let handle = self.handle.lock().expect("handle poisoned").take()?;
+        handle.join().ok()
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn scheduler_loop(mut engine: Engine, shared: Arc<Shared>, max_batch: usize) -> Engine {
+    // Scheduler counters, reported through the `stats` request.
+    let mut batches: u64 = 0;
+    let mut batched_jobs: u64 = 0;
+    loop {
+        let drained: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            while q.jobs.is_empty() && !q.stopping {
+                q = shared.cv.wait(q).expect("queue poisoned");
+            }
+            if q.jobs.is_empty() && q.stopping {
+                return engine;
+            }
+            q.jobs.drain(..).collect()
+        };
+        let mut i = 0;
+        while i < drained.len() {
+            if drained[i].request.is_read_only() {
+                let mut j = i + 1;
+                while j < drained.len()
+                    && drained[j].request.is_read_only()
+                    && j - i < max_batch
+                {
+                    j += 1;
+                }
+                let group = &drained[i..j];
+                batches += 1;
+                batched_jobs += group.len() as u64;
+                run_group(&mut engine, group, batches, batched_jobs, max_batch);
+                i = j;
+            } else {
+                run_mutation(&mut engine, &drained[i], &shared);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// One coalesced group: a single prefetch covers every node the group
+/// touches, then each request is answered from cache.
+fn run_group(
+    engine: &mut Engine,
+    group: &[Job],
+    batches: u64,
+    batched_jobs: u64,
+    max_batch: usize,
+) {
+    let n = engine.graph().num_nodes();
+    let mut wanted: Vec<usize> = Vec::new();
+    for job in group {
+        match &job.request {
+            Request::Embed { nodes } => wanted.extend(nodes.iter().copied()),
+            Request::LinkScore { pairs } => {
+                wanted.extend(pairs.iter().flat_map(|&(u, v)| [u, v]));
+            }
+            Request::TopK { node, .. } => {
+                if *node < n {
+                    wanted.push(*node);
+                    wanted.extend(engine.graph().neighbors(*node).iter().map(|&v| v as usize));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Out-of-range ids are left out of the prefetch; the owning request
+    // reports the error itself below.
+    wanted.retain(|&v| v < n);
+    wanted.sort_unstable();
+    wanted.dedup();
+    if !wanted.is_empty() {
+        engine.prefetch(&wanted).expect("ids validated above");
+    }
+    for job in group {
+        let response = answer(engine, &job.request, batches, batched_jobs, max_batch);
+        let _ = job.tx.send(response);
+    }
+}
+
+fn run_mutation(engine: &mut Engine, job: &Job, shared: &Arc<Shared>) {
+    let response = match &job.request {
+        Request::AddEdges { edges } => result_json(
+            engine.add_edges(edges).map(|stale| vec![("invalidated".to_string(), Json::int(stale))]),
+        ),
+        Request::AddNode { neighbors, features } => result_json(
+            engine
+                .add_node(neighbors, features)
+                .map(|id| vec![("node".to_string(), Json::int(id))]),
+        ),
+        Request::Shutdown => {
+            shared.queue.lock().expect("queue poisoned").stopping = true;
+            ok_response(vec![])
+        }
+        _ => err_response("not a mutation"),
+    };
+    let _ = job.tx.send(response);
+}
+
+fn answer(
+    engine: &mut Engine,
+    request: &Request,
+    batches: u64,
+    batched_jobs: u64,
+    max_batch: usize,
+) -> Json {
+    match request {
+        Request::Ping => ok_response(vec![("pong".to_string(), Json::Bool(true))]),
+        Request::Stats => {
+            let s = engine.stats();
+            ok_response(vec![
+                ("num_nodes".to_string(), Json::int(s.num_nodes)),
+                ("num_edges".to_string(), Json::int(s.num_edges)),
+                ("embed_dim".to_string(), Json::int(s.embed_dim)),
+                ("cache_hits".to_string(), Json::num(s.cache.hits as f64)),
+                ("cache_misses".to_string(), Json::num(s.cache.misses as f64)),
+                ("cache_resident".to_string(), Json::int(s.cache.resident)),
+                ("cache_epoch".to_string(), Json::num(s.cache.epoch as f64)),
+                ("invalidated".to_string(), Json::num(s.cache.invalidated as f64)),
+                ("batches".to_string(), Json::num(batches as f64)),
+                ("batched_jobs".to_string(), Json::num(batched_jobs as f64)),
+                ("max_batch".to_string(), Json::int(max_batch)),
+            ])
+        }
+        Request::Embed { nodes } => result_json(engine.embed_batch(nodes).map(|m| {
+            let rows: Vec<Json> = (0..m.rows())
+                .map(|r| Json::Arr(m.row(r).iter().map(|&v| f32_to_json(v)).collect()))
+                .collect();
+            vec![
+                ("dim".to_string(), Json::int(m.cols())),
+                ("embeddings".to_string(), Json::Arr(rows)),
+            ]
+        })),
+        Request::LinkScore { pairs } => result_json(engine.link_scores(pairs).map(|scores| {
+            vec![(
+                "scores".to_string(),
+                Json::Arr(scores.iter().map(|&s| f32_to_json(s)).collect()),
+            )]
+        })),
+        Request::TopK { node, k } => result_json(engine.top_k(*node, *k).map(|ranked| {
+            let items = ranked
+                .into_iter()
+                .map(|(v, s)| Json::Arr(vec![Json::int(v), f32_to_json(s)]))
+                .collect();
+            vec![("neighbors".to_string(), Json::Arr(items))]
+        })),
+        _ => err_response("not a read-only request"),
+    }
+}
+
+fn result_json(r: Result<Vec<(String, Json)>, EngineError>) -> Json {
+    match r {
+        Ok(fields) => ok_response(fields),
+        Err(e) => err_response(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_core::{model::seeded_rng, EncoderChoice, Gcmae, GcmaeConfig};
+    use gcmae_graph::Graph;
+    use gcmae_tensor::Matrix;
+    use rand::Rng;
+
+    fn engine(seed: u64) -> (Engine, Matrix) {
+        let mut rng = seeded_rng(seed);
+        let n = 20;
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+        for _ in 0..n {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        let graph = Graph::from_edges(n, &edges);
+        let features = Matrix::uniform(n, 5, -1.0, 1.0, &mut rng);
+        let cfg = GcmaeConfig {
+            encoder: EncoderChoice::Sage,
+            hidden_dim: 8,
+            proj_dim: 4,
+            ..GcmaeConfig::fast()
+        };
+        let model = Gcmae::new(&cfg, 5, &mut rng);
+        let reference = model.encode(&graph, &features);
+        (Engine::new(model, graph, features).unwrap(), reference)
+    }
+
+    fn embedding_rows(resp: &Json) -> Vec<Vec<f32>> {
+        resp.get("embeddings")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|row| {
+                row.as_arr().unwrap().iter().map(|v| v.as_f64().unwrap() as f32).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_submits_match_direct_encode_bitwise() {
+        let (eng, reference) = engine(1);
+        let batcher = Arc::new(Batcher::new(eng, 32));
+        let mut handles = Vec::new();
+        for t in 0..8_usize {
+            let b = Arc::clone(&batcher);
+            handles.push(std::thread::spawn(move || {
+                let nodes = vec![t, (t + 7) % 20, t % 3];
+                let resp = b.submit(Request::Embed { nodes: nodes.clone() });
+                (nodes, resp)
+            }));
+        }
+        for h in handles {
+            let (nodes, resp) = h.join().unwrap();
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+            let rows = embedding_rows(&resp);
+            for (row, &v) in rows.iter().zip(&nodes) {
+                assert_eq!(row.as_slice(), reference.row(v), "node {v}");
+            }
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn mutation_acts_as_barrier_for_later_queries() {
+        let (eng, _) = engine(2);
+        let batcher = Batcher::new(eng, 32);
+        let before = batcher.submit(Request::Stats);
+        let edges_before = before.get("num_edges").unwrap().as_usize().unwrap();
+        let resp = batcher.submit(Request::AddEdges { edges: vec![(0, 15)] });
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert!(resp.get("invalidated").unwrap().as_usize().unwrap() > 0);
+        let after = batcher.submit(Request::Stats);
+        assert_eq!(after.get("num_edges").unwrap().as_usize().unwrap(), edges_before + 1);
+        // the post-mutation embedding matches a cold recompute
+        let emb = batcher.submit(Request::Embed { nodes: vec![0, 15] });
+        let rows = embedding_rows(&emb);
+        let eng = batcher.shutdown().unwrap();
+        let cold = eng.model().encode(eng.graph(), eng.features());
+        assert_eq!(rows[0].as_slice(), cold.row(0));
+        assert_eq!(rows[1].as_slice(), cold.row(15));
+    }
+
+    #[test]
+    fn stats_counts_every_read_job_exactly_once() {
+        let (eng, _) = engine(3);
+        let batcher = Arc::new(Batcher::new(eng, 32));
+        let mut handles = Vec::new();
+        for t in 0..6_usize {
+            let b = Arc::clone(&batcher);
+            handles.push(std::thread::spawn(move || {
+                b.submit(Request::Embed { nodes: vec![t] });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = batcher.submit(Request::Stats);
+        // 6 embeds + this stats call, each in exactly one batch
+        assert_eq!(stats.get("batched_jobs").unwrap().as_f64().unwrap(), 7.0);
+        let batches = stats.get("batches").unwrap().as_f64().unwrap();
+        assert!((1.0..=7.0).contains(&batches), "batches {batches}");
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn max_batch_one_disables_coalescing() {
+        let (eng, reference) = engine(4);
+        let batcher = Batcher::new(eng, 1);
+        let resp = batcher.submit(Request::Embed { nodes: vec![2, 9] });
+        let rows = embedding_rows(&resp);
+        assert_eq!(rows[0].as_slice(), reference.row(2));
+        assert_eq!(rows[1].as_slice(), reference.row(9));
+        let stats = batcher.submit(Request::Stats);
+        assert_eq!(stats.get("max_batch").unwrap().as_usize(), Some(1));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn bad_request_gets_error_response_without_killing_scheduler() {
+        let (eng, _) = engine(5);
+        let batcher = Batcher::new(eng, 32);
+        let bad = batcher.submit(Request::Embed { nodes: vec![10_000] });
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+        assert!(bad.get("error").unwrap().as_str().unwrap().contains("out of range"));
+        let good = batcher.submit(Request::Ping);
+        assert_eq!(good.get("ok"), Some(&Json::Bool(true)));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_scheduler() {
+        let (eng, _) = engine(6);
+        let batcher = Batcher::new(eng, 32);
+        let resp = batcher.submit(Request::Shutdown);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert!(batcher.is_stopping());
+        assert!(batcher.shutdown().is_some());
+        assert!(batcher.shutdown().is_none(), "second shutdown returns None");
+    }
+}

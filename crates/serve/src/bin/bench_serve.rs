@@ -1,0 +1,200 @@
+//! `bench_serve`: measures serving throughput, latency, and cache behavior
+//! with and without micro-batching, and writes `BENCH_serve.json`.
+//!
+//! For each (clients, max_batch) scenario an in-process server is started on
+//! an ephemeral port; every client thread issues a fixed number of seeded
+//! embedding / link-score queries while one mutator thread periodically
+//! inserts edges (keeping the cache from going fully warm, as a live system
+//! would see). Latencies are measured client-side around each round trip.
+//!
+//! ```text
+//! bench_serve [--out BENCH_serve.json] [--queries 150] [--scale 0.3]
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gcmae_core::{train, GcmaeConfig};
+use gcmae_graph::generators::citation::{generate, CitationSpec};
+use gcmae_serve::{load_bundle, save_bundle, Client, Engine, Json, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Scenario {
+    clients: usize,
+    max_batch: usize,
+}
+
+struct Outcome {
+    clients: usize,
+    max_batch: usize,
+    queries: usize,
+    elapsed_s: f64,
+    throughput_qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cache_hit_rate: f64,
+    avg_batch: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let queries: usize = flag(&args, "--queries").and_then(|v| v.parse().ok()).unwrap_or(150);
+    let scale: f64 = flag(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.3);
+
+    // One trained model reused by every scenario.
+    let ds = generate(&CitationSpec::cora().scaled(scale), 11);
+    let cfg = GcmaeConfig { epochs: 2, ..GcmaeConfig::fast() };
+    eprintln!(
+        "training benchmark model: {} nodes / {} edges",
+        ds.num_nodes(),
+        ds.graph.num_edges()
+    );
+    let trained = train(&ds, &cfg, 11);
+    // Each scenario gets an identical engine via the bundle round-trip.
+    let bundle = save_bundle(&trained.model, &ds.graph, &ds.features);
+
+    let scenarios = [
+        Scenario { clients: 1, max_batch: 1 },
+        Scenario { clients: 1, max_batch: 32 },
+        Scenario { clients: 8, max_batch: 1 },
+        Scenario { clients: 8, max_batch: 32 },
+        Scenario { clients: 16, max_batch: 1 },
+        Scenario { clients: 16, max_batch: 32 },
+    ];
+    let mut outcomes = Vec::new();
+    for s in &scenarios {
+        let (model, graph, features) = load_bundle(&bundle).expect("bundle");
+        let engine = Engine::new(model, graph, features).expect("engine");
+        let o = run_scenario(engine, s, queries);
+        eprintln!(
+            "clients={:2} max_batch={:2}: {:8.1} q/s  p50={:.3}ms p99={:.3}ms hit={:.2} avg_batch={:.2}",
+            o.clients, o.max_batch, o.throughput_qps, o.p50_ms, o.p99_ms, o.cache_hit_rate, o.avg_batch
+        );
+        outcomes.push(o);
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("serve")),
+        ("graph_nodes".into(), Json::int(ds.num_nodes())),
+        ("graph_edges".into(), Json::int(ds.graph.num_edges())),
+        ("hidden_dim".into(), Json::int(cfg.hidden_dim)),
+        ("queries_per_client".into(), Json::int(queries)),
+        (
+            "scenarios".into(),
+            Json::Arr(
+                outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::Obj(vec![
+                            ("clients".into(), Json::int(o.clients)),
+                            ("max_batch".into(), Json::int(o.max_batch)),
+                            ("queries".into(), Json::int(o.queries)),
+                            ("elapsed_s".into(), Json::num(o.elapsed_s)),
+                            ("throughput_qps".into(), Json::num(o.throughput_qps)),
+                            ("p50_ms".into(), Json::num(o.p50_ms)),
+                            ("p99_ms".into(), Json::num(o.p99_ms)),
+                            ("cache_hit_rate".into(), Json::num(o.cache_hit_rate)),
+                            ("avg_batch".into(), Json::num(o.avg_batch)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.dump()).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> Outcome {
+    let n = engine.graph().num_nodes();
+    let server = Server::start(engine, "127.0.0.1:0", s.max_batch).expect("bind");
+    let addr = server.addr().to_string();
+
+    // Mutator: keeps invalidating small neighborhoods so the cache never
+    // settles, mimicking a live graph. Stops when the workers finish.
+    let done = Arc::new(AtomicBool::new(false));
+    let mutator = {
+        let addr = addr.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("mutator connect");
+            let mut rng = StdRng::seed_from_u64(999);
+            while !done.load(Ordering::Acquire) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    let _ = client.add_edges(&[(u, v)]);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        })
+    };
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for t in 0..s.clients {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || -> Vec<f64> {
+            let mut client = Client::connect(&addr).expect("connect");
+            let mut rng = StdRng::seed_from_u64(42 + t as u64);
+            let mut latencies = Vec::with_capacity(queries);
+            for q in 0..queries {
+                let begin = Instant::now();
+                if q % 16 == 15 {
+                    let pairs: Vec<(usize, usize)> =
+                        (0..4).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+                    client.link_scores(&pairs).expect("link query");
+                } else {
+                    let nodes: Vec<usize> = (0..4).map(|_| rng.gen_range(0..n)).collect();
+                    client.embed(&nodes).expect("embed query");
+                }
+                latencies.push(begin.elapsed().as_secs_f64() * 1e3);
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("worker"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    done.store(true, Ordering::Release);
+    mutator.join().expect("mutator");
+
+    let mut stats_client = Client::connect(&addr).expect("stats connect");
+    let stats = stats_client.stats().expect("stats");
+    server.shutdown();
+
+    let hits = stats.get("cache_hits").and_then(Json::as_f64).unwrap_or(0.0);
+    let misses = stats.get("cache_misses").and_then(Json::as_f64).unwrap_or(0.0);
+    let batches = stats.get("batches").and_then(Json::as_f64).unwrap_or(1.0);
+    let batched_jobs = stats.get("batched_jobs").and_then(Json::as_f64).unwrap_or(0.0);
+    latencies.sort_by(f64::total_cmp);
+    let total = latencies.len();
+    Outcome {
+        clients: s.clients,
+        max_batch: s.max_batch,
+        queries: total,
+        elapsed_s: elapsed,
+        throughput_qps: total as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        cache_hit_rate: if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 },
+        avg_batch: if batches > 0.0 { batched_jobs / batches } else { 0.0 },
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}

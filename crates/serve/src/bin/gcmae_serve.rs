@@ -1,0 +1,253 @@
+//! `gcmae-serve`: train a small checkpoint bundle, serve it over TCP, query
+//! a running server, or run the end-to-end selftest used by CI.
+//!
+//! ```text
+//! gcmae-serve train --out ckpt.bin [--scale 0.05] [--epochs 3] [--seed 0]
+//! gcmae-serve serve --checkpoint ckpt.bin [--addr 127.0.0.1:7431] [--max-batch 32]
+//! gcmae-serve query --addr 127.0.0.1:7431 embed 0 1 2
+//! gcmae-serve query --addr 127.0.0.1:7431 link 0:1 4:9
+//! gcmae-serve query --addr 127.0.0.1:7431 topk 5 3
+//! gcmae-serve query --addr 127.0.0.1:7431 ping|stats|shutdown
+//! gcmae-serve selftest
+//! ```
+
+use std::process::ExitCode;
+
+use gcmae_core::{train, GcmaeConfig};
+use gcmae_graph::generators::citation::{generate, CitationSpec};
+use gcmae_serve::{load_bundle, save_bundle, Client, Engine, Json, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("selftest") => cmd_selftest(),
+        _ => Err("usage: gcmae-serve <train|serve|query|selftest> [options]".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gcmae-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad value for {name}: {raw}")),
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("train needs --out <file>")?;
+    let scale: f64 = parse_flag(args, "--scale", 0.05)?;
+    let epochs: usize = parse_flag(args, "--epochs", 3)?;
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let ds = generate(&CitationSpec::cora().scaled(scale), seed);
+    let cfg = GcmaeConfig { epochs, ..GcmaeConfig::fast() };
+    println!(
+        "training {} epochs on {} nodes / {} edges...",
+        epochs,
+        ds.num_nodes(),
+        ds.graph.num_edges()
+    );
+    let trained = train(&ds, &cfg, seed);
+    let bundle = save_bundle(&trained.model, &ds.graph, &ds.features);
+    std::fs::write(&out, &bundle).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {} ({} bytes)", out, bundle.len());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--checkpoint").ok_or("serve needs --checkpoint <file>")?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7431".to_string());
+    let max_batch: usize = parse_flag(args, "--max-batch", 32)?;
+    let blob = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (model, graph, features) = load_bundle(&blob).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {}: {} nodes, {} edges, dim {} -> {}",
+        path,
+        graph.num_nodes(),
+        graph.num_edges(),
+        features.cols(),
+        model.config().hidden_dim
+    );
+    let engine = Engine::new(model, graph, features).map_err(|e| e.to_string())?;
+    let server = Server::start(engine, &addr, max_batch).map_err(|e| e.to_string())?;
+    println!("serving on {} (max batch {max_batch}); send shutdown to stop", server.addr());
+    server.run_until_shutdown();
+    println!("server stopped");
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7431".to_string());
+    // positional args start after the flags
+    let mut rest: Vec<&String> = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--addr" {
+            skip = true;
+            continue;
+        }
+        let _ = i;
+        rest.push(a);
+    }
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    match rest.first().map(|s| s.as_str()) {
+        Some("ping") => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("pong");
+        }
+        Some("stats") => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!("{}", stats.dump());
+        }
+        Some("shutdown") => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server asked to stop");
+        }
+        Some("embed") => {
+            let nodes = parse_ids(&rest[1..])?;
+            for (node, row) in
+                nodes.iter().zip(client.embed(&nodes).map_err(|e| e.to_string())?)
+            {
+                let text: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+                println!("{node}\t[{}]", text.join(", "));
+            }
+        }
+        Some("link") => {
+            let pairs = parse_pairs(&rest[1..])?;
+            for (&(u, v), s) in
+                pairs.iter().zip(client.link_scores(&pairs).map_err(|e| e.to_string())?)
+            {
+                println!("{u}:{v}\t{s}");
+            }
+        }
+        Some("topk") => {
+            let ids = parse_ids(&rest[1..])?;
+            let (node, k) = match ids.as_slice() {
+                [node, k] => (*node, *k),
+                _ => return Err("topk needs <node> <k>".to_string()),
+            };
+            for (v, s) in client.top_k(node, k).map_err(|e| e.to_string())? {
+                println!("{v}\t{s}");
+            }
+        }
+        _ => return Err("query needs one of: ping stats embed link topk shutdown".to_string()),
+    }
+    Ok(())
+}
+
+fn parse_ids(args: &[&String]) -> Result<Vec<usize>, String> {
+    args.iter().map(|a| a.parse().map_err(|_| format!("bad node id: {a}"))).collect()
+}
+
+fn parse_pairs(args: &[&String]) -> Result<Vec<(usize, usize)>, String> {
+    args.iter()
+        .map(|a| {
+            let (u, v) = a.split_once(':').ok_or(format!("bad pair (want u:v): {a}"))?;
+            Ok((
+                u.parse().map_err(|_| format!("bad pair: {a}"))?,
+                v.parse().map_err(|_| format!("bad pair: {a}"))?,
+            ))
+        })
+        .collect()
+}
+
+/// End-to-end smoke used by CI: train a tiny checkpoint, serve it over real
+/// TCP, and assert that concurrent clients see answers bit-identical to the
+/// offline `encode()` — before and after an incremental `add_edges`.
+fn cmd_selftest() -> Result<(), String> {
+    let seed = 7;
+    let ds = generate(&CitationSpec::cora().scaled(0.02), seed);
+    let cfg = GcmaeConfig { epochs: 3, ..GcmaeConfig::fast() };
+    println!(
+        "[1/5] training {} epochs on {} nodes / {} edges",
+        cfg.epochs,
+        ds.num_nodes(),
+        ds.graph.num_edges()
+    );
+    let trained = train(&ds, &cfg, seed);
+
+    println!("[2/5] bundle round-trip");
+    let bundle = save_bundle(&trained.model, &ds.graph, &ds.features);
+    let (model, graph, features) = load_bundle(&bundle).map_err(|e| e.to_string())?;
+    let offline = model.encode(&graph, &features);
+    let direct = trained.model.encode(&ds.graph, &ds.features);
+    if offline.as_slice() != direct.as_slice() {
+        return Err("bundle round-trip changed embeddings".to_string());
+    }
+
+    println!("[3/5] serving on localhost, 8 concurrent clients");
+    let n = graph.num_nodes();
+    let engine = Engine::new(model, graph, features).map_err(|e| e.to_string())?;
+    let server = Server::start(engine, "127.0.0.1:0", 32).map_err(|e| e.to_string())?;
+    let addr = server.addr().to_string();
+    let mut workers = Vec::new();
+    for t in 0..8_usize {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || -> Result<(Vec<usize>, Vec<Vec<f32>>), String> {
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let nodes: Vec<usize> = (0..6).map(|i| (t * 13 + i * 7) % n).collect();
+            let rows = client.embed(&nodes).map_err(|e| e.to_string())?;
+            Ok((nodes, rows))
+        }));
+    }
+    for w in workers {
+        let (nodes, rows) = w.join().map_err(|_| "client thread panicked")??;
+        for (row, &v) in rows.iter().zip(&nodes) {
+            if row.as_slice() != offline.row(v) {
+                return Err(format!("embedding mismatch at node {v}"));
+            }
+        }
+    }
+
+    println!("[4/5] link scores + incremental add_edges parity");
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    let pairs = [(0, 1), (2, n - 2), (10, 10)];
+    let scores = client.link_scores(&pairs).map_err(|e| e.to_string())?;
+    for (&(u, v), s) in pairs.iter().zip(&scores) {
+        let want: f32 = offline.row(u).iter().zip(offline.row(v)).map(|(a, b)| a * b).sum();
+        if *s != want {
+            return Err(format!("link score mismatch for ({u},{v})"));
+        }
+    }
+    let new_edges = [(0, n - 1), (5, n / 2)];
+    client.add_edges(&new_edges).map_err(|e| e.to_string())?;
+    let all: Vec<usize> = (0..n).collect();
+    let served = client.embed(&all).map_err(|e| e.to_string())?;
+    // expected: a cold encode on the same post-mutation graph
+    let (mutated, _) = ds.graph.add_edges(&new_edges).map_err(|e| e.to_string())?;
+    let expected = trained.model.encode(&mutated, &ds.features);
+    for (v, row) in served.iter().enumerate() {
+        if row.as_slice() != expected.row(v) {
+            return Err(format!("post-mutation mismatch at node {v}"));
+        }
+    }
+
+    println!("[5/5] stats + shutdown");
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    let hits = stats.get("cache_hits").and_then(Json::as_f64).unwrap_or(0.0);
+    let misses = stats.get("cache_misses").and_then(Json::as_f64).unwrap_or(0.0);
+    println!("cache: {hits} hits / {misses} misses");
+    if hits == 0.0 {
+        return Err("expected at least one cache hit".to_string());
+    }
+    client.shutdown().map_err(|e| e.to_string())?;
+    server.run_until_shutdown();
+    println!("SELFTEST PASS");
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! Serving bundles: one binary artifact holding everything the server needs
+//! to come up — encoder architecture, graph, node features, and inference
+//! (v1) parameters.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! u32  magic "GSRB"
+//! u32  version (1)
+//! u64  header length, then that many bytes of JSON:
+//!      {"encoder":..,"heads":..,"hidden_dim":..,"layers":..,"proj_dim":..}
+//! u64  num_nodes
+//! u64  num_edges, then num_edges × (u32 u, u32 v) undirected pairs
+//! u64  feature rows, u64 feature cols, rows·cols × f32
+//! u64  params length, then a v1 checkpoint (gcmae-nn serialize format)
+//! ```
+
+use gcmae_core::{EncoderChoice, Gcmae, GcmaeConfig};
+use gcmae_graph::{Graph, GraphError};
+use gcmae_nn::serialize::save_params;
+use gcmae_nn::{Bytes, CheckpointError};
+use gcmae_tensor::Matrix;
+
+use crate::json::Json;
+
+const MAGIC: u32 = 0x4252_5347; // "GSRB" as little-endian bytes
+const VERSION: u32 = 1;
+
+/// Bundle decode failure.
+#[derive(Debug)]
+pub enum BundleError {
+    /// Not a bundle.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Input ended early.
+    Truncated,
+    /// Header JSON missing or malformed.
+    BadHeader(&'static str),
+    /// Embedded edge list failed graph validation.
+    Graph(GraphError),
+    /// Embedded parameters failed checkpoint validation.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::BadMagic => write!(f, "not a GSRB bundle"),
+            BundleError::BadVersion(v) => write!(f, "unsupported bundle version {v}"),
+            BundleError::Truncated => write!(f, "bundle is truncated"),
+            BundleError::BadHeader(what) => write!(f, "bad bundle header: {what}"),
+            BundleError::Graph(e) => write!(f, "bundle graph rejected: {e}"),
+            BundleError::Checkpoint(e) => write!(f, "bundle params rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<GraphError> for BundleError {
+    fn from(e: GraphError) -> Self {
+        BundleError::Graph(e)
+    }
+}
+
+impl From<CheckpointError> for BundleError {
+    fn from(e: CheckpointError) -> Self {
+        BundleError::Checkpoint(e)
+    }
+}
+
+/// Serializes a model + resident graph + features into a bundle.
+pub fn save_bundle(model: &Gcmae, graph: &Graph, features: &Matrix) -> Vec<u8> {
+    assert_eq!(features.rows(), graph.num_nodes(), "features must cover the graph");
+    assert_eq!(features.cols(), model.in_dim(), "features must match the model input");
+    let cfg = model.config();
+    let (encoder, heads) = match cfg.encoder {
+        EncoderChoice::Gcn => ("gcn", 0),
+        EncoderChoice::Sage => ("sage", 0),
+        EncoderChoice::Gat { heads } => ("gat", heads),
+        EncoderChoice::Gin => ("gin", 0),
+    };
+    let header = Json::Obj(vec![
+        ("encoder".into(), Json::str(encoder)),
+        ("heads".into(), Json::int(heads)),
+        ("hidden_dim".into(), Json::int(cfg.hidden_dim)),
+        ("layers".into(), Json::int(cfg.layers)),
+        ("proj_dim".into(), Json::int(cfg.proj_dim)),
+    ])
+    .dump();
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(header.len() as u64).to_le_bytes());
+    out.extend_from_slice(header.as_bytes());
+
+    out.extend_from_slice(&(graph.num_nodes() as u64).to_le_bytes());
+    out.extend_from_slice(&(graph.num_edges() as u64).to_le_bytes());
+    for (u, v) in graph.undirected_edges() {
+        out.extend_from_slice(&(u as u32).to_le_bytes());
+        out.extend_from_slice(&(v as u32).to_le_bytes());
+    }
+
+    out.extend_from_slice(&(features.rows() as u64).to_le_bytes());
+    out.extend_from_slice(&(features.cols() as u64).to_le_bytes());
+    for &x in features.as_slice() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+
+    // Inference-only (v1) parameters: no optimizer state in a bundle.
+    let params = save_params(&model.store);
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes::Buf::chunk(&params));
+    out
+}
+
+/// Decodes a bundle back into a model, graph, and features. Every embedded
+/// structure goes through its normal validating constructor.
+pub fn load_bundle(data: &[u8]) -> Result<(Gcmae, Graph, Matrix), BundleError> {
+    let mut cur = Cursor { data, pos: 0 };
+    if cur.u32()? != MAGIC {
+        return Err(BundleError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(BundleError::BadVersion(version));
+    }
+
+    let header_len = cur.u64()? as usize;
+    let header_bytes = cur.take(header_len)?;
+    let header_text =
+        std::str::from_utf8(header_bytes).map_err(|_| BundleError::BadHeader("not utf-8"))?;
+    let header =
+        Json::parse(header_text).map_err(|_| BundleError::BadHeader("not valid JSON"))?;
+    let field = |key: &str| {
+        header.get(key).and_then(Json::as_usize).ok_or(BundleError::BadHeader("missing field"))
+    };
+    let heads = field("heads")?;
+    let encoder = match header.get("encoder").and_then(Json::as_str) {
+        Some("gcn") => EncoderChoice::Gcn,
+        Some("sage") => EncoderChoice::Sage,
+        Some("gat") => {
+            if heads == 0 {
+                return Err(BundleError::BadHeader("gat needs heads >= 1"));
+            }
+            EncoderChoice::Gat { heads }
+        }
+        Some("gin") => EncoderChoice::Gin,
+        _ => return Err(BundleError::BadHeader("unknown encoder")),
+    };
+    let cfg = GcmaeConfig {
+        encoder,
+        hidden_dim: field("hidden_dim")?,
+        layers: field("layers")?,
+        proj_dim: field("proj_dim")?,
+        ..GcmaeConfig::default()
+    };
+    if cfg.hidden_dim == 0 || cfg.layers == 0 || cfg.proj_dim == 0 {
+        return Err(BundleError::BadHeader("zero-sized architecture"));
+    }
+
+    let num_nodes = cur.u64()? as usize;
+    let num_edges = cur.u64()? as usize;
+    if num_edges > cur.remaining() / 8 {
+        return Err(BundleError::Truncated);
+    }
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let u = cur.u32()? as usize;
+        let v = cur.u32()? as usize;
+        edges.push((u, v));
+    }
+    let graph = Graph::try_from_edges(num_nodes, &edges)?;
+
+    let rows = cur.u64()? as usize;
+    let cols = cur.u64()? as usize;
+    if rows != num_nodes {
+        return Err(BundleError::BadHeader("feature rows do not match graph"));
+    }
+    if cols == 0 || rows.saturating_mul(cols) > cur.remaining() / 4 {
+        return Err(BundleError::Truncated);
+    }
+    let mut values = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        values.push(cur.f32()?);
+    }
+    let features = Matrix::from_vec(rows, cols, values);
+
+    let params_len = cur.u64()? as usize;
+    let params_bytes = cur.take(params_len)?;
+    let params = Bytes::from(params_bytes.to_vec());
+    let model = Gcmae::from_inference(&cfg, cols, &params)?;
+    Ok((model, graph, features))
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BundleError> {
+        if self.remaining() < n {
+            return Err(BundleError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, BundleError> {
+        // 4-byte take always fits the array
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, BundleError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, BundleError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_core::model::seeded_rng;
+
+    fn fixture(encoder: EncoderChoice) -> (Gcmae, Graph, Matrix) {
+        let mut rng = seeded_rng(9);
+        let graph = Graph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 9)]);
+        let features = Matrix::uniform(10, 3, -1.0, 1.0, &mut rng);
+        let cfg = GcmaeConfig { encoder, hidden_dim: 8, proj_dim: 4, ..GcmaeConfig::fast() };
+        (Gcmae::new(&cfg, 3, &mut rng), graph, features)
+    }
+
+    #[test]
+    fn bundle_roundtrips_model_graph_and_features_bitwise() {
+        for encoder in [EncoderChoice::Gcn, EncoderChoice::Gat { heads: 2 }] {
+            let (model, graph, features) = fixture(encoder);
+            let blob = save_bundle(&model, &graph, &features);
+            let (model2, graph2, features2) = load_bundle(&blob).unwrap();
+            assert_eq!(graph2.num_nodes(), graph.num_nodes());
+            assert_eq!(graph2.num_edges(), graph.num_edges());
+            assert_eq!(features2.as_slice(), features.as_slice());
+            let a = model.encode(&graph, &features);
+            let b = model2.encode(&graph2, &features2);
+            assert_eq!(a.as_slice(), b.as_slice(), "{encoder:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let (model, graph, features) = fixture(EncoderChoice::Sage);
+        let blob = save_bundle(&model, &graph, &features);
+        for cut in [0, 3, 7, 12, blob.len() / 2, blob.len() - 1] {
+            assert!(load_bundle(&blob[..cut]).is_err(), "accepted cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let (model, graph, features) = fixture(EncoderChoice::Sage);
+        let mut blob = save_bundle(&model, &graph, &features);
+        let mut bad_magic = blob.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(load_bundle(&bad_magic), Err(BundleError::BadMagic)));
+        blob[4] = 99;
+        assert!(matches!(load_bundle(&blob), Err(BundleError::BadVersion(_))));
+    }
+
+    #[test]
+    fn corrupt_edge_list_fails_graph_validation() {
+        let (model, graph, features) = fixture(EncoderChoice::Sage);
+        let blob = save_bundle(&model, &graph, &features);
+        // header is 16 bytes + header JSON; edge section starts right after
+        let header_len = u64::from_le_bytes(blob[8..16].try_into().unwrap()) as usize;
+        let edges_at = 16 + header_len + 16; // skip num_nodes + num_edges
+        let mut bad = blob.clone();
+        bad[edges_at..edges_at + 4].copy_from_slice(&900_u32.to_le_bytes());
+        assert!(matches!(load_bundle(&bad), Err(BundleError::Graph(_))));
+    }
+}

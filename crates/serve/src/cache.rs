@@ -1,0 +1,180 @@
+//! Node-embedding cache with epoch-based invalidation.
+//!
+//! Rows are stored in a dense `n × d` matrix with a validity bitmap. Every
+//! graph mutation bumps the cache *epoch* and clears the affected rows;
+//! inserts carry the epoch they were computed under and are dropped if a
+//! mutation landed in between. Because the restricted eval forward is
+//! bit-identical to the full forward, a cached row equals the row a cold
+//! recompute would produce — so cache hits never change query results.
+
+use gcmae_tensor::Matrix;
+
+/// Embedding cache for one resident graph.
+#[derive(Debug)]
+pub struct EmbeddingCache {
+    rows: Matrix,
+    valid: Vec<bool>,
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    invalidated: u64,
+}
+
+/// Counters exposed through the `stats` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Row lookups answered from the cache.
+    pub hits: u64,
+    /// Row lookups that required a recompute.
+    pub misses: u64,
+    /// Rows cleared by graph mutations (cumulative).
+    pub invalidated: u64,
+    /// Current epoch (number of mutations observed).
+    pub epoch: u64,
+    /// Rows currently valid.
+    pub resident: usize,
+}
+
+impl EmbeddingCache {
+    /// Empty cache for `n` nodes and `d`-wide embeddings.
+    pub fn new(n: usize, d: usize) -> Self {
+        Self {
+            rows: Matrix::zeros(n, d),
+            valid: vec![false; n],
+            epoch: 0,
+            hits: 0,
+            misses: 0,
+            invalidated: 0,
+        }
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// True when no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        !self.valid.iter().any(|&v| v)
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.rows.cols()
+    }
+
+    /// The current epoch; pass it back to [`EmbeddingCache::insert`] so
+    /// results computed against a stale graph are dropped.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Looks up a row, counting a hit or miss.
+    pub fn get(&mut self, node: usize) -> Option<&[f32]> {
+        if self.valid[node] {
+            self.hits += 1;
+            Some(self.rows.row(node))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Looks up a row without touching the hit/miss counters.
+    pub fn peek(&self, node: usize) -> Option<&[f32]> {
+        self.valid[node].then(|| self.rows.row(node))
+    }
+
+    /// Stores a row if `epoch` is still current; stale inserts are ignored.
+    pub fn insert(&mut self, epoch: u64, node: usize, row: &[f32]) {
+        if epoch != self.epoch {
+            return;
+        }
+        self.rows.row_mut(node).copy_from_slice(row);
+        self.valid[node] = true;
+    }
+
+    /// Clears the listed rows and bumps the epoch. Called with the k-hop
+    /// neighborhood of a mutation, where k is the encoder depth.
+    pub fn invalidate(&mut self, nodes: &[usize]) {
+        for &v in nodes {
+            if self.valid[v] {
+                self.invalidated += 1;
+            }
+            self.valid[v] = false;
+        }
+        self.epoch += 1;
+    }
+
+    /// Grows the cache to `n` nodes (new rows start invalid) and bumps the
+    /// epoch. Used by `add_node`.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.valid.len(), "cache cannot shrink");
+        let d = self.rows.cols();
+        let mut data = std::mem::replace(&mut self.rows, Matrix::zeros(0, d)).into_vec();
+        data.resize(n * d, 0.0);
+        self.rows = Matrix::from_vec(n, d, data);
+        self.valid.resize(n, false);
+        self.epoch += 1;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidated: self.invalidated,
+            epoch: self.epoch,
+            resident: self.valid.iter().filter(|&&v| v).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_get_hits() {
+        let mut c = EmbeddingCache::new(4, 2);
+        assert!(c.get(1).is_none());
+        c.insert(c.epoch(), 1, &[1.5, -2.0]);
+        assert_eq!(c.get(1), Some(&[1.5, -2.0][..]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (1, 1, 1));
+    }
+
+    #[test]
+    fn invalidate_clears_only_listed_rows_and_bumps_epoch() {
+        let mut c = EmbeddingCache::new(4, 1);
+        for v in 0..4 {
+            c.insert(c.epoch(), v, &[v as f32]);
+        }
+        c.invalidate(&[1, 3]);
+        assert_eq!(c.epoch(), 1);
+        assert!(c.peek(0).is_some() && c.peek(2).is_some());
+        assert!(c.peek(1).is_none() && c.peek(3).is_none());
+        assert_eq!(c.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn stale_insert_is_dropped() {
+        let mut c = EmbeddingCache::new(2, 1);
+        let old = c.epoch();
+        c.invalidate(&[0]);
+        c.insert(old, 0, &[9.0]);
+        assert!(c.peek(0).is_none(), "stale insert must not land");
+        c.insert(c.epoch(), 0, &[3.0]);
+        assert_eq!(c.peek(0), Some(&[3.0][..]));
+    }
+
+    #[test]
+    fn grow_preserves_existing_rows() {
+        let mut c = EmbeddingCache::new(2, 2);
+        c.insert(c.epoch(), 0, &[1.0, 2.0]);
+        c.grow(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.peek(0), Some(&[1.0, 2.0][..]));
+        assert!(c.peek(2).is_none() && c.peek(3).is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Blocking TCP client for the serving protocol.
+
+use std::net::TcpStream;
+
+use crate::json::{json_to_f32, Json};
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing problem.
+    Protocol(ProtocolError),
+    /// The server answered `{"ok":false}` with this message.
+    Server(String),
+    /// The server answered `ok` but the payload was missing a field.
+    BadResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::BadResponse(what) => write!(f, "bad response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// One connection to a serving endpoint. Methods are synchronous: each sends
+/// a request frame and blocks for the matching response.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7431"`).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and returns the `ok` payload.
+    pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        let response = read_frame(&mut self.stream)?;
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(response),
+            Some(false) => Err(ClientError::Server(
+                response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified server error")
+                    .to_string(),
+            )),
+            None => Err(ClientError::BadResponse("missing ok field")),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Ping).map(|_| ())
+    }
+
+    /// Server counters as a raw JSON object.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.call(&Request::Stats)
+    }
+
+    /// Embeddings for the listed nodes; row `i` corresponds to `nodes[i]`,
+    /// bit-identical to the server model's offline `encode()`.
+    pub fn embed(&mut self, nodes: &[usize]) -> Result<Vec<Vec<f32>>, ClientError> {
+        let resp = self.call(&Request::Embed { nodes: nodes.to_vec() })?;
+        resp.get("embeddings")
+            .and_then(Json::as_arr)
+            .ok_or(ClientError::BadResponse("missing embeddings"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or(ClientError::BadResponse("embedding row is not an array"))?
+                    .iter()
+                    .map(|v| json_to_f32(v).ok_or(ClientError::BadResponse("non-numeric value")))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Dot-product link scores for the listed pairs.
+    pub fn link_scores(&mut self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ClientError> {
+        let resp = self.call(&Request::LinkScore { pairs: pairs.to_vec() })?;
+        resp.get("scores")
+            .and_then(Json::as_arr)
+            .ok_or(ClientError::BadResponse("missing scores"))?
+            .iter()
+            .map(|v| json_to_f32(v).ok_or(ClientError::BadResponse("non-numeric score")))
+            .collect()
+    }
+
+    /// Highest-scoring graph neighbors of `node`.
+    pub fn top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, ClientError> {
+        let resp = self.call(&Request::TopK { node, k })?;
+        resp.get("neighbors")
+            .and_then(Json::as_arr)
+            .ok_or(ClientError::BadResponse("missing neighbors"))?
+            .iter()
+            .map(|item| {
+                let pair =
+                    item.as_arr().ok_or(ClientError::BadResponse("neighbor is not a pair"))?;
+                let id = pair
+                    .first()
+                    .and_then(Json::as_usize)
+                    .ok_or(ClientError::BadResponse("bad neighbor id"))?;
+                let score = pair
+                    .get(1)
+                    .and_then(json_to_f32)
+                    .ok_or(ClientError::BadResponse("bad neighbor score"))?;
+                Ok((id, score))
+            })
+            .collect()
+    }
+
+    /// Inserts undirected edges; returns how many cached embeddings the
+    /// server invalidated.
+    pub fn add_edges(&mut self, edges: &[(usize, usize)]) -> Result<usize, ClientError> {
+        let resp = self.call(&Request::AddEdges { edges: edges.to_vec() })?;
+        resp.get("invalidated")
+            .and_then(Json::as_usize)
+            .ok_or(ClientError::BadResponse("missing invalidated count"))
+    }
+
+    /// Appends a node; returns its id.
+    pub fn add_node(
+        &mut self,
+        neighbors: &[usize],
+        features: &[f32],
+    ) -> Result<usize, ClientError> {
+        let resp = self.call(&Request::AddNode {
+            neighbors: neighbors.to_vec(),
+            features: features.to_vec(),
+        })?;
+        resp.get("node").and_then(Json::as_usize).ok_or(ClientError::BadResponse("missing node id"))
+    }
+
+    /// Asks the server to stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Shutdown).map(|_| ())
+    }
+}

@@ -1,0 +1,64 @@
+// Indexed loops over parallel arrays are idiomatic in this numeric code.
+#![allow(clippy::needless_range_loop)]
+
+//! # gcmae-serve
+//!
+//! Online inference for trained GCMAE checkpoints: load a model once, keep
+//! the graph and encoder resident, and answer node-embedding, link-score,
+//! and top-k-neighbor queries over a std-only TCP protocol.
+//!
+//! Three mechanisms keep serving fast without changing any answer:
+//!
+//! - **Micro-batching** ([`Batcher`]): concurrent read-only requests are
+//!   coalesced into a single restricted encoder forward.
+//! - **Embedding cache** ([`cache::EmbeddingCache`]): rows are reused across
+//!   queries; graph mutations bump an epoch and clear only the encoder-depth
+//!   neighborhood of the change.
+//! - **Incremental graph updates**: `add_edges` / `add_node` splice the CSR
+//!   instead of rebuilding it, and only the affected rows recompute.
+//!
+//! Every response is bit-identical to an offline
+//! [`Gcmae::encode`](gcmae_core::Gcmae::encode) on the same graph — the
+//! restricted forward and all kernels are exactness-tested in `gcmae-nn` and
+//! `gcmae-tensor`.
+//!
+//! ## Example
+//!
+//! ```
+//! use gcmae_core::{Gcmae, GcmaeConfig, model::seeded_rng};
+//! use gcmae_graph::Graph;
+//! use gcmae_serve::{Client, Engine, Server};
+//! use gcmae_tensor::Matrix;
+//!
+//! let mut rng = seeded_rng(0);
+//! let graph = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+//! let features = Matrix::uniform(6, 4, -1.0, 1.0, &mut rng);
+//! let cfg = GcmaeConfig { hidden_dim: 8, proj_dim: 4, ..GcmaeConfig::fast() };
+//! let model = Gcmae::new(&cfg, 4, &mut rng);
+//! let offline = model.encode(&graph, &features);
+//!
+//! let engine = Engine::new(model, graph, features).unwrap();
+//! let server = Server::start(engine, "127.0.0.1:0", 32).unwrap();
+//! let mut client = Client::connect(&server.addr().to_string()).unwrap();
+//! let rows = client.embed(&[3]).unwrap();
+//! assert_eq!(rows[0].as_slice(), offline.row(3));
+//! server.shutdown();
+//! ```
+
+pub mod batcher;
+pub mod bundle;
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::Batcher;
+pub use bundle::{load_bundle, save_bundle, BundleError};
+pub use cache::{CacheStats, EmbeddingCache};
+pub use client::{Client, ClientError};
+pub use engine::{Engine, EngineError, EngineStats};
+pub use json::Json;
+pub use protocol::{read_frame, write_frame, ProtocolError, Request};
+pub use server::Server;

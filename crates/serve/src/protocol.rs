@@ -1,0 +1,363 @@
+//! Wire protocol: length-prefixed JSON frames and the request/response
+//! vocabulary shared by server and client.
+//!
+//! Frame layout: `u32` little-endian payload length, then that many bytes of
+//! UTF-8 JSON. Responses are objects with an `"ok"` field: `{"ok":true,...}`
+//! on success, `{"ok":false,"error":"..."}` on failure.
+
+use std::io::{Read, Write};
+
+use crate::json::{Json, JsonError};
+
+/// Frames larger than this are rejected before allocation — a corrupt or
+/// adversarial length prefix must not OOM the server.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Protocol-level failure.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Socket/file error.
+    Io(std::io::Error),
+    /// Length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge(usize),
+    /// Payload is not valid UTF-8 JSON.
+    BadJson(JsonError),
+    /// Valid JSON but not a well-formed request/response.
+    BadMessage(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "io error: {e}"),
+            ProtocolError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            ProtocolError::BadJson(e) => write!(f, "bad frame payload: {e}"),
+            ProtocolError::BadMessage(msg) => write!(f, "bad message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, doc: &Json) -> Result<(), ProtocolError> {
+    let payload = doc.dump();
+    let len = payload.len();
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Blocks until a full frame arrives or the stream errors.
+pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtocolError> {
+    let mut len_buf = [0_u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0_u8; len];
+    r.read_exact(&mut payload)?;
+    let text =
+        std::str::from_utf8(&payload).map_err(|_| ProtocolError::BadMessage("not utf-8"))?;
+    Json::parse(text).map_err(ProtocolError::BadJson)
+}
+
+/// A client request. `Embed`, `LinkScore`, and `TopK` are read-only and may
+/// be coalesced into one encoder forward by the scheduler; `AddEdges` and
+/// `AddNode` mutate the graph and act as ordering barriers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Server counters (cache hits/misses, epoch, graph size).
+    Stats,
+    /// Embeddings for the listed nodes.
+    Embed {
+        /// Target node ids (duplicates allowed; order is preserved).
+        nodes: Vec<usize>,
+    },
+    /// Dot-product link scores for node pairs.
+    LinkScore {
+        /// `(u, v)` pairs to score.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// The `k` graph neighbors of `node` with the highest link score.
+    TopK {
+        /// Anchor node.
+        node: usize,
+        /// How many neighbors to return.
+        k: usize,
+    },
+    /// Incrementally insert undirected edges.
+    AddEdges {
+        /// `(u, v)` pairs to insert.
+        edges: Vec<(usize, usize)>,
+    },
+    /// Append a node with the given neighbors and feature row.
+    AddNode {
+        /// Existing nodes to connect to.
+        neighbors: Vec<usize>,
+        /// Feature row for the new node (must match the model input width).
+        features: Vec<f32>,
+    },
+    /// Stop the server after answering.
+    Shutdown,
+}
+
+impl Request {
+    /// True for requests that never mutate engine state — the scheduler may
+    /// batch these together.
+    pub fn is_read_only(&self) -> bool {
+        !matches!(self, Request::AddEdges { .. } | Request::AddNode { .. } | Request::Shutdown)
+    }
+
+    /// Serializes the request to its wire document.
+    pub fn to_json(&self) -> Json {
+        let op = |name: &str| ("op".to_string(), Json::str(name));
+        match self {
+            Request::Ping => Json::Obj(vec![op("ping")]),
+            Request::Stats => Json::Obj(vec![op("stats")]),
+            Request::Embed { nodes } => Json::Obj(vec![
+                op("embed"),
+                ("nodes".into(), Json::Arr(nodes.iter().map(|&n| Json::int(n)).collect())),
+            ]),
+            Request::LinkScore { pairs } => Json::Obj(vec![
+                op("link_score"),
+                (
+                    "pairs".into(),
+                    Json::Arr(
+                        pairs
+                            .iter()
+                            .map(|&(u, v)| Json::Arr(vec![Json::int(u), Json::int(v)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Request::TopK { node, k } => Json::Obj(vec![
+                op("top_k"),
+                ("node".into(), Json::int(*node)),
+                ("k".into(), Json::int(*k)),
+            ]),
+            Request::AddEdges { edges } => Json::Obj(vec![
+                op("add_edges"),
+                (
+                    "edges".into(),
+                    Json::Arr(
+                        edges
+                            .iter()
+                            .map(|&(u, v)| Json::Arr(vec![Json::int(u), Json::int(v)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Request::AddNode { neighbors, features } => Json::Obj(vec![
+                op("add_node"),
+                (
+                    "neighbors".into(),
+                    Json::Arr(neighbors.iter().map(|&n| Json::int(n)).collect()),
+                ),
+                (
+                    "features".into(),
+                    Json::Arr(features.iter().map(|&v| crate::json::f32_to_json(v)).collect()),
+                ),
+            ]),
+            Request::Shutdown => Json::Obj(vec![op("shutdown")]),
+        }
+    }
+
+    /// Parses a wire document into a request.
+    pub fn from_json(doc: &Json) -> Result<Request, ProtocolError> {
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or(ProtocolError::BadMessage("missing op"))?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "embed" => Ok(Request::Embed { nodes: usize_list(doc, "nodes")? }),
+            "link_score" => Ok(Request::LinkScore { pairs: pair_list(doc, "pairs")? }),
+            "top_k" => {
+                let node = doc
+                    .get("node")
+                    .and_then(Json::as_usize)
+                    .ok_or(ProtocolError::BadMessage("top_k needs node"))?;
+                let k = doc
+                    .get("k")
+                    .and_then(Json::as_usize)
+                    .ok_or(ProtocolError::BadMessage("top_k needs k"))?;
+                Ok(Request::TopK { node, k })
+            }
+            "add_edges" => Ok(Request::AddEdges { edges: pair_list(doc, "edges")? }),
+            "add_node" => {
+                let neighbors = usize_list(doc, "neighbors")?;
+                let features = doc
+                    .get("features")
+                    .and_then(Json::as_arr)
+                    .ok_or(ProtocolError::BadMessage("add_node needs features"))?
+                    .iter()
+                    .map(|j| {
+                        crate::json::json_to_f32(j)
+                            .ok_or(ProtocolError::BadMessage("feature must be a number"))
+                    })
+                    .collect::<Result<Vec<f32>, _>>()?;
+                Ok(Request::AddNode { neighbors, features })
+            }
+            _ => Err(ProtocolError::BadMessage("unknown op")),
+        }
+    }
+}
+
+fn usize_list(doc: &Json, key: &'static str) -> Result<Vec<usize>, ProtocolError> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .ok_or(ProtocolError::BadMessage("missing id list"))?
+        .iter()
+        .map(|j| j.as_usize().ok_or(ProtocolError::BadMessage("id must be a non-negative int")))
+        .collect()
+}
+
+fn pair_list(doc: &Json, key: &'static str) -> Result<Vec<(usize, usize)>, ProtocolError> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .ok_or(ProtocolError::BadMessage("missing pair list"))?
+        .iter()
+        .map(|j| {
+            let pair = j.as_arr().ok_or(ProtocolError::BadMessage("pair must be an array"))?;
+            if pair.len() != 2 {
+                return Err(ProtocolError::BadMessage("pair must have 2 elements"));
+            }
+            let u = pair[0].as_usize().ok_or(ProtocolError::BadMessage("pair id must be int"))?;
+            let v = pair[1].as_usize().ok_or(ProtocolError::BadMessage("pair id must be int"))?;
+            Ok((u, v))
+        })
+        .collect()
+}
+
+/// Builds a success response from payload fields.
+pub fn ok_response(fields: Vec<(String, Json)>) -> Json {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(fields);
+    Json::Obj(all)
+}
+
+/// Builds an error response.
+pub fn err_response(msg: impl std::fmt::Display) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::str(msg.to_string())),
+    ])
+}
+
+/// Splits a response into `Ok(payload)` / `Err(server message)`.
+pub fn check_response(doc: Json) -> Result<Json, ProtocolError> {
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(doc),
+        Some(false) => {
+            // Surface the server's message; the static-str error type keeps
+            // the exact text in the Display output via BadJson-free path.
+            Err(ProtocolError::BadMessage("server returned an error (see response)"))
+        }
+        None => Err(ProtocolError::BadMessage("response missing ok field")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_through_a_buffer() {
+        let docs = vec![
+            Request::Ping.to_json(),
+            Request::Embed { nodes: vec![0, 5, 5, 2] }.to_json(),
+            Request::AddNode { neighbors: vec![1, 2], features: vec![0.25, -1.5e-3] }.to_json(),
+        ];
+        let mut buf = Vec::new();
+        for d in &docs {
+            write_frame(&mut buf, d).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for d in &docs {
+            assert_eq!(&read_frame(&mut cur).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn every_request_roundtrips_through_json() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Embed { nodes: vec![3, 1, 3] },
+            Request::LinkScore { pairs: vec![(0, 1), (7, 7)] },
+            Request::TopK { node: 4, k: 10 },
+            Request::AddEdges { edges: vec![(1, 2), (0, 9)] },
+            Request::AddNode { neighbors: vec![0], features: vec![1.0, 2.5] },
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let doc = r.to_json();
+            let parsed = Json::parse(&doc.dump()).unwrap();
+            assert_eq!(Request::from_json(&parsed).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn read_only_classification_matches_mutation_set() {
+        assert!(Request::Ping.is_read_only());
+        assert!(Request::Embed { nodes: vec![] }.is_read_only());
+        assert!(Request::TopK { node: 0, k: 1 }.is_read_only());
+        assert!(!Request::AddEdges { edges: vec![] }.is_read_only());
+        assert!(!Request::AddNode { neighbors: vec![], features: vec![] }.is_read_only());
+        assert!(!Request::Shutdown.is_read_only());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(b"xx");
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(ProtocolError::FrameTooLarge(_)) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for text in [
+            "{\"op\":\"nope\"}",
+            "{\"nodes\":[1]}",
+            "{\"op\":\"embed\"}",
+            "{\"op\":\"embed\",\"nodes\":[-1]}",
+            "{\"op\":\"embed\",\"nodes\":[1.5]}",
+            "{\"op\":\"link_score\",\"pairs\":[[1]]}",
+            "{\"op\":\"top_k\",\"node\":0}",
+        ] {
+            let doc = Json::parse(text).unwrap();
+            assert!(Request::from_json(&doc).is_err(), "accepted {text}");
+        }
+    }
+
+    #[test]
+    fn response_helpers_tag_ok_field() {
+        let ok = ok_response(vec![("x".into(), Json::int(1))]);
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        assert!(check_response(ok).is_ok());
+        let err = err_response("boom");
+        assert_eq!(err.get("error").unwrap().as_str(), Some("boom"));
+        assert!(check_response(err).is_err());
+    }
+}

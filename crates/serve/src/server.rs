@@ -1,0 +1,234 @@
+//! Std-only TCP server speaking the length-prefixed JSON protocol.
+//!
+//! One non-blocking accept thread hands each connection to its own blocking
+//! reader thread; all requests funnel into the shared [`Batcher`], which is
+//! where micro-batching happens. Connection threads are detached — they exit
+//! when their peer disconnects or when the scheduler stops answering.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::batcher::Batcher;
+use crate::engine::Engine;
+use crate::protocol::{err_response, read_frame, write_frame, Request};
+
+/// A running server. Dropping it without calling [`Server::shutdown`] stops
+/// the scheduler but leaves the port open until the process exits.
+pub struct Server {
+    addr: SocketAddr,
+    batcher: Arc<Batcher>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    pub fn start(engine: Engine, addr: &str, max_batch: usize) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let batcher = Arc::new(Batcher::new(engine, max_batch));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_batcher = Arc::clone(&batcher);
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle =
+            std::thread::spawn(move || accept_loop(listener, accept_batcher, accept_stop));
+        Ok(Server { addr: local, batcher, stop, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (resolves the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client sends `shutdown`, then tears down and returns
+    /// the engine (for parity checks against its final state).
+    pub fn run_until_shutdown(mut self) -> Option<Engine> {
+        while !self.stop.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.teardown()
+    }
+
+    /// Stops accepting, stops the scheduler, and returns the engine.
+    pub fn shutdown(mut self) -> Option<Engine> {
+        self.teardown()
+    }
+
+    fn teardown(&mut self) -> Option<Engine> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        self.batcher.shutdown()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, batcher: Arc<Batcher>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let conn_batcher = Arc::clone(&batcher);
+                let conn_stop = Arc::clone(&stop);
+                // Detached: exits on peer disconnect or protocol error.
+                std::thread::spawn(move || handle_connection(stream, conn_batcher, conn_stop));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if batcher.is_stopping() {
+                    stop.store(true, Ordering::Release);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, batcher: Arc<Batcher>, stop: Arc<AtomicBool>) {
+    loop {
+        let doc = match read_frame(&mut stream) {
+            Ok(doc) => doc,
+            Err(_) => return, // disconnect or garbage: drop the connection
+        };
+        let response = match Request::from_json(&doc) {
+            Ok(request) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                let response = batcher.submit(request);
+                if is_shutdown {
+                    stop.store(true, Ordering::Release);
+                }
+                response
+            }
+            // Malformed but parseable JSON: answer with an error and keep
+            // the connection usable.
+            Err(e) => err_response(e),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use gcmae_core::{model::seeded_rng, EncoderChoice, Gcmae, GcmaeConfig};
+    use gcmae_graph::Graph;
+    use gcmae_tensor::Matrix;
+
+    fn engine(seed: u64) -> (Engine, Matrix) {
+        let mut rng = seeded_rng(seed);
+        let n = 16;
+        let edges: Vec<(usize, usize)> =
+            (1..n).map(|v| (v - 1, v)).chain([(0, 8), (3, 12)]).collect();
+        let graph = Graph::from_edges(n, &edges);
+        let features = Matrix::uniform(n, 4, -1.0, 1.0, &mut rng);
+        let cfg = GcmaeConfig {
+            encoder: EncoderChoice::Gcn,
+            hidden_dim: 6,
+            proj_dim: 4,
+            ..GcmaeConfig::fast()
+        };
+        let model = Gcmae::new(&cfg, 4, &mut rng);
+        let reference = model.encode(&graph, &features);
+        (Engine::new(model, graph, features).unwrap(), reference)
+    }
+
+    #[test]
+    fn tcp_roundtrip_embeddings_match_offline_encode() {
+        let (eng, reference) = engine(1);
+        let server = Server::start(eng, "127.0.0.1:0", 32).unwrap();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        client.ping().unwrap();
+        let rows = client.embed(&[5, 0, 5]).unwrap();
+        assert_eq!(rows[0].as_slice(), reference.row(5));
+        assert_eq!(rows[1].as_slice(), reference.row(0));
+        assert_eq!(rows[2].as_slice(), reference.row(5));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_get_bit_identical_answers() {
+        let (eng, reference) = engine(2);
+        let server = Server::start(eng, "127.0.0.1:0", 32).unwrap();
+        let addr = server.addr().to_string();
+        let mut handles = Vec::new();
+        for t in 0..8_usize {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                let nodes = vec![t, 15 - t];
+                (nodes.clone(), c.embed(&nodes).unwrap())
+            }));
+        }
+        for h in handles {
+            let (nodes, rows) = h.join().unwrap();
+            for (row, &v) in rows.iter().zip(&nodes) {
+                assert_eq!(row.as_slice(), reference.row(v), "node {v}");
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutations_over_tcp_keep_parity_with_cold_encode() {
+        let (eng, _) = engine(3);
+        let server = Server::start(eng, "127.0.0.1:0", 32).unwrap();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        client.embed(&(0..16).collect::<Vec<_>>()).unwrap(); // warm everything
+        assert!(client.add_edges(&[(0, 13)]).unwrap() > 0);
+        let new_id = client.add_node(&[2, 13], &[0.5, -0.5, 0.25, 0.0]).unwrap();
+        assert_eq!(new_id, 16);
+        let rows = client.embed(&(0..17).collect::<Vec<_>>()).unwrap();
+        let eng = server.shutdown().unwrap();
+        let cold = eng.model().encode(eng.graph(), eng.features());
+        for (v, row) in rows.iter().enumerate() {
+            assert_eq!(row.as_slice(), cold.row(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn server_survives_malformed_frames_and_bad_requests() {
+        use std::io::Write;
+        let (eng, _) = engine(4);
+        let server = Server::start(eng, "127.0.0.1:0", 32).unwrap();
+        // raw garbage on one connection: server drops it without dying
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        let garbage = b"\x05\x00\x00\x00nope!";
+        raw.write_all(garbage).unwrap();
+        drop(raw);
+        // a real client still works, and engine errors come back as messages
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        assert!(client.embed(&[999]).is_err());
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_request_ends_run_until_shutdown() {
+        let (eng, _) = engine(5);
+        let server = Server::start(eng, "127.0.0.1:0", 32).unwrap();
+        let addr = server.addr().to_string();
+        let client_thread = std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.ping().unwrap();
+            c.shutdown().unwrap();
+        });
+        let engine = server.run_until_shutdown();
+        client_thread.join().unwrap();
+        assert!(engine.is_some());
+    }
+}

@@ -256,13 +256,54 @@ impl Matrix {
         }
     }
 
-    /// Copies the rows listed in `rows` into a new matrix (gather).
+    /// Copies the rows listed in `rows` into a new matrix (gather). Large
+    /// gathers split across the worker pool; output is a pure copy, so it is
+    /// identical at any thread count.
     pub fn gather_rows(&self, rows: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(rows.len(), self.cols);
-        for (i, &r) in rows.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.row(r));
+        if self.cols == 0 {
+            return out;
         }
+        let cols = self.cols;
+        crate::parallel::par_row_chunks_cost(out.as_mut_slice(), cols, cols, |r0, chunk| {
+            for (i, dst) in chunk.chunks_mut(cols).enumerate() {
+                dst.copy_from_slice(self.row(rows[r0 + i]));
+            }
+        });
         out
+    }
+
+    /// Writes row `i` of `src` into row `rows[i]` of `self` (scatter, the
+    /// inverse of [`Matrix::gather_rows`]). `rows` must not contain
+    /// duplicates: each listed destination row has exactly one parallel
+    /// writer, and a repeated row would race.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or an out-of-range row index.
+    pub fn scatter_rows(&mut self, rows: &[usize], src: &Matrix) {
+        assert_eq!(src.rows(), rows.len(), "scatter_rows count mismatch");
+        assert_eq!(src.cols(), self.cols, "scatter_rows width mismatch");
+        assert!(rows.iter().all(|&r| r < self.rows), "row index out of range");
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.rows];
+                rows.iter().all(|&r| !std::mem::replace(&mut seen[r], true))
+            },
+            "duplicate row in scatter_rows"
+        );
+        let cols = self.cols;
+        if cols == 0 {
+            return;
+        }
+        let table = crate::parallel::RowTable::new(&mut self.data, cols);
+        crate::parallel::par_row_blocks(rows.len(), cols, |range| {
+            for i in range {
+                // SAFETY: `rows` is duplicate-free and parallel blocks are
+                // disjoint, so each destination row has exactly one writer.
+                let dst = unsafe { table.row_mut(rows[i]) };
+                dst.copy_from_slice(src.row(i));
+            }
+        });
     }
 
     /// Maximum absolute difference against another matrix of the same shape.
@@ -427,6 +468,19 @@ mod tests {
         let g = m.gather_rows(&[2, 0]);
         assert_eq!(g.row(0), &[5.0, 6.0]);
         assert_eq!(g.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_rows_inverts_gather() {
+        let m = Matrix::from_fn(8, 3, |r, c| (r * 3 + c) as f32);
+        let rows = [5usize, 1, 7];
+        let g = m.gather_rows(&rows);
+        let mut out = Matrix::full(8, 3, -1.0);
+        out.scatter_rows(&rows, &g);
+        for &r in &rows {
+            assert_eq!(out.row(r), m.row(r));
+        }
+        assert!(out.row(0).iter().all(|&v| v == -1.0));
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! to at least itself.
 
 use crate::matrix::Matrix;
-use crate::sparse::SharedCsr;
+use crate::parallel::{par_row_blocks, RowTable};
+use crate::sparse::{CsrMatrix, SharedCsr};
 
 /// State saved by the forward pass.
 pub struct Saved {
@@ -92,6 +93,81 @@ pub fn forward(
         }
     }
     (out, Saved { graph, alpha, act_deriv })
+}
+
+/// Inference-only forward pass restricted to the listed output rows (no
+/// saved state). Row `i` of `out` is bit-identical to row `i` of
+/// [`forward`]'s output for every `i` in `rows`; other rows of `out` are left
+/// untouched. `h` must hold valid data for every listed row and all of its
+/// neighbors.
+///
+/// Per-node scores are recomputed on demand with the same `dot` kernel the
+/// full forward uses, and each row runs the identical max/softmax/aggregate
+/// sequence, so restriction never changes the arithmetic. `rows` must be
+/// duplicate-free (each listed row has exactly one parallel writer).
+pub fn forward_rows(
+    h: &Matrix,
+    a_src: &Matrix,
+    a_dst: &Matrix,
+    graph: &CsrMatrix,
+    neg_slope: f32,
+    rows: &[usize],
+    out: &mut Matrix,
+) {
+    let (n, d) = h.shape();
+    assert_eq!(graph.rows(), n, "graph size mismatch");
+    assert_eq!(graph.cols(), n, "graph must be square");
+    assert_eq!(a_src.shape(), (1, d), "a_src must be 1 x d");
+    assert_eq!(a_dst.shape(), (1, d), "a_dst must be 1 x d");
+    assert_eq!(out.shape(), (n, d), "output shape mismatch");
+    assert!(rows.iter().all(|&r| r < n), "row index out of range");
+    if d == 0 {
+        return;
+    }
+
+    let asr = a_src.row(0);
+    let adr = a_dst.row(0);
+    let indptr = graph.indptr();
+    let indices = graph.indices();
+    let row_cost = (graph.nnz() / n.max(1)).max(1).saturating_mul(2 * d);
+    let table = RowTable::new(out.as_mut_slice(), d);
+    par_row_blocks(rows.len(), row_cost, |range| {
+        for &i in &rows[range] {
+            // SAFETY: `rows` is duplicate-free and parallel blocks are
+            // disjoint, so each listed row has exactly one writer.
+            let out_row = unsafe { table.row_mut(i) };
+            out_row.fill(0.0);
+            let (lo, hi_) = (indptr[i], indptr[i + 1]);
+            if lo == hi_ {
+                continue;
+            }
+            let s_i = dot(h.row(i), asr);
+            let mut alpha = vec![0.0f32; hi_ - lo];
+            let mut m = f32::NEG_INFINITY;
+            for (k, e) in (lo..hi_).enumerate() {
+                let j = indices[e] as usize;
+                let raw = s_i + dot(h.row(j), adr);
+                let act = if raw > 0.0 { raw } else { neg_slope * raw };
+                alpha[k] = act;
+                m = m.max(act);
+            }
+            let mut denom = 0.0f32;
+            for a in &mut alpha {
+                *a = (*a - m).exp();
+                denom += *a;
+            }
+            for a in &mut alpha {
+                *a /= denom;
+            }
+            for (k, e) in (lo..hi_).enumerate() {
+                let j = indices[e] as usize;
+                let a = alpha[k];
+                for (o, &v) in out_row.iter_mut().zip(h.row(j)) {
+                    *o += a * v;
+                }
+            }
+        }
+    });
 }
 
 /// Backward pass: gradients with respect to `h`, `a_src`, and `a_dst`.
@@ -231,6 +307,21 @@ mod tests {
         let a = Matrix::zeros(1, 2);
         let (out, _) = forward(&h, &a, &a, g, 0.2);
         assert!(out.max_abs_diff(&h) < 1e-6);
+    }
+
+    #[test]
+    fn restricted_forward_matches_full_rows_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = tri();
+        let h = Matrix::uniform(3, 5, -1.0, 1.0, &mut rng);
+        let a_src = Matrix::uniform(1, 5, -0.5, 0.5, &mut rng);
+        let a_dst = Matrix::uniform(1, 5, -0.5, 0.5, &mut rng);
+        let (full, _) = forward(&h, &a_src, &a_dst, g.clone(), 0.2);
+        let mut out = Matrix::from_fn(3, 5, |_, _| f32::NAN);
+        forward_rows(&h, &a_src, &a_dst, &g, 0.2, &[2, 0], &mut out);
+        assert_eq!(out.row(0), full.row(0));
+        assert_eq!(out.row(2), full.row(2));
+        assert!(out.row(1).iter().all(|v| v.is_nan()), "unlisted row must stay untouched");
     }
 
     #[test]

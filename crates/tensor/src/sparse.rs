@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use crate::matrix::Matrix;
-use crate::parallel::par_row_chunks_cost;
+use crate::parallel::{par_row_blocks, par_row_chunks_cost, RowTable};
 
 /// An immutable CSR sparse matrix of `f32` values.
 #[derive(Clone, Debug, PartialEq)]
@@ -216,6 +216,52 @@ impl CsrMatrix {
         });
     }
 
+    /// Sparse × dense product restricted to the listed output rows.
+    ///
+    /// Writes row `r` of `self · rhs` into row `r` of `out` for every `r` in
+    /// `rows`, leaving all other rows of `out` untouched. Each listed row runs
+    /// the same per-row kernel as [`CsrMatrix::matmul_dense_into`], so the
+    /// computed rows are bit-identical to a full product at any thread count.
+    ///
+    /// `rows` must not contain duplicates: listed rows are written by exactly
+    /// one parallel participant each, and a repeated row would race.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or an out-of-range row index.
+    pub fn matmul_dense_rows(&self, rhs: &Matrix, rows: &[usize], out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows(), "spmm shape mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols()), "spmm output shape mismatch");
+        assert!(rows.iter().all(|&r| r < self.rows), "row index out of range");
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.rows];
+                rows.iter().all(|&r| !std::mem::replace(&mut seen[r], true))
+            },
+            "duplicate row in restricted spmm"
+        );
+        let cols = rhs.cols();
+        if cols == 0 {
+            return;
+        }
+        let row_cost = (self.nnz() / self.rows.max(1)).max(1).saturating_mul(cols);
+        let table = RowTable::new(out.as_mut_slice(), cols);
+        par_row_blocks(rows.len(), row_cost, |range| {
+            for &r in &rows[range] {
+                // SAFETY: `rows` is duplicate-free and parallel blocks are
+                // disjoint, so each listed row has exactly one writer.
+                let out_row = unsafe { table.row_mut(r) };
+                out_row.fill(0.0);
+                let (cs, vs) = self.row(r);
+                for (&c, &v) in cs.iter().zip(vs) {
+                    let src = rhs.row(c as usize);
+                    for (o, s) in out_row.iter_mut().zip(src) {
+                        *o += v * s;
+                    }
+                }
+            }
+        });
+    }
+
     /// Row-scaled copy: row `r` multiplied by `scales[r]`.
     pub fn scale_rows(&self, scales: &[f32]) -> CsrMatrix {
         assert_eq!(scales.len(), self.rows, "scale_rows length mismatch");
@@ -282,6 +328,27 @@ mod tests {
         let got = m.matmul_dense(&rhs);
         // dense product by hand
         assert_eq!(got.as_slice(), &[11.0, 14.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn restricted_spmm_matches_full_rows() {
+        let mut triplets = Vec::new();
+        for r in 0..64 {
+            for k in 0..5 {
+                triplets.push((r, (r * 7 + k * 13) % 64, 0.1 * (r + k) as f32 + 0.3));
+            }
+        }
+        let m = CsrMatrix::from_triplets(64, 64, &triplets);
+        let rhs = Matrix::from_fn(64, 9, |r, c| ((r * 9 + c) as f32).sin());
+        let full = m.matmul_dense(&rhs);
+        let rows = [0usize, 3, 17, 63, 40];
+        let mut out = Matrix::from_fn(64, 9, |_, _| f32::NAN);
+        m.matmul_dense_rows(&rhs, &rows, &mut out);
+        for &r in &rows {
+            assert_eq!(out.row(r), full.row(r), "row {r} must be bit-identical");
+        }
+        // untouched rows keep their prior contents
+        assert!(out.row(1).iter().all(|v| v.is_nan()));
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Serving quickstart: train a checkpoint, stand up the embedding server,
+//! and query it — embeddings, link scores, top-k neighbors, and a live graph
+//! update — all in one process.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use gcmae_repro::core::{train, GcmaeConfig};
+use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
+use gcmae_repro::serve::{Client, Engine, Server};
+
+fn main() {
+    // 1. Train a small GCMAE checkpoint.
+    let ds = generate(&CitationSpec::cora().scaled(0.05), 0);
+    let cfg = GcmaeConfig { epochs: 5, ..GcmaeConfig::fast() };
+    println!("training on {} nodes / {} edges", ds.num_nodes(), ds.graph.num_edges());
+    let trained = train(&ds, &cfg, 0);
+
+    // 2. Serve it. Port 0 picks a free port; max_batch 32 lets the
+    //    scheduler coalesce concurrent queries into one encoder forward.
+    let engine = Engine::new(trained.model, ds.graph, ds.features).expect("engine");
+    let server = Server::start(engine, "127.0.0.1:0", 32).expect("server");
+    println!("serving on {}", server.addr());
+
+    // 3. Query it like any remote client would.
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let rows = client.embed(&[0, 1, 2]).expect("embed");
+    println!("node 0 embedding starts with {:?}", &rows[0][..4.min(rows[0].len())]);
+
+    let scores = client.link_scores(&[(0, 1), (0, 2)]).expect("link scores");
+    println!("link scores 0-1: {:.4}, 0-2: {:.4}", scores[0], scores[1]);
+
+    // 4. The graph is live: insert an edge and query again. Only the
+    //    2-hop neighborhood of the endpoints is recomputed.
+    let stale = client.add_edges(&[(0, 40)]).expect("add edge");
+    println!("edge (0, 40) inserted; {stale} cached embeddings invalidated");
+
+    for (v, s) in client.top_k(0, 3).expect("top-k") {
+        println!("node 0 neighbor {v} scores {s:.4}");
+    }
+    let after = client.embed(&[0]).expect("embed after update");
+    println!("node 0 embedding now starts with {:?}", &after[0][..4.min(after[0].len())]);
+
+    let stats = client.stats().expect("stats");
+    println!("server stats: {}", stats.dump());
+
+    client.shutdown().expect("shutdown");
+    server.run_until_shutdown();
+    println!("done");
+}

@@ -1,0 +1,67 @@
+//! Integration test: train → bundle → serve → query over TCP, asserting
+//! bit-parity between served answers and the offline encoder at every step.
+
+use gcmae_repro::core::{train, GcmaeConfig};
+use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
+use gcmae_repro::serve::{load_bundle, save_bundle, Client, Engine, Server};
+
+#[test]
+fn served_embeddings_match_offline_encode_through_training_and_mutation() {
+    // Train a real (small) checkpoint.
+    let ds = generate(&CitationSpec::cora().scaled(0.02), 3);
+    let cfg = GcmaeConfig { epochs: 2, ..GcmaeConfig::fast() };
+    let trained = train(&ds, &cfg, 3);
+    let n = ds.num_nodes();
+
+    // Bundle round-trip preserves the encoder bit-for-bit.
+    let blob = save_bundle(&trained.model, &ds.graph, &ds.features);
+    let (model, graph, features) = load_bundle(&blob).expect("bundle decodes");
+    let offline = model.encode(&graph, &features);
+    assert_eq!(
+        offline.as_slice(),
+        trained.model.encode(&ds.graph, &ds.features).as_slice(),
+        "bundle changed the model"
+    );
+
+    // Serve it and query from several concurrent connections.
+    let engine = Engine::new(model, graph, features).expect("engine builds");
+    let server = Server::start(engine, "127.0.0.1:0", 16).expect("server binds");
+    let addr = server.addr().to_string();
+    let mut handles = Vec::new();
+    for t in 0..4_usize {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("connect");
+            let nodes: Vec<usize> = (0..5).map(|i| (t * 11 + i * 3) % n).collect();
+            (nodes.clone(), c.embed(&nodes).expect("embed"))
+        }));
+    }
+    for h in handles {
+        let (nodes, rows) = h.join().expect("client thread");
+        for (row, &v) in rows.iter().zip(&nodes) {
+            assert_eq!(row.as_slice(), offline.row(v), "node {v} mismatch over TCP");
+        }
+    }
+
+    // Incremental update: served answers equal a cold encode on the
+    // mutated graph.
+    let mut client = Client::connect(&addr).expect("connect");
+    let new_edges = [(0, n - 1), (1, n / 2)];
+    client.add_edges(&new_edges).expect("add_edges");
+    let all: Vec<usize> = (0..n).collect();
+    let served = client.embed(&all).expect("embed all");
+    let (mutated, _) = ds.graph.add_edges(&new_edges).expect("local add_edges");
+    let expected = trained.model.encode(&mutated, &ds.features);
+    for (v, row) in served.iter().enumerate() {
+        assert_eq!(row.as_slice(), expected.row(v), "node {v} after add_edges");
+    }
+
+    // Link scores come from the same embeddings.
+    let scores = client.link_scores(&[(0, n - 1)]).expect("link");
+    let want: f32 =
+        expected.row(0).iter().zip(expected.row(n - 1)).map(|(a, b)| a * b).sum();
+    assert_eq!(scores[0], want);
+
+    client.shutdown().expect("shutdown");
+    assert!(server.run_until_shutdown().is_some());
+}
