@@ -10,7 +10,11 @@ use gcmae_eval::{kmeans, pca};
 fn bench(c: &mut Criterion) {
     let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
     let cfg = gcmae_config(Scale::Smoke, ds.num_nodes());
-    let emb = gcmae_core::train(&ds, &cfg, 0).embeddings;
+    let emb = gcmae_core::TrainSession::new(&cfg)
+        .seed(0)
+        .run(&ds)
+        .expect("train")
+        .embeddings;
 
     let mut g = c.benchmark_group("figure1");
     g.sample_size(10);

@@ -12,7 +12,11 @@ use rand::SeedableRng;
 fn bench(c: &mut Criterion) {
     let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
     let cfg = gcmae_config(Scale::Smoke, ds.num_nodes());
-    let emb = gcmae_core::train(&ds, &cfg, 0).embeddings;
+    let emb = gcmae_core::TrainSession::new(&cfg)
+        .seed(0)
+        .run(&ds)
+        .expect("train")
+        .embeddings;
     let mut rng = StdRng::seed_from_u64(1);
     let anchors = sample_nodes(ds.num_nodes(), 32, &mut rng);
 

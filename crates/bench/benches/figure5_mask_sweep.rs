@@ -13,11 +13,24 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure5");
     g.sample_size(10);
     for (pm, pd) in [(0.2f32, 0.2f32), (0.8, 0.8)] {
-        let cfg = GcmaeConfig { p_mask: pm, p_drop: pd, ..base.clone() };
+        let cfg = GcmaeConfig {
+            p_mask: pm,
+            p_drop: pd,
+            ..base.clone()
+        };
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("pm{pm}_pd{pd}")),
             &cfg,
-            |b, cfg| b.iter(|| std::hint::black_box(gcmae_core::train(&ds, cfg, 0))),
+            |b, cfg| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        gcmae_core::TrainSession::new(cfg)
+                            .seed(0)
+                            .run(&ds)
+                            .expect("train"),
+                    )
+                })
+            },
         );
     }
     g.finish();

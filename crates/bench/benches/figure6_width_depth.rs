@@ -12,15 +12,36 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure6");
     g.sample_size(10);
     for width in [16usize, 64] {
-        let cfg = GcmaeConfig { hidden_dim: width, proj_dim: width / 2, ..base.clone() };
+        let cfg = GcmaeConfig {
+            hidden_dim: width,
+            proj_dim: width / 2,
+            ..base.clone()
+        };
         g.bench_with_input(BenchmarkId::new("width", width), &cfg, |b, cfg| {
-            b.iter(|| std::hint::black_box(gcmae_core::train(&ds, cfg, 0)))
+            b.iter(|| {
+                std::hint::black_box(
+                    gcmae_core::TrainSession::new(cfg)
+                        .seed(0)
+                        .run(&ds)
+                        .expect("train"),
+                )
+            })
         });
     }
     for layers in [2usize, 4] {
-        let cfg = GcmaeConfig { layers, ..base.clone() };
+        let cfg = GcmaeConfig {
+            layers,
+            ..base.clone()
+        };
         g.bench_with_input(BenchmarkId::new("depth", layers), &cfg, |b, cfg| {
-            b.iter(|| std::hint::black_box(gcmae_core::train(&ds, cfg, 0)))
+            b.iter(|| {
+                std::hint::black_box(
+                    gcmae_core::TrainSession::new(cfg)
+                        .seed(0)
+                        .run(&ds)
+                        .expect("train"),
+                )
+            })
         });
     }
     g.finish();

@@ -86,15 +86,36 @@ fn bench_losses(c: &mut Criterion) {
 fn bench_sampling(c: &mut Criterion) {
     let ds = node_dataset("PubMed", Scale::Smoke, DATA_SEED);
     let full = gcmae_config(Scale::Smoke, ds.num_nodes());
-    let full = GcmaeConfig { epochs: 2, batch_nodes: 0, ..full };
-    let batched = GcmaeConfig { batch_nodes: 96, ..full.clone() };
+    let full = GcmaeConfig {
+        epochs: 2,
+        batch_nodes: 0,
+        ..full
+    };
+    let batched = GcmaeConfig {
+        batch_nodes: 96,
+        ..full.clone()
+    };
     let mut g = c.benchmark_group("substrate_sampling");
     g.sample_size(10);
     g.bench_function("full_graph_2_epochs", |b| {
-        b.iter(|| std::hint::black_box(gcmae_core::train(&ds, &full, 0)))
+        b.iter(|| {
+            std::hint::black_box(
+                gcmae_core::TrainSession::new(&full)
+                    .seed(0)
+                    .run(&ds)
+                    .expect("train"),
+            )
+        })
     });
     g.bench_function("subgraph_batched_2_epochs", |b| {
-        b.iter(|| std::hint::black_box(gcmae_core::train(&ds, &batched, 0)))
+        b.iter(|| {
+            std::hint::black_box(
+                gcmae_core::TrainSession::new(&batched)
+                    .seed(0)
+                    .run(&ds)
+                    .expect("train"),
+            )
+        })
     });
     g.finish();
 }

@@ -18,14 +18,24 @@ fn bench(c: &mut Criterion) {
         ("wo_discrimination", base.clone().without_discrimination()),
         (
             "graphmae_equiv",
-            base.clone().without_contrastive().without_struct_recon().without_discrimination(),
+            base.clone()
+                .without_contrastive()
+                .without_struct_recon()
+                .without_discrimination(),
         ),
     ];
     let mut g = c.benchmark_group("table10");
     g.sample_size(10);
     for (name, cfg) in variants {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| std::hint::black_box(gcmae_core::train(&ds, cfg, 0)))
+            b.iter(|| {
+                std::hint::black_box(
+                    gcmae_core::TrainSession::new(cfg)
+                        .seed(0)
+                        .run(&ds)
+                        .expect("train"),
+                )
+            })
         });
     }
     g.finish();

@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("gcmae_pretrain_probe", |b| {
         b.iter(|| {
-            let out = gcmae_core::train(&ds, &gc, 0);
+            let out = gcmae_core::TrainSession::new(&gc)
+                .seed(0)
+                .run(&ds)
+                .expect("train");
             std::hint::black_box(probe_accuracy(&out.embeddings, &ds, &split, 0))
         })
     });

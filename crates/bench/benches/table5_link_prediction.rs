@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     let ds = node_dataset("Cora", Scale::Smoke, DATA_SEED);
     let mut rng = StdRng::seed_from_u64(7);
     let split = link_split(&ds.graph, 0.05, 0.10, &mut rng);
-    let train_ds = Dataset { graph: split.train_graph.clone(), ..ds.clone() };
+    let train_ds = Dataset {
+        graph: split.train_graph.clone(),
+        ..ds.clone()
+    };
     let gc = gcmae_config(Scale::Smoke, ds.num_nodes());
     let ssl = ssl_config(Scale::Smoke, ds.num_nodes());
 
@@ -22,7 +25,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("gcmae_link_prediction", |b| {
         b.iter(|| {
-            let out = gcmae_core::train(&train_ds, &gc, 0);
+            let out = gcmae_core::TrainSession::new(&gc)
+                .seed(0)
+                .run(&train_ds)
+                .expect("train");
             std::hint::black_box(finetuned_eval(&out.embeddings, &split, 0))
         })
     });

@@ -11,14 +11,21 @@ fn bench(c: &mut Criterion) {
     let gc = gcmae_config(Scale::Smoke, ds.num_nodes());
     let ssl = ssl_config(Scale::Smoke, ds.num_nodes());
     // embeddings computed once: the clustering stage is what Table 6 adds
-    let emb = gcmae_core::train(&ds, &gc, 0).embeddings;
+    let emb = gcmae_core::TrainSession::new(&gc)
+        .seed(0)
+        .run(&ds)
+        .expect("train")
+        .embeddings;
 
     let mut g = c.benchmark_group("table6");
     g.sample_size(10);
     g.bench_function("kmeans_nmi_ari", |b| {
         b.iter(|| {
             let km = kmeans(&emb, ds.num_classes, 100, 0);
-            std::hint::black_box((nmi(&km.assignments, &ds.labels), ari(&km.assignments, &ds.labels)))
+            std::hint::black_box((
+                nmi(&km.assignments, &ds.labels),
+                ari(&km.assignments, &ds.labels),
+            ))
         })
     });
     g.bench_function("gcc_specialist_end_to_end", |b| {

@@ -28,7 +28,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(gcmae_baselines::maskgae::train(&ds, &ssl, 0)))
     });
     g.bench_function("gcmae", |b| {
-        b.iter(|| std::hint::black_box(gcmae_core::train(&ds, &gc, 0)))
+        b.iter(|| {
+            std::hint::black_box(
+                gcmae_core::TrainSession::new(&gc)
+                    .seed(0)
+                    .run(&ds)
+                    .expect("train"),
+            )
+        })
     });
     g.finish();
 }

@@ -4,8 +4,13 @@
 //! committed file) so the CI kernels job can assert multi-core speedups.
 //!
 //! ```sh
-//! cargo run --release -p gcmae-bench --bin bench_kernels -- [out.json]
+//! cargo run --release -p gcmae-bench --bin bench_kernels -- [out.json] [--obs]
 //! ```
+//!
+//! `--obs` installs a global [`gcmae_obs::Registry`] before timing, so the
+//! measured numbers include live per-kernel telemetry (timers + flop
+//! counters). CI's `obs-overhead` job runs the bench both ways and asserts
+//! the enabled run stays within budget of the disabled one.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -36,7 +41,13 @@ fn random_graph(n: usize, avg_deg: usize, rng: &mut StdRng) -> SharedCsr {
     }
     let adj = CsrMatrix::from_triplets(n, n, &t);
     let values = vec![1.0; adj.nnz()];
-    Arc::new(CsrMatrix::new(n, n, adj.indptr().to_vec(), adj.indices().to_vec(), values))
+    Arc::new(CsrMatrix::new(
+        n,
+        n,
+        adj.indptr().to_vec(),
+        adj.indices().to_vec(),
+        values,
+    ))
 }
 
 /// Median over `reps` timed calls, after one untimed warm-up call (the first
@@ -62,7 +73,18 @@ fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let with_obs = args.iter().any(|a| a == "--obs");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".into());
+    let registry = Arc::new(gcmae_obs::Registry::new());
+    if with_obs {
+        gcmae_obs::install(registry.clone());
+        println!("telemetry: global registry installed (--obs)");
+    }
     let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let max_threads = num_threads();
     let mut thread_counts = vec![1usize];
@@ -73,7 +95,13 @@ fn main() {
     let mut entries = Vec::new();
 
     for &n in &[512usize, 2048, 8192] {
-        let reps = if n >= 8192 { 1 } else if n >= 2048 { 3 } else { 5 };
+        let reps = if n >= 8192 {
+            1
+        } else if n >= 2048 {
+            3
+        } else {
+            5
+        };
         let a = Matrix::uniform(n, DIM, -1.0, 1.0, &mut rng);
         let b = Matrix::uniform(DIM, n, -1.0, 1.0, &mut rng);
         let adj = random_graph(n, AVG_DEG, &mut rng);
@@ -82,18 +110,34 @@ fn main() {
         for &t in &thread_counts {
             let timings = with_threads(t, || {
                 [
-                    ("matmul", median_ns(reps, || {
-                        std::hint::black_box(gcmae_tensor::dense::matmul(&a, &b));
-                    })),
-                    ("spmm", median_ns(reps, || {
-                        std::hint::black_box(adj.matmul_dense(&z));
-                    })),
-                    ("adj_recon_forward", median_ns(reps, || {
-                        std::hint::black_box(adj_recon::forward(&z, adj.clone(), Default::default()));
-                    })),
-                    ("infonce_forward", median_ns(reps, || {
-                        std::hint::black_box(infonce::forward(&z, &v, 0.5));
-                    })),
+                    (
+                        "matmul",
+                        median_ns(reps, || {
+                            std::hint::black_box(gcmae_tensor::dense::matmul(&a, &b));
+                        }),
+                    ),
+                    (
+                        "spmm",
+                        median_ns(reps, || {
+                            std::hint::black_box(adj.matmul_dense(&z));
+                        }),
+                    ),
+                    (
+                        "adj_recon_forward",
+                        median_ns(reps, || {
+                            std::hint::black_box(adj_recon::forward(
+                                &z,
+                                adj.clone(),
+                                Default::default(),
+                            ));
+                        }),
+                    ),
+                    (
+                        "infonce_forward",
+                        median_ns(reps, || {
+                            std::hint::black_box(infonce::forward(&z, &v, 0.5));
+                        }),
+                    ),
                 ]
             });
             for (kernel, ns) in timings {
@@ -111,4 +155,17 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write benchmark json");
     println!("wrote {out_path}");
+    if with_obs {
+        gcmae_obs::uninstall();
+        let snap = registry.snapshot();
+        println!("--- telemetry snapshot (--obs) ---");
+        print!("{}", snap.to_prometheus());
+        let calls: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.ends_with(".calls"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(calls > 0, "--obs run must record kernel calls");
+    }
 }

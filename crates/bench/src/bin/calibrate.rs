@@ -33,7 +33,10 @@ fn main() {
     // optional loss-weight overrides: --alpha X --lambda Y --mu Z
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| -> Option<f32> {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
     };
     if let Some(v) = flag("--alpha") {
         gc.alpha = v;
@@ -56,7 +59,10 @@ fn main() {
         gc.tau = v;
     }
     let only_gcmae = args.iter().any(|a| a == "--only-gcmae");
-    eprintln!("weights: alpha={} lambda={} mu={}", gc.alpha, gc.lambda, gc.mu);
+    eprintln!(
+        "weights: alpha={} lambda={} mu={}",
+        gc.alpha, gc.lambda, gc.mu
+    );
 
     let sup_cfg = SupervisedConfig {
         epochs: scale.epochs(),
@@ -68,7 +74,11 @@ fn main() {
         for s in 0..seeds as u64 {
             accs.push(supervised::train(&ds, &split, &sup_cfg, s) * 100.0);
         }
-        println!("{:10} {:6.2}", "GCN(sup)", accs.iter().sum::<f64>() / accs.len() as f64);
+        println!(
+            "{:10} {:6.2}",
+            "GCN(sup)",
+            accs.iter().sum::<f64>() / accs.len() as f64
+        );
     }
 
     if args.iter().any(|a| a == "--ablate") {
@@ -82,19 +92,27 @@ fn main() {
                 c.alpha = gc.alpha;
                 c
             }),
-            ("mae_only", gc
-                .clone()
-                .without_contrastive()
-                .without_struct_recon()
-                .without_discrimination()),
+            (
+                "mae_only",
+                gc.clone()
+                    .without_contrastive()
+                    .without_struct_recon()
+                    .without_discrimination(),
+            ),
         ];
         for (label, cfg) in variants {
             let mut accs = vec![];
             for s in 0..seeds as u64 {
-                let out = gcmae_core::train(&ds, &cfg, s);
+                let out = gcmae_core::TrainSession::new(&cfg)
+                    .seed(s)
+                    .run(&ds)
+                    .expect("unguarded session cannot fail");
                 accs.push(probe_accuracy(&out.embeddings, &ds, &split, s));
             }
-            println!("{label:10} {:6.2}", accs.iter().sum::<f64>() / accs.len() as f64);
+            println!(
+                "{label:10} {:6.2}",
+                accs.iter().sum::<f64>() / accs.len() as f64
+            );
         }
         return;
     }

@@ -5,7 +5,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use gcmae_baselines::cca_ssg;
-use gcmae_core::train_traced;
+use gcmae_core::TrainSession;
 use gcmae_eval::metrics::clustering::nmi;
 use gcmae_eval::{kmeans, pca, tsne, TsneConfig};
 use gcmae_graph::sampling::sample_nodes;
@@ -51,11 +51,20 @@ pub fn run_figure1(scale: Scale, seed: u64) -> Vec<Figure1Entry> {
     let ds = node_dataset("Cora", scale, DATA_SEED);
     let gc = gcmae_config(scale, ds.num_nodes());
     let ssl = ssl_config(scale, ds.num_nodes());
-    let mae_cfg =
-        gc.clone().without_contrastive().without_struct_recon().without_discrimination();
+    let mae_cfg = gc
+        .clone()
+        .without_contrastive()
+        .without_struct_recon()
+        .without_discrimination();
+    let train = |cfg: &gcmae_core::GcmaeConfig| {
+        TrainSession::new(cfg)
+            .seed(seed)
+            .run(&ds)
+            .expect("unguarded session cannot fail")
+    };
     let runs: Vec<(String, Matrix)> = vec![
-        ("GCMAE".into(), gcmae_core::train(&ds, &gc, seed).embeddings),
-        ("GraphMAE".into(), gcmae_core::train(&ds, &mae_cfg, seed).embeddings),
+        ("GCMAE".into(), train(&gc).embeddings),
+        ("GraphMAE".into(), train(&mae_cfg).embeddings),
         ("CCA-SSG".into(), cca_ssg::train(&ds, &ssl, seed)),
     ];
     runs.into_iter()
@@ -111,19 +120,28 @@ pub fn run_figure4(name: &str, scale: Scale, seed: u64, stride: usize) -> Vec<Se
     let mut anchor_rng = StdRng::seed_from_u64(1234);
     let anchors = sample_nodes(ds.num_nodes(), 32.min(ds.num_nodes()), &mut anchor_rng);
     let gc = gcmae_config(scale, ds.num_nodes());
-    let mae_cfg =
-        gc.clone().without_contrastive().without_struct_recon().without_discrimination();
+    let mae_cfg = gc
+        .clone()
+        .without_contrastive()
+        .without_struct_recon()
+        .without_discrimination();
     let mut out = vec![];
     for (label, cfg) in [("GCMAE", gc), ("GraphMAE", mae_cfg)] {
         let mut points = vec![];
-        let mut eval_rng = StdRng::seed_from_u64(seed);
-        let _ = train_traced(&ds, &cfg, seed, |epoch, model| {
-            if epoch % stride == 0 {
-                let emb = model.embed_dataset(&ds, &mut eval_rng);
-                points.push((epoch as f64, five_hop_similarity(&ds, &emb, &anchors), 0.0));
-            }
+        let _ = TrainSession::new(&cfg)
+            .seed(seed)
+            .on_epoch(|epoch, view| {
+                if epoch % stride == 0 {
+                    let emb = view.model.encode_dataset(&ds);
+                    points.push((epoch as f64, five_hop_similarity(&ds, &emb, &anchors), 0.0));
+                }
+            })
+            .run(&ds)
+            .expect("unguarded session cannot fail");
+        out.push(Series {
+            name: format!("{label}/{name}"),
+            points,
         });
-        out.push(Series { name: format!("{label}/{name}"), points });
     }
     out
 }
@@ -137,13 +155,23 @@ pub fn run_figure5(name: &str, scale: Scale, seed: u64, grid: &[f32]) -> Series 
     let mut points = vec![];
     for &pm in grid {
         for &pd in grid {
-            let cfg = gcmae_core::GcmaeConfig { p_mask: pm, p_drop: pd, ..base.clone() };
-            let out = gcmae_core::train(&ds, &cfg, seed);
+            let cfg = gcmae_core::GcmaeConfig {
+                p_mask: pm,
+                p_drop: pd,
+                ..base.clone()
+            };
+            let out = TrainSession::new(&cfg)
+                .seed(seed)
+                .run(&ds)
+                .expect("unguarded session cannot fail");
             let f1 = probe_f1(&out.embeddings, &ds, &split, seed);
             points.push((pm as f64, pd as f64, f1));
         }
     }
-    Series { name: name.to_string(), points }
+    Series {
+        name: name.to_string(),
+        points,
+    }
 }
 
 /// Figure 6: accuracy vs hidden width and vs depth for one dataset.
@@ -166,21 +194,44 @@ pub fn run_figure6(
                 proj_dim: (w / 4).max(8),
                 ..base.clone()
             };
-            let out = gcmae_core::train(&ds, &cfg, seed);
-            (w as f64, probe_accuracy(&out.embeddings, &ds, &split, seed), 0.0)
+            let out = TrainSession::new(&cfg)
+                .seed(seed)
+                .run(&ds)
+                .expect("unguarded session cannot fail");
+            (
+                w as f64,
+                probe_accuracy(&out.embeddings, &ds, &split, seed),
+                0.0,
+            )
         })
         .collect();
     let depth_pts: Vec<(f64, f64, f64)> = depths
         .iter()
         .map(|&l| {
-            let cfg = gcmae_core::GcmaeConfig { layers: l, ..base.clone() };
-            let out = gcmae_core::train(&ds, &cfg, seed);
-            (l as f64, probe_accuracy(&out.embeddings, &ds, &split, seed), 0.0)
+            let cfg = gcmae_core::GcmaeConfig {
+                layers: l,
+                ..base.clone()
+            };
+            let out = TrainSession::new(&cfg)
+                .seed(seed)
+                .run(&ds)
+                .expect("unguarded session cannot fail");
+            (
+                l as f64,
+                probe_accuracy(&out.embeddings, &ds, &split, seed),
+                0.0,
+            )
         })
         .collect();
     (
-        Series { name: format!("{name}/width"), points: width_pts },
-        Series { name: format!("{name}/depth"), points: depth_pts },
+        Series {
+            name: format!("{name}/width"),
+            points: width_pts,
+        },
+        Series {
+            name: format!("{name}/depth"),
+            points: depth_pts,
+        },
     )
 }
 
@@ -215,7 +266,10 @@ mod tests {
 
     #[test]
     fn write_series_creates_csv() {
-        let s = Series { name: "t".into(), points: vec![(1.0, 2.0, 0.0)] };
+        let s = Series {
+            name: "t".into(),
+            points: vec![(1.0, 2.0, 0.0)],
+        };
         let p = write_series("test_series", &[s]).unwrap();
         let content = std::fs::read_to_string(p).unwrap();
         assert!(content.contains("t,1,2,0"));

@@ -107,7 +107,13 @@ impl NodeMethod {
             Self::SeeGera => Some(gcmae_baselines::seegera::train(ds, ssl, seed)),
             Self::S2gae => Some(gcmae_baselines::s2gae::train(ds, ssl, seed)),
             Self::MaskGae => Some(gcmae_baselines::maskgae::train(ds, ssl, seed)),
-            Self::Gcmae => Some(gcmae_core::train(ds, gcmae, seed).embeddings),
+            Self::Gcmae => Some(
+                gcmae_core::TrainSession::new(gcmae)
+                    .seed(seed)
+                    .run(ds)
+                    .expect("unguarded session cannot fail")
+                    .embeddings,
+            ),
             Self::GcVge => Some(clustering::gc_vge::train(ds, ssl, seed)),
             Self::Scgc => {
                 if n > 25_000 {
@@ -235,7 +241,10 @@ mod tests {
         let names: Vec<&str> = NodeMethod::STANDARD.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            ["DGI", "MVGRL", "GRACE", "CCA-SSG", "GraphMAE", "SeeGera", "S2GAE", "MaskGAE", "GCMAE"]
+            [
+                "DGI", "MVGRL", "GRACE", "CCA-SSG", "GraphMAE", "SeeGera", "S2GAE", "MaskGAE",
+                "GCMAE"
+            ]
         );
         assert_eq!(GraphMethod::ALL.len(), 8);
     }

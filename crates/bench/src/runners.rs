@@ -14,7 +14,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::methods::{GraphMethod, NodeMethod};
-use crate::scale::{gcmae_config, graph_collections, node_dataset, node_datasets, ssl_config, Scale};
+use crate::scale::{
+    gcmae_config, graph_collections, node_dataset, node_datasets, ssl_config, Scale,
+};
 use crate::table::{MeanStd, Table};
 
 /// Fixed generator seed so every method sees the same data.
@@ -34,13 +36,29 @@ pub fn classification_split(ds: &Dataset) -> NodeSplit {
 
 /// Probe accuracy (%) of embeddings on a dataset split.
 pub fn probe_accuracy(emb: &Matrix, ds: &Dataset, split: &NodeSplit, seed: u64) -> f64 {
-    linear_probe(emb, &ds.labels, ds.num_classes, split, &ProbeConfig::default(), seed).accuracy
+    linear_probe(
+        emb,
+        &ds.labels,
+        ds.num_classes,
+        split,
+        &ProbeConfig::default(),
+        seed,
+    )
+    .accuracy
         * 100.0
 }
 
 /// Probe macro-F1 (%) — used by the Figure 5 sweep.
 pub fn probe_f1(emb: &Matrix, ds: &Dataset, split: &NodeSplit, seed: u64) -> f64 {
-    linear_probe(emb, &ds.labels, ds.num_classes, split, &ProbeConfig::default(), seed).macro_f1
+    linear_probe(
+        emb,
+        &ds.labels,
+        ds.num_classes,
+        split,
+        &ProbeConfig::default(),
+        seed,
+    )
+    .macro_f1
         * 100.0
 }
 
@@ -51,7 +69,10 @@ pub fn run_node_classification(scale: Scale, seeds: usize) -> Table {
     let mut table = Table::new("Table 4: node classification accuracy (%)", columns);
 
     // supervised rows
-    for (label, kind) in [("GCN", EncoderKind::Gcn), ("GAT", EncoderKind::Gat { heads: 4 })] {
+    for (label, kind) in [
+        ("GCN", EncoderKind::Gcn),
+        ("GAT", EncoderKind::Gat { heads: 4 }),
+    ] {
         let mut cells = vec![];
         for ds in &datasets {
             let split = classification_split(ds);
@@ -84,7 +105,11 @@ pub fn run_node_classification(scale: Scale, seeds: usize) -> Table {
                     None => break,
                 }
             }
-            cells.push(if vals.is_empty() { None } else { Some(MeanStd::from_values(&vals)) });
+            cells.push(if vals.is_empty() {
+                None
+            } else {
+                Some(MeanStd::from_values(&vals))
+            });
         }
         table.push_row(method.name(), cells);
     }
@@ -107,7 +132,10 @@ pub fn run_link_prediction(scale: Scale, seeds: usize) -> Table {
             let mut rng = StdRng::seed_from_u64(SPLIT_SEED);
             let split = link_split(&ds.graph, 0.05, 0.10, &mut rng);
             // train on the graph with held-out edges removed
-            let train_ds = Dataset { graph: split.train_graph.clone(), ..ds.clone() };
+            let train_ds = Dataset {
+                graph: split.train_graph.clone(),
+                ..ds.clone()
+            };
             let ssl = ssl_config(scale, ds.num_nodes());
             let gc = gcmae_config(scale, ds.num_nodes());
             let mut aucs = vec![];
@@ -151,8 +179,11 @@ pub fn run_node_clustering(scale: Scale, seeds: usize) -> Table {
         .chain(NodeMethod::CLUSTERING)
         .collect();
     // move GCMAE last to match the paper's row order
-    let mut methods: Vec<NodeMethod> =
-        methods.iter().copied().filter(|m| *m != NodeMethod::Gcmae).collect();
+    let mut methods: Vec<NodeMethod> = methods
+        .iter()
+        .copied()
+        .filter(|m| *m != NodeMethod::Gcmae)
+        .collect();
     methods.push(NodeMethod::Gcmae);
     for method in methods {
         let mut cells = vec![];
@@ -214,7 +245,11 @@ pub fn run_graph_classification(scale: Scale, seeds: usize) -> Table {
                     None => break,
                 }
             }
-            cells.push(if vals.is_empty() { None } else { Some(MeanStd::from_values(&vals)) });
+            cells.push(if vals.is_empty() {
+                None
+            } else {
+                Some(MeanStd::from_values(&vals))
+            });
         }
         table.push_row(method.name(), cells);
     }
@@ -228,8 +263,10 @@ pub fn run_encoder_ablation(scale: Scale, seeds: usize) -> Table {
         "Table 8: node classification accuracy per encoder design (%)",
         names.iter().map(|s| s.to_string()).collect(),
     );
-    let datasets: Vec<Dataset> =
-        names.iter().map(|n| node_dataset(n, scale, DATA_SEED)).collect();
+    let datasets: Vec<Dataset> = names
+        .iter()
+        .map(|n| node_dataset(n, scale, DATA_SEED))
+        .collect();
     for variant in EncoderVariant::ALL {
         let mut cells = vec![];
         for ds in &datasets {
@@ -253,8 +290,12 @@ pub fn run_training_time(scale: Scale) -> Table {
     let datasets = node_datasets(scale, DATA_SEED);
     let columns: Vec<String> = datasets.iter().map(|d| d.name.clone()).collect();
     let mut table = Table::new("Table 9: end-to-end training time (s)", columns);
-    let methods =
-        [NodeMethod::CcaSsg, NodeMethod::GraphMae, NodeMethod::MaskGae, NodeMethod::Gcmae];
+    let methods = [
+        NodeMethod::CcaSsg,
+        NodeMethod::GraphMae,
+        NodeMethod::MaskGae,
+        NodeMethod::Gcmae,
+    ];
     for method in methods {
         let mut cells = vec![];
         for ds in &datasets {
@@ -272,7 +313,10 @@ pub fn run_training_time(scale: Scale) -> Table {
                 .expect("timing methods run everywhere");
             let _ = probe_accuracy(&emb, ds, &split, 0);
             let secs = start.elapsed().as_secs_f64();
-            cells.push(Some(MeanStd { mean: secs, std: 0.0 }));
+            cells.push(Some(MeanStd {
+                mean: secs,
+                std: 0.0,
+            }));
         }
         table.push_row(method.name(), cells);
     }
@@ -286,18 +330,31 @@ pub fn run_component_ablation(scale: Scale, seeds: usize) -> Table {
         "Table 10: node classification accuracy per component (%)",
         names.iter().map(|s| s.to_string()).collect(),
     );
-    let datasets: Vec<Dataset> =
-        names.iter().map(|n| node_dataset(n, scale, DATA_SEED)).collect();
+    let datasets: Vec<Dataset> = names
+        .iter()
+        .map(|n| node_dataset(n, scale, DATA_SEED))
+        .collect();
     type Variant = (&'static str, Box<dyn Fn(GcmaeConfig) -> GcmaeConfig>);
     let variants: Vec<Variant> = vec![
         ("GCMAE", Box::new(|c: GcmaeConfig| c)),
-        ("w/o Con.", Box::new(|c: GcmaeConfig| c.without_contrastive())),
-        ("w/o Stru. Rec.", Box::new(|c: GcmaeConfig| c.without_struct_recon())),
-        ("w/o Disc.", Box::new(|c: GcmaeConfig| c.without_discrimination())),
+        (
+            "w/o Con.",
+            Box::new(|c: GcmaeConfig| c.without_contrastive()),
+        ),
+        (
+            "w/o Stru. Rec.",
+            Box::new(|c: GcmaeConfig| c.without_struct_recon()),
+        ),
+        (
+            "w/o Disc.",
+            Box::new(|c: GcmaeConfig| c.without_discrimination()),
+        ),
         (
             "GraphMAE",
             Box::new(|c: GcmaeConfig| {
-                c.without_contrastive().without_struct_recon().without_discrimination()
+                c.without_contrastive()
+                    .without_struct_recon()
+                    .without_discrimination()
             }),
         ),
     ];
@@ -308,7 +365,10 @@ pub fn run_component_ablation(scale: Scale, seeds: usize) -> Table {
             let cfg = make(gcmae_config(scale, ds.num_nodes()));
             let vals: Vec<f64> = (0..seeds)
                 .map(|s| {
-                    let out = gcmae_core::train(ds, &cfg, s as u64);
+                    let out = gcmae_core::TrainSession::new(&cfg)
+                        .seed(s as u64)
+                        .run(ds)
+                        .expect("unguarded session cannot fail");
                     probe_accuracy(&out.embeddings, ds, &split, s as u64)
                 })
                 .collect();
@@ -336,6 +396,9 @@ mod tests {
     fn component_ablation_runs_at_smoke_scale() {
         let t = run_component_ablation(Scale::Smoke, 1);
         assert_eq!(t.rows.len(), 5);
-        assert!(t.rows.iter().all(|(_, cells)| cells.iter().all(Option::is_some)));
+        assert!(t
+            .rows
+            .iter()
+            .all(|(_, cells)| cells.iter().all(Option::is_some)));
     }
 }

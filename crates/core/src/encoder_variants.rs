@@ -8,7 +8,16 @@ use gcmae_tensor::Matrix;
 
 use crate::config::GcmaeConfig;
 use crate::model::seeded_rng;
-use crate::trainer::train;
+use crate::session::TrainSession;
+
+/// Unguarded full training for one variant config; the unguarded regime
+/// cannot fail.
+fn embeddings_for(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> Matrix {
+    match TrainSession::new(cfg).seed(seed).run(ds) {
+        Ok(out) => out.embeddings,
+        Err(e) => unreachable!("unguarded session cannot fail: {e}"),
+    }
+}
 
 /// The four encoder designs compared in Table 8.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,8 +34,7 @@ pub enum EncoderVariant {
 
 impl EncoderVariant {
     /// All four designs in the paper's row order.
-    pub const ALL: [EncoderVariant; 4] =
-        [Self::MaeOnly, Self::ConOnly, Self::Fusion, Self::Shared];
+    pub const ALL: [EncoderVariant; 4] = [Self::MaeOnly, Self::ConOnly, Self::Fusion, Self::Shared];
 
     /// Row label as printed in Table 8.
     pub fn label(self) -> &'static str {
@@ -47,7 +55,7 @@ pub fn train_variant(
     seed: u64,
 ) -> Matrix {
     match variant {
-        EncoderVariant::Shared => train(ds, cfg, seed).embeddings,
+        EncoderVariant::Shared => embeddings_for(ds, cfg, seed),
         EncoderVariant::MaeOnly => {
             // GCMAE minus everything contrastive = GraphMAE-style training.
             let cfg = cfg
@@ -55,7 +63,7 @@ pub fn train_variant(
                 .without_contrastive()
                 .without_struct_recon()
                 .without_discrimination();
-            train(ds, &cfg, seed).embeddings
+            embeddings_for(ds, &cfg, seed)
         }
         EncoderVariant::ConOnly => train_contrastive_only(ds, cfg, seed),
         EncoderVariant::Fusion => {
@@ -64,7 +72,7 @@ pub fn train_variant(
                 .without_contrastive()
                 .without_struct_recon()
                 .without_discrimination();
-            let mae = train(ds, &cfg_mae, seed).embeddings;
+            let mae = embeddings_for(ds, &cfg_mae, seed);
             let con = train_contrastive_only(ds, cfg, seed.wrapping_add(101));
             let mut fused = mae;
             fused.add_assign(&con);
@@ -89,8 +97,18 @@ fn train_contrastive_only(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> Matrix 
         dropout: cfg.dropout,
     };
     let encoder = Encoder::new(&mut store, &enc_cfg, &mut rng);
-    let proj1 = Mlp::new(&mut store, &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim], Act::Elu, &mut rng);
-    let proj2 = Mlp::new(&mut store, &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim], Act::Elu, &mut rng);
+    let proj1 = Mlp::new(
+        &mut store,
+        &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim],
+        Act::Elu,
+        &mut rng,
+    );
+    let proj2 = Mlp::new(
+        &mut store,
+        &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim],
+        Act::Elu,
+        &mut rng,
+    );
     let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
     let n = ds.num_nodes();
     for _ in 0..cfg.epochs {
@@ -109,7 +127,10 @@ fn train_contrastive_only(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> Matrix 
         let v = Act::Elu.apply(&mut sess, v);
         let (u, v) = if cfg.contrast_sample > 0 && cfg.contrast_sample < n {
             let anchors = gcmae_graph::sampling::sample_nodes(n, cfg.contrast_sample, &mut rng);
-            (sess.tape.gather_rows(u, anchors.clone()), sess.tape.gather_rows(v, anchors))
+            (
+                sess.tape.gather_rows(u, anchors.clone()),
+                sess.tape.gather_rows(v, anchors),
+            )
         } else {
             (u, v)
         };
@@ -133,7 +154,12 @@ mod tests {
     #[test]
     fn all_variants_produce_embeddings() {
         let ds = generate(&CitationSpec::cora().scaled(0.02), 3);
-        let cfg = GcmaeConfig { hidden_dim: 8, proj_dim: 4, epochs: 3, ..GcmaeConfig::fast() };
+        let cfg = GcmaeConfig {
+            hidden_dim: 8,
+            proj_dim: 4,
+            epochs: 3,
+            ..GcmaeConfig::fast()
+        };
         for v in EncoderVariant::ALL {
             let e = train_variant(&ds, &cfg, v, 1);
             assert_eq!(e.shape(), (ds.num_nodes(), 8), "{v:?}");
@@ -146,7 +172,12 @@ mod tests {
         let labels: Vec<&str> = EncoderVariant::ALL.iter().map(|v| v.label()).collect();
         assert_eq!(
             labels,
-            ["MAE Encoder", "Con. Encoder", "Fusion Encoder", "Shared Encoder"]
+            [
+                "MAE Encoder",
+                "Con. Encoder",
+                "Fusion Encoder",
+                "Shared Encoder"
+            ]
         );
     }
 }

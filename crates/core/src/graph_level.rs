@@ -7,6 +7,7 @@ use gcmae_tensor::Matrix;
 use rand::Rng;
 
 use crate::config::GcmaeConfig;
+use crate::fault::StepGuard;
 use crate::model::{seeded_rng, Gcmae};
 
 /// Pre-trains GCMAE on a collection and returns one mean-pooled embedding
@@ -29,26 +30,31 @@ pub fn train_graph_level(
         }
         for chunk in order.chunks(graphs_per_batch) {
             let batch = collection.batch(chunk);
-            model.train_step(&batch.graph, &batch.features, &mut adam, &mut rng);
+            let step = model.step(
+                &batch.graph,
+                &batch.features,
+                &mut adam,
+                &mut rng,
+                &StepGuard::off(),
+            );
+            if let Err(f) = step {
+                unreachable!("guards disabled but step faulted: {f}");
+            }
         }
     }
-    readout(&model, collection, graphs_per_batch, &mut rng)
+    readout(&model, collection, graphs_per_batch)
 }
 
-/// Mean-pooled eval-mode embeddings for every graph in the collection.
-pub fn readout(
-    model: &Gcmae,
-    collection: &GraphCollection,
-    graphs_per_batch: usize,
-    rng: &mut rand::rngs::StdRng,
-) -> Matrix {
+/// Mean-pooled eval-mode embeddings for every graph in the collection
+/// (RNG-free: eval mode draws no randomness).
+pub fn readout(model: &Gcmae, collection: &GraphCollection, graphs_per_batch: usize) -> Matrix {
     let g = collection.len();
     let d = model.config().hidden_dim;
     let mut out = Matrix::zeros(g, d);
     let all: Vec<usize> = (0..g).collect();
     for chunk in all.chunks(graphs_per_batch.max(8)) {
         let batch = collection.batch(chunk);
-        let h = model.embed(&batch.graph, &batch.features, rng);
+        let h = model.encode(&batch.graph, &batch.features);
         // mean pool per segment
         let mut counts = vec![0.0f32; chunk.len()];
         let mut pooled = Matrix::zeros(chunk.len(), d);

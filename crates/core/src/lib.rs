@@ -15,12 +15,12 @@
 //! ## Example
 //!
 //! ```
-//! use gcmae_core::{train, GcmaeConfig};
+//! use gcmae_core::{GcmaeConfig, TrainSession};
 //! use gcmae_graph::generators::citation::{generate, CitationSpec};
 //!
 //! let ds = generate(&CitationSpec::cora().scaled(0.02), 0);
 //! let cfg = GcmaeConfig { epochs: 3, hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
-//! let out = train(&ds, &cfg, 0);
+//! let out = TrainSession::new(&cfg).seed(0).run(&ds).expect("unguarded runs cannot fail");
 //! assert_eq!(out.embeddings.rows(), ds.num_nodes());
 //! ```
 
@@ -29,14 +29,15 @@ pub mod encoder_variants;
 pub mod fault;
 pub mod graph_level;
 pub mod model;
+pub mod session;
 pub mod trainer;
 
 pub use config::{EncoderChoice, FaultTolerance, GcmaeConfig};
 pub use encoder_variants::{train_variant, EncoderVariant};
 pub use fault::{FaultPlan, RollbackEvent, StepFault, StepGuard, TrainError};
 pub use graph_level::train_graph_level;
-pub use model::{Gcmae, LossBreakdown};
-pub use trainer::{
-    resume_checked, train, train_checked, train_checked_traced, train_traced, EpochView,
-    TrainOutput,
-};
+pub use model::{Gcmae, LossBreakdown, StepReport};
+pub use session::TrainSession;
+#[allow(deprecated)]
+pub use trainer::{resume_checked, train, train_checked, train_checked_traced, train_traced};
+pub use trainer::{EpochView, TrainOutput};

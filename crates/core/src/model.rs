@@ -8,8 +8,8 @@ use gcmae_graph::augment::{drop_nodes, mask_node_features};
 use gcmae_graph::sampling::sample_nodes;
 use gcmae_graph::{Dataset, Graph};
 use gcmae_nn::{
-    clip_global_norm, load_inference, Act, Adam, Bytes, CheckpointError, Encoder, EncoderConfig,
-    GraphOps, Mlp, ParamStore, Session,
+    clip_global_norm, global_grad_norm, load_inference, Act, Adam, Bytes, CheckpointError, Encoder,
+    EncoderConfig, GraphOps, Mlp, ParamStore, Session,
 };
 use gcmae_tensor::ops::adj_recon::Weights;
 use gcmae_tensor::Matrix;
@@ -32,6 +32,17 @@ pub struct LossBreakdown {
     pub adj: f32,
     /// variance.
     pub variance: f32,
+}
+
+/// Everything one optimization step reports: the loss terms plus the
+/// pre-clip global gradient L2 norm (serial `f64` accumulation, so it is
+/// bit-identical at any thread count — safe to log on deterministic runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepReport {
+    /// Loss terms of this step.
+    pub loss: LossBreakdown,
+    /// Global L2 norm of all gradients before any clipping.
+    pub grad_norm: f32,
 }
 
 /// The GCMAE model (parameters + architecture).
@@ -72,9 +83,27 @@ impl Gcmae {
             dropout: 0.0,
         };
         let decoder = Encoder::new(&mut store, &dec_cfg, rng);
-        let proj1 = Mlp::new(&mut store, &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim], Act::Elu, rng);
-        let proj2 = Mlp::new(&mut store, &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim], Act::Elu, rng);
-        Self { store, encoder, decoder, proj1, proj2, cfg: cfg.clone(), in_dim }
+        let proj1 = Mlp::new(
+            &mut store,
+            &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim],
+            Act::Elu,
+            rng,
+        );
+        let proj2 = Mlp::new(
+            &mut store,
+            &[cfg.hidden_dim, cfg.hidden_dim, cfg.proj_dim],
+            Act::Elu,
+            rng,
+        );
+        Self {
+            store,
+            encoder,
+            decoder,
+            proj1,
+            proj2,
+            cfg: cfg.clone(),
+            in_dim,
+        }
     }
 
     /// The configuration this model was built with.
@@ -87,9 +116,9 @@ impl Gcmae {
         self.in_dim
     }
 
-    /// One optimization step on a (sub)graph. Algorithm 1 of the paper:
-    /// generate the two corrupted views, encode both with the shared
-    /// encoder, decode the MAE view, and combine the four losses.
+    /// Deprecated unguarded step; use [`Gcmae::step`] with
+    /// [`StepGuard::off`], which also reports the gradient norm.
+    #[deprecated(since = "0.5.0", note = "use Gcmae::step with StepGuard::off()")]
     pub fn train_step(
         &mut self,
         graph: &Graph,
@@ -97,21 +126,16 @@ impl Gcmae {
         adam: &mut Adam,
         rng: &mut StdRng,
     ) -> LossBreakdown {
-        match self.train_step_guarded(graph, features, adam, rng, &StepGuard::off()) {
-            Ok(b) => b,
+        match self.step(graph, features, adam, rng, &StepGuard::off()) {
+            Ok(r) => r.loss,
             // With every guard off there is nothing that can return Err.
             Err(f) => unreachable!("guards disabled but step faulted: {f}"),
         }
     }
 
-    /// [`Gcmae::train_step`] with divergence guards: scans every loss term
-    /// and every gradient for non-finite values *before* the optimizer
-    /// update, and optionally clips the global gradient norm. With
-    /// [`StepGuard::off`] this computes bit-identically to `train_step`.
-    ///
-    /// On `Err` the model and optimizer are untouched — the fault is
-    /// detected before `adam.step` runs, so the caller can retry or roll
-    /// back without restoring state it knows is clean.
+    /// Deprecated guarded step; use [`Gcmae::step`], which also reports the
+    /// gradient norm.
+    #[deprecated(since = "0.5.0", note = "use Gcmae::step")]
     pub fn train_step_guarded(
         &mut self,
         graph: &Graph,
@@ -120,6 +144,28 @@ impl Gcmae {
         rng: &mut StdRng,
         guard: &StepGuard,
     ) -> Result<LossBreakdown, StepFault> {
+        self.step(graph, features, adam, rng, guard).map(|r| r.loss)
+    }
+
+    /// One optimization step on a (sub)graph. Algorithm 1 of the paper:
+    /// generate the two corrupted views, encode both with the shared
+    /// encoder, decode the MAE view, and combine the four losses.
+    ///
+    /// Guards (see [`StepGuard`]) scan every loss term and every gradient
+    /// for non-finite values *before* the optimizer update and optionally
+    /// clip the global gradient norm; with [`StepGuard::off`] the update is
+    /// bit-identical and `Err` is impossible. On `Err` the model and
+    /// optimizer are untouched — the fault is detected before `adam.step`
+    /// runs, so the caller can retry or roll back without restoring state it
+    /// knows is clean.
+    pub fn step(
+        &mut self,
+        graph: &Graph,
+        features: &Matrix,
+        adam: &mut Adam,
+        rng: &mut StdRng,
+        guard: &StepGuard,
+    ) -> Result<StepReport, StepFault> {
         let cfg = self.cfg.clone();
         let n = graph.num_nodes();
         let mut sess = Session::new();
@@ -128,14 +174,19 @@ impl Gcmae {
         // T1: feature masking (MAE view).
         let masked = mask_node_features(features, cfg.p_mask, rng);
         let x1 = sess.tape.constant(masked.features);
-        let h1 = self.encoder.forward(&mut sess, &self.store, x1, &ops, true, rng);
+        let h1 = self
+            .encoder
+            .forward(&mut sess, &self.store, x1, &ops, true, rng);
 
         // MAE branch: re-mask hidden rows, decode, SCE against the input.
         let h1_rm = sess.tape.mask_rows(h1, masked.masked.clone());
-        let z = self.decoder.forward(&mut sess, &self.store, h1_rm, &ops, true, rng);
+        let z = self
+            .decoder
+            .forward(&mut sess, &self.store, h1_rm, &ops, true, rng);
         let target = Arc::new(features.clone());
-        let mut loss =
-            sess.tape.sce_loss(z, target, masked.masked.clone(), cfg.gamma);
+        let mut loss = sess
+            .tape
+            .sce_loss(z, target, masked.masked.clone(), cfg.gamma);
         let sce_v = sess.tape.value(loss).scalar_value();
 
         // Contrastive branch: node-dropped view through the shared encoder.
@@ -144,7 +195,9 @@ impl Gcmae {
             let dropped = drop_nodes(graph, features, cfg.p_drop, rng);
             let ops2 = GraphOps::new(&dropped.graph);
             let x2 = sess.tape.constant(dropped.features);
-            let h2 = self.encoder.forward(&mut sess, &self.store, x2, &ops2, true, rng);
+            let h2 = self
+                .encoder
+                .forward(&mut sess, &self.store, x2, &ops2, true, rng);
             let u_full = self.proj1.forward(&mut sess, &self.store, h1);
             let u_full = Act::Elu.apply(&mut sess, u_full);
             let v_full = self.proj2.forward(&mut sess, &self.store, h2);
@@ -192,8 +245,13 @@ impl Gcmae {
         if guard.poison_loss {
             total = f32::NAN;
         }
-        let breakdown =
-            LossBreakdown { total, sce: sce_v, contrast: contrast_v, adj: adj_v, variance: var_v };
+        let breakdown = LossBreakdown {
+            total,
+            sce: sce_v,
+            contrast: contrast_v,
+            adj: adj_v,
+            variance: var_v,
+        };
         if guard.check_finite {
             for (term, v) in [
                 ("total", breakdown.total),
@@ -224,36 +282,80 @@ impl Gcmae {
                 }
             }
         }
-        if guard.clip_norm > 0.0 {
-            clip_global_norm(&sess, &mut grads, guard.clip_norm);
-        }
+        // The pre-clip norm comes for free from the clip pass; without
+        // clipping it is a pure read over the gradients (nothing mutated),
+        // so reporting it cannot perturb the update.
+        let grad_norm = if guard.clip_norm > 0.0 {
+            clip_global_norm(&sess, &mut grads, guard.clip_norm)
+        } else {
+            global_grad_norm(&sess, &grads)
+        };
         adam.step(&mut self.store, &sess, &mut grads);
-        Ok(breakdown)
+        Ok(StepReport {
+            loss: breakdown,
+            grad_norm,
+        })
     }
 
-    /// Eval-mode node embeddings `H = f_E(A, X)` (no masking, no dropout).
+    /// Deprecated RNG-taking eval path; eval-mode forwards draw no
+    /// randomness, so use the RNG-free [`Gcmae::encode`] (bit-identical).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Gcmae::encode — eval mode never draws randomness"
+    )]
     pub fn embed(&self, graph: &Graph, features: &Matrix, rng: &mut StdRng) -> Matrix {
         let ops = GraphOps::new(graph);
         let mut sess = Session::new();
         let x = sess.tape.constant(features.clone());
-        let h = self.encoder.forward(&mut sess, &self.store, x, &ops, false, rng);
+        let h = self
+            .encoder
+            .forward(&mut sess, &self.store, x, &ops, false, rng);
         sess.tape.value(h).clone()
     }
 
-    /// Eval-mode decoder output (reconstructed features) for a dataset —
-    /// used by the link-prediction scorer which works on `Z` per §4.2.
+    /// Deprecated RNG-taking eval path; use the RNG-free [`Gcmae::decode`]
+    /// (bit-identical).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Gcmae::decode — eval mode never draws randomness"
+    )]
     pub fn reconstruct(&self, graph: &Graph, features: &Matrix, rng: &mut StdRng) -> Matrix {
         let ops = GraphOps::new(graph);
         let mut sess = Session::new();
         let x = sess.tape.constant(features.clone());
-        let h = self.encoder.forward(&mut sess, &self.store, x, &ops, false, rng);
-        let z = self.decoder.forward(&mut sess, &self.store, h, &ops, false, rng);
+        let h = self
+            .encoder
+            .forward(&mut sess, &self.store, x, &ops, false, rng);
+        let z = self
+            .decoder
+            .forward(&mut sess, &self.store, h, &ops, false, rng);
         sess.tape.value(z).clone()
     }
 
-    /// Convenience: embeddings for a [`Dataset`].
+    /// Deprecated RNG-taking eval path; use the RNG-free
+    /// [`Gcmae::encode_dataset`] (bit-identical).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Gcmae::encode_dataset — eval mode never draws randomness"
+    )]
     pub fn embed_dataset(&self, ds: &Dataset, rng: &mut StdRng) -> Matrix {
-        self.embed(&ds.graph, &ds.features, rng)
+        let _ = rng;
+        self.encode_dataset(ds)
+    }
+
+    /// Eval-mode reconstructed features `Z = f_D(A, f_E(A, X))` — used by
+    /// the link-prediction scorer which works on `Z` per §4.2. Tape-free and
+    /// RNG-free: eval mode applies no masking or dropout, so there is no
+    /// randomness to draw.
+    pub fn decode(&self, graph: &Graph, features: &Matrix) -> Matrix {
+        let ops = GraphOps::new(graph);
+        let h = self.encoder.encode(&self.store, features, &ops);
+        self.decoder.encode(&self.store, &h, &ops)
+    }
+
+    /// Eval-mode node embeddings for a [`Dataset`] (RNG-free, tape-free).
+    pub fn encode_dataset(&self, ds: &Dataset) -> Matrix {
+        self.encode(&ds.graph, &ds.features)
     }
 
     /// Number of encoder layers (the invalidation radius for cached
@@ -274,7 +376,8 @@ impl Gcmae {
     /// corresponding rows of [`Gcmae::encode`]. Takes pre-built [`GraphOps`]
     /// so a server can reuse cached message operators across queries.
     pub fn encode_rows(&self, ops: &GraphOps, features: &Matrix, targets: &[usize]) -> Matrix {
-        self.encoder.encode_rows(&self.store, features, ops, targets)
+        self.encoder
+            .encode_rows(&self.store, features, ops, targets)
     }
 
     /// Rebuilds a model from an inference (v1) or training (v2) checkpoint.
@@ -312,42 +415,84 @@ mod tests {
         generate(&CitationSpec::cora().scaled(0.02), 7)
     }
 
+    fn step_off(model: &mut Gcmae, ds: &Dataset, adam: &mut Adam, rng: &mut StdRng) -> StepReport {
+        model
+            .step(&ds.graph, &ds.features, adam, rng, &StepGuard::off())
+            .unwrap()
+    }
+
     #[test]
-    fn train_step_reduces_loss() {
+    fn step_reduces_loss_and_reports_grad_norm() {
         let ds = tiny();
-        let cfg = GcmaeConfig { hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+        let cfg = GcmaeConfig {
+            hidden_dim: 16,
+            proj_dim: 8,
+            ..GcmaeConfig::fast()
+        };
         let mut rng = seeded_rng(1);
         let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
         let mut adam = Adam::new(cfg.lr * 10.0, cfg.weight_decay);
         let mut first = None;
-        let mut last = LossBreakdown::default();
+        let mut last = StepReport::default();
         for _ in 0..15 {
-            last = model.train_step(&ds.graph, &ds.features, &mut adam, &mut rng);
-            first.get_or_insert(last.total);
-            assert!(last.total.is_finite());
+            last = step_off(&mut model, &ds, &mut adam, &mut rng);
+            first.get_or_insert(last.loss.total);
+            assert!(last.loss.total.is_finite());
+            assert!(last.grad_norm.is_finite() && last.grad_norm > 0.0);
         }
         assert!(
-            last.total < first.unwrap(),
+            last.loss.total < first.unwrap(),
             "loss did not decrease: {} -> {}",
             first.unwrap(),
-            last.total
+            last.loss.total
         );
     }
 
     #[test]
     fn loss_breakdown_components_are_populated() {
         let ds = tiny();
-        let cfg = GcmaeConfig { hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+        let cfg = GcmaeConfig {
+            hidden_dim: 16,
+            proj_dim: 8,
+            ..GcmaeConfig::fast()
+        };
         let mut rng = seeded_rng(2);
         let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
         let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
-        let b = model.train_step(&ds.graph, &ds.features, &mut adam, &mut rng);
+        let b = step_off(&mut model, &ds, &mut adam, &mut rng).loss;
         assert!(b.sce > 0.0);
         assert!(b.contrast > 0.0);
         // the relative-distance term is a log ratio and may be negative, so
         // only require the component to be present and finite
         assert!(b.adj != 0.0 && b.adj.is_finite());
         assert!(b.variance >= 0.0);
+    }
+
+    /// The deprecated step shims must keep computing exactly what `step`
+    /// computes (they share one body; this pins the delegation).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_step_shims_match_step_bitwise() {
+        let ds = tiny();
+        let cfg = GcmaeConfig {
+            hidden_dim: 16,
+            proj_dim: 8,
+            ..GcmaeConfig::fast()
+        };
+        let mut rng_a = seeded_rng(21);
+        let mut rng_b = seeded_rng(21);
+        let mut model_a = Gcmae::new(&cfg, ds.feature_dim(), &mut rng_a);
+        let mut model_b = Gcmae::new(&cfg, ds.feature_dim(), &mut rng_b);
+        let mut adam_a = Adam::new(cfg.lr, cfg.weight_decay);
+        let mut adam_b = Adam::new(cfg.lr, cfg.weight_decay);
+        for _ in 0..3 {
+            let a = model_a.train_step(&ds.graph, &ds.features, &mut adam_a, &mut rng_a);
+            let b = step_off(&mut model_b, &ds, &mut adam_b, &mut rng_b).loss;
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+        }
+        let ea = model_a.encode(&ds.graph, &ds.features);
+        let eb = model_b.encode(&ds.graph, &ds.features);
+        assert_eq!(ea.as_slice(), eb.as_slice());
     }
 
     #[test]
@@ -364,14 +509,17 @@ mod tests {
         let mut rng = seeded_rng(3);
         let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
         let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
-        let b = model.train_step(&ds.graph, &ds.features, &mut adam, &mut rng);
+        let b = step_off(&mut model, &ds, &mut adam, &mut rng).loss;
         assert_eq!(b.contrast, 0.0);
         assert_eq!(b.adj, 0.0);
         assert_eq!(b.variance, 0.0);
         assert!(b.sce > 0.0);
     }
 
+    /// RNG-free inference must be bit-identical to the deprecated
+    /// RNG-taking tape paths, for every encoder kind and for the decoder.
     #[test]
+    #[allow(deprecated)]
     fn encode_matches_embed_bitwise() {
         let ds = tiny();
         for encoder in [
@@ -380,16 +528,32 @@ mod tests {
             EncoderChoice::Gat { heads: 2 },
             EncoderChoice::Gin,
         ] {
-            let cfg = GcmaeConfig { encoder, hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+            let cfg = GcmaeConfig {
+                encoder,
+                hidden_dim: 16,
+                proj_dim: 8,
+                ..GcmaeConfig::fast()
+            };
             let mut rng = seeded_rng(11);
             let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
             let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
             for _ in 0..3 {
-                model.train_step(&ds.graph, &ds.features, &mut adam, &mut rng);
+                model
+                    .step(
+                        &ds.graph,
+                        &ds.features,
+                        &mut adam,
+                        &mut rng,
+                        &StepGuard::off(),
+                    )
+                    .unwrap();
             }
             let tape = model.embed(&ds.graph, &ds.features, &mut rng);
             let fast = model.encode(&ds.graph, &ds.features);
             assert_eq!(tape.as_slice(), fast.as_slice(), "{encoder:?}");
+            let tape_z = model.reconstruct(&ds.graph, &ds.features, &mut rng);
+            let fast_z = model.decode(&ds.graph, &ds.features);
+            assert_eq!(tape_z.as_slice(), fast_z.as_slice(), "{encoder:?} decoder");
             let ops = gcmae_nn::GraphOps::new(&ds.graph);
             let targets = [3usize, 0, 3, ds.num_nodes() - 1];
             let rows = model.encode_rows(&ops, &ds.features, &targets);
@@ -402,12 +566,16 @@ mod tests {
     #[test]
     fn from_inference_restores_encoder_bitwise() {
         let ds = tiny();
-        let cfg = GcmaeConfig { hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+        let cfg = GcmaeConfig {
+            hidden_dim: 16,
+            proj_dim: 8,
+            ..GcmaeConfig::fast()
+        };
         let mut rng = seeded_rng(12);
         let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
         let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
         for _ in 0..3 {
-            model.train_step(&ds.graph, &ds.features, &mut adam, &mut rng);
+            step_off(&mut model, &ds, &mut adam, &mut rng);
         }
         let ckpt = gcmae_nn::serialize::save_params(&model.store);
         let restored = Gcmae::from_inference(&cfg, ds.feature_dim(), &ckpt).unwrap();
@@ -418,14 +586,21 @@ mod tests {
     }
 
     #[test]
-    fn embed_is_deterministic_in_eval_mode() {
+    #[allow(deprecated)]
+    fn encode_dataset_is_deterministic_and_matches_embed_dataset() {
         let ds = tiny();
-        let cfg = GcmaeConfig { hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+        let cfg = GcmaeConfig {
+            hidden_dim: 16,
+            proj_dim: 8,
+            ..GcmaeConfig::fast()
+        };
         let mut rng = seeded_rng(4);
         let model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
-        let e1 = model.embed_dataset(&ds, &mut rng);
-        let e2 = model.embed_dataset(&ds, &mut rng);
+        let e1 = model.encode_dataset(&ds);
+        let e2 = model.encode_dataset(&ds);
         assert_eq!(e1.max_abs_diff(&e2), 0.0);
         assert_eq!(e1.shape(), (ds.num_nodes(), 16));
+        let legacy = model.embed_dataset(&ds, &mut rng);
+        assert_eq!(legacy.as_slice(), e1.as_slice());
     }
 }

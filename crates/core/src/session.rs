@@ -1,0 +1,643 @@
+//! The unified training entrypoint: [`TrainSession`].
+//!
+//! One builder replaces the old `train` / `train_checked` /
+//! `train_checked_traced` / `resume_checked` family (all still available as
+//! deprecated shims in [`crate::trainer`]):
+//!
+//! ```
+//! use gcmae_core::{GcmaeConfig, TrainSession};
+//! use gcmae_graph::generators::citation::{generate, CitationSpec};
+//!
+//! let ds = generate(&CitationSpec::cora().scaled(0.02), 0);
+//! let cfg = GcmaeConfig { epochs: 3, hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+//! let out = TrainSession::new(&cfg).seed(0).run(&ds).unwrap();
+//! assert_eq!(out.embeddings.rows(), ds.num_nodes());
+//! ```
+//!
+//! Two execution regimes, chosen by the builder:
+//!
+//! * **Unguarded** (default): the original single-RNG loop. Cheapest, but a
+//!   `NaN` poisons the run silently and a crash loses it.
+//! * **Guarded** (after [`TrainSession::guards`] or
+//!   [`TrainSession::resume_from`]): every step is scanned for non-finite
+//!   losses/gradients, kernel panics are contained, faults roll back to the
+//!   last good checkpoint with learning-rate backoff, and each epoch draws
+//!   from its own `(seed, epoch)` RNG stream so resumed runs replay the bit
+//!   pattern of uninterrupted ones.
+//!
+//! Telemetry ([`TrainSession::observer`]) is a pure tap in either regime:
+//! observers only read values the loop already computed, so attaching one —
+//! including [`gcmae_obs::NoopObserver`] — leaves every output bit-identical.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gcmae_graph::sampling::walk_subgraph;
+use gcmae_graph::Dataset;
+use gcmae_nn::{load_train_state, save_train_state, Adam, Bytes, TrainMeta};
+use gcmae_obs::{Observer, Value};
+use rand::rngs::StdRng;
+
+use crate::config::{FaultTolerance, GcmaeConfig};
+use crate::fault::{self, FaultPlan, RollbackEvent, StepFault, StepGuard, TrainError};
+use crate::model::{seeded_rng, Gcmae, LossBreakdown, StepReport};
+use crate::trainer::{EpochView, TrainOutput};
+
+/// Builder for one training run. See the [module docs](self) for the two
+/// execution regimes; `run` consumes the builder.
+pub struct TrainSession<'a> {
+    cfg: GcmaeConfig,
+    seed: u64,
+    guards: Option<FaultTolerance>,
+    observer: Option<Arc<dyn Observer>>,
+    resume_from: Option<Bytes>,
+    plan: FaultPlan,
+    #[allow(clippy::type_complexity)]
+    on_epoch: Option<Box<dyn FnMut(usize, &EpochView) + 'a>>,
+}
+
+impl<'a> TrainSession<'a> {
+    /// Starts configuring a run with `cfg` (seed 0, no guards, no observer).
+    pub fn new(cfg: &GcmaeConfig) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            seed: 0,
+            guards: None,
+            observer: None,
+            resume_from: None,
+            plan: FaultPlan::default(),
+            on_epoch: None,
+        }
+    }
+
+    /// Sets the RNG seed (ignored when resuming — the checkpoint carries
+    /// its own seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the guarded regime with the given fault-tolerance policy.
+    pub fn guards(mut self, ft: &FaultTolerance) -> Self {
+        self.guards = Some(ft.clone());
+        self
+    }
+
+    /// Attaches a telemetry observer. The session emits a `train.step`
+    /// event per optimizer step (all four loss terms, gradient norm,
+    /// learning rate) and a `train.rollback` event per recovery; it never
+    /// feeds anything back into the run, so outputs stay bit-identical.
+    pub fn observer(mut self, obs: Arc<dyn Observer>) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Resumes from v2 training-state bytes (see [`EpochView::checkpoint`]).
+    /// Implies the guarded regime (with [`FaultTolerance::default`] unless
+    /// [`TrainSession::guards`] is also set); the continuation is
+    /// bit-identical to the uninterrupted guarded run.
+    pub fn resume_from(mut self, state: Bytes) -> Self {
+        self.resume_from = Some(state);
+        self
+    }
+
+    /// Registers a per-epoch callback. In the guarded regime
+    /// [`EpochView::checkpoint`] bytes resume bit-identically; a checkpoint
+    /// taken from an unguarded session resumes under guarded RNG streams
+    /// instead (the unguarded loop threads one RNG and its state is not
+    /// serializable).
+    pub fn on_epoch(mut self, f: impl FnMut(usize, &EpochView) + 'a) -> Self {
+        self.on_epoch = Some(Box::new(f));
+        self
+    }
+
+    /// Test-only deterministic fault injection; hidden because production
+    /// code has no business injecting faults.
+    #[doc(hidden)]
+    pub fn inject_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Runs the session to completion. Only the guarded regime can fail;
+    /// an unguarded session always returns `Ok`.
+    pub fn run(mut self, ds: &Dataset) -> Result<TrainOutput, TrainError> {
+        if self.guards.is_some() || self.resume_from.is_some() {
+            let ft = self.guards.take().unwrap_or_default();
+            self.run_guarded(ds, &ft)
+        } else {
+            Ok(self.run_unguarded(ds))
+        }
+    }
+
+    /// The original unchecked loop: one RNG threads through everything.
+    fn run_unguarded(mut self, ds: &Dataset) -> TrainOutput {
+        let seed = self.seed;
+        let mut rng = seeded_rng(seed);
+        let mut model = Gcmae::new(&self.cfg, ds.feature_dim(), &mut rng);
+        let mut adam = Adam::new(self.cfg.lr, self.cfg.weight_decay);
+        let mut history = Vec::with_capacity(self.cfg.epochs);
+        let start = Instant::now();
+        for epoch in 0..self.cfg.epochs {
+            let breakdown = run_one_epoch(
+                &mut model,
+                &mut adam,
+                ds,
+                &self.cfg,
+                &StepGuard::off(),
+                &mut rng,
+                self.observer.as_deref(),
+                epoch,
+            )
+            .unwrap_or_else(|f| unreachable!("guards disabled but step faulted: {f}"));
+            history.push(breakdown);
+            if let Some(f) = self.on_epoch.as_mut() {
+                let meta = TrainMeta {
+                    epoch: epoch as u64 + 1,
+                    adam_step: adam.step_count(),
+                    lr: adam.lr,
+                    rng_seed: seed,
+                    retries_used: 0,
+                };
+                f(
+                    epoch,
+                    &EpochView {
+                        model: &model,
+                        meta,
+                    },
+                );
+            }
+        }
+        let train_seconds = start.elapsed().as_secs_f64();
+        let embeddings = model.encode_dataset(ds);
+        TrainOutput {
+            embeddings,
+            history,
+            train_seconds,
+            model,
+            rollbacks: vec![],
+        }
+    }
+
+    /// The guarded loop: checkpoint/rollback recovery with per-epoch RNG
+    /// streams.
+    fn run_guarded(mut self, ds: &Dataset, ft: &FaultTolerance) -> Result<TrainOutput, TrainError> {
+        let cfg = self.cfg.clone();
+        let mut plan = self.plan.clone();
+        // The architecture is deterministic in `cfg`; when resuming, the
+        // init draws below are overwritten wholesale by the checkpoint, so
+        // the init seed is moot.
+        let mut init_rng = seeded_rng(if self.resume_from.is_some() {
+            0
+        } else {
+            self.seed
+        });
+        let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut init_rng);
+        let start = match self.resume_from.take() {
+            Some(state) => load_train_state(&mut model.store, state)?,
+            None => TrainMeta {
+                epoch: 0,
+                adam_step: 0,
+                lr: cfg.lr,
+                rng_seed: self.seed,
+                retries_used: 0,
+            },
+        };
+
+        let seed = start.rng_seed;
+        let first_epoch = start.epoch as usize;
+        let mut adam = Adam::new(start.lr, cfg.weight_decay);
+        adam.set_step_count(start.adam_step);
+        let mut retries = start.retries_used;
+        let mut history: Vec<LossBreakdown> = vec![];
+        let mut rollbacks = vec![];
+        let timer = Instant::now();
+        let obs = self.observer.clone();
+
+        let meta_at = |epoch: usize, adam: &Adam, retries: u32| TrainMeta {
+            epoch: epoch as u64,
+            adam_step: adam.step_count(),
+            lr: adam.lr,
+            rng_seed: seed,
+            retries_used: retries,
+        };
+        // The rollback target must exist before the first step, so a
+        // divergence at epoch 0 still has somewhere to go.
+        let mut good = save_train_state(&model.store, &meta_at(first_epoch, &adam, retries));
+        let mut good_epoch = first_epoch;
+        if plan.truncate_checkpoint {
+            good = good.slice(0..good.len() / 2);
+        }
+
+        let mut epoch = first_epoch;
+        while epoch < cfg.epochs {
+            let guard = StepGuard {
+                check_finite: true,
+                clip_norm: ft.clip_norm,
+                poison_loss: plan.nan_loss_at.take_if(|&mut e| e == epoch).is_some(),
+                poison_grad: plan.nan_grad_at.take_if(|&mut e| e == epoch).is_some(),
+            };
+            let detonate = plan.panic_at.take_if(|&mut e| e == epoch).is_some();
+
+            let mut rng = epoch_rng(seed, epoch);
+            // A panic mid-step can leave a half-applied optimizer update
+            // behind; that is fine because the only way forward from here is
+            // a full state restore from `good`.
+            let step = catch_unwind(AssertUnwindSafe(|| {
+                if detonate {
+                    fault::detonate_parallel_panic();
+                }
+                run_one_epoch(
+                    &mut model,
+                    &mut adam,
+                    ds,
+                    &cfg,
+                    &guard,
+                    &mut rng,
+                    obs.as_deref(),
+                    epoch,
+                )
+            }));
+            let fault = match step {
+                Ok(Ok(breakdown)) => {
+                    history.push(breakdown);
+                    epoch += 1;
+                    if let Some(f) = self.on_epoch.as_mut() {
+                        f(
+                            epoch - 1,
+                            &EpochView {
+                                model: &model,
+                                meta: meta_at(epoch, &adam, retries),
+                            },
+                        );
+                    }
+                    if ft.checkpoint_every > 0 && (epoch - first_epoch) % ft.checkpoint_every == 0 {
+                        good = save_train_state(&model.store, &meta_at(epoch, &adam, retries));
+                        good_epoch = epoch;
+                    }
+                    continue;
+                }
+                Ok(Err(fault)) => fault,
+                Err(payload) => StepFault::KernelPanic {
+                    message: panic_message(payload),
+                },
+            };
+
+            if retries >= ft.max_retries {
+                return Err(TrainError::RetriesExhausted {
+                    epoch,
+                    retries,
+                    last: fault,
+                });
+            }
+            retries += 1;
+            // Back off relative to the *current* lr so consecutive rollbacks
+            // onto the same checkpoint keep compounding.
+            let lr_after = adam.lr * ft.lr_backoff;
+            let restored = load_train_state(&mut model.store, good.clone())?;
+            adam.set_step_count(restored.adam_step);
+            adam.lr = lr_after;
+            history.truncate(good_epoch - first_epoch);
+            if let Some(o) = obs.as_deref() {
+                o.event(
+                    "train.rollback",
+                    &[
+                        ("at_epoch", Value::U64(epoch as u64)),
+                        ("restored_epoch", Value::U64(good_epoch as u64)),
+                        ("lr_after", Value::F64(f64::from(lr_after))),
+                        ("fault", Value::Str(fault.to_string())),
+                    ],
+                );
+            }
+            rollbacks.push(RollbackEvent {
+                at_epoch: epoch,
+                restored_epoch: good_epoch,
+                lr_after,
+                fault,
+            });
+            epoch = good_epoch;
+        }
+
+        let train_seconds = timer.elapsed().as_secs_f64();
+        let embeddings = model.encode_dataset(ds);
+        Ok(TrainOutput {
+            embeddings,
+            history,
+            train_seconds,
+            model,
+            rollbacks,
+        })
+    }
+}
+
+/// RNG stream for one epoch of a guarded run. Deriving a fresh stream from
+/// `(seed, epoch)` makes "the RNG state at epoch k" a pure function of two
+/// integers — which is exactly what lets a resumed run replay the bit
+/// pattern of an uninterrupted one without serializing generator internals.
+pub(crate) fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+    use rand::SeedableRng;
+    let stream = seed ^ (epoch as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03);
+    StdRng::seed_from_u64(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// One epoch — full-graph or random-walk subgraph batches, every step
+/// through the guard. Injected poisons only apply to the first batch so a
+/// fault fires exactly once. Each completed step is reported to `obs` as a
+/// `train.step` event (a pure read of the step's results).
+#[allow(clippy::too_many_arguments)]
+fn run_one_epoch(
+    model: &mut Gcmae,
+    adam: &mut Adam,
+    ds: &Dataset,
+    cfg: &GcmaeConfig,
+    guard: &StepGuard,
+    rng: &mut StdRng,
+    obs: Option<&dyn Observer>,
+    epoch: usize,
+) -> Result<LossBreakdown, StepFault> {
+    let n = ds.num_nodes();
+    let use_batches = cfg.batch_nodes > 0 && cfg.batch_nodes < n;
+    if !use_batches {
+        let report = model.step(&ds.graph, &ds.features, adam, rng, guard)?;
+        emit_step(obs, epoch, 0, &report, adam.lr);
+        return Ok(report.loss);
+    }
+    let batches = n.div_ceil(cfg.batch_nodes).max(1);
+    let mut acc = LossBreakdown::default();
+    for i in 0..batches {
+        let batch = walk_subgraph(ds, cfg.batch_nodes, rng);
+        let g = if i == 0 {
+            guard.clone()
+        } else {
+            StepGuard {
+                poison_loss: false,
+                poison_grad: false,
+                ..guard.clone()
+            }
+        };
+        let report = model.step(&batch.data.graph, &batch.data.features, adam, rng, &g)?;
+        emit_step(obs, epoch, i, &report, adam.lr);
+        let b = report.loss;
+        acc.total += b.total / batches as f32;
+        acc.sce += b.sce / batches as f32;
+        acc.contrast += b.contrast / batches as f32;
+        acc.adj += b.adj / batches as f32;
+        acc.variance += b.variance / batches as f32;
+    }
+    Ok(acc)
+}
+
+fn emit_step(obs: Option<&dyn Observer>, epoch: usize, step: usize, r: &StepReport, lr: f32) {
+    let Some(o) = obs else { return };
+    o.event(
+        "train.step",
+        &[
+            ("epoch", Value::U64(epoch as u64)),
+            ("step", Value::U64(step as u64)),
+            ("total", Value::F64(f64::from(r.loss.total))),
+            ("sce", Value::F64(f64::from(r.loss.sce))),
+            ("contrast", Value::F64(f64::from(r.loss.contrast))),
+            ("adj", Value::F64(f64::from(r.loss.adj))),
+            ("variance", Value::F64(f64::from(r.loss.variance))),
+            ("grad_norm", Value::F64(f64::from(r.grad_norm))),
+            ("lr", Value::F64(f64::from(lr))),
+        ],
+    );
+    o.gauge_set("train.lr", f64::from(lr));
+    o.histogram_record("train.grad_norm", f64::from(r.grad_norm));
+}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcmae_graph::generators::citation::{generate, CitationSpec};
+    use gcmae_obs::{NoopObserver, Registry};
+    use std::sync::Mutex;
+
+    fn tiny() -> Dataset {
+        generate(&CitationSpec::cora().scaled(0.02), 11)
+    }
+
+    fn small_cfg(epochs: usize) -> GcmaeConfig {
+        GcmaeConfig {
+            hidden_dim: 8,
+            proj_dim: 4,
+            epochs,
+            ..GcmaeConfig::fast()
+        }
+    }
+
+    /// Captures every event for asserting on the stream shape.
+    #[derive(Default)]
+    struct EventLog(Mutex<Vec<(String, Vec<(String, Value)>)>>);
+
+    impl Observer for EventLog {
+        fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+            let fields = fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect();
+            self.0.lock().expect("log").push((name.to_string(), fields));
+        }
+    }
+
+    #[test]
+    fn unguarded_session_matches_legacy_train_bitwise() {
+        let ds = tiny();
+        let cfg = small_cfg(5);
+        #[allow(deprecated)]
+        let legacy = crate::trainer::train(&ds, &cfg, 3);
+        let new = TrainSession::new(&cfg)
+            .seed(3)
+            .run(&ds)
+            .expect("unguarded never fails");
+        assert_eq!(legacy.embeddings.max_abs_diff(&new.embeddings), 0.0);
+        assert_eq!(legacy.history.len(), new.history.len());
+        for (a, b) in legacy.history.iter().zip(&new.history) {
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+        }
+    }
+
+    #[test]
+    fn noop_observer_is_bit_invisible() {
+        let ds = tiny();
+        let cfg = small_cfg(4);
+        let bare = TrainSession::new(&cfg).seed(7).run(&ds).expect("ok");
+        let observed = TrainSession::new(&cfg)
+            .seed(7)
+            .observer(Arc::new(NoopObserver))
+            .run(&ds)
+            .expect("ok");
+        assert_eq!(bare.embeddings.max_abs_diff(&observed.embeddings), 0.0);
+        for (a, b) in bare.history.iter().zip(&observed.history) {
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+        }
+    }
+
+    #[test]
+    fn step_events_carry_all_loss_terms() {
+        let ds = tiny();
+        let cfg = small_cfg(3);
+        let log = Arc::new(EventLog::default());
+        let out = TrainSession::new(&cfg)
+            .seed(5)
+            .observer(log.clone())
+            .run(&ds)
+            .expect("ok");
+        let events = log.0.lock().expect("log");
+        let steps: Vec<_> = events.iter().filter(|(n, _)| n == "train.step").collect();
+        assert_eq!(
+            steps.len(),
+            out.history.len(),
+            "one step per epoch on the full graph"
+        );
+        for (_, fields) in &steps {
+            for key in [
+                "epoch",
+                "step",
+                "total",
+                "sce",
+                "contrast",
+                "adj",
+                "variance",
+                "grad_norm",
+                "lr",
+            ] {
+                assert!(fields.iter().any(|(k, _)| k == key), "missing field {key}");
+            }
+            let grad_norm = fields
+                .iter()
+                .find(|(k, _)| k == "grad_norm")
+                .and_then(|(_, v)| match v {
+                    Value::F64(x) => Some(*x),
+                    _ => None,
+                })
+                .expect("grad_norm value");
+            assert!(grad_norm.is_finite() && grad_norm > 0.0);
+        }
+    }
+
+    #[test]
+    fn guarded_session_matches_legacy_checked_bitwise() {
+        let ds = tiny();
+        let cfg = small_cfg(6);
+        let ft = FaultTolerance::default();
+        #[allow(deprecated)]
+        let legacy = crate::trainer::train_checked(&ds, &cfg, 9, &ft).expect("ok");
+        let new = TrainSession::new(&cfg)
+            .seed(9)
+            .guards(&ft)
+            .run(&ds)
+            .expect("ok");
+        assert_eq!(legacy.embeddings.max_abs_diff(&new.embeddings), 0.0);
+        assert!(new.rollbacks.is_empty());
+    }
+
+    #[test]
+    fn rollback_events_are_reported() {
+        let ds = tiny();
+        let cfg = small_cfg(6);
+        let ft = FaultTolerance {
+            checkpoint_every: 2,
+            ..FaultTolerance::default()
+        };
+        let plan = FaultPlan {
+            nan_loss_at: Some(3),
+            ..FaultPlan::default()
+        };
+        let log = Arc::new(EventLog::default());
+        let reg = Arc::new(Registry::new());
+        let fan = Arc::new(gcmae_obs::Fanout(vec![
+            log.clone() as Arc<dyn Observer>,
+            reg.clone() as Arc<dyn Observer>,
+        ]));
+        let out = TrainSession::new(&cfg)
+            .seed(11)
+            .guards(&ft)
+            .observer(fan)
+            .inject_faults(plan)
+            .run(&ds)
+            .expect("recovers");
+        assert_eq!(out.rollbacks.len(), 1);
+        let events = log.0.lock().expect("log");
+        let rb: Vec<_> = events
+            .iter()
+            .filter(|(n, _)| n == "train.rollback")
+            .collect();
+        assert_eq!(rb.len(), 1);
+        let fields = &rb[0].1;
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "at_epoch" && *v == Value::U64(3)));
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "restored_epoch" && *v == Value::U64(2)));
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "fault" && matches!(v, Value::Str(s) if s.contains("total"))));
+        // the aggregating half of the fanout counted the same event
+        assert_eq!(reg.counter_value("train.rollback"), 1);
+        assert!(reg.counter_value("train.step") as usize >= out.history.len());
+    }
+
+    #[test]
+    fn resume_via_builder_replays_bit_for_bit() {
+        let ds = tiny();
+        let cfg = small_cfg(8);
+        let ft = FaultTolerance::default();
+        let snapshot = Mutex::new(None);
+        let full = TrainSession::new(&cfg)
+            .seed(10)
+            .guards(&ft)
+            .on_epoch(|e, view| {
+                if e == 3 {
+                    *snapshot.lock().expect("snap") = Some(view.checkpoint());
+                }
+            })
+            .run(&ds)
+            .expect("ok");
+        let state = snapshot.into_inner().expect("snap").expect("taken");
+        let resumed = TrainSession::new(&cfg)
+            .guards(&ft)
+            .resume_from(state)
+            .run(&ds)
+            .expect("ok");
+        assert_eq!(resumed.history.len(), 4, "epochs 4..8 re-run");
+        assert_eq!(full.embeddings.max_abs_diff(&resumed.embeddings), 0.0);
+        for (a, b) in full.history[4..].iter().zip(&resumed.history) {
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_session_emits_one_event_per_step() {
+        let ds = tiny();
+        let cfg = GcmaeConfig {
+            batch_nodes: 24,
+            adj_sample: 16,
+            contrast_sample: 16,
+            ..small_cfg(2)
+        };
+        let log = Arc::new(EventLog::default());
+        let _ = TrainSession::new(&cfg)
+            .seed(6)
+            .observer(log.clone())
+            .run(&ds)
+            .expect("ok");
+        let events = log.0.lock().expect("log");
+        let steps = events.iter().filter(|(n, _)| n == "train.step").count();
+        let batches = ds.num_nodes().div_ceil(cfg.batch_nodes).max(1);
+        assert_eq!(steps, batches * cfg.epochs);
+    }
+}

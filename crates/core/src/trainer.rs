@@ -1,32 +1,30 @@
-//! Training drivers: full-graph and subgraph-sampled (large graphs, §4.4),
-//! with an optional per-epoch callback for trajectory experiments
-//! (Figure 4).
+//! Legacy training entrypoints, now thin deprecated shims over
+//! [`crate::session::TrainSession`], plus the output/view types the session
+//! returns.
 //!
-//! Two families:
+//! The old API grew four overlapping drivers (`train`, `train_checked`,
+//! `train_checked_traced`, `resume_checked`); the builder expresses all of
+//! them — and telemetry — through one entrypoint:
 //!
-//! * [`train`] / [`train_traced`] — the original unchecked loop. One RNG
-//!   threads through everything; cheap, but a crash loses the run and a
-//!   `NaN` poisons it silently.
-//! * [`train_checked`] / [`resume_checked`] — the fault-tolerant loop.
-//!   Every step is scanned for non-finite losses/gradients, kernel panics
-//!   are caught at the epoch boundary, and any fault rolls the run back to
-//!   the last good checkpoint with learning-rate backoff (up to a retry
-//!   budget). Each epoch draws from its own RNG stream derived from
-//!   `(seed, epoch)`, so a run resumed from a v2 checkpoint replays the
-//!   exact bit pattern of an uninterrupted run.
+//! | legacy call | builder equivalent |
+//! |---|---|
+//! | `train(ds, cfg, seed)` | `TrainSession::new(cfg).seed(seed).run(ds)` |
+//! | `train_traced(ds, cfg, seed, f)` | `… .on_epoch(\|e, v\| f(e, v.model)).run(ds)` |
+//! | `train_checked(ds, cfg, seed, ft)` | `… .guards(ft).run(ds)` |
+//! | `train_checked_traced(ds, cfg, seed, ft, f)` | `… .guards(ft).on_epoch(f).run(ds)` |
+//! | `resume_checked(ds, cfg, state, ft)` | `… .guards(ft).resume_from(state).run(ds)` |
+//!
+//! Every shim delegates, so behavior (including bit-exact RNG streams) is
+//! unchanged; they will be removed once external callers migrate.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
-
-use gcmae_graph::sampling::walk_subgraph;
 use gcmae_graph::Dataset;
-use gcmae_nn::{load_train_state, save_train_state, Adam, Bytes, TrainMeta};
+use gcmae_nn::{save_train_state, Bytes, TrainMeta};
 use gcmae_tensor::Matrix;
-use rand::rngs::StdRng;
 
 use crate::config::{FaultTolerance, GcmaeConfig};
-use crate::fault::{self, FaultPlan, RollbackEvent, StepFault, StepGuard, TrainError};
-use crate::model::{seeded_rng, Gcmae, LossBreakdown};
+use crate::fault::{FaultPlan, RollbackEvent, TrainError};
+use crate::model::{Gcmae, LossBreakdown};
+use crate::session::TrainSession;
 
 /// Result of a pre-training run.
 pub struct TrainOutput {
@@ -38,92 +36,78 @@ pub struct TrainOutput {
     pub train_seconds: f64,
     /// The trained model (for link prediction / reconstruction).
     pub model: Gcmae,
-    /// Recovery actions taken (always empty for the unchecked trainers).
+    /// Recovery actions taken (always empty for unguarded sessions).
     pub rollbacks: Vec<RollbackEvent>,
 }
 
-/// Pre-trains GCMAE on a dataset.
-pub fn train(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> TrainOutput {
-    train_traced(ds, cfg, seed, |_, _| {})
+/// What a training session shows its per-epoch callback.
+pub struct EpochView<'a> {
+    /// The model after this epoch's update.
+    pub model: &'a Gcmae,
+    pub(crate) meta: TrainMeta,
 }
 
-/// Pre-trains with a per-epoch callback `(epoch, model)`; the callback can
-/// compute eval-mode embeddings when needed (Figure 4 does this every few
-/// epochs).
+impl EpochView<'_> {
+    /// Serializes the full training state as of the end of this epoch
+    /// (checkpoint format v2). Feeding these bytes to
+    /// [`TrainSession::resume_from`] continues a guarded run
+    /// bit-identically.
+    pub fn checkpoint(&self) -> Bytes {
+        save_train_state(&self.model.store, &self.meta)
+    }
+}
+
+/// Pre-trains GCMAE on a dataset.
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession::new(cfg).seed(seed).run(ds)"
+)]
+pub fn train(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> TrainOutput {
+    match TrainSession::new(cfg).seed(seed).run(ds) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unguarded session cannot fail: {e}"),
+    }
+}
+
+/// Pre-trains with a per-epoch callback `(epoch, model)`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession::new(cfg).on_epoch(...).run(ds)"
+)]
 pub fn train_traced(
     ds: &Dataset,
     cfg: &GcmaeConfig,
     seed: u64,
     mut on_epoch: impl FnMut(usize, &Gcmae),
 ) -> TrainOutput {
-    let mut rng = seeded_rng(seed);
-    let mut model = Gcmae::new(cfg, ds.feature_dim(), &mut rng);
-    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
-    let mut history = Vec::with_capacity(cfg.epochs);
-    let start = Instant::now();
-    let n = ds.num_nodes();
-    let use_batches = cfg.batch_nodes > 0 && cfg.batch_nodes < n;
-    for epoch in 0..cfg.epochs {
-        let breakdown = if use_batches {
-            // One pass ≈ the whole graph in random-walk subgraph batches.
-            let batches = n.div_ceil(cfg.batch_nodes).max(1);
-            let mut acc = LossBreakdown::default();
-            for _ in 0..batches {
-                let batch = walk_subgraph(ds, cfg.batch_nodes, &mut rng);
-                let b = model.train_step(
-                    &batch.data.graph,
-                    &batch.data.features,
-                    &mut adam,
-                    &mut rng,
-                );
-                acc.total += b.total / batches as f32;
-                acc.sce += b.sce / batches as f32;
-                acc.contrast += b.contrast / batches as f32;
-                acc.adj += b.adj / batches as f32;
-                acc.variance += b.variance / batches as f32;
-            }
-            acc
-        } else {
-            model.train_step(&ds.graph, &ds.features, &mut adam, &mut rng)
-        };
-        history.push(breakdown);
-        on_epoch(epoch, &model);
+    let session = TrainSession::new(cfg)
+        .seed(seed)
+        .on_epoch(move |e, view| on_epoch(e, view.model));
+    match session.run(ds) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unguarded session cannot fail: {e}"),
     }
-    let train_seconds = start.elapsed().as_secs_f64();
-    let embeddings = model.embed_dataset(ds, &mut rng);
-    TrainOutput { embeddings, history, train_seconds, model, rollbacks: vec![] }
-}
-
-/// RNG stream for one epoch of a checked run. Deriving a fresh stream from
-/// `(seed, epoch)` makes "the RNG state at epoch k" a pure function of two
-/// integers — which is exactly what lets a resumed run replay the bit
-/// pattern of an uninterrupted one without serializing generator internals.
-fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
-    use rand::SeedableRng;
-    let stream = seed ^ (epoch as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03);
-    StdRng::seed_from_u64(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 /// Pre-trains with divergence guards and checkpoint/rollback recovery.
-///
-/// Differences from [`train`]: every loss term and gradient is scanned for
-/// non-finite values, kernel panics are contained, and a detected fault
-/// rolls the run back to the last good checkpoint with the learning rate
-/// multiplied by `ft.lr_backoff` — up to `ft.max_retries` times before the
-/// run fails with [`TrainError::RetriesExhausted`]. Every recovery is
-/// recorded in [`TrainOutput::rollbacks`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession::new(cfg).guards(ft).run(ds)"
+)]
 pub fn train_checked(
     ds: &Dataset,
     cfg: &GcmaeConfig,
     seed: u64,
     ft: &FaultTolerance,
 ) -> Result<TrainOutput, TrainError> {
-    train_checked_injected(ds, cfg, seed, ft, FaultPlan::default(), |_, _| {})
+    TrainSession::new(cfg).seed(seed).guards(ft).run(ds)
 }
 
-/// [`train_checked`] with a per-epoch callback `(epoch, view)`; the view
-/// exposes the model and can serialize the full training state, so callers
-/// can persist resume points wherever they like.
+/// Guarded pre-training with a per-epoch callback `(epoch, view)`.
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession::new(cfg).guards(ft).on_epoch(...).run(ds)"
+)]
 pub fn train_checked_traced(
     ds: &Dataset,
     cfg: &GcmaeConfig,
@@ -131,10 +115,14 @@ pub fn train_checked_traced(
     ft: &FaultTolerance,
     on_epoch: impl FnMut(usize, &EpochView<'_>),
 ) -> Result<TrainOutput, TrainError> {
-    train_checked_injected(ds, cfg, seed, ft, FaultPlan::default(), on_epoch)
+    TrainSession::new(cfg)
+        .seed(seed)
+        .guards(ft)
+        .on_epoch(on_epoch)
+        .run(ds)
 }
 
-/// Test-only entry point: [`train_checked_traced`] plus a deterministic
+/// Test-only entry point: guarded training plus a deterministic
 /// [`FaultPlan`]. Public so the integration suite can exercise recovery,
 /// hidden because production code has no business injecting faults.
 #[doc(hidden)]
@@ -146,186 +134,38 @@ pub fn train_checked_injected(
     plan: FaultPlan,
     on_epoch: impl FnMut(usize, &EpochView<'_>),
 ) -> Result<TrainOutput, TrainError> {
-    let mut init_rng = seeded_rng(seed);
-    let model = Gcmae::new(cfg, ds.feature_dim(), &mut init_rng);
-    let start = TrainMeta { epoch: 0, adam_step: 0, lr: cfg.lr, rng_seed: seed, retries_used: 0 };
-    run_checked(ds, cfg, model, start, ft, plan, on_epoch)
+    TrainSession::new(cfg)
+        .seed(seed)
+        .guards(ft)
+        .inject_faults(plan)
+        .on_epoch(on_epoch)
+        .run(ds)
 }
 
-/// Resumes a checked run from v2 training-state bytes (see
+/// Resumes a guarded run from v2 training-state bytes (see
 /// [`EpochView::checkpoint`]). The continuation is bit-identical to the
-/// uninterrupted run: parameters, Adam moments and step count, learning
-/// rate, and per-epoch RNG streams all pick up exactly where the checkpoint
-/// left them.
+/// uninterrupted run.
+#[deprecated(
+    since = "0.5.0",
+    note = "use TrainSession::new(cfg).guards(ft).resume_from(state).run(ds)"
+)]
 pub fn resume_checked(
     ds: &Dataset,
     cfg: &GcmaeConfig,
     state: Bytes,
     ft: &FaultTolerance,
 ) -> Result<TrainOutput, TrainError> {
-    // The architecture is deterministic in `cfg`; the init draws below are
-    // overwritten wholesale by the checkpoint, so the init seed is moot.
-    let mut init_rng = seeded_rng(0);
-    let mut model = Gcmae::new(cfg, ds.feature_dim(), &mut init_rng);
-    let meta = load_train_state(&mut model.store, state)?;
-    run_checked(ds, cfg, model, meta, ft, FaultPlan::default(), |_, _| {})
+    TrainSession::new(cfg).guards(ft).resume_from(state).run(ds)
 }
 
-/// What the checked trainer shows its per-epoch callback.
-pub struct EpochView<'a> {
-    /// The model after this epoch's update.
-    pub model: &'a Gcmae,
-    meta: TrainMeta,
-}
-
-impl EpochView<'_> {
-    /// Serializes the full training state as of the end of this epoch
-    /// (checkpoint format v2). Feeding these bytes to [`resume_checked`]
-    /// continues the run bit-identically.
-    pub fn checkpoint(&self) -> Bytes {
-        save_train_state(&self.model.store, &self.meta)
-    }
-}
-
-fn run_checked(
-    ds: &Dataset,
-    cfg: &GcmaeConfig,
-    mut model: Gcmae,
-    start: TrainMeta,
-    ft: &FaultTolerance,
-    mut plan: FaultPlan,
-    mut on_epoch: impl FnMut(usize, &EpochView<'_>),
-) -> Result<TrainOutput, TrainError> {
-    let seed = start.rng_seed;
-    let first_epoch = start.epoch as usize;
-    let mut adam = Adam::new(start.lr, cfg.weight_decay);
-    adam.set_step_count(start.adam_step);
-    let mut retries = start.retries_used;
-    let mut history: Vec<LossBreakdown> = vec![];
-    let mut rollbacks = vec![];
-    let timer = Instant::now();
-
-    let meta_at = |epoch: usize, adam: &Adam, retries: u32| TrainMeta {
-        epoch: epoch as u64,
-        adam_step: adam.step_count(),
-        lr: adam.lr,
-        rng_seed: seed,
-        retries_used: retries,
-    };
-    // The rollback target must exist before the first step, so a divergence
-    // at epoch 0 still has somewhere to go.
-    let mut good = save_train_state(&model.store, &meta_at(first_epoch, &adam, retries));
-    let mut good_epoch = first_epoch;
-    if plan.truncate_checkpoint {
-        good = good.slice(0..good.len() / 2);
-    }
-
-    let mut epoch = first_epoch;
-    while epoch < cfg.epochs {
-        let guard = StepGuard {
-            check_finite: true,
-            clip_norm: ft.clip_norm,
-            poison_loss: plan.nan_loss_at.take_if(|&mut e| e == epoch).is_some(),
-            poison_grad: plan.nan_grad_at.take_if(|&mut e| e == epoch).is_some(),
-        };
-        let detonate = plan.panic_at.take_if(|&mut e| e == epoch).is_some();
-
-        let mut rng = epoch_rng(seed, epoch);
-        // A panic mid-step can leave a half-applied optimizer update behind;
-        // that is fine because the only way forward from here is a full
-        // state restore from `good`.
-        let step = catch_unwind(AssertUnwindSafe(|| {
-            if detonate {
-                fault::detonate_parallel_panic();
-            }
-            run_one_epoch(&mut model, &mut adam, ds, cfg, &guard, &mut rng)
-        }));
-        let fault = match step {
-            Ok(Ok(breakdown)) => {
-                history.push(breakdown);
-                epoch += 1;
-                on_epoch(epoch - 1, &EpochView { model: &model, meta: meta_at(epoch, &adam, retries) });
-                if ft.checkpoint_every > 0 && (epoch - first_epoch) % ft.checkpoint_every == 0 {
-                    good = save_train_state(&model.store, &meta_at(epoch, &adam, retries));
-                    good_epoch = epoch;
-                }
-                continue;
-            }
-            Ok(Err(fault)) => fault,
-            Err(payload) => StepFault::KernelPanic { message: panic_message(payload) },
-        };
-
-        if retries >= ft.max_retries {
-            return Err(TrainError::RetriesExhausted { epoch, retries, last: fault });
-        }
-        retries += 1;
-        // Back off relative to the *current* lr so consecutive rollbacks
-        // onto the same checkpoint keep compounding.
-        let lr_after = adam.lr * ft.lr_backoff;
-        let restored = load_train_state(&mut model.store, good.clone())?;
-        adam.set_step_count(restored.adam_step);
-        adam.lr = lr_after;
-        history.truncate(good_epoch - first_epoch);
-        rollbacks.push(RollbackEvent { at_epoch: epoch, restored_epoch: good_epoch, lr_after, fault });
-        epoch = good_epoch;
-    }
-
-    let train_seconds = timer.elapsed().as_secs_f64();
-    // Embeddings draw from the one-past-the-end stream so they are the same
-    // whether the run was interrupted or not.
-    let mut erng = epoch_rng(seed, cfg.epochs);
-    let embeddings = model.embed_dataset(ds, &mut erng);
-    Ok(TrainOutput { embeddings, history, train_seconds, model, rollbacks })
-}
-
-/// One epoch of the checked loop — same batching structure as
-/// [`train_traced`], but every step goes through the guard. Injected
-/// poisons only apply to the first batch so a fault fires exactly once.
-fn run_one_epoch(
-    model: &mut Gcmae,
-    adam: &mut Adam,
-    ds: &Dataset,
-    cfg: &GcmaeConfig,
-    guard: &StepGuard,
-    rng: &mut StdRng,
-) -> Result<LossBreakdown, StepFault> {
-    let n = ds.num_nodes();
-    let use_batches = cfg.batch_nodes > 0 && cfg.batch_nodes < n;
-    if !use_batches {
-        return model.train_step_guarded(&ds.graph, &ds.features, adam, rng, guard);
-    }
-    let batches = n.div_ceil(cfg.batch_nodes).max(1);
-    let mut acc = LossBreakdown::default();
-    for i in 0..batches {
-        let batch = walk_subgraph(ds, cfg.batch_nodes, rng);
-        let g = if i == 0 {
-            guard.clone()
-        } else {
-            StepGuard { poison_loss: false, poison_grad: false, ..guard.clone() }
-        };
-        let b = model.train_step_guarded(&batch.data.graph, &batch.data.features, adam, rng, &g)?;
-        acc.total += b.total / batches as f32;
-        acc.sce += b.sce / batches as f32;
-        acc.contrast += b.contrast / batches as f32;
-        acc.adj += b.adj / batches as f32;
-        acc.variance += b.variance / batches as f32;
-    }
-    Ok(acc)
-}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    match payload.downcast::<String>() {
-        Ok(s) => *s,
-        Err(p) => match p.downcast::<&'static str>() {
-            Ok(s) => (*s).to_string(),
-            Err(_) => "non-string panic payload".to_string(),
-        },
-    }
-}
-
+// The legacy suite stays on the shims on purpose: it pins that every
+// deprecated entry point still behaves exactly as before the collapse into
+// `TrainSession` (which has its own suite in `crate::session`).
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::fault::StepFault;
     use gcmae_graph::generators::citation::{generate, CitationSpec};
 
     fn tiny() -> Dataset {
@@ -335,7 +175,12 @@ mod tests {
     #[test]
     fn full_graph_training_converges() {
         let ds = tiny();
-        let cfg = GcmaeConfig { hidden_dim: 16, proj_dim: 8, epochs: 25, ..GcmaeConfig::fast() };
+        let cfg = GcmaeConfig {
+            hidden_dim: 16,
+            proj_dim: 8,
+            epochs: 25,
+            ..GcmaeConfig::fast()
+        };
         let out = train(&ds, &cfg, 1);
         assert_eq!(out.history.len(), 25);
         assert_eq!(out.embeddings.shape(), (ds.num_nodes(), 16));
@@ -365,7 +210,12 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let ds = tiny();
-        let cfg = GcmaeConfig { hidden_dim: 8, proj_dim: 4, epochs: 5, ..GcmaeConfig::fast() };
+        let cfg = GcmaeConfig {
+            hidden_dim: 8,
+            proj_dim: 4,
+            epochs: 5,
+            ..GcmaeConfig::fast()
+        };
         let a = train(&ds, &cfg, 3);
         let b = train(&ds, &cfg, 3);
         assert_eq!(a.embeddings.max_abs_diff(&b.embeddings), 0.0);
@@ -376,14 +226,24 @@ mod tests {
     #[test]
     fn callback_sees_every_epoch() {
         let ds = tiny();
-        let cfg = GcmaeConfig { hidden_dim: 8, proj_dim: 4, epochs: 7, ..GcmaeConfig::fast() };
+        let cfg = GcmaeConfig {
+            hidden_dim: 8,
+            proj_dim: 4,
+            epochs: 7,
+            ..GcmaeConfig::fast()
+        };
         let mut seen = vec![];
         let _ = train_traced(&ds, &cfg, 5, |e, _| seen.push(e));
         assert_eq!(seen, (0..7).collect::<Vec<_>>());
     }
 
     fn small_cfg(epochs: usize) -> GcmaeConfig {
-        GcmaeConfig { hidden_dim: 8, proj_dim: 4, epochs, ..GcmaeConfig::fast() }
+        GcmaeConfig {
+            hidden_dim: 8,
+            proj_dim: 4,
+            epochs,
+            ..GcmaeConfig::fast()
+        }
     }
 
     #[test]
@@ -422,8 +282,14 @@ mod tests {
     fn injected_nan_loss_rolls_back_with_lr_backoff() {
         let ds = tiny();
         let cfg = small_cfg(8);
-        let ft = FaultTolerance { checkpoint_every: 2, ..FaultTolerance::default() };
-        let plan = FaultPlan { nan_loss_at: Some(5), ..FaultPlan::default() };
+        let ft = FaultTolerance {
+            checkpoint_every: 2,
+            ..FaultTolerance::default()
+        };
+        let plan = FaultPlan {
+            nan_loss_at: Some(5),
+            ..FaultPlan::default()
+        };
         let out = train_checked_injected(&ds, &cfg, 11, &ft, plan, |_, _| {}).unwrap();
         assert_eq!(out.rollbacks.len(), 1);
         let rb = &out.rollbacks[0];
@@ -441,10 +307,16 @@ mod tests {
         let ds = tiny();
         let cfg = small_cfg(5);
         let ft = FaultTolerance::default();
-        let plan = FaultPlan { nan_grad_at: Some(2), ..FaultPlan::default() };
+        let plan = FaultPlan {
+            nan_grad_at: Some(2),
+            ..FaultPlan::default()
+        };
         let out = train_checked_injected(&ds, &cfg, 12, &ft, plan, |_, _| {}).unwrap();
         assert_eq!(out.rollbacks.len(), 1);
-        assert!(matches!(out.rollbacks[0].fault, StepFault::NonFiniteGradient { .. }));
+        assert!(matches!(
+            out.rollbacks[0].fault,
+            StepFault::NonFiniteGradient { .. }
+        ));
         assert!(out.history.iter().all(|b| b.total.is_finite()));
     }
 
@@ -453,12 +325,18 @@ mod tests {
         let ds = tiny();
         let cfg = small_cfg(5);
         let ft = FaultTolerance::default();
-        let plan = FaultPlan { panic_at: Some(1), ..FaultPlan::default() };
+        let plan = FaultPlan {
+            panic_at: Some(1),
+            ..FaultPlan::default()
+        };
         let out = train_checked_injected(&ds, &cfg, 13, &ft, plan, |_, _| {}).unwrap();
         assert_eq!(out.rollbacks.len(), 1);
         match &out.rollbacks[0].fault {
             StepFault::KernelPanic { message } => {
-                assert!(message.contains("injected parallel-job fault"), "payload: {message}")
+                assert!(
+                    message.contains("injected parallel-job fault"),
+                    "payload: {message}"
+                )
             }
             other => panic!("expected KernelPanic, got {other:?}"),
         }
@@ -469,13 +347,23 @@ mod tests {
     fn retry_budget_is_enforced() {
         let ds = tiny();
         let cfg = small_cfg(4);
-        let ft = FaultTolerance { max_retries: 0, ..FaultTolerance::default() };
-        let plan = FaultPlan { nan_loss_at: Some(1), ..FaultPlan::default() };
+        let ft = FaultTolerance {
+            max_retries: 0,
+            ..FaultTolerance::default()
+        };
+        let plan = FaultPlan {
+            nan_loss_at: Some(1),
+            ..FaultPlan::default()
+        };
         let Err(err) = train_checked_injected(&ds, &cfg, 14, &ft, plan, |_, _| {}) else {
             panic!("expected the run to fail")
         };
         match err {
-            TrainError::RetriesExhausted { epoch, retries, last } => {
+            TrainError::RetriesExhausted {
+                epoch,
+                retries,
+                last,
+            } => {
                 assert_eq!((epoch, retries), (1, 0));
                 assert_eq!(last, StepFault::NonFiniteLoss { term: "total" });
             }
@@ -487,21 +375,41 @@ mod tests {
     fn unusable_rollback_checkpoint_is_a_structured_error() {
         let ds = tiny();
         let cfg = small_cfg(4);
-        let ft = FaultTolerance { checkpoint_every: 0, ..FaultTolerance::default() };
-        let plan =
-            FaultPlan { nan_loss_at: Some(1), truncate_checkpoint: true, ..FaultPlan::default() };
+        let ft = FaultTolerance {
+            checkpoint_every: 0,
+            ..FaultTolerance::default()
+        };
+        let plan = FaultPlan {
+            nan_loss_at: Some(1),
+            truncate_checkpoint: true,
+            ..FaultPlan::default()
+        };
         let Err(err) = train_checked_injected(&ds, &cfg, 15, &ft, plan, |_, _| {}) else {
             panic!("expected the run to fail")
         };
-        assert!(matches!(err, TrainError::Checkpoint(gcmae_nn::CheckpointError::Truncated)), "{err}");
+        assert!(
+            matches!(
+                err,
+                TrainError::Checkpoint(gcmae_nn::CheckpointError::Truncated)
+            ),
+            "{err}"
+        );
     }
 
     #[test]
     fn checked_batched_path_guards_every_step() {
         let ds = tiny();
-        let cfg = GcmaeConfig { batch_nodes: 24, adj_sample: 16, contrast_sample: 16, ..small_cfg(4) };
+        let cfg = GcmaeConfig {
+            batch_nodes: 24,
+            adj_sample: 16,
+            contrast_sample: 16,
+            ..small_cfg(4)
+        };
         let ft = FaultTolerance::default();
-        let plan = FaultPlan { nan_loss_at: Some(2), ..FaultPlan::default() };
+        let plan = FaultPlan {
+            nan_loss_at: Some(2),
+            ..FaultPlan::default()
+        };
         let out = train_checked_injected(&ds, &cfg, 16, &ft, plan, |_, _| {}).unwrap();
         assert_eq!(out.rollbacks.len(), 1);
         assert_eq!(out.history.len(), 4);

@@ -39,9 +39,9 @@ pub mod serialize;
 pub use encoder::{Encoder, EncoderConfig, EncoderKind};
 pub use graph_ops::GraphOps;
 pub use layers::{dropout, Act, Linear, Mlp};
-pub use optim::{clip_global_norm, Adam, Sgd};
-pub use schedule::Schedule;
+pub use optim::{clip_global_norm, global_grad_norm, Adam, Sgd};
 pub use param::{ParamId, ParamStore, Session};
+pub use schedule::Schedule;
 pub use serialize::{
     load_inference, load_params, load_train_state, save_inference, save_params, save_train_state,
     CheckpointError, TrainMeta,

@@ -24,7 +24,14 @@ pub struct Adam {
 impl Adam {
     /// Adam with the paper's defaults for the given learning rate.
     pub fn new(lr: f32, weight_decay: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+        }
     }
 
     /// Number of updates applied so far (drives bias correction).
@@ -75,13 +82,7 @@ impl Adam {
 /// scaling by `max_norm / NaN` would only smear the poison around; the
 /// trainer's divergence guard is the layer that handles that case.
 pub fn clip_global_norm(session: &Session, grads: &mut Grads, max_norm: f32) -> f32 {
-    let mut sq = 0.0f64;
-    for &(_, tid) in session.binds() {
-        if let Some(g) = grads.get(tid) {
-            sq += g.as_slice().iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>();
-        }
-    }
-    let norm = sq.sqrt() as f32;
+    let norm = global_grad_norm(session, grads);
     if norm.is_finite() && norm > max_norm {
         let scale = max_norm / norm;
         for &(_, tid) in session.binds() {
@@ -91,6 +92,24 @@ pub fn clip_global_norm(session: &Session, grads: &mut Grads, max_norm: f32) -> 
         }
     }
     norm
+}
+
+/// Global L2 norm of all session-bound gradients, without modifying them.
+///
+/// Accumulated serially in `f64`, so the result is bit-identical at any
+/// thread count — safe to report from telemetry on deterministic runs.
+pub fn global_grad_norm(session: &Session, grads: &Grads) -> f32 {
+    let mut sq = 0.0f64;
+    for &(_, tid) in session.binds() {
+        if let Some(g) = grads.get(tid) {
+            sq += g
+                .as_slice()
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>();
+        }
+    }
+    sq.sqrt() as f32
 }
 
 /// Plain SGD (probes, SVM-style training loops).
@@ -155,7 +174,11 @@ mod tests {
     fn sgd_minimizes_quadratic() {
         let sgd = Sgd::new(0.1, 0.0);
         let h = run_quadratic(&mut |s, sess, g| sgd.step(s, sess, g));
-        assert!(h.last().unwrap() < &1e-3, "final loss {}", h.last().unwrap());
+        assert!(
+            h.last().unwrap() < &1e-3,
+            "final loss {}",
+            h.last().unwrap()
+        );
     }
 
     #[test]
@@ -191,7 +214,10 @@ mod tests {
         assert!((norm - 10.0).abs() < 1e-5, "pre-clip norm {norm}");
         let tid = sess.binds()[0].1;
         let g = grads.get(tid).unwrap();
-        assert!((g.as_slice()[0] - 0.6).abs() < 1e-6, "scaled to 6/10 of unit norm");
+        assert!(
+            (g.as_slice()[0] - 0.6).abs() < 1e-6,
+            "scaled to 6/10 of unit norm"
+        );
 
         // clip far above the norm → untouched
         let (sess, mut grads) = grads_for(&store);

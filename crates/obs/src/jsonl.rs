@@ -1,0 +1,136 @@
+//! Streaming event sink: one JSON object per line.
+//!
+//! Each [`Observer::event`] becomes a line like
+//! `{"event":"train.step","epoch":3,"total":1.25,...}` followed by a flush,
+//! so `tail -f` on the sink file shows training progress live. Counters,
+//! gauges, and histograms are ignored — aggregation is the [`Registry`]'s
+//! job; this sink is the raw event stream.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::{escape_json, Observer, Value};
+
+#[cfg(doc)]
+use crate::Registry;
+
+/// Writes each event as one JSON line to an owned writer.
+pub struct JsonlObserver {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlObserver {
+    /// Wraps any writer (a file, a `Vec<u8>` in tests, a socket).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams events to it, buffered.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(Box::new(BufWriter::new(file))))
+    }
+
+    /// Formats one event line (without the trailing newline).
+    pub fn format_line(name: &str, fields: &[(&'static str, Value)]) -> String {
+        let mut line = format!("{{\"event\":{}", escape_json(name));
+        for (key, value) in fields {
+            line.push_str(&format!(
+                ",{}:{}",
+                escape_json(key),
+                value.to_json_fragment()
+            ));
+        }
+        line.push('}');
+        line
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush()
+    }
+}
+
+impl Observer for JsonlObserver {
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        let line = Self::format_line(name, fields);
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Telemetry must never take the run down with it: a full disk or a
+        // closed pipe drops the line, not the training job.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A shared in-memory sink for asserting on written bytes.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().expect("buf").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_become_one_json_line_each() {
+        let buf = SharedBuf::default();
+        let obs = JsonlObserver::new(Box::new(buf.clone()));
+        obs.event(
+            "train.step",
+            &[
+                ("epoch", Value::U64(3)),
+                ("total", Value::F64(1.25)),
+                ("note", Value::Str("ok".into())),
+            ],
+        );
+        obs.event("train.rollback", &[("at_epoch", Value::U64(5))]);
+        let text = String::from_utf8(buf.0.lock().expect("buf").clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"train.step\",\"epoch\":3,\"total\":1.25,\"note\":\"ok\"}"
+        );
+        assert_eq!(lines[1], "{\"event\":\"train.rollback\",\"at_epoch\":5}");
+    }
+
+    #[test]
+    fn non_event_signals_are_ignored() {
+        let buf = SharedBuf::default();
+        let obs = JsonlObserver::new(Box::new(buf.clone()));
+        obs.counter_add("c", 1);
+        obs.gauge_set("g", 1.0);
+        obs.histogram_record("h", 1.0);
+        assert!(buf.0.lock().expect("buf").is_empty());
+    }
+
+    #[test]
+    fn format_line_escapes_field_values() {
+        let line = JsonlObserver::format_line(
+            "fault",
+            &[("message", Value::Str("row 3 \"exploded\"\n".into()))],
+        );
+        assert_eq!(
+            line,
+            "{\"event\":\"fault\",\"message\":\"row 3 \\\"exploded\\\"\\n\"}"
+        );
+    }
+}

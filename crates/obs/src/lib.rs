@@ -1,0 +1,428 @@
+//! # gcmae-obs
+//!
+//! Structured telemetry for every layer of the GCMAE reproduction: kernel
+//! timing/flop counters in `gcmae-tensor`, per-step training telemetry in
+//! `gcmae-core`, and request/cache/batching metrics in `gcmae-serve`.
+//!
+//! The crate is std-only and built around one contract: **telemetry must be
+//! free when nobody is listening and must never change a numeric result when
+//! somebody is.** Observers only read values that training already computes —
+//! they never touch an RNG, reorder a reduction, or mutate model state — so a
+//! run with any observer attached is bit-identical to a run with none.
+//!
+//! Three pieces:
+//!
+//! * [`Observer`] — the sink trait (counters, gauges, histograms, structured
+//!   events). All methods default to no-ops, so a sink implements only what
+//!   it cares about.
+//! * [`Registry`] — a lock-cheap aggregating observer: atomic counters and
+//!   gauges, log₂-bucket histograms, and point-in-time [`Snapshot`]s
+//!   rendered as Prometheus-style text or JSON.
+//! * [`JsonlObserver`] — a streaming sink that writes each event as one JSON
+//!   line (the `--metrics-jsonl` format of `gcmae-serve` and the per-step
+//!   training log of `TrainSession`).
+//!
+//! ## Global hook for kernels
+//!
+//! Library layers that cannot thread an observer handle through their call
+//! graph (the tensor kernels) report through a process-global observer,
+//! gated by a single relaxed atomic load when disabled:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gcmae_obs::{install, uninstall, Registry};
+//!
+//! let reg = Arc::new(Registry::new());
+//! install(reg.clone());
+//! gcmae_obs::counter_add("demo.widgets", 3);
+//! assert_eq!(reg.counter_value("demo.widgets"), 3);
+//! uninstall();
+//! ```
+
+pub mod jsonl;
+pub mod registry;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+pub use jsonl::JsonlObserver;
+pub use registry::{Histogram, HistogramSnapshot, Registry, Snapshot};
+
+/// A value attached to a structured [`Observer::event`] field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, epochs, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (losses, norms, seconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Text (fault messages, op names).
+    Str(String),
+}
+
+impl Value {
+    /// Renders the value as a JSON fragment (non-finite floats become
+    /// `null`, which keeps every emitted line parseable).
+    pub fn to_json_fragment(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) if v.is_finite() => format_f64(*v),
+            Value::F64(_) => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => escape_json(s),
+        }
+    }
+}
+
+/// Formats a finite `f64` so it round-trips through any JSON parser.
+pub(crate) fn format_f64(v: f64) -> String {
+    let s = format!("{v}");
+    // `{}` prints integral floats without a dot; keep them valid JSON
+    // numbers either way (they are), but mark them as floats for readers
+    // that distinguish, matching what serde_json would emit.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Quotes and escapes a string as a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A telemetry sink. Every method has a no-op default, so implementations
+/// opt into exactly the signals they consume. Metric names are `&'static
+/// str` dotted paths (`"kernel.matmul.ns"`), which keeps the emit path
+/// allocation-free.
+///
+/// Implementations must be cheap and must not panic: observers run inside
+/// training steps and kernel epilogues.
+pub trait Observer: Send + Sync {
+    /// Adds `delta` to a monotonically increasing counter.
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Overwrites a point-in-time gauge.
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one observation into a distribution.
+    fn histogram_record(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Emits one structured event (e.g. `train.step` with its loss terms).
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        let _ = (name, fields);
+    }
+}
+
+/// An observer that ignores everything. Attaching it is the canonical
+/// bit-parity baseline: outputs must equal a run with telemetry off.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// Forwards every signal to each inner observer, in order. Used to pair an
+/// aggregating [`Registry`] with a streaming [`JsonlObserver`].
+pub struct Fanout(pub Vec<Arc<dyn Observer>>);
+
+impl Observer for Fanout {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        for o in &self.0 {
+            o.counter_add(name, delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        for o in &self.0 {
+            o.gauge_set(name, value);
+        }
+    }
+
+    fn histogram_record(&self, name: &'static str, value: f64) {
+        for o in &self.0 {
+            o.histogram_record(name, value);
+        }
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        for o in &self.0 {
+            o.event(name, fields);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global observer (kernel-layer hook)
+// ---------------------------------------------------------------------------
+
+/// Fast gate: kernels pay exactly one relaxed load when telemetry is off.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed observer. Writes are rare (install/uninstall); reads happen
+/// only after the `ENABLED` gate passes, so the lock is off the disabled
+/// path entirely.
+static OBSERVER: RwLock<Option<Arc<dyn Observer>>> = RwLock::new(None);
+
+/// True when a global observer is installed. `#[inline]` and relaxed so the
+/// disabled fast path costs a single atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `obs` as the process-global observer (replacing any previous
+/// one) and opens the emit gate.
+pub fn install(obs: Arc<dyn Observer>) {
+    let mut slot = OBSERVER.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(obs);
+    drop(slot);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the global observer and closes the emit gate.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    let mut slot = OBSERVER.write().unwrap_or_else(|e| e.into_inner());
+    *slot = None;
+}
+
+/// The currently installed global observer, if any.
+pub fn installed() -> Option<Arc<dyn Observer>> {
+    OBSERVER.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Adds to a counter on the global observer (no-op when disabled).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if enabled() {
+        if let Some(o) = installed() {
+            o.counter_add(name, delta);
+        }
+    }
+}
+
+/// Sets a gauge on the global observer (no-op when disabled).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if enabled() {
+        if let Some(o) = installed() {
+            o.gauge_set(name, value);
+        }
+    }
+}
+
+/// Records a histogram observation on the global observer (no-op when
+/// disabled).
+#[inline]
+pub fn histogram_record(name: &'static str, value: f64) {
+    if enabled() {
+        if let Some(o) = installed() {
+            o.histogram_record(name, value);
+        }
+    }
+}
+
+/// Emits a structured event on the global observer (no-op when disabled).
+#[inline]
+pub fn event(name: &'static str, fields: &[(&'static str, Value)]) {
+    if enabled() {
+        if let Some(o) = installed() {
+            o.event(name, fields);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel spans
+// ---------------------------------------------------------------------------
+
+/// Static metric names for one instrumented kernel. Spelled out as three
+/// literals (instead of derived at runtime) so the emit path never
+/// allocates.
+pub struct KernelMetrics {
+    /// Histogram of per-call wall-clock nanoseconds.
+    pub ns: &'static str,
+    /// Counter of calls.
+    pub calls: &'static str,
+    /// Counter of estimated multiply-add units executed.
+    pub flops: &'static str,
+}
+
+/// RAII timer for one kernel call. Inert (no clock read) when telemetry is
+/// disabled at entry; on drop it records duration, call count, and flops on
+/// the global observer.
+pub struct KernelSpan {
+    metrics: &'static KernelMetrics,
+    flops: u64,
+    start: Option<Instant>,
+}
+
+/// Starts a span for `metrics`, attributing `flops` multiply-add units.
+#[inline]
+pub fn kernel_span(metrics: &'static KernelMetrics, flops: u64) -> KernelSpan {
+    let start = if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    KernelSpan {
+        metrics,
+        flops,
+        start,
+    }
+}
+
+impl Drop for KernelSpan {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            if let Some(o) = installed() {
+                let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                o.histogram_record(self.metrics.ns, ns as f64);
+                o.counter_add(self.metrics.calls, 1);
+                o.counter_add(self.metrics.flops, self.flops);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-global observer.
+    pub static GLOBAL_OBSERVER_GUARD: Mutex<()> = Mutex::new(());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock::GLOBAL_OBSERVER_GUARD;
+
+    #[test]
+    fn disabled_gate_drops_emissions() {
+        let _g = GLOBAL_OBSERVER_GUARD
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        assert!(!enabled());
+        counter_add("gate.off", 7); // must not panic, must not be recorded
+        let reg = Arc::new(Registry::new());
+        install(reg.clone());
+        assert!(enabled());
+        counter_add("gate.off", 2);
+        uninstall();
+        counter_add("gate.off", 100);
+        assert_eq!(reg.counter_value("gate.off"), 2);
+    }
+
+    #[test]
+    fn kernel_span_records_ns_calls_and_flops() {
+        let _g = GLOBAL_OBSERVER_GUARD
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        static KM: KernelMetrics = KernelMetrics {
+            ns: "test.k.ns",
+            calls: "test.k.calls",
+            flops: "test.k.flops",
+        };
+        let reg = Arc::new(Registry::new());
+        install(reg.clone());
+        {
+            let _s = kernel_span(&KM, 123);
+        }
+        {
+            let _s = kernel_span(&KM, 7);
+        }
+        uninstall();
+        assert_eq!(reg.counter_value("test.k.calls"), 2);
+        assert_eq!(reg.counter_value("test.k.flops"), 130);
+        let snap = reg.snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.k.ns")
+            .expect("ns histogram");
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn kernel_span_is_inert_when_disabled() {
+        let _g = GLOBAL_OBSERVER_GUARD
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        static KM: KernelMetrics = KernelMetrics {
+            ns: "inert.ns",
+            calls: "inert.calls",
+            flops: "inert.flops",
+        };
+        uninstall();
+        let s = kernel_span(&KM, 999);
+        assert!(s.start.is_none());
+        drop(s);
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_inner_observer() {
+        let a = Arc::new(Registry::new());
+        let b = Arc::new(Registry::new());
+        let f = Fanout(vec![a.clone(), b.clone()]);
+        f.counter_add("fan.count", 4);
+        f.gauge_set("fan.gauge", 2.5);
+        f.histogram_record("fan.hist", 10.0);
+        f.event("fan.event", &[("k", Value::U64(1))]);
+        for reg in [&a, &b] {
+            assert_eq!(reg.counter_value("fan.count"), 4);
+            assert_eq!(reg.gauge_value("fan.gauge"), Some(2.5));
+            assert_eq!(reg.counter_value("fan.event"), 1);
+        }
+    }
+
+    #[test]
+    fn value_json_fragments_are_valid() {
+        assert_eq!(Value::U64(3).to_json_fragment(), "3");
+        assert_eq!(Value::I64(-2).to_json_fragment(), "-2");
+        assert_eq!(Value::F64(1.5).to_json_fragment(), "1.5");
+        assert_eq!(Value::F64(2.0).to_json_fragment(), "2.0");
+        assert_eq!(Value::F64(f64::NAN).to_json_fragment(), "null");
+        assert_eq!(Value::Bool(true).to_json_fragment(), "true");
+        assert_eq!(
+            Value::Str("a\"b\n".into()).to_json_fragment(),
+            "\"a\\\"b\\n\""
+        );
+    }
+
+    #[test]
+    fn noop_observer_accepts_everything() {
+        let o = NoopObserver;
+        o.counter_add("x", 1);
+        o.gauge_set("y", 0.0);
+        o.histogram_record("z", 1.0);
+        o.event("e", &[]);
+    }
+}

@@ -1,0 +1,469 @@
+//! Aggregating observer: atomic counters/gauges, log₂-bucket histograms,
+//! and point-in-time snapshots rendered as Prometheus-style text or JSON.
+//!
+//! Emission cost: one `RwLock` read + one atomic RMW for a metric that
+//! already exists; the write lock is taken only the first time a name is
+//! seen. Maps are keyed by `&'static str` and iterated in `BTreeMap` order,
+//! so snapshots are deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::{escape_json, format_f64, Observer, Value};
+
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Number of log₂ buckets. Bucket `b` (for `b > 0`) covers values in
+/// `[2^(b-1), 2^b)`; bucket 0 covers `[0, 1)`. 64 buckets span any `u64`
+/// magnitude, which covers nanosecond timings and flop counts alike.
+const BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucket histogram. Quantile estimates are upper bucket
+/// bounds, so they are accurate to within a factor of 2 — enough to tell a
+/// 2 µs kernel from a 2 ms one, which is what this layer is for.
+pub struct Histogram {
+    count: AtomicU64,
+    /// Sum of observations, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation. Negative and non-finite values are clamped
+    /// into bucket 0 and excluded from the sum.
+    pub fn record(&self, value: f64) {
+        let b = bucket_index(value);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() && value > 0.0 {
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + value).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded (finite, positive) observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            seen += slot.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(b);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+}
+
+/// Bucket index for a value: 0 for anything below 1 (or non-finite),
+/// otherwise `floor(log2(v)) + 1`, clamped to the last bucket.
+fn bucket_index(value: f64) -> usize {
+    if !value.is_finite() || value < 1.0 {
+        return 0;
+    }
+    let u = value as u64;
+    if u == 0 {
+        return 0;
+    }
+    (((63 - u.leading_zeros()) as usize) + 1).min(BUCKETS - 1)
+}
+
+/// Upper bound of bucket `b` (`1.0` for bucket 0, else `2^b`).
+fn bucket_upper_bound(b: usize) -> f64 {
+    if b == 0 {
+        1.0
+    } else {
+        (2.0f64).powi(b as i32)
+    }
+}
+
+/// Aggregating observer; see the module docs for cost characteristics.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        if let Some(c) = read(&self.counters).get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(write(&self.counters).entry(name).or_default())
+    }
+
+    fn gauge(&self, name: &'static str) -> Arc<AtomicU64> {
+        if let Some(g) = read(&self.gauges).get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            write(&self.gauges)
+                .entry(name)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits()))),
+        )
+    }
+
+    fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(h) = read(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(write(&self.histograms).entry(name).or_default())
+    }
+
+    /// Current value of a counter (0 if never written).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        read(&self.counters)
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Current value of a gauge (`None` if never written).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        read(&self.gauges)
+            .get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
+    /// Point-in-time copy of every metric, in sorted name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = read(&self.counters)
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = read(&self.gauges)
+            .iter()
+            .map(|(&k, v)| (k.to_string(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = read(&self.histograms)
+            .iter()
+            .map(|(&k, h)| HistogramSnapshot {
+                name: k.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                p50: h.quantile(0.50),
+                p90: h.quantile(0.90),
+                p99: h.quantile(0.99),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl Observer for Registry {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        self.gauge(name).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: f64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Events aggregate as occurrence counters under the event name; field
+    /// payloads are for streaming sinks, not for aggregation.
+    fn event(&self, name: &'static str, _fields: &[(&'static str, Value)]) {
+        self.counter_add(name, 1);
+    }
+}
+
+/// One histogram's aggregate view inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: f64,
+    /// Median upper-bound estimate.
+    pub p50: f64,
+    /// 90th-percentile upper-bound estimate.
+    pub p90: f64,
+    /// 99th-percentile upper-bound estimate.
+    pub p99: f64,
+}
+
+/// Point-in-time copy of a [`Registry`], rendering to Prometheus-style text
+/// ([`Snapshot::to_prometheus`]) or JSON ([`Snapshot::to_json`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` counters in sorted name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges in sorted name order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram aggregates in sorted name order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; dotted paths map dots to
+/// underscores.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (counters and gauges as plain samples, histograms as summaries with
+    /// quantile labels).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", format_f64(*v)));
+        }
+        for h in &self.histograms {
+            let n = prom_name(&h.name);
+            out.push_str(&format!(
+                "# TYPE {n} summary\n\
+                 {n}{{quantile=\"0.5\"}} {}\n\
+                 {n}{{quantile=\"0.9\"}} {}\n\
+                 {n}{{quantile=\"0.99\"}} {}\n\
+                 {n}_sum {}\n\
+                 {n}_count {}\n",
+                format_f64(h.p50),
+                format_f64(h.p90),
+                format_f64(h.p99),
+                format_f64(h.sum),
+                h.count
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,p50,p90,p99}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", escape_json(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let val = if v.is_finite() {
+                format_f64(*v)
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!("{}:{val}", escape_json(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                escape_json(&h.name),
+                h.count,
+                format_f64(h.sum),
+                format_f64(h.p50),
+                format_f64(h.p90),
+                format_f64(h.p99)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let r = Registry::new();
+        r.counter_add("a.calls", 1);
+        r.counter_add("a.calls", 41);
+        r.counter_add("b.calls", 5);
+        assert_eq!(r.counter_value("a.calls"), 42);
+        assert_eq!(r.counter_value("b.calls"), 5);
+        assert_eq!(r.counter_value("never"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        assert_eq!(r.gauge_value("lr"), None);
+        r.gauge_set("lr", 0.001);
+        r.gauge_set("lr", 0.0005);
+        assert_eq!(r.gauge_value("lr"), Some(0.0005));
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_brackets_quantiles() {
+        let h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1015.0);
+        // p50 is the 3rd of 5 observations (4.0); the log-bucket upper bound
+        // for [4, 8) is 8.
+        assert_eq!(h.quantile(0.5), 8.0);
+        // p99 lands in 1000's bucket [512, 1024) -> bound 1024.
+        assert_eq!(h.quantile(0.99), 1024.0);
+        // Quantile estimates never undershoot the true value by more than 2x.
+        assert!(h.quantile(1.0) >= 1000.0);
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_inputs() {
+        let h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(0.25);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 0.25);
+        assert_eq!(h.quantile(0.5), 1.0, "sub-1 values live in bucket 0");
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 + 1.0);
+                    }
+                })
+            })
+            .collect();
+        for th in handles {
+            th.join().expect("recorder thread");
+        }
+        assert_eq!(h.count(), 4000);
+        let expect: f64 = (1..=4000).map(|v| v as f64).sum();
+        assert_eq!(h.sum(), expect, "CAS sum must not lose updates");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_renders_both_formats() {
+        let r = Registry::new();
+        r.counter_add("z.count", 2);
+        r.counter_add("a.count", 1);
+        r.gauge_set("train.lr", 0.001);
+        r.histogram_record("req.ns", 100.0);
+        r.histogram_record("req.ns", 200.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "a.count");
+        assert_eq!(s.counters[1].0, "z.count");
+
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE a_count counter"));
+        assert!(prom.contains("a_count 1"));
+        assert!(prom.contains("# TYPE train_lr gauge"));
+        assert!(prom.contains("req_ns_count 2"));
+        assert!(prom.contains("req_ns{quantile=\"0.5\"}"));
+
+        let json = s.to_json();
+        assert!(json.contains("\"a.count\":1"));
+        assert!(json.contains("\"train.lr\":0.001"));
+        assert!(json.contains("\"req.ns\":{\"count\":2"));
+        // must parse as a single JSON object: balanced braces, no trailing comma
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn registry_counts_events_by_name() {
+        let r = Registry::new();
+        r.event("train.rollback", &[("epoch", Value::U64(3))]);
+        r.event("train.rollback", &[("epoch", Value::U64(5))]);
+        assert_eq!(r.counter_value("train.rollback"), 2);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut last = 0;
+        for v in [0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 1e3, 1e6, 1e9, 1e12, 1e18] {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket_index({v}) = {b} < {last}");
+            last = b;
+        }
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+    }
+}

@@ -12,19 +12,28 @@
 //! Coalescing never changes answers: cached rows are bit-identical to cold
 //! recomputes (see [`Engine`] docs), so each request's output is independent
 //! of which batch it happened to land in.
+//!
+//! The scheduler also owns the serve-side telemetry: per-op request
+//! counters, a request-latency histogram, and a batch-size histogram
+//! accumulate in an instance-local [`Registry`] that the `metrics` op
+//! snapshots; an optional event [`Observer`] (e.g. a JSON-lines sink)
+//! receives one `serve.request` event per answered request.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use crate::engine::{Engine, EngineError};
-use crate::json::{f32_to_json, Json};
-use crate::protocol::{err_response, ok_response, Request};
+use gcmae_obs::{Observer, Registry, Value};
+
+use crate::engine::Engine;
+use crate::protocol::{Request, Response, ServerStats};
 
 struct Job {
     request: Request,
-    tx: mpsc::Sender<Json>,
+    tx: mpsc::Sender<Response>,
+    enqueued: Instant,
 }
 
 struct Queue {
@@ -40,38 +49,78 @@ struct Shared {
 /// Handle to the scheduler thread. Clone-free: share it via `Arc`.
 pub struct Batcher {
     shared: Arc<Shared>,
+    metrics: Arc<Registry>,
     handle: Mutex<Option<JoinHandle<Engine>>>,
 }
 
 impl Batcher {
-    /// Starts a scheduler around `engine`. `max_batch` caps how many
-    /// read-only requests one encoder forward may serve; `1` disables
-    /// micro-batching (every request runs alone — the bench baseline).
+    /// Starts a scheduler around `engine` with no event sink. `max_batch`
+    /// caps how many read-only requests one encoder forward may serve; `1`
+    /// disables micro-batching (every request runs alone — the bench
+    /// baseline).
     pub fn new(engine: Engine, max_batch: usize) -> Self {
+        Self::with_events(engine, max_batch, None)
+    }
+
+    /// Starts a scheduler that additionally streams one `serve.request`
+    /// event per answered request into `events`.
+    pub fn with_events(
+        engine: Engine,
+        max_batch: usize,
+        events: Option<Arc<dyn Observer>>,
+    ) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue { jobs: VecDeque::new(), stopping: false }),
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                stopping: false,
+            }),
             cv: Condvar::new(),
         });
+        let metrics = Arc::new(Registry::new());
         let worker_shared = Arc::clone(&shared);
-        let handle =
-            std::thread::spawn(move || scheduler_loop(engine, worker_shared, max_batch));
-        Self { shared, handle: Mutex::new(Some(handle)) }
+        let worker_metrics = Arc::clone(&metrics);
+        let handle = std::thread::spawn(move || {
+            let mut ctx = SchedCtx {
+                metrics: worker_metrics,
+                events,
+                batches: 0,
+                batched_jobs: 0,
+                max_batch,
+            };
+            scheduler_loop(engine, worker_shared, &mut ctx)
+        });
+        Self {
+            shared,
+            metrics,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// The registry behind the `metrics` op, for in-process inspection.
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.metrics)
     }
 
     /// Submits one request and blocks until its response is ready.
-    pub fn submit(&self, request: Request) -> Json {
+    pub fn submit(&self, request: Request) -> Response {
         let (tx, rx) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().expect("queue poisoned");
             if q.stopping && matches!(request, Request::Shutdown) {
                 // Idempotent shutdown: don't enqueue into a draining queue.
-                return ok_response(vec![]);
+                return Response::ShutdownAck;
             }
-            q.jobs.push_back(Job { request, tx });
+            q.jobs.push_back(Job {
+                request,
+                tx,
+                enqueued: Instant::now(),
+            });
         }
         self.shared.cv.notify_one();
-        rx.recv().unwrap_or_else(|_| err_response("server is shutting down"))
+        rx.recv().unwrap_or_else(|_| Response::Error {
+            message: "server is shutting down".to_string(),
+        })
     }
 
     /// True once a shutdown request has been observed.
@@ -98,10 +147,33 @@ impl Drop for Batcher {
     }
 }
 
-fn scheduler_loop(mut engine: Engine, shared: Arc<Shared>, max_batch: usize) -> Engine {
-    // Scheduler counters, reported through the `stats` request.
-    let mut batches: u64 = 0;
-    let mut batched_jobs: u64 = 0;
+/// Scheduler-thread state: telemetry sinks plus the coalescing counters
+/// surfaced through the `stats` op.
+struct SchedCtx {
+    metrics: Arc<Registry>,
+    events: Option<Arc<dyn Observer>>,
+    batches: u64,
+    batched_jobs: u64,
+    max_batch: usize,
+}
+
+/// Per-op counter names must be `'static` for the registry; the exhaustive
+/// match keeps the set in lockstep with the [`Request`] enum.
+fn request_counter(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "serve.requests.ping",
+        Request::Stats => "serve.requests.stats",
+        Request::Metrics => "serve.requests.metrics",
+        Request::Embed { .. } => "serve.requests.embed",
+        Request::LinkScore { .. } => "serve.requests.link_score",
+        Request::TopK { .. } => "serve.requests.top_k",
+        Request::AddEdges { .. } => "serve.requests.add_edges",
+        Request::AddNode { .. } => "serve.requests.add_node",
+        Request::Shutdown => "serve.requests.shutdown",
+    }
+}
+
+fn scheduler_loop(mut engine: Engine, shared: Arc<Shared>, ctx: &mut SchedCtx) -> Engine {
     loop {
         let drained: Vec<Job> = {
             let mut q = shared.queue.lock().expect("queue poisoned");
@@ -119,17 +191,22 @@ fn scheduler_loop(mut engine: Engine, shared: Arc<Shared>, max_batch: usize) -> 
                 let mut j = i + 1;
                 while j < drained.len()
                     && drained[j].request.is_read_only()
-                    && j - i < max_batch
+                    && j - i < ctx.max_batch
                 {
                     j += 1;
                 }
                 let group = &drained[i..j];
-                batches += 1;
-                batched_jobs += group.len() as u64;
-                run_group(&mut engine, group, batches, batched_jobs, max_batch);
+                ctx.batches += 1;
+                ctx.batched_jobs += group.len() as u64;
+                ctx.metrics.counter_add("serve.batches", 1);
+                ctx.metrics
+                    .counter_add("serve.batched_jobs", group.len() as u64);
+                ctx.metrics
+                    .histogram_record("serve.batch.jobs", group.len() as f64);
+                run_group(&mut engine, group, ctx);
                 i = j;
             } else {
-                run_mutation(&mut engine, &drained[i], &shared);
+                run_mutation(&mut engine, &drained[i], &shared, ctx);
                 i += 1;
             }
         }
@@ -138,13 +215,7 @@ fn scheduler_loop(mut engine: Engine, shared: Arc<Shared>, max_batch: usize) -> 
 
 /// One coalesced group: a single prefetch covers every node the group
 /// touches, then each request is answered from cache.
-fn run_group(
-    engine: &mut Engine,
-    group: &[Job],
-    batches: u64,
-    batched_jobs: u64,
-    max_batch: usize,
-) {
+fn run_group(engine: &mut Engine, group: &[Job], ctx: &mut SchedCtx) {
     let n = engine.graph().num_nodes();
     let mut wanted: Vec<usize> = Vec::new();
     for job in group {
@@ -171,85 +242,101 @@ fn run_group(
         engine.prefetch(&wanted).expect("ids validated above");
     }
     for job in group {
-        let response = answer(engine, &job.request, batches, batched_jobs, max_batch);
-        let _ = job.tx.send(response);
+        let response = respond(engine, &job.request, ctx);
+        finish(job, response, ctx);
     }
 }
 
-fn run_mutation(engine: &mut Engine, job: &Job, shared: &Arc<Shared>) {
-    let response = match &job.request {
-        Request::AddEdges { edges } => result_json(
-            engine.add_edges(edges).map(|stale| vec![("invalidated".to_string(), Json::int(stale))]),
-        ),
-        Request::AddNode { neighbors, features } => result_json(
-            engine
-                .add_node(neighbors, features)
-                .map(|id| vec![("node".to_string(), Json::int(id))]),
-        ),
-        Request::Shutdown => {
-            shared.queue.lock().expect("queue poisoned").stopping = true;
-            ok_response(vec![])
-        }
-        _ => err_response("not a mutation"),
-    };
+fn run_mutation(engine: &mut Engine, job: &Job, shared: &Arc<Shared>, ctx: &mut SchedCtx) {
+    if matches!(job.request, Request::Shutdown) {
+        shared.queue.lock().expect("queue poisoned").stopping = true;
+    }
+    let response = respond(engine, &job.request, ctx);
+    finish(job, response, ctx);
+}
+
+/// Records telemetry for one answered request and sends the response.
+fn finish(job: &Job, response: Response, ctx: &mut SchedCtx) {
+    let ns = job.enqueued.elapsed().as_nanos() as u64;
+    ctx.metrics.counter_add(request_counter(&job.request), 1);
+    ctx.metrics.histogram_record("serve.request.ns", ns as f64);
+    if !response.is_ok() {
+        ctx.metrics.counter_add("serve.errors", 1);
+    }
+    if let Some(events) = &ctx.events {
+        events.event(
+            "serve.request",
+            &[
+                ("op", Value::Str(job.request.op_name().to_string())),
+                ("ns", Value::U64(ns)),
+                ("ok", Value::Bool(response.is_ok())),
+            ],
+        );
+    }
     let _ = job.tx.send(response);
 }
 
-fn answer(
-    engine: &mut Engine,
-    request: &Request,
-    batches: u64,
-    batched_jobs: u64,
-    max_batch: usize,
-) -> Json {
+/// The single request dispatcher: every [`Request`] variant maps to exactly
+/// one [`Response`] here, with engine failures folded into
+/// [`Response::Error`]. No wildcard arm — a new op fails to compile until
+/// it is handled.
+fn respond(engine: &mut Engine, request: &Request, ctx: &SchedCtx) -> Response {
     match request {
-        Request::Ping => ok_response(vec![("pong".to_string(), Json::Bool(true))]),
+        Request::Ping => Response::Pong,
         Request::Stats => {
             let s = engine.stats();
-            ok_response(vec![
-                ("num_nodes".to_string(), Json::int(s.num_nodes)),
-                ("num_edges".to_string(), Json::int(s.num_edges)),
-                ("embed_dim".to_string(), Json::int(s.embed_dim)),
-                ("cache_hits".to_string(), Json::num(s.cache.hits as f64)),
-                ("cache_misses".to_string(), Json::num(s.cache.misses as f64)),
-                ("cache_resident".to_string(), Json::int(s.cache.resident)),
-                ("cache_epoch".to_string(), Json::num(s.cache.epoch as f64)),
-                ("invalidated".to_string(), Json::num(s.cache.invalidated as f64)),
-                ("batches".to_string(), Json::num(batches as f64)),
-                ("batched_jobs".to_string(), Json::num(batched_jobs as f64)),
-                ("max_batch".to_string(), Json::int(max_batch)),
-            ])
+            Response::Stats(ServerStats {
+                num_nodes: s.num_nodes,
+                num_edges: s.num_edges,
+                embed_dim: s.embed_dim,
+                cache_hits: s.cache.hits,
+                cache_misses: s.cache.misses,
+                cache_resident: s.cache.resident,
+                cache_epoch: s.cache.epoch,
+                invalidated: s.cache.invalidated,
+                batches: ctx.batches,
+                batched_jobs: ctx.batched_jobs,
+                max_batch: ctx.max_batch,
+            })
         }
-        Request::Embed { nodes } => result_json(engine.embed_batch(nodes).map(|m| {
-            let rows: Vec<Json> = (0..m.rows())
-                .map(|r| Json::Arr(m.row(r).iter().map(|&v| f32_to_json(v)).collect()))
-                .collect();
-            vec![
-                ("dim".to_string(), Json::int(m.cols())),
-                ("embeddings".to_string(), Json::Arr(rows)),
-            ]
-        })),
-        Request::LinkScore { pairs } => result_json(engine.link_scores(pairs).map(|scores| {
-            vec![(
-                "scores".to_string(),
-                Json::Arr(scores.iter().map(|&s| f32_to_json(s)).collect()),
-            )]
-        })),
-        Request::TopK { node, k } => result_json(engine.top_k(*node, *k).map(|ranked| {
-            let items = ranked
-                .into_iter()
-                .map(|(v, s)| Json::Arr(vec![Json::int(v), f32_to_json(s)]))
-                .collect();
-            vec![("neighbors".to_string(), Json::Arr(items))]
-        })),
-        _ => err_response("not a read-only request"),
-    }
-}
-
-fn result_json(r: Result<Vec<(String, Json)>, EngineError>) -> Json {
-    match r {
-        Ok(fields) => ok_response(fields),
-        Err(e) => err_response(e),
+        Request::Metrics => Response::Metrics(ctx.metrics.snapshot()),
+        Request::Embed { nodes } => match engine.embed_batch(nodes) {
+            Ok(m) => Response::Embeddings {
+                dim: m.cols(),
+                rows: (0..m.rows()).map(|r| m.row(r).to_vec()).collect(),
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::LinkScore { pairs } => match engine.link_scores(pairs) {
+            Ok(scores) => Response::Scores(scores),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::TopK { node, k } => match engine.top_k(*node, *k) {
+            Ok(ranked) => Response::Neighbors(ranked),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::AddEdges { edges } => match engine.add_edges(edges) {
+            Ok(stale) => Response::EdgesAdded { invalidated: stale },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::AddNode {
+            neighbors,
+            features,
+        } => match engine.add_node(neighbors, features) {
+            Ok(id) => Response::NodeAdded { node: id },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Shutdown => Response::ShutdownAck,
     }
 }
 
@@ -285,16 +372,18 @@ mod tests {
         (Engine::new(model, graph, features).unwrap(), reference)
     }
 
-    fn embedding_rows(resp: &Json) -> Vec<Vec<f32>> {
-        resp.get("embeddings")
-            .unwrap()
-            .as_arr()
-            .unwrap()
-            .iter()
-            .map(|row| {
-                row.as_arr().unwrap().iter().map(|v| v.as_f64().unwrap() as f32).collect()
-            })
-            .collect()
+    fn embedding_rows(resp: &Response) -> &[Vec<f32>] {
+        match resp {
+            Response::Embeddings { rows, .. } => rows,
+            other => panic!("expected embeddings, got {other:?}"),
+        }
+    }
+
+    fn stats(resp: &Response) -> &ServerStats {
+        match resp {
+            Response::Stats(s) => s,
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]
@@ -306,15 +395,16 @@ mod tests {
             let b = Arc::clone(&batcher);
             handles.push(std::thread::spawn(move || {
                 let nodes = vec![t, (t + 7) % 20, t % 3];
-                let resp = b.submit(Request::Embed { nodes: nodes.clone() });
+                let resp = b.submit(Request::Embed {
+                    nodes: nodes.clone(),
+                });
                 (nodes, resp)
             }));
         }
         for h in handles {
             let (nodes, resp) = h.join().unwrap();
-            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
-            let rows = embedding_rows(&resp);
-            for (row, &v) in rows.iter().zip(&nodes) {
+            assert!(resp.is_ok());
+            for (row, &v) in embedding_rows(&resp).iter().zip(&nodes) {
                 assert_eq!(row.as_slice(), reference.row(v), "node {v}");
             }
         }
@@ -326,15 +416,19 @@ mod tests {
         let (eng, _) = engine(2);
         let batcher = Batcher::new(eng, 32);
         let before = batcher.submit(Request::Stats);
-        let edges_before = before.get("num_edges").unwrap().as_usize().unwrap();
-        let resp = batcher.submit(Request::AddEdges { edges: vec![(0, 15)] });
-        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
-        assert!(resp.get("invalidated").unwrap().as_usize().unwrap() > 0);
+        let edges_before = stats(&before).num_edges;
+        let resp = batcher.submit(Request::AddEdges {
+            edges: vec![(0, 15)],
+        });
+        match resp {
+            Response::EdgesAdded { invalidated } => assert!(invalidated > 0),
+            other => panic!("expected edges_added, got {other:?}"),
+        }
         let after = batcher.submit(Request::Stats);
-        assert_eq!(after.get("num_edges").unwrap().as_usize().unwrap(), edges_before + 1);
+        assert_eq!(stats(&after).num_edges, edges_before + 1);
         // the post-mutation embedding matches a cold recompute
         let emb = batcher.submit(Request::Embed { nodes: vec![0, 15] });
-        let rows = embedding_rows(&emb);
+        let rows = embedding_rows(&emb).to_vec();
         let eng = batcher.shutdown().unwrap();
         let cold = eng.model().encode(eng.graph(), eng.features());
         assert_eq!(rows[0].as_slice(), cold.row(0));
@@ -355,11 +449,70 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let stats = batcher.submit(Request::Stats);
+        let resp = batcher.submit(Request::Stats);
         // 6 embeds + this stats call, each in exactly one batch
-        assert_eq!(stats.get("batched_jobs").unwrap().as_f64().unwrap(), 7.0);
-        let batches = stats.get("batches").unwrap().as_f64().unwrap();
-        assert!((1.0..=7.0).contains(&batches), "batches {batches}");
+        assert_eq!(stats(&resp).batched_jobs, 7);
+        let batches = stats(&resp).batches;
+        assert!((1..=7).contains(&batches), "batches {batches}");
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn metrics_op_reports_request_counters_and_latency() {
+        let (eng, _) = engine(7);
+        let batcher = Batcher::new(eng, 32);
+        for t in 0..5_usize {
+            assert!(batcher.submit(Request::Embed { nodes: vec![t] }).is_ok());
+        }
+        batcher.submit(Request::Ping);
+        let bad = batcher.submit(Request::Embed {
+            nodes: vec![10_000],
+        });
+        assert!(!bad.is_ok());
+        let snap = match batcher.submit(Request::Metrics) {
+            Response::Metrics(s) => s,
+            other => panic!("expected metrics, got {other:?}"),
+        };
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("serve.requests.embed"), 6);
+        assert_eq!(counter("serve.requests.ping"), 1);
+        assert_eq!(counter("serve.errors"), 1);
+        // metrics itself is counted only on the NEXT snapshot; latency covers
+        // the 7 requests answered before this one.
+        let lat = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve.request.ns")
+            .expect("latency histogram");
+        assert_eq!(lat.count, 7);
+        assert!(lat.sum > 0.0);
+        // in-process registry handle sees the same counters
+        assert_eq!(batcher.metrics().counter_value("serve.requests.embed"), 6);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn event_sink_sees_one_event_per_request() {
+        struct CountEvents(std::sync::atomic::AtomicU64);
+        impl Observer for CountEvents {
+            fn event(&self, name: &'static str, _fields: &[(&'static str, Value)]) {
+                assert_eq!(name, "serve.request");
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let (eng, _) = engine(8);
+        let sink = Arc::new(CountEvents(std::sync::atomic::AtomicU64::new(0)));
+        let batcher = Batcher::with_events(eng, 32, Some(sink.clone() as Arc<dyn Observer>));
+        batcher.submit(Request::Ping);
+        batcher.submit(Request::Embed { nodes: vec![1, 2] });
+        batcher.submit(Request::Stats);
+        assert_eq!(sink.0.load(std::sync::atomic::Ordering::Relaxed), 3);
         batcher.shutdown();
     }
 
@@ -371,8 +524,8 @@ mod tests {
         let rows = embedding_rows(&resp);
         assert_eq!(rows[0].as_slice(), reference.row(2));
         assert_eq!(rows[1].as_slice(), reference.row(9));
-        let stats = batcher.submit(Request::Stats);
-        assert_eq!(stats.get("max_batch").unwrap().as_usize(), Some(1));
+        let resp = batcher.submit(Request::Stats);
+        assert_eq!(stats(&resp).max_batch, 1);
         batcher.shutdown();
     }
 
@@ -380,11 +533,14 @@ mod tests {
     fn bad_request_gets_error_response_without_killing_scheduler() {
         let (eng, _) = engine(5);
         let batcher = Batcher::new(eng, 32);
-        let bad = batcher.submit(Request::Embed { nodes: vec![10_000] });
-        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
-        assert!(bad.get("error").unwrap().as_str().unwrap().contains("out of range"));
-        let good = batcher.submit(Request::Ping);
-        assert_eq!(good.get("ok"), Some(&Json::Bool(true)));
+        let bad = batcher.submit(Request::Embed {
+            nodes: vec![10_000],
+        });
+        match bad {
+            Response::Error { message } => assert!(message.contains("out of range")),
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert_eq!(batcher.submit(Request::Ping), Response::Pong);
         batcher.shutdown();
     }
 
@@ -392,8 +548,7 @@ mod tests {
     fn shutdown_request_stops_the_scheduler() {
         let (eng, _) = engine(6);
         let batcher = Batcher::new(eng, 32);
-        let resp = batcher.submit(Request::Shutdown);
-        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(batcher.submit(Request::Shutdown), Response::ShutdownAck);
         assert!(batcher.is_stopping());
         assert!(batcher.shutdown().is_some());
         assert!(batcher.shutdown().is_none(), "second shutdown returns None");

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use gcmae_core::{train, GcmaeConfig};
+use gcmae_core::{GcmaeConfig, TrainSession};
 use gcmae_graph::generators::citation::{generate, CitationSpec};
 use gcmae_serve::{load_bundle, save_bundle, Client, Engine, Json, Server};
 use rand::rngs::StdRng;
@@ -41,28 +41,56 @@ struct Outcome {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
-    let queries: usize = flag(&args, "--queries").and_then(|v| v.parse().ok()).unwrap_or(150);
-    let scale: f64 = flag(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.3);
+    let queries: usize = flag(&args, "--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+    let scale: f64 = flag(&args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.3);
 
     // One trained model reused by every scenario.
     let ds = generate(&CitationSpec::cora().scaled(scale), 11);
-    let cfg = GcmaeConfig { epochs: 2, ..GcmaeConfig::fast() };
+    let cfg = GcmaeConfig {
+        epochs: 2,
+        ..GcmaeConfig::fast()
+    };
     eprintln!(
         "training benchmark model: {} nodes / {} edges",
         ds.num_nodes(),
         ds.graph.num_edges()
     );
-    let trained = train(&ds, &cfg, 11);
+    let trained = match TrainSession::new(&cfg).seed(11).run(&ds) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unguarded session cannot fail: {e}"),
+    };
     // Each scenario gets an identical engine via the bundle round-trip.
     let bundle = save_bundle(&trained.model, &ds.graph, &ds.features);
 
     let scenarios = [
-        Scenario { clients: 1, max_batch: 1 },
-        Scenario { clients: 1, max_batch: 32 },
-        Scenario { clients: 8, max_batch: 1 },
-        Scenario { clients: 8, max_batch: 32 },
-        Scenario { clients: 16, max_batch: 1 },
-        Scenario { clients: 16, max_batch: 32 },
+        Scenario {
+            clients: 1,
+            max_batch: 1,
+        },
+        Scenario {
+            clients: 1,
+            max_batch: 32,
+        },
+        Scenario {
+            clients: 8,
+            max_batch: 1,
+        },
+        Scenario {
+            clients: 8,
+            max_batch: 32,
+        },
+        Scenario {
+            clients: 16,
+            max_batch: 1,
+        },
+        Scenario {
+            clients: 16,
+            max_batch: 32,
+        },
     ];
     let mut outcomes = Vec::new();
     for s in &scenarios {
@@ -109,7 +137,10 @@ fn main() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> Outcome {
@@ -148,8 +179,9 @@ fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> Outcome {
             for q in 0..queries {
                 let begin = Instant::now();
                 if q % 16 == 15 {
-                    let pairs: Vec<(usize, usize)> =
-                        (0..4).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+                    let pairs: Vec<(usize, usize)> = (0..4)
+                        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                        .collect();
                     client.link_scores(&pairs).expect("link query");
                 } else {
                     let nodes: Vec<usize> = (0..4).map(|_| rng.gen_range(0..n)).collect();
@@ -172,10 +204,10 @@ fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> Outcome {
     let stats = stats_client.stats().expect("stats");
     server.shutdown();
 
-    let hits = stats.get("cache_hits").and_then(Json::as_f64).unwrap_or(0.0);
-    let misses = stats.get("cache_misses").and_then(Json::as_f64).unwrap_or(0.0);
-    let batches = stats.get("batches").and_then(Json::as_f64).unwrap_or(1.0);
-    let batched_jobs = stats.get("batched_jobs").and_then(Json::as_f64).unwrap_or(0.0);
+    let hits = stats.cache_hits as f64;
+    let misses = stats.cache_misses as f64;
+    let batches = stats.batches as f64;
+    let batched_jobs = stats.batched_jobs as f64;
     latencies.sort_by(f64::total_cmp);
     let total = latencies.len();
     Outcome {
@@ -186,8 +218,16 @@ fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> Outcome {
         throughput_qps: total as f64 / elapsed,
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
-        cache_hit_rate: if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 },
-        avg_batch: if batches > 0.0 { batched_jobs / batches } else { 0.0 },
+        cache_hit_rate: if hits + misses > 0.0 {
+            hits / (hits + misses)
+        } else {
+            0.0
+        },
+        avg_batch: if batches > 0.0 {
+            batched_jobs / batches
+        } else {
+            0.0
+        },
     }
 }
 

@@ -4,18 +4,22 @@
 //! ```text
 //! gcmae-serve train --out ckpt.bin [--scale 0.05] [--epochs 3] [--seed 0]
 //! gcmae-serve serve --checkpoint ckpt.bin [--addr 127.0.0.1:7431] [--max-batch 32]
+//!             [--metrics-jsonl events.jsonl]
 //! gcmae-serve query --addr 127.0.0.1:7431 embed 0 1 2
 //! gcmae-serve query --addr 127.0.0.1:7431 link 0:1 4:9
 //! gcmae-serve query --addr 127.0.0.1:7431 topk 5 3
-//! gcmae-serve query --addr 127.0.0.1:7431 ping|stats|shutdown
+//! gcmae-serve query --addr 127.0.0.1:7431 ping|stats|metrics|shutdown
 //! gcmae-serve selftest
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use gcmae_core::{train, GcmaeConfig};
+use gcmae_core::{GcmaeConfig, TrainOutput, TrainSession};
 use gcmae_graph::generators::citation::{generate, CitationSpec};
-use gcmae_serve::{load_bundle, save_bundle, Client, Engine, Json, Server};
+use gcmae_graph::Dataset;
+use gcmae_obs::{JsonlObserver, Observer};
+use gcmae_serve::{load_bundle, save_bundle, Client, Engine, Server, ServerOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,13 +40,26 @@ fn main() -> ExitCode {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag(args, name) {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| format!("bad value for {name}: {raw}")),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad value for {name}: {raw}")),
+    }
+}
+
+/// Unguarded training run; the unguarded regime cannot fail.
+fn train_model(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> TrainOutput {
+    match TrainSession::new(cfg).seed(seed).run(ds) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unguarded session cannot fail: {e}"),
     }
 }
 
@@ -52,14 +69,17 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let epochs: usize = parse_flag(args, "--epochs", 3)?;
     let seed: u64 = parse_flag(args, "--seed", 0)?;
     let ds = generate(&CitationSpec::cora().scaled(scale), seed);
-    let cfg = GcmaeConfig { epochs, ..GcmaeConfig::fast() };
+    let cfg = GcmaeConfig {
+        epochs,
+        ..GcmaeConfig::fast()
+    };
     println!(
         "training {} epochs on {} nodes / {} edges...",
         epochs,
         ds.num_nodes(),
         ds.graph.num_edges()
     );
-    let trained = train(&ds, &cfg, seed);
+    let trained = train_model(&ds, &cfg, seed);
     let bundle = save_bundle(&trained.model, &ds.graph, &ds.features);
     std::fs::write(&out, &bundle).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {} ({} bytes)", out, bundle.len());
@@ -81,8 +101,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         model.config().hidden_dim
     );
     let engine = Engine::new(model, graph, features).map_err(|e| e.to_string())?;
-    let server = Server::start(engine, &addr, max_batch).map_err(|e| e.to_string())?;
-    println!("serving on {} (max batch {max_batch}); send shutdown to stop", server.addr());
+    let events: Option<Arc<dyn Observer>> = match flag(args, "--metrics-jsonl") {
+        Some(path) => {
+            let sink =
+                JsonlObserver::create(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            println!("streaming request events to {path}");
+            Some(Arc::new(sink))
+        }
+        None => None,
+    };
+    let server = Server::start_with(engine, &addr, ServerOptions { max_batch, events })
+        .map_err(|e| e.to_string())?;
+    println!(
+        "serving on {} (max batch {max_batch}); send shutdown to stop",
+        server.addr()
+    );
     server.run_until_shutdown();
     println!("server stopped");
     Ok(())
@@ -112,8 +145,25 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             println!("pong");
         }
         Some("stats") => {
-            let stats = client.stats().map_err(|e| e.to_string())?;
-            println!("{}", stats.dump());
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "nodes {} edges {} dim {}\ncache: {} hits / {} misses, {} resident, epoch {}, {} invalidated\nscheduler: {} batches / {} jobs (max batch {})",
+                s.num_nodes,
+                s.num_edges,
+                s.embed_dim,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_resident,
+                s.cache_epoch,
+                s.invalidated,
+                s.batches,
+                s.batched_jobs,
+                s.max_batch
+            );
+        }
+        Some("metrics") => {
+            let snap = client.metrics().map_err(|e| e.to_string())?;
+            print!("{}", snap.to_prometheus());
         }
         Some("shutdown") => {
             client.shutdown().map_err(|e| e.to_string())?;
@@ -121,8 +171,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
         Some("embed") => {
             let nodes = parse_ids(&rest[1..])?;
-            for (node, row) in
-                nodes.iter().zip(client.embed(&nodes).map_err(|e| e.to_string())?)
+            for (node, row) in nodes
+                .iter()
+                .zip(client.embed(&nodes).map_err(|e| e.to_string())?)
             {
                 let text: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
                 println!("{node}\t[{}]", text.join(", "));
@@ -130,8 +181,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
         Some("link") => {
             let pairs = parse_pairs(&rest[1..])?;
-            for (&(u, v), s) in
-                pairs.iter().zip(client.link_scores(&pairs).map_err(|e| e.to_string())?)
+            for (&(u, v), s) in pairs
+                .iter()
+                .zip(client.link_scores(&pairs).map_err(|e| e.to_string())?)
             {
                 println!("{u}:{v}\t{s}");
             }
@@ -146,19 +198,27 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 println!("{v}\t{s}");
             }
         }
-        _ => return Err("query needs one of: ping stats embed link topk shutdown".to_string()),
+        _ => {
+            return Err(
+                "query needs one of: ping stats metrics embed link topk shutdown".to_string(),
+            )
+        }
     }
     Ok(())
 }
 
 fn parse_ids(args: &[&String]) -> Result<Vec<usize>, String> {
-    args.iter().map(|a| a.parse().map_err(|_| format!("bad node id: {a}"))).collect()
+    args.iter()
+        .map(|a| a.parse().map_err(|_| format!("bad node id: {a}")))
+        .collect()
 }
 
 fn parse_pairs(args: &[&String]) -> Result<Vec<(usize, usize)>, String> {
     args.iter()
         .map(|a| {
-            let (u, v) = a.split_once(':').ok_or(format!("bad pair (want u:v): {a}"))?;
+            let (u, v) = a
+                .split_once(':')
+                .ok_or(format!("bad pair (want u:v): {a}"))?;
             Ok((
                 u.parse().map_err(|_| format!("bad pair: {a}"))?,
                 v.parse().map_err(|_| format!("bad pair: {a}"))?,
@@ -173,14 +233,17 @@ fn parse_pairs(args: &[&String]) -> Result<Vec<(usize, usize)>, String> {
 fn cmd_selftest() -> Result<(), String> {
     let seed = 7;
     let ds = generate(&CitationSpec::cora().scaled(0.02), seed);
-    let cfg = GcmaeConfig { epochs: 3, ..GcmaeConfig::fast() };
+    let cfg = GcmaeConfig {
+        epochs: 3,
+        ..GcmaeConfig::fast()
+    };
     println!(
         "[1/5] training {} epochs on {} nodes / {} edges",
         cfg.epochs,
         ds.num_nodes(),
         ds.graph.num_edges()
     );
-    let trained = train(&ds, &cfg, seed);
+    let trained = train_model(&ds, &cfg, seed);
 
     println!("[2/5] bundle round-trip");
     let bundle = save_bundle(&trained.model, &ds.graph, &ds.features);
@@ -199,12 +262,14 @@ fn cmd_selftest() -> Result<(), String> {
     let mut workers = Vec::new();
     for t in 0..8_usize {
         let addr = addr.clone();
-        workers.push(std::thread::spawn(move || -> Result<(Vec<usize>, Vec<Vec<f32>>), String> {
-            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
-            let nodes: Vec<usize> = (0..6).map(|i| (t * 13 + i * 7) % n).collect();
-            let rows = client.embed(&nodes).map_err(|e| e.to_string())?;
-            Ok((nodes, rows))
-        }));
+        workers.push(std::thread::spawn(
+            move || -> Result<(Vec<usize>, Vec<Vec<f32>>), String> {
+                let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                let nodes: Vec<usize> = (0..6).map(|i| (t * 13 + i * 7) % n).collect();
+                let rows = client.embed(&nodes).map_err(|e| e.to_string())?;
+                Ok((nodes, rows))
+            },
+        ));
     }
     for w in workers {
         let (nodes, rows) = w.join().map_err(|_| "client thread panicked")??;
@@ -220,7 +285,12 @@ fn cmd_selftest() -> Result<(), String> {
     let pairs = [(0, 1), (2, n - 2), (10, 10)];
     let scores = client.link_scores(&pairs).map_err(|e| e.to_string())?;
     for (&(u, v), s) in pairs.iter().zip(&scores) {
-        let want: f32 = offline.row(u).iter().zip(offline.row(v)).map(|(a, b)| a * b).sum();
+        let want: f32 = offline
+            .row(u)
+            .iter()
+            .zip(offline.row(v))
+            .map(|(a, b)| a * b)
+            .sum();
         if *s != want {
             return Err(format!("link score mismatch for ({u},{v})"));
         }
@@ -238,13 +308,32 @@ fn cmd_selftest() -> Result<(), String> {
         }
     }
 
-    println!("[5/5] stats + shutdown");
+    println!("[5/5] stats + metrics + shutdown");
     let stats = client.stats().map_err(|e| e.to_string())?;
-    let hits = stats.get("cache_hits").and_then(Json::as_f64).unwrap_or(0.0);
-    let misses = stats.get("cache_misses").and_then(Json::as_f64).unwrap_or(0.0);
-    println!("cache: {hits} hits / {misses} misses");
-    if hits == 0.0 {
+    println!(
+        "cache: {} hits / {} misses",
+        stats.cache_hits, stats.cache_misses
+    );
+    if stats.cache_hits == 0 {
         return Err("expected at least one cache hit".to_string());
+    }
+    let snap = client.metrics().map_err(|e| e.to_string())?;
+    let embeds = snap
+        .counters
+        .iter()
+        .find(|(k, _)| k == "serve.requests.embed")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    // 8 selftest workers + the all-nodes sweep above
+    if embeds < 9 {
+        return Err(format!("metrics op undercounts embed requests: {embeds}"));
+    }
+    if !snap
+        .histograms
+        .iter()
+        .any(|h| h.name == "serve.request.ns" && h.count > 0)
+    {
+        return Err("metrics op is missing the request latency histogram".to_string());
     }
     client.shutdown().map_err(|e| e.to_string())?;
     server.run_until_shutdown();

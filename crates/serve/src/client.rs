@@ -2,8 +2,9 @@
 
 use std::net::TcpStream;
 
-use crate::json::{json_to_f32, Json};
-use crate::protocol::{read_frame, write_frame, ProtocolError, Request};
+use gcmae_obs::Snapshot;
+
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response, ServerStats};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -12,7 +13,7 @@ pub enum ClientError {
     Protocol(ProtocolError),
     /// The server answered `{"ok":false}` with this message.
     Server(String),
-    /// The server answered `ok` but the payload was missing a field.
+    /// The server answered `ok` but with an unexpected response kind.
     BadResponse(&'static str),
 }
 
@@ -54,92 +55,80 @@ impl Client {
         Ok(Client { stream })
     }
 
-    /// Sends one request and returns the `ok` payload.
-    pub fn call(&mut self, request: &Request) -> Result<Json, ClientError> {
+    /// Sends one request and returns the parsed response.
+    /// [`Response::Error`] is folded into [`ClientError::Server`], so an
+    /// `Ok` return is always a success payload.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, &request.to_json())?;
-        let response = read_frame(&mut self.stream)?;
-        match response.get("ok").and_then(Json::as_bool) {
-            Some(true) => Ok(response),
-            Some(false) => Err(ClientError::Server(
-                response
-                    .get("error")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unspecified server error")
-                    .to_string(),
-            )),
-            None => Err(ClientError::BadResponse("missing ok field")),
+        let doc = read_frame(&mut self.stream)?;
+        match Response::from_json(&doc)? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            response => Ok(response),
         }
     }
 
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.call(&Request::Ping).map(|_| ())
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::BadResponse("expected pong")),
+        }
     }
 
-    /// Server counters as a raw JSON object.
-    pub fn stats(&mut self) -> Result<Json, ClientError> {
-        self.call(&Request::Stats)
+    /// Typed server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::BadResponse("expected stats")),
+        }
+    }
+
+    /// Live telemetry snapshot: counters, gauges, histograms.
+    pub fn metrics(&mut self) -> Result<Snapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            _ => Err(ClientError::BadResponse("expected metrics")),
+        }
     }
 
     /// Embeddings for the listed nodes; row `i` corresponds to `nodes[i]`,
     /// bit-identical to the server model's offline `encode()`.
     pub fn embed(&mut self, nodes: &[usize]) -> Result<Vec<Vec<f32>>, ClientError> {
-        let resp = self.call(&Request::Embed { nodes: nodes.to_vec() })?;
-        resp.get("embeddings")
-            .and_then(Json::as_arr)
-            .ok_or(ClientError::BadResponse("missing embeddings"))?
-            .iter()
-            .map(|row| {
-                row.as_arr()
-                    .ok_or(ClientError::BadResponse("embedding row is not an array"))?
-                    .iter()
-                    .map(|v| json_to_f32(v).ok_or(ClientError::BadResponse("non-numeric value")))
-                    .collect()
-            })
-            .collect()
+        match self.call(&Request::Embed {
+            nodes: nodes.to_vec(),
+        })? {
+            Response::Embeddings { rows, .. } => Ok(rows),
+            _ => Err(ClientError::BadResponse("expected embeddings")),
+        }
     }
 
     /// Dot-product link scores for the listed pairs.
     pub fn link_scores(&mut self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ClientError> {
-        let resp = self.call(&Request::LinkScore { pairs: pairs.to_vec() })?;
-        resp.get("scores")
-            .and_then(Json::as_arr)
-            .ok_or(ClientError::BadResponse("missing scores"))?
-            .iter()
-            .map(|v| json_to_f32(v).ok_or(ClientError::BadResponse("non-numeric score")))
-            .collect()
+        match self.call(&Request::LinkScore {
+            pairs: pairs.to_vec(),
+        })? {
+            Response::Scores(scores) => Ok(scores),
+            _ => Err(ClientError::BadResponse("expected scores")),
+        }
     }
 
     /// Highest-scoring graph neighbors of `node`.
     pub fn top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, ClientError> {
-        let resp = self.call(&Request::TopK { node, k })?;
-        resp.get("neighbors")
-            .and_then(Json::as_arr)
-            .ok_or(ClientError::BadResponse("missing neighbors"))?
-            .iter()
-            .map(|item| {
-                let pair =
-                    item.as_arr().ok_or(ClientError::BadResponse("neighbor is not a pair"))?;
-                let id = pair
-                    .first()
-                    .and_then(Json::as_usize)
-                    .ok_or(ClientError::BadResponse("bad neighbor id"))?;
-                let score = pair
-                    .get(1)
-                    .and_then(json_to_f32)
-                    .ok_or(ClientError::BadResponse("bad neighbor score"))?;
-                Ok((id, score))
-            })
-            .collect()
+        match self.call(&Request::TopK { node, k })? {
+            Response::Neighbors(ranked) => Ok(ranked),
+            _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
     }
 
     /// Inserts undirected edges; returns how many cached embeddings the
     /// server invalidated.
     pub fn add_edges(&mut self, edges: &[(usize, usize)]) -> Result<usize, ClientError> {
-        let resp = self.call(&Request::AddEdges { edges: edges.to_vec() })?;
-        resp.get("invalidated")
-            .and_then(Json::as_usize)
-            .ok_or(ClientError::BadResponse("missing invalidated count"))
+        match self.call(&Request::AddEdges {
+            edges: edges.to_vec(),
+        })? {
+            Response::EdgesAdded { invalidated } => Ok(invalidated),
+            _ => Err(ClientError::BadResponse("expected edges_added")),
+        }
     }
 
     /// Appends a node; returns its id.
@@ -148,15 +137,20 @@ impl Client {
         neighbors: &[usize],
         features: &[f32],
     ) -> Result<usize, ClientError> {
-        let resp = self.call(&Request::AddNode {
+        match self.call(&Request::AddNode {
             neighbors: neighbors.to_vec(),
             features: features.to_vec(),
-        })?;
-        resp.get("node").and_then(Json::as_usize).ok_or(ClientError::BadResponse("missing node id"))
+        })? {
+            Response::NodeAdded { node } => Ok(node),
+            _ => Err(ClientError::BadResponse("expected node_added")),
+        }
     }
 
     /// Asks the server to stop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.call(&Request::Shutdown).map(|_| ())
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            _ => Err(ClientError::BadResponse("expected shutdown ack")),
+        }
     }
 }

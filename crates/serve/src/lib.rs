@@ -60,5 +60,5 @@ pub use cache::{CacheStats, EmbeddingCache};
 pub use client::{Client, ClientError};
 pub use engine::{Engine, EngineError, EngineStats};
 pub use json::Json;
-pub use protocol::{read_frame, write_frame, ProtocolError, Request};
-pub use server::Server;
+pub use protocol::{read_frame, write_frame, ProtocolError, Request, Response, ServerStats};
+pub use server::{Server, ServerOptions};

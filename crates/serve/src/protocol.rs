@@ -2,12 +2,19 @@
 //! vocabulary shared by server and client.
 //!
 //! Frame layout: `u32` little-endian payload length, then that many bytes of
-//! UTF-8 JSON. Responses are objects with an `"ok"` field: `{"ok":true,...}`
-//! on success, `{"ok":false,"error":"..."}` on failure.
+//! UTF-8 JSON. Both directions carry a *tagged* document: requests have an
+//! `"op"` field, responses have a `"kind"` field plus an `"ok"` boolean
+//! (`{"ok":true,...}` on success, `{"ok":false,"error":"..."}` on failure).
+//! The tags exist only at the parse boundary — everything behind
+//! [`Request::from_json`] / [`Response::from_json`] dispatches on the
+//! [`Request`] and [`Response`] enums with exhaustive matches, so adding an
+//! op is a compile-error-guided edit, not a string hunt.
 
 use std::io::{Read, Write};
 
-use crate::json::{Json, JsonError};
+use gcmae_obs::{HistogramSnapshot, Snapshot};
+
+use crate::json::{f32_to_json, json_to_f32, Json, JsonError};
 
 /// Frames larger than this are rejected before allocation — a corrupt or
 /// adversarial length prefix must not OOM the server.
@@ -68,20 +75,22 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtocolError> {
     }
     let mut payload = vec![0_u8; len];
     r.read_exact(&mut payload)?;
-    let text =
-        std::str::from_utf8(&payload).map_err(|_| ProtocolError::BadMessage("not utf-8"))?;
+    let text = std::str::from_utf8(&payload).map_err(|_| ProtocolError::BadMessage("not utf-8"))?;
     Json::parse(text).map_err(ProtocolError::BadJson)
 }
 
-/// A client request. `Embed`, `LinkScore`, and `TopK` are read-only and may
-/// be coalesced into one encoder forward by the scheduler; `AddEdges` and
-/// `AddNode` mutate the graph and act as ordering barriers.
+/// A client request. `Ping`, `Stats`, `Metrics`, `Embed`, `LinkScore`, and
+/// `TopK` are read-only and may be coalesced into one encoder forward by the
+/// scheduler; `AddEdges` and `AddNode` mutate the graph and act as ordering
+/// barriers.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Liveness check.
     Ping,
     /// Server counters (cache hits/misses, epoch, graph size).
     Stats,
+    /// Point-in-time telemetry snapshot: counters, gauges, histograms.
+    Metrics,
     /// Embeddings for the listed nodes.
     Embed {
         /// Target node ids (duplicates allowed; order is preserved).
@@ -119,61 +128,64 @@ impl Request {
     /// True for requests that never mutate engine state — the scheduler may
     /// batch these together.
     pub fn is_read_only(&self) -> bool {
-        !matches!(self, Request::AddEdges { .. } | Request::AddNode { .. } | Request::Shutdown)
+        match self {
+            Request::Ping
+            | Request::Stats
+            | Request::Metrics
+            | Request::Embed { .. }
+            | Request::LinkScore { .. }
+            | Request::TopK { .. } => true,
+            Request::AddEdges { .. } | Request::AddNode { .. } | Request::Shutdown => false,
+        }
+    }
+
+    /// Wire tag, also used as the per-op telemetry counter suffix.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Embed { .. } => "embed",
+            Request::LinkScore { .. } => "link_score",
+            Request::TopK { .. } => "top_k",
+            Request::AddEdges { .. } => "add_edges",
+            Request::AddNode { .. } => "add_node",
+            Request::Shutdown => "shutdown",
+        }
     }
 
     /// Serializes the request to its wire document.
     pub fn to_json(&self) -> Json {
-        let op = |name: &str| ("op".to_string(), Json::str(name));
+        let mut fields = vec![("op".to_string(), Json::str(self.op_name()))];
         match self {
-            Request::Ping => Json::Obj(vec![op("ping")]),
-            Request::Stats => Json::Obj(vec![op("stats")]),
-            Request::Embed { nodes } => Json::Obj(vec![
-                op("embed"),
-                ("nodes".into(), Json::Arr(nodes.iter().map(|&n| Json::int(n)).collect())),
-            ]),
-            Request::LinkScore { pairs } => Json::Obj(vec![
-                op("link_score"),
-                (
-                    "pairs".into(),
-                    Json::Arr(
-                        pairs
-                            .iter()
-                            .map(|&(u, v)| Json::Arr(vec![Json::int(u), Json::int(v)]))
-                            .collect(),
-                    ),
-                ),
-            ]),
-            Request::TopK { node, k } => Json::Obj(vec![
-                op("top_k"),
-                ("node".into(), Json::int(*node)),
-                ("k".into(), Json::int(*k)),
-            ]),
-            Request::AddEdges { edges } => Json::Obj(vec![
-                op("add_edges"),
-                (
-                    "edges".into(),
-                    Json::Arr(
-                        edges
-                            .iter()
-                            .map(|&(u, v)| Json::Arr(vec![Json::int(u), Json::int(v)]))
-                            .collect(),
-                    ),
-                ),
-            ]),
-            Request::AddNode { neighbors, features } => Json::Obj(vec![
-                op("add_node"),
-                (
+            Request::Ping | Request::Stats | Request::Metrics | Request::Shutdown => {}
+            Request::Embed { nodes } => {
+                fields.push((
+                    "nodes".into(),
+                    Json::Arr(nodes.iter().map(|&n| Json::int(n)).collect()),
+                ));
+            }
+            Request::LinkScore { pairs } => fields.push(("pairs".into(), pairs_to_json(pairs))),
+            Request::TopK { node, k } => {
+                fields.push(("node".into(), Json::int(*node)));
+                fields.push(("k".into(), Json::int(*k)));
+            }
+            Request::AddEdges { edges } => fields.push(("edges".into(), pairs_to_json(edges))),
+            Request::AddNode {
+                neighbors,
+                features,
+            } => {
+                fields.push((
                     "neighbors".into(),
                     Json::Arr(neighbors.iter().map(|&n| Json::int(n)).collect()),
-                ),
-                (
+                ));
+                fields.push((
                     "features".into(),
-                    Json::Arr(features.iter().map(|&v| crate::json::f32_to_json(v)).collect()),
-                ),
-            ]),
-            Request::Shutdown => Json::Obj(vec![op("shutdown")]),
+                    Json::Arr(features.iter().map(|&v| f32_to_json(v)).collect()),
+                ));
+            }
         }
+        Json::Obj(fields)
     }
 
     /// Parses a wire document into a request.
@@ -185,9 +197,14 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
-            "embed" => Ok(Request::Embed { nodes: usize_list(doc, "nodes")? }),
-            "link_score" => Ok(Request::LinkScore { pairs: pair_list(doc, "pairs")? }),
+            "embed" => Ok(Request::Embed {
+                nodes: usize_list(doc, "nodes")?,
+            }),
+            "link_score" => Ok(Request::LinkScore {
+                pairs: pair_list(doc, "pairs")?,
+            }),
             "top_k" => {
                 let node = doc
                     .get("node")
@@ -199,7 +216,9 @@ impl Request {
                     .ok_or(ProtocolError::BadMessage("top_k needs k"))?;
                 Ok(Request::TopK { node, k })
             }
-            "add_edges" => Ok(Request::AddEdges { edges: pair_list(doc, "edges")? }),
+            "add_edges" => Ok(Request::AddEdges {
+                edges: pair_list(doc, "edges")?,
+            }),
             "add_node" => {
                 let neighbors = usize_list(doc, "neighbors")?;
                 let features = doc
@@ -208,15 +227,384 @@ impl Request {
                     .ok_or(ProtocolError::BadMessage("add_node needs features"))?
                     .iter()
                     .map(|j| {
-                        crate::json::json_to_f32(j)
-                            .ok_or(ProtocolError::BadMessage("feature must be a number"))
+                        json_to_f32(j).ok_or(ProtocolError::BadMessage("feature must be a number"))
                     })
                     .collect::<Result<Vec<f32>, _>>()?;
-                Ok(Request::AddNode { neighbors, features })
+                Ok(Request::AddNode {
+                    neighbors,
+                    features,
+                })
             }
             _ => Err(ProtocolError::BadMessage("unknown op")),
         }
     }
+}
+
+/// Typed scheduler + engine counters behind the `stats` op. Wire field names
+/// match the historical flat response, so pre-enum clients keep parsing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServerStats {
+    /// Nodes in the resident graph.
+    pub num_nodes: usize,
+    /// Undirected edges in the resident graph.
+    pub num_edges: usize,
+    /// Embedding width.
+    pub embed_dim: usize,
+    /// Cache row lookups answered without recompute.
+    pub cache_hits: u64,
+    /// Cache row lookups that required a recompute.
+    pub cache_misses: u64,
+    /// Rows currently valid in the cache.
+    pub cache_resident: usize,
+    /// Mutations observed by the cache.
+    pub cache_epoch: u64,
+    /// Rows cleared by graph mutations (cumulative).
+    pub invalidated: u64,
+    /// Coalesced groups executed by the scheduler.
+    pub batches: u64,
+    /// Read-only jobs answered across all groups.
+    pub batched_jobs: u64,
+    /// Configured coalescing cap.
+    pub max_batch: usize,
+}
+
+/// A server response — exactly one variant per [`Request`] outcome, plus
+/// [`Response::Error`]. `to_json`/`from_json` are total over the enum, so an
+/// unhandled variant is a compile error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `Ping` succeeded.
+    Pong,
+    /// `Stats` payload.
+    Stats(ServerStats),
+    /// `Embed` payload: one row per requested node, in request order.
+    Embeddings {
+        /// Embedding width.
+        dim: usize,
+        /// `rows[i]` is the embedding of `nodes[i]`.
+        rows: Vec<Vec<f32>>,
+    },
+    /// `LinkScore` payload, in request order.
+    Scores(Vec<f32>),
+    /// `TopK` payload: `(neighbor, score)` ranked best-first.
+    Neighbors(Vec<(usize, f32)>),
+    /// `AddEdges` payload: how many cached rows were invalidated.
+    EdgesAdded {
+        /// Cached embedding rows cleared by this mutation.
+        invalidated: usize,
+    },
+    /// `AddNode` payload: the id assigned to the new node.
+    NodeAdded {
+        /// New node id.
+        node: usize,
+    },
+    /// `Metrics` payload: live telemetry snapshot.
+    Metrics(Snapshot),
+    /// `Shutdown` acknowledged; the server stops after this frame.
+    ShutdownAck,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// True unless this is [`Response::Error`].
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error { .. })
+    }
+
+    /// Wire tag under the `"kind"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Pong => "pong",
+            Response::Stats(_) => "stats",
+            Response::Embeddings { .. } => "embeddings",
+            Response::Scores(_) => "scores",
+            Response::Neighbors(_) => "neighbors",
+            Response::EdgesAdded { .. } => "edges_added",
+            Response::NodeAdded { .. } => "node_added",
+            Response::Metrics(_) => "metrics",
+            Response::ShutdownAck => "shutdown",
+            Response::Error { .. } => "error",
+        }
+    }
+
+    /// Serializes the response to its wire document. The `"ok"` boolean and
+    /// the flat payload field names predate the `"kind"` tag and are kept
+    /// for wire compatibility.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("ok".to_string(), Json::Bool(self.is_ok())),
+            ("kind".to_string(), Json::str(self.kind())),
+        ];
+        match self {
+            Response::Pong => fields.push(("pong".into(), Json::Bool(true))),
+            Response::Stats(s) => {
+                fields.push(("num_nodes".into(), Json::int(s.num_nodes)));
+                fields.push(("num_edges".into(), Json::int(s.num_edges)));
+                fields.push(("embed_dim".into(), Json::int(s.embed_dim)));
+                fields.push(("cache_hits".into(), Json::num(s.cache_hits as f64)));
+                fields.push(("cache_misses".into(), Json::num(s.cache_misses as f64)));
+                fields.push(("cache_resident".into(), Json::int(s.cache_resident)));
+                fields.push(("cache_epoch".into(), Json::num(s.cache_epoch as f64)));
+                fields.push(("invalidated".into(), Json::num(s.invalidated as f64)));
+                fields.push(("batches".into(), Json::num(s.batches as f64)));
+                fields.push(("batched_jobs".into(), Json::num(s.batched_jobs as f64)));
+                fields.push(("max_batch".into(), Json::int(s.max_batch)));
+            }
+            Response::Embeddings { dim, rows } => {
+                fields.push(("dim".into(), Json::int(*dim)));
+                fields.push((
+                    "embeddings".into(),
+                    Json::Arr(
+                        rows.iter()
+                            .map(|row| Json::Arr(row.iter().map(|&v| f32_to_json(v)).collect()))
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::Scores(scores) => fields.push((
+                "scores".into(),
+                Json::Arr(scores.iter().map(|&s| f32_to_json(s)).collect()),
+            )),
+            Response::Neighbors(ranked) => fields.push((
+                "neighbors".into(),
+                Json::Arr(
+                    ranked
+                        .iter()
+                        .map(|&(v, s)| Json::Arr(vec![Json::int(v), f32_to_json(s)]))
+                        .collect(),
+                ),
+            )),
+            Response::EdgesAdded { invalidated } => {
+                fields.push(("invalidated".into(), Json::int(*invalidated)));
+            }
+            Response::NodeAdded { node } => fields.push(("node".into(), Json::int(*node))),
+            Response::Metrics(snap) => {
+                fields.push((
+                    "counters".into(),
+                    Json::Obj(
+                        snap.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+                            .collect(),
+                    ),
+                ));
+                fields.push((
+                    "gauges".into(),
+                    Json::Obj(
+                        snap.gauges
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::num(*v)))
+                            .collect(),
+                    ),
+                ));
+                fields.push((
+                    "histograms".into(),
+                    Json::Obj(
+                        snap.histograms
+                            .iter()
+                            .map(|h| {
+                                (
+                                    h.name.clone(),
+                                    Json::Obj(vec![
+                                        ("count".into(), Json::num(h.count as f64)),
+                                        ("sum".into(), Json::num(h.sum)),
+                                        ("p50".into(), Json::num(h.p50)),
+                                        ("p90".into(), Json::num(h.p90)),
+                                        ("p99".into(), Json::num(h.p99)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::ShutdownAck => {}
+            Response::Error { message } => {
+                fields.push(("error".into(), Json::str(message.clone())));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parses a wire document into a response.
+    pub fn from_json(doc: &Json) -> Result<Response, ProtocolError> {
+        let ok = doc
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or(ProtocolError::BadMessage("response missing ok field"))?;
+        if !ok {
+            let message = doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error")
+                .to_string();
+            return Ok(Response::Error { message });
+        }
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or(ProtocolError::BadMessage("response missing kind tag"))?;
+        match kind {
+            "pong" => Ok(Response::Pong),
+            "shutdown" => Ok(Response::ShutdownAck),
+            "stats" => {
+                let us = |key| {
+                    doc.get(key)
+                        .and_then(Json::as_usize)
+                        .ok_or(ProtocolError::BadMessage("stats field missing"))
+                };
+                let u64f = |key: &str| {
+                    doc.get(key)
+                        .and_then(Json::as_f64)
+                        .map(|v| v as u64)
+                        .ok_or(ProtocolError::BadMessage("stats field missing"))
+                };
+                Ok(Response::Stats(ServerStats {
+                    num_nodes: us("num_nodes")?,
+                    num_edges: us("num_edges")?,
+                    embed_dim: us("embed_dim")?,
+                    cache_hits: u64f("cache_hits")?,
+                    cache_misses: u64f("cache_misses")?,
+                    cache_resident: us("cache_resident")?,
+                    cache_epoch: u64f("cache_epoch")?,
+                    invalidated: u64f("invalidated")?,
+                    batches: u64f("batches")?,
+                    batched_jobs: u64f("batched_jobs")?,
+                    max_batch: us("max_batch")?,
+                }))
+            }
+            "embeddings" => {
+                let dim = doc
+                    .get("dim")
+                    .and_then(Json::as_usize)
+                    .ok_or(ProtocolError::BadMessage("embeddings missing dim"))?;
+                let rows = doc
+                    .get("embeddings")
+                    .and_then(Json::as_arr)
+                    .ok_or(ProtocolError::BadMessage("missing embeddings"))?
+                    .iter()
+                    .map(|row| {
+                        row.as_arr()
+                            .ok_or(ProtocolError::BadMessage("embedding row is not an array"))?
+                            .iter()
+                            .map(|v| {
+                                json_to_f32(v).ok_or(ProtocolError::BadMessage("non-numeric value"))
+                            })
+                            .collect()
+                    })
+                    .collect::<Result<Vec<Vec<f32>>, _>>()?;
+                Ok(Response::Embeddings { dim, rows })
+            }
+            "scores" => {
+                let scores = doc
+                    .get("scores")
+                    .and_then(Json::as_arr)
+                    .ok_or(ProtocolError::BadMessage("missing scores"))?
+                    .iter()
+                    .map(|v| json_to_f32(v).ok_or(ProtocolError::BadMessage("non-numeric score")))
+                    .collect::<Result<Vec<f32>, _>>()?;
+                Ok(Response::Scores(scores))
+            }
+            "neighbors" => {
+                let ranked = doc
+                    .get("neighbors")
+                    .and_then(Json::as_arr)
+                    .ok_or(ProtocolError::BadMessage("missing neighbors"))?
+                    .iter()
+                    .map(|item| {
+                        let pair = item
+                            .as_arr()
+                            .ok_or(ProtocolError::BadMessage("neighbor is not a pair"))?;
+                        let id = pair
+                            .first()
+                            .and_then(Json::as_usize)
+                            .ok_or(ProtocolError::BadMessage("bad neighbor id"))?;
+                        let score = pair
+                            .get(1)
+                            .and_then(json_to_f32)
+                            .ok_or(ProtocolError::BadMessage("bad neighbor score"))?;
+                        Ok((id, score))
+                    })
+                    .collect::<Result<Vec<(usize, f32)>, ProtocolError>>()?;
+                Ok(Response::Neighbors(ranked))
+            }
+            "edges_added" => {
+                let invalidated = doc
+                    .get("invalidated")
+                    .and_then(Json::as_usize)
+                    .ok_or(ProtocolError::BadMessage("missing invalidated count"))?;
+                Ok(Response::EdgesAdded { invalidated })
+            }
+            "node_added" => {
+                let node = doc
+                    .get("node")
+                    .and_then(Json::as_usize)
+                    .ok_or(ProtocolError::BadMessage("missing node id"))?;
+                Ok(Response::NodeAdded { node })
+            }
+            "metrics" => Ok(Response::Metrics(snapshot_from_json(doc)?)),
+            _ => Err(ProtocolError::BadMessage("unknown response kind")),
+        }
+    }
+}
+
+fn snapshot_from_json(doc: &Json) -> Result<Snapshot, ProtocolError> {
+    let obj = |key: &'static str| match doc.get(key) {
+        Some(Json::Obj(fields)) => Ok(fields.as_slice()),
+        _ => Err(ProtocolError::BadMessage("metrics section missing")),
+    };
+    let counters = obj("counters")?
+        .iter()
+        .map(|(k, v)| {
+            let n = v
+                .as_f64()
+                .ok_or(ProtocolError::BadMessage("counter must be a number"))?;
+            Ok((k.clone(), n as u64))
+        })
+        .collect::<Result<Vec<(String, u64)>, ProtocolError>>()?;
+    let gauges = obj("gauges")?
+        .iter()
+        .map(|(k, v)| {
+            // A non-finite gauge serializes as `null`; recover it as NaN.
+            Ok((k.clone(), v.as_f64().unwrap_or(f64::NAN)))
+        })
+        .collect::<Result<Vec<(String, f64)>, ProtocolError>>()?;
+    let histograms = obj("histograms")?
+        .iter()
+        .map(|(k, v)| {
+            let num = |key: &'static str| {
+                v.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(ProtocolError::BadMessage("histogram field missing"))
+            };
+            Ok(HistogramSnapshot {
+                name: k.clone(),
+                count: num("count")? as u64,
+                sum: num("sum")?,
+                p50: num("p50")?,
+                p90: num("p90")?,
+                p99: num("p99")?,
+            })
+        })
+        .collect::<Result<Vec<HistogramSnapshot>, ProtocolError>>()?;
+    Ok(Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+fn pairs_to_json(pairs: &[(usize, usize)]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|&(u, v)| Json::Arr(vec![Json::int(u), Json::int(v)]))
+            .collect(),
+    )
 }
 
 fn usize_list(doc: &Json, key: &'static str) -> Result<Vec<usize>, ProtocolError> {
@@ -224,7 +612,10 @@ fn usize_list(doc: &Json, key: &'static str) -> Result<Vec<usize>, ProtocolError
         .and_then(Json::as_arr)
         .ok_or(ProtocolError::BadMessage("missing id list"))?
         .iter()
-        .map(|j| j.as_usize().ok_or(ProtocolError::BadMessage("id must be a non-negative int")))
+        .map(|j| {
+            j.as_usize()
+                .ok_or(ProtocolError::BadMessage("id must be a non-negative int"))
+        })
         .collect()
 }
 
@@ -234,43 +625,21 @@ fn pair_list(doc: &Json, key: &'static str) -> Result<Vec<(usize, usize)>, Proto
         .ok_or(ProtocolError::BadMessage("missing pair list"))?
         .iter()
         .map(|j| {
-            let pair = j.as_arr().ok_or(ProtocolError::BadMessage("pair must be an array"))?;
+            let pair = j
+                .as_arr()
+                .ok_or(ProtocolError::BadMessage("pair must be an array"))?;
             if pair.len() != 2 {
                 return Err(ProtocolError::BadMessage("pair must have 2 elements"));
             }
-            let u = pair[0].as_usize().ok_or(ProtocolError::BadMessage("pair id must be int"))?;
-            let v = pair[1].as_usize().ok_or(ProtocolError::BadMessage("pair id must be int"))?;
+            let u = pair[0]
+                .as_usize()
+                .ok_or(ProtocolError::BadMessage("pair id must be int"))?;
+            let v = pair[1]
+                .as_usize()
+                .ok_or(ProtocolError::BadMessage("pair id must be int"))?;
             Ok((u, v))
         })
         .collect()
-}
-
-/// Builds a success response from payload fields.
-pub fn ok_response(fields: Vec<(String, Json)>) -> Json {
-    let mut all = vec![("ok".to_string(), Json::Bool(true))];
-    all.extend(fields);
-    Json::Obj(all)
-}
-
-/// Builds an error response.
-pub fn err_response(msg: impl std::fmt::Display) -> Json {
-    Json::Obj(vec![
-        ("ok".to_string(), Json::Bool(false)),
-        ("error".to_string(), Json::str(msg.to_string())),
-    ])
-}
-
-/// Splits a response into `Ok(payload)` / `Err(server message)`.
-pub fn check_response(doc: Json) -> Result<Json, ProtocolError> {
-    match doc.get("ok").and_then(Json::as_bool) {
-        Some(true) => Ok(doc),
-        Some(false) => {
-            // Surface the server's message; the static-str error type keeps
-            // the exact text in the Display output via BadJson-free path.
-            Err(ProtocolError::BadMessage("server returned an error (see response)"))
-        }
-        None => Err(ProtocolError::BadMessage("response missing ok field")),
-    }
 }
 
 #[cfg(test)]
@@ -282,8 +651,15 @@ mod tests {
     fn frames_roundtrip_through_a_buffer() {
         let docs = vec![
             Request::Ping.to_json(),
-            Request::Embed { nodes: vec![0, 5, 5, 2] }.to_json(),
-            Request::AddNode { neighbors: vec![1, 2], features: vec![0.25, -1.5e-3] }.to_json(),
+            Request::Embed {
+                nodes: vec![0, 5, 5, 2],
+            }
+            .to_json(),
+            Request::AddNode {
+                neighbors: vec![1, 2],
+                features: vec![0.25, -1.5e-3],
+            }
+            .to_json(),
         ];
         let mut buf = Vec::new();
         for d in &docs {
@@ -300,11 +676,21 @@ mod tests {
         let reqs = vec![
             Request::Ping,
             Request::Stats,
-            Request::Embed { nodes: vec![3, 1, 3] },
-            Request::LinkScore { pairs: vec![(0, 1), (7, 7)] },
+            Request::Metrics,
+            Request::Embed {
+                nodes: vec![3, 1, 3],
+            },
+            Request::LinkScore {
+                pairs: vec![(0, 1), (7, 7)],
+            },
             Request::TopK { node: 4, k: 10 },
-            Request::AddEdges { edges: vec![(1, 2), (0, 9)] },
-            Request::AddNode { neighbors: vec![0], features: vec![1.0, 2.5] },
+            Request::AddEdges {
+                edges: vec![(1, 2), (0, 9)],
+            },
+            Request::AddNode {
+                neighbors: vec![0],
+                features: vec![1.0, 2.5],
+            },
             Request::Shutdown,
         ];
         for r in reqs {
@@ -315,12 +701,99 @@ mod tests {
     }
 
     #[test]
+    fn every_response_roundtrips_through_json() {
+        let snap = Snapshot {
+            counters: vec![("serve.requests.embed".into(), 12)],
+            gauges: vec![("train.lr".into(), 0.0015)],
+            histograms: vec![HistogramSnapshot {
+                name: "serve.request.ns".into(),
+                count: 12,
+                sum: 48_000.0,
+                p50: 4096.0,
+                p90: 8192.0,
+                p99: 8192.0,
+            }],
+        };
+        let resps = vec![
+            Response::Pong,
+            Response::Stats(ServerStats {
+                num_nodes: 20,
+                num_edges: 31,
+                embed_dim: 8,
+                cache_hits: 100,
+                cache_misses: 7,
+                cache_resident: 20,
+                cache_epoch: 2,
+                invalidated: 5,
+                batches: 9,
+                batched_jobs: 40,
+                max_batch: 32,
+            }),
+            Response::Embeddings {
+                dim: 2,
+                rows: vec![vec![1.0, -0.5], vec![0.25, 3.5e-8]],
+            },
+            Response::Scores(vec![0.5, -1.25]),
+            Response::Neighbors(vec![(3, 0.75), (9, -0.5)]),
+            Response::EdgesAdded { invalidated: 4 },
+            Response::NodeAdded { node: 21 },
+            Response::Metrics(snap),
+            Response::ShutdownAck,
+            Response::Error {
+                message: "node 999 out of range".into(),
+            },
+        ];
+        for r in resps {
+            let doc = r.to_json();
+            let parsed = Json::parse(&doc.dump()).unwrap();
+            assert_eq!(
+                Response::from_json(&parsed).unwrap(),
+                r,
+                "kind {}",
+                r.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn responses_keep_legacy_wire_fields() {
+        // Pre-enum clients dispatch on `ok` and the flat payload names; the
+        // `kind` tag must be additive, not a replacement.
+        let doc = Response::Embeddings {
+            dim: 1,
+            rows: vec![vec![2.0]],
+        }
+        .to_json();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert!(doc.get("embeddings").is_some());
+        let doc = Response::Error {
+            message: "boom".into(),
+        }
+        .to_json();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("boom"));
+        // An error frame parses even without a kind tag (old servers).
+        let legacy = Json::parse("{\"ok\":false,\"error\":\"old\"}").unwrap();
+        assert_eq!(
+            Response::from_json(&legacy).unwrap(),
+            Response::Error {
+                message: "old".into()
+            }
+        );
+    }
+
+    #[test]
     fn read_only_classification_matches_mutation_set() {
         assert!(Request::Ping.is_read_only());
+        assert!(Request::Metrics.is_read_only());
         assert!(Request::Embed { nodes: vec![] }.is_read_only());
         assert!(Request::TopK { node: 0, k: 1 }.is_read_only());
         assert!(!Request::AddEdges { edges: vec![] }.is_read_only());
-        assert!(!Request::AddNode { neighbors: vec![], features: vec![] }.is_read_only());
+        assert!(!Request::AddNode {
+            neighbors: vec![],
+            features: vec![]
+        }
+        .is_read_only());
         assert!(!Request::Shutdown.is_read_only());
     }
 
@@ -352,12 +825,16 @@ mod tests {
     }
 
     #[test]
-    fn response_helpers_tag_ok_field() {
-        let ok = ok_response(vec![("x".into(), Json::int(1))]);
-        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
-        assert!(check_response(ok).is_ok());
-        let err = err_response("boom");
-        assert_eq!(err.get("error").unwrap().as_str(), Some("boom"));
-        assert!(check_response(err).is_err());
+    fn malformed_responses_are_rejected() {
+        for text in [
+            "{\"kind\":\"pong\"}",                             // missing ok
+            "{\"ok\":true}",                                   // missing kind
+            "{\"ok\":true,\"kind\":\"nope\"}",                 // unknown kind
+            "{\"ok\":true,\"kind\":\"stats\"}",                // missing payload
+            "{\"ok\":true,\"kind\":\"embeddings\",\"dim\":1}", // missing rows
+        ] {
+            let doc = Json::parse(text).unwrap();
+            assert!(Response::from_json(&doc).is_err(), "accepted {text}");
+        }
     }
 }

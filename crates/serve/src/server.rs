@@ -12,9 +12,29 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use gcmae_obs::{Observer, Registry};
+
 use crate::batcher::Batcher;
 use crate::engine::Engine;
-use crate::protocol::{err_response, read_frame, write_frame, Request};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// Tuning and telemetry knobs for [`Server::start_with`].
+pub struct ServerOptions {
+    /// Coalescing cap for the scheduler (see [`Batcher::new`]).
+    pub max_batch: usize,
+    /// Optional event sink receiving one `serve.request` event per answered
+    /// request (e.g. a [`gcmae_obs::JsonlObserver`]).
+    pub events: Option<Arc<dyn Observer>>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            events: None,
+        }
+    }
+}
 
 /// A running server. Dropping it without calling [`Server::shutdown`] stops
 /// the scheduler but leaves the port open until the process exits.
@@ -28,16 +48,38 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
     pub fn start(engine: Engine, addr: &str, max_batch: usize) -> io::Result<Server> {
+        Self::start_with(
+            engine,
+            addr,
+            ServerOptions {
+                max_batch,
+                events: None,
+            },
+        )
+    }
+
+    /// [`Server::start`] with explicit [`ServerOptions`].
+    pub fn start_with(engine: Engine, addr: &str, opts: ServerOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let batcher = Arc::new(Batcher::new(engine, max_batch));
+        let batcher = Arc::new(Batcher::with_events(engine, opts.max_batch, opts.events));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_batcher = Arc::clone(&batcher);
         let accept_stop = Arc::clone(&stop);
         let accept_handle =
             std::thread::spawn(move || accept_loop(listener, accept_batcher, accept_stop));
-        Ok(Server { addr: local, batcher, stop, accept_handle: Some(accept_handle) })
+        Ok(Server {
+            addr: local,
+            batcher,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The scheduler's telemetry registry (what the `metrics` op snapshots).
+    pub fn metrics(&self) -> Arc<Registry> {
+        self.batcher.metrics()
     }
 
     /// The bound address (resolves the actual port when 0 was requested).
@@ -113,9 +155,11 @@ fn handle_connection(mut stream: TcpStream, batcher: Arc<Batcher>, stop: Arc<Ato
             }
             // Malformed but parseable JSON: answer with an error and keep
             // the connection usable.
-            Err(e) => err_response(e),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
         };
-        if write_frame(&mut stream, &response).is_err() {
+        if write_frame(&mut stream, &response.to_json()).is_err() {
             return;
         }
     }
@@ -132,8 +176,10 @@ mod tests {
     fn engine(seed: u64) -> (Engine, Matrix) {
         let mut rng = seeded_rng(seed);
         let n = 16;
-        let edges: Vec<(usize, usize)> =
-            (1..n).map(|v| (v - 1, v)).chain([(0, 8), (3, 12)]).collect();
+        let edges: Vec<(usize, usize)> = (1..n)
+            .map(|v| (v - 1, v))
+            .chain([(0, 8), (3, 12)])
+            .collect();
         let graph = Graph::from_edges(n, &edges);
         let features = Matrix::uniform(n, 4, -1.0, 1.0, &mut rng);
         let cfg = GcmaeConfig {
@@ -215,6 +261,62 @@ mod tests {
         assert!(client.embed(&[999]).is_err());
         client.ping().unwrap();
         server.shutdown();
+    }
+
+    #[test]
+    fn metrics_and_events_flow_over_tcp() {
+        use gcmae_obs::JsonlObserver;
+        #[derive(Clone)]
+        struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (eng, _) = engine(6);
+        let buf = SharedBuf(Arc::new(std::sync::Mutex::new(Vec::new())));
+        let events: Arc<dyn Observer> = Arc::new(JsonlObserver::new(Box::new(buf.clone())));
+        let server = Server::start_with(
+            eng,
+            "127.0.0.1:0",
+            ServerOptions {
+                max_batch: 8,
+                events: Some(events),
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        client.ping().unwrap();
+        client.embed(&[1, 2]).unwrap();
+        let snap = client.metrics().unwrap();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("serve.requests.ping"), 1);
+        assert_eq!(counter("serve.requests.embed"), 1);
+        assert_eq!(
+            counter("serve.batches"),
+            3,
+            "each lone request is its own batch"
+        );
+        client.shutdown().unwrap();
+        server.shutdown();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // ping, embed, metrics, shutdown — one JSON line each
+        assert_eq!(lines.len(), 4, "events:\n{text}");
+        assert!(lines
+            .iter()
+            .all(|l| l.starts_with("{\"event\":\"serve.request\"")));
+        assert!(lines[1].contains("\"op\":\"embed\""));
     }
 
     #[test]

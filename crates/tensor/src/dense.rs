@@ -7,33 +7,59 @@
 
 use crate::matrix::Matrix;
 use crate::parallel::par_row_chunks_cost;
+use gcmae_obs::{kernel_span, KernelMetrics};
+
+/// All three dense variants report under one metric family: they share the
+/// same m·k·n cost model and the split by transpose is an implementation
+/// detail of autograd, not a workload distinction.
+static MATMUL_METRICS: KernelMetrics = KernelMetrics {
+    ns: "kernel.matmul.ns",
+    calls: "kernel.matmul.calls",
+    flops: "kernel.matmul.flops",
+};
+
+fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    (m as u64).saturating_mul(k as u64).saturating_mul(n as u64)
+}
 
 /// `A (m×k) · B (k×n) → (m×n)`.
 ///
 /// # Panics
 /// Panics on inner-dimension mismatch.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch {:?} x {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
     let (m, k) = a.shape();
     let n = b.cols();
+    let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
     let mut out = Matrix::zeros(m, n);
     // Each output row costs k·n multiply-adds, so a skinny m×n output with a
     // deep inner dimension still crosses the parallel threshold.
-    par_row_chunks_cost(out.as_mut_slice(), n, k.max(1).saturating_mul(n), |r0, chunk| {
-        for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
-            let ar = a.row(r0 + dr);
-            for p in 0..k {
-                let av = ar[p];
-                if av == 0.0 {
-                    continue;
-                }
-                let br = b.row(p);
-                for (o, &bv) in out_row.iter_mut().zip(br) {
-                    *o += av * bv;
+    par_row_chunks_cost(
+        out.as_mut_slice(),
+        n,
+        k.max(1).saturating_mul(n),
+        |r0, chunk| {
+            for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+                let ar = a.row(r0 + dr);
+                for p in 0..k {
+                    let av = ar[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let br = b.row(p);
+                    for (o, &bv) in out_row.iter_mut().zip(br) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     out
 }
 
@@ -42,52 +68,76 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// Both operands are walked row-wise, so this is the cache-friendly way to
 /// build similarity/Gram matrices.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "matmul_nt shape mismatch {:?} x {:?}ᵀ", a.shape(), b.shape());
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt shape mismatch {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
     let m = a.rows();
     let n = b.rows();
     let k = a.cols();
+    let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
     let mut out = Matrix::zeros(m, n);
-    par_row_chunks_cost(out.as_mut_slice(), n, k.max(1).saturating_mul(n), |r0, chunk| {
-        for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
-            let ar = a.row(r0 + dr);
-            for (o, j) in out_row.iter_mut().zip(0..n) {
-                let br = b.row(j);
-                let mut acc = 0.0f32;
-                for (&x, &y) in ar.iter().zip(br) {
-                    acc += x * y;
+    par_row_chunks_cost(
+        out.as_mut_slice(),
+        n,
+        k.max(1).saturating_mul(n),
+        |r0, chunk| {
+            for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+                let ar = a.row(r0 + dr);
+                for (o, j) in out_row.iter_mut().zip(0..n) {
+                    let br = b.row(j);
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in ar.iter().zip(br) {
+                        acc += x * y;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
-    });
+        },
+    );
     out
 }
 
 /// `Aᵀ (k×m from A m×k) · B (m×n) → (k×n)`.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch {:?}ᵀ x {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn shape mismatch {:?}ᵀ x {:?}",
+        a.shape(),
+        b.shape()
+    );
     let k = a.cols();
     let n = b.cols();
     let m = a.rows();
+    let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
     let mut out = Matrix::zeros(k, n);
     // Row-parallel over the k×n output like the other variants; each output
     // row costs m·n multiply-adds (accumulating row p of B scaled by
     // A[p][row] keeps the inner walk sequential in memory).
-    par_row_chunks_cost(out.as_mut_slice(), n, m.max(1).saturating_mul(n), |r0, chunk| {
-        for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
-            let c = r0 + dr; // output row == column of A
-            for p in 0..m {
-                let av = a.row(p)[c];
-                if av == 0.0 {
-                    continue;
-                }
-                let br = b.row(p);
-                for (o, &bv) in out_row.iter_mut().zip(br) {
-                    *o += av * bv;
+    par_row_chunks_cost(
+        out.as_mut_slice(),
+        n,
+        m.max(1).saturating_mul(n),
+        |r0, chunk| {
+            for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+                let c = r0 + dr; // output row == column of A
+                for p in 0..m {
+                    let av = a.row(p)[c];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let br = b.row(p);
+                    for (o, &bv) in out_row.iter_mut().zip(br) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     out
 }
 

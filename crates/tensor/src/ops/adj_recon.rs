@@ -21,6 +21,15 @@ use crate::dense::{dot, matmul, matmul_nt};
 use crate::matrix::Matrix;
 use crate::parallel::{par_rows, RowTable};
 use crate::sparse::SharedCsr;
+use gcmae_obs::{kernel_span, KernelMetrics};
+
+/// Flops count the O(n²) pair loop only; the Gram matmul reports under
+/// `kernel.matmul` itself.
+static ADJ_RECON_METRICS: KernelMetrics = KernelMetrics {
+    ns: "kernel.adj_recon.ns",
+    calls: "kernel.adj_recon.calls",
+    flops: "kernel.adj_recon.flops",
+};
 
 /// Floor inside the relative-distance logs (bounds the gradient).
 const DIST_EPS: f32 = 1e-3;
@@ -40,7 +49,11 @@ pub struct Weights {
 
 impl Default for Weights {
     fn default() -> Self {
-        Self { mse: 1.0, bce: 1.0, dist: 1.0 }
+        Self {
+            mse: 1.0,
+            bce: 1.0,
+            dist: 1.0,
+        }
     }
 }
 
@@ -85,6 +98,7 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
     assert_eq!(adj.rows(), n, "adjacency rows mismatch");
     assert_eq!(adj.cols(), n, "adjacency must be square over the subgraph");
     assert!(n >= 2, "adjacency reconstruction needs >= 2 nodes");
+    let _span = kernel_span(&ADJ_RECON_METRICS, 16 * (n as u64).saturating_mul(n as u64));
 
     let s = matmul_nt(z, z);
     let pairs = (n * (n - 1)) as f32;
@@ -121,8 +135,11 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
                 while next < adj_cols.len() && (adj_cols[next] as usize) < j {
                     next += 1;
                 }
-                let a =
-                    if next < adj_cols.len() && adj_cols[next] as usize == j { 1.0 } else { 0.0 };
+                let a = if next < adj_cols.len() && adj_cols[next] as usize == j {
+                    1.0
+                } else {
+                    0.0
+                };
                 let wc = if a == 1.0 { w_pos } else { w_neg };
                 let p = sigmoid(s_row[j]);
                 let pc = p.clamp(P_CLAMP, 1.0 - P_CLAMP);
@@ -181,11 +198,23 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
     let num_mean = num / neg_pairs;
     let dist = (den_mean + DIST_EPS).ln() - (num_mean + DIST_EPS).ln();
 
-    let comps = Components { mse: w.mse * mse, bce: w.bce * bce, dist: w.dist * dist };
+    let comps = Components {
+        mse: w.mse * mse,
+        bce: w.bce * bce,
+        dist: w.dist * dist,
+    };
     (
         comps.total(),
         comps,
-        Saved { adj, coeff, den, num, pos_pairs, neg_pairs, w_dist: w.dist },
+        Saved {
+            adj,
+            coeff,
+            den,
+            num,
+            pos_pairs,
+            neg_pairs,
+            w_dist: w.dist,
+        },
     )
 }
 
@@ -270,7 +299,15 @@ mod tests {
         let adj = path_graph(3);
         let mut rng = StdRng::seed_from_u64(3);
         let z = Matrix::uniform(3, 2, -1.0, 1.0, &mut rng);
-        let (_, c, _) = forward(&z, adj.clone(), Weights { mse: 0.0, bce: 1.0, dist: 0.0 });
+        let (_, c, _) = forward(
+            &z,
+            adj.clone(),
+            Weights {
+                mse: 0.0,
+                bce: 1.0,
+                dist: 0.0,
+            },
+        );
         assert_eq!(c.mse, 0.0);
         assert_eq!(c.dist, 0.0);
         assert!(c.bce > 0.0);
@@ -307,7 +344,15 @@ mod tests {
         // each other when only the distance term is active.
         let adj = path_graph(2);
         let z = Matrix::from_vec(2, 1, vec![-1.0, 1.0]);
-        let (_, _, saved) = forward(&z, adj, Weights { mse: 0.0, bce: 0.0, dist: 1.0 });
+        let (_, _, saved) = forward(
+            &z,
+            adj,
+            Weights {
+                mse: 0.0,
+                bce: 0.0,
+                dist: 1.0,
+            },
+        );
         let g = backward(&saved, &z, 1.0);
         // minimizing: z0 should move toward +, z1 toward −
         assert!(g.as_slice()[0] < 0.0 && g.as_slice()[1] > 0.0);

@@ -6,8 +6,17 @@
 use crate::dense::matmul_nt;
 use crate::matrix::Matrix;
 use crate::parallel::{par_row_blocks, par_rows, RowTable};
+use gcmae_obs::{kernel_span, KernelMetrics};
 
 const EPS: f32 = 1e-8;
+
+/// Flops count the O(n²) anchor loops only; the similarity matmuls report
+/// under `kernel.matmul` themselves.
+static INFONCE_METRICS: KernelMetrics = KernelMetrics {
+    ns: "kernel.infonce.ns",
+    calls: "kernel.infonce.calls",
+    flops: "kernel.infonce.flops",
+};
 
 /// State saved by the forward pass.
 pub struct Saved {
@@ -33,6 +42,7 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
     assert!(tau > 0.0, "temperature must be positive");
     let n = u.rows();
     assert!(n >= 2, "InfoNCE needs at least two anchors");
+    let _span = kernel_span(&INFONCE_METRICS, 16 * (n as u64).saturating_mul(n as u64));
 
     let (un, u_norms) = normalize_rows(u);
     let (vn, v_norms) = normalize_rows(v);
@@ -105,7 +115,20 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
         }
     }
     let loss = (row_loss.iter().sum::<f64>() / (2 * n) as f64) as f32;
-    (loss, Saved { un, vn, u_norms, v_norms, g_uv, g_uu, g_vu, g_vv, tau })
+    (
+        loss,
+        Saved {
+            un,
+            vn,
+            u_norms,
+            v_norms,
+            g_uv,
+            g_uu,
+            g_vu,
+            g_vv,
+            tau,
+        },
+    )
 }
 
 /// One anchor's loss; fills coefficient rows with `p_j − δ_ij` (inter) and
@@ -142,7 +165,11 @@ fn side_row(
     for j in 0..n {
         let p = (((inter[j] - m) as f64).exp() / denom) as f32;
         g_inter[j] = if j == i { p - 1.0 } else { p };
-        g_intra[j] = if j == i { 0.0 } else { (((intra[j] - m) as f64).exp() / denom) as f32 };
+        g_intra[j] = if j == i {
+            0.0
+        } else {
+            (((intra[j] - m) as f64).exp() / denom) as f32
+        };
     }
     loss
 }

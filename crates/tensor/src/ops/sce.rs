@@ -7,8 +7,15 @@ use std::sync::Arc;
 
 use crate::matrix::Matrix;
 use crate::parallel::{par_rows, RowTable};
+use gcmae_obs::{kernel_span, KernelMetrics};
 
 const EPS: f32 = 1e-8;
+
+static SCE_METRICS: KernelMetrics = KernelMetrics {
+    ns: "kernel.sce.ns",
+    calls: "kernel.sce.calls",
+    flops: "kernel.sce.flops",
+};
 
 /// State saved by the forward pass for the backward pass.
 pub struct Saved {
@@ -31,6 +38,10 @@ pub fn forward(pred: &Matrix, target: Arc<Matrix>, rows: Vec<usize>, gamma: f32)
     // triple and loss partial in parallel; partials are reduced sequentially
     // in list order, keeping the loss bit-identical for any thread count.
     let m = rows.len();
+    let _span = kernel_span(
+        &SCE_METRICS,
+        (m as u64).saturating_mul(3 * pred.cols() as u64 + 16),
+    );
     let mut cached = vec![(0.0f32, 0.0f32, 0.0f32); m];
     let mut row_loss = vec![0.0f64; m];
     {
@@ -53,7 +64,15 @@ pub fn forward(pred: &Matrix, target: Arc<Matrix>, rows: Vec<usize>, gamma: f32)
         });
     }
     let loss = (row_loss.iter().sum::<f64>() / m as f64) as f32;
-    (loss, Saved { target, rows, gamma, cached })
+    (
+        loss,
+        Saved {
+            target,
+            rows,
+            gamma,
+            cached,
+        },
+    )
 }
 
 /// Gradient of the loss with respect to `pred`, scaled by the upstream scalar
@@ -136,7 +155,10 @@ mod tests {
         let pred = Matrix::from_vec(1, 2, vec![1.0, 0.3]);
         let (l1, _) = forward(&pred, target.clone(), vec![0], 1.0);
         let (l3, _) = forward(&pred, target, vec![0], 3.0);
-        assert!(l3 < l1, "higher gamma must shrink sub-1 errors: {l3} !< {l1}");
+        assert!(
+            l3 < l1,
+            "higher gamma must shrink sub-1 errors: {l3} !< {l1}"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ pub fn num_threads() -> usize {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(0)
     });
-    resolve_threads(env, std::thread::available_parallelism().map_or(1, |n| n.get()))
+    resolve_threads(
+        env,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )
 }
 
 /// Pure thread-count resolution (env wins over the hardware default), kept
@@ -173,7 +176,10 @@ struct Latch {
 
 impl Latch {
     fn new(pending: usize) -> Arc<Self> {
-        Arc::new(Self { pending: Mutex::new(pending), cv: Condvar::new() })
+        Arc::new(Self {
+            pending: Mutex::new(pending),
+            cv: Condvar::new(),
+        })
     }
 
     fn complete(&self, k: usize) {
@@ -349,7 +355,10 @@ fn worker_loop(p: &'static Pool) {
                 q = p.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let mut completion = JobCompletion { job: &job, done: false };
+        let mut completion = JobCompletion {
+            job: &job,
+            done: false,
+        };
         if job.kill {
             // Injected fault: unwind out of the loop. `completion` fails the
             // job and checks in; `_respawn` shrinks the live-worker count.
@@ -388,6 +397,7 @@ where
     let threads = num_threads();
     let total_cost = rows.saturating_mul(cost_per_row.max(1));
     if threads <= 1 || rows < 2 || total_cost < PAR_FLOP_THRESHOLD {
+        gcmae_obs::counter_add("pool.dispatch.inline", 1);
         f(0..rows);
         return;
     }
@@ -396,9 +406,12 @@ where
     let n_blocks = rows.div_ceil(block_rows);
     let n_jobs = (n_blocks - 1).min(MAX_THREADS - 1);
     if n_jobs == 0 {
+        gcmae_obs::counter_add("pool.dispatch.inline", 1);
         f(0..rows);
         return;
     }
+    gcmae_obs::counter_add("pool.dispatch.parallel", 1);
+    gcmae_obs::counter_add("pool.dispatch.jobs", n_jobs as u64);
 
     let header = TaskHeader {
         call: call_closure::<F>,
@@ -417,7 +430,11 @@ where
     {
         let mut q = lock(&p.queue);
         for i in 0..n_jobs {
-            q.push_back(Job { task: &header, latch: latch.clone(), kill: i < kills });
+            q.push_back(Job {
+                task: &header,
+                latch: latch.clone(),
+                kill: i < kills,
+            });
         }
     }
     p.cv.notify_all();
@@ -521,7 +538,12 @@ impl<'a, T> RowTable<'a, T> {
     pub fn new(buf: &'a mut [T], row_len: usize) -> Self {
         assert!(row_len > 0, "row_len must be positive");
         assert_eq!(buf.len() % row_len, 0, "buffer not a whole number of rows");
-        Self { ptr: buf.as_mut_ptr(), rows: buf.len() / row_len, row_len, _marker: PhantomData }
+        Self {
+            ptr: buf.as_mut_ptr(),
+            rows: buf.len() / row_len,
+            row_len,
+            _marker: PhantomData,
+        }
     }
 
     /// Mutable view of row `r`.
@@ -658,7 +680,11 @@ mod tests {
                 assert!(buf.iter().all(|&v| v == 1.0));
             }
         });
-        assert!(pool_size() <= MAX_THREADS - 1, "pool leaked threads: {}", pool_size());
+        assert!(
+            pool_size() <= MAX_THREADS - 1,
+            "pool leaked threads: {}",
+            pool_size()
+        );
     }
 
     #[test]
@@ -700,7 +726,7 @@ mod tests {
         });
         assert!(result.is_err(), "panic must propagate to the caller");
         set_num_threads(0); // the panic skipped with_threads' restore
-        // The pool must stay usable afterwards.
+                            // The pool must stay usable afterwards.
         let mut buf = vec![0.0f32; 1024 * 16];
         with_threads(4, || {
             par_row_chunks_cost(&mut buf, 16, 1 << 12, |_, chunk| {
@@ -729,7 +755,10 @@ mod tests {
             .downcast_ref::<String>()
             .cloned()
             .expect("formatted panics carry a String payload");
-        assert!(msg.contains("kernel exploded"), "payload was replaced: {msg}");
+        assert!(
+            msg.contains("kernel exploded"),
+            "payload was replaced: {msg}"
+        );
         set_num_threads(0); // the panic skipped with_threads' restore
     }
 

@@ -8,6 +8,15 @@ use std::sync::Arc;
 
 use crate::matrix::Matrix;
 use crate::parallel::{par_row_blocks, par_row_chunks_cost, RowTable};
+use gcmae_obs::{kernel_span, KernelMetrics};
+
+/// Sparse×dense products (full and row-restricted) share one metric family;
+/// flops are counted as nnz·cols multiply-adds actually touched.
+static SPMM_METRICS: KernelMetrics = KernelMetrics {
+    ns: "kernel.spmm.ns",
+    calls: "kernel.spmm.calls",
+    flops: "kernel.spmm.flops",
+};
 
 /// An immutable CSR sparse matrix of `f32` values.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,14 +43,31 @@ impl CsrMatrix {
         values: Vec<f32>,
     ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr must have rows+1 entries");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr tail mismatch");
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr tail mismatch"
+        );
+        assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be non-decreasing"
+        );
         assert!(
             indices.iter().all(|&c| (c as usize) < cols),
             "column index out of range"
         );
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Builds a CSR matrix from unsorted `(row, col, value)` triplets.
@@ -74,8 +100,11 @@ impl CsrMatrix {
         let mut out_values = Vec::with_capacity(nnz);
         for r in 0..rows {
             let (s, e) = (indptr[r], indptr[r + 1]);
-            let mut row: Vec<(u32, f32)> =
-                indices[s..e].iter().copied().zip(values[s..e].iter().copied()).collect();
+            let mut row: Vec<(u32, f32)> = indices[s..e]
+                .iter()
+                .copied()
+                .zip(values[s..e].iter().copied())
+                .collect();
             row.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < row.len() {
@@ -91,7 +120,13 @@ impl CsrMatrix {
             }
             out_indptr[r + 1] = out_indices.len();
         }
-        Self { rows, cols, indptr: out_indptr, indices: out_indices, values: out_values }
+        Self {
+            rows,
+            cols,
+            indptr: out_indptr,
+            indices: out_indices,
+            values: out_values,
+        }
     }
 
     /// Number of rows.
@@ -147,7 +182,9 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.rows).flat_map(move |r| {
             let (cols, vals) = self.row(r);
-            cols.iter().zip(vals).map(move |(&c, &v)| (r, c as usize, v))
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -170,7 +207,13 @@ impl CsrMatrix {
             values[pos] = v;
             cursor[c] += 1;
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Dense copy (for tests and small matrices only).
@@ -196,8 +239,16 @@ impl CsrMatrix {
     /// Sparse × dense product accumulated into `out` (overwritten).
     pub fn matmul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows(), "spmm shape mismatch");
-        assert_eq!(out.shape(), (self.rows, rhs.cols()), "spmm output shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols()),
+            "spmm output shape mismatch"
+        );
         let cols = rhs.cols();
+        let _span = kernel_span(
+            &SPMM_METRICS,
+            (self.nnz() as u64).saturating_mul(cols as u64),
+        );
         // Average per-row cost: (nnz / rows) · cols multiply-adds, so sparse
         // products over few wide rows still engage the pool.
         let row_cost = (self.nnz() / self.rows.max(1)).max(1).saturating_mul(cols);
@@ -230,8 +281,15 @@ impl CsrMatrix {
     /// Panics on shape mismatch or an out-of-range row index.
     pub fn matmul_dense_rows(&self, rhs: &Matrix, rows: &[usize], out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows(), "spmm shape mismatch");
-        assert_eq!(out.shape(), (self.rows, rhs.cols()), "spmm output shape mismatch");
-        assert!(rows.iter().all(|&r| r < self.rows), "row index out of range");
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols()),
+            "spmm output shape mismatch"
+        );
+        assert!(
+            rows.iter().all(|&r| r < self.rows),
+            "row index out of range"
+        );
         debug_assert!(
             {
                 let mut seen = vec![false; self.rows];
@@ -243,6 +301,15 @@ impl CsrMatrix {
         if cols == 0 {
             return;
         }
+        // Exact flop attribution needs a pass over the listed rows; only pay
+        // for it when somebody is listening.
+        let flops = if gcmae_obs::enabled() {
+            let nnz: u64 = rows.iter().map(|&r| self.row(r).0.len() as u64).sum();
+            nnz.saturating_mul(cols as u64)
+        } else {
+            0
+        };
+        let _span = kernel_span(&SPMM_METRICS, flops);
         let row_cost = (self.nnz() / self.rows.max(1)).max(1).saturating_mul(cols);
         let table = RowTable::new(out.as_mut_slice(), cols);
         par_row_blocks(rows.len(), row_cost, |range| {

@@ -6,7 +6,7 @@
 //! cargo run --release --example ablation
 //! ```
 
-use gcmae_core::{train, GcmaeConfig};
+use gcmae_core::{GcmaeConfig, TrainSession};
 use gcmae_eval::{linear_probe, ProbeConfig};
 use gcmae_graph::generators::citation::{generate, CitationSpec};
 use gcmae_graph::splits::planetoid_split;
@@ -35,7 +35,10 @@ fn main() {
         ("w/o discrimination", base.clone().without_discrimination()),
         (
             "GraphMAE (all off)",
-            base.clone().without_contrastive().without_struct_recon().without_discrimination(),
+            base.clone()
+                .without_contrastive()
+                .without_struct_recon()
+                .without_discrimination(),
         ),
     ];
 
@@ -44,7 +47,10 @@ fn main() {
         let mut acc = 0.0;
         let seeds = 3;
         for s in 0..seeds {
-            let out = train(&ds, &cfg, s);
+            let out = TrainSession::new(&cfg)
+                .seed(s)
+                .run(&ds)
+                .expect("unguarded session cannot fail");
             let r = linear_probe(
                 &out.embeddings,
                 &ds.labels,

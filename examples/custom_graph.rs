@@ -6,7 +6,7 @@
 //! cargo run --release --example custom_graph
 //! ```
 
-use gcmae_core::{train, GcmaeConfig};
+use gcmae_core::{GcmaeConfig, TrainSession};
 use gcmae_graph::{Dataset, Graph};
 use gcmae_nn::{load_params, save_params};
 use gcmae_tensor::Matrix;
@@ -29,15 +29,21 @@ fn main() {
         }
     }
     edges.push((0, 30)); // the bridge
-    // `try_from_edges` reports *which* edge is malformed instead of panicking,
-    // which is what you want when the edge list comes from user data.
+                         // `try_from_edges` reports *which* edge is malformed instead of panicking,
+                         // which is what you want when the edge list comes from user data.
     let graph = Graph::try_from_edges(n, &edges).expect("edge list references valid nodes");
     let features = Matrix::from_fn(n, 8, |r, c| {
         let community = if r < 30 { 0.0f32 } else { 1.0 };
         community * ((c % 2) as f32) + rng.gen_range(-0.2f32..0.2)
     });
     let labels: Vec<usize> = (0..n).map(|v| usize::from(v >= 30)).collect();
-    let ds = Dataset { name: "custom".into(), graph, features, labels, num_classes: 2 };
+    let ds = Dataset {
+        name: "custom".into(),
+        graph,
+        features,
+        labels,
+        num_classes: 2,
+    };
     ds.validate();
 
     // --- 2. pre-train -----------------------------------------------------
@@ -49,7 +55,10 @@ fn main() {
         contrast_sample: 0,
         ..GcmaeConfig::default()
     };
-    let out = train(&ds, &cfg, 0);
+    let out = TrainSession::new(&cfg)
+        .seed(0)
+        .run(&ds)
+        .expect("unguarded session cannot fail");
     println!(
         "trained {} epochs, loss {:.3} -> {:.3}",
         cfg.epochs,
@@ -63,7 +72,7 @@ fn main() {
     let mut rng2 = gcmae_core::model::seeded_rng(0);
     let mut fresh = gcmae_core::Gcmae::new(&cfg, ds.feature_dim(), &mut rng2);
     load_params(&mut fresh.store, bytes).expect("architectures match");
-    let emb_restored = fresh.embed_dataset(&ds, &mut rng2);
+    let emb_restored = fresh.encode_dataset(&ds);
     let diff = out.embeddings.max_abs_diff(&emb_restored);
     println!("restored-model embedding drift: {diff:e}");
     assert!(diff < 1e-6, "checkpoint roundtrip must be exact");
@@ -72,7 +81,9 @@ fn main() {
     let mean = |range: std::ops::Range<usize>, c: usize| -> f32 {
         range.clone().map(|r| out.embeddings[(r, c)]).sum::<f32>() / range.len() as f32
     };
-    let gap: f32 =
-        (0..16).map(|c| (mean(0..30, c) - mean(30..60, c)).abs()).sum::<f32>() / 16.0;
+    let gap: f32 = (0..16)
+        .map(|c| (mean(0..30, c) - mean(30..60, c)).abs())
+        .sum::<f32>()
+        / 16.0;
     println!("mean per-dimension community gap: {gap:.3}");
 }

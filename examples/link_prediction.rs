@@ -10,7 +10,7 @@
 //! ```
 
 use gcmae_baselines::SslConfig;
-use gcmae_core::{train, GcmaeConfig};
+use gcmae_core::{GcmaeConfig, TrainSession};
 use gcmae_eval::finetuned_eval;
 use gcmae_graph::generators::citation::{generate, CitationSpec};
 use gcmae_graph::splits::link_split;
@@ -30,17 +30,38 @@ fn main() {
         split.test_neg.len()
     );
     // every method trains on the graph WITHOUT the held-out edges
-    let train_ds = Dataset { graph: split.train_graph.clone(), ..ds.clone() };
+    let train_ds = Dataset {
+        graph: split.train_graph.clone(),
+        ..ds.clone()
+    };
 
-    let ssl = SslConfig { epochs: 80, hidden_dim: 64, proj_dim: 32, ..SslConfig::default() };
-    let gc = GcmaeConfig { epochs: 80, hidden_dim: 64, proj_dim: 32, ..GcmaeConfig::default() };
+    let ssl = SslConfig {
+        epochs: 80,
+        hidden_dim: 64,
+        proj_dim: 32,
+        ..SslConfig::default()
+    };
+    let gc = GcmaeConfig {
+        epochs: 80,
+        hidden_dim: 64,
+        proj_dim: 32,
+        ..GcmaeConfig::default()
+    };
 
-    let gcmae = train(&train_ds, &gc, 0).embeddings;
+    let gcmae = TrainSession::new(&gc)
+        .seed(0)
+        .run(&train_ds)
+        .expect("unguarded session cannot fail")
+        .embeddings;
     let graphmae = gcmae_baselines::graphmae::train(&train_ds, &ssl, 0);
     let maskgae = gcmae_baselines::maskgae::train(&train_ds, &ssl, 0);
 
     println!("{:10} | {:>7} | {:>7}", "Method", "AUC", "AP");
-    for (name, emb) in [("GraphMAE", &graphmae), ("MaskGAE", &maskgae), ("GCMAE", &gcmae)] {
+    for (name, emb) in [
+        ("GraphMAE", &graphmae),
+        ("MaskGAE", &maskgae),
+        ("GCMAE", &gcmae),
+    ] {
         let (auc, ap) = finetuned_eval(emb, &split, 0);
         println!("{name:10} | {:>6.2}% | {:>6.2}%", auc * 100.0, ap * 100.0);
     }

@@ -6,7 +6,7 @@
 //! ```
 
 use gcmae_baselines::{cca_ssg, SslConfig};
-use gcmae_core::{train, GcmaeConfig};
+use gcmae_core::{GcmaeConfig, TrainSession};
 use gcmae_eval::kmeans;
 use gcmae_eval::metrics::clustering::{ari, nmi};
 use gcmae_eval::pca;
@@ -14,7 +14,12 @@ use gcmae_graph::generators::citation::{generate, CitationSpec};
 
 fn main() {
     let ds = generate(&CitationSpec::cora().scaled(0.25), 42);
-    println!("{}: {} nodes, {} classes", ds.name, ds.num_nodes(), ds.num_classes);
+    println!(
+        "{}: {} nodes, {} classes",
+        ds.name,
+        ds.num_nodes(),
+        ds.num_classes
+    );
 
     // calibrated loss weights (see DESIGN.md "Loss weights")
     let gc = GcmaeConfig {
@@ -31,12 +36,24 @@ fn main() {
         .without_contrastive()
         .without_struct_recon()
         .without_discrimination();
-    let ssl = SslConfig { epochs: 80, hidden_dim: 64, proj_dim: 32, ..SslConfig::default() };
+    let ssl = SslConfig {
+        epochs: 80,
+        hidden_dim: 64,
+        proj_dim: 32,
+        ..SslConfig::default()
+    };
 
+    let gcmae_run = |cfg: &GcmaeConfig| {
+        TrainSession::new(cfg)
+            .seed(0)
+            .run(&ds)
+            .expect("unguarded session cannot fail")
+            .embeddings
+    };
     let runs = [
         ("CCA-SSG", cca_ssg::train(&ds, &ssl, 0)),
-        ("GraphMAE", train(&ds, &mae_cfg, 0).embeddings),
-        ("GCMAE", train(&ds, &gc, 0).embeddings),
+        ("GraphMAE", gcmae_run(&mae_cfg)),
+        ("GCMAE", gcmae_run(&gc)),
     ];
     println!("{:10} | {:>7} | {:>7}", "Method", "NMI", "ARI");
     for (name, emb) in &runs {
@@ -61,6 +78,10 @@ fn main() {
     }
     println!("GCMAE class centroids in PCA space:");
     for (c, (x, y, n)) in centroids.iter().enumerate() {
-        println!("  class {c}: ({:+.2}, {:+.2})", x / *n as f32, y / *n as f32);
+        println!(
+            "  class {c}: ({:+.2}, {:+.2})",
+            x / *n as f32,
+            y / *n as f32
+        );
     }
 }

@@ -5,10 +5,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gcmae_core::{train, GcmaeConfig};
+use std::sync::Arc;
+
+use gcmae_core::{GcmaeConfig, TrainSession};
 use gcmae_eval::{linear_probe, ProbeConfig};
 use gcmae_graph::generators::citation::{generate, CitationSpec};
 use gcmae_graph::splits::planetoid_split;
+use gcmae_obs::JsonlObserver;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,9 +28,22 @@ fn main() {
         ds.num_classes
     );
 
-    // 2. Pre-train GCMAE (self-supervised: no labels used).
-    let cfg = GcmaeConfig { epochs: 80, hidden_dim: 64, proj_dim: 32, ..GcmaeConfig::default() };
-    let out = train(&ds, &cfg, 0);
+    // 2. Pre-train GCMAE (self-supervised: no labels used). The optional
+    //    observer streams one `train.step` JSON line per optimizer step —
+    //    all four loss terms, gradient norm, learning rate — without
+    //    perturbing a single output bit.
+    let cfg = GcmaeConfig {
+        epochs: 80,
+        hidden_dim: 64,
+        proj_dim: 32,
+        ..GcmaeConfig::default()
+    };
+    let mut session = TrainSession::new(&cfg).seed(0);
+    if let Ok(sink) = JsonlObserver::create("target/quickstart_telemetry.jsonl") {
+        session = session.observer(Arc::new(sink));
+        println!("per-step telemetry -> target/quickstart_telemetry.jsonl");
+    }
+    let out = session.run(&ds).expect("unguarded session cannot fail");
     let first = out.history.first().unwrap();
     let last = out.history.last().unwrap();
     println!(
@@ -51,5 +67,8 @@ fn main() {
         result.accuracy * 100.0,
         result.macro_f1 * 100.0
     );
-    assert!(result.accuracy > 1.5 / ds.num_classes as f64, "embeddings carry no signal");
+    assert!(
+        result.accuracy > 1.5 / ds.num_classes as f64,
+        "embeddings carry no signal"
+    );
 }

@@ -6,16 +6,26 @@
 //! cargo run --release --example serving
 //! ```
 
-use gcmae_repro::core::{train, GcmaeConfig};
+use gcmae_repro::core::{GcmaeConfig, TrainSession};
 use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
 use gcmae_repro::serve::{Client, Engine, Server};
 
 fn main() {
     // 1. Train a small GCMAE checkpoint.
     let ds = generate(&CitationSpec::cora().scaled(0.05), 0);
-    let cfg = GcmaeConfig { epochs: 5, ..GcmaeConfig::fast() };
-    println!("training on {} nodes / {} edges", ds.num_nodes(), ds.graph.num_edges());
-    let trained = train(&ds, &cfg, 0);
+    let cfg = GcmaeConfig {
+        epochs: 5,
+        ..GcmaeConfig::fast()
+    };
+    println!(
+        "training on {} nodes / {} edges",
+        ds.num_nodes(),
+        ds.graph.num_edges()
+    );
+    let trained = TrainSession::new(&cfg)
+        .seed(0)
+        .run(&ds)
+        .expect("unguarded session cannot fail");
 
     // 2. Serve it. Port 0 picks a free port; max_batch 32 lets the
     //    scheduler coalesce concurrent queries into one encoder forward.
@@ -26,7 +36,10 @@ fn main() {
     // 3. Query it like any remote client would.
     let mut client = Client::connect(&server.addr().to_string()).expect("connect");
     let rows = client.embed(&[0, 1, 2]).expect("embed");
-    println!("node 0 embedding starts with {:?}", &rows[0][..4.min(rows[0].len())]);
+    println!(
+        "node 0 embedding starts with {:?}",
+        &rows[0][..4.min(rows[0].len())]
+    );
 
     let scores = client.link_scores(&[(0, 1), (0, 2)]).expect("link scores");
     println!("link scores 0-1: {:.4}, 0-2: {:.4}", scores[0], scores[1]);
@@ -40,10 +53,24 @@ fn main() {
         println!("node 0 neighbor {v} scores {s:.4}");
     }
     let after = client.embed(&[0]).expect("embed after update");
-    println!("node 0 embedding now starts with {:?}", &after[0][..4.min(after[0].len())]);
+    println!(
+        "node 0 embedding now starts with {:?}",
+        &after[0][..4.min(after[0].len())]
+    );
 
     let stats = client.stats().expect("stats");
-    println!("server stats: {}", stats.dump());
+    println!(
+        "server stats: {} nodes, {} edges, cache {} hits / {} misses, {} batches",
+        stats.num_nodes, stats.num_edges, stats.cache_hits, stats.cache_misses, stats.batches
+    );
+
+    // 5. Live telemetry: per-op request counters and latency histograms.
+    let snap = client.metrics().expect("metrics");
+    for (name, v) in &snap.counters {
+        if name.starts_with("serve.requests.") {
+            println!("{name}: {v}");
+        }
+    }
 
     client.shutdown().expect("shutdown");
     server.run_until_shutdown();

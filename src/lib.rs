@@ -10,11 +10,13 @@
 //! * [`baselines`] — the 17 comparison methods
 //! * [`eval`] — probes, SVM, k-means, metrics
 //! * [`serve`] — online inference: micro-batched embedding server
+//! * [`obs`] — structured telemetry: observers, registries, JSON-lines sinks
 
 pub use gcmae_baselines as baselines;
 pub use gcmae_core as core;
 pub use gcmae_eval as eval;
 pub use gcmae_graph as graph;
 pub use gcmae_nn as nn;
+pub use gcmae_obs as obs;
 pub use gcmae_serve as serve;
 pub use gcmae_tensor as tensor;

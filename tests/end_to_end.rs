@@ -1,7 +1,7 @@
 //! End-to-end integration: GCMAE pre-training feeding every downstream
 //! task, across crate boundaries, at smoke scale.
 
-use gcmae_repro::core::{train, GcmaeConfig};
+use gcmae_repro::core::{GcmaeConfig, TrainOutput, TrainSession};
 use gcmae_repro::eval::metrics::clustering::nmi;
 use gcmae_repro::eval::{finetuned_eval, kmeans, linear_probe, ProbeConfig};
 use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
@@ -12,6 +12,13 @@ use rand::SeedableRng;
 
 fn smoke_dataset() -> Dataset {
     generate(&CitationSpec::cora().scaled(0.06), 42)
+}
+
+fn pretrain(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> TrainOutput {
+    TrainSession::new(cfg)
+        .seed(seed)
+        .run(ds)
+        .expect("unguarded session cannot fail")
 }
 
 fn smoke_config() -> GcmaeConfig {
@@ -28,7 +35,7 @@ fn smoke_config() -> GcmaeConfig {
 #[test]
 fn classification_pipeline_beats_chance() {
     let ds = smoke_dataset();
-    let out = train(&ds, &smoke_config(), 0);
+    let out = pretrain(&ds, &smoke_config(), 0);
     let mut rng = StdRng::seed_from_u64(7);
     let split = planetoid_split(&ds.labels, ds.num_classes, 8, 30, &mut rng);
     let r = linear_probe(
@@ -40,16 +47,23 @@ fn classification_pipeline_beats_chance() {
         0,
     );
     let chance = 1.0 / ds.num_classes as f64;
-    assert!(r.accuracy > chance * 1.8, "accuracy {} vs chance {chance}", r.accuracy);
+    assert!(
+        r.accuracy > chance * 1.8,
+        "accuracy {} vs chance {chance}",
+        r.accuracy
+    );
 }
 
 #[test]
 fn clustering_pipeline_beats_random_assignment() {
     let ds = smoke_dataset();
-    let out = train(&ds, &smoke_config(), 1);
+    let out = pretrain(&ds, &smoke_config(), 1);
     let km = kmeans(&out.embeddings, ds.num_classes, 100, 1);
     let score = nmi(&km.assignments, &ds.labels);
-    assert!(score > 0.05, "NMI {score} should be clearly above random (~0)");
+    assert!(
+        score > 0.05,
+        "NMI {score} should be clearly above random (~0)"
+    );
 }
 
 #[test]
@@ -57,8 +71,11 @@ fn link_prediction_pipeline_beats_coin_flip() {
     let ds = smoke_dataset();
     let mut rng = StdRng::seed_from_u64(7);
     let split = link_split(&ds.graph, 0.05, 0.10, &mut rng);
-    let train_ds = Dataset { graph: split.train_graph.clone(), ..ds.clone() };
-    let out = train(&train_ds, &smoke_config(), 2);
+    let train_ds = Dataset {
+        graph: split.train_graph.clone(),
+        ..ds.clone()
+    };
+    let out = pretrain(&train_ds, &smoke_config(), 2);
     let (auc, ap) = finetuned_eval(&out.embeddings, &split, 2);
     assert!(auc > 0.6, "AUC {auc}");
     assert!(ap > 0.55, "AP {ap}");
@@ -68,12 +85,27 @@ fn link_prediction_pipeline_beats_coin_flip() {
 fn training_beats_random_initialization() {
     let ds = smoke_dataset();
     let cfg = smoke_config();
-    let untrained = train(&ds, &GcmaeConfig { epochs: 0, ..cfg.clone() }, 3);
-    let trained = train(&ds, &cfg, 3);
+    let untrained = pretrain(
+        &ds,
+        &GcmaeConfig {
+            epochs: 0,
+            ..cfg.clone()
+        },
+        3,
+    );
+    let trained = pretrain(&ds, &cfg, 3);
     let mut rng = StdRng::seed_from_u64(7);
     let split = planetoid_split(&ds.labels, ds.num_classes, 8, 30, &mut rng);
     let probe = |emb: &gcmae_repro::tensor::Matrix| {
-        linear_probe(emb, &ds.labels, ds.num_classes, &split, &ProbeConfig::default(), 3).accuracy
+        linear_probe(
+            emb,
+            &ds.labels,
+            ds.num_classes,
+            &split,
+            &ProbeConfig::default(),
+            3,
+        )
+        .accuracy
     };
     let a_trained = probe(&trained.embeddings);
     let a_untrained = probe(&untrained.embeddings);

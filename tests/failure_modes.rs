@@ -2,7 +2,7 @@
 //! handle edge cases gracefully or fail fast with a clear panic — never
 //! return silently-wrong results.
 
-use gcmae_repro::core::{train, GcmaeConfig};
+use gcmae_repro::core::{GcmaeConfig, TrainSession};
 use gcmae_repro::eval::kmeans;
 use gcmae_repro::graph::augment::mask_node_features;
 use gcmae_repro::graph::{Dataset, Graph};
@@ -31,7 +31,10 @@ fn training_survives_disconnected_graph() {
         contrast_sample: 0,
         ..GcmaeConfig::default()
     };
-    let out = train(&ds, &cfg, 0);
+    let out = TrainSession::new(&cfg)
+        .seed(0)
+        .run(&ds)
+        .expect("unguarded session cannot fail");
     assert!(out.embeddings.all_finite());
     assert!(out.history.iter().all(|b| b.total.is_finite()));
 }
@@ -54,8 +57,14 @@ fn training_survives_all_zero_features() {
         contrast_sample: 0,
         ..GcmaeConfig::default()
     };
-    let out = train(&ds, &cfg, 0);
-    assert!(out.embeddings.all_finite(), "zero features must not produce NaNs");
+    let out = TrainSession::new(&cfg)
+        .seed(0)
+        .run(&ds)
+        .expect("unguarded session cannot fail");
+    assert!(
+        out.embeddings.all_finite(),
+        "zero features must not produce NaNs"
+    );
 }
 
 #[test]

@@ -5,8 +5,7 @@
 
 use gcmae_repro::core::model::seeded_rng;
 use gcmae_repro::core::{
-    resume_checked, train_checked_traced, FaultPlan, FaultTolerance, Gcmae, GcmaeConfig,
-    StepFault, TrainError,
+    FaultPlan, FaultTolerance, Gcmae, GcmaeConfig, StepFault, TrainError, TrainSession,
 };
 use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
 use gcmae_repro::graph::Dataset;
@@ -18,7 +17,12 @@ fn tiny() -> Dataset {
 }
 
 fn cfg(epochs: usize) -> GcmaeConfig {
-    GcmaeConfig { hidden_dim: 16, proj_dim: 8, epochs, ..GcmaeConfig::fast() }
+    GcmaeConfig {
+        hidden_dim: 16,
+        proj_dim: 8,
+        epochs,
+        ..GcmaeConfig::fast()
+    }
 }
 
 /// The acceptance bar for checkpoint v2: resuming from a mid-run snapshot
@@ -30,14 +34,22 @@ fn resume_from_mid_run_checkpoint_is_bit_identical() {
     let cfg = cfg(12);
     let ft = FaultTolerance::default();
     let mut snapshots = vec![];
-    let full = train_checked_traced(&ds, &cfg, 3, &ft, |e, view| {
-        if e == 2 || e == 7 {
-            snapshots.push(view.checkpoint());
-        }
-    })
-    .expect("clean run");
+    let full = TrainSession::new(&cfg)
+        .seed(3)
+        .guards(&ft)
+        .on_epoch(|e, view| {
+            if e == 2 || e == 7 {
+                snapshots.push(view.checkpoint());
+            }
+        })
+        .run(&ds)
+        .expect("clean run");
     for (i, snap) in snapshots.into_iter().enumerate() {
-        let resumed = resume_checked(&ds, &cfg, snap, &ft).expect("resume");
+        let resumed = TrainSession::new(&cfg)
+            .guards(&ft)
+            .resume_from(snap)
+            .run(&ds)
+            .expect("resume");
         assert_eq!(
             full.embeddings.max_abs_diff(&resumed.embeddings),
             0.0,
@@ -52,17 +64,28 @@ fn resume_from_mid_run_checkpoint_is_bit_identical() {
 fn nan_divergence_recovers_and_converges() {
     let ds = tiny();
     let cfg = cfg(20);
-    let ft = FaultTolerance { checkpoint_every: 5, clip_norm: 5.0, ..FaultTolerance::default() };
-    let plan = FaultPlan { nan_loss_at: Some(12), ..FaultPlan::default() };
-    let out = gcmae_repro::core::trainer::train_checked_injected(&ds, &cfg, 4, &ft, plan, |_, _| {})
-        .expect("recovery should succeed");
+    let ft = FaultTolerance {
+        checkpoint_every: 5,
+        clip_norm: 5.0,
+        ..FaultTolerance::default()
+    };
+    let plan = FaultPlan {
+        nan_loss_at: Some(12),
+        ..FaultPlan::default()
+    };
+    let out =
+        gcmae_repro::core::trainer::train_checked_injected(&ds, &cfg, 4, &ft, plan, |_, _| {})
+            .expect("recovery should succeed");
     assert_eq!(out.rollbacks.len(), 1);
     assert_eq!(out.rollbacks[0].restored_epoch, 10);
     assert!(out.rollbacks[0].lr_after < cfg.lr);
     assert_eq!(out.history.len(), 20);
     let first = out.history[0].total;
     let last = out.history.last().unwrap().total;
-    assert!(last < first, "recovered run must still converge: {first} -> {last}");
+    assert!(
+        last < first,
+        "recovered run must still converge: {first} -> {last}"
+    );
     assert!(out.history.iter().all(|b| b.total.is_finite()));
 }
 
@@ -72,16 +95,28 @@ fn nan_divergence_recovers_and_converges() {
 fn parallel_panic_surfaces_and_pool_stays_serviceable() {
     let ds = tiny();
     let cfg = cfg(6);
-    let ft = FaultTolerance { max_retries: 0, ..FaultTolerance::default() };
-    let plan = FaultPlan { panic_at: Some(1), ..FaultPlan::default() };
+    let ft = FaultTolerance {
+        max_retries: 0,
+        ..FaultTolerance::default()
+    };
+    let plan = FaultPlan {
+        panic_at: Some(1),
+        ..FaultPlan::default()
+    };
     let Err(err) =
         gcmae_repro::core::trainer::train_checked_injected(&ds, &cfg, 5, &ft, plan, |_, _| {})
     else {
         panic!("zero retries + injected panic must fail the run")
     };
     match err {
-        TrainError::RetriesExhausted { last: StepFault::KernelPanic { message }, .. } => {
-            assert!(message.contains("injected parallel-job fault"), "payload: {message}")
+        TrainError::RetriesExhausted {
+            last: StepFault::KernelPanic { message },
+            ..
+        } => {
+            assert!(
+                message.contains("injected parallel-job fault"),
+                "payload: {message}"
+            )
         }
         other => panic!("expected a kernel-panic failure, got {other}"),
     }
@@ -102,21 +137,26 @@ fn checkpoint_compat_v1_and_v2() {
     let cfg = cfg(3);
     let ft = FaultTolerance::default();
     let mut mid = None;
-    let out = train_checked_traced(&ds, &cfg, 6, &ft, |e, view| {
-        if e == 2 {
-            mid = Some(view.checkpoint());
-        }
-    })
-    .expect("clean run");
+    let out = TrainSession::new(&cfg)
+        .seed(6)
+        .guards(&ft)
+        .on_epoch(|e, view| {
+            if e == 2 {
+                mid = Some(view.checkpoint());
+            }
+        })
+        .run(&ds)
+        .expect("clean run");
 
     // v1 roundtrip against the trained model
     let v1 = save_params(&out.model.store);
     let mut rng = seeded_rng(6);
     let mut fresh = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
     load_params(&mut fresh.store, v1).expect("v1 read");
-    let mut erng = seeded_rng(99);
     assert_eq!(
-        out.model.embed_dataset(&ds, &mut erng).max_abs_diff(&fresh.embed_dataset(&ds, &mut erng)),
+        out.model
+            .encode_dataset(&ds)
+            .max_abs_diff(&fresh.encode_dataset(&ds)),
         0.0
     );
 
@@ -125,17 +165,30 @@ fn checkpoint_compat_v1_and_v2() {
     let mut fresh2 = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
     load_params(&mut fresh2.store, mid.clone().unwrap()).expect("v2 read via load_params");
     assert_eq!(
-        out.model.store.value(gcmae_repro::nn::ParamId::from_index(0)).shape(),
-        fresh2.store.value(gcmae_repro::nn::ParamId::from_index(0)).shape()
+        out.model
+            .store
+            .value(gcmae_repro::nn::ParamId::from_index(0))
+            .shape(),
+        fresh2
+            .store
+            .value(gcmae_repro::nn::ParamId::from_index(0))
+            .shape()
     );
 
     // a truncated v2 checkpoint is a structured error, not a panic
     let cut = mid.unwrap();
     let cut = cut.slice(0..cut.len() - 7);
-    let Err(err) = resume_checked(&ds, &cfg, cut, &ft) else {
+    let Err(err) = TrainSession::new(&cfg)
+        .guards(&ft)
+        .resume_from(cut)
+        .run(&ds)
+    else {
         panic!("truncated checkpoint must not resume")
     };
-    assert!(matches!(err, TrainError::Checkpoint(CheckpointError::Truncated)), "{err}");
+    assert!(
+        matches!(err, TrainError::Checkpoint(CheckpointError::Truncated)),
+        "{err}"
+    );
 }
 
 /// Exhausting the retry budget on a persistently-diverging run is a
@@ -148,15 +201,27 @@ fn persistent_divergence_exhausts_the_budget() {
     // lr large enough to blow up f32 on this tiny graph is hard to force
     // reliably, so drive the policy with injections at two epochs and a
     // budget of one.
-    let ft = FaultTolerance { max_retries: 1, checkpoint_every: 1, ..FaultTolerance::default() };
-    let plan = FaultPlan { nan_loss_at: Some(2), nan_grad_at: Some(4), ..FaultPlan::default() };
+    let ft = FaultTolerance {
+        max_retries: 1,
+        checkpoint_every: 1,
+        ..FaultTolerance::default()
+    };
+    let plan = FaultPlan {
+        nan_loss_at: Some(2),
+        nan_grad_at: Some(4),
+        ..FaultPlan::default()
+    };
     let Err(err) =
         gcmae_repro::core::trainer::train_checked_injected(&ds, &cfg, 8, &ft, plan, |_, _| {})
     else {
         panic!("two faults on a budget of one must fail")
     };
     match err {
-        TrainError::RetriesExhausted { epoch, retries, last } => {
+        TrainError::RetriesExhausted {
+            epoch,
+            retries,
+            last,
+        } => {
             assert_eq!(epoch, 4);
             assert_eq!(retries, 1);
             assert!(matches!(last, StepFault::NonFiniteGradient { .. }));

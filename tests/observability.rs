@@ -1,0 +1,148 @@
+//! Telemetry is a pure tap: attaching an observer — session-local or
+//! globally installed — must leave every training output bit-identical to a
+//! bare run, at any thread count. Runs in CI under `GCMAE_NUM_THREADS=1`
+//! and `=8` (fault-injection matrix), and additionally sweeps both thread
+//! counts itself so a plain `cargo test` covers them too.
+
+use std::sync::{Arc, Mutex};
+
+use gcmae_repro::core::{FaultTolerance, GcmaeConfig, TrainSession};
+use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
+use gcmae_repro::graph::Dataset;
+use gcmae_repro::obs::{JsonlObserver, NoopObserver, Registry};
+use gcmae_repro::tensor::parallel::set_num_threads;
+
+fn tiny() -> Dataset {
+    generate(&CitationSpec::cora().scaled(0.02), 11)
+}
+
+fn cfg(epochs: usize) -> GcmaeConfig {
+    GcmaeConfig {
+        hidden_dim: 16,
+        proj_dim: 8,
+        epochs,
+        ..GcmaeConfig::fast()
+    }
+}
+
+/// The acceptance bar for the observability layer: a no-op observer, a live
+/// registry, and a globally installed registry (which also activates the
+/// kernel spans in `gcmae-tensor`) all reproduce the bare run to the bit.
+/// Thread counts 1 and 8 are swept in a single #[test] because the worker
+/// pool is process-global.
+#[test]
+fn observers_leave_training_bit_identical_at_1_and_8_threads() {
+    let ds = tiny();
+    let cfg = cfg(6);
+    for threads in [1usize, 8] {
+        set_num_threads(threads);
+        let bare = TrainSession::new(&cfg).seed(9).run(&ds).expect("bare run");
+
+        let noop = TrainSession::new(&cfg)
+            .seed(9)
+            .observer(Arc::new(NoopObserver))
+            .run(&ds)
+            .expect("noop run");
+        assert_eq!(
+            bare.embeddings.max_abs_diff(&noop.embeddings),
+            0.0,
+            "noop observer changed outputs at {threads} threads"
+        );
+
+        let registry = Arc::new(Registry::new());
+        gcmae_repro::obs::install(registry.clone());
+        let observed = TrainSession::new(&cfg)
+            .seed(9)
+            .observer(registry.clone())
+            .run(&ds)
+            .expect("observed run");
+        gcmae_repro::obs::uninstall();
+        assert_eq!(
+            bare.embeddings.max_abs_diff(&observed.embeddings),
+            0.0,
+            "registry observer changed outputs at {threads} threads"
+        );
+        assert_eq!(bare.history.len(), observed.history.len());
+        assert!(
+            registry.counter_value("train.step") as usize >= observed.history.len(),
+            "registry must have seen at least one step per epoch"
+        );
+        assert!(
+            registry.counter_value("kernel.matmul.calls") > 0,
+            "global install must activate kernel spans"
+        );
+    }
+    set_num_threads(0);
+}
+
+/// The JSON-lines sink receives one `train.step` event per optimizer step,
+/// carrying all four loss terms, the gradient norm, and the learning rate —
+/// and the guarded regime reports rollbacks through the same stream.
+#[test]
+fn jsonl_stream_carries_losses_grad_norm_and_rollbacks() {
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let ds = tiny();
+    let cfg = cfg(8);
+    let ft = FaultTolerance {
+        checkpoint_every: 2,
+        ..FaultTolerance::default()
+    };
+    let plan = gcmae_repro::core::FaultPlan {
+        nan_loss_at: Some(4),
+        ..gcmae_repro::core::FaultPlan::default()
+    };
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let out = TrainSession::new(&cfg)
+        .seed(12)
+        .guards(&ft)
+        .inject_faults(plan)
+        .observer(Arc::new(JsonlObserver::new(Box::new(buf.clone()))))
+        .run(&ds)
+        .expect("guarded run recovers");
+    assert_eq!(out.rollbacks.len(), 1);
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let steps: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("{\"event\":\"train.step\""))
+        .collect();
+    assert!(
+        steps.len() >= out.history.len(),
+        "expected at least one train.step line per epoch, got {}",
+        steps.len()
+    );
+    for field in [
+        "\"total\":",
+        "\"sce\":",
+        "\"contrast\":",
+        "\"adj\":",
+        "\"variance\":",
+        "\"grad_norm\":",
+        "\"lr\":",
+    ] {
+        assert!(
+            steps[0].contains(field),
+            "train.step line missing {field}: {}",
+            steps[0]
+        );
+    }
+    let rollbacks = text
+        .lines()
+        .filter(|l| l.starts_with("{\"event\":\"train.rollback\""))
+        .count();
+    assert_eq!(
+        rollbacks, 1,
+        "one injected NaN must surface as one rollback event"
+    );
+}

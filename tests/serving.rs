@@ -1,7 +1,7 @@
 //! Integration test: train → bundle → serve → query over TCP, asserting
 //! bit-parity between served answers and the offline encoder at every step.
 
-use gcmae_repro::core::{train, GcmaeConfig};
+use gcmae_repro::core::{GcmaeConfig, TrainSession};
 use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
 use gcmae_repro::serve::{load_bundle, save_bundle, Client, Engine, Server};
 
@@ -9,8 +9,14 @@ use gcmae_repro::serve::{load_bundle, save_bundle, Client, Engine, Server};
 fn served_embeddings_match_offline_encode_through_training_and_mutation() {
     // Train a real (small) checkpoint.
     let ds = generate(&CitationSpec::cora().scaled(0.02), 3);
-    let cfg = GcmaeConfig { epochs: 2, ..GcmaeConfig::fast() };
-    let trained = train(&ds, &cfg, 3);
+    let cfg = GcmaeConfig {
+        epochs: 2,
+        ..GcmaeConfig::fast()
+    };
+    let trained = TrainSession::new(&cfg)
+        .seed(3)
+        .run(&ds)
+        .expect("unguarded session cannot fail");
     let n = ds.num_nodes();
 
     // Bundle round-trip preserves the encoder bit-for-bit.
@@ -58,10 +64,93 @@ fn served_embeddings_match_offline_encode_through_training_and_mutation() {
 
     // Link scores come from the same embeddings.
     let scores = client.link_scores(&[(0, n - 1)]).expect("link");
-    let want: f32 =
-        expected.row(0).iter().zip(expected.row(n - 1)).map(|(a, b)| a * b).sum();
+    let want: f32 = expected
+        .row(0)
+        .iter()
+        .zip(expected.row(n - 1))
+        .map(|(a, b)| a * b)
+        .sum();
     assert_eq!(scores[0], want);
 
     client.shutdown().expect("shutdown");
     assert!(server.run_until_shutdown().is_some());
+}
+
+/// The `metrics` op must agree with the clients' own bookkeeping: after a
+/// concurrent run where every client counts its requests, the server-side
+/// counters report exactly the same tallies.
+#[test]
+fn metrics_counters_match_client_side_request_tally() {
+    let ds = generate(&CitationSpec::cora().scaled(0.02), 5);
+    let cfg = GcmaeConfig {
+        epochs: 1,
+        ..GcmaeConfig::fast()
+    };
+    let trained = TrainSession::new(&cfg)
+        .seed(5)
+        .run(&ds)
+        .expect("unguarded session cannot fail");
+    let n = ds.num_nodes();
+    let engine = Engine::new(trained.model, ds.graph, ds.features).expect("engine builds");
+    let server = Server::start(engine, "127.0.0.1:0", 8).expect("server binds");
+    let addr = server.addr().to_string();
+
+    let mut handles = Vec::new();
+    for t in 0..4_usize {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || -> (u64, u64, u64) {
+            let mut c = Client::connect(&addr).expect("connect");
+            let (mut embeds, mut links, mut pings) = (0u64, 0u64, 0u64);
+            for q in 0..12_usize {
+                match q % 3 {
+                    0 => {
+                        c.embed(&[(t * 7 + q) % n]).expect("embed");
+                        embeds += 1;
+                    }
+                    1 => {
+                        c.link_scores(&[(t % n, (t + q) % n)]).expect("link");
+                        links += 1;
+                    }
+                    _ => {
+                        c.ping().expect("ping");
+                        pings += 1;
+                    }
+                }
+            }
+            (embeds, links, pings)
+        }));
+    }
+    let (mut embeds, mut links, mut pings) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (e, l, p) = h.join().expect("client thread");
+        embeds += e;
+        links += l;
+        pings += p;
+    }
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let snap = client.metrics().expect("metrics");
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("serve.requests.embed"), embeds);
+    assert_eq!(counter("serve.requests.link_score"), links);
+    assert_eq!(counter("serve.requests.ping"), pings);
+    assert_eq!(counter("serve.errors"), 0);
+    let latency = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve.request.ns")
+        .expect("latency histogram present");
+    assert_eq!(
+        latency.count,
+        embeds + links + pings,
+        "one latency sample per answered request"
+    );
+    client.shutdown().expect("shutdown");
+    server.shutdown();
 }
