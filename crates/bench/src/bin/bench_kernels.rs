@@ -1,7 +1,10 @@
 //! Kernel microbenchmarks: matmul, spmm, adj_recon forward, infonce forward
-//! at n ∈ {512, 2048, 8192} for 1 thread vs. all available threads. Writes
-//! median wall-clock nanoseconds to `BENCH_kernels.json` (same schema as the
-//! committed file) so the CI kernels job can assert multi-core speedups.
+//! at n ∈ {512, 2048, 8192} for 1 thread vs. all available threads, plus
+//! single-thread engine-comparison rows (blocked vs. naive matmul, cached vs.
+//! uncached loss pipelines). Writes median wall-clock nanoseconds and
+//! achieved GFLOP/s to `BENCH_kernels.json` (same schema as the committed
+//! file) so the CI kernels job can assert multi-core *and* single-core
+//! speedups.
 //!
 //! ```sh
 //! cargo run --release -p gcmae-bench --bin bench_kernels -- [out.json] [--obs]
@@ -10,14 +13,16 @@
 //! `--obs` installs a global [`gcmae_obs::Registry`] before timing, so the
 //! measured numbers include live per-kernel telemetry (timers + flop
 //! counters). CI's `obs-overhead` job runs the bench both ways and asserts
-//! the enabled run stays within budget of the disabled one.
+//! the enabled run stays within budget of the disabled one. The `gflops`
+//! column is always derived from the obs flop counters: one untimed call per
+//! row runs under a temporary registry to count flops, regardless of `--obs`.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use gcmae_tensor::ops::{adj_recon, infonce};
 use gcmae_tensor::parallel::{num_threads, set_num_threads};
-use gcmae_tensor::{CsrMatrix, Matrix, SharedCsr};
+use gcmae_tensor::{CsrMatrix, GramCache, Matrix, SharedCsr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +70,48 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// Flops of one `f()` call, read from the kernel flop counters via a
+/// temporary global registry (the previous observer, if any, is restored).
+fn flops_of(f: impl FnOnce()) -> u64 {
+    let prev = gcmae_obs::installed();
+    let tmp = Arc::new(gcmae_obs::Registry::new());
+    gcmae_obs::install(tmp.clone());
+    f();
+    match prev {
+        Some(p) => gcmae_obs::install(p),
+        None => gcmae_obs::uninstall(),
+    }
+    tmp.snapshot()
+        .counters
+        .iter()
+        .filter(|(k, _)| k.ends_with(".flops"))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+/// Times one kernel row (flop-counted untimed call, then `reps` timed calls)
+/// and appends its JSON entry.
+fn bench_row(
+    entries: &mut Vec<String>,
+    kernel: &str,
+    n: usize,
+    threads: usize,
+    reps: usize,
+    mut f: impl FnMut(),
+) {
+    let flops = flops_of(&mut f);
+    let ns = median_ns(reps, f);
+    // flops/ns ≡ GFLOP/s (1e9 flops over 1e9 ns).
+    let gflops = flops as f64 / ns.max(1) as f64;
+    println!(
+        "n={n} threads={threads} {kernel}: {:.3} ms  ({gflops:.3} GFLOP/s)",
+        ns as f64 / 1e6
+    );
+    entries.push(format!(
+        "    {{\"kernel\": \"{kernel}\", \"n\": {n}, \"dim\": {DIM}, \"threads\": {threads}, \"median_ns\": {ns}, \"reps\": {reps}, \"gflops\": {gflops:.3}}}"
+    ));
+}
+
 fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     set_num_threads(threads);
     let out = f();
@@ -108,49 +155,63 @@ fn main() {
         let z = Matrix::uniform(n, DIM, -0.5, 0.5, &mut rng);
         let v = Matrix::uniform(n, DIM, -0.5, 0.5, &mut rng);
         for &t in &thread_counts {
-            let timings = with_threads(t, || {
-                [
-                    (
-                        "matmul",
-                        median_ns(reps, || {
-                            std::hint::black_box(gcmae_tensor::dense::matmul(&a, &b));
-                        }),
-                    ),
-                    (
-                        "spmm",
-                        median_ns(reps, || {
-                            std::hint::black_box(adj.matmul_dense(&z));
-                        }),
-                    ),
-                    (
-                        "adj_recon_forward",
-                        median_ns(reps, || {
-                            std::hint::black_box(adj_recon::forward(
-                                &z,
-                                adj.clone(),
-                                Default::default(),
-                            ));
-                        }),
-                    ),
-                    (
-                        "infonce_forward",
-                        median_ns(reps, || {
-                            std::hint::black_box(infonce::forward(&z, &v, 0.5));
-                        }),
-                    ),
-                ]
+            with_threads(t, || {
+                bench_row(&mut entries, "matmul", n, t, reps, || {
+                    std::hint::black_box(gcmae_tensor::dense::matmul(&a, &b));
+                });
+                bench_row(&mut entries, "spmm", n, t, reps, || {
+                    std::hint::black_box(adj.matmul_dense(&z));
+                });
+                bench_row(&mut entries, "adj_recon_forward", n, t, reps, || {
+                    std::hint::black_box(adj_recon::forward(&z, adj.clone(), Default::default()));
+                });
+                bench_row(&mut entries, "infonce_forward", n, t, reps, || {
+                    std::hint::black_box(infonce::forward(&z, &v, 0.5));
+                });
             });
-            for (kernel, ns) in timings {
-                println!("n={n} threads={t} {kernel}: {:.3} ms", ns as f64 / 1e6);
-                entries.push(format!(
-                    "    {{\"kernel\": \"{kernel}\", \"n\": {n}, \"dim\": {DIM}, \"threads\": {t}, \"median_ns\": {ns}, \"reps\": {reps}}}"
-                ));
-            }
         }
+
+        // Single-thread engine comparisons: blocked vs. the textbook naive
+        // triple loop and vs. the pre-blocking rowstream kernel on the same
+        // operands; at n=2048 also the full O(N²) loss pipeline (forward +
+        // backward of adj_recon and infonce), reference kernels vs. the
+        // shared-GramCache + arena production path.
+        with_threads(1, || {
+            if n <= 2048 {
+                bench_row(&mut entries, "matmul_naive", n, 1, reps, || {
+                    std::hint::black_box(gcmae_tensor::dense::matmul_naive(&a, &b));
+                });
+                bench_row(&mut entries, "matmul_rowstream", n, 1, reps, || {
+                    std::hint::black_box(gcmae_tensor::dense::matmul_rowstream(&a, &b));
+                });
+            } else {
+                println!("n={n}: skipping matmul_naive/rowstream rows (too slow at this size)");
+            }
+            if n == 2048 {
+                bench_row(&mut entries, "losses_fwd_bwd_uncached", n, 1, reps, || {
+                    let (_, _, s) =
+                        adj_recon::forward_reference(&z, adj.clone(), Default::default());
+                    std::hint::black_box(adj_recon::backward_reference(&s, &z, 1.0));
+                    let (_, si) = infonce::forward_reference(&z, &v, 0.5);
+                    std::hint::black_box(infonce::backward_reference(&si, 1.0));
+                });
+                // Arena held across reps, as in training: steps after the
+                // first recycle every buffer.
+                let _arena = gcmae_tensor::ArenaGuard::new();
+                bench_row(&mut entries, "losses_fwd_bwd_cached", n, 1, reps, || {
+                    let mut cache = GramCache::new();
+                    let (_, _, s) =
+                        adj_recon::forward_with(&z, adj.clone(), Default::default(), &mut cache);
+                    let (_, si) = infonce::forward_with(&z, &v, 0.5, &mut cache);
+                    std::hint::black_box(adj_recon::backward(&s, &z, 1.0));
+                    std::hint::black_box(infonce::backward(&si, 1.0));
+                });
+            }
+        });
     }
 
     let json = format!(
-        "{{\n  \"note\": \"median wall-clock ns per call (one warm-up call excluded)\",\n  \"host_cores\": {host_cores},\n  \"avg_degree\": {AVG_DEG},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"note\": \"median wall-clock ns per call (one warm-up call excluded); gflops = obs-counted flops / median ns\",\n  \"host_cores\": {host_cores},\n  \"avg_degree\": {AVG_DEG},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write benchmark json");

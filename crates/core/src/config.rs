@@ -108,7 +108,8 @@ impl Default for GcmaeConfig {
     }
 }
 
-/// Fault-tolerance policy for [`crate::trainer::train_checked`]. Kept out of
+/// Fault-tolerance policy for guarded [`crate::session::TrainSession`] runs.
+/// Kept out of
 /// [`GcmaeConfig`] on purpose: it changes how a run *recovers*, not what it
 /// optimizes, so experiment records stay comparable across policies.
 #[derive(Clone, Debug, Serialize, Deserialize)]

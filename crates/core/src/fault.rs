@@ -1,6 +1,7 @@
 //! Fault taxonomy and test-only fault injection for the checked trainer.
 //!
-//! [`crate::trainer::train_checked`] guards every optimization step: loss
+//! A guarded [`crate::session::TrainSession`] guards every optimization
+//! step: loss
 //! terms and gradients are scanned for non-finite values (via the
 //! `gcmae-tensor` finite-scan kernel), kernel panics are caught at the epoch
 //! boundary, and any fault triggers a rollback to the last good checkpoint

@@ -38,6 +38,4 @@ pub use fault::{FaultPlan, RollbackEvent, StepFault, StepGuard, TrainError};
 pub use graph_level::train_graph_level;
 pub use model::{Gcmae, LossBreakdown, StepReport};
 pub use session::TrainSession;
-#[allow(deprecated)]
-pub use trainer::{resume_checked, train, train_checked, train_checked_traced, train_traced};
 pub use trainer::{EpochView, TrainOutput};

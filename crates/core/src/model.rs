@@ -166,6 +166,10 @@ impl Gcmae {
         rng: &mut StdRng,
         guard: &StepGuard,
     ) -> Result<StepReport, StepFault> {
+        // Nested arena scope: callers that hold their own `ArenaGuard` (the
+        // training session) get cross-step buffer reuse; bare `step` callers
+        // still get within-step reuse and release everything on return.
+        let _arena = gcmae_tensor::ArenaGuard::new();
         let cfg = self.cfg.clone();
         let n = graph.num_nodes();
         let mut sess = Session::new();

@@ -1,8 +1,8 @@
 //! The unified training entrypoint: [`TrainSession`].
 //!
-//! One builder replaces the old `train` / `train_checked` /
-//! `train_checked_traced` / `resume_checked` family (all still available as
-//! deprecated shims in [`crate::trainer`]):
+//! One builder replaces the removed `train` / `train_checked` /
+//! `train_checked_traced` / `resume_checked` family (see the migration table
+//! in [`crate::trainer`]):
 //!
 //! ```
 //! use gcmae_core::{GcmaeConfig, TrainSession};
@@ -133,6 +133,10 @@ impl<'a> TrainSession<'a> {
 
     /// The original unchecked loop: one RNG threads through everything.
     fn run_unguarded(mut self, ds: &Dataset) -> TrainOutput {
+        // Hold the tensor buffer arena open for the whole run so every step
+        // after the first recycles the previous step's tape, gradient, and
+        // scratch buffers instead of hitting the allocator.
+        let _arena = gcmae_tensor::ArenaGuard::new();
         let seed = self.seed;
         let mut rng = seeded_rng(seed);
         let mut model = Gcmae::new(&self.cfg, ds.feature_dim(), &mut rng);
@@ -183,6 +187,11 @@ impl<'a> TrainSession<'a> {
     /// The guarded loop: checkpoint/rollback recovery with per-epoch RNG
     /// streams.
     fn run_guarded(mut self, ds: &Dataset, ft: &FaultTolerance) -> Result<TrainOutput, TrainError> {
+        // Same arena scope as the unguarded loop. A contained kernel panic
+        // may leak that step's outstanding buffers, but the pool itself stays
+        // consistent (recycling is per-buffer, not scoped), so recovery just
+        // repopulates it.
+        let _arena = gcmae_tensor::ArenaGuard::new();
         let cfg = self.cfg.clone();
         let mut plan = self.plan.clone();
         // The architecture is deterministic in `cfg`; when resuming, the
@@ -453,19 +462,24 @@ mod tests {
     }
 
     #[test]
-    fn unguarded_session_matches_legacy_train_bitwise() {
+    fn unguarded_sessions_are_bitwise_deterministic() {
         let ds = tiny();
         let cfg = small_cfg(5);
-        #[allow(deprecated)]
-        let legacy = crate::trainer::train(&ds, &cfg, 3);
-        let new = TrainSession::new(&cfg)
-            .seed(3)
-            .run(&ds)
-            .expect("unguarded never fails");
-        assert_eq!(legacy.embeddings.max_abs_diff(&new.embeddings), 0.0);
-        assert_eq!(legacy.history.len(), new.history.len());
-        for (a, b) in legacy.history.iter().zip(&new.history) {
-            assert_eq!(a.total.to_bits(), b.total.to_bits());
+        let run = || {
+            TrainSession::new(&cfg)
+                .seed(3)
+                .run(&ds)
+                .expect("unguarded never fails")
+        };
+        // Two independent runs exercise the arena warm path on the second:
+        // the outputs must not depend on whether buffers came from the
+        // allocator or the recycle pool.
+        let a = run();
+        let b = run();
+        assert_eq!(a.embeddings.max_abs_diff(&b.embeddings), 0.0);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.total.to_bits(), y.total.to_bits());
         }
     }
 
@@ -529,19 +543,21 @@ mod tests {
     }
 
     #[test]
-    fn guarded_session_matches_legacy_checked_bitwise() {
+    fn guarded_sessions_are_bitwise_deterministic() {
         let ds = tiny();
         let cfg = small_cfg(6);
         let ft = FaultTolerance::default();
-        #[allow(deprecated)]
-        let legacy = crate::trainer::train_checked(&ds, &cfg, 9, &ft).expect("ok");
-        let new = TrainSession::new(&cfg)
-            .seed(9)
-            .guards(&ft)
-            .run(&ds)
-            .expect("ok");
-        assert_eq!(legacy.embeddings.max_abs_diff(&new.embeddings), 0.0);
-        assert!(new.rollbacks.is_empty());
+        let run = || {
+            TrainSession::new(&cfg)
+                .seed(9)
+                .guards(&ft)
+                .run(&ds)
+                .expect("ok")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.embeddings.max_abs_diff(&b.embeddings), 0.0);
+        assert!(a.rollbacks.is_empty());
     }
 
     #[test]

@@ -1,21 +1,17 @@
-//! Legacy training entrypoints, now thin deprecated shims over
-//! [`crate::session::TrainSession`], plus the output/view types the session
-//! returns.
+//! Output/view types returned by [`crate::session::TrainSession`], plus the
+//! test-only fault-injection entrypoint.
 //!
-//! The old API grew four overlapping drivers (`train`, `train_checked`,
-//! `train_checked_traced`, `resume_checked`); the builder expresses all of
-//! them — and telemetry — through one entrypoint:
+//! The legacy driver family (`train`, `train_traced`, `train_checked`,
+//! `train_checked_traced`, `resume_checked`) has been removed; the builder
+//! expresses all of them — and telemetry — through one entrypoint:
 //!
-//! | legacy call | builder equivalent |
+//! | removed call | builder equivalent |
 //! |---|---|
 //! | `train(ds, cfg, seed)` | `TrainSession::new(cfg).seed(seed).run(ds)` |
 //! | `train_traced(ds, cfg, seed, f)` | `… .on_epoch(\|e, v\| f(e, v.model)).run(ds)` |
 //! | `train_checked(ds, cfg, seed, ft)` | `… .guards(ft).run(ds)` |
 //! | `train_checked_traced(ds, cfg, seed, ft, f)` | `… .guards(ft).on_epoch(f).run(ds)` |
 //! | `resume_checked(ds, cfg, state, ft)` | `… .guards(ft).resume_from(state).run(ds)` |
-//!
-//! Every shim delegates, so behavior (including bit-exact RNG streams) is
-//! unchanged; they will be removed once external callers migrate.
 
 use gcmae_graph::Dataset;
 use gcmae_nn::{save_train_state, Bytes, TrainMeta};
@@ -57,71 +53,6 @@ impl EpochView<'_> {
     }
 }
 
-/// Pre-trains GCMAE on a dataset.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(cfg).seed(seed).run(ds)"
-)]
-pub fn train(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> TrainOutput {
-    match TrainSession::new(cfg).seed(seed).run(ds) {
-        Ok(out) => out,
-        Err(e) => unreachable!("unguarded session cannot fail: {e}"),
-    }
-}
-
-/// Pre-trains with a per-epoch callback `(epoch, model)`.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(cfg).on_epoch(...).run(ds)"
-)]
-pub fn train_traced(
-    ds: &Dataset,
-    cfg: &GcmaeConfig,
-    seed: u64,
-    mut on_epoch: impl FnMut(usize, &Gcmae),
-) -> TrainOutput {
-    let session = TrainSession::new(cfg)
-        .seed(seed)
-        .on_epoch(move |e, view| on_epoch(e, view.model));
-    match session.run(ds) {
-        Ok(out) => out,
-        Err(e) => unreachable!("unguarded session cannot fail: {e}"),
-    }
-}
-
-/// Pre-trains with divergence guards and checkpoint/rollback recovery.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(cfg).guards(ft).run(ds)"
-)]
-pub fn train_checked(
-    ds: &Dataset,
-    cfg: &GcmaeConfig,
-    seed: u64,
-    ft: &FaultTolerance,
-) -> Result<TrainOutput, TrainError> {
-    TrainSession::new(cfg).seed(seed).guards(ft).run(ds)
-}
-
-/// Guarded pre-training with a per-epoch callback `(epoch, view)`.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(cfg).guards(ft).on_epoch(...).run(ds)"
-)]
-pub fn train_checked_traced(
-    ds: &Dataset,
-    cfg: &GcmaeConfig,
-    seed: u64,
-    ft: &FaultTolerance,
-    on_epoch: impl FnMut(usize, &EpochView<'_>),
-) -> Result<TrainOutput, TrainError> {
-    TrainSession::new(cfg)
-        .seed(seed)
-        .guards(ft)
-        .on_epoch(on_epoch)
-        .run(ds)
-}
-
 /// Test-only entry point: guarded training plus a deterministic
 /// [`FaultPlan`]. Public so the integration suite can exercise recovery,
 /// hidden because production code has no business injecting faults.
@@ -142,27 +73,7 @@ pub fn train_checked_injected(
         .run(ds)
 }
 
-/// Resumes a guarded run from v2 training-state bytes (see
-/// [`EpochView::checkpoint`]). The continuation is bit-identical to the
-/// uninterrupted run.
-#[deprecated(
-    since = "0.5.0",
-    note = "use TrainSession::new(cfg).guards(ft).resume_from(state).run(ds)"
-)]
-pub fn resume_checked(
-    ds: &Dataset,
-    cfg: &GcmaeConfig,
-    state: Bytes,
-    ft: &FaultTolerance,
-) -> Result<TrainOutput, TrainError> {
-    TrainSession::new(cfg).guards(ft).resume_from(state).run(ds)
-}
-
-// The legacy suite stays on the shims on purpose: it pins that every
-// deprecated entry point still behaves exactly as before the collapse into
-// `TrainSession` (which has its own suite in `crate::session`).
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::fault::StepFault;
@@ -170,6 +81,13 @@ mod tests {
 
     fn tiny() -> Dataset {
         generate(&CitationSpec::cora().scaled(0.02), 11)
+    }
+
+    fn train(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> TrainOutput {
+        TrainSession::new(cfg)
+            .seed(seed)
+            .run(ds)
+            .expect("unguarded session cannot fail")
     }
 
     #[test]
@@ -233,7 +151,11 @@ mod tests {
             ..GcmaeConfig::fast()
         };
         let mut seen = vec![];
-        let _ = train_traced(&ds, &cfg, 5, |e, _| seen.push(e));
+        let _ = TrainSession::new(&cfg)
+            .seed(5)
+            .on_epoch(|e, _| seen.push(e))
+            .run(&ds)
+            .expect("unguarded session cannot fail");
         assert_eq!(seen, (0..7).collect::<Vec<_>>());
     }
 
@@ -251,8 +173,15 @@ mod tests {
         let ds = tiny();
         let cfg = small_cfg(6);
         let ft = FaultTolerance::default();
-        let a = train_checked(&ds, &cfg, 9, &ft).unwrap();
-        let b = train_checked(&ds, &cfg, 9, &ft).unwrap();
+        let run = || {
+            TrainSession::new(&cfg)
+                .seed(9)
+                .guards(&ft)
+                .run(&ds)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
         assert!(a.rollbacks.is_empty());
         assert_eq!(a.history.len(), 6);
         assert_eq!(a.embeddings.max_abs_diff(&b.embeddings), 0.0);
@@ -264,13 +193,21 @@ mod tests {
         let cfg = small_cfg(8);
         let ft = FaultTolerance::default();
         let mut snapshot = None;
-        let full = train_checked_traced(&ds, &cfg, 10, &ft, |e, view| {
-            if e == 3 {
-                snapshot = Some(view.checkpoint());
-            }
-        })
-        .unwrap();
-        let resumed = resume_checked(&ds, &cfg, snapshot.unwrap(), &ft).unwrap();
+        let full = TrainSession::new(&cfg)
+            .seed(10)
+            .guards(&ft)
+            .on_epoch(|e, view| {
+                if e == 3 {
+                    snapshot = Some(view.checkpoint());
+                }
+            })
+            .run(&ds)
+            .unwrap();
+        let resumed = TrainSession::new(&cfg)
+            .guards(&ft)
+            .resume_from(snapshot.unwrap())
+            .run(&ds)
+            .unwrap();
         assert_eq!(resumed.history.len(), 4, "epochs 4..8 re-run");
         assert_eq!(full.embeddings.max_abs_diff(&resumed.embeddings), 0.0);
         for (a, b) in full.history[4..].iter().zip(&resumed.history) {

@@ -1,0 +1,69 @@
+//! Arena-reuse regression test. Runs alone in its own binary because it
+//! installs the process-global observer and reads the process-global buffer
+//! pool's counters: after the first training step has populated the pool,
+//! later identical steps must be served entirely from recycled buffers —
+//! zero arena misses, i.e. zero new tape/gradient/scratch allocations.
+
+use std::sync::Arc;
+
+use gcmae_core::{Gcmae, GcmaeConfig, StepGuard};
+use gcmae_graph::generators::citation::{generate, CitationSpec};
+use gcmae_nn::Adam;
+use gcmae_obs::Registry;
+use gcmae_tensor::ArenaGuard;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn second_step_allocates_nothing_new() {
+    let reg = Arc::new(Registry::new());
+    gcmae_obs::install(reg.clone());
+
+    let ds = generate(&CitationSpec::cora().scaled(0.02), 11);
+    let cfg = GcmaeConfig {
+        hidden_dim: 16,
+        proj_dim: 8,
+        epochs: 1,
+        ..GcmaeConfig::fast()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut model = Gcmae::new(&cfg, ds.feature_dim(), &mut rng);
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+    let guard = StepGuard::off();
+
+    // Hold the arena open across steps, as the training session does.
+    let _arena = ArenaGuard::new();
+
+    // Step 1 populates the pool (every take is a miss on a cold pool).
+    model
+        .step(&ds.graph, &ds.features, &mut adam, &mut rng, &guard)
+        .expect("unguarded step cannot fault");
+    let takes_1 = reg.counter_value("arena.take.hit") + reg.counter_value("arena.take.miss");
+    let miss_1 = reg.counter_value("arena.take.miss");
+    assert!(takes_1 > 0, "training must route buffers through the arena");
+
+    // Steps 2 and 3 run the same shapes: all takes must now be pool hits.
+    for step in 2..4 {
+        model
+            .step(&ds.graph, &ds.features, &mut adam, &mut rng, &guard)
+            .expect("unguarded step cannot fault");
+        let miss = reg.counter_value("arena.take.miss");
+        assert_eq!(
+            miss - miss_1,
+            0,
+            "step {step} allocated fresh buffers instead of recycling"
+        );
+    }
+    let takes_3 = reg.counter_value("arena.take.hit") + reg.counter_value("arena.take.miss");
+    assert!(takes_3 > takes_1, "later steps kept using the arena");
+
+    // The guard exported pool telemetry while active.
+    let snap = reg.snapshot();
+    assert!(
+        snap.gauges.iter().any(|(k, _)| k == "arena.retained_bytes"),
+        "arena gauges missing from registry: {:?}",
+        snap.gauges.iter().map(|(k, _)| k).collect::<Vec<_>>()
+    );
+
+    gcmae_obs::uninstall();
+}

@@ -70,6 +70,7 @@ impl Adam {
                 let w = &mut p.value.as_mut_slice()[i];
                 *w -= lr * (mhat / (vhat.sqrt() + eps) + wd * *w);
             }
+            gcmae_tensor::arena::recycle_matrix(g);
         }
     }
 }
@@ -137,6 +138,7 @@ impl Sgd {
                 let w = &mut p.value.as_mut_slice()[i];
                 *w -= self.lr * (g.as_slice()[i] + self.weight_decay * *w);
             }
+            gcmae_tensor::arena::recycle_matrix(g);
         }
     }
 }

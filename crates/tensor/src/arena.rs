@@ -1,0 +1,331 @@
+//! Cross-step buffer arena for gradient and activation matrices.
+//!
+//! Training allocates the same set of `Vec<f32>` buffers every step: one per
+//! tape node, one per gradient slot, plus the N×N scratch matrices inside the
+//! loss kernels. The arena recycles those buffers across steps so the steady
+//! state performs zero heap allocations on the hot path.
+//!
+//! ## Lifetime rules
+//!
+//! - Retention is **opt-in**: while at least one [`ArenaGuard`] is alive,
+//!   [`recycle`] parks buffers in a global size-class pool and [`take_dirty`] /
+//!   [`take_zeroed`] serve from it. With no guard active, `recycle` is a plain
+//!   drop and `take_*` a plain allocation, so one-shot paths (serving, tests)
+//!   pay nothing and hold nothing.
+//! - The training loop owns the guard: [`crate::tape::Tape`], `Grads`, and the
+//!   loss `Saved` states return their buffers on drop, which all happens
+//!   inside the step, before the guard itself is released at end of run.
+//!   Gradients the optimizer takes *out* of `Grads` are handed back
+//!   explicitly through [`recycle_matrix`] once applied — every per-step take
+//!   site needs a matching recycle or the pool misses on that class forever.
+//! - When the last guard drops the pool is freed outright — an idle process
+//!   retains no memory.
+//!
+//! Buffers are bucketed by power-of-two capacity. Fresh allocations round the
+//! requested length up to the next power of two so a buffer can be re-served
+//! for any request in its class; foreign buffers (allocated elsewhere, e.g.
+//! `Matrix::zeros`) are bucketed by the largest power of two they can hold.
+//! Retained bytes are capped at a multiple of the observed take high-water
+//! mark, so a long run cannot grow the pool without bound.
+//!
+//! Counters `arena.take.hit` / `arena.take.miss` and gauges
+//! `arena.retained_bytes` / `arena.hwm_bytes` are exported through the
+//! `gcmae-obs` registry when an observer is installed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::matrix::Matrix;
+
+/// Number of live [`ArenaGuard`]s.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Floor for the retained-bytes cap, so small workloads still get full reuse.
+const MIN_RETAIN_BYTES: usize = 16 * 1024 * 1024;
+
+#[derive(Default)]
+struct Pool {
+    /// `buckets[c]` holds buffers with `capacity >= 1 << c`.
+    buckets: Vec<Vec<Vec<f32>>>,
+    /// Bytes currently parked in `buckets`.
+    retained_bytes: usize,
+    /// High-water mark of bytes handed out by `take_*` and not yet recycled.
+    outstanding_bytes: usize,
+    outstanding_hwm: usize,
+    /// High-water mark of `retained + outstanding` (the arena footprint).
+    hwm_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+static POOL: Mutex<Pool> = Mutex::new(Pool {
+    buckets: Vec::new(),
+    retained_bytes: 0,
+    outstanding_bytes: 0,
+    outstanding_hwm: 0,
+    hwm_bytes: 0,
+    hits: 0,
+    misses: 0,
+});
+
+/// Point-in-time arena statistics (test/diagnostic mirror of the obs export).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArenaStats {
+    /// `take_*` calls served from the pool.
+    pub hits: u64,
+    /// `take_*` calls that fell back to a fresh allocation.
+    pub misses: u64,
+    /// Bytes currently parked in the pool.
+    pub retained_bytes: usize,
+    /// High-water mark of pool + in-flight bytes.
+    pub hwm_bytes: usize,
+}
+
+/// Snapshot of the arena counters.
+pub fn stats() -> ArenaStats {
+    let p = lock_pool();
+    ArenaStats {
+        hits: p.hits,
+        misses: p.misses,
+        retained_bytes: p.retained_bytes,
+        hwm_bytes: p.hwm_bytes,
+    }
+}
+
+/// RAII handle that turns buffer retention on for its lifetime. Guards nest;
+/// the pool is freed when the last one drops.
+#[must_use = "the arena only retains buffers while the guard is alive"]
+pub struct ArenaGuard(());
+
+impl ArenaGuard {
+    /// Activates the arena (nestable).
+    pub fn new() -> Self {
+        ACTIVE.fetch_add(1, Ordering::SeqCst);
+        ArenaGuard(())
+    }
+}
+
+impl Default for ArenaGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for ArenaGuard {
+    fn drop(&mut self) {
+        if ACTIVE.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let mut p = lock_pool();
+            p.buckets.clear();
+            p.retained_bytes = 0;
+            publish_gauges(&p);
+        }
+    }
+}
+
+fn lock_pool() -> std::sync::MutexGuard<'static, Pool> {
+    // A poisoned pool mutex only means a panic unwound mid-recycle; the pool
+    // state is still structurally valid (worst case a buffer was leaked).
+    POOL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn publish_gauges(p: &Pool) {
+    if gcmae_obs::enabled() {
+        gcmae_obs::gauge_set("arena.retained_bytes", p.retained_bytes as f64);
+        gcmae_obs::gauge_set("arena.hwm_bytes", p.hwm_bytes as f64);
+    }
+}
+
+/// Bucket index for a fresh request: round up, so one buffer serves any
+/// request in its class.
+fn class_up(len: usize) -> usize {
+    (usize::BITS - len.next_power_of_two().leading_zeros() - 1) as usize
+}
+
+/// Bucket index for a returning buffer: round down, so every buffer in bucket
+/// `c` is guaranteed to hold `1 << c` elements.
+fn class_down(cap: usize) -> usize {
+    (usize::BITS - cap.leading_zeros() - 1) as usize
+}
+
+fn take(len: usize, zero: bool) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let class = class_up(len);
+    let mut p = lock_pool();
+    let reused = p.buckets.get_mut(class).and_then(Vec::pop);
+    match reused {
+        Some(mut v) => {
+            p.hits += 1;
+            gcmae_obs::counter_add("arena.take.hit", 1);
+            p.retained_bytes -= v.capacity() * 4;
+            note_outgoing(&mut p, v.capacity());
+            drop(p);
+            // `resize` zero-fills only the region beyond the old length; the
+            // dirty variant relies on the caller overwriting every element.
+            v.resize(len, 0.0);
+            if zero {
+                v.fill(0.0);
+            }
+            v
+        }
+        None => {
+            p.misses += 1;
+            gcmae_obs::counter_add("arena.take.miss", 1);
+            let cap = 1usize << class;
+            note_outgoing(&mut p, cap);
+            drop(p);
+            let mut v = Vec::with_capacity(cap);
+            v.resize(len, 0.0);
+            v
+        }
+    }
+}
+
+fn note_outgoing(p: &mut Pool, cap: usize) {
+    p.outstanding_bytes += cap * 4;
+    p.outstanding_hwm = p.outstanding_hwm.max(p.outstanding_bytes);
+    let footprint = p.outstanding_bytes + p.retained_bytes;
+    if footprint > p.hwm_bytes {
+        p.hwm_bytes = footprint;
+    }
+    publish_gauges(p);
+}
+
+/// Takes a buffer of `len` elements with unspecified contents: the caller
+/// must overwrite every element before reading.
+pub(crate) fn take_dirty(len: usize) -> Vec<f32> {
+    take(len, false)
+}
+
+/// Takes a zero-filled buffer of `len` elements.
+pub(crate) fn take_zeroed(len: usize) -> Vec<f32> {
+    take(len, true)
+}
+
+/// Returns a buffer to the pool (drops it when no guard is active or the
+/// retention cap is reached).
+pub(crate) fn recycle(v: Vec<f32>) {
+    let cap = v.capacity();
+    if cap == 0 {
+        return;
+    }
+    let mut p = lock_pool();
+    p.outstanding_bytes = p.outstanding_bytes.saturating_sub(cap * 4);
+    if ACTIVE.load(Ordering::SeqCst) == 0 {
+        publish_gauges(&p);
+        return; // `v` drops normally
+    }
+    let limit = (4 * p.outstanding_hwm).max(MIN_RETAIN_BYTES);
+    if p.retained_bytes + cap * 4 > limit {
+        publish_gauges(&p);
+        return;
+    }
+    let class = class_down(cap);
+    if p.buckets.len() <= class {
+        p.buckets.resize_with(class + 1, Vec::new);
+    }
+    p.buckets[class].push(v);
+    p.retained_bytes += cap * 4;
+    let footprint = p.outstanding_bytes + p.retained_bytes;
+    if footprint > p.hwm_bytes {
+        p.hwm_bytes = footprint;
+    }
+    publish_gauges(&p);
+}
+
+/// Arena-backed `rows × cols` matrix with unspecified contents; every element
+/// must be written before use.
+pub(crate) fn matrix_dirty(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, take_dirty(rows * cols))
+}
+
+/// Arena-backed zero-filled `rows × cols` matrix.
+pub(crate) fn matrix_zeroed(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, take_zeroed(rows * cols))
+}
+
+/// Arena-backed copy of `m`.
+pub(crate) fn copy_of(m: &Matrix) -> Matrix {
+    let mut v = take_dirty(m.len());
+    v.copy_from_slice(m.as_slice());
+    Matrix::from_vec(m.rows(), m.cols(), v)
+}
+
+/// Recycles a matrix's backing buffer. Public so that downstream consumers of
+/// arena-backed matrices that escape the tape — the optimizer takes ownership
+/// of parameter gradients via `Grads::take` — can return them to the pool.
+/// A no-op (plain drop) when no [`ArenaGuard`] is active.
+pub fn recycle_matrix(m: Matrix) {
+    recycle(m.into_vec());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Arena tests share process-global state with each other (and with any
+    // test that trains under a guard), so they serialize on one mutex.
+    static ARENA_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        ARENA_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn no_guard_means_no_retention() {
+        let _l = locked();
+        recycle(vec![1.0; 100]);
+        let before = stats();
+        let v = take_dirty(100);
+        assert_eq!(v.len(), 100);
+        let after = stats();
+        assert_eq!(
+            after.hits, before.hits,
+            "nothing may be served from the pool"
+        );
+    }
+
+    #[test]
+    fn guard_enables_reuse_and_classes_round_up() {
+        let _l = locked();
+        let guard = ArenaGuard::new();
+        let v = take_zeroed(100); // capacity rounds to 128
+        assert!(v.capacity() >= 128);
+        recycle(v);
+        let before = stats();
+        let w = take_zeroed(120); // same class → must hit
+        let after = stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert!(w.iter().all(|&x| x == 0.0));
+        drop(guard);
+        assert_eq!(stats().retained_bytes, 0, "last guard drop frees the pool");
+    }
+
+    #[test]
+    fn zeroed_take_clears_recycled_garbage() {
+        let _l = locked();
+        let _guard = ArenaGuard::new();
+        recycle(vec![7.0; 64]);
+        let v = take_zeroed(64);
+        assert!(v.iter().all(|&x| x == 0.0));
+        let d = take_dirty(64); // miss (bucket drained) → fresh zeroed alloc
+        assert_eq!(d.len(), 64);
+    }
+
+    #[test]
+    fn nested_guards_keep_pool_until_last() {
+        let _l = locked();
+        let outer = ArenaGuard::new();
+        {
+            let _inner = ArenaGuard::new();
+            recycle(vec![0.0; 256]);
+        }
+        assert!(
+            stats().retained_bytes > 0,
+            "inner drop must not clear the pool"
+        );
+        drop(outer);
+        assert_eq!(stats().retained_bytes, 0);
+    }
+}

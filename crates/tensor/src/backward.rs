@@ -7,13 +7,18 @@ use crate::ops::{adj_recon, gat, infonce, sce, softmax_ce, variance};
 use crate::tape::Tape;
 
 /// Accumulates `delta` into the gradient slot of `id` (skipping nodes that do
-/// not require gradients).
+/// not require gradients). Deltas that are not moved into a slot go back to
+/// the buffer arena.
 fn acc(tape: &Tape, grads: &mut [Option<Matrix>], id: TensorId, delta: Matrix) {
     if !tape.nodes[id.0].requires {
+        crate::arena::recycle_matrix(delta);
         return;
     }
     match &mut grads[id.0] {
-        Some(g) => g.add_assign(&delta),
+        Some(g) => {
+            g.add_assign(&delta);
+            crate::arena::recycle_matrix(delta);
+        }
         slot @ None => *slot = Some(delta),
     }
 }
@@ -46,25 +51,25 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
             acc(tape, grads, *rhs, bwd.matmul_dense(g));
         }
         Op::Add(a, b) => {
-            acc(tape, grads, *a, g.clone());
-            acc(tape, grads, *b, g.clone());
+            acc(tape, grads, *a, crate::arena::copy_of(g));
+            acc(tape, grads, *b, crate::arena::copy_of(g));
         }
         Op::Sub(a, b) => {
-            acc(tape, grads, *a, g.clone());
-            let mut neg = g.clone();
+            acc(tape, grads, *a, crate::arena::copy_of(g));
+            let mut neg = crate::arena::copy_of(g);
             neg.scale_inplace(-1.0);
             acc(tape, grads, *b, neg);
         }
         Op::Hadamard(a, b) => {
             if tape.nodes[a.0].requires {
-                let mut d = g.clone();
+                let mut d = crate::arena::copy_of(g);
                 for (x, &y) in d.as_mut_slice().iter_mut().zip(tape.value(*b).as_slice()) {
                     *x *= y;
                 }
                 acc(tape, grads, *a, d);
             }
             if tape.nodes[b.0].requires {
-                let mut d = g.clone();
+                let mut d = crate::arena::copy_of(g);
                 for (x, &y) in d.as_mut_slice().iter_mut().zip(tape.value(*a).as_slice()) {
                     *x *= y;
                 }
@@ -72,14 +77,14 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
             }
         }
         Op::Scale(a, c) => {
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             d.scale_inplace(*c);
             acc(tape, grads, *a, d);
         }
         Op::AddBias { input, bias } => {
-            acc(tape, grads, *input, g.clone());
+            acc(tape, grads, *input, crate::arena::copy_of(g));
             if tape.nodes[bias.0].requires {
-                let mut d = Matrix::zeros(1, g.cols());
+                let mut d = crate::arena::matrix_zeroed(1, g.cols());
                 for r in 0..g.rows() {
                     for (o, &gv) in d.row_mut(0).iter_mut().zip(g.row(r)) {
                         *o += gv;
@@ -93,7 +98,7 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
         }
 
         Op::Relu(a) => {
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             for (x, &v) in d.as_mut_slice().iter_mut().zip(tape.value(*a).as_slice()) {
                 if v <= 0.0 {
                     *x = 0.0;
@@ -102,7 +107,7 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
             acc(tape, grads, *a, d);
         }
         Op::LeakyRelu(a, slope) => {
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             for (x, &v) in d.as_mut_slice().iter_mut().zip(tape.value(*a).as_slice()) {
                 if v <= 0.0 {
                     *x *= slope;
@@ -112,7 +117,7 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
         }
         Op::Elu(a, alpha) => {
             // out = x>0 ? x : α(eˣ−1) ⇒ d = x>0 ? 1 : out+α
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             let input = tape.value(*a);
             for ((x, &v), &o) in d
                 .as_mut_slice()
@@ -127,21 +132,21 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
             acc(tape, grads, *a, d);
         }
         Op::Sigmoid(a) => {
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             for (x, &o) in d.as_mut_slice().iter_mut().zip(node.value.as_slice()) {
                 *x *= o * (1.0 - o);
             }
             acc(tape, grads, *a, d);
         }
         Op::Tanh(a) => {
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             for (x, &o) in d.as_mut_slice().iter_mut().zip(node.value.as_slice()) {
                 *x *= 1.0 - o * o;
             }
             acc(tape, grads, *a, d);
         }
         Op::Exp(a) => {
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             for (x, &o) in d.as_mut_slice().iter_mut().zip(node.value.as_slice()) {
                 *x *= o;
             }
@@ -152,7 +157,8 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
             // y = x/‖x‖ ⇒ dx = (g − (g·y)y)/‖x‖ — rows are independent.
             let y = &node.value;
             let cols = g.cols();
-            let mut d = Matrix::zeros(g.rows(), cols);
+            // Fully written when cols > 0 and empty otherwise: dirty is safe.
+            let mut d = crate::arena::matrix_dirty(g.rows(), cols);
             if cols > 0 {
                 crate::parallel::par_row_chunks_cost(d.as_mut_slice(), cols, 4 * cols, |r0, chunk| {
                     for (dr, orow) in chunk.chunks_mut(cols).enumerate() {
@@ -191,7 +197,7 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
             for v in &mut mean_gy {
                 *v /= n as f32;
             }
-            let mut d = Matrix::zeros(n, dcols);
+            let mut d = crate::arena::matrix_dirty(n, dcols);
             for r in 0..n {
                 for c in 0..dcols {
                     d[(r, c)] =
@@ -201,21 +207,22 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
             acc(tape, grads, *input, d);
         }
         Op::Dropout { input, mask } => {
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             for (x, &m) in d.as_mut_slice().iter_mut().zip(mask.iter()) {
                 *x *= m;
             }
             acc(tape, grads, *input, d);
         }
         Op::MaskRows { input, rows } => {
-            let mut d = g.clone();
+            let mut d = crate::arena::copy_of(g);
             for &r in rows {
                 d.row_mut(r).fill(0.0);
             }
             acc(tape, grads, *input, d);
         }
         Op::GatherRows { input, rows, in_rows } => {
-            let mut d = Matrix::zeros(*in_rows, g.cols());
+            // Scatter-accumulate target: rows may repeat, so it must be zeroed.
+            let mut d = crate::arena::matrix_zeroed(*in_rows, g.cols());
             for (i, &r) in rows.iter().enumerate() {
                 for (o, &gv) in d.row_mut(r).iter_mut().zip(g.row(i)) {
                     *o += gv;
@@ -228,7 +235,7 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
             for &p in parts {
                 let w = tape.value(p).cols();
                 if tape.nodes[p.0].requires {
-                    let mut d = Matrix::zeros(g.rows(), w);
+                    let mut d = crate::arena::matrix_dirty(g.rows(), w);
                     for r in 0..g.rows() {
                         d.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
                     }
@@ -240,7 +247,7 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
 
         Op::MeanRows(a) => {
             let n = tape.value(*a).rows();
-            let mut d = Matrix::zeros(n, g.cols());
+            let mut d = crate::arena::matrix_dirty(n, g.cols());
             let inv = 1.0 / n as f32;
             for r in 0..n {
                 for (o, &gv) in d.row_mut(r).iter_mut().zip(g.row(0)) {
@@ -251,7 +258,8 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
         }
         Op::SegmentMean { input, segments, counts } => {
             let x = tape.value(*input);
-            let mut d = Matrix::zeros(x.rows(), x.cols());
+            // `segments` names every row exactly once: fully written.
+            let mut d = crate::arena::matrix_dirty(x.rows(), x.cols());
             for (r, &s) in segments.iter().enumerate() {
                 let s = s as usize;
                 let inv = 1.0 / counts[s].max(1.0);
@@ -263,15 +271,19 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
         }
         Op::SumAll(a) => {
             let x = tape.value(*a);
-            acc(tape, grads, *a, Matrix::full(x.rows(), x.cols(), g.scalar_value()));
+            let mut d = crate::arena::matrix_dirty(x.rows(), x.cols());
+            d.as_mut_slice().fill(g.scalar_value());
+            acc(tape, grads, *a, d);
         }
         Op::MeanAll(a) => {
             let x = tape.value(*a);
             let v = g.scalar_value() / x.len() as f32;
-            acc(tape, grads, *a, Matrix::full(x.rows(), x.cols(), v));
+            let mut d = crate::arena::matrix_dirty(x.rows(), x.cols());
+            d.as_mut_slice().fill(v);
+            acc(tape, grads, *a, d);
         }
         Op::FrobSq(a) => {
-            let mut d = tape.value(*a).clone();
+            let mut d = crate::arena::copy_of(tape.value(*a));
             d.scale_inplace(2.0 * g.scalar_value());
             acc(tape, grads, *a, d);
         }
@@ -283,7 +295,7 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
         Op::BceWithLogits { logits, targets } => {
             let l = tape.value(*logits);
             let scale = g.scalar_value() / l.len() as f32;
-            let mut d = Matrix::zeros(l.rows(), l.cols());
+            let mut d = crate::arena::matrix_dirty(l.rows(), l.cols());
             for ((o, &x), &t) in d
                 .as_mut_slice()
                 .iter_mut()

@@ -1,17 +1,51 @@
 //! Dense matrix-multiplication kernels.
 //!
 //! Three variants are provided because autograd needs products against
-//! transposes and materializing the transpose would double memory traffic:
-//! `A·B`, `A·Bᵀ`, and `Aᵀ·B`. All use ikj loop order (row-major friendly) and
-//! row-block parallelism over the output.
+//! transposes: `A·B`, `A·Bᵀ`, and `Aᵀ·B`. All route through one cache-blocked,
+//! register-tiled NN microkernel (`gemm_nn_into`); the transposed variants
+//! first rewrite their strided operand into row-major order (via the tiled
+//! [`Matrix::transposed`], recycled through the arena) and then share the
+//! same packed NN path.
+//!
+//! ## Bit-identity of the blocked kernel
+//!
+//! Only the i/j loops are tiled and only data *layout* changes (packing is a
+//! pure copy). Every output element still accumulates its `k` products in the
+//! same sequential order the reference kernels use (`p = 0, 1, …, k-1` into a
+//! single f32 accumulator), so the blocked kernels are bit-identical to them
+//! at any thread count. Two references are kept for `A·B`:
+//! [`matmul_naive`], the textbook i-j-k triple loop (scalar dot per output
+//! element — the canonical baseline blocked-kernel speedups are quoted
+//! against), and [`matmul_rowstream`], the pre-blocking production kernel
+//! (i-k-j, load/FMA/store through the output row, skipping `a[i][p] == 0.0`
+//! terms — bit-neutral for finite inputs, since the accumulator starts at
+//! `+0.0` and adding `±0.0` to any partial sum reproduces it exactly). The
+//! transposed references (`*_naive`) are per-element scalar dots. All serve
+//! as oracles for the bit-identity proptests and as baseline rows in
+//! `bench_kernels`.
+//!
+//! ## Tiling parameters
+//!
+//! The microkernel holds a 4-row × 16-column block of the output in
+//! registers (a 4×4 block of 4-wide SIMD lanes: 64 independent f32
+//! accumulators), so each `a` element is broadcast once per 16 column
+//! products and each `b` strip is loaded once per 4 row products — instead
+//! of the rowstream kernel's load/FMA/store round trip through the output
+//! row for every single multiply. The full-width column strips of `b` are
+//! packed once per call into a contiguous `[strip][k][16]` scratch, so the
+//! inner loop streams consecutive cache lines instead of striding `n` floats
+//! between `k`-steps; the `n % 16` remainder columns are handled by a scalar
+//! edge kernel straight off the unpacked operand. Strips are grouped into
+//! 512-wide panels so one `k × 512` packed slice stays cache-resident while
+//! every row of the chunk streams over it.
 
 use crate::matrix::Matrix;
-use crate::parallel::par_row_chunks_cost;
+use crate::parallel::{par_row_chunks_by_cost, par_row_chunks_cost};
 use gcmae_obs::{kernel_span, KernelMetrics};
 
-/// All three dense variants report under one metric family: they share the
-/// same m·k·n cost model and the split by transpose is an implementation
-/// detail of autograd, not a workload distinction.
+/// All dense variants report under one metric family: they share the same
+/// m·k·n cost model and the split by transpose is an implementation detail of
+/// autograd, not a workload distinction.
 static MATMUL_METRICS: KernelMetrics = KernelMetrics {
     ns: "kernel.matmul.ns",
     calls: "kernel.matmul.calls",
@@ -20,6 +54,166 @@ static MATMUL_METRICS: KernelMetrics = KernelMetrics {
 
 fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
     (m as u64).saturating_mul(k as u64).saturating_mul(n as u64)
+}
+
+/// Rows of the output block held in registers.
+const MR: usize = 4;
+/// Columns of the output block held in registers (4 SIMD lanes of 4).
+const NR: usize = 16;
+/// Column panel width: the `k × JC` slice of `b` walked by one row block.
+const JC: usize = 512;
+
+/// `rows × 16` register-tiled inner kernel: accumulates the full `k` depth
+/// for a 4×16 output block without touching memory, then stores each row
+/// once. `bp` is one packed `[p][16]` column strip, so the inner loop walks
+/// consecutive cache lines. Accumulation per output element is sequential in
+/// `p`, matching the reference kernels bit-for-bit.
+#[inline(always)]
+fn micro_4x16(
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    bp: &[f32],
+    n: usize,
+    j: usize,
+    chunk: &mut [f32],
+    i: usize,
+) {
+    let mut c = [[0.0f32; NR]; MR];
+    for ((((&v0, &v1), &v2), &v3), br) in a0.iter().zip(a1).zip(a2).zip(a3).zip(bp.chunks_exact(NR))
+    {
+        let br: &[f32; NR] = br.try_into().expect("strip width");
+        let av = [v0, v1, v2, v3];
+        for ii in 0..MR {
+            for jj in 0..NR {
+                c[ii][jj] += av[ii] * br[jj];
+            }
+        }
+    }
+    for (ii, ci) in c.iter().enumerate() {
+        let at = (i + ii) * n + j;
+        chunk[at..at + NR].copy_from_slice(ci);
+    }
+}
+
+/// Single-row variant of the 16-wide packed-strip kernel.
+#[inline(always)]
+fn micro_1x16(ar: &[f32], bp: &[f32], j: usize, out_row: &mut [f32]) {
+    let mut c = [0.0f32; NR];
+    for (&av, br) in ar.iter().zip(bp.chunks_exact(NR)) {
+        let br: &[f32; NR] = br.try_into().expect("strip width");
+        for jj in 0..NR {
+            c[jj] += av * br[jj];
+        }
+    }
+    out_row[j..j + NR].copy_from_slice(&c);
+}
+
+/// Packs the full 16-wide column strips of `b` (`k×n`, row-major) into a
+/// contiguous `[strip][p][16]` scratch (held as a `(strips·k)×16` arena
+/// matrix — strip `s` is rows `s·k..(s+1)·k`). A pure copy, shared read-only
+/// by every worker; the `n % 16` remainder columns stay unpacked and are
+/// handled by [`edge_row`] straight off `b`. Caller recycles the returned
+/// matrix.
+fn pack_strips(b: &[f32], k: usize, n: usize) -> Matrix {
+    let strips = n / NR;
+    let mut pack = crate::arena::matrix_dirty(strips * k, NR);
+    let pdata = pack.as_mut_slice();
+    for s in 0..strips {
+        let j = s * NR;
+        let dst = &mut pdata[s * k * NR..(s + 1) * k * NR];
+        for (p, d) in dst.chunks_exact_mut(NR).enumerate() {
+            d.copy_from_slice(&b[p * n + j..p * n + j + NR]);
+        }
+    }
+    pack
+}
+
+/// Scalar edge kernel for the `< 16`-wide column remainder of one row;
+/// `out_row` is the slice starting at the row's first column.
+#[inline(always)]
+fn edge_row(ar: &[f32], b: &[f32], n: usize, j0: usize, je: usize, out_row: &mut [f32]) {
+    for j in j0..je {
+        let mut acc = 0.0f32;
+        for (p, &av) in ar.iter().enumerate() {
+            acc += av * b[p * n + j];
+        }
+        out_row[j] = acc;
+    }
+}
+
+/// Blocked `A (m×k) · B (k×n)` into `out` (every element is written).
+fn gemm_nn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    debug_assert_eq!(b.rows(), k);
+    debug_assert_eq!(out.shape(), (m, n));
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.as_mut_slice().fill(0.0);
+        return;
+    }
+    let bdata = b.as_slice();
+    let pack = pack_strips(bdata, k, n);
+    let pdata = pack.as_slice();
+    par_row_chunks_cost(
+        out.as_mut_slice(),
+        n,
+        k.max(1).saturating_mul(n),
+        |r0, chunk| gemm_chunk(a, bdata, pdata, r0, chunk, n, k),
+    );
+    crate::arena::recycle_matrix(pack);
+}
+
+/// Blocked kernel over one contiguous block of output rows. `pack` is the
+/// `[strip][p][16]` panel scratch from [`pack_strips`]; the `n % 16` column
+/// remainder reads the unpacked `b` through [`edge_row`].
+fn gemm_chunk(
+    a: &Matrix,
+    b: &[f32],
+    pack: &[f32],
+    r0: usize,
+    chunk: &mut [f32],
+    n: usize,
+    k: usize,
+) {
+    let rows = chunk.len() / n;
+    let strips = n / NR;
+    let per_panel = (JC / NR).max(1);
+    let mut sb = 0;
+    while sb < strips {
+        let se = (sb + per_panel).min(strips);
+        let mut i = 0;
+        while i + MR <= rows {
+            let a0 = a.row(r0 + i);
+            let a1 = a.row(r0 + i + 1);
+            let a2 = a.row(r0 + i + 2);
+            let a3 = a.row(r0 + i + 3);
+            for s in sb..se {
+                let bp = &pack[s * k * NR..(s + 1) * k * NR];
+                micro_4x16(a0, a1, a2, a3, bp, n, s * NR, chunk, i);
+            }
+            i += MR;
+        }
+        while i < rows {
+            let ar = a.row(r0 + i);
+            let out_row = &mut chunk[i * n..(i + 1) * n];
+            for s in sb..se {
+                micro_1x16(ar, &pack[s * k * NR..(s + 1) * k * NR], s * NR, out_row);
+            }
+            i += 1;
+        }
+        sb = se;
+    }
+    let j0 = strips * NR;
+    if j0 < n {
+        for i in 0..rows {
+            edge_row(a.row(r0 + i), b, n, j0, n, &mut chunk[i * n..(i + 1) * n]);
+        }
+    }
 }
 
 /// `A (m×k) · B (k×n) → (m×n)`.
@@ -37,9 +231,255 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let n = b.cols();
     let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
+    let mut out = crate::arena::matrix_dirty(m, n);
+    gemm_nn_into(a, b, &mut out);
+    out
+}
+
+/// `A (m×k) · Bᵀ (k×n from B n×k) → (m×n)`.
+///
+/// `B` is packed once into a contiguous `k×n` scratch (a tiled transpose) so
+/// the blocked kernel streams contiguous strips; the scratch is recycled
+/// through the arena before returning.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt shape mismatch {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.rows();
+    let n = b.rows();
+    let k = a.cols();
+    let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
+    let bt = b.transposed();
+    let mut out = crate::arena::matrix_dirty(m, n);
+    gemm_nn_into(a, &bt, &mut out);
+    crate::arena::recycle_matrix(bt);
+    out
+}
+
+/// `Aᵀ (k×m from A m×k) · B (m×n) → (k×n)`.
+///
+/// `A` is packed once into a contiguous `k×m` scratch, then the blocked NN
+/// kernel runs on `(Aᵀ, B)`; per-element accumulation stays sequential in the
+/// shared dimension, bit-identical to the naive kernel.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn shape mismatch {:?}ᵀ x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let k = a.cols();
+    let n = b.cols();
+    let m = a.rows();
+    let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
+    let at = a.transposed();
+    let mut out = crate::arena::matrix_dirty(k, n);
+    gemm_nn_into(&at, b, &mut out);
+    crate::arena::recycle_matrix(at);
+    out
+}
+
+/// Wrapper for a pointer shared across the SYRK mirror participants.
+struct SyncPtr(*mut f32);
+// SAFETY: participants write only the strictly-upper elements of their own
+// disjoint row ranges and read only strictly-lower elements, which no
+// participant writes during the mirror phase.
+unsafe impl Send for SyncPtr {}
+unsafe impl Sync for SyncPtr {}
+
+/// Symmetric Gram product `A·Aᵀ` in half the flops: only the lower triangle
+/// (plus diagonal) is computed, then mirrored.
+///
+/// Bit-identical to `matmul_nt(a, a)`: element `(i, j≤i)` runs the same
+/// sequential-`k` accumulation, and the mirrored `(i, j>i)` equals
+/// `dot(a_j, a_i)`, which multiplies the same operand pairs in the same order
+/// as `dot(a_i, a_j)` — f32 multiplication commutes exactly.
+pub fn syrk_nt(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let k = a.cols();
+    let flops = ((n as u64).saturating_mul(n as u64 + 1) / 2).saturating_mul(k as u64);
+    let _span = kernel_span(&MATMUL_METRICS, flops);
+    let at = a.transposed();
+    let mut out = crate::arena::matrix_dirty(n, n);
+    if n == 0 {
+        return out;
+    }
+    let bdata = at.as_slice();
+    let pack = pack_strips(bdata, k, n);
+    let pdata = pack.as_slice();
+    // Lower triangle: row i costs (i+1)·k, so blocks are cut on the cost
+    // prefix sums to stay balanced.
+    par_row_chunks_by_cost(
+        out.as_mut_slice(),
+        n,
+        |r| (r + 1).saturating_mul(k.max(1)),
+        |r0, chunk| syrk_chunk(a, bdata, pdata, r0, chunk, n, k),
+    );
+    crate::arena::recycle_matrix(pack);
+    crate::arena::recycle_matrix(at);
+    // Mirror the strictly-lower triangle into the strictly-upper one,
+    // tile-by-tile. Row r copies n-1-r elements, so blocks are cost-cut too.
+    let ptr = SyncPtr(out.as_mut_slice().as_mut_ptr());
+    crate::parallel::par_row_blocks_by_cost(
+        n,
+        |r| n - r,
+        |range| {
+            const B: usize = 64;
+            let p = &ptr;
+            let mut rb = range.start;
+            while rb < range.end {
+                let re = (rb + B).min(range.end);
+                let mut jb = rb + 1;
+                while jb < n {
+                    let je = (jb + B).min(n);
+                    for r in rb..re {
+                        for j in (r + 1).max(jb)..je {
+                            // SAFETY: see `SyncPtr` — upper-element writes are
+                            // confined to this participant's rows; the lower
+                            // elements read are finalized and never written
+                            // during this phase.
+                            unsafe { *p.0.add(r * n + j) = *p.0.add(j * n + r) };
+                        }
+                    }
+                    jb = je;
+                }
+                rb = re;
+            }
+        },
+    );
+    out
+}
+
+/// Lower-triangle (inclusive diagonal) blocked kernel for [`syrk_nt`].
+/// `pack` holds the packed strips of `bt` (= `Aᵀ`); the staircase past the
+/// last full strip reads the unpacked `bt` through [`edge_row`].
+fn syrk_chunk(
+    a: &Matrix,
+    bt: &[f32],
+    pack: &[f32],
+    r0: usize,
+    chunk: &mut [f32],
+    n: usize,
+    k: usize,
+) {
+    let rows = chunk.len() / n;
+    let mut i = 0;
+    while i + MR <= rows {
+        let g = r0 + i;
+        let a0 = a.row(g);
+        let a1 = a.row(g + 1);
+        let a2 = a.row(g + 2);
+        let a3 = a.row(g + 3);
+        // Full 4-wide strips are valid up to the *first* row's diagonal;
+        // the staircase past it is finished per-row by the edge kernel.
+        let mut j = 0;
+        while j + NR <= g + 1 {
+            let s = j / NR;
+            micro_4x16(
+                a0,
+                a1,
+                a2,
+                a3,
+                &pack[s * k * NR..(s + 1) * k * NR],
+                n,
+                j,
+                chunk,
+                i,
+            );
+            j += NR;
+        }
+        for ii in 0..MR {
+            edge_row(
+                a.row(g + ii),
+                bt,
+                n,
+                j,
+                g + ii + 1,
+                &mut chunk[(i + ii) * n..],
+            );
+        }
+        i += MR;
+    }
+    while i < rows {
+        let g = r0 + i;
+        let ar = a.row(g);
+        let out_row = &mut chunk[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + NR <= g + 1 {
+            let s = j / NR;
+            micro_1x16(ar, &pack[s * k * NR..(s + 1) * k * NR], j, out_row);
+            j += NR;
+        }
+        edge_row(ar, bt, n, j, g + 1, out_row);
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels
+// ---------------------------------------------------------------------------
+
+/// Textbook `A·B` triple loop (i-j-k, one scalar dot per output element): the
+/// canonical baseline the blocked kernel's speedup is quoted against in
+/// `bench_kernels` and gated on in CI. Per-element accumulation is the same
+/// sequential `p = 0..k` order as every other kernel here, so it doubles as
+/// a bit-identity oracle. Bit-identical to [`matmul`].
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
     let mut out = Matrix::zeros(m, n);
-    // Each output row costs k·n multiply-adds, so a skinny m×n output with a
-    // deep inner dimension still crosses the parallel threshold.
+    let bdata = b.as_slice();
+    par_row_chunks_cost(
+        out.as_mut_slice(),
+        n,
+        k.max(1).saturating_mul(n),
+        |r0, chunk| {
+            for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+                let ar = a.row(r0 + dr);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (p, &av) in ar.iter().enumerate() {
+                        acc += av * bdata[p * n + j];
+                    }
+                    *o = acc;
+                }
+            }
+        },
+    );
+    out
+}
+
+/// The pre-blocking production `A·B` kernel (i-k-j: load/FMA/store through
+/// the output row, skipping `a[i][p] == 0.0` terms). Kept because the loss
+/// `*_reference` baselines are frozen against it and `bench_kernels` reports
+/// it as its own comparison row — it is what the blocked kernel actually
+/// replaced. Bit-identical to [`matmul`]: the zero-skip is bit-neutral for
+/// finite inputs (adding `±0.0` to any partial sum reproduces it exactly).
+pub fn matmul_rowstream(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
+    let mut out = Matrix::zeros(m, n);
     par_row_chunks_cost(
         out.as_mut_slice(),
         n,
@@ -63,11 +503,9 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
-/// `A (m×k) · Bᵀ (k×n from B n×k) → (m×n)`.
-///
-/// Both operands are walked row-wise, so this is the cache-friendly way to
-/// build similarity/Gram matrices.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+/// Pre-blocking `A·Bᵀ` reference kernel (per-element scalar dot, like
+/// [`matmul_naive`]). Bit-identical to [`matmul_nt`].
+pub fn matmul_nt_naive(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -101,8 +539,9 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
-/// `Aᵀ (k×m from A m×k) · B (m×n) → (k×n)`.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+/// Pre-blocking `Aᵀ·B` reference kernel (p-streaming with zero-skip, like
+/// [`matmul_rowstream`]). Bit-identical to [`matmul_tn`].
+pub fn matmul_tn_naive(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -115,16 +554,13 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let m = a.rows();
     let _span = kernel_span(&MATMUL_METRICS, matmul_flops(m, k, n));
     let mut out = Matrix::zeros(k, n);
-    // Row-parallel over the k×n output like the other variants; each output
-    // row costs m·n multiply-adds (accumulating row p of B scaled by
-    // A[p][row] keeps the inner walk sequential in memory).
     par_row_chunks_cost(
         out.as_mut_slice(),
         n,
         m.max(1).saturating_mul(n),
         |r0, chunk| {
             for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
-                let c = r0 + dr; // output row == column of A
+                let c = r0 + dr;
                 for p in 0..m {
                     let av = a.row(p)[c];
                     if av == 0.0 {
@@ -206,5 +642,49 @@ mod tests {
         let a = Matrix::uniform(300, 40, -1.0, 1.0, &mut rng);
         let b = Matrix::uniform(40, 120, -1.0, 1.0, &mut rng);
         assert!(matmul(&a, &b).max_abs_diff(&naive(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_naive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Shapes straddle the 4-row and 16-column microkernel boundaries and
+        // the 512-wide column panel.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 7, 5),
+            (4, 32, 16),
+            (37, 13, 19),
+            (130, 5, 530),
+        ] {
+            let a = Matrix::uniform(m, k, -1.0, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, -1.0, 1.0, &mut rng);
+            assert_eq!(matmul(&a, &b), matmul_naive(&a, &b), "nn {m}x{k}x{n}");
+            assert_eq!(
+                matmul_rowstream(&a, &b),
+                matmul_naive(&a, &b),
+                "rowstream {m}x{k}x{n}"
+            );
+            let bt = b.transposed();
+            assert_eq!(
+                matmul_nt(&a, &bt),
+                matmul_nt_naive(&a, &bt),
+                "nt {m}x{k}x{n}"
+            );
+            let at = a.transposed();
+            assert_eq!(
+                matmul_tn(&at, &b),
+                matmul_tn_naive(&at, &b),
+                "tn {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn syrk_is_bit_identical_to_matmul_nt() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 4, 17, 64, 101] {
+            let a = Matrix::uniform(n, 9, -1.0, 1.0, &mut rng);
+            assert_eq!(syrk_nt(&a), matmul_nt(&a, &a), "n = {n}");
+        }
     }
 }

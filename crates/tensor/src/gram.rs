@@ -1,0 +1,152 @@
+//! Per-step cache of Gram-style similarity products (`A·Bᵀ`) shared by the
+//! O(N²) loss kernels.
+//!
+//! One training step computes several products over the same embedding
+//! matrices: InfoNCE needs `Û·V̂ᵀ`, `Û·Ûᵀ`, `V̂·V̂ᵀ` **and** the transpose
+//! `V̂·Ûᵀ`, and adjacency reconstruction needs `Z·Zᵀ`. The cache serves each
+//! distinct product once per step:
+//!
+//! * self products (`A·Aᵀ`) run through [`syrk_nt`], which computes only the
+//!   lower triangle and mirrors it (half the flops, bit-identical output);
+//! * a request whose swapped product is already cached is answered with a
+//!   tiled transpose of the cached entry — bit-identical because
+//!   `(B·Aᵀ)[i][j] = dot(b_i, a_j) = (A·Bᵀ)[j][i]` exactly (the same f32
+//!   multiplications in the same order, just stored transposed);
+//! * everything else falls back to the blocked [`matmul_nt`].
+//!
+//! Entries are raw (unscaled) products so both losses can share them; callers
+//! apply their own temperature scaling at read time.
+//!
+//! ## Key validity
+//!
+//! Entries are keyed by the operands' buffer addresses (compared as integers,
+//! never dereferenced) plus their shapes. A hit is only correct if a keyed
+//! buffer cannot be freed and re-issued at the same address within one cache
+//! epoch. That holds by construction: the cache lives inside a
+//! [`crate::tape::Tape`] (or a single loss forward call) and every keyed
+//! matrix is either a tape value or is moved into the loss's `Saved` state on
+//! the tape, all of which outlive the tape itself.
+//!
+//! Counters `gram.hit` / `gram.miss` are exported through `gcmae-obs`.
+
+use std::sync::Arc;
+
+use crate::dense::{matmul_nt, syrk_nt};
+use crate::matrix::Matrix;
+
+struct Entry {
+    a_key: usize,
+    b_key: usize,
+    a_shape: (usize, usize),
+    b_shape: (usize, usize),
+    gram: Arc<Matrix>,
+}
+
+/// Cache of `A·Bᵀ` products, keyed by operand identity. One instance lives
+/// per [`crate::tape::Tape`] (i.e. per training step).
+#[derive(Default)]
+pub struct GramCache {
+    entries: Vec<Entry>,
+}
+
+impl GramCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `a · bᵀ`, serving repeated and transposed requests from the
+    /// cache. The result is bit-identical to `matmul_nt(a, b)` in every case.
+    pub fn nt(&mut self, a: &Matrix, b: &Matrix) -> Arc<Matrix> {
+        let a_key = a.as_slice().as_ptr() as usize;
+        let b_key = b.as_slice().as_ptr() as usize;
+        if let Some(e) = self.entries.iter().find(|e| {
+            e.a_key == a_key && e.b_key == b_key && e.a_shape == a.shape() && e.b_shape == b.shape()
+        }) {
+            gcmae_obs::counter_add("gram.hit", 1);
+            return e.gram.clone();
+        }
+        let swapped = self.entries.iter().find(|e| {
+            e.a_key == b_key && e.b_key == a_key && e.a_shape == b.shape() && e.b_shape == a.shape()
+        });
+        let gram = match swapped {
+            Some(e) => {
+                gcmae_obs::counter_add("gram.hit", 1);
+                Arc::new(e.gram.transposed())
+            }
+            None => {
+                gcmae_obs::counter_add("gram.miss", 1);
+                if a_key == b_key && a.shape() == b.shape() {
+                    Arc::new(syrk_nt(a))
+                } else {
+                    Arc::new(matmul_nt(a, b))
+                }
+            }
+        };
+        self.entries.push(Entry {
+            a_key,
+            b_key,
+            a_shape: a.shape(),
+            b_shape: b.shape(),
+            gram: Arc::clone(&gram),
+        });
+        gram
+    }
+
+    /// Drops all entries, recycling sole-owner buffers into the arena.
+    pub fn clear(&mut self) {
+        for e in self.entries.drain(..) {
+            if let Ok(m) = Arc::try_unwrap(e.gram) {
+                crate::arena::recycle_matrix(m);
+            }
+        }
+    }
+}
+
+impl Drop for GramCache {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::matmul_nt_naive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repeated_and_swapped_requests_hit_and_stay_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = Matrix::uniform(13, 7, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(9, 7, -1.0, 1.0, &mut rng);
+        let mut cache = GramCache::new();
+        let before = crate::arena::stats();
+        let _ = before; // silence unused in non-obs builds
+
+        let ab = cache.nt(&a, &b);
+        assert_eq!(ab.as_slice(), matmul_nt_naive(&a, &b).as_slice());
+        let ab2 = cache.nt(&a, &b);
+        assert!(Arc::ptr_eq(&ab, &ab2), "repeat request must be the same buffer");
+        let ba = cache.nt(&b, &a);
+        assert_eq!(ba.as_slice(), matmul_nt_naive(&b, &a).as_slice());
+        let aa = cache.nt(&a, &a);
+        assert_eq!(aa.as_slice(), matmul_nt_naive(&a, &a).as_slice());
+        let aa2 = cache.nt(&a, &a);
+        assert!(Arc::ptr_eq(&aa, &aa2));
+    }
+
+    #[test]
+    fn distinct_shapes_at_same_address_do_not_collide() {
+        // Same backing buffer viewed with two shapes must produce two entries.
+        let data: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        let m1 = Matrix::from_vec(3, 4, data.clone());
+        let mut cache = GramCache::new();
+        let g1 = cache.nt(&m1, &m1);
+        assert_eq!(g1.shape(), (3, 3));
+        let m2 = Matrix::from_vec(4, 3, m1.as_slice().to_vec());
+        let g2 = cache.nt(&m2, &m2);
+        assert_eq!(g2.shape(), (4, 4));
+    }
+}

@@ -24,8 +24,10 @@
 //! assert!(grads.get(w).is_some());
 //! ```
 
+pub mod arena;
 pub mod backward;
 pub mod dense;
+pub mod gram;
 pub mod init;
 pub mod matrix;
 pub mod node;
@@ -34,6 +36,8 @@ pub mod parallel;
 pub mod sparse;
 pub mod tape;
 
+pub use arena::ArenaGuard;
+pub use gram::GramCache;
 pub use matrix::Matrix;
 pub use node::TensorId;
 pub use sparse::{CsrMatrix, SharedCsr};

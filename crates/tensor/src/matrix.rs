@@ -119,6 +119,14 @@ impl Matrix {
         self.data
     }
 
+    /// Steals the backing buffer, leaving an empty `0×0` matrix behind (used
+    /// by the arena `Drop` harvesters, which cannot move out of `&mut self`).
+    pub(crate) fn take_data(&mut self) -> Vec<f32> {
+        self.rows = 0;
+        self.cols = 0;
+        std::mem::take(&mut self.data)
+    }
+
     /// Immutable view of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
@@ -151,7 +159,7 @@ impl Matrix {
 
     /// Returns a new matrix with `f` applied to every entry.
     pub fn map(&self, f: impl FnMut(f32) -> f32) -> Self {
-        let mut out = self.clone();
+        let mut out = crate::arena::copy_of(self);
         out.map_inplace(f);
         out
     }
@@ -161,7 +169,8 @@ impl Matrix {
     pub fn transposed(&self) -> Self {
         const B: usize = 64;
         let (rows, cols) = (self.rows, self.cols);
-        let mut out = Self::zeros(cols, rows);
+        // Every element is written below, so a dirty arena buffer is safe.
+        let mut out = crate::arena::matrix_dirty(cols, rows);
         for rb in (0..rows).step_by(B) {
             let re = (rb + B).min(rows);
             for cb in (0..cols).step_by(B) {
@@ -184,7 +193,8 @@ impl Matrix {
     pub fn add_transposed(&self) -> Self {
         assert_eq!(self.rows, self.cols, "add_transposed needs a square matrix");
         let n = self.rows;
-        let mut out = Self::zeros(n, n);
+        // Every element is written by the tile sweep → dirty arena buffer.
+        let mut out = crate::arena::matrix_dirty(n, n);
         crate::parallel::par_row_chunks_cost(out.as_mut_slice(), n.max(1), 2 * n, |r0, chunk| {
             const B: usize = 64;
             let mut cb = 0;
@@ -260,10 +270,11 @@ impl Matrix {
     /// gathers split across the worker pool; output is a pure copy, so it is
     /// identical at any thread count.
     pub fn gather_rows(&self, rows: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(rows.len(), self.cols);
         if self.cols == 0 {
-            return out;
+            return Matrix::zeros(rows.len(), 0);
         }
+        // Every row is copied over in full → dirty arena buffer.
+        let mut out = crate::arena::matrix_dirty(rows.len(), self.cols);
         let cols = self.cols;
         crate::parallel::par_row_chunks_cost(out.as_mut_slice(), cols, cols, |r0, chunk| {
             for (i, dst) in chunk.chunks_mut(cols).enumerate() {

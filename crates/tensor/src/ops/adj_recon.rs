@@ -16,8 +16,17 @@
 //! (`ℓ_DIST = log(mean_adj D + ε) − log(mean_nonadj D + ε)`, with per-pair
 //! means and an ε floor bounding the gradient). Diagonal pairs are excluded
 //! from all three sums.
+//!
+//! Like `infonce`, the module carries two paths: the production
+//! [`forward`] / [`forward_with`] (Gram matrix via the [`GramCache`]'s SYRK
+//! self-product, single-branch BCE log, arena-backed coefficient matrix) and
+//! the pre-optimization [`forward_reference`] / [`backward_reference`]
+//! bit-identity oracle on the naive kernels. The single-branch BCE is exact:
+//! with `a ∈ {0, 1}` the reference's `a·ln(pc) + (1−a)·ln(1−pc)` always
+//! reduces to one nonzero log plus `±0.0`, which f32 addition absorbs.
 
-use crate::dense::{dot, matmul, matmul_nt};
+use crate::dense::{dot, matmul, matmul_nt_naive, matmul_rowstream};
+use crate::gram::GramCache;
 use crate::matrix::Matrix;
 use crate::parallel::{par_rows, RowTable};
 use crate::sparse::SharedCsr;
@@ -73,6 +82,12 @@ pub struct Saved {
     w_dist: f32,
 }
 
+impl Drop for Saved {
+    fn drop(&mut self) {
+        crate::arena::recycle(self.coeff.take_data());
+    }
+}
+
 /// Loss value broken into components (useful for logging and ablation).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Components {
@@ -92,15 +107,29 @@ impl Components {
 }
 
 /// Computes `L_E` for representations `z` (`n × d`) of a subgraph whose
-/// binary adjacency (no self loops, symmetric) is `adj` (`n × n`).
+/// binary adjacency (no self loops, symmetric) is `adj` (`n × n`), using a
+/// call-local Gram cache.
 pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Saved) {
+    let mut cache = GramCache::new();
+    forward_with(z, adj, w, &mut cache)
+}
+
+/// [`forward`] against a caller-owned [`GramCache`], so `Z·Zᵀ` can be shared
+/// with other losses in the same step.
+pub fn forward_with(
+    z: &Matrix,
+    adj: SharedCsr,
+    w: Weights,
+    cache: &mut GramCache,
+) -> (f32, Components, Saved) {
     let n = z.rows();
     assert_eq!(adj.rows(), n, "adjacency rows mismatch");
     assert_eq!(adj.cols(), n, "adjacency must be square over the subgraph");
     assert!(n >= 2, "adjacency reconstruction needs >= 2 nodes");
     let _span = kernel_span(&ADJ_RECON_METRICS, 16 * (n as u64).saturating_mul(n as u64));
 
-    let s = matmul_nt(z, z);
+    // SYRK self-product through the shared cache (half the matmul flops).
+    let s = cache.nt(z, z);
     let pairs = (n * (n - 1)) as f32;
     // class-balanced weights: each class contributes half the loss
     let pos_pairs = (adj.nnz() as f32).max(1.0);
@@ -111,14 +140,18 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
     // Row-parallel pair loop: row i owns coeff row i plus its own mse/bce
     // partial; partials are reduced sequentially in row order afterwards, so
     // the result is bit-identical for any thread count.
-    let mut coeff = Matrix::zeros(n, n);
+    //
+    // `coeff` comes dirty from the arena: the loop writes every off-diagonal
+    // entry and the diagonal is zeroed explicitly (the reference relies on
+    // `Matrix::zeros`; an explicit `0.0` store is the same bits).
+    let mut coeff = crate::arena::matrix_dirty(n, n);
     let mut row_mse = vec![0.0f64; n];
     let mut row_bce = vec![0.0f64; n];
     {
         let coeff_rows = RowTable::new(coeff.as_mut_slice(), n);
         let mse_rows = RowTable::new(&mut row_mse, 1);
         let bce_rows = RowTable::new(&mut row_bce, 1);
-        // sigmoid + two logs per pair ≈ 16 flops
+        // sigmoid + one log per pair ≈ 16 flops
         par_rows(n, 16 * n, |i| {
             // SAFETY: each row index is visited by exactly one participant.
             let coeff_row = unsafe { coeff_rows.row_mut(i) };
@@ -127,6 +160,7 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
             let mut mse_i = 0.0f64;
             let mut bce_i = 0.0f64;
             let mut next = 0usize;
+            coeff_row[i] = 0.0;
             for j in 0..n {
                 if j == i {
                     continue;
@@ -144,7 +178,11 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
                 let p = sigmoid(s_row[j]);
                 let pc = p.clamp(P_CLAMP, 1.0 - P_CLAMP);
                 mse_i += (wc * (p - a) * (p - a)) as f64;
-                bce_i += (-wc * (a * pc.ln() + (1.0 - a) * (1.0 - pc).ln())) as f64;
+                // Single-branch BCE: only the log the label selects. The
+                // clamp keeps both logs finite and nonzero, so dropping the
+                // zero-weighted one is bit-identical to the reference sum.
+                let ln_term = if a == 1.0 { pc.ln() } else { (1.0 - pc).ln() };
+                bce_i += (-wc * ln_term) as f64;
                 // dℓ/dS = [w_mse·2(p−a) + w_bce·(p−a)] · p(1−p) · wc
                 // (BCE with logits derivative is exactly p − a.)
                 let dmse = w.mse * 2.0 * (p - a) * p * (1.0 - p);
@@ -160,7 +198,35 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
     let mse = row_mse.iter().sum::<f64>() as f32;
     let bce = row_bce.iter().sum::<f64>() as f32;
 
-    // Distance sums. Σ_all pairs ‖z_i−z_j‖² = 2n·Σ‖z_i‖² − 2‖Σz‖².
+    let (den, num) = distance_sums(z, &adj);
+    let den_mean = den / pos_pairs;
+    let num_mean = num / neg_pairs;
+    let dist = (den_mean + DIST_EPS).ln() - (num_mean + DIST_EPS).ln();
+
+    let comps = Components {
+        mse: w.mse * mse,
+        bce: w.bce * bce,
+        dist: w.dist * dist,
+    };
+    (
+        comps.total(),
+        comps,
+        Saved {
+            adj,
+            coeff,
+            den,
+            num,
+            pos_pairs,
+            neg_pairs,
+            w_dist: w.dist,
+        },
+    )
+}
+
+/// Adjacent / non-adjacent squared-distance sums.
+/// Σ over all pairs of `‖z_i−z_j‖²` is `2n·Σ‖z_i‖² − 2‖Σz‖²`.
+fn distance_sums(z: &Matrix, adj: &SharedCsr) -> (f32, f32) {
+    let n = z.rows();
     let mut sq_sum = 0.0f32;
     let mut col_sum = vec![0.0f32; z.cols()];
     for r in 0..n {
@@ -193,41 +259,34 @@ pub fn forward(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Save
     }
     let den = row_den.iter().sum::<f32>();
     let num = (all - den).max(0.0);
-    // per-pair means with an ε floor so the log gradient stays bounded
-    let den_mean = den / pos_pairs;
-    let num_mean = num / neg_pairs;
-    let dist = (den_mean + DIST_EPS).ln() - (num_mean + DIST_EPS).ln();
-
-    let comps = Components {
-        mse: w.mse * mse,
-        bce: w.bce * bce,
-        dist: w.dist * dist,
-    };
-    (
-        comps.total(),
-        comps,
-        Saved {
-            adj,
-            coeff,
-            den,
-            num,
-            pos_pairs,
-            neg_pairs,
-            w_dist: w.dist,
-        },
-    )
+    (den, num)
 }
 
 /// Gradient of the total loss with respect to `z`.
 pub fn backward(saved: &Saved, z: &Matrix, gout: f32) -> Matrix {
-    let n = z.rows();
-    let d = z.cols();
-
     // MSE + BCE part: dZ = (C + Cᵀ)·Z. The tiled symmetrization avoids
     // materializing Cᵀ (an extra N² buffer plus a strided full-matrix pass).
     let c_sym = saved.coeff.add_transposed();
     let mut grad = matmul(&c_sym, z);
+    crate::arena::recycle_matrix(c_sym);
+    distance_backward(saved, z, &mut grad);
+    grad.scale_inplace(gout);
+    grad
+}
 
+/// Pre-optimization backward pass on the naive kernels.
+pub fn backward_reference(saved: &Saved, z: &Matrix, gout: f32) -> Matrix {
+    let c_sym = saved.coeff.add_transposed();
+    let mut grad = matmul_rowstream(&c_sym, z);
+    distance_backward(saved, z, &mut grad);
+    grad.scale_inplace(gout);
+    grad
+}
+
+/// Adds the distance-term gradient into `grad` (shared by both paths).
+fn distance_backward(saved: &Saved, z: &Matrix, grad: &mut Matrix) {
+    let n = z.rows();
+    let d = z.cols();
     // Distance part: ℓ = log(den/P + ε) − log(num/Q + ε), num = all − den.
     // d/dden = 1/(den + εP) ; d/dnum = −1/(num + εQ).
     // dall/dz_k = 4n·z_k − 4·Σz ;  dden/dz_k = 4(deg_k z_k − Σ_{j∈N(k)} z_j).
@@ -257,8 +316,94 @@ pub fn backward(saved: &Saved, z: &Matrix, gout: f32) -> Matrix {
             }
         });
     }
-    grad.scale_inplace(gout);
-    grad
+    crate::arena::recycle_matrix(neigh_sum);
+}
+
+/// Pre-optimization forward pass, verbatim on the naive kernels: the
+/// bit-identity oracle and uncached-timing baseline for [`forward`].
+pub fn forward_reference(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Components, Saved) {
+    let n = z.rows();
+    assert_eq!(adj.rows(), n, "adjacency rows mismatch");
+    assert_eq!(adj.cols(), n, "adjacency must be square over the subgraph");
+    assert!(n >= 2, "adjacency reconstruction needs >= 2 nodes");
+    let _span = kernel_span(&ADJ_RECON_METRICS, 16 * (n as u64).saturating_mul(n as u64));
+
+    let s = matmul_nt_naive(z, z);
+    let pairs = (n * (n - 1)) as f32;
+    let pos_pairs = (adj.nnz() as f32).max(1.0);
+    let neg_pairs = (pairs - adj.nnz() as f32).max(1.0);
+    let w_pos = 0.5 / pos_pairs;
+    let w_neg = 0.5 / neg_pairs;
+
+    let mut coeff = Matrix::zeros(n, n);
+    let mut row_mse = vec![0.0f64; n];
+    let mut row_bce = vec![0.0f64; n];
+    {
+        let coeff_rows = RowTable::new(coeff.as_mut_slice(), n);
+        let mse_rows = RowTable::new(&mut row_mse, 1);
+        let bce_rows = RowTable::new(&mut row_bce, 1);
+        // sigmoid + two logs per pair ≈ 16 flops
+        par_rows(n, 16 * n, |i| {
+            // SAFETY: each row index is visited by exactly one participant.
+            let coeff_row = unsafe { coeff_rows.row_mut(i) };
+            let (adj_cols, _) = adj.row(i);
+            let s_row = s.row(i);
+            let mut mse_i = 0.0f64;
+            let mut bce_i = 0.0f64;
+            let mut next = 0usize;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                while next < adj_cols.len() && (adj_cols[next] as usize) < j {
+                    next += 1;
+                }
+                let a = if next < adj_cols.len() && adj_cols[next] as usize == j {
+                    1.0
+                } else {
+                    0.0
+                };
+                let wc = if a == 1.0 { w_pos } else { w_neg };
+                let p = sigmoid(s_row[j]);
+                let pc = p.clamp(P_CLAMP, 1.0 - P_CLAMP);
+                mse_i += (wc * (p - a) * (p - a)) as f64;
+                bce_i += (-wc * (a * pc.ln() + (1.0 - a) * (1.0 - pc).ln())) as f64;
+                let dmse = w.mse * 2.0 * (p - a) * p * (1.0 - p);
+                let dbce = w.bce * (p - a);
+                coeff_row[j] = (dmse + dbce) * wc;
+            }
+            unsafe {
+                mse_rows.row_mut(i)[0] = mse_i;
+                bce_rows.row_mut(i)[0] = bce_i;
+            }
+        });
+    }
+    let mse = row_mse.iter().sum::<f64>() as f32;
+    let bce = row_bce.iter().sum::<f64>() as f32;
+
+    let (den, num) = distance_sums(z, &adj);
+    let den_mean = den / pos_pairs;
+    let num_mean = num / neg_pairs;
+    let dist = (den_mean + DIST_EPS).ln() - (num_mean + DIST_EPS).ln();
+
+    let comps = Components {
+        mse: w.mse * mse,
+        bce: w.bce * bce,
+        dist: w.dist * dist,
+    };
+    (
+        comps.total(),
+        comps,
+        Saved {
+            adj,
+            coeff,
+            den,
+            num,
+            pos_pairs,
+            neg_pairs,
+            w_dist: w.dist,
+        },
+    )
 }
 
 #[inline]
@@ -313,6 +458,22 @@ mod tests {
         assert!(c.bce > 0.0);
         let (total, c2, _) = forward(&z, adj, Weights::default());
         assert!((total - c2.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cached_path_is_bit_identical_to_reference() {
+        let adj = path_graph(23);
+        let mut rng = StdRng::seed_from_u64(31);
+        let z = Matrix::uniform(23, 6, -0.9, 0.9, &mut rng);
+        let (loss, comps, saved) = forward(&z, adj.clone(), Weights::default());
+        let (loss_ref, comps_ref, saved_ref) = forward_reference(&z, adj, Weights::default());
+        assert_eq!(loss, loss_ref);
+        assert_eq!(comps.mse, comps_ref.mse);
+        assert_eq!(comps.bce, comps_ref.bce);
+        assert_eq!(comps.dist, comps_ref.dist);
+        let g = backward(&saved, &z, 0.8);
+        let g_ref = backward_reference(&saved_ref, &z, 0.8);
+        assert_eq!(g.as_slice(), g_ref.as_slice());
     }
 
     #[test]

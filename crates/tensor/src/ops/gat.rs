@@ -25,6 +25,13 @@ pub struct Saved {
     act_deriv: Vec<f32>,
 }
 
+impl Drop for Saved {
+    fn drop(&mut self) {
+        crate::arena::recycle(std::mem::take(&mut self.alpha));
+        crate::arena::recycle(std::mem::take(&mut self.act_deriv));
+    }
+}
+
 /// Forward pass. `graph` is an `n × n` CSR whose stored coordinates are the
 /// edges (values ignored); `h` is `n × d`.
 pub fn forward(
@@ -40,21 +47,16 @@ pub fn forward(
     assert_eq!(a_src.shape(), (1, d), "a_src must be 1 x d");
     assert_eq!(a_dst.shape(), (1, d), "a_dst must be 1 x d");
 
-    // Per-node scalar scores.
-    let asr = a_src.row(0);
-    let adr = a_dst.row(0);
-    let mut s = vec![0.0f32; n];
-    let mut t = vec![0.0f32; n];
-    for i in 0..n {
-        let hi = h.row(i);
-        s[i] = dot(hi, asr);
-        t[i] = dot(hi, adr);
-    }
+    // Per-node scalar scores as n×1 products through the blocked matmul
+    // (parallel, and bit-identical to the previous per-row `dot` loop: the
+    // kernel accumulates each output element over k in the same order).
+    let s = crate::dense::matmul_nt(h, a_src).into_vec();
+    let t = crate::dense::matmul_nt(h, a_dst).into_vec();
 
     let nnz = graph.nnz();
-    let mut alpha = vec![0.0f32; nnz];
-    let mut act_deriv = vec![0.0f32; nnz];
-    let mut out = Matrix::zeros(n, d);
+    let mut alpha = crate::arena::take_zeroed(nnz);
+    let mut act_deriv = crate::arena::take_zeroed(nnz);
+    let mut out = crate::arena::matrix_zeroed(n, d);
     let indptr = graph.indptr();
     let indices = graph.indices();
     for i in 0..n {
@@ -92,6 +94,8 @@ pub fn forward(
             }
         }
     }
+    crate::arena::recycle(s);
+    crate::arena::recycle(t);
     (out, Saved { graph, alpha, act_deriv })
 }
 
@@ -184,9 +188,9 @@ pub fn backward(
     let asr = a_src.row(0);
     let adr = a_dst.row(0);
 
-    let mut dh = Matrix::zeros(n, d);
-    let mut ds = vec![0.0f32; n]; // grad of per-node source score
-    let mut dt = vec![0.0f32; n]; // grad of per-node target score
+    let mut dh = crate::arena::matrix_zeroed(n, d);
+    let mut ds = crate::arena::take_zeroed(n); // grad of per-node source score
+    let mut dt = crate::arena::take_zeroed(n); // grad of per-node target score
 
     for i in 0..n {
         let (lo, hi_) = (indptr[i], indptr[i + 1]);
@@ -218,8 +222,8 @@ pub fn backward(
     }
 
     // Route score grads into h and the attention vectors.
-    let mut da_src = Matrix::zeros(1, d);
-    let mut da_dst = Matrix::zeros(1, d);
+    let mut da_src = crate::arena::matrix_zeroed(1, d);
+    let mut da_dst = crate::arena::matrix_zeroed(1, d);
     for i in 0..n {
         let hi = h.row(i);
         if ds[i] != 0.0 {
@@ -247,6 +251,8 @@ pub fn backward(
             }
         }
     }
+    crate::arena::recycle(ds);
+    crate::arena::recycle(dt);
     (dh, da_src, da_dst)
 }
 

@@ -2,8 +2,27 @@
 //! for each positive pair `(u_i, v_i)` the denominator contains the
 //! inter-view similarities to every `v_j` and the intra-view similarities to
 //! every `u_j (j ≠ i)`, and the loss is averaged over both directions.
+//!
+//! Two implementations live here:
+//!
+//! * [`forward`] / [`forward_with`] — the production path. Similarity blocks
+//!   come from a [`GramCache`] (self-products via SYRK at half the flops, the
+//!   `V̂·Ûᵀ` block as a cached transpose of `Û·V̂ᵀ` instead of a strided
+//!   column gather per anchor), the per-anchor softmax stores its `exp`
+//!   values in a scratch row and reuses them for the probabilities instead of
+//!   recomputing each one, and every scratch matrix is arena-backed.
+//! * [`forward_reference`] / [`backward_reference`] — the pre-optimization
+//!   algorithm verbatim, on the naive dense kernels. It is the bit-identity
+//!   oracle for the production path and the "uncached" baseline in
+//!   `bench_kernels`.
+//!
+//! Every production-path transformation is bit-identical to the reference:
+//! raw Gram entries scaled by `1/τ` at read time perform the same single f32
+//! multiply as the reference's `scale_inplace` pass, the transposed block
+//! copies bits, and a stored `exp` equals a recomputed one.
 
-use crate::dense::matmul_nt;
+use crate::dense::{matmul, matmul_nt_naive, matmul_rowstream, matmul_tn, matmul_tn_naive};
+use crate::gram::GramCache;
 use crate::matrix::Matrix;
 use crate::parallel::{par_row_blocks, par_rows, RowTable};
 use gcmae_obs::{kernel_span, KernelMetrics};
@@ -35,9 +54,33 @@ pub struct Saved {
     tau: f32,
 }
 
+impl Drop for Saved {
+    fn drop(&mut self) {
+        for m in [
+            &mut self.un,
+            &mut self.vn,
+            &mut self.g_uv,
+            &mut self.g_uu,
+            &mut self.g_vu,
+            &mut self.g_vv,
+        ] {
+            crate::arena::recycle(m.take_data());
+        }
+        crate::arena::recycle(std::mem::take(&mut self.u_norms));
+        crate::arena::recycle(std::mem::take(&mut self.v_norms));
+    }
+}
+
 /// Computes the symmetric InfoNCE loss between two views `u` and `v`
-/// (`n × d` each) with temperature `tau`.
+/// (`n × d` each) with temperature `tau`, using a call-local Gram cache.
 pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
+    let mut cache = GramCache::new();
+    forward_with(u, v, tau, &mut cache)
+}
+
+/// [`forward`] against a caller-owned [`GramCache`], so the similarity
+/// products can be shared with other losses in the same step.
+pub fn forward_with(u: &Matrix, v: &Matrix, tau: f32, cache: &mut GramCache) -> (f32, Saved) {
     assert_eq!(u.shape(), v.shape(), "InfoNCE views must have equal shape");
     assert!(tau > 0.0, "temperature must be positive");
     let n = u.rows();
@@ -47,10 +90,179 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
     let (un, u_norms) = normalize_rows(u);
     let (vn, v_norms) = normalize_rows(v);
 
-    // Cosine-similarity blocks, divided by tau.
-    let mut s_uv = matmul_nt(&un, &vn);
-    let mut s_uu = matmul_nt(&un, &un);
-    let mut s_vv = matmul_nt(&vn, &vn);
+    // Raw cosine-similarity blocks; `inv_tau` is applied at read time inside
+    // `side_row` (the same single f32 multiply the reference performs in its
+    // `scale_inplace` pass, so the scaled values are bit-identical). s_vu is
+    // a cache hit: the transpose of s_uv, replacing the reference's strided
+    // per-anchor column gather with one contiguous tiled pass.
+    let s_uv = cache.nt(&un, &vn);
+    let s_uu = cache.nt(&un, &un);
+    let s_vv = cache.nt(&vn, &vn);
+    let s_vu = cache.nt(&vn, &un);
+    let inv_tau = 1.0 / tau;
+
+    let mut g_uv = crate::arena::matrix_dirty(n, n);
+    let mut g_uu = crate::arena::matrix_dirty(n, n);
+    let mut g_vu = crate::arena::matrix_dirty(n, n);
+    let mut g_vv = crate::arena::matrix_dirty(n, n);
+
+    // Both anchor loops are row-parallel: anchor i owns its coefficient rows
+    // and a per-row loss partial; the partials are reduced sequentially in
+    // anchor order afterwards, so the loss is bit-identical for any thread
+    // count. Each anchor costs ~2n exp calls plus a few O(n) passes.
+    let mut row_loss = vec![0.0f64; 2 * n];
+    {
+        let (u_loss, v_loss) = row_loss.split_at_mut(n);
+        for (inter, intra, g_inter_m, g_intra_m, loss, cost) in [
+            (&s_uv, &s_uu, &mut g_uv, &mut g_uu, u_loss, 8 * n),
+            (&s_vu, &s_vv, &mut g_vu, &mut g_vv, v_loss, 9 * n),
+        ] {
+            let g_inter_rows = RowTable::new(g_inter_m.as_mut_slice(), n);
+            let g_intra_rows = RowTable::new(g_intra_m.as_mut_slice(), n);
+            let loss_rows = RowTable::new(loss, 1);
+            par_row_blocks(n, cost, |range| {
+                let mut e_inter = vec![0.0f64; n];
+                let mut e_intra = vec![0.0f64; n];
+                for i in range {
+                    // SAFETY: each anchor row is visited by exactly one
+                    // participant.
+                    unsafe {
+                        loss_rows.row_mut(i)[0] = side_row(
+                            i,
+                            inter.row(i),
+                            intra.row(i),
+                            inv_tau,
+                            &mut e_inter,
+                            &mut e_intra,
+                            g_inter_rows.row_mut(i),
+                            g_intra_rows.row_mut(i),
+                        );
+                    }
+                }
+            });
+        }
+    }
+    let loss = (row_loss.iter().sum::<f64>() / (2 * n) as f64) as f32;
+    (
+        loss,
+        Saved {
+            un,
+            vn,
+            u_norms,
+            v_norms,
+            g_uv,
+            g_uu,
+            g_vu,
+            g_vv,
+            tau,
+        },
+    )
+}
+
+/// One anchor's loss over raw similarity rows (scaled by `inv_tau` at read);
+/// fills coefficient rows with `p_j − δ_ij` (inter) and `p_j` for `j ≠ i`
+/// (intra), where `p` is the softmax over the concatenated logits with the
+/// intra self-term removed. The denominator pass stores each `exp` in the
+/// caller's scratch rows and the probability pass reads them back — a stored
+/// `exp` is bit-identical to the reference's recomputed one.
+#[allow(clippy::too_many_arguments)]
+fn side_row(
+    i: usize,
+    inter: &[f32],
+    intra: &[f32],
+    inv_tau: f32,
+    e_inter: &mut [f64],
+    e_intra: &mut [f64],
+    g_inter: &mut [f32],
+    g_intra: &mut [f32],
+) -> f64 {
+    let n = inter.len();
+    let mut m = f32::NEG_INFINITY;
+    for &x in inter {
+        m = m.max(x * inv_tau);
+    }
+    for (j, &x) in intra.iter().enumerate() {
+        if j != i {
+            m = m.max(x * inv_tau);
+        }
+    }
+    let mut denom = 0.0f64;
+    for (e, &x) in e_inter.iter_mut().zip(inter) {
+        *e = ((x * inv_tau - m) as f64).exp();
+        denom += *e;
+    }
+    for (j, (e, &x)) in e_intra.iter_mut().zip(intra).enumerate() {
+        if j != i {
+            *e = ((x * inv_tau - m) as f64).exp();
+            denom += *e;
+        }
+    }
+    let log_denom = denom.ln() + m as f64;
+    let loss = log_denom - (inter[i] * inv_tau) as f64;
+    for j in 0..n {
+        let p = (e_inter[j] / denom) as f32;
+        g_inter[j] = if j == i { p - 1.0 } else { p };
+        // e_intra[i] is stale scratch from a previous anchor; the self term
+        // is forced to zero and never reads it.
+        g_intra[j] = if j == i {
+            0.0
+        } else {
+            (e_intra[j] / denom) as f32
+        };
+    }
+    loss
+}
+
+/// Gradients with respect to the raw (un-normalized) views.
+pub fn backward(saved: &Saved, gout: f32) -> (Matrix, Matrix) {
+    let n = saved.un.rows();
+    let scale = gout / (2.0 * n as f32 * saved.tau);
+
+    // Gradients w.r.t. the normalized views.
+    // dÛ = Guv·V̂ + (Guu + Guuᵀ)·Û + Gvuᵀ·V̂
+    let mut dun = matmul(&saved.g_uv, &saved.vn);
+    let guu_sym = saved.g_uu.add_transposed();
+    add_consume(&mut dun, matmul(&guu_sym, &saved.un));
+    crate::arena::recycle_matrix(guu_sym);
+    add_consume(&mut dun, matmul_tn(&saved.g_vu, &saved.vn));
+    // dV̂ = Guvᵀ·Û + (Gvv + Gvvᵀ)·V̂ + Gvu·Û
+    let mut dvn = matmul_tn(&saved.g_uv, &saved.un);
+    let gvv_sym = saved.g_vv.add_transposed();
+    add_consume(&mut dvn, matmul(&gvv_sym, &saved.vn));
+    crate::arena::recycle_matrix(gvv_sym);
+    add_consume(&mut dvn, matmul(&saved.g_vu, &saved.un));
+
+    dun.scale_inplace(scale);
+    dvn.scale_inplace(scale);
+
+    let du = normalize_backward(&dun, &saved.un, &saved.u_norms);
+    let dv = normalize_backward(&dvn, &saved.vn, &saved.v_norms);
+    crate::arena::recycle_matrix(dun);
+    crate::arena::recycle_matrix(dvn);
+    (du, dv)
+}
+
+/// `acc += rhs`, returning `rhs`'s buffer to the arena.
+fn add_consume(acc: &mut Matrix, rhs: Matrix) {
+    acc.add_assign(&rhs);
+    crate::arena::recycle_matrix(rhs);
+}
+
+/// Pre-optimization forward pass, verbatim on the naive kernels: the
+/// bit-identity oracle and uncached-timing baseline for [`forward`].
+pub fn forward_reference(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
+    assert_eq!(u.shape(), v.shape(), "InfoNCE views must have equal shape");
+    assert!(tau > 0.0, "temperature must be positive");
+    let n = u.rows();
+    assert!(n >= 2, "InfoNCE needs at least two anchors");
+    let _span = kernel_span(&INFONCE_METRICS, 16 * (n as u64).saturating_mul(n as u64));
+
+    let (un, u_norms) = normalize_rows_reference(u);
+    let (vn, v_norms) = normalize_rows_reference(v);
+
+    let mut s_uv = matmul_nt_naive(&un, &vn);
+    let mut s_uu = matmul_nt_naive(&un, &un);
+    let mut s_vv = matmul_nt_naive(&vn, &vn);
     let inv_tau = 1.0 / tau;
     for m in [&mut s_uv, &mut s_uu, &mut s_vv] {
         m.scale_inplace(inv_tau);
@@ -61,10 +273,6 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
     let mut g_vu = Matrix::zeros(n, n);
     let mut g_vv = Matrix::zeros(n, n);
 
-    // Both anchor loops are row-parallel: anchor i owns its coefficient rows
-    // and a per-row loss partial; the partials are reduced sequentially in
-    // anchor order afterwards, so the loss is bit-identical for any thread
-    // count. Each anchor costs ~2n exp calls plus a few O(n) passes.
     let mut row_loss = vec![0.0f64; 2 * n];
     {
         let (u_loss, v_loss) = row_loss.split_at_mut(n);
@@ -76,7 +284,7 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
             par_rows(n, 8 * n, |i| {
                 // SAFETY: each anchor row is visited by exactly one participant.
                 unsafe {
-                    loss_rows.row_mut(i)[0] = side_row(
+                    loss_rows.row_mut(i)[0] = side_row_reference(
                         i,
                         s_uv.row(i),
                         s_uu.row(i),
@@ -86,9 +294,8 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
                 }
             });
         }
-        // v-side: anchor v_i against {u_j} ∪ {v_j, j≠i}. s_vu = s_uvᵀ; rather
-        // than materializing the transpose (an extra N² buffer), each anchor
-        // gathers its column of s_uv into a participant-local scratch row.
+        // v-side: anchor v_i against {u_j} ∪ {v_j, j≠i}. s_vu = s_uvᵀ; each
+        // anchor gathers its column of s_uv into a participant-local scratch.
         {
             let g_vu_rows = RowTable::new(g_vu.as_mut_slice(), n);
             let g_vv_rows = RowTable::new(g_vv.as_mut_slice(), n);
@@ -102,7 +309,7 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
                     // SAFETY: each anchor row is visited by exactly one
                     // participant.
                     unsafe {
-                        loss_rows.row_mut(i)[0] = side_row(
+                        loss_rows.row_mut(i)[0] = side_row_reference(
                             i,
                             &s_vu_row,
                             s_vv.row(i),
@@ -131,10 +338,9 @@ pub fn forward(u: &Matrix, v: &Matrix, tau: f32) -> (f32, Saved) {
     )
 }
 
-/// One anchor's loss; fills coefficient rows with `p_j − δ_ij` (inter) and
-/// `p_j` for `j ≠ i` (intra), where `p` is the softmax over the concatenated
-/// logits with the intra self-term removed.
-fn side_row(
+/// Pre-optimization `side_row`: operates on pre-scaled similarity rows and
+/// recomputes each `exp` in the probability pass.
+fn side_row_reference(
     i: usize,
     inter: &[f32],
     intra: &[f32],
@@ -174,22 +380,19 @@ fn side_row(
     loss
 }
 
-/// Gradients with respect to the raw (un-normalized) views.
-pub fn backward(saved: &Saved, gout: f32) -> (Matrix, Matrix) {
+/// Pre-optimization backward pass on the naive kernels.
+pub fn backward_reference(saved: &Saved, gout: f32) -> (Matrix, Matrix) {
     let n = saved.un.rows();
     let scale = gout / (2.0 * n as f32 * saved.tau);
 
-    // Gradients w.r.t. the normalized views.
-    // dÛ = Guv·V̂ + (Guu + Guuᵀ)·Û + Gvuᵀ·V̂
-    let mut dun = crate::dense::matmul(&saved.g_uv, &saved.vn);
+    let mut dun = matmul_rowstream(&saved.g_uv, &saved.vn);
     let guu_sym = saved.g_uu.add_transposed();
-    dun.add_assign(&crate::dense::matmul(&guu_sym, &saved.un));
-    dun.add_assign(&crate::dense::matmul_tn(&saved.g_vu, &saved.vn));
-    // dV̂ = Guvᵀ·Û + (Gvv + Gvvᵀ)·V̂ + Gvu·Û
-    let mut dvn = crate::dense::matmul_tn(&saved.g_uv, &saved.un);
+    dun.add_assign(&matmul_rowstream(&guu_sym, &saved.un));
+    dun.add_assign(&matmul_tn_naive(&saved.g_vu, &saved.vn));
+    let mut dvn = matmul_tn_naive(&saved.g_uv, &saved.un);
     let gvv_sym = saved.g_vv.add_transposed();
-    dvn.add_assign(&crate::dense::matmul(&gvv_sym, &saved.vn));
-    dvn.add_assign(&crate::dense::matmul(&saved.g_vu, &saved.un));
+    dvn.add_assign(&matmul_rowstream(&gvv_sym, &saved.vn));
+    dvn.add_assign(&matmul_rowstream(&saved.g_vu, &saved.un));
 
     dun.scale_inplace(scale);
     dvn.scale_inplace(scale);
@@ -200,11 +403,24 @@ pub fn backward(saved: &Saved, gout: f32) -> (Matrix, Matrix) {
 }
 
 fn normalize_rows(m: &Matrix) -> (Matrix, Vec<f32>) {
-    let d = m.cols();
+    let mut out = crate::arena::copy_of(m);
+    let mut norms = crate::arena::take_zeroed(m.rows());
+    normalize_rows_into(m, &mut out, &mut norms);
+    (out, norms)
+}
+
+/// Plain-allocation variant for the reference path.
+fn normalize_rows_reference(m: &Matrix) -> (Matrix, Vec<f32>) {
     let mut out = m.clone();
     let mut norms = vec![0.0f32; m.rows()];
+    normalize_rows_into(m, &mut out, &mut norms);
+    (out, norms)
+}
+
+fn normalize_rows_into(m: &Matrix, out: &mut Matrix, norms: &mut [f32]) {
+    let d = m.cols();
     if d > 0 {
-        let norm_rows = RowTable::new(&mut norms, 1);
+        let norm_rows = RowTable::new(norms, 1);
         crate::parallel::par_row_chunks_cost(out.as_mut_slice(), d, 3 * d, |r0, chunk| {
             for (dr, row) in chunk.chunks_mut(d).enumerate() {
                 let n = m.row_norm(r0 + dr).max(EPS);
@@ -216,13 +432,14 @@ fn normalize_rows(m: &Matrix) -> (Matrix, Vec<f32>) {
             }
         });
     }
-    (out, norms)
 }
 
 /// Chain rule through row L2 normalization: `dx = (dŷ − (dŷ·ŷ)ŷ)/‖x‖`.
+/// The output is fully written for `d > 0` and empty otherwise, so the
+/// arena's dirty take is safe.
 fn normalize_backward(dn: &Matrix, normalized: &Matrix, norms: &[f32]) -> Matrix {
     let d = dn.cols();
-    let mut out = Matrix::zeros(dn.rows(), dn.cols());
+    let mut out = crate::arena::matrix_dirty(dn.rows(), dn.cols());
     if d > 0 {
         crate::parallel::par_row_chunks_cost(out.as_mut_slice(), d, 4 * d, |r0, chunk| {
             for (dr, orow) in chunk.chunks_mut(d).enumerate() {
@@ -272,6 +489,20 @@ mod tests {
         v.row_mut(5).copy_from_slice(&first);
         let (shuffled, _) = forward(&u, &v, 0.5);
         assert!(paired < shuffled);
+    }
+
+    #[test]
+    fn cached_path_is_bit_identical_to_reference() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let u = Matrix::uniform(33, 7, -1.0, 1.0, &mut rng);
+        let v = Matrix::uniform(33, 7, -1.0, 1.0, &mut rng);
+        let (loss, saved) = forward(&u, &v, 0.6);
+        let (loss_ref, saved_ref) = forward_reference(&u, &v, 0.6);
+        assert_eq!(loss, loss_ref);
+        let (du, dv) = backward(&saved, 1.3);
+        let (du_ref, dv_ref) = backward_reference(&saved_ref, 1.3);
+        assert_eq!(du.as_slice(), du_ref.as_slice());
+        assert_eq!(dv.as_slice(), dv_ref.as_slice());
     }
 
     #[test]

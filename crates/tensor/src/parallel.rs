@@ -510,6 +510,75 @@ where
     par_row_chunks_cost(out, row_len, row_len, f);
 }
 
+/// Like [`par_row_blocks`], but with a *per-row* cost function instead of a
+/// uniform estimate: block boundaries are placed on the prefix sums of
+/// `row_cost` so every block carries roughly equal work. Kernels whose rows
+/// have wildly different costs (CSR spmm on power-law graphs, triangular
+/// SYRK sweeps) stay balanced without changing what happens inside a row, so
+/// outputs remain bit-identical at any thread count.
+pub fn par_row_blocks_by_cost<C, F>(rows: usize, row_cost: C, f: F)
+where
+    C: Fn(usize) -> usize,
+    F: Fn(Range<usize>) + Sync,
+{
+    if rows == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let mut total: usize = 0;
+    for r in 0..rows {
+        total = total.saturating_add(row_cost(r).max(1));
+    }
+    if threads <= 1 || rows < 2 || total < PAR_FLOP_THRESHOLD {
+        gcmae_obs::counter_add("pool.dispatch.inline", 1);
+        f(0..rows);
+        return;
+    }
+
+    // Cut the rows into ~2 blocks per participant of near-equal cost; the
+    // cursor in `par_row_blocks` then load-balances the blocks dynamically.
+    let target_blocks = (threads * 2).min(rows);
+    let budget = total.div_ceil(target_blocks).max(1);
+    let mut bounds = Vec::with_capacity(target_blocks + 1);
+    bounds.push(0usize);
+    let mut acc = 0usize;
+    for r in 0..rows {
+        acc = acc.saturating_add(row_cost(r).max(1));
+        if acc >= budget && r + 1 < rows {
+            bounds.push(r + 1);
+            acc = 0;
+        }
+    }
+    bounds.push(rows);
+    let n_blocks = bounds.len() - 1;
+    par_row_blocks(n_blocks, budget, |block_range| {
+        for b in block_range {
+            f(bounds[b]..bounds[b + 1]);
+        }
+    });
+}
+
+/// [`par_row_chunks_cost`] with a per-row cost function (see
+/// [`par_row_blocks_by_cost`]): splits `out` into row blocks of roughly equal
+/// *total* cost instead of equal row count.
+pub fn par_row_chunks_by_cost<C, F>(out: &mut [f32], row_len: usize, row_cost: C, f: F)
+where
+    C: Fn(usize) -> usize,
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if row_len == 0 || out.is_empty() {
+        return;
+    }
+    let rows = out.len() / row_len;
+    let table = RowTable::new(out, row_len);
+    par_row_blocks_by_cost(rows, row_cost, |range| {
+        let start = range.start;
+        // SAFETY: blocks hand out disjoint row ranges.
+        let chunk = unsafe { table.rows_mut(range) };
+        f(start, chunk);
+    });
+}
+
 // ---------------------------------------------------------------------------
 // RowTable
 // ---------------------------------------------------------------------------
@@ -813,5 +882,58 @@ mod tests {
         assert_eq!(resolve_threads(6, 4), 6);
         assert_eq!(resolve_threads(64, 4), MAX_THREADS);
         assert_eq!(resolve_threads(0, 1), 1);
+    }
+
+    #[test]
+    fn by_cost_blocks_cover_every_row_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // Heavily skewed (power-law-ish) costs: row r costs ~ (rows - r)^2.
+        let rows = 3000;
+        let cost = |r: usize| (rows - r) * (rows - r);
+        for threads in [1, 8] {
+            let hits: Vec<AtomicU32> = (0..rows).map(|_| AtomicU32::new(0)).collect();
+            with_threads(threads, || {
+                par_row_blocks_by_cost(rows, cost, |range| {
+                    for r in range {
+                        hits[r].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+            for (r, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "row {r} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn by_cost_chunks_match_serial_and_balance_skewed_rows() {
+        let rows = 2048;
+        let cols = 8;
+        // One hub row carries almost all the work, like a power-law graph.
+        let cost = |r: usize| if r == 0 { 1 << 20 } else { cols };
+        let fill = |buf: &mut [f32]| {
+            par_row_chunks_by_cost(buf, cols, cost, |r0, chunk| {
+                for (i, row) in chunk.chunks_mut(cols).enumerate() {
+                    let r = (r0 + i) as f32;
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = r * 10.0 + c as f32;
+                    }
+                }
+            });
+        };
+        let mut serial = vec![0.0f32; rows * cols];
+        with_threads(1, || fill(&mut serial));
+        let mut parallel = vec![0.0f32; rows * cols];
+        with_threads(8, || fill(&mut parallel));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[5 * cols + 3], 53.0);
+    }
+
+    #[test]
+    fn by_cost_handles_empty_and_tiny_inputs() {
+        par_row_blocks_by_cost(0, |_| 1, |_| panic!("no rows, no calls"));
+        let mut one = vec![0.0f32; 4];
+        par_row_chunks_by_cost(&mut one, 4, |_| usize::MAX, |_, chunk| chunk.fill(2.0));
+        assert!(one.iter().all(|&v| v == 2.0));
     }
 }

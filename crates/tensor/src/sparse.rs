@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use crate::matrix::Matrix;
-use crate::parallel::{par_row_blocks, par_row_chunks_cost, RowTable};
+use crate::parallel::{par_row_blocks_by_cost, par_row_chunks_by_cost, RowTable};
 use gcmae_obs::{kernel_span, KernelMetrics};
 
 /// Sparse×dense products (full and row-restricted) share one metric family;
@@ -231,7 +231,8 @@ impl CsrMatrix {
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul_dense(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows(), "spmm shape mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        // Arena-dirty is safe: `matmul_dense_into` overwrites every row.
+        let mut out = crate::arena::matrix_dirty(self.rows, rhs.cols());
         self.matmul_dense_into(rhs, &mut out);
         out
     }
@@ -249,22 +250,30 @@ impl CsrMatrix {
             &SPMM_METRICS,
             (self.nnz() as u64).saturating_mul(cols as u64),
         );
-        // Average per-row cost: (nnz / rows) · cols multiply-adds, so sparse
-        // products over few wide rows still engage the pool.
-        let row_cost = (self.nnz() / self.rows.max(1)).max(1).saturating_mul(cols);
-        par_row_chunks_cost(out.as_mut_slice(), cols, row_cost, |r0, chunk| {
-            for (dr, out_row) in chunk.chunks_mut(cols).enumerate() {
-                let r = r0 + dr;
-                out_row.fill(0.0);
-                let (cs, vs) = self.row(r);
-                for (&c, &v) in cs.iter().zip(vs) {
-                    let src = rhs.row(c as usize);
-                    for (o, s) in out_row.iter_mut().zip(src) {
-                        *o += v * s;
+        // Degree-weighted cost model: row `r` costs `nnz(r) · cols`
+        // multiply-adds, so block boundaries land where the *work* balances,
+        // not where the row count does. On power-law graphs an equal-rows
+        // split strands most of the flops in the blocks that hold the hubs;
+        // weighting by degree keeps every thread's share comparable. Per-row
+        // arithmetic is untouched, so outputs stay bit-identical.
+        par_row_chunks_by_cost(
+            out.as_mut_slice(),
+            cols,
+            |r| self.row_nnz(r).max(1).saturating_mul(cols),
+            |r0, chunk| {
+                for (dr, out_row) in chunk.chunks_mut(cols).enumerate() {
+                    let r = r0 + dr;
+                    out_row.fill(0.0);
+                    let (cs, vs) = self.row(r);
+                    for (&c, &v) in cs.iter().zip(vs) {
+                        let src = rhs.row(c as usize);
+                        for (o, s) in out_row.iter_mut().zip(src) {
+                            *o += v * s;
+                        }
                     }
                 }
-            }
-        });
+            },
+        );
     }
 
     /// Sparse × dense product restricted to the listed output rows.
@@ -310,23 +319,30 @@ impl CsrMatrix {
             0
         };
         let _span = kernel_span(&SPMM_METRICS, flops);
-        let row_cost = (self.nnz() / self.rows.max(1)).max(1).saturating_mul(cols);
+        // Same degree-weighted cost model as the full product; the cost
+        // function indexes the *listed* rows, so hub-heavy subsets split
+        // evenly too.
         let table = RowTable::new(out.as_mut_slice(), cols);
-        par_row_blocks(rows.len(), row_cost, |range| {
-            for &r in &rows[range] {
-                // SAFETY: `rows` is duplicate-free and parallel blocks are
-                // disjoint, so each listed row has exactly one writer.
-                let out_row = unsafe { table.row_mut(r) };
-                out_row.fill(0.0);
-                let (cs, vs) = self.row(r);
-                for (&c, &v) in cs.iter().zip(vs) {
-                    let src = rhs.row(c as usize);
-                    for (o, s) in out_row.iter_mut().zip(src) {
-                        *o += v * s;
+        par_row_blocks_by_cost(
+            rows.len(),
+            |k| self.row_nnz(rows[k]).max(1).saturating_mul(cols),
+            |range| {
+                for &r in &rows[range] {
+                    // SAFETY: `rows` is duplicate-free and parallel blocks
+                    // are disjoint, so each listed row has exactly one
+                    // writer.
+                    let out_row = unsafe { table.row_mut(r) };
+                    out_row.fill(0.0);
+                    let (cs, vs) = self.row(r);
+                    for (&c, &v) in cs.iter().zip(vs) {
+                        let src = rhs.row(c as usize);
+                        for (o, s) in out_row.iter_mut().zip(src) {
+                            *o += v * s;
+                        }
                     }
                 }
-            }
-        });
+            },
+        );
     }
 
     /// Row-scaled copy: row `r` multiplied by `scales[r]`.

@@ -7,10 +7,18 @@
 //!
 //! A tape lives for one training step: bind parameter values as [`Tape::leaf`]
 //! nodes, build the loss, call `backward`, read the gradients, drop the tape.
+//!
+//! The tape owns the step's [`GramCache`]: the O(N²) losses route their
+//! similarity products through it so repeated products within one step are
+//! computed once. Dropping the tape (or its `Grads`) returns every node
+//! value, gradient, and cached Gram matrix to the buffer arena
+//! (see [`crate::arena`]), so under an [`crate::arena::ArenaGuard`] the next
+//! step's tape reuses this step's buffers instead of reallocating them.
 
 use std::sync::Arc;
 
 use crate::dense;
+use crate::gram::GramCache;
 use crate::matrix::Matrix;
 use crate::node::{Node, Op, TensorId};
 use crate::ops::{adj_recon, gat, infonce, sce, softmax_ce, variance};
@@ -20,6 +28,18 @@ use crate::sparse::SharedCsr;
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: Vec<Node>,
+    /// Per-step cache of `A·Bᵀ` products shared by the loss kernels.
+    gram: GramCache,
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        for node in &mut self.nodes {
+            crate::arena::recycle(node.value.take_data());
+        }
+        // Saved loss states recycle their own buffers when the ops drop.
+        self.gram.clear();
+    }
 }
 
 /// Gradients produced by [`Tape::backward`].
@@ -42,6 +62,16 @@ impl Grads {
     /// Removes and returns a gradient (avoids cloning in optimizers).
     pub fn take(&mut self, id: TensorId) -> Option<Matrix> {
         self.grads.get_mut(id.0).and_then(Option::take)
+    }
+}
+
+impl Drop for Grads {
+    fn drop(&mut self) {
+        for g in self.grads.iter_mut() {
+            if let Some(mut m) = g.take() {
+                crate::arena::recycle(m.take_data());
+            }
+        }
     }
 }
 
@@ -114,7 +144,7 @@ impl Tape {
 
     /// Element-wise sum.
     pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let mut v = self.value(a).clone();
+        let mut v = crate::arena::copy_of(self.value(a));
         v.add_assign(self.value(b));
         let r = self.req(a) || self.req(b);
         self.push(v, Op::Add(a, b), r)
@@ -122,7 +152,7 @@ impl Tape {
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let mut v = self.value(a).clone();
+        let mut v = crate::arena::copy_of(self.value(a));
         v.axpy(-1.0, self.value(b));
         let r = self.req(a) || self.req(b);
         self.push(v, Op::Sub(a, b), r)
@@ -133,7 +163,7 @@ impl Tape {
         let av = self.value(a);
         let bv = self.value(b);
         assert_eq!(av.shape(), bv.shape(), "hadamard shape mismatch");
-        let mut v = av.clone();
+        let mut v = crate::arena::copy_of(av);
         for (x, &y) in v.as_mut_slice().iter_mut().zip(bv.as_slice()) {
             *x *= y;
         }
@@ -143,7 +173,7 @@ impl Tape {
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: TensorId, c: f32) -> TensorId {
-        let mut v = self.value(a).clone();
+        let mut v = crate::arena::copy_of(self.value(a));
         v.scale_inplace(c);
         let r = self.req(a);
         self.push(v, Op::Scale(a, c), r)
@@ -161,7 +191,7 @@ impl Tape {
         let b = self.value(bias);
         assert_eq!(b.rows(), 1, "bias must be a row vector");
         assert_eq!(b.cols(), x.cols(), "bias width mismatch");
-        let mut v = x.clone();
+        let mut v = crate::arena::copy_of(x);
         let br = b.row(0).to_vec();
         for rr in 0..v.rows() {
             for (o, &bb) in v.row_mut(rr).iter_mut().zip(&br) {
@@ -228,7 +258,7 @@ impl Tape {
     /// L2-normalizes every row.
     pub fn row_normalize(&mut self, a: TensorId) -> TensorId {
         let x = self.value(a);
-        let mut v = x.clone();
+        let mut v = crate::arena::copy_of(x);
         let mut norms = Vec::with_capacity(x.rows());
         for rr in 0..x.rows() {
             let n = x.row_norm(rr).max(1e-8);
@@ -263,7 +293,7 @@ impl Tape {
             }
         }
         let stds: Vec<f32> = vars.iter().map(|&s| (s / n as f32 + eps).sqrt()).collect();
-        let mut v = x.clone();
+        let mut v = crate::arena::copy_of(x);
         for rr in 0..n {
             for ((o, &m), &s) in v.row_mut(rr).iter_mut().zip(&means).zip(&stds) {
                 *o = (*o - m) / s;
@@ -278,7 +308,7 @@ impl Tape {
     pub fn dropout(&mut self, a: TensorId, mask: Arc<Vec<f32>>) -> TensorId {
         let x = self.value(a);
         assert_eq!(mask.len(), x.len(), "dropout mask length mismatch");
-        let mut v = x.clone();
+        let mut v = crate::arena::copy_of(x);
         for (o, &m) in v.as_mut_slice().iter_mut().zip(mask.iter()) {
             *o *= m;
         }
@@ -288,7 +318,7 @@ impl Tape {
 
     /// Zeroes the listed rows (feature masking).
     pub fn mask_rows(&mut self, a: TensorId, rows: Vec<usize>) -> TensorId {
-        let mut v = self.value(a).clone();
+        let mut v = crate::arena::copy_of(self.value(a));
         for &rr in &rows {
             v.row_mut(rr).fill(0.0);
         }
@@ -310,7 +340,9 @@ impl Tape {
         assert!(!parts.is_empty(), "concat of nothing");
         let n = self.value(parts[0]).rows();
         let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
-        let mut v = Matrix::zeros(n, total);
+        // Fully written below (the part widths sum to `total`), so the dirty
+        // arena take is safe.
+        let mut v = crate::arena::matrix_dirty(n, total);
         let mut off = 0;
         for &p in parts {
             let m = self.value(p);
@@ -330,7 +362,7 @@ impl Tape {
     pub fn mean_rows(&mut self, a: TensorId) -> TensorId {
         let x = self.value(a);
         let (n, d) = x.shape();
-        let mut v = Matrix::zeros(1, d);
+        let mut v = crate::arena::matrix_zeroed(1, d);
         for rr in 0..n {
             for (o, &xv) in v.row_mut(0).iter_mut().zip(x.row(rr)) {
                 *o += xv;
@@ -352,7 +384,7 @@ impl Tape {
         let x = self.value(a);
         assert_eq!(segments.len(), x.rows(), "segment length mismatch");
         let d = x.cols();
-        let mut v = Matrix::zeros(num_segments, d);
+        let mut v = crate::arena::matrix_zeroed(num_segments, d);
         let mut counts = vec![0.0f32; num_segments];
         for (rr, &s) in segments.iter().enumerate() {
             let s = s as usize;
@@ -434,9 +466,13 @@ impl Tape {
         self.push(Matrix::scalar(loss), Op::Sce { pred, saved }, r)
     }
 
-    /// Symmetric InfoNCE between two views (GCMAE Eqs. 14–15).
+    /// Symmetric InfoNCE between two views (GCMAE Eqs. 14–15). Similarity
+    /// products go through the tape's step-scoped [`GramCache`].
     pub fn info_nce(&mut self, u: TensorId, v: TensorId, tau: f32) -> TensorId {
-        let (loss, saved) = infonce::forward(self.value(u), self.value(v), tau);
+        let (loss, saved) = {
+            let Tape { ref nodes, ref mut gram } = *self;
+            infonce::forward_with(&nodes[u.0].value, &nodes[v.0].value, tau, gram)
+        };
         let r = self.req(u) || self.req(v);
         self.push(Matrix::scalar(loss), Op::InfoNce { u, v, saved: Box::new(saved) }, r)
     }
@@ -449,7 +485,10 @@ impl Tape {
         adj: SharedCsr,
         weights: adj_recon::Weights,
     ) -> (TensorId, adj_recon::Components) {
-        let (loss, comps, saved) = adj_recon::forward(self.value(z), adj, weights);
+        let (loss, comps, saved) = {
+            let Tape { ref nodes, ref mut gram } = *self;
+            adj_recon::forward_with(&nodes[z.0].value, adj, weights, gram)
+        };
         let r = self.req(z);
         let id = self.push(Matrix::scalar(loss), Op::AdjRecon { z, saved: Box::new(saved) }, r);
         (id, comps)

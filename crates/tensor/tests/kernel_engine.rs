@@ -1,0 +1,239 @@
+//! Kernel-engine bit-identity suite: the blocked gemm microkernel, the
+//! shared [`GramCache`], and the arena-backed tape must all be invisible in
+//! the outputs — every loss, gradient, and product is compared bitwise
+//! against the pre-optimization reference kernels, at 1 and 8 threads.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use gcmae_tensor::ops::{adj_recon, infonce};
+use gcmae_tensor::parallel::set_num_threads;
+use gcmae_tensor::{dense, CsrMatrix, GramCache, Matrix, SharedCsr, Tape, TensorId};
+use proptest::prelude::*;
+
+/// Serializes tests that mutate the global forced thread count.
+static THREADS_GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> MutexGuard<'static, ()> {
+    THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    set_num_threads(n);
+    let out = f();
+    set_num_threads(0);
+    out
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Random symmetric binary adjacency without self loops over `n` nodes.
+fn adjacency(n: usize) -> impl Strategy<Value = SharedCsr> {
+    prop::collection::vec((0..n, 0..n), 1..3 * n).prop_map(move |pairs| {
+        let mut t = Vec::new();
+        for (i, j) in pairs {
+            if i != j {
+                t.push((i, j, 1.0));
+                t.push((j, i, 1.0));
+            }
+        }
+        // Guarantee at least one edge so dist terms are well-defined.
+        t.push((0, n - 1, 1.0));
+        t.push((n - 1, 0, 1.0));
+        let summed = CsrMatrix::from_triplets(n, n, &t);
+        let values = vec![1.0; summed.nnz()];
+        Arc::new(CsrMatrix::new(
+            n,
+            n,
+            summed.indptr().to_vec(),
+            summed.indices().to_vec(),
+            values,
+        ))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The blocked i/j-tiled gemm family must be bit-identical to the naive
+    /// triple loops at any thread count (the k-accumulation order per output
+    /// element is shared).
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive(
+        a in matrix(37, 29),
+        b in matrix(29, 53),
+        c in matrix(53, 29),
+    ) {
+        let _g = guard();
+        // `matmul_tn` contracts over rows: both operands need k rows.
+        let bt = b.transposed();
+        let nn = dense::matmul_naive(&a, &b);
+        let nt = dense::matmul_nt_naive(&a, &c);
+        let tn = dense::matmul_tn_naive(&bt, &c);
+        let syrk_ref = dense::matmul_nt_naive(&a, &a);
+        for threads in [1usize, 8] {
+            let (got_nn, got_nt, got_tn, got_syrk) = with_threads(threads, || {
+                (
+                    dense::matmul(&a, &b),
+                    dense::matmul_nt(&a, &c),
+                    dense::matmul_tn(&bt, &c),
+                    dense::syrk_nt(&a),
+                )
+            });
+            prop_assert_eq!(bits(&got_nn), bits(&nn));
+            prop_assert_eq!(bits(&got_nt), bits(&nt));
+            prop_assert_eq!(bits(&got_tn), bits(&tn));
+            prop_assert_eq!(bits(&got_syrk), bits(&syrk_ref));
+        }
+    }
+
+    /// InfoNCE through a shared GramCache (SYRK self-products, cached
+    /// transpose for `s_vu`, arena scratch) must reproduce the reference
+    /// kernel bit-for-bit — loss and both gradients, at 1 and 8 threads.
+    #[test]
+    fn cached_infonce_matches_reference(
+        u in matrix(33, 9),
+        v in matrix(33, 9),
+    ) {
+        let _g = guard();
+        let (loss_ref, saved_ref) = infonce::forward_reference(&u, &v, 0.5);
+        let (du_ref, dv_ref) = infonce::backward_reference(&saved_ref, 1.25);
+        for threads in [1usize, 8] {
+            let (loss, du, dv) = with_threads(threads, || {
+                let mut cache = GramCache::new();
+                let (loss, saved) = infonce::forward_with(&u, &v, 0.5, &mut cache);
+                let (du, dv) = infonce::backward(&saved, 1.25);
+                (loss, du, dv)
+            });
+            prop_assert_eq!(loss.to_bits(), loss_ref.to_bits());
+            prop_assert_eq!(bits(&du), bits(&du_ref));
+            prop_assert_eq!(bits(&dv), bits(&dv_ref));
+        }
+    }
+
+    /// Adjacency reconstruction through the cache (SYRK Gram, single-branch
+    /// BCE, arena coefficient matrix) vs the reference kernel.
+    #[test]
+    fn cached_adj_recon_matches_reference(
+        z in matrix(24, 7),
+        adj in adjacency(24),
+    ) {
+        let _g = guard();
+        let w = adj_recon::Weights::default();
+        let (loss_ref, comps_ref, saved_ref) =
+            adj_recon::forward_reference(&z, adj.clone(), w);
+        let grad_ref = adj_recon::backward_reference(&saved_ref, &z, 0.75);
+        for threads in [1usize, 8] {
+            let (loss, comps, grad) = with_threads(threads, || {
+                let mut cache = GramCache::new();
+                let (loss, comps, saved) =
+                    adj_recon::forward_with(&z, adj.clone(), w, &mut cache);
+                let grad = adj_recon::backward(&saved, &z, 0.75);
+                (loss, comps, grad)
+            });
+            prop_assert_eq!(loss.to_bits(), loss_ref.to_bits());
+            prop_assert_eq!(comps.mse.to_bits(), comps_ref.mse.to_bits());
+            prop_assert_eq!(comps.bce.to_bits(), comps_ref.bce.to_bits());
+            prop_assert_eq!(comps.dist.to_bits(), comps_ref.dist.to_bits());
+            prop_assert_eq!(bits(&grad), bits(&grad_ref));
+        }
+    }
+
+    /// Both losses sharing one step-scoped cache (the trainer's real shape:
+    /// `Z·Zᵀ` computed once, reused by adj_recon and both infonce
+    /// self-products) must match running each loss against the reference.
+    #[test]
+    fn cross_loss_gram_sharing_is_bit_identical(
+        z in matrix(21, 6),
+        v in matrix(21, 6),
+        adj in adjacency(21),
+    ) {
+        let _g = guard();
+        let w = adj_recon::Weights::default();
+        let (al_ref, _, a_saved_ref) = adj_recon::forward_reference(&z, adj.clone(), w);
+        let a_grad_ref = adj_recon::backward_reference(&a_saved_ref, &z, 1.0);
+        let (il_ref, i_saved_ref) = infonce::forward_reference(&z, &v, 0.7);
+        let (du_ref, dv_ref) = infonce::backward_reference(&i_saved_ref, 1.0);
+
+        let mut cache = GramCache::new();
+        let (al, _, a_saved) = adj_recon::forward_with(&z, adj, w, &mut cache);
+        let (il, i_saved) = infonce::forward_with(&z, &v, 0.7, &mut cache);
+        prop_assert_eq!(al.to_bits(), al_ref.to_bits());
+        prop_assert_eq!(il.to_bits(), il_ref.to_bits());
+        let a_grad = adj_recon::backward(&a_saved, &z, 1.0);
+        let (du, dv) = infonce::backward(&i_saved, 1.0);
+        prop_assert_eq!(bits(&a_grad), bits(&a_grad_ref));
+        prop_assert_eq!(bits(&du), bits(&du_ref));
+        prop_assert_eq!(bits(&dv), bits(&dv_ref));
+    }
+}
+
+/// Finite-difference check of `d loss / d leaf` for every leaf.
+fn gradcheck(leaves: &[Matrix], build: impl Fn(&mut Tape, &[TensorId]) -> TensorId, tol: f32) {
+    let run = |ls: &[Matrix]| -> (f32, Vec<Option<Matrix>>) {
+        let mut tape = Tape::new();
+        let ids: Vec<TensorId> = ls.iter().map(|m| tape.leaf(m.clone())).collect();
+        let loss = build(&mut tape, &ids);
+        let value = tape.value(loss).scalar_value();
+        let grads = tape.backward(loss);
+        let gs = ids.iter().map(|&id| grads.get(id).cloned()).collect();
+        (value, gs)
+    };
+    let (_, grads) = run(leaves);
+    let h = 1e-3f32;
+    for (k, leaf) in leaves.iter().enumerate() {
+        let g = grads[k]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no grad for leaf {k}"));
+        for i in 0..leaf.len() {
+            let mut ls: Vec<Matrix> = leaves.to_vec();
+            ls[k].as_mut_slice()[i] += h;
+            let (lp, _) = run(&ls);
+            ls[k].as_mut_slice()[i] -= 2.0 * h;
+            let (lm, _) = run(&ls);
+            let fd = (lp - lm) / (2.0 * h);
+            let an = g.as_slice()[i];
+            assert!(
+                (fd - an).abs() < tol,
+                "leaf {k} entry {i}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+}
+
+/// Gradients must flow correctly *through* the cached similarity blocks:
+/// one tape computes both O(N²) losses off the same embedding, so every
+/// Gram product in the graph is a cache hit (SYRK, swapped-transpose, or
+/// direct) — and the analytic gradients still have to match finite
+/// differences of the combined loss.
+#[test]
+fn finite_differences_through_shared_similarity_blocks() {
+    let _g = guard();
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut r = StdRng::seed_from_u64(42);
+    let z = Matrix::uniform(6, 4, -1.0, 1.0, &mut r);
+    let v = Matrix::uniform(6, 4, -1.0, 1.0, &mut r);
+    let mut t = vec![];
+    for i in 0..6usize {
+        let j = (i + 1) % 6;
+        t.push((i, j, 1.0));
+        t.push((j, i, 1.0));
+    }
+    let adj: SharedCsr = Arc::new(CsrMatrix::from_triplets(6, 6, &t));
+    gradcheck(
+        &[z, v],
+        |tape, ids| {
+            let nce = tape.info_nce(ids[0], ids[1], 0.8);
+            let (adj_loss, _) = tape.adj_recon(ids[0], adj.clone(), adj_recon::Weights::default());
+            tape.add(nce, adj_loss)
+        },
+        5e-2,
+    );
+}
