@@ -53,6 +53,7 @@ pub struct TrainSession<'a> {
     observer: Option<Arc<dyn Observer>>,
     resume_from: Option<Bytes>,
     plan: FaultPlan,
+    backend: Option<gcmae_tensor::Backend>,
     #[allow(clippy::type_complexity)]
     on_epoch: Option<Box<dyn FnMut(usize, &EpochView) + 'a>>,
 }
@@ -67,8 +68,23 @@ impl<'a> TrainSession<'a> {
             observer: None,
             resume_from: None,
             plan: FaultPlan::default(),
+            backend: None,
             on_epoch: None,
         }
+    }
+
+    /// Selects the kernel backend for this run ([`gcmae_tensor::Backend`]).
+    ///
+    /// The selection is applied process-wide when `run` starts (backends are
+    /// a process-global property of the kernel layer, like the thread pool);
+    /// requesting `Simd` on a host without AVX2+FMA silently falls back to
+    /// `Reference`. The default — no call, no `GCMAE_KERNEL_BACKEND` env
+    /// override — is the bit-exact `Reference` backend; under `Simd`, losses
+    /// and embeddings differ from `Reference` within rounding tolerance (FMA
+    /// contraction), not bit-for-bit.
+    pub fn backend(mut self, b: gcmae_tensor::Backend) -> Self {
+        self.backend = Some(b);
+        self
     }
 
     /// Sets the RNG seed (ignored when resuming — the checkpoint carries
@@ -123,6 +139,15 @@ impl<'a> TrainSession<'a> {
     /// Runs the session to completion. Only the guarded regime can fail;
     /// an unguarded session always returns `Ok`.
     pub fn run(mut self, ds: &Dataset) -> Result<TrainOutput, TrainError> {
+        if let Some(b) = self.backend {
+            gcmae_tensor::backend::set_backend(b);
+        }
+        // Record the backend/CPU resolution in this session's telemetry (and
+        // the global observer, if one is installed).
+        if let Some(obs) = self.observer.as_deref() {
+            gcmae_tensor::backend::publish_to(obs);
+        }
+        gcmae_tensor::backend::publish();
         if self.guards.is_some() || self.resume_from.is_some() {
             let ft = self.guards.take().unwrap_or_default();
             self.run_guarded(ds, &ft)

@@ -297,6 +297,7 @@ fn respond(engine: &mut Engine, request: &Request, ctx: &SchedCtx) -> Response {
                 batches: ctx.batches,
                 batched_jobs: ctx.batched_jobs,
                 max_batch: ctx.max_batch,
+                backend: s.backend,
             })
         }
         Request::Metrics => Response::Metrics(ctx.metrics.snapshot()),

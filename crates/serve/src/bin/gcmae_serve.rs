@@ -4,7 +4,7 @@
 //! ```text
 //! gcmae-serve train --out ckpt.bin [--scale 0.05] [--epochs 3] [--seed 0]
 //! gcmae-serve serve --checkpoint ckpt.bin [--addr 127.0.0.1:7431] [--max-batch 32]
-//!             [--metrics-jsonl events.jsonl]
+//!             [--backend reference|simd] [--metrics-jsonl events.jsonl]
 //! gcmae-serve query --addr 127.0.0.1:7431 embed 0 1 2
 //! gcmae-serve query --addr 127.0.0.1:7431 link 0:1 4:9
 //! gcmae-serve query --addr 127.0.0.1:7431 topk 5 3
@@ -90,6 +90,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let path = flag(args, "--checkpoint").ok_or("serve needs --checkpoint <file>")?;
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7431".to_string());
     let max_batch: usize = parse_flag(args, "--max-batch", 32)?;
+    if let Some(raw) = flag(args, "--backend") {
+        let b = gcmae_tensor::backend::parse_backend(&raw)
+            .ok_or(format!("bad value for --backend (want reference|simd): {raw}"))?;
+        gcmae_tensor::backend::set_backend(b);
+    }
     let blob = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let (model, graph, features) = load_bundle(&blob).map_err(|e| e.to_string())?;
     println!(
@@ -112,9 +117,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let server = Server::start_with(engine, &addr, ServerOptions { max_batch, events })
         .map_err(|e| e.to_string())?;
+    // Surface the backend selection everywhere telemetry is read from: the
+    // scheduler registry (behind the `metrics` op), any global observer, and
+    // the startup banner.
+    gcmae_tensor::backend::publish_to(&*server.metrics());
+    gcmae_tensor::backend::publish();
     println!(
-        "serving on {} (max batch {max_batch}); send shutdown to stop",
-        server.addr()
+        "serving on {} (max batch {max_batch}, kernel backend {}); send shutdown to stop",
+        server.addr(),
+        gcmae_tensor::backend::active_backend()
     );
     server.run_until_shutdown();
     println!("server stopped");
@@ -147,10 +158,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Some("stats") => {
             let s = client.stats().map_err(|e| e.to_string())?;
             println!(
-                "nodes {} edges {} dim {}\ncache: {} hits / {} misses, {} resident, epoch {}, {} invalidated\nscheduler: {} batches / {} jobs (max batch {})",
+                "nodes {} edges {} dim {} backend {}\ncache: {} hits / {} misses, {} resident, epoch {}, {} invalidated\nscheduler: {} batches / {} jobs (max batch {})",
                 s.num_nodes,
                 s.num_edges,
                 s.embed_dim,
+                s.backend,
                 s.cache_hits,
                 s.cache_misses,
                 s.cache_resident,

@@ -69,6 +69,8 @@ pub struct EngineStats {
     pub num_edges: usize,
     /// Embedding width.
     pub embed_dim: usize,
+    /// Kernel backend servicing this engine's dense math right now.
+    pub backend: gcmae_tensor::Backend,
 }
 
 /// A loaded model serving one resident graph.
@@ -122,6 +124,7 @@ impl Engine {
             num_nodes: self.graph.num_nodes(),
             num_edges: self.graph.num_edges(),
             embed_dim: self.cache.dim(),
+            backend: gcmae_tensor::backend::active_backend(),
         }
     }
 

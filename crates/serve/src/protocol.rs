@@ -266,6 +266,10 @@ pub struct ServerStats {
     pub batched_jobs: u64,
     /// Configured coalescing cap.
     pub max_batch: usize,
+    /// Kernel backend servicing the engine's dense math (`reference`/`simd`
+    /// on the wire). Absent in frames from pre-backend servers, which parses
+    /// as the Reference default.
+    pub backend: gcmae_tensor::Backend,
 }
 
 /// A server response — exactly one variant per [`Request`] outcome, plus
@@ -353,6 +357,7 @@ impl Response {
                 fields.push(("batches".into(), Json::num(s.batches as f64)));
                 fields.push(("batched_jobs".into(), Json::num(s.batched_jobs as f64)));
                 fields.push(("max_batch".into(), Json::int(s.max_batch)));
+                fields.push(("backend".into(), Json::str(s.backend.name())));
             }
             Response::Embeddings { dim, rows } => {
                 fields.push(("dim".into(), Json::int(*dim)));
@@ -475,6 +480,11 @@ impl Response {
                     batches: u64f("batches")?,
                     batched_jobs: u64f("batched_jobs")?,
                     max_batch: us("max_batch")?,
+                    backend: doc
+                        .get("backend")
+                        .and_then(Json::as_str)
+                        .and_then(gcmae_tensor::backend::parse_backend)
+                        .unwrap_or_default(),
                 }))
             }
             "embeddings" => {
@@ -728,6 +738,7 @@ mod tests {
                 batches: 9,
                 batched_jobs: 40,
                 max_batch: 32,
+                backend: gcmae_tensor::Backend::Simd,
             }),
             Response::Embeddings {
                 dim: 2,
@@ -752,6 +763,38 @@ mod tests {
                 "kind {}",
                 r.kind()
             );
+        }
+    }
+
+    #[test]
+    fn stats_backend_field_defaults_for_legacy_servers() {
+        // A stats frame from a pre-backend server has no "backend" key; it
+        // must still parse, landing on the Reference default.
+        let mut doc = Response::Stats(ServerStats::default()).to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "backend");
+        }
+        let parsed = Json::parse(&doc.dump()).unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.backend, gcmae_tensor::Backend::Reference)
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // An unknown backend name degrades the same way instead of erroring.
+        let weird = Json::parse(
+            "{\"ok\":true,\"kind\":\"stats\",\"num_nodes\":0,\"num_edges\":0,\
+             \"embed_dim\":0,\"cache_hits\":0,\"cache_misses\":0,\
+             \"cache_resident\":0,\"cache_epoch\":0,\"invalidated\":0,\
+             \"batches\":0,\"batched_jobs\":0,\"max_batch\":0,\
+             \"backend\":\"quantum\"}",
+        )
+        .unwrap();
+        match Response::from_json(&weird).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.backend, gcmae_tensor::Backend::Reference)
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 

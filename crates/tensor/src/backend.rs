@@ -1,0 +1,283 @@
+//! Kernel-backend selection: Reference (bit-exact blocked) vs Simd (AVX2/FMA).
+//!
+//! The crate ships two implementations of every dense hot path:
+//!
+//! * **Reference** — the cache-blocked, register-tiled kernels in
+//!   [`crate::dense`]. Per-output-element accumulation is sequential in `k`
+//!   into one f32 accumulator, so the results are bit-identical to the naive
+//!   triple loops at any thread count. This is the default and the
+//!   correctness oracle.
+//! * **Simd** — an opt-in `std::arch` x86-64 path ([`crate::simd`]): a 6×16
+//!   AVX2/FMA microkernel over the same packed `[strip][k][16]` B panels,
+//!   plus FMA dot/row-max reductions. FMA contracts each multiply-add into
+//!   one rounding, and the 16-wide strips are accumulated in 8-lane partial
+//!   sums, so Simd results are *not* bit-identical to Reference — they are
+//!   validated by tolerance parity and finite-difference gradcheck instead
+//!   (see `crates/tensor/tests/backend_parity.rs`).
+//!
+//! ## Selection
+//!
+//! Resolution order for the *requested* backend: a value forced through
+//! [`set_backend`] wins (the `TrainSession::backend(...)` builder and the
+//! serve `--backend` flag route here), then the `GCMAE_KERNEL_BACKEND`
+//! environment variable (`reference`/`simd`, read once and cached), then
+//! Reference. The *active* backend additionally requires runtime CPU support
+//! (`is_x86_feature_detected!("avx2")` + `fma`): requesting Simd on a host
+//! without those features — or on a non-x86-64 target — silently falls back
+//! to Reference, so a binary built with the Simd path is safe to run
+//! anywhere.
+//!
+//! Dispatch happens once per kernel *call* (an atomic load plus a cached
+//! feature probe), never inside inner loops, and both paths share the same
+//! packing, parallel partitioning, and edge handling — a backend changes the
+//! microkernel, nothing else.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which dense-kernel implementation services matmul/SYRK/reduction calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Bit-exact blocked kernels (the default and correctness oracle).
+    #[default]
+    Reference,
+    /// AVX2/FMA microkernel path; tolerance-parity with Reference.
+    Simd,
+}
+
+impl Backend {
+    /// Stable lowercase name used by env/flag parsing, obs export, and the
+    /// serve stats wire format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Reference => "reference",
+            Backend::Simd => "simd",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parses a backend name (env var, CLI flag). Case-insensitive; recognizes
+/// the canonical names plus a few aliases. `None` for anything else.
+pub fn parse_backend(s: &str) -> Option<Backend> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "reference" | "ref" | "blocked" | "scalar" => Some(Backend::Reference),
+        "simd" | "avx2" | "fma" => Some(Backend::Simd),
+        _ => None,
+    }
+}
+
+/// Forced backend: 0 = unset (fall through to env/default), 1 = Reference,
+/// 2 = Simd. Mirrors the `FORCED_THREADS` pattern in [`crate::parallel`].
+static FORCED_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// `GCMAE_KERNEL_BACKEND`, read once and cached. Unparseable values are
+/// treated as unset (the default backend must never depend on a typo).
+static ENV_BACKEND: OnceLock<Option<Backend>> = OnceLock::new();
+
+fn env_backend() -> Option<Backend> {
+    *ENV_BACKEND.get_or_init(|| {
+        std::env::var("GCMAE_KERNEL_BACKEND")
+            .ok()
+            .and_then(|v| parse_backend(&v))
+    })
+}
+
+/// Forces the kernel backend for this process (wins over the env variable).
+pub fn set_backend(b: Backend) {
+    let code = match b {
+        Backend::Reference => 1,
+        Backend::Simd => 2,
+    };
+    FORCED_BACKEND.store(code, Ordering::Relaxed);
+}
+
+/// Clears a forced backend, restoring env-then-default resolution.
+pub fn reset_backend() {
+    FORCED_BACKEND.store(0, Ordering::Relaxed);
+}
+
+/// The backend selection *asked for* (forced > env > Reference), before CPU
+/// capability is considered.
+pub fn requested_backend() -> Backend {
+    match FORCED_BACKEND.load(Ordering::Relaxed) {
+        1 => Backend::Reference,
+        2 => Backend::Simd,
+        _ => env_backend().unwrap_or(Backend::Reference),
+    }
+}
+
+/// Pure resolution of requested + supported into the backend that actually
+/// runs; kept separate from the cached statics so it is unit-testable.
+pub fn resolve_backend(requested: Backend, simd_supported: bool) -> Backend {
+    match requested {
+        Backend::Simd if simd_supported => Backend::Simd,
+        _ => Backend::Reference,
+    }
+}
+
+/// CPU features the Simd backend needs, as probed at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// 256-bit integer/float vector ops.
+    pub avx2: bool,
+    /// Fused multiply-add.
+    pub fma: bool,
+    /// 512-bit vector ops; upgrades the Simd microkernel from ymm strip
+    /// tiles to zmm strip pairs (not required for the backend itself).
+    pub avx512f: bool,
+}
+
+/// Runtime CPU-feature probe (cached). Always `false` off x86-64.
+pub fn cpu_features() -> CpuFeatures {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static PROBE: OnceLock<CpuFeatures> = OnceLock::new();
+        *PROBE.get_or_init(|| CpuFeatures {
+            avx2: std::arch::is_x86_feature_detected!("avx2"),
+            fma: std::arch::is_x86_feature_detected!("fma"),
+            avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        CpuFeatures {
+            avx2: false,
+            fma: false,
+            avx512f: false,
+        }
+    }
+}
+
+/// `true` when this host can run the Simd backend.
+pub fn simd_supported() -> bool {
+    let f = cpu_features();
+    f.avx2 && f.fma
+}
+
+/// The backend that will actually service kernel calls right now:
+/// [`requested_backend`] demoted to Reference when the CPU lacks AVX2/FMA.
+pub fn active_backend() -> Backend {
+    resolve_backend(requested_backend(), simd_supported())
+}
+
+/// Per-call dispatch gate for the dense kernels.
+#[inline]
+pub(crate) fn simd_active() -> bool {
+    active_backend() == Backend::Simd
+}
+
+/// Publishes the backend selection and CPU probe to the process-global
+/// `gcmae-obs` observer (no-op when none is installed): gauges
+/// (`kernel.backend.simd`, `kernel.cpu.avx2`, `kernel.cpu.fma`) flow into
+/// Prometheus/JSON snapshots and the serve `metrics` response, and a
+/// `kernel.backend` event records the requested-vs-active resolution in
+/// JSONL sinks. Call after observer installation (the session and serve
+/// entry points do).
+pub fn publish() {
+    if gcmae_obs::enabled() {
+        if let Some(o) = gcmae_obs::installed() {
+            publish_to(&*o);
+        }
+    }
+}
+
+/// [`publish`] against an explicit observer — for session-scoped observers
+/// that are not installed globally.
+pub fn publish_to(obs: &dyn gcmae_obs::Observer) {
+    let requested = requested_backend();
+    let active = active_backend();
+    let f = cpu_features();
+    obs.gauge_set("kernel.backend.simd", (active == Backend::Simd) as u8 as f64);
+    obs.gauge_set("kernel.cpu.avx2", f.avx2 as u8 as f64);
+    obs.gauge_set("kernel.cpu.fma", f.fma as u8 as f64);
+    obs.gauge_set("kernel.cpu.avx512f", f.avx512f as u8 as f64);
+    obs.event(
+        "kernel.backend",
+        &[
+            ("active", gcmae_obs::Value::Str(active.name().to_string())),
+            (
+                "requested",
+                gcmae_obs::Value::Str(requested.name().to_string()),
+            ),
+            ("avx2", gcmae_obs::Value::Bool(f.avx2)),
+            ("fma", gcmae_obs::Value::Bool(f.fma)),
+            ("avx512f", gcmae_obs::Value::Bool(f.avx512f)),
+        ],
+    );
+}
+
+/// Dot product of two equal-length slices through the active backend.
+///
+/// Reference keeps the sequential scalar accumulation (bit-identical to
+/// [`crate::dense::dot`]); Simd uses 8-lane FMA partial sums.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active()` implies AVX2+FMA were detected at runtime.
+        return unsafe { crate::simd::dot(a, b) };
+    }
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Row maximum through the active backend; `-inf` for an empty slice.
+///
+/// Both paths use `f32::max` semantics (NaN inputs are not propagated);
+/// callers needing NaN detection must scan separately, as the guard layer
+/// already does.
+#[inline]
+pub fn row_max(xs: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active()` implies AVX2+FMA were detected at runtime.
+        return unsafe { crate::simd::row_max(xs) };
+    }
+    xs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_recognizes_canonical_names_and_aliases() {
+        assert_eq!(parse_backend("reference"), Some(Backend::Reference));
+        assert_eq!(parse_backend("REF"), Some(Backend::Reference));
+        assert_eq!(parse_backend(" simd "), Some(Backend::Simd));
+        assert_eq!(parse_backend("AVX2"), Some(Backend::Simd));
+        assert_eq!(parse_backend("fma"), Some(Backend::Simd));
+        assert_eq!(parse_backend("gpu"), None);
+        assert_eq!(parse_backend(""), None);
+    }
+
+    #[test]
+    fn resolve_demotes_simd_without_cpu_support() {
+        assert_eq!(
+            resolve_backend(Backend::Simd, false),
+            Backend::Reference,
+            "unsupported hosts must fall back"
+        );
+        assert_eq!(resolve_backend(Backend::Simd, true), Backend::Simd);
+        assert_eq!(resolve_backend(Backend::Reference, true), Backend::Reference);
+        assert_eq!(resolve_backend(Backend::Reference, false), Backend::Reference);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for b in [Backend::Reference, Backend::Simd] {
+            assert_eq!(parse_backend(b.name()), Some(b));
+        }
+    }
+
+    #[test]
+    fn default_backend_is_reference() {
+        assert_eq!(Backend::default(), Backend::Reference);
+    }
+}

@@ -36,8 +36,24 @@
 //! inner loop streams consecutive cache lines instead of striding `n` floats
 //! between `k`-steps; the `n % 16` remainder columns are handled by a scalar
 //! edge kernel straight off the unpacked operand. Strips are grouped into
-//! 512-wide panels so one `k × 512` packed slice stays cache-resident while
-//! every row of the chunk streams over it.
+//! panels (up to 512 columns, narrowed for deep `k` by [`panel_width`] so a
+//! packed panel stays cache-resident), and output rows are walked in
+//! [`IC`]-row blocks with the panel loop *inside*: one row block revisits
+//! every panel before the sweep moves down. Without the row blocking, a
+//! panel sweep at large `m` touches every page of the output per panel
+//! (`m×n` bytes of stores re-walked once per panel), which is what melted
+//! the n=8192 single-thread numbers; with it, each panel pass stays inside
+//! an `IC`-row window of the output. The i/j re-tiling changes nothing about
+//! per-element `k` order, so bit-identity is untouched.
+//!
+//! ## Backends
+//!
+//! The blocked kernels here are the **Reference** backend. When the **Simd**
+//! backend is active (see [`crate::backend`]) the per-chunk work is routed
+//! to the AVX2/FMA twins in [`crate::simd`] instead — same packing, same
+//! partitioning, same edge handling, different (FMA, tolerance-parity)
+//! microkernel. The naive/rowstream reference kernels below never dispatch:
+//! they are the frozen oracles.
 
 use crate::matrix::Matrix;
 use crate::parallel::{par_row_chunks_by_cost, par_row_chunks_cost};
@@ -59,9 +75,23 @@ fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
 /// Rows of the output block held in registers.
 const MR: usize = 4;
 /// Columns of the output block held in registers (4 SIMD lanes of 4).
-const NR: usize = 16;
-/// Column panel width: the `k × JC` slice of `b` walked by one row block.
+pub(crate) const NR: usize = 16;
+/// Maximum column panel width: the `k × JC` slice of `b` walked by one row
+/// block (narrowed for deep `k` by [`panel_width`]).
 const JC: usize = 512;
+/// Output rows walked against one packed panel before the next panel is
+/// visited: bounds the page working set of a panel pass to `IC` output rows.
+pub(crate) const IC: usize = 128;
+
+/// Column panel width for depth `k`: the widest multiple of [`NR`] in
+/// `[128, JC]` that keeps one packed `k × width` panel within a 256 KiB
+/// cache budget, so the panel a row block streams over stays L2-resident
+/// even for deep products.
+pub(crate) fn panel_width(k: usize) -> usize {
+    /// 256 KiB of f32s.
+    const PANEL_FLOATS: usize = 1 << 16;
+    (PANEL_FLOATS / k.max(1) / NR * NR).clamp(8 * NR, JC)
+}
 
 /// `rows × 16` register-tiled inner kernel: accumulates the full `k` depth
 /// for a 4×16 output block without touching memory, then stores each row
@@ -131,9 +161,10 @@ fn pack_strips(b: &[f32], k: usize, n: usize) -> Matrix {
 }
 
 /// Scalar edge kernel for the `< 16`-wide column remainder of one row;
-/// `out_row` is the slice starting at the row's first column.
+/// `out_row` is the slice starting at the row's first column. Shared by both
+/// backends (the Simd path keeps the scalar edge, bit-equal to Reference).
 #[inline(always)]
-fn edge_row(ar: &[f32], b: &[f32], n: usize, j0: usize, je: usize, out_row: &mut [f32]) {
+pub(crate) fn edge_row(ar: &[f32], b: &[f32], n: usize, j0: usize, je: usize, out_row: &mut [f32]) {
     for j in j0..je {
         let mut acc = 0.0f32;
         for (p, &av) in ar.iter().enumerate() {
@@ -159,18 +190,63 @@ fn gemm_nn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let bdata = b.as_slice();
     let pack = pack_strips(bdata, k, n);
     let pdata = pack.as_slice();
+    // Backend dispatch happens once per call; every parallel participant
+    // then runs the same chunk kernel.
+    let simd = crate::backend::simd_active();
     par_row_chunks_cost(
         out.as_mut_slice(),
         n,
         k.max(1).saturating_mul(n),
-        |r0, chunk| gemm_chunk(a, bdata, pdata, r0, chunk, n, k),
+        |r0, chunk| dispatch_gemm_chunk(simd, a, bdata, pdata, r0, chunk, n, k),
     );
     crate::arena::recycle_matrix(pack);
 }
 
+/// Routes one output-row chunk to the active backend's gemm kernel.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dispatch_gemm_chunk(
+    simd: bool,
+    a: &Matrix,
+    b: &[f32],
+    pack: &[f32],
+    r0: usize,
+    chunk: &mut [f32],
+    n: usize,
+    k: usize,
+) {
+    if simd {
+        // SAFETY: `simd` comes from `backend::simd_active()`, which requires
+        // runtime-detected AVX2+FMA.
+        unsafe { crate::simd::gemm_chunk(a, b, pack, r0, chunk, n, k) }
+    } else {
+        gemm_chunk(a, b, pack, r0, chunk, n, k)
+    }
+}
+
+/// Non-x86-64 hosts have no Simd implementation; the dispatch gate always
+/// resolves to Reference there.
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dispatch_gemm_chunk(
+    _simd: bool,
+    a: &Matrix,
+    b: &[f32],
+    pack: &[f32],
+    r0: usize,
+    chunk: &mut [f32],
+    n: usize,
+    k: usize,
+) {
+    gemm_chunk(a, b, pack, r0, chunk, n, k)
+}
+
 /// Blocked kernel over one contiguous block of output rows. `pack` is the
 /// `[strip][p][16]` panel scratch from [`pack_strips`]; the `n % 16` column
-/// remainder reads the unpacked `b` through [`edge_row`].
+/// remainder reads the unpacked `b` through [`edge_row`]. Rows advance in
+/// [`IC`]-blocks with the panel loop inside (see the module docs).
 fn gemm_chunk(
     a: &Matrix,
     b: &[f32],
@@ -182,31 +258,36 @@ fn gemm_chunk(
 ) {
     let rows = chunk.len() / n;
     let strips = n / NR;
-    let per_panel = (JC / NR).max(1);
-    let mut sb = 0;
-    while sb < strips {
-        let se = (sb + per_panel).min(strips);
-        let mut i = 0;
-        while i + MR <= rows {
-            let a0 = a.row(r0 + i);
-            let a1 = a.row(r0 + i + 1);
-            let a2 = a.row(r0 + i + 2);
-            let a3 = a.row(r0 + i + 3);
-            for s in sb..se {
-                let bp = &pack[s * k * NR..(s + 1) * k * NR];
-                micro_4x16(a0, a1, a2, a3, bp, n, s * NR, chunk, i);
+    let per_panel = panel_width(k) / NR;
+    let mut ib = 0;
+    while ib < rows {
+        let ie = (ib + IC).min(rows);
+        let mut sb = 0;
+        while sb < strips {
+            let se = (sb + per_panel).min(strips);
+            let mut i = ib;
+            while i + MR <= ie {
+                let a0 = a.row(r0 + i);
+                let a1 = a.row(r0 + i + 1);
+                let a2 = a.row(r0 + i + 2);
+                let a3 = a.row(r0 + i + 3);
+                for s in sb..se {
+                    let bp = &pack[s * k * NR..(s + 1) * k * NR];
+                    micro_4x16(a0, a1, a2, a3, bp, n, s * NR, chunk, i);
+                }
+                i += MR;
             }
-            i += MR;
-        }
-        while i < rows {
-            let ar = a.row(r0 + i);
-            let out_row = &mut chunk[i * n..(i + 1) * n];
-            for s in sb..se {
-                micro_1x16(ar, &pack[s * k * NR..(s + 1) * k * NR], s * NR, out_row);
+            while i < ie {
+                let ar = a.row(r0 + i);
+                let out_row = &mut chunk[i * n..(i + 1) * n];
+                for s in sb..se {
+                    micro_1x16(ar, &pack[s * k * NR..(s + 1) * k * NR], s * NR, out_row);
+                }
+                i += 1;
             }
-            i += 1;
+            sb = se;
         }
-        sb = se;
+        ib = ie;
     }
     let j0 = strips * NR;
     if j0 < n {
@@ -312,13 +393,14 @@ pub fn syrk_nt(a: &Matrix) -> Matrix {
     let bdata = at.as_slice();
     let pack = pack_strips(bdata, k, n);
     let pdata = pack.as_slice();
+    let simd = crate::backend::simd_active();
     // Lower triangle: row i costs (i+1)·k, so blocks are cut on the cost
     // prefix sums to stay balanced.
     par_row_chunks_by_cost(
         out.as_mut_slice(),
         n,
         |r| (r + 1).saturating_mul(k.max(1)),
-        |r0, chunk| syrk_chunk(a, bdata, pdata, r0, chunk, n, k),
+        |r0, chunk| dispatch_syrk_chunk(simd, a, bdata, pdata, r0, chunk, n, k),
     );
     crate::arena::recycle_matrix(pack);
     crate::arena::recycle_matrix(at);
@@ -353,6 +435,46 @@ pub fn syrk_nt(a: &Matrix) -> Matrix {
         },
     );
     out
+}
+
+/// Routes one SYRK row chunk to the active backend's kernel.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dispatch_syrk_chunk(
+    simd: bool,
+    a: &Matrix,
+    bt: &[f32],
+    pack: &[f32],
+    r0: usize,
+    chunk: &mut [f32],
+    n: usize,
+    k: usize,
+) {
+    if simd {
+        // SAFETY: `simd` comes from `backend::simd_active()`, which requires
+        // runtime-detected AVX2+FMA.
+        unsafe { crate::simd::syrk_chunk(a, bt, pack, r0, chunk, n, k) }
+    } else {
+        syrk_chunk(a, bt, pack, r0, chunk, n, k)
+    }
+}
+
+/// Non-x86-64 hosts always run the Reference SYRK kernel.
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dispatch_syrk_chunk(
+    _simd: bool,
+    a: &Matrix,
+    bt: &[f32],
+    pack: &[f32],
+    r0: usize,
+    chunk: &mut [f32],
+    n: usize,
+    k: usize,
+) {
+    syrk_chunk(a, bt, pack, r0, chunk, n, k)
 }
 
 /// Lower-triangle (inclusive diagonal) blocked kernel for [`syrk_nt`].
@@ -590,6 +712,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// Bit-identity with the naive kernels is a Reference-backend contract;
+    /// the Simd backend is tolerance-validated in tests/backend_parity.rs.
+    fn pin_reference() {
+        crate::backend::set_backend(crate::backend::Backend::Reference);
+    }
+
     fn naive(a: &Matrix, b: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(a.rows(), b.cols());
         for i in 0..a.rows() {
@@ -646,6 +774,7 @@ mod tests {
 
     #[test]
     fn blocked_kernels_are_bit_identical_to_naive() {
+        pin_reference();
         let mut rng = StdRng::seed_from_u64(6);
         // Shapes straddle the 4-row and 16-column microkernel boundaries and
         // the 512-wide column panel.
@@ -681,6 +810,7 @@ mod tests {
 
     #[test]
     fn syrk_is_bit_identical_to_matmul_nt() {
+        pin_reference();
         let mut rng = StdRng::seed_from_u64(7);
         for n in [1usize, 4, 17, 64, 101] {
             let a = Matrix::uniform(n, 9, -1.0, 1.0, &mut rng);

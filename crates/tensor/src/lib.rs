@@ -25,6 +25,7 @@
 //! ```
 
 pub mod arena;
+pub mod backend;
 pub mod backward;
 pub mod dense;
 pub mod gram;
@@ -33,10 +34,13 @@ pub mod matrix;
 pub mod node;
 pub mod ops;
 pub mod parallel;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod simd;
 pub mod sparse;
 pub mod tape;
 
 pub use arena::ArenaGuard;
+pub use backend::Backend;
 pub use gram::GramCache;
 pub use matrix::Matrix;
 pub use node::TensorId;

@@ -120,9 +120,11 @@ fn all_distinct(rows: &[usize], n: usize) -> bool {
     rows.iter().all(|&r| !std::mem::replace(&mut seen[r], true))
 }
 
+/// Row dot through the active kernel backend (sequential scalar sum under
+/// Reference — bit-identical to the pre-backend code — FMA lanes under Simd).
 #[inline]
 fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::backend::dot(a, b)
 }
 
 #[inline]

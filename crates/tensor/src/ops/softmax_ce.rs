@@ -40,7 +40,9 @@ pub fn forward(logits: &Matrix, rows: Vec<usize>, labels: Vec<usize>) -> (f32, S
         par_rows(rows.len(), 4 * k, |i| {
             let (r, y) = (rows[i], labels[i]);
             let row = logits.row(r);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            // Row max through the kernel backend (the Reference path is the
+            // exact fold this code used before backends existed).
+            let m = crate::backend::row_max(row);
             let mut denom = 0.0f64;
             for &v in row {
                 denom += ((v - m) as f64).exp();

@@ -1,0 +1,376 @@
+//! AVX2/FMA kernel implementations for the Simd backend (x86-64 only).
+//!
+//! Structural twins of the Reference kernels in [`crate::dense`]: the same
+//! packed `[strip][k][16]` B panels, the same adaptive panel width, the same
+//! parallel row partitioning, and the same scalar edge handling for the
+//! `n % 16` column remainder — only the microkernel changes. The register
+//! tile grows from 4×16 to 6×16 (12 ymm accumulators, two 8-wide strip
+//! loads and one broadcast per step, `_mm256_fmadd_ps` for the update),
+//! which is enough independent FMA chains to saturate both FMA ports.
+//!
+//! On hosts that additionally report AVX-512F, the gemm strip loop upgrades
+//! to a 6×32 zmm tile over *pairs* of packed strips ([`micro_6x32`]): one
+//! 512-bit register covers a full 16-wide strip, so the pair keeps the same
+//! 12 independent FMA chains while doubling the flops per instruction. Odd
+//! trailing strips fall back to the ymm kernel; the choice is probed once
+//! per chunk from the cached [`crate::backend::cpu_features`].
+//!
+//! ## Numerical contract
+//!
+//! FMA contracts each multiply-add into a single rounding and the dot
+//! reductions accumulate in 8-lane partial sums, so these kernels are *not*
+//! bit-identical to Reference. Parity is tolerance-based (relative error,
+//! see `crates/tensor/tests/backend_parity.rs`); the column-edge remainder
+//! intentionally reuses the scalar [`crate::dense::edge_row`], which is
+//! bit-equal to Reference there and only tightens the bound.
+//!
+//! Every function in this module is `unsafe`: callers must have verified
+//! AVX2+FMA via [`crate::backend::simd_supported`] (the dispatch gate
+//! [`crate::backend::simd_active`] does exactly that).
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+use crate::dense::{edge_row, panel_width, IC, NR};
+use crate::matrix::Matrix;
+
+/// Rows of the output block held in registers by the Simd microkernel.
+pub(crate) const MR_SIMD: usize = 6;
+
+/// Horizontal sum of an 8-lane f32 vector.
+#[inline]
+#[target_feature(enable = "avx")]
+unsafe fn hsum256(v: __m256) -> f32 {
+    let hi = _mm256_extractf128_ps(v, 1);
+    let lo = _mm256_castps256_ps128(v);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0b01));
+    _mm_cvtss_f32(s)
+}
+
+/// FMA dot product: four 8-lane accumulators, scalar `mul_add` tail.
+///
+/// # Safety
+/// The caller must have verified AVX2+FMA support.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = [_mm256_setzero_ps(); 4];
+    let mut p = 0;
+    while p + 32 <= n {
+        for (l, acc) in acc.iter_mut().enumerate() {
+            let av = _mm256_loadu_ps(ap.add(p + l * 8));
+            let bv = _mm256_loadu_ps(bp.add(p + l * 8));
+            *acc = _mm256_fmadd_ps(av, bv, *acc);
+        }
+        p += 32;
+    }
+    while p + 8 <= n {
+        acc[0] = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(p)), _mm256_loadu_ps(bp.add(p)), acc[0]);
+        p += 8;
+    }
+    let sum = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+    let mut out = hsum256(sum);
+    while p < n {
+        out = (*ap.add(p)).mul_add(*bp.add(p), out);
+        p += 1;
+    }
+    out
+}
+
+/// 8-lane row maximum; `-inf` for an empty slice. `f32::max` semantics for
+/// finite inputs (NaN handling is the guard layer's job, as in Reference).
+///
+/// # Safety
+/// The caller must have verified AVX2+FMA support.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn row_max(xs: &[f32]) -> f32 {
+    let n = xs.len();
+    let p = xs.as_ptr();
+    let mut i = 0;
+    let mut best = f32::NEG_INFINITY;
+    if n >= 8 {
+        let mut m = _mm256_loadu_ps(p);
+        i = 8;
+        while i + 8 <= n {
+            m = _mm256_max_ps(m, _mm256_loadu_ps(p.add(i)));
+            i += 8;
+        }
+        let hi = _mm256_extractf128_ps(m, 1);
+        let lo = _mm256_castps256_ps128(m);
+        let s = _mm_max_ps(lo, hi);
+        let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0b01));
+        best = _mm_cvtss_f32(s);
+    }
+    while i < n {
+        best = best.max(*p.add(i));
+        i += 1;
+    }
+    best
+}
+
+/// `6 × 16` FMA inner kernel over one packed `[p][16]` strip: 12 ymm
+/// accumulators carry the full `k` depth, then each row stores once.
+///
+/// # Safety
+/// AVX2+FMA must be supported; `chunk` must hold rows `i..i+6` of width `n`
+/// with columns `j..j+16` in range; every `rows[r]` has `≥ k` elements where
+/// `k = bp.len() / 16`.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_6x16(
+    rows: [&[f32]; MR_SIMD],
+    bp: &[f32],
+    n: usize,
+    j: usize,
+    chunk: &mut [f32],
+    i: usize,
+) {
+    let k = bp.len() / NR;
+    let bptr = bp.as_ptr();
+    let mut lo = [_mm256_setzero_ps(); MR_SIMD];
+    let mut hi = [_mm256_setzero_ps(); MR_SIMD];
+    for p in 0..k {
+        let b0 = _mm256_loadu_ps(bptr.add(p * NR));
+        let b1 = _mm256_loadu_ps(bptr.add(p * NR + 8));
+        for r in 0..MR_SIMD {
+            let av = _mm256_set1_ps(*rows[r].get_unchecked(p));
+            lo[r] = _mm256_fmadd_ps(av, b0, lo[r]);
+            hi[r] = _mm256_fmadd_ps(av, b1, hi[r]);
+        }
+    }
+    let out = chunk.as_mut_ptr();
+    for r in 0..MR_SIMD {
+        let at = (i + r) * n + j;
+        _mm256_storeu_ps(out.add(at), lo[r]);
+        _mm256_storeu_ps(out.add(at + 8), hi[r]);
+    }
+}
+
+/// `6 × 32` AVX-512 inner kernel over two adjacent packed strips: one zmm
+/// register spans exactly one 16-wide strip, so the pair gives 12 independent
+/// 16-lane FMA chains — enough to saturate both 512-bit FMA ports on servers
+/// that have them, doubling the AVX2 ceiling.
+///
+/// # Safety
+/// AVX-512F must be supported; `chunk` must hold rows `i..i+6` of width `n`
+/// with columns `j..j+32` in range; `bp0`/`bp1` are the two packed strips,
+/// each `k × 16` long; every `rows[r]` has `≥ k` elements.
+#[target_feature(enable = "avx512f")]
+unsafe fn micro_6x32(
+    rows: [&[f32]; MR_SIMD],
+    bp0: &[f32],
+    bp1: &[f32],
+    n: usize,
+    j: usize,
+    chunk: &mut [f32],
+    i: usize,
+) {
+    let k = bp0.len() / NR;
+    let b0p = bp0.as_ptr();
+    let b1p = bp1.as_ptr();
+    let mut acc0 = [_mm512_setzero_ps(); MR_SIMD];
+    let mut acc1 = [_mm512_setzero_ps(); MR_SIMD];
+    for p in 0..k {
+        let b0 = _mm512_loadu_ps(b0p.add(p * NR));
+        let b1 = _mm512_loadu_ps(b1p.add(p * NR));
+        for r in 0..MR_SIMD {
+            let av = _mm512_set1_ps(*rows[r].get_unchecked(p));
+            acc0[r] = _mm512_fmadd_ps(av, b0, acc0[r]);
+            acc1[r] = _mm512_fmadd_ps(av, b1, acc1[r]);
+        }
+    }
+    let out = chunk.as_mut_ptr();
+    for r in 0..MR_SIMD {
+        let at = (i + r) * n + j;
+        _mm512_storeu_ps(out.add(at), acc0[r]);
+        _mm512_storeu_ps(out.add(at + NR), acc1[r]);
+    }
+}
+
+/// How many strips ahead of the current output tile to prefetch. The store
+/// stream is the bottleneck for LLC-dwarfing outputs (each 6×16 tile misses
+/// six fresh lines, and the demand-store miss queue is what caps large-`n`
+/// throughput), so the strip loop prefetches the tile this many strips ahead
+/// while the FMAs of the current tile retire.
+const PF_STRIPS: usize = 4;
+
+/// Output chunks below this size skip the store prefetch: a cache-resident
+/// output has no store misses to hide, and the extra prefetch traffic only
+/// costs load-port slots.
+const PF_MIN_BYTES: usize = 2 << 20;
+
+/// Prefetches the six output lines of the tile `PF_STRIPS` strips ahead.
+///
+/// # Safety
+/// Prefetch is a hint and never faults; `out` need only be a valid pointer
+/// base.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn prefetch_tile(out: *const f32, n: usize, i: usize, j: usize) {
+    for r in 0..MR_SIMD {
+        _mm_prefetch::<_MM_HINT_T0>(out.add((i + r) * n + j).cast::<i8>());
+    }
+}
+
+/// Single-row variant of the 16-wide FMA strip kernel.
+///
+/// # Safety
+/// As [`micro_6x16`], for one row.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_1x16(ar: &[f32], bp: &[f32], j: usize, out_row: &mut [f32]) {
+    let k = bp.len() / NR;
+    let bptr = bp.as_ptr();
+    let mut lo = _mm256_setzero_ps();
+    let mut hi = _mm256_setzero_ps();
+    for p in 0..k {
+        let av = _mm256_set1_ps(*ar.get_unchecked(p));
+        lo = _mm256_fmadd_ps(av, _mm256_loadu_ps(bptr.add(p * NR)), lo);
+        hi = _mm256_fmadd_ps(av, _mm256_loadu_ps(bptr.add(p * NR + 8)), hi);
+    }
+    let out = out_row.as_mut_ptr();
+    _mm256_storeu_ps(out.add(j), lo);
+    _mm256_storeu_ps(out.add(j + 8), hi);
+}
+
+/// Simd twin of [`crate::dense::gemm_chunk`]: same panel walk, 6-row blocks.
+///
+/// # Safety
+/// AVX2+FMA must be supported (the dispatch gate guarantees it); the slice
+/// contracts are identical to the Reference chunk kernel's.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn gemm_chunk(
+    a: &Matrix,
+    b: &[f32],
+    pack: &[f32],
+    r0: usize,
+    chunk: &mut [f32],
+    n: usize,
+    k: usize,
+) {
+    let rows = chunk.len() / n;
+    let strips = n / NR;
+    let per_panel = panel_width(k) / NR;
+    let pf = std::mem::size_of_val(chunk) >= PF_MIN_BYTES;
+    let wide = crate::backend::cpu_features().avx512f;
+    let mut ib = 0;
+    while ib < rows {
+        let ie = (ib + IC).min(rows);
+        let mut sb = 0;
+        while sb < strips {
+            let se = (sb + per_panel).min(strips);
+            let mut i = ib;
+            while i + MR_SIMD <= ie {
+                let ar = [
+                    a.row(r0 + i),
+                    a.row(r0 + i + 1),
+                    a.row(r0 + i + 2),
+                    a.row(r0 + i + 3),
+                    a.row(r0 + i + 4),
+                    a.row(r0 + i + 5),
+                ];
+                let mut s = sb;
+                while wide && s + 2 <= se {
+                    if pf && s + PF_STRIPS < se {
+                        prefetch_tile(chunk.as_ptr(), n, i, (s + PF_STRIPS) * NR);
+                        prefetch_tile(chunk.as_ptr(), n, i, (s + 1 + PF_STRIPS) * NR);
+                    }
+                    micro_6x32(
+                        ar,
+                        &pack[s * k * NR..(s + 1) * k * NR],
+                        &pack[(s + 1) * k * NR..(s + 2) * k * NR],
+                        n,
+                        s * NR,
+                        chunk,
+                        i,
+                    );
+                    s += 2;
+                }
+                while s < se {
+                    if pf && s + PF_STRIPS < se {
+                        prefetch_tile(chunk.as_ptr(), n, i, (s + PF_STRIPS) * NR);
+                    }
+                    let bp = &pack[s * k * NR..(s + 1) * k * NR];
+                    micro_6x16(ar, bp, n, s * NR, chunk, i);
+                    s += 1;
+                }
+                i += MR_SIMD;
+            }
+            while i < ie {
+                let ar = a.row(r0 + i);
+                let out_row = &mut chunk[i * n..(i + 1) * n];
+                for s in sb..se {
+                    micro_1x16(ar, &pack[s * k * NR..(s + 1) * k * NR], s * NR, out_row);
+                }
+                i += 1;
+            }
+            sb = se;
+        }
+        ib = ie;
+    }
+    let j0 = strips * NR;
+    if j0 < n {
+        for i in 0..rows {
+            edge_row(a.row(r0 + i), b, n, j0, n, &mut chunk[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+/// Simd twin of [`crate::dense::syrk_chunk`]: lower-triangle staircase with
+/// 6-row blocks; full strips run the FMA microkernel up to the first row's
+/// diagonal, the staircase past it stays on the scalar edge kernel.
+///
+/// # Safety
+/// As [`gemm_chunk`]; `bt` is the unpacked `Aᵀ` for the edge reads.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn syrk_chunk(
+    a: &Matrix,
+    bt: &[f32],
+    pack: &[f32],
+    r0: usize,
+    chunk: &mut [f32],
+    n: usize,
+    k: usize,
+) {
+    let rows = chunk.len() / n;
+    let mut i = 0;
+    while i + MR_SIMD <= rows {
+        let g = r0 + i;
+        let ar = [
+            a.row(g),
+            a.row(g + 1),
+            a.row(g + 2),
+            a.row(g + 3),
+            a.row(g + 4),
+            a.row(g + 5),
+        ];
+        let mut j = 0;
+        while j + NR <= g + 1 {
+            let s = j / NR;
+            micro_6x16(ar, &pack[s * k * NR..(s + 1) * k * NR], n, j, chunk, i);
+            j += NR;
+        }
+        for (ii, row) in ar.iter().enumerate() {
+            edge_row(row, bt, n, j, g + ii + 1, &mut chunk[(i + ii) * n..]);
+        }
+        i += MR_SIMD;
+    }
+    while i < rows {
+        let g = r0 + i;
+        let ar = a.row(g);
+        let out_row = &mut chunk[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + NR <= g + 1 {
+            let s = j / NR;
+            micro_1x16(ar, &pack[s * k * NR..(s + 1) * k * NR], j, out_row);
+            j += NR;
+        }
+        edge_row(ar, bt, n, j, g + 1, out_row);
+        i += 1;
+    }
+}

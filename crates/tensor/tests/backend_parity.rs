@@ -1,0 +1,316 @@
+//! Simd-backend validation suite: the AVX2/FMA kernels are *not* bit-exact
+//! against Reference (FMA contraction + 8-lane partial sums reorder the
+//! additions), so this suite proves the two stronger properties the backend
+//! contract actually needs:
+//!
+//! 1. **Tolerance parity** — every dispatched kernel (matmul, matmul_nt,
+//!    matmul_tn, SYRK, dot, row_max) matches Reference within an
+//!    accumulation-scaled tolerance, across random shapes straddling the
+//!    6-row/16-column microkernel edges, at 1 and 8 threads.
+//! 2. **Gradient correctness** — finite-difference gradchecks run entirely
+//!    under the Simd backend, through tape graphs whose forward/backward
+//!    hit the simd gemm path (matmul, matmul_nt) and the SYRK path
+//!    (`adj_recon` and `info_nce` self-Gram products).
+//!
+//! Plus the dispatch contract: `GCMAE_KERNEL_BACKEND` selects the backend in
+//! a fresh process, and requesting Simd on an unsupported host degrades to
+//! Reference instead of faulting.
+//!
+//! On hosts without AVX2+FMA the parity tests compare Reference against
+//! itself (the dispatch demotes Simd), which keeps the suite portable.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use gcmae_tensor::backend::{
+    active_backend, cpu_features, resolve_backend, set_backend, simd_supported,
+};
+use gcmae_tensor::ops::adj_recon;
+use gcmae_tensor::parallel::set_num_threads;
+use gcmae_tensor::{backend, dense, Backend, CsrMatrix, Matrix, Tape, TensorId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serializes tests that mutate the process-global backend / thread count.
+static GLOBAL_GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> MutexGuard<'static, ()> {
+    GLOBAL_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with the given backend forced, restoring Reference after.
+fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
+    set_backend(b);
+    let out = f();
+    set_backend(Backend::Reference);
+    out
+}
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    set_num_threads(n);
+    let out = f();
+    set_num_threads(0);
+    out
+}
+
+/// Element-wise closeness with a tolerance scaled by the accumulation length:
+/// FMA reassociation perturbs each output by O(k·eps·|value|).
+fn assert_close(label: &str, got: &Matrix, want: &Matrix, k: usize) {
+    assert_eq!(got.shape(), want.shape(), "{label}: shape mismatch");
+    let tol = 1e-5 * (k as f32).max(8.0);
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        let scale = w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= tol * scale,
+            "{label}: entry {i} diverges: simd {g} vs reference {w} (tol {tol})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All four dispatched gemm shapes agree with Reference within tolerance
+    /// at 1 and 8 threads, on shapes straddling the microkernel edges.
+    #[test]
+    fn gemm_family_matches_reference_within_tolerance(
+        m in 1usize..70,
+        k in 1usize..48,
+        n in 1usize..70,
+        seed in 0u64..1_000,
+    ) {
+        let _g = guard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(k, n, -1.0, 1.0, &mut rng);
+        let bt = b.transposed();
+        let at = a.transposed();
+        for threads in [1usize, 8] {
+            let (r_nn, r_nt, r_tn, r_syrk) = with_threads(threads, || {
+                with_backend(Backend::Reference, || {
+                    (
+                        dense::matmul(&a, &b),
+                        dense::matmul_nt(&a, &bt),
+                        dense::matmul_tn(&at, &b),
+                        dense::syrk_nt(&a),
+                    )
+                })
+            });
+            let (s_nn, s_nt, s_tn, s_syrk) = with_threads(threads, || {
+                with_backend(Backend::Simd, || {
+                    (
+                        dense::matmul(&a, &b),
+                        dense::matmul_nt(&a, &bt),
+                        dense::matmul_tn(&at, &b),
+                        dense::syrk_nt(&a),
+                    )
+                })
+            });
+            assert_close(&format!("matmul t={threads}"), &s_nn, &r_nn, k);
+            assert_close(&format!("matmul_nt t={threads}"), &s_nt, &r_nt, k);
+            assert_close(&format!("matmul_tn t={threads}"), &s_tn, &r_tn, m);
+            assert_close(&format!("syrk t={threads}"), &s_syrk, &r_syrk, k);
+        }
+    }
+
+    /// The dispatched reductions (dot, row_max) agree with their scalar
+    /// definitions under the Simd backend.
+    #[test]
+    fn reductions_match_reference_within_tolerance(
+        len in 1usize..300,
+        seed in 0u64..1_000,
+    ) {
+        let _g = guard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::uniform(1, len, -1.0, 1.0, &mut rng);
+        let b = Matrix::uniform(1, len, -1.0, 1.0, &mut rng);
+        let (r_dot, r_max) = with_backend(Backend::Reference, || {
+            (backend::dot(a.as_slice(), b.as_slice()), backend::row_max(a.as_slice()))
+        });
+        let (s_dot, s_max) = with_backend(Backend::Simd, || {
+            (backend::dot(a.as_slice(), b.as_slice()), backend::row_max(a.as_slice()))
+        });
+        let tol = 1e-5 * (len as f32).max(8.0);
+        prop_assert!((s_dot - r_dot).abs() <= tol * r_dot.abs().max(1.0));
+        // max picks one input element; no rounding is involved on any path.
+        prop_assert_eq!(s_max.to_bits(), r_max.to_bits());
+    }
+}
+
+/// Checks `d loss / d leaf_k` against central finite differences, with the
+/// whole computation (forward, backward, and both perturbed re-evaluations)
+/// running under the currently forced backend.
+fn gradcheck(leaves: &[Matrix], build: impl Fn(&mut Tape, &[TensorId]) -> TensorId, tol: f32) {
+    let run = |ls: &[Matrix]| -> (f32, Vec<Option<Matrix>>) {
+        let mut tape = Tape::new();
+        let ids: Vec<TensorId> = ls.iter().map(|m| tape.leaf(m.clone())).collect();
+        let loss = build(&mut tape, &ids);
+        let value = tape.value(loss).scalar_value();
+        let grads = tape.backward(loss);
+        let gs = ids.iter().map(|&id| grads.get(id).cloned()).collect();
+        (value, gs)
+    };
+    let (_, grads) = run(leaves);
+    let h = 1e-3f32;
+    for (k, leaf) in leaves.iter().enumerate() {
+        let g = grads[k]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no grad for leaf {k}"));
+        for i in 0..leaf.len() {
+            let mut ls: Vec<Matrix> = leaves.to_vec();
+            ls[k].as_mut_slice()[i] += h;
+            let (lp, _) = run(&ls);
+            ls[k].as_mut_slice()[i] -= 2.0 * h;
+            let (lm, _) = run(&ls);
+            let fd = (lp - lm) / (2.0 * h);
+            let an = g.as_slice()[i];
+            assert!(
+                (fd - an).abs() < tol,
+                "leaf {k} entry {i}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+}
+
+/// Symmetric 6-node cycle adjacency (no self loops) for the adj_recon check.
+fn cycle_csr(n: usize) -> Arc<CsrMatrix> {
+    let mut t = Vec::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        t.push((i, j, 1.0));
+        t.push((j, i, 1.0));
+    }
+    Arc::new(CsrMatrix::from_triplets(n, n, &t))
+}
+
+/// Gradients through the Simd gemm path: `frob_sq(A·B)` exercises matmul
+/// forward plus matmul_nt/matmul_tn in backward.
+#[test]
+fn gradcheck_matmul_chain_under_simd() {
+    let _g = guard();
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = Matrix::uniform(7, 5, -0.8, 0.8, &mut rng);
+    let b = Matrix::uniform(5, 6, -0.8, 0.8, &mut rng);
+    with_backend(Backend::Simd, || {
+        gradcheck(
+            &[a, b],
+            |tape, ids| {
+                let prod = tape.matmul(ids[0], ids[1]);
+                tape.frob_sq(prod)
+            },
+            2e-2,
+        );
+    });
+}
+
+/// Gradients through the Simd SYRK path: `adj_recon` and `info_nce` both
+/// compute a self-Gram `Z·Zᵀ` that GramCache routes to `syrk_nt`.
+#[test]
+fn gradcheck_self_gram_losses_under_simd() {
+    let _g = guard();
+    let mut rng = StdRng::seed_from_u64(12);
+    let n = 6;
+    let z = Matrix::uniform(n, 4, -0.8, 0.8, &mut rng);
+    let u = Matrix::uniform(5, 4, -0.8, 0.8, &mut rng);
+    let v = Matrix::uniform(5, 4, -0.8, 0.8, &mut rng);
+    let adj = cycle_csr(n);
+    with_backend(Backend::Simd, || {
+        let adj2 = Arc::clone(&adj);
+        gradcheck(
+            &[z],
+            move |tape, ids| {
+                let (loss, _) = tape.adj_recon(ids[0], adj2.clone(), Default::default());
+                loss
+            },
+            3e-2,
+        );
+        gradcheck(
+            &[u, v],
+            |tape, ids| tape.info_nce(ids[0], ids[1], 0.5),
+            3e-2,
+        );
+    });
+}
+
+/// Tolerance parity for the fused losses themselves (forward + backward)
+/// between the two backends — the end-to-end form of the kernel parity above.
+#[test]
+fn adj_recon_loss_and_grad_parity() {
+    let _g = guard();
+    let mut rng = StdRng::seed_from_u64(13);
+    let n = 24;
+    let z = Matrix::uniform(n, 8, -1.0, 1.0, &mut rng);
+    let adj = cycle_csr(n);
+    let eval = |b: Backend| {
+        with_backend(b, || {
+            let w = adj_recon::Weights::default();
+            let (loss, _, state) = adj_recon::forward(&z, adj.clone(), w);
+            let grad = adj_recon::backward(&state, &z, 1.0);
+            (loss, grad)
+        })
+    };
+    let (rl, rg) = eval(Backend::Reference);
+    let (sl, sg) = eval(Backend::Simd);
+    assert!(
+        (rl - sl).abs() <= 1e-4 * rl.abs().max(1.0),
+        "loss diverges: {sl} vs {rl}"
+    );
+    assert_close("adj_recon grad", &sg, &rg, n);
+}
+
+#[test]
+fn forcing_simd_activates_exactly_when_supported() {
+    let _g = guard();
+    let got = with_backend(Backend::Simd, active_backend);
+    assert_eq!(got, resolve_backend(Backend::Simd, simd_supported()));
+    let f = cpu_features();
+    if f.avx2 && f.fma {
+        assert_eq!(got, Backend::Simd, "AVX2+FMA host must honor the request");
+    } else {
+        assert_eq!(got, Backend::Reference, "unsupported host must fall back");
+    }
+    // Reference is always available.
+    assert_eq!(with_backend(Backend::Reference, active_backend), Backend::Reference);
+}
+
+/// Helper target for the subprocess test below: prints the requested backend
+/// as this process resolved it from its environment. Ignored in normal runs.
+#[test]
+#[ignore]
+fn env_probe() {
+    println!("requested={}", backend::requested_backend());
+}
+
+/// `GCMAE_KERNEL_BACKEND` must select the backend in a fresh process, and an
+/// unparseable value must fall back to the default instead of erroring. The
+/// env var is read once and cached, so the test re-execs this binary with a
+/// controlled environment rather than mutating its own.
+#[test]
+fn env_var_selects_backend_in_fresh_process() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let probe = |env: Option<&str>| -> String {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(["env_probe", "--ignored", "--exact", "--nocapture", "--test-threads=1"])
+            .env_remove("GCMAE_KERNEL_BACKEND");
+        if let Some(v) = env {
+            cmd.env("GCMAE_KERNEL_BACKEND", v);
+        }
+        let out = cmd.output().expect("spawn env probe");
+        assert!(out.status.success(), "probe failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        // libtest may glue the probe println onto its own status line, so
+        // split on the marker instead of matching a line prefix.
+        stdout
+            .split_once("requested=")
+            .unwrap_or_else(|| panic!("no probe marker in output:\n{stdout}"))
+            .1
+            .split_whitespace()
+            .next()
+            .expect("backend name after marker")
+            .to_string()
+    };
+    assert_eq!(probe(Some("simd")), "simd");
+    assert_eq!(probe(Some("reference")), "reference");
+    assert_eq!(probe(Some("not-a-backend")), "reference", "typos must not change the default");
+    assert_eq!(probe(None), "reference");
+}

@@ -14,6 +14,10 @@ use proptest::prelude::*;
 static THREADS_GUARD: Mutex<()> = Mutex::new(());
 
 fn guard() -> MutexGuard<'static, ()> {
+    // Bitwise comparison against the pre-optimization reference kernels is
+    // a Reference-backend contract (the Simd backend is tolerance-validated
+    // in backend_parity.rs), so pin Reference even under GCMAE_KERNEL_BACKEND.
+    gcmae_tensor::backend::set_backend(gcmae_tensor::Backend::Reference);
     THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner())
 }
 

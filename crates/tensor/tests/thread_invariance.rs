@@ -15,6 +15,10 @@ use proptest::prelude::*;
 static THREADS_GUARD: Mutex<()> = Mutex::new(());
 
 fn guard() -> MutexGuard<'static, ()> {
+    // Bit-identity across thread counts is a Reference-backend contract
+    // (the Simd backend has its own tolerance suite in backend_parity.rs),
+    // so the whole binary pins Reference even under GCMAE_KERNEL_BACKEND.
+    gcmae_tensor::backend::set_backend(gcmae_tensor::Backend::Reference);
     THREADS_GUARD.lock().unwrap_or_else(|e| e.into_inner())
 }
 

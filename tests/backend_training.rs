@@ -1,0 +1,92 @@
+//! End-to-end backend sanity: a full GCMAE pre-training run under the Simd
+//! backend must land where the Reference run lands — same loss trajectory
+//! within rounding-accumulation noise, and a linear probe within noise of
+//! the Reference probe. This is the system-level complement to the kernel
+//! tolerance parity in `crates/tensor/tests/backend_parity.rs`: it proves
+//! the relaxed floating-point semantics do not alter training dynamics.
+//!
+//! On hosts without AVX2+FMA the Simd request demotes to Reference and the
+//! comparisons become exact — the test stays portable.
+
+use gcmae_repro::core::{GcmaeConfig, TrainOutput, TrainSession};
+use gcmae_repro::eval::{linear_probe, ProbeConfig};
+use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
+use gcmae_repro::graph::splits::planetoid_split;
+use gcmae_repro::graph::Dataset;
+use gcmae_repro::tensor::Backend;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smoke_dataset() -> Dataset {
+    generate(&CitationSpec::cora().scaled(0.06), 42)
+}
+
+fn smoke_config() -> GcmaeConfig {
+    GcmaeConfig {
+        epochs: 30,
+        hidden_dim: 32,
+        proj_dim: 16,
+        adj_sample: 128,
+        ..GcmaeConfig::default()
+    }
+}
+
+fn pretrain(ds: &Dataset, backend: Backend, seed: u64) -> TrainOutput {
+    TrainSession::new(&smoke_config())
+        .seed(seed)
+        .backend(backend)
+        .run(ds)
+        .expect("unguarded session cannot fail")
+}
+
+fn probe_accuracy(ds: &Dataset, out: &TrainOutput) -> f64 {
+    let mut rng = StdRng::seed_from_u64(7);
+    let split = planetoid_split(&ds.labels, ds.num_classes, 8, 30, &mut rng);
+    linear_probe(
+        &out.embeddings,
+        &ds.labels,
+        ds.num_classes,
+        &split,
+        &ProbeConfig::default(),
+        0,
+    )
+    .accuracy
+}
+
+#[test]
+fn simd_training_matches_reference_within_noise() {
+    let ds = smoke_dataset();
+    let reference = pretrain(&ds, Backend::Reference, 0);
+    let simd = pretrain(&ds, Backend::Simd, 0);
+
+    // Same seed, same data, same number of epochs recorded.
+    assert_eq!(reference.history.len(), simd.history.len());
+
+    // The loss trajectories must track each other closely: kernel-level
+    // rounding differences compound across epochs, but they must not change
+    // where optimization goes. 2% relative on every epoch's total is far
+    // tighter than run-to-run seed variance.
+    for (e, (r, s)) in reference.history.iter().zip(&simd.history).enumerate() {
+        let tol = 0.02 * r.total.abs().max(1.0);
+        assert!(
+            (r.total - s.total).abs() <= tol,
+            "epoch {e}: reference loss {} vs simd loss {}",
+            r.total,
+            s.total
+        );
+    }
+
+    // Downstream quality: the Simd probe must be within noise of Reference
+    // and must clear the same beats-chance bar the Reference pipeline does.
+    let acc_ref = probe_accuracy(&ds, &reference);
+    let acc_simd = probe_accuracy(&ds, &simd);
+    let chance = 1.0 / ds.num_classes as f64;
+    assert!(
+        acc_simd > chance * 1.8,
+        "simd probe accuracy {acc_simd} vs chance {chance}"
+    );
+    assert!(
+        (acc_ref - acc_simd).abs() <= 0.10,
+        "probe accuracy diverged: reference {acc_ref} vs simd {acc_simd}"
+    );
+}

@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# Offline build + test driver: compiles the workspace with bare rustc against
+# the stub crates in ./stubs, bypassing the cargo registry entirely.
+#
+#   tools/offline-harness/build.sh            # build libs + tests + bins
+#   tools/offline-harness/build.sh run-tests  # ...then run every test binary
+#   tools/offline-harness/build.sh bins       # build only the release bins
+#
+# Artifacts land in target/offline/ (gitignored). See README.md here for the
+# stub-fidelity contract.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+STUBS="$ROOT/tools/offline-harness/stubs"
+OUT="${OUT:-$ROOT/target/offline}"
+mkdir -p "$OUT" "$OUT/tests" "$OUT/bins"
+
+RUSTC="${RUSTC:-rustc}"
+# -O everywhere: the property suites are too slow unoptimised on one core.
+# codegen-units=1 matches [profile.release] so bin timings are representative.
+FLAGS=(--edition=2021 -O -C codegen-units=1 -L "$OUT")
+
+# --extern table (filled in as crates build).
+declare -A EXT
+ext() { # ext <names...> -> "--extern a=... --extern b=..."
+    local out=()
+    for n in "$@"; do out+=(--extern "$n=${EXT[$n]}"); done
+    echo "${out[@]}"
+}
+
+lib() { # lib <crate_name> <src> <deps...>
+    local name=$1 src=$2; shift 2
+    echo "lib   $name"
+    # shellcheck disable=SC2046
+    "$RUSTC" "${FLAGS[@]}" --crate-type lib --crate-name "$name" "$src" \
+        --out-dir "$OUT" $(ext "$@")
+    EXT[$name]="$OUT/lib$name.rlib"
+}
+
+tbin() { # tbin <out_name> <crate_name> <src> <deps...>
+    local out_name=$1 name=$2 src=$3; shift 3
+    echo "test  $out_name"
+    # shellcheck disable=SC2046
+    "$RUSTC" "${FLAGS[@]}" --test --crate-name "$name" "$src" \
+        -o "$OUT/tests/$out_name" $(ext "$@")
+}
+
+rbin() { # rbin <out_name> <src> <deps...>
+    local out_name=$1 src=$2; shift 2
+    echo "bin   $out_name"
+    # shellcheck disable=SC2046
+    "$RUSTC" "${FLAGS[@]}" --crate-name "${out_name//-/_}" "$src" \
+        -o "$OUT/bins/$out_name" $(ext "$@")
+}
+
+build_stubs() {
+    lib rand "$STUBS/rand.rs"
+    lib bytes "$STUBS/bytes.rs"
+    lib proptest "$STUBS/proptest.rs" rand
+    echo "lib   serde_derive (proc-macro)"
+    "$RUSTC" --edition=2021 -O --crate-type proc-macro --crate-name serde_derive \
+        "$STUBS/serde_derive.rs" --out-dir "$OUT"
+    EXT[serde_derive]="$OUT/libserde_derive.so"
+    lib serde "$STUBS/serde.rs" serde_derive
+    lib serde_json "$STUBS/serde_json.rs" serde
+}
+
+build_libs() {
+    lib gcmae_obs "$ROOT/crates/obs/src/lib.rs"
+    lib gcmae_tensor "$ROOT/crates/tensor/src/lib.rs" gcmae_obs rand
+    lib gcmae_graph "$ROOT/crates/graph/src/lib.rs" gcmae_tensor rand
+    lib gcmae_nn "$ROOT/crates/nn/src/lib.rs" gcmae_tensor gcmae_graph rand bytes
+    lib gcmae_core "$ROOT/crates/core/src/lib.rs" \
+        gcmae_obs gcmae_tensor gcmae_graph gcmae_nn rand serde
+    lib gcmae_eval "$ROOT/crates/eval/src/lib.rs" gcmae_tensor gcmae_graph gcmae_nn rand
+    lib gcmae_baselines "$ROOT/crates/baselines/src/lib.rs" \
+        gcmae_tensor gcmae_graph gcmae_nn rand
+    lib gcmae_serve "$ROOT/crates/serve/src/lib.rs" \
+        gcmae_obs gcmae_tensor gcmae_graph gcmae_nn gcmae_core rand bytes
+    lib gcmae_bench "$ROOT/crates/bench/src/lib.rs" \
+        gcmae_obs gcmae_tensor gcmae_graph gcmae_nn gcmae_core gcmae_baselines \
+        gcmae_eval rand serde serde_json
+    lib gcmae_repro "$ROOT/src/lib.rs" \
+        gcmae_obs gcmae_tensor gcmae_graph gcmae_nn gcmae_core gcmae_baselines \
+        gcmae_eval gcmae_serve rand
+}
+
+ALL_DEPS=(gcmae_obs gcmae_tensor gcmae_graph gcmae_nn gcmae_core
+    gcmae_baselines gcmae_eval gcmae_serve gcmae_bench gcmae_repro
+    rand bytes proptest serde serde_json)
+
+build_tests() {
+    # Unit tests: each crate's lib compiled with --test (dev-deps included).
+    tbin unit_obs gcmae_obs "$ROOT/crates/obs/src/lib.rs"
+    tbin unit_tensor gcmae_tensor "$ROOT/crates/tensor/src/lib.rs" gcmae_obs rand proptest
+    tbin unit_graph gcmae_graph "$ROOT/crates/graph/src/lib.rs" gcmae_tensor rand proptest
+    tbin unit_nn gcmae_nn "$ROOT/crates/nn/src/lib.rs" \
+        gcmae_tensor gcmae_graph rand bytes proptest
+    tbin unit_core gcmae_core "$ROOT/crates/core/src/lib.rs" \
+        gcmae_obs gcmae_tensor gcmae_graph gcmae_nn rand serde proptest serde_json
+    tbin unit_eval gcmae_eval "$ROOT/crates/eval/src/lib.rs" \
+        gcmae_tensor gcmae_graph gcmae_nn rand proptest
+    tbin unit_baselines gcmae_baselines "$ROOT/crates/baselines/src/lib.rs" \
+        gcmae_tensor gcmae_graph gcmae_nn rand proptest gcmae_eval
+    tbin unit_serve gcmae_serve "$ROOT/crates/serve/src/lib.rs" \
+        gcmae_obs gcmae_tensor gcmae_graph gcmae_nn gcmae_core rand bytes
+    tbin unit_bench gcmae_bench "$ROOT/crates/bench/src/lib.rs" \
+        gcmae_obs gcmae_tensor gcmae_graph gcmae_nn gcmae_core gcmae_baselines \
+        gcmae_eval rand serde serde_json
+    tbin unit_repro gcmae_repro "$ROOT/src/lib.rs" "${ALL_DEPS[@]:0:8}" rand proptest bytes
+
+    # Integration tests.
+    local t
+    for t in "$ROOT"/crates/tensor/tests/*.rs; do
+        tbin "tensor_$(basename "$t" .rs)" "$(basename "$t" .rs)" "$t" \
+            gcmae_tensor gcmae_obs rand proptest
+    done
+    for t in "$ROOT"/crates/core/tests/*.rs; do
+        tbin "core_$(basename "$t" .rs)" "$(basename "$t" .rs)" "$t" \
+            gcmae_core gcmae_obs gcmae_tensor gcmae_graph gcmae_nn rand serde \
+            serde_json proptest
+    done
+    for t in "$ROOT"/tests/*.rs; do
+        tbin "repro_$(basename "$t" .rs)" "$(basename "$t" .rs)" "$t" "${ALL_DEPS[@]}"
+    done
+}
+
+build_bins() {
+    rbin bench_kernels "$ROOT/crates/bench/src/bin/bench_kernels.rs" "${ALL_DEPS[@]}"
+    rbin gcmae-serve "$ROOT/crates/serve/src/bin/gcmae_serve.rs" "${ALL_DEPS[@]:0:8}" rand bytes
+    rbin bench_serve "$ROOT/crates/serve/src/bin/bench_serve.rs" "${ALL_DEPS[@]:0:8}" rand bytes
+}
+
+build_examples() {
+    local e
+    for e in "$ROOT"/examples/*.rs; do
+        rbin "example_$(basename "$e" .rs)" "$e" "${ALL_DEPS[@]}"
+    done
+}
+
+run_tests() {
+    local bin rc=0
+    for bin in "$OUT"/tests/*; do
+        [ -x "$bin" ] || continue
+        echo "== $(basename "$bin")"
+        "$bin" --test-threads=1 -q || rc=1
+    done
+    return $rc
+}
+
+case "${1:-all}" in
+all)
+    build_stubs
+    build_libs
+    build_tests
+    build_bins
+    build_examples
+    ;;
+libs)
+    build_stubs
+    build_libs
+    ;;
+tests)
+    build_stubs
+    build_libs
+    build_tests
+    ;;
+bins)
+    build_stubs
+    build_libs
+    build_bins
+    ;;
+run-tests)
+    run_tests
+    ;;
+*)
+    echo "usage: build.sh [all|libs|tests|bins|run-tests]" >&2
+    exit 2
+    ;;
+esac

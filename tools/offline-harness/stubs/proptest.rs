@@ -1,0 +1,276 @@
+//! Offline-build stub for the `proptest` crate: just enough surface for the
+//! workspace's property tests (`proptest!`, range/tuple/collection
+//! strategies, `prop_map`, `any`, `prop_assert*`). No shrinking — a failing
+//! case panics with the sampled inputs' debug output lost, which is
+//! acceptable for an offline compile-and-run gate. See
+//! tools/offline-harness/README.md.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub use rand::rngs::StdRng;
+
+/// Runner configuration (`with_cases` is the only knob the workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { s: self, f }
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    s: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.s.sample_value(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for a primitive.
+pub struct Any<T>(PhantomData<T>);
+
+macro_rules! any_impl {
+    ($($t:ty => $s:expr),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                let f: fn(&mut StdRng) -> $t = $s;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(PhantomData)
+            }
+        }
+    )*};
+}
+any_impl!(
+    u64 => |r| rand::Rng::gen::<u64>(r),
+    u32 => |r| rand::Rng::gen::<u32>(r),
+    bool => |r| rand::Rng::gen::<bool>(r),
+    f32 => |r| rand::Rng::gen::<f32>(r),
+    usize => |r| rand::Rng::gen::<u64>(r) as usize
+);
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// `proptest::num::<ty>::ANY` constants.
+pub mod num {
+    pub mod u64 {
+        pub const ANY: crate::Any<u64> = crate::Any(std::marker::PhantomData);
+    }
+    pub mod u32 {
+        pub const ANY: crate::Any<u32> = crate::Any(std::marker::PhantomData);
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{BTreeSet, Strategy};
+
+    /// Size argument: a fixed length or a half-open range of lengths.
+    pub trait IntoSize: Clone {
+        fn pick(&self, rng: &mut super::StdRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn pick(&self, _rng: &mut super::StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut super::StdRng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        s: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSize> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut super::StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.s.sample_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, Z: IntoSize>(s: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { s, size }
+    }
+
+    pub struct BTreeSetStrategy<S, Z> {
+        s: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSize> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample_value(&self, rng: &mut super::StdRng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Bounded retry: duplicate draws must not shrink the set below
+            // the requested size forever, but tiny domains must not loop.
+            let mut attempts = 0;
+            while out.len() < n && attempts < 64 * (n + 1) {
+                out.insert(self.s.sample_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    pub fn btree_set<S: Strategy, Z: IntoSize>(s: S, size: Z) -> BTreeSetStrategy<S, Z>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { s, size }
+    }
+}
+
+/// Deterministic per-test seed (FNV-1a over the test name).
+pub fn test_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fresh RNG for one property test.
+pub fn test_rng(name: &str) -> StdRng {
+    <StdRng as rand::SeedableRng>::seed_from_u64(test_seed(name))
+}
+
+/// Sampling helper so the `proptest!` expansion stays path-hygienic.
+pub fn sample<S: Strategy>(s: &S, rng: &mut StdRng) -> S::Value {
+    s.sample_value(rng)
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Prelude mirroring `proptest::prelude::*` for the used surface.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}

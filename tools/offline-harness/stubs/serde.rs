@@ -1,0 +1,92 @@
+//! Offline-build stub for `serde` (with the `derive` feature): a simplified
+//! `Serialize` trait that renders JSON directly (`to_json`), plus the derive
+//! re-exports. `Deserialize` is a marker — the workspace never parses.
+//! See tools/offline-harness/README.md.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Simplified stand-in for serde's `Serialize`: render as a JSON value.
+pub trait Serialize {
+    fn to_json(&self) -> String;
+}
+
+/// Marker stand-in for serde's `Deserialize` (never used at runtime).
+pub trait Deserialize<'de> {}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+ser_int!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64, bool);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> String {
+                if self.is_finite() {
+                    self.to_string()
+                } else {
+                    "null".to_string()
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_json(&self) -> String {
+        escape(self)
+    }
+}
+
+impl Serialize for &str {
+    fn to_json(&self) -> String {
+        escape(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> String {
+        let inner: Vec<String> = self.iter().map(Serialize::to_json).collect();
+        format!("[{}]", inner.join(","))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(v) => v.to_json(),
+            None => "null".to_string(),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,168 @@
+//! Offline-build stub for `serde_derive`: a dependency-free proc-macro that
+//! implements the harness's simplified `serde::Serialize` trait (JSON via
+//! `to_json`) for non-generic structs with named fields and enums with
+//! unit/struct variants — the only shapes this workspace derives.
+//! `#[derive(Deserialize)]` expands to nothing (the workspace never
+//! deserializes). See tools/offline-harness/README.md.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes/visibility until `struct` or `enum`.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + bracket group
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => i += 1,
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => break "struct",
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => break "enum",
+            _ => i += 1,
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, got {t}"),
+    };
+    // Find the brace body (skips nothing else: the workspace derives no
+    // generic types).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no body on {name}"));
+
+    let out = if kind == "struct" {
+        let fields = parse_named_fields(body);
+        let mut code = format!(
+            "impl serde::Serialize for {name} {{ fn to_json(&self) -> String {{ \
+             let mut s = String::from(\"{{\");"
+        );
+        for (idx, f) in fields.iter().enumerate() {
+            if idx > 0 {
+                code.push_str("s.push(',');");
+            }
+            code.push_str(&format!(
+                "s.push_str(\"\\\"{f}\\\":\"); \
+                 s.push_str(&serde::Serialize::to_json(&self.{f}));"
+            ));
+        }
+        code.push_str("s.push('}'); s } }");
+        code
+    } else {
+        let variants = parse_variants(body);
+        let mut arms = String::new();
+        for (vname, vfields) in &variants {
+            if vfields.is_empty() {
+                arms.push_str(&format!(
+                    "{name}::{vname} => \"\\\"{vname}\\\"\".to_string(),"
+                ));
+            } else {
+                let binders = vfields.join(", ");
+                let mut inner = format!(
+                    "{name}::{vname} {{ {binders} }} => {{ \
+                     let mut s = String::from(\"{{\\\"{vname}\\\":{{\");"
+                );
+                for (idx, f) in vfields.iter().enumerate() {
+                    if idx > 0 {
+                        inner.push_str("s.push(',');");
+                    }
+                    inner.push_str(&format!(
+                        "s.push_str(\"\\\"{f}\\\":\"); \
+                         s.push_str(&serde::Serialize::to_json({f}));"
+                    ));
+                }
+                inner.push_str("s.push_str(\"}}\"); s },");
+                arms.push_str(&inner);
+            }
+        }
+        format!(
+            "impl serde::Serialize for {name} {{ fn to_json(&self) -> String {{ \
+             match self {{ {arms} }} }} }}"
+        )
+    };
+    out.parse().expect("generated impl parses")
+}
+
+/// Field names of a named-field body: `(attr)* (pub)? name : type ,`*.
+/// Types are skipped with angle-bracket-depth tracking.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => i += 1,
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // expect ':', then skip the type up to a top-level ','
+                debug_assert!(matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'));
+                i += 1;
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// Variants of an enum body: name → field names (empty for unit variants).
+fn parse_variants(body: TokenStream) -> Vec<(String, Vec<String>)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                let mut vfields = Vec::new();
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Brace {
+                        vfields = parse_named_fields(g.stream());
+                    }
+                    i += 1;
+                }
+                variants.push((vname, vfields));
+                // skip to after the variant separator
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}

@@ -1,0 +1,19 @@
+//! Offline-build stub for `serde_json`: `to_string` over the harness's
+//! simplified `serde::Serialize`. See tools/offline-harness/README.md.
+
+/// Serialization error (never produced by the stub, kept for signature
+/// compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json())
+}
