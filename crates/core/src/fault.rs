@@ -133,6 +133,41 @@ pub struct FaultPlan {
     pub truncate_checkpoint: bool,
 }
 
+/// Deterministic fault-injection schedule for the *serving* read path —
+/// the [`FaultPlan`] idea extended from training to inference. A serving
+/// engine carrying a plan fails (or panics inside) scheduled read queries so
+/// chaos harnesses and tests can prove that engine faults are contained to
+/// the offending request: the scheduler must answer with a typed error and
+/// keep serving, never crash or wedge the process.
+///
+/// Counting is engine-local and 1-based: the k-th read query issued against
+/// the engine after the plan is installed trips the fault.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Fail every k-th read query with a transient injected error (`k >= 1`).
+    pub fail_read_every: Option<u64>,
+    /// Panic inside the k-th read query. Fires at most once; the serving
+    /// scheduler must catch it, convert it to an error response, and stay up.
+    pub panic_read_at: Option<u64>,
+}
+
+impl ServeFaultPlan {
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.fail_read_every.is_none() && self.panic_read_at.is_none()
+    }
+
+    /// Evaluates the plan for read query number `count` (1-based). Returns
+    /// `true` when that query must fail with an injected error; panics when
+    /// the one-shot panic is scheduled for it.
+    pub fn should_fail_read(&self, count: u64) -> bool {
+        if self.panic_read_at == Some(count) {
+            panic!("injected serve-read fault at query {count}");
+        }
+        matches!(self.fail_read_every, Some(k) if k > 0 && count % k == 0)
+    }
+}
+
 /// Panics inside a parallel job. The row count × per-row cost clears the
 /// pool's dispatch threshold, so with more than one thread configured the
 /// panic crosses a worker boundary and exercises payload resurfacing; with

@@ -34,7 +34,7 @@ pub mod trainer;
 
 pub use config::{EncoderChoice, FaultTolerance, GcmaeConfig};
 pub use encoder_variants::{train_variant, EncoderVariant};
-pub use fault::{FaultPlan, RollbackEvent, StepFault, StepGuard, TrainError};
+pub use fault::{FaultPlan, RollbackEvent, ServeFaultPlan, StepFault, StepGuard, TrainError};
 pub use graph_level::train_graph_level;
 pub use model::{Gcmae, LossBreakdown, StepReport};
 pub use session::TrainSession;

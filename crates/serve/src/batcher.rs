@@ -18,22 +18,54 @@
 //! accumulate in an instance-local [`Registry`] that the `metrics` op
 //! snapshots; an optional event [`Observer`] (e.g. a JSON-lines sink)
 //! receives one `serve.request` event per answered request.
+//!
+//! Fault tolerance (all opt-in via [`BatcherOptions`]):
+//!
+//! - **Load shedding** — with `max_queue > 0`, submissions beyond the bound
+//!   are rejected at admission with [`Response::Overloaded`] instead of
+//!   growing the queue without limit.
+//! - **Deadlines** — a request carrying `deadline_ms` that expires while
+//!   queued is answered [`Response::Expired`] and never reaches the engine
+//!   (expired mutations are dropped *unapplied* — they are safe to retry).
+//! - **Degraded reads** — with `stale_epochs > 0`, a drain that finds the
+//!   queue at least half the shed bound serves `embed` from cached rows up
+//!   to that many mutation epochs stale instead of running the encoder.
+//! - **Mutation WAL + dedup** — accepted mutations are appended to the
+//!   [`Wal`] (fsynced) before the ack is sent, and client-sequenced
+//!   mutations are deduplicated through a [`DedupTable`] so a retry after a
+//!   lost ack is answered from the record instead of re-applied.
+//! - **Panic containment** — a panic inside the engine (e.g. an injected
+//!   [`gcmae_core::ServeFaultPlan`] fault) is caught, answered as a typed
+//!   error to the one affected request, and the scheduler keeps serving.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gcmae_obs::{Observer, Registry, Value};
 
 use crate::engine::Engine;
-use crate::protocol::{Request, Response, ServerStats};
+use crate::protocol::{Request, RequestMeta, Response, ServerStats};
+use crate::wal::{DedupTable, DedupVerdict, Wal, WalRecord};
+
+/// Backoff hint attached to [`Response::Overloaded`] sheds.
+const SHED_RETRY_AFTER_MS: u64 = 10;
 
 struct Job {
     request: Request,
+    meta: RequestMeta,
+    deadline: Option<Instant>,
     tx: mpsc::Sender<Response>,
     enqueued: Instant,
+}
+
+impl Job {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
 }
 
 struct Queue {
@@ -46,10 +78,41 @@ struct Shared {
     cv: Condvar,
 }
 
+/// Scheduler configuration beyond the engine itself.
+pub struct BatcherOptions {
+    /// Read-coalescing cap (≥ 1; `1` disables micro-batching).
+    pub max_batch: usize,
+    /// Optional per-request event sink.
+    pub events: Option<Arc<dyn Observer>>,
+    /// Admission bound on the queue; `0` = unbounded (no shedding).
+    pub max_queue: usize,
+    /// Staleness budget (in mutation epochs) for degraded `embed` reads
+    /// under overload; `0` disables degradation.
+    pub stale_epochs: u64,
+    /// Mutation write-ahead log; `None` = mutations are memory-only.
+    pub wal: Option<Wal>,
+    /// Mutation dedup state, typically recovered by [`crate::wal::replay`].
+    pub dedup: DedupTable,
+}
+
+impl Default for BatcherOptions {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            events: None,
+            max_queue: 0,
+            stale_epochs: 0,
+            wal: None,
+            dedup: DedupTable::new(),
+        }
+    }
+}
+
 /// Handle to the scheduler thread. Clone-free: share it via `Arc`.
 pub struct Batcher {
     shared: Arc<Shared>,
     metrics: Arc<Registry>,
+    max_queue: usize,
     handle: Mutex<Option<JoinHandle<Engine>>>,
 }
 
@@ -59,7 +122,7 @@ impl Batcher {
     /// disables micro-batching (every request runs alone — the bench
     /// baseline).
     pub fn new(engine: Engine, max_batch: usize) -> Self {
-        Self::with_events(engine, max_batch, None)
+        Self::with_options(engine, BatcherOptions { max_batch, ..BatcherOptions::default() })
     }
 
     /// Starts a scheduler that additionally streams one `serve.request`
@@ -69,7 +132,15 @@ impl Batcher {
         max_batch: usize,
         events: Option<Arc<dyn Observer>>,
     ) -> Self {
-        assert!(max_batch >= 1, "max_batch must be at least 1");
+        Self::with_options(
+            engine,
+            BatcherOptions { max_batch, events, ..BatcherOptions::default() },
+        )
+    }
+
+    /// Starts a fully-configured scheduler.
+    pub fn with_options(engine: Engine, opts: BatcherOptions) -> Self {
+        assert!(opts.max_batch >= 1, "max_batch must be at least 1");
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
@@ -78,21 +149,27 @@ impl Batcher {
             cv: Condvar::new(),
         });
         let metrics = Arc::new(Registry::new());
+        let max_queue = opts.max_queue;
         let worker_shared = Arc::clone(&shared);
         let worker_metrics = Arc::clone(&metrics);
         let handle = std::thread::spawn(move || {
             let mut ctx = SchedCtx {
                 metrics: worker_metrics,
-                events,
+                events: opts.events,
                 batches: 0,
                 batched_jobs: 0,
-                max_batch,
+                max_batch: opts.max_batch,
+                max_queue: opts.max_queue,
+                stale_epochs: opts.stale_epochs,
+                wal: opts.wal,
+                dedup: opts.dedup,
             };
             scheduler_loop(engine, worker_shared, &mut ctx)
         });
         Self {
             shared,
             metrics,
+            max_queue,
             handle: Mutex::new(Some(handle)),
         }
     }
@@ -104,15 +181,36 @@ impl Batcher {
 
     /// Submits one request and blocks until its response is ready.
     pub fn submit(&self, request: Request) -> Response {
+        self.submit_with(request, RequestMeta::default())
+    }
+
+    /// Submits one request with header fields (deadline, client identity)
+    /// and blocks until its response is ready. May answer
+    /// [`Response::Overloaded`] immediately when the queue is at its bound.
+    pub fn submit_with(&self, request: Request, meta: RequestMeta) -> Response {
         let (tx, rx) = mpsc::channel();
+        let deadline = meta.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         {
             let mut q = self.shared.queue.lock().expect("queue poisoned");
             if q.stopping && matches!(request, Request::Shutdown) {
                 // Idempotent shutdown: don't enqueue into a draining queue.
                 return Response::ShutdownAck;
             }
+            // Admission control: shed everything except shutdown once the
+            // queue hits its bound. Counting here (under the queue lock)
+            // keeps the check and the rejection atomic.
+            if self.max_queue > 0
+                && q.jobs.len() >= self.max_queue
+                && !matches!(request, Request::Shutdown)
+            {
+                drop(q);
+                self.metrics.counter_add("serve.shed", 1);
+                return Response::Overloaded { retry_after_ms: SHED_RETRY_AFTER_MS };
+            }
             q.jobs.push_back(Job {
                 request,
+                meta,
+                deadline,
                 tx,
                 enqueued: Instant::now(),
             });
@@ -148,13 +246,29 @@ impl Drop for Batcher {
 }
 
 /// Scheduler-thread state: telemetry sinks plus the coalescing counters
-/// surfaced through the `stats` op.
+/// surfaced through the `stats` op, and the fault-tolerance machinery the
+/// scheduler owns (WAL, dedup table, degradation thresholds).
 struct SchedCtx {
     metrics: Arc<Registry>,
     events: Option<Arc<dyn Observer>>,
     batches: u64,
     batched_jobs: u64,
     max_batch: usize,
+    max_queue: usize,
+    stale_epochs: u64,
+    wal: Option<Wal>,
+    dedup: DedupTable,
+}
+
+/// Renders a caught panic payload for the error response.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Per-op counter names must be `'static` for the registry; the exhaustive
@@ -181,21 +295,46 @@ fn scheduler_loop(mut engine: Engine, shared: Arc<Shared>, ctx: &mut SchedCtx) -
                 q = shared.cv.wait(q).expect("queue poisoned");
             }
             if q.jobs.is_empty() && q.stopping {
+                // Graceful exit: everything queued has been answered. Make
+                // the WAL durable one final time before handing the engine
+                // back.
+                if let Some(wal) = &mut ctx.wal {
+                    let _ = wal.sync();
+                }
                 return engine;
             }
             q.jobs.drain(..).collect()
         };
+        // Expiry gate: requests whose deadline lapsed while queued never
+        // reach the engine. Expired mutations are dropped *unapplied* — the
+        // client knows nothing happened and can retry under a fresh budget.
+        let live: Vec<Job> = drained
+            .into_iter()
+            .filter_map(|job| {
+                if job.expired() && !matches!(job.request, Request::Shutdown) {
+                    ctx.metrics.counter_add("serve.expired", 1);
+                    finish(&job, Response::Expired, ctx);
+                    None
+                } else {
+                    Some(job)
+                }
+            })
+            .collect();
+        // Degraded mode: when sheds are configured and this drain shows the
+        // queue at least half the bound, serve embeds from bounded-stale
+        // cache rows instead of queueing encoder forwards.
+        let degraded = ctx.stale_epochs > 0
+            && ctx.max_queue > 0
+            && live.len() >= (ctx.max_queue / 2).max(1);
         let mut i = 0;
-        while i < drained.len() {
-            if drained[i].request.is_read_only() {
+        while i < live.len() {
+            if live[i].request.is_read_only() {
                 let mut j = i + 1;
-                while j < drained.len()
-                    && drained[j].request.is_read_only()
-                    && j - i < ctx.max_batch
+                while j < live.len() && live[j].request.is_read_only() && j - i < ctx.max_batch
                 {
                     j += 1;
                 }
-                let group = &drained[i..j];
+                let group = &live[i..j];
                 ctx.batches += 1;
                 ctx.batched_jobs += group.len() as u64;
                 ctx.metrics.counter_add("serve.batches", 1);
@@ -203,10 +342,10 @@ fn scheduler_loop(mut engine: Engine, shared: Arc<Shared>, ctx: &mut SchedCtx) -
                     .counter_add("serve.batched_jobs", group.len() as u64);
                 ctx.metrics
                     .histogram_record("serve.batch.jobs", group.len() as f64);
-                run_group(&mut engine, group, ctx);
+                run_group(&mut engine, group, degraded, ctx);
                 i = j;
             } else {
-                run_mutation(&mut engine, &drained[i], &shared, ctx);
+                run_mutation(&mut engine, &live[i], &shared, ctx);
                 i += 1;
             }
         }
@@ -214,13 +353,19 @@ fn scheduler_loop(mut engine: Engine, shared: Arc<Shared>, ctx: &mut SchedCtx) -
 }
 
 /// One coalesced group: a single prefetch covers every node the group
-/// touches, then each request is answered from cache.
-fn run_group(engine: &mut Engine, group: &[Job], ctx: &mut SchedCtx) {
+/// touches, then each request is answered from cache. Under `degraded`,
+/// `embed` requests skip the prefetch and are answered from bounded-stale
+/// cache rows instead.
+fn run_group(engine: &mut Engine, group: &[Job], degraded: bool, ctx: &mut SchedCtx) {
     let n = engine.graph().num_nodes();
     let mut wanted: Vec<usize> = Vec::new();
     for job in group {
         match &job.request {
-            Request::Embed { nodes } => wanted.extend(nodes.iter().copied()),
+            Request::Embed { nodes } => {
+                if !degraded {
+                    wanted.extend(nodes.iter().copied());
+                }
+            }
             Request::LinkScore { pairs } => {
                 wanted.extend(pairs.iter().flat_map(|&(u, v)| [u, v]));
             }
@@ -239,19 +384,118 @@ fn run_group(engine: &mut Engine, group: &[Job], ctx: &mut SchedCtx) {
     wanted.sort_unstable();
     wanted.dedup();
     if !wanted.is_empty() {
-        engine.prefetch(&wanted).expect("ids validated above");
+        // A panic here (engine fault mid-prefetch) is contained: each
+        // request then warms its own rows in `respond`, where a repeat
+        // panic is caught per-request.
+        if let Err(payload) =
+            catch_unwind(AssertUnwindSafe(|| engine.prefetch(&wanted)))
+        {
+            ctx.metrics.counter_add("serve.panics", 1);
+            let _ = panic_message(payload);
+        }
     }
     for job in group {
-        let response = respond(engine, &job.request, ctx);
+        let response = if degraded {
+            respond_degraded(engine, job, ctx)
+        } else {
+            respond_caught(engine, &job.request, ctx)
+        };
         finish(job, response, ctx);
+    }
+}
+
+/// Degraded-mode dispatch: `embed` is served from bounded-stale cache rows;
+/// every other read falls through to the normal (fresh) path.
+fn respond_degraded(engine: &mut Engine, job: &Job, ctx: &mut SchedCtx) -> Response {
+    let Request::Embed { nodes } = &job.request else {
+        return respond_caught(engine, &job.request, ctx);
+    };
+    let budget = ctx.stale_epochs;
+    let result = catch_unwind(AssertUnwindSafe(|| engine.embed_batch_stale(nodes, budget)));
+    match result {
+        Ok(Ok((m, stale_rows))) => {
+            ctx.metrics.counter_add("serve.stale.requests", 1);
+            ctx.metrics.counter_add("serve.stale.rows", stale_rows);
+            Response::Embeddings {
+                dim: m.cols(),
+                rows: (0..m.rows()).map(|r| m.row(r).to_vec()).collect(),
+            }
+        }
+        Ok(Err(e)) => Response::Error { message: e.to_string() },
+        Err(payload) => {
+            ctx.metrics.counter_add("serve.panics", 1);
+            Response::Error {
+                message: format!("engine fault contained: {}", panic_message(payload)),
+            }
+        }
+    }
+}
+
+/// Dispatches one request with panic containment: an engine panic answers
+/// only the offending request and leaves the scheduler (and every other
+/// queued request) running.
+fn respond_caught(engine: &mut Engine, request: &Request, ctx: &mut SchedCtx) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| respond(engine, request, ctx))) {
+        Ok(response) => response,
+        Err(payload) => {
+            ctx.metrics.counter_add("serve.panics", 1);
+            Response::Error {
+                message: format!("engine fault contained: {}", panic_message(payload)),
+            }
+        }
     }
 }
 
 fn run_mutation(engine: &mut Engine, job: &Job, shared: &Arc<Shared>, ctx: &mut SchedCtx) {
     if matches!(job.request, Request::Shutdown) {
         shared.queue.lock().expect("queue poisoned").stopping = true;
+        finish(job, respond_caught(engine, &job.request, ctx), ctx);
+        return;
     }
-    let response = respond(engine, &job.request, ctx);
+    let client = job.meta.client.unwrap_or(0);
+    let seq = job.meta.seq.unwrap_or(0);
+    // Sequenced mutations dedup against the client's last acknowledged seq:
+    // a retry after a lost ack must not re-apply.
+    match ctx.dedup.check(client, seq) {
+        DedupVerdict::Replay(recorded) => {
+            ctx.metrics.counter_add("serve.dedup_hits", 1);
+            finish(job, recorded, ctx);
+            return;
+        }
+        DedupVerdict::Stale { last } => {
+            let response = Response::Error {
+                message: format!("stale mutation seq {seq} (last acknowledged {last})"),
+            };
+            finish(job, response, ctx);
+            return;
+        }
+        DedupVerdict::Fresh => {}
+    }
+    let mut response = respond_caught(engine, &job.request, ctx);
+    // Durability before acknowledgment: the record must be on disk before
+    // the client can observe success. An append failure downgrades the ack
+    // to an error — the client retries, and dedup is only recorded for
+    // acknowledged mutations, so the retry resolves correctly either way.
+    if response.is_ok() {
+        if let Some(wal) = &mut ctx.wal {
+            let rec = WalRecord { client, seq, request: job.request.clone() };
+            match wal.append(&rec) {
+                Ok(bytes) => {
+                    ctx.metrics.counter_add("serve.wal.records", 1);
+                    ctx.metrics.counter_add("serve.wal.bytes", bytes);
+                }
+                Err(e) => {
+                    ctx.metrics.counter_add("serve.wal.errors", 1);
+                    response = Response::Error {
+                        message: format!("mutation applied but not durable: {e}"),
+                    };
+                }
+            }
+        }
+    }
+    if response.is_ok() {
+        ctx.dedup.record(client, seq, response.clone());
+    }
     finish(job, response, ctx);
 }
 
@@ -298,6 +542,12 @@ fn respond(engine: &mut Engine, request: &Request, ctx: &SchedCtx) -> Response {
                 batched_jobs: ctx.batched_jobs,
                 max_batch: ctx.max_batch,
                 backend: s.backend,
+                shed: ctx.metrics.counter_value("serve.shed"),
+                expired: ctx.metrics.counter_value("serve.expired"),
+                dedup_hits: ctx.metrics.counter_value("serve.dedup_hits"),
+                wal_records: ctx.wal.as_ref().map(Wal::records).unwrap_or(0),
+                stale_served: ctx.metrics.counter_value("serve.stale.rows"),
+                slow_closes: ctx.metrics.counter_value("serve.slow_closes"),
             })
         }
         Request::Metrics => Response::Metrics(ctx.metrics.snapshot()),
@@ -553,5 +803,301 @@ mod tests {
         assert!(batcher.is_stopping());
         assert!(batcher.shutdown().is_some());
         assert!(batcher.shutdown().is_none(), "second shutdown returns None");
+    }
+
+    /// Event-sink hook that, when armed, blocks the scheduler thread inside
+    /// `finish` — letting tests pile up a queue deterministically.
+    struct Gate {
+        armed: std::sync::atomic::AtomicBool,
+        entered: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Self> {
+            Arc::new(Self {
+                armed: std::sync::atomic::AtomicBool::new(false),
+                entered: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn arm(&self) {
+            self.armed.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        /// Blocks until the scheduler thread is parked inside the gate.
+        fn wait_entered(&self) {
+            let mut e = self.entered.lock().unwrap();
+            while !*e {
+                e = self.cv.wait(e).unwrap();
+            }
+            *e = false;
+        }
+
+        fn release(&self) {
+            self.armed.store(false, std::sync::atomic::Ordering::SeqCst);
+            let _guard = self.entered.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    impl Observer for Gate {
+        fn event(&self, _name: &'static str, _fields: &[(&'static str, Value)]) {
+            if self.armed.load(std::sync::atomic::Ordering::SeqCst) {
+                let mut entered = self.entered.lock().unwrap();
+                *entered = true;
+                self.cv.notify_all();
+                while self.armed.load(std::sync::atomic::Ordering::SeqCst) {
+                    entered = self.cv.wait(entered).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Gives a just-spawned submitter thread time to actually enqueue.
+    fn let_enqueue() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_a_typed_overload_response() {
+        let (eng, _) = engine(10);
+        let gate = Gate::new();
+        let batcher = Arc::new(Batcher::with_options(
+            eng,
+            BatcherOptions {
+                max_queue: 1,
+                events: Some(gate.clone() as Arc<dyn Observer>),
+                ..BatcherOptions::default()
+            },
+        ));
+        gate.arm();
+        let b = Arc::clone(&batcher);
+        let blocked = std::thread::spawn(move || b.submit(Request::Ping));
+        gate.wait_entered(); // scheduler is parked mid-finish
+        let b = Arc::clone(&batcher);
+        let queued = std::thread::spawn(move || b.submit(Request::Embed { nodes: vec![0] }));
+        let_enqueue(); // queue now holds exactly max_queue jobs
+        match batcher.submit(Request::Ping) {
+            Response::Overloaded { retry_after_ms } => assert!(retry_after_ms > 0),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        // Shutdown is never shed, even at the bound.
+        gate.release();
+        assert!(blocked.join().unwrap().is_ok());
+        assert!(queued.join().unwrap().is_ok());
+        let resp = batcher.submit(Request::Stats);
+        assert_eq!(stats(&resp).shed, 1);
+        assert_eq!(batcher.metrics().counter_value("serve.shed"), 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn expired_requests_never_reach_the_engine() {
+        let (eng, _) = engine(11);
+        let gate = Gate::new();
+        let batcher = Arc::new(Batcher::with_options(
+            eng,
+            BatcherOptions {
+                events: Some(gate.clone() as Arc<dyn Observer>),
+                ..BatcherOptions::default()
+            },
+        ));
+        let edges_before = {
+            let resp = batcher.submit(Request::Stats);
+            stats(&resp).num_edges
+        };
+        gate.arm();
+        let b = Arc::clone(&batcher);
+        let blocked = std::thread::spawn(move || b.submit(Request::Ping));
+        gate.wait_entered();
+        // Both a read and a mutation go stale while the scheduler is parked.
+        let meta = RequestMeta { deadline_ms: Some(1), ..RequestMeta::default() };
+        let b = Arc::clone(&batcher);
+        let read = std::thread::spawn(move || {
+            b.submit_with(Request::Embed { nodes: vec![0] }, meta)
+        });
+        let b = Arc::clone(&batcher);
+        let mutation = std::thread::spawn(move || {
+            b.submit_with(Request::AddEdges { edges: vec![(0, 15)] }, meta)
+        });
+        let_enqueue(); // both queued; their 1ms budgets lapse
+        gate.release();
+        assert_eq!(read.join().unwrap(), Response::Expired);
+        assert_eq!(mutation.join().unwrap(), Response::Expired);
+        assert!(blocked.join().unwrap().is_ok());
+        let resp = batcher.submit(Request::Stats);
+        assert_eq!(stats(&resp).expired, 2);
+        assert_eq!(
+            stats(&resp).num_edges,
+            edges_before,
+            "expired mutation must not be applied"
+        );
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn replayed_mutations_are_deduplicated_not_reapplied() {
+        let (eng, _) = engine(12);
+        let batcher = Batcher::new(eng, 32);
+        let meta = |seq| RequestMeta { client: Some(7), seq: Some(seq), deadline_ms: None };
+        let first =
+            batcher.submit_with(Request::AddEdges { edges: vec![(0, 15)] }, meta(1));
+        assert!(first.is_ok());
+        let edges_after = {
+            let resp = batcher.submit(Request::Stats);
+            stats(&resp).num_edges
+        };
+        // Same (client, seq) again — e.g. a retry after a lost ack: the
+        // recorded response comes back and the graph does not change.
+        let replay =
+            batcher.submit_with(Request::AddEdges { edges: vec![(0, 15)] }, meta(1));
+        assert_eq!(replay, first);
+        let resp = batcher.submit(Request::Stats);
+        assert_eq!(stats(&resp).num_edges, edges_after);
+        assert_eq!(stats(&resp).dedup_hits, 1);
+        // Advancing the sequence applies normally...
+        assert!(batcher
+            .submit_with(Request::AddEdges { edges: vec![(1, 16)] }, meta(2))
+            .is_ok());
+        // ...and a sequence older than the last ack is rejected.
+        match batcher.submit_with(Request::AddEdges { edges: vec![(2, 17)] }, meta(1)) {
+            Response::Error { message } => assert!(message.contains("stale mutation seq")),
+            other => panic!("expected stale-seq error, got {other:?}"),
+        }
+        // Unsequenced mutations never dedup.
+        let a = batcher.submit(Request::AddEdges { edges: vec![(3, 18)] });
+        let b = batcher.submit(Request::AddEdges { edges: vec![(3, 18)] });
+        assert!(a.is_ok() && b.is_ok());
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn engine_panic_is_contained_to_the_offending_request() {
+        let (mut eng, _) = engine(13);
+        eng.set_fault_plan(gcmae_core::ServeFaultPlan {
+            fail_read_every: None,
+            panic_read_at: Some(1),
+        });
+        let batcher = Batcher::new(eng, 32);
+        match batcher.submit(Request::Embed { nodes: vec![0] }) {
+            Response::Error { message } => {
+                assert!(message.contains("engine fault contained"), "{message}")
+            }
+            other => panic!("expected contained fault, got {other:?}"),
+        }
+        // The scheduler survived and keeps answering correctly.
+        assert!(batcher.submit(Request::Embed { nodes: vec![0] }).is_ok());
+        assert_eq!(batcher.submit(Request::Ping), Response::Pong);
+        assert!(batcher.metrics().counter_value("serve.panics") >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn overload_degrades_embeds_to_bounded_stale_cache_rows() {
+        let (eng, reference) = engine(14);
+        let gate = Gate::new();
+        let batcher = Arc::new(Batcher::with_options(
+            eng,
+            BatcherOptions {
+                max_queue: 16,
+                stale_epochs: 5,
+                events: Some(gate.clone() as Arc<dyn Observer>),
+                ..BatcherOptions::default()
+            },
+        ));
+        let all: Vec<usize> = (0..20).collect();
+        // Warm every row, then invalidate a neighborhood.
+        assert!(batcher.submit(Request::Embed { nodes: all.clone() }).is_ok());
+        let invalidated = match batcher.submit(Request::AddEdges { edges: vec![(0, 15)] }) {
+            Response::EdgesAdded { invalidated } => invalidated,
+            other => panic!("expected edges_added, got {other:?}"),
+        };
+        assert!(invalidated > 0);
+        // Pile up a drain of 8 embeds (>= max_queue/2) while parked — enough
+        // to trip degradation, few enough that none is shed.
+        gate.arm();
+        let b = Arc::clone(&batcher);
+        let blocked = std::thread::spawn(move || b.submit(Request::Ping));
+        gate.wait_entered();
+        let mut readers = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&batcher);
+            let nodes = all.clone();
+            readers.push(std::thread::spawn(move || {
+                b.submit(Request::Embed { nodes })
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        gate.release();
+        assert!(blocked.join().unwrap().is_ok());
+        for r in readers {
+            let resp = r.join().unwrap();
+            // Degraded answers are the pre-mutation rows (within budget),
+            // not recomputes — bit-identical to the original reference.
+            for (row, &v) in embedding_rows(&resp).iter().zip(&all) {
+                assert_eq!(row.as_slice(), reference.row(v), "node {v}");
+            }
+        }
+        let resp = batcher.submit(Request::Stats);
+        assert_eq!(
+            stats(&resp).stale_served,
+            8 * invalidated as u64,
+            "each degraded request served the invalidated rows stale"
+        );
+        assert!(batcher.metrics().counter_value("serve.stale.requests") >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn wal_makes_acknowledged_mutations_recoverable() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gcmae_batcher_wal_{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let (eng, _) = engine(15);
+        let (wal, recovered) = crate::wal::Wal::open(&path).unwrap();
+        assert!(recovered.is_empty());
+        let batcher = Batcher::with_options(
+            eng,
+            BatcherOptions { wal: Some(wal), ..BatcherOptions::default() },
+        );
+        let meta = |c, s| RequestMeta { client: Some(c), seq: Some(s), deadline_ms: None };
+        assert!(batcher
+            .submit_with(Request::AddEdges { edges: vec![(0, 15)] }, meta(1, 1))
+            .is_ok());
+        assert!(batcher
+            .submit_with(
+                Request::AddNode { neighbors: vec![0, 3], features: vec![0.5; 5] },
+                meta(1, 2),
+            )
+            .is_ok());
+        // A rejected mutation must NOT hit the log.
+        assert!(!batcher
+            .submit_with(Request::AddEdges { edges: vec![(0, 10_000)] }, meta(1, 3))
+            .is_ok());
+        let resp = batcher.submit(Request::Stats);
+        assert_eq!(stats(&resp).wal_records, 2);
+        let survivor = batcher.shutdown().unwrap();
+        // Recovery path: fresh engine from the same seed + WAL replay.
+        let (mut recovered_engine, _) = engine(15);
+        let (_, records) = crate::wal::Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        let dedup = crate::wal::replay(&mut recovered_engine, &records).unwrap();
+        assert_eq!(dedup.len(), 1);
+        assert_eq!(
+            recovered_engine.graph().num_edges(),
+            survivor.graph().num_edges()
+        );
+        assert_eq!(
+            recovered_engine.graph().num_nodes(),
+            survivor.graph().num_nodes()
+        );
+        let a = survivor.model().encode(survivor.graph(), survivor.features());
+        let b = recovered_engine
+            .model()
+            .encode(recovered_engine.graph(), recovered_engine.features());
+        assert_eq!(a.as_slice(), b.as_slice(), "bit-parity after replay");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,397 @@
+//! `bench_chaos`: adversarial load harness for the fault-tolerant serving
+//! runtime. It points a fleet of retrying clients plus a sequenced mutator at
+//! an in-process server while chaos threads inject every failure mode the
+//! runtime defends against — slow clients stalling mid-frame, abrupt
+//! mid-frame disconnects, malformed and oversize frames — on top of a
+//! pre-installed engine fault plan (transient read errors and a scheduled
+//! panic). Afterwards it drains gracefully, replays the mutation WAL into a
+//! fresh engine from the original bundle, and checks bit-parity of the full
+//! embedding sweep, then writes `BENCH_chaos.json` with the SLO inputs:
+//!
+//! - `availability`: final-outcome success rate of the read fleet (retries
+//!   allowed; a request only counts as failed if its retry budget ran out)
+//! - `p50_ms` / `p99_ms`: client-observed read latency, retries included
+//! - `recovery.parity` + `recovery.recovery_ms`: WAL replay correctness/time
+//! - `leaked_threads`: handler threads still alive after everything joined
+//!
+//! ```text
+//! bench_chaos [--out BENCH_chaos.json] [--seconds 6] [--clients 4] [--scale 0.3]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gcmae_core::{GcmaeConfig, ServeFaultPlan, TrainSession};
+use gcmae_graph::generators::citation::{generate, CitationSpec};
+use gcmae_serve::{
+    load_bundle, replay, save_bundle, Client, DedupTable, Engine, Json, ResilientClient,
+    RetryPolicy, Server, ServerOptions, Wal,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let seconds: f64 = flag(&args, "--seconds").and_then(|v| v.parse().ok()).unwrap_or(6.0);
+    let clients: usize = flag(&args, "--clients").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let scale: f64 = flag(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.3);
+
+    // One small trained model; the bundle doubles as the pre-crash snapshot
+    // the recovery check replays the WAL against.
+    let ds = generate(&CitationSpec::cora().scaled(scale), 17);
+    let cfg = GcmaeConfig { epochs: 2, ..GcmaeConfig::fast() };
+    eprintln!(
+        "training chaos model: {} nodes / {} edges",
+        ds.num_nodes(),
+        ds.graph.num_edges()
+    );
+    let trained = match TrainSession::new(&cfg).seed(17).run(&ds) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unguarded session cannot fail: {e}"),
+    };
+    let bundle = save_bundle(&trained.model, &ds.graph, &ds.features);
+    let n = ds.num_nodes();
+
+    let wal_path = std::env::temp_dir().join(format!("gcmae_chaos_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal_path);
+
+    let threads_before = thread_count();
+
+    // Engine with chaos faults pre-installed: a transient failure roughly
+    // every 97th read and one scheduled panic; both must stay contained.
+    let (model, graph, features) = load_bundle(&bundle).expect("bundle");
+    let mut engine = Engine::new(model, graph, features).expect("engine");
+    engine.set_fault_plan(ServeFaultPlan { fail_read_every: Some(97), panic_read_at: Some(123) });
+
+    let (wal, recovered) = Wal::open(&wal_path).expect("wal open");
+    assert!(recovered.is_empty(), "fresh wal starts empty");
+    let server = Server::start_with(
+        engine,
+        "127.0.0.1:0",
+        ServerOptions {
+            max_batch: 16,
+            max_queue: 64,
+            read_timeout: Some(Duration::from_millis(250)),
+            write_timeout: Some(Duration::from_millis(1000)),
+            wal: Some(wal),
+            dedup: DedupTable::default(),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let attempts = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let retries_total = Arc::new(AtomicU64::new(0));
+    let reconnects_total = Arc::new(AtomicU64::new(0));
+
+    // Read fleet: power-law node sampling, 80/10/10 embed/link/top-k mix.
+    let mut fleet = Vec::new();
+    for c in 0..clients {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        let attempts = Arc::clone(&attempts);
+        let failures = Arc::clone(&failures);
+        let retries_total = Arc::clone(&retries_total);
+        let reconnects_total = Arc::clone(&reconnects_total);
+        fleet.push(std::thread::spawn(move || -> Vec<f64> {
+            let mut rc = ResilientClient::new(&addr, 1 + c as u64).with_policy(RetryPolicy {
+                max_attempts: 6,
+                base_backoff_ms: 2,
+                max_backoff_ms: 50,
+            });
+            let mut rng = 0x9e37_0001_u64.wrapping_mul(1 + c as u64);
+            let mut latencies = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                let op = splitmix(&mut rng) % 10;
+                let begin = Instant::now();
+                let ok = if op < 8 {
+                    let nodes: Vec<usize> =
+                        (0..4).map(|_| powerlaw(&mut rng, n)).collect();
+                    rc.embed(&nodes).is_ok()
+                } else if op == 8 {
+                    let pairs: Vec<(usize, usize)> = (0..4)
+                        .map(|_| (powerlaw(&mut rng, n), powerlaw(&mut rng, n)))
+                        .collect();
+                    rc.link_scores(&pairs).is_ok()
+                } else {
+                    rc.top_k(powerlaw(&mut rng, n), 8).is_ok()
+                };
+                latencies.push(begin.elapsed().as_secs_f64() * 1e3);
+                attempts.fetch_add(1, Ordering::Relaxed);
+                if !ok {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            retries_total.fetch_add(rc.retries(), Ordering::Relaxed);
+            reconnects_total.fetch_add(rc.reconnects(), Ordering::Relaxed);
+            latencies
+        }));
+    }
+
+    // Sequenced mutator: every ack is WAL-durable and goes into the local
+    // ledger the recovery check compares edge counts against.
+    let mutator = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || -> (u64, u64) {
+            let mut rc = ResilientClient::new(&addr, 1000);
+            let mut rng = 0xfeed_f00d_u64;
+            let (mut acked, mut failed) = (0_u64, 0_u64);
+            while !stop.load(Ordering::Acquire) {
+                let u = powerlaw(&mut rng, n);
+                let v = (u + 1 + (splitmix(&mut rng) as usize % (n - 1))) % n;
+                match rc.add_edges(&[(u.min(v), u.max(v))]) {
+                    Ok(_) => acked += 1,
+                    Err(_) => failed += 1,
+                }
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            (acked, failed)
+        })
+    };
+
+    // Chaos: slow client (stalls past the read timeout mid-frame), abrupt
+    // mid-frame disconnects, malformed frames and oversize prefixes.
+    let chaos = spawn_chaos(&addr, &stop);
+
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Release);
+
+    let mut latencies: Vec<f64> = Vec::new();
+    for w in fleet {
+        latencies.extend(w.join().expect("reader"));
+    }
+    let (mutations_acked, mutations_failed) = mutator.join().expect("mutator");
+    for c in chaos {
+        c.join().expect("chaos thread");
+    }
+
+    let mut stats_client = Client::connect(&addr).expect("stats connect");
+    let stats = stats_client.stats().expect("stats");
+    drop(stats_client);
+
+    // Graceful drain; the scheduler syncs the WAL before exiting.
+    let engine_a = server.shutdown().expect("post-chaos engine");
+
+    // Crash recovery: reopen the WAL as a restarted process would, replay it
+    // onto a fresh engine from the pre-chaos bundle, and demand bit-parity
+    // of the full embedding sweep against the engine that lived through it.
+    let recovery_started = Instant::now();
+    let (_wal2, records) = Wal::open(&wal_path).expect("wal reopen");
+    let (model_b, graph_b, features_b) = load_bundle(&bundle).expect("bundle reload");
+    let mut engine_b = Engine::new(model_b, graph_b, features_b).expect("recovered engine");
+    let dedup = replay(&mut engine_b, &records).expect("wal replay");
+    let recovery_ms = recovery_started.elapsed().as_secs_f64() * 1e3;
+
+    let mut engine_a = engine_a;
+    let all: Vec<usize> = (0..n).collect();
+    let sweep_a = engine_a.embed_batch(&all).expect("sweep a");
+    let sweep_b = engine_b.embed_batch(&all).expect("sweep b");
+    let mut parity = engine_a.graph().num_edges() == engine_b.graph().num_edges();
+    for i in 0..n {
+        if sweep_a.row(i).len() != sweep_b.row(i).len()
+            || sweep_a
+                .row(i)
+                .iter()
+                .zip(sweep_b.row(i))
+                .any(|(x, y)| x.to_bits() != y.to_bits())
+        {
+            parity = false;
+            eprintln!("parity break at node {i}");
+            break;
+        }
+    }
+
+    std::thread::sleep(Duration::from_millis(300));
+    let threads_after = thread_count();
+    let leaked_threads = threads_after.saturating_sub(threads_before);
+    let _ = std::fs::remove_file(&wal_path);
+
+    latencies.sort_by(f64::total_cmp);
+    let total = attempts.load(Ordering::Relaxed);
+    let failed = failures.load(Ordering::Relaxed);
+    let availability = if total > 0 { 1.0 - failed as f64 / total as f64 } else { 0.0 };
+
+    eprintln!(
+        "reads: {total} attempts, {failed} failed -> availability {availability:.4}"
+    );
+    eprintln!(
+        "p50={:.3}ms p99={:.3}ms retries={} reconnects={}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        retries_total.load(Ordering::Relaxed),
+        reconnects_total.load(Ordering::Relaxed),
+    );
+    eprintln!(
+        "mutations: {mutations_acked} acked / {mutations_failed} failed; wal={} records; \
+         replay -> {} records, {} dedup entries, parity={parity}, {recovery_ms:.1}ms",
+        stats.wal_records,
+        records.len(),
+        dedup.len(),
+    );
+    eprintln!(
+        "faults seen: shed={} expired={} dedup_hits={} slow_closes={} \
+         leaked_threads={leaked_threads}",
+        stats.shed, stats.expired, stats.dedup_hits, stats.slow_closes,
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("chaos")),
+        ("graph_nodes".into(), Json::int(n)),
+        ("seconds".into(), Json::num(seconds)),
+        ("clients".into(), Json::int(clients)),
+        ("read_attempts".into(), Json::int(total as usize)),
+        ("read_failures".into(), Json::int(failed as usize)),
+        ("availability".into(), Json::num(availability)),
+        ("p50_ms".into(), Json::num(percentile(&latencies, 0.50))),
+        ("p99_ms".into(), Json::num(percentile(&latencies, 0.99))),
+        (
+            "client_retries".into(),
+            Json::int(retries_total.load(Ordering::Relaxed) as usize),
+        ),
+        (
+            "client_reconnects".into(),
+            Json::int(reconnects_total.load(Ordering::Relaxed) as usize),
+        ),
+        ("mutations_acked".into(), Json::int(mutations_acked as usize)),
+        ("mutations_failed".into(), Json::int(mutations_failed as usize)),
+        (
+            "server".into(),
+            Json::Obj(vec![
+                ("shed".into(), Json::int(stats.shed as usize)),
+                ("expired".into(), Json::int(stats.expired as usize)),
+                ("dedup_hits".into(), Json::int(stats.dedup_hits as usize)),
+                ("wal_records".into(), Json::int(stats.wal_records as usize)),
+                ("stale_served".into(), Json::int(stats.stale_served as usize)),
+                ("slow_closes".into(), Json::int(stats.slow_closes as usize)),
+            ]),
+        ),
+        (
+            "recovery".into(),
+            Json::Obj(vec![
+                ("replayed".into(), Json::int(records.len())),
+                ("dedup_entries".into(), Json::int(dedup.len())),
+                ("parity".into(), Json::Bool(parity)),
+                ("recovery_ms".into(), Json::num(recovery_ms)),
+            ]),
+        ),
+        ("leaked_threads".into(), Json::int(leaked_threads)),
+    ]);
+    std::fs::write(&out_path, doc.dump()).expect("write bench output");
+    eprintln!("wrote {out_path}");
+
+    if !parity {
+        std::process::exit(1);
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Skewed node sampling: a cubed uniform concentrates ~87% of draws in the
+/// lowest third of ids, giving the cache a hot set like real traffic.
+fn powerlaw(state: &mut u64, n: usize) -> usize {
+    let u = (splitmix(state) >> 11) as f64 / (1_u64 << 53) as f64;
+    ((n as f64 * u * u * u) as usize).min(n - 1)
+}
+
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn spawn_chaos(addr: &str, stop: &Arc<AtomicBool>) -> Vec<std::thread::JoinHandle<()>> {
+    let mut handles = Vec::new();
+
+    // Slow client: promises a 10-byte frame, delivers 3 bytes, then stalls
+    // past the server's read timeout. The server must cut it loose with a
+    // typed error without stalling anyone else.
+    {
+        let addr = addr.to_string();
+        let stop = Arc::clone(stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    let _ = s.write_all(&10_u32.to_le_bytes());
+                    let _ = s.write_all(b"{\"o");
+                    std::thread::sleep(Duration::from_millis(400));
+                    let mut sink = Vec::new();
+                    let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                    let _ = s.read_to_end(&mut sink);
+                }
+            }
+        }));
+    }
+
+    // Mid-frame disconnect: half a frame, then the socket vanishes.
+    {
+        let addr = addr.to_string();
+        let stop = Arc::clone(stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    let _ = s.write_all(&64_u32.to_le_bytes());
+                    let _ = s.write_all(b"{\"op\":\"embed\"");
+                    drop(s);
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        }));
+    }
+
+    // Malformed frames: garbage bodies and an absurd length prefix. Each
+    // earns a typed protocol error and a closed connection — never a panic.
+    {
+        let addr = addr.to_string();
+        let stop = Arc::clone(stop);
+        handles.push(std::thread::spawn(move || {
+            let mut flip = false;
+            while !stop.load(Ordering::Acquire) {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    if flip {
+                        let _ = s.write_all(&5_u32.to_le_bytes());
+                        let _ = s.write_all(b"nope!");
+                    } else {
+                        let _ = s.write_all(&u32::MAX.to_le_bytes());
+                    }
+                    flip = !flip;
+                    let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                    let mut sink = Vec::new();
+                    let _ = s.read_to_end(&mut sink);
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        }));
+    }
+
+    handles
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}

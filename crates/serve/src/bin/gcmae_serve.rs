@@ -5,6 +5,8 @@
 //! gcmae-serve train --out ckpt.bin [--scale 0.05] [--epochs 3] [--seed 0]
 //! gcmae-serve serve --checkpoint ckpt.bin [--addr 127.0.0.1:7431] [--max-batch 32]
 //!             [--backend reference|simd] [--metrics-jsonl events.jsonl]
+//!             [--wal mutations.wal] [--max-queue 0] [--stale-epochs 0]
+//!             [--read-timeout-ms 10000] [--write-timeout-ms 10000]
 //! gcmae-serve query --addr 127.0.0.1:7431 embed 0 1 2
 //! gcmae-serve query --addr 127.0.0.1:7431 link 0:1 4:9
 //! gcmae-serve query --addr 127.0.0.1:7431 topk 5 3
@@ -19,7 +21,9 @@ use gcmae_core::{GcmaeConfig, TrainOutput, TrainSession};
 use gcmae_graph::generators::citation::{generate, CitationSpec};
 use gcmae_graph::Dataset;
 use gcmae_obs::{JsonlObserver, Observer};
-use gcmae_serve::{load_bundle, save_bundle, Client, Engine, Server, ServerOptions};
+use gcmae_serve::{
+    load_bundle, replay, save_bundle, Client, DedupTable, Engine, Server, ServerOptions, Wal,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,7 +109,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         features.cols(),
         model.config().hidden_dim
     );
-    let engine = Engine::new(model, graph, features).map_err(|e| e.to_string())?;
+    let mut engine = Engine::new(model, graph, features).map_err(|e| e.to_string())?;
     let events: Option<Arc<dyn Observer>> = match flag(args, "--metrics-jsonl") {
         Some(path) => {
             let sink =
@@ -115,8 +119,43 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let server = Server::start_with(engine, &addr, ServerOptions { max_batch, events })
-        .map_err(|e| e.to_string())?;
+    // Durability: with --wal, replay any surviving mutation log onto the
+    // freshly loaded bundle before taking traffic, then log every new
+    // acknowledged mutation to the same file.
+    let (wal, dedup) = match flag(args, "--wal") {
+        Some(path) => {
+            let (wal, records) = Wal::open(&path).map_err(|e| format!("wal {path}: {e}"))?;
+            let dedup = replay(&mut engine, &records)
+                .map_err(|e| format!("wal replay {path}: {e}"))?;
+            println!(
+                "replayed {} durable mutations from {path} ({} client sequences)",
+                records.len(),
+                dedup.len()
+            );
+            (Some(wal), dedup)
+        }
+        None => (None, DedupTable::default()),
+    };
+    let max_queue: usize = parse_flag(args, "--max-queue", 0)?;
+    let stale_epochs: u64 = parse_flag(args, "--stale-epochs", 0)?;
+    let read_timeout_ms: u64 = parse_flag(args, "--read-timeout-ms", 10_000)?;
+    let write_timeout_ms: u64 = parse_flag(args, "--write-timeout-ms", 10_000)?;
+    let to = |ms: u64| (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    let server = Server::start_with(
+        engine,
+        &addr,
+        ServerOptions {
+            max_batch,
+            events,
+            max_queue,
+            stale_epochs,
+            read_timeout: to(read_timeout_ms),
+            write_timeout: to(write_timeout_ms),
+            wal,
+            dedup,
+        },
+    )
+    .map_err(|e| e.to_string())?;
     // Surface the backend selection everywhere telemetry is read from: the
     // scheduler registry (behind the `metrics` op), any global observer, and
     // the startup banner.

@@ -14,6 +14,13 @@ use gcmae_tensor::Matrix;
 pub struct EmbeddingCache {
     rows: Matrix,
     valid: Vec<bool>,
+    /// Epoch under which each row was last written. Together with `ever`
+    /// this lets overload degradation serve a *stale* row (invalidated, but
+    /// written within a bounded number of mutation epochs) instead of
+    /// queueing an encoder forward.
+    written_epoch: Vec<u64>,
+    /// True once a row has been written at least once.
+    ever: Vec<bool>,
     epoch: u64,
     hits: u64,
     misses: u64,
@@ -41,6 +48,8 @@ impl EmbeddingCache {
         Self {
             rows: Matrix::zeros(n, d),
             valid: vec![false; n],
+            written_epoch: vec![0; n],
+            ever: vec![false; n],
             epoch: 0,
             hits: 0,
             misses: 0,
@@ -92,6 +101,24 @@ impl EmbeddingCache {
         }
         self.rows.row_mut(node).copy_from_slice(row);
         self.valid[node] = true;
+        self.written_epoch[node] = epoch;
+        self.ever[node] = true;
+    }
+
+    /// Looks up a row tolerating bounded staleness: a valid row always
+    /// answers; an invalidated row still answers as long as it was written
+    /// within the last `budget` mutation epochs. Returns `(row, stale)`
+    /// where `stale` is true when an invalidated copy was served. Does not
+    /// touch the hit/miss counters — degraded reads are counted by the
+    /// caller under their own telemetry names.
+    pub fn peek_stale(&self, node: usize, budget: u64) -> Option<(&[f32], bool)> {
+        if self.valid[node] {
+            return Some((self.rows.row(node), false));
+        }
+        if self.ever[node] && self.epoch.saturating_sub(self.written_epoch[node]) <= budget {
+            return Some((self.rows.row(node), true));
+        }
+        None
     }
 
     /// Clears the listed rows and bumps the epoch. Called with the k-hop
@@ -115,6 +142,8 @@ impl EmbeddingCache {
         data.resize(n * d, 0.0);
         self.rows = Matrix::from_vec(n, d, data);
         self.valid.resize(n, false);
+        self.written_epoch.resize(n, 0);
+        self.ever.resize(n, false);
         self.epoch += 1;
     }
 
@@ -166,6 +195,26 @@ mod tests {
         assert!(c.peek(0).is_none(), "stale insert must not land");
         c.insert(c.epoch(), 0, &[3.0]);
         assert_eq!(c.peek(0), Some(&[3.0][..]));
+    }
+
+    #[test]
+    fn peek_stale_honors_the_epoch_budget() {
+        let mut c = EmbeddingCache::new(3, 1);
+        c.insert(c.epoch(), 0, &[7.0]);
+        // valid rows answer regardless of budget, and are not stale
+        assert_eq!(c.peek_stale(0, 0), Some((&[7.0][..], false)));
+        c.invalidate(&[0]); // epoch 0 -> 1, row 0 now invalid
+        assert_eq!(c.peek_stale(0, 0), None, "budget 0 forbids stale reads");
+        assert_eq!(
+            c.peek_stale(0, 1),
+            Some((&[7.0][..], true)),
+            "1 epoch old fits a budget of 1"
+        );
+        c.invalidate(&[1]); // epoch 2: row 0 is now 2 epochs old
+        assert_eq!(c.peek_stale(0, 1), None, "aged out of the budget");
+        assert_eq!(c.peek_stale(0, 2), Some((&[7.0][..], true)));
+        // a never-written row has nothing to serve at any budget
+        assert_eq!(c.peek_stale(2, u64::MAX), None);
     }
 
     #[test]

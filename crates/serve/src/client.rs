@@ -1,16 +1,30 @@
-//! Blocking TCP client for the serving protocol.
+//! Blocking TCP client for the serving protocol, plus a resilient wrapper
+//! ([`ResilientClient`]) that retries idempotent reads with exponential
+//! backoff + jitter, reconnects after transport failures, and stamps
+//! mutations with `(client, seq)` so server-side dedup makes retried
+//! mutations exactly-once.
 
 use std::net::TcpStream;
+use std::time::Duration;
 
 use gcmae_obs::Snapshot;
 
-use crate::protocol::{read_frame, write_frame, ProtocolError, Request, Response, ServerStats};
+use crate::protocol::{
+    read_frame, write_frame, ProtocolError, Request, RequestMeta, Response, ServerStats,
+};
 
 /// Client-side failure.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport or framing problem.
     Protocol(ProtocolError),
+    /// The server shed the request at admission; retry after backing off.
+    Overloaded {
+        /// Server-suggested minimum backoff.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the server executed it.
+    Expired,
     /// The server answered `{"ok":false}` with this message.
     Server(String),
     /// The server answered `ok` but with an unexpected response kind.
@@ -21,6 +35,10 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded (retry after {retry_after_ms}ms)")
+            }
+            ClientError::Expired => write!(f, "request deadline expired"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::BadResponse(what) => write!(f, "bad response: {what}"),
         }
@@ -59,10 +77,25 @@ impl Client {
     /// [`Response::Error`] is folded into [`ClientError::Server`], so an
     /// `Ok` return is always a success payload.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.to_json())?;
+        self.call_with(request, &RequestMeta::default())
+    }
+
+    /// [`Client::call`] with header fields (deadline, client identity)
+    /// attached. Failure frames map to typed errors: sheds to
+    /// [`ClientError::Overloaded`], expiries to [`ClientError::Expired`].
+    pub fn call_with(
+        &mut self,
+        request: &Request,
+        meta: &RequestMeta,
+    ) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_json_with(meta))?;
         let doc = read_frame(&mut self.stream)?;
         match Response::from_json(&doc)? {
             Response::Error { message } => Err(ClientError::Server(message)),
+            Response::Overloaded { retry_after_ms } => {
+                Err(ClientError::Overloaded { retry_after_ms })
+            }
+            Response::Expired => Err(ClientError::Expired),
             response => Ok(response),
         }
     }
@@ -152,5 +185,361 @@ impl Client {
             Response::ShutdownAck => Ok(()),
             _ => Err(ClientError::BadResponse("expected shutdown ack")),
         }
+    }
+}
+
+/// Retry schedule for [`ResilientClient`]: exponential backoff with full
+/// jitter, capped per attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call, the first included (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Per-retry backoff cap.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 4, base_backoff_ms: 5, max_backoff_ms: 200 }
+    }
+}
+
+/// True for failures worth retrying: transport errors (server may have
+/// restarted), sheds, expiries, and server errors explicitly marked
+/// transient (injected chaos faults, contained panics, durability hiccups).
+/// Semantic rejections — bad node ids, malformed requests — are not retried.
+fn is_retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Protocol(_) => true,
+        ClientError::Overloaded { .. } => true,
+        ClientError::Expired => true,
+        ClientError::Server(msg) => {
+            msg.contains("transient")
+                || msg.contains("fault contained")
+                || msg.contains("not durable")
+        }
+        ClientError::BadResponse(_) => false,
+    }
+}
+
+/// A self-healing client: reconnects on transport failure, retries
+/// idempotent reads under [`RetryPolicy`], honors server backoff hints on
+/// overload, and stamps every mutation with `(client, seq)` — retrying a
+/// mutation reuses the *same* sequence number, so the server's dedup table
+/// turns an ack lost to a disconnect into a replayed answer instead of a
+/// double-apply.
+pub struct ResilientClient {
+    addr: String,
+    policy: RetryPolicy,
+    client_id: u64,
+    next_seq: u64,
+    deadline_ms: Option<u64>,
+    conn: Option<Client>,
+    rng: u64,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl ResilientClient {
+    /// Creates a client for `addr` with a stable nonzero identity (the
+    /// dedup key — reuse the same id when reconnecting after a crash).
+    pub fn new(addr: &str, client_id: u64) -> Self {
+        assert!(client_id != 0, "client id 0 means anonymous");
+        Self {
+            addr: addr.to_string(),
+            policy: RetryPolicy::default(),
+            client_id,
+            next_seq: 1,
+            deadline_ms: None,
+            conn: None,
+            rng: client_id ^ 0x5851_f42d_4c95_7f2d,
+            retries: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Replaces the retry schedule.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a deadline (ms, measured from server receipt) to every
+    /// subsequent request; `None` disables.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// This client's dedup identity.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// The sequence number the next mutation will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Retries performed across all calls so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnects performed across all calls so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn splitmix(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Full-jitter exponential backoff for retry number `retry` (1-based),
+    /// floored at any server-provided hint.
+    fn backoff(&mut self, retry: u32, error: &ClientError) -> Duration {
+        let exp = self
+            .policy
+            .base_backoff_ms
+            .saturating_mul(1_u64 << (retry - 1).min(16))
+            .min(self.policy.max_backoff_ms);
+        let jittered = exp / 2 + self.splitmix() % (exp / 2 + 1);
+        let floor = match error {
+            ClientError::Overloaded { retry_after_ms } => *retry_after_ms,
+            _ => 0,
+        };
+        Duration::from_millis(jittered.max(floor))
+    }
+
+    fn conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(&self.addr)?);
+        }
+        Ok(self.conn.as_mut().expect("connected above"))
+    }
+
+    /// One call under the retry policy with a fixed meta. Transport errors
+    /// drop the connection so the next attempt redials.
+    fn call_retrying(
+        &mut self,
+        request: &Request,
+        meta: RequestMeta,
+    ) -> Result<Response, ClientError> {
+        let mut attempt = 0_u32;
+        loop {
+            attempt += 1;
+            let result = match self.conn() {
+                Ok(c) => c.call_with(request, &meta),
+                Err(e) => Err(e),
+            };
+            let error = match result {
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            if matches!(error, ClientError::Protocol(_)) {
+                self.conn = None;
+                self.reconnects += 1;
+            }
+            if attempt >= self.policy.max_attempts || !is_retryable(&error) {
+                return Err(error);
+            }
+            self.retries += 1;
+            std::thread::sleep(self.backoff(attempt, &error));
+        }
+    }
+
+    fn call_read(&mut self, request: &Request) -> Result<Response, ClientError> {
+        debug_assert!(request.is_read_only(), "reads only");
+        let meta = RequestMeta { deadline_ms: self.deadline_ms, ..RequestMeta::default() };
+        self.call_retrying(request, meta)
+    }
+
+    /// Mutations carry `(client, seq)`; every retry reuses the same `seq`,
+    /// and the sequence advances only once the server acknowledges.
+    fn call_mutation(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let meta = RequestMeta {
+            deadline_ms: self.deadline_ms,
+            client: Some(self.client_id),
+            seq: Some(self.next_seq),
+        };
+        let response = self.call_retrying(request, meta)?;
+        self.next_seq += 1;
+        Ok(response)
+    }
+
+    /// Liveness check, with retries.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call_read(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::BadResponse("expected pong")),
+        }
+    }
+
+    /// Typed server counters, with retries.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call_read(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::BadResponse("expected stats")),
+        }
+    }
+
+    /// Embeddings for the listed nodes, with retries.
+    pub fn embed(&mut self, nodes: &[usize]) -> Result<Vec<Vec<f32>>, ClientError> {
+        match self.call_read(&Request::Embed { nodes: nodes.to_vec() })? {
+            Response::Embeddings { rows, .. } => Ok(rows),
+            _ => Err(ClientError::BadResponse("expected embeddings")),
+        }
+    }
+
+    /// Dot-product link scores, with retries.
+    pub fn link_scores(&mut self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ClientError> {
+        match self.call_read(&Request::LinkScore { pairs: pairs.to_vec() })? {
+            Response::Scores(scores) => Ok(scores),
+            _ => Err(ClientError::BadResponse("expected scores")),
+        }
+    }
+
+    /// Highest-scoring neighbors, with retries.
+    pub fn top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, ClientError> {
+        match self.call_read(&Request::TopK { node, k })? {
+            Response::Neighbors(ranked) => Ok(ranked),
+            _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
+    }
+
+    /// Inserts undirected edges, sequenced + retried exactly-once.
+    pub fn add_edges(&mut self, edges: &[(usize, usize)]) -> Result<usize, ClientError> {
+        match self.call_mutation(&Request::AddEdges { edges: edges.to_vec() })? {
+            Response::EdgesAdded { invalidated } => Ok(invalidated),
+            _ => Err(ClientError::BadResponse("expected edges_added")),
+        }
+    }
+
+    /// Appends a node, sequenced + retried exactly-once; returns its id.
+    pub fn add_node(
+        &mut self,
+        neighbors: &[usize],
+        features: &[f32],
+    ) -> Result<usize, ClientError> {
+        match self.call_mutation(&Request::AddNode {
+            neighbors: neighbors.to_vec(),
+            features: features.to_vec(),
+        })? {
+            Response::NodeAdded { node } => Ok(node),
+            _ => Err(ClientError::BadResponse("expected node_added")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::server::Server;
+    use gcmae_core::{model::seeded_rng, EncoderChoice, Gcmae, GcmaeConfig, ServeFaultPlan};
+    use gcmae_graph::Graph;
+    use gcmae_tensor::Matrix;
+
+    fn engine(seed: u64) -> Engine {
+        let mut rng = seeded_rng(seed);
+        let n = 16;
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+        let graph = Graph::from_edges(n, &edges);
+        let features = Matrix::uniform(n, 4, -1.0, 1.0, &mut rng);
+        let cfg = GcmaeConfig {
+            encoder: EncoderChoice::Gcn,
+            hidden_dim: 6,
+            proj_dim: 4,
+            ..GcmaeConfig::fast()
+        };
+        let model = Gcmae::new(&cfg, 4, &mut rng);
+        Engine::new(model, graph, features).unwrap()
+    }
+
+    #[test]
+    fn resilient_reads_retry_through_injected_transient_faults() {
+        let mut eng = engine(1);
+        eng.set_fault_plan(ServeFaultPlan {
+            fail_read_every: Some(2),
+            panic_read_at: None,
+        });
+        let server = Server::start(eng, "127.0.0.1:0", 32).unwrap();
+        let mut rc = ResilientClient::new(&server.addr().to_string(), 11);
+        // Every 2nd engine read fails transiently; with retries every call
+        // still comes back successful.
+        for i in 0..6_usize {
+            let rows = rc.embed(&[i % 16]).expect("retries absorb the fault");
+            assert_eq!(rows.len(), 1);
+        }
+        assert!(rc.retries() >= 1, "at least one injected fault was retried");
+        // A semantic error is NOT retried and surfaces as-is. (The fault
+        // plan ticks before validation, so at most one transient retry may
+        // still precede the rejection — but never a full retry budget.)
+        let retries_before = rc.retries();
+        assert!(matches!(rc.embed(&[10_000]), Err(ClientError::Server(_))));
+        assert!(rc.retries() - retries_before <= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutation_retry_with_same_seq_is_deduplicated_by_the_server() {
+        let eng = engine(2);
+        let server = Server::start(eng, "127.0.0.1:0", 32).unwrap();
+        let addr = server.addr().to_string();
+        let mut rc = ResilientClient::new(&addr, 21);
+        assert_eq!(rc.next_seq(), 1);
+        let invalidated = rc.add_edges(&[(0, 9)]).unwrap();
+        assert_eq!(rc.next_seq(), 2);
+        // Simulate an ack lost to a disconnect: replay the SAME (client,
+        // seq) on a brand-new connection — exactly what a retrying client
+        // does after reconnecting. The server answers from its dedup record
+        // instead of applying twice.
+        let mut replayer = Client::connect(&addr).unwrap();
+        let meta = RequestMeta {
+            client: Some(rc.client_id()),
+            seq: Some(1),
+            deadline_ms: None,
+        };
+        match replayer
+            .call_with(&Request::AddEdges { edges: vec![(0, 9)] }, &meta)
+            .unwrap()
+        {
+            Response::EdgesAdded { invalidated: again } => assert_eq!(again, invalidated),
+            other => panic!("expected edges_added, got {other:?}"),
+        }
+        let stats = rc.stats().unwrap();
+        assert_eq!(stats.dedup_hits, 1);
+        // The edge was applied exactly once: 15 path edges + 1 new.
+        assert_eq!(stats.num_edges, 16);
+        // Failed mutations do not consume a sequence number.
+        assert!(rc.add_edges(&[(0, 10_000)]).is_err());
+        assert_eq!(rc.next_seq(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_honors_server_hints() {
+        let mut rc = ResilientClient::new("127.0.0.1:1", 31).with_policy(RetryPolicy {
+            max_attempts: 8,
+            base_backoff_ms: 8,
+            max_backoff_ms: 100,
+        });
+        let plain = ClientError::Expired;
+        for retry in 1..=8_u32 {
+            let exp = (8_u64 << (retry - 1)).min(100);
+            for _ in 0..16 {
+                let d = rc.backoff(retry, &plain).as_millis() as u64;
+                assert!(d >= exp / 2 && d <= exp, "retry {retry}: {d} vs exp {exp}");
+            }
+        }
+        // An overload hint floors the backoff.
+        let hinted = ClientError::Overloaded { retry_after_ms: 500 };
+        assert!(rc.backoff(1, &hinted).as_millis() as u64 >= 500);
     }
 }

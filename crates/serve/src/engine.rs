@@ -8,7 +8,7 @@
 //! (`encode_rows`) matches the full forward row-for-row, and every kernel is
 //! thread-count invariant.
 
-use gcmae_core::Gcmae;
+use gcmae_core::{Gcmae, ServeFaultPlan};
 use gcmae_graph::{Graph, GraphError};
 use gcmae_nn::GraphOps;
 use gcmae_tensor::Matrix;
@@ -34,6 +34,12 @@ pub enum EngineError {
     },
     /// Graph delta failed validation.
     Graph(GraphError),
+    /// A [`ServeFaultPlan`] tripped this query (chaos testing only). The
+    /// fault is transient: retrying the query succeeds.
+    Injected {
+        /// 1-based read-query count at which the fault fired.
+        at_query: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -46,6 +52,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "feature row has width {got}, model expects {want}")
             }
             EngineError::Graph(e) => write!(f, "graph update rejected: {e}"),
+            EngineError::Injected { at_query } => {
+                write!(f, "injected transient fault at read query {at_query}")
+            }
         }
     }
 }
@@ -80,6 +89,8 @@ pub struct Engine {
     ops: GraphOps,
     features: Matrix,
     cache: EmbeddingCache,
+    faults: ServeFaultPlan,
+    read_queries: u64,
 }
 
 impl Engine {
@@ -99,7 +110,35 @@ impl Engine {
         let dim = model.config().hidden_dim;
         let cache = EmbeddingCache::new(graph.num_nodes(), dim);
         let ops = GraphOps::new(&graph);
-        Ok(Self { model, graph, ops, features, cache })
+        Ok(Self {
+            model,
+            graph,
+            ops,
+            features,
+            cache,
+            faults: ServeFaultPlan::default(),
+            read_queries: 0,
+        })
+    }
+
+    /// Installs a deterministic read-fault schedule (chaos testing). The
+    /// read-query counter restarts from zero.
+    pub fn set_fault_plan(&mut self, plan: ServeFaultPlan) {
+        self.faults = plan;
+        self.read_queries = 0;
+    }
+
+    /// Evaluates the installed fault plan for the next read query. Must be
+    /// called exactly once at the top of each read op.
+    fn tick_read(&mut self) -> Result<(), EngineError> {
+        if self.faults.is_empty() {
+            return Ok(());
+        }
+        self.read_queries += 1;
+        if self.faults.should_fail_read(self.read_queries) {
+            return Err(EngineError::Injected { at_query: self.read_queries });
+        }
+        Ok(())
     }
 
     /// The resident graph.
@@ -173,6 +212,7 @@ impl Engine {
     /// allowed). Bit-identical to the same rows of a cold
     /// [`Gcmae::encode`] on the resident graph.
     pub fn embed_batch(&mut self, nodes: &[usize]) -> Result<Matrix, EngineError> {
+        self.tick_read()?;
         self.check_nodes(nodes.iter().copied())?;
         self.warm(nodes);
         let mut out = Matrix::zeros(nodes.len(), self.cache.dim());
@@ -183,9 +223,50 @@ impl Engine {
         Ok(out)
     }
 
+    /// Degraded-mode embeddings: answers from the cache, tolerating rows up
+    /// to `budget` mutation epochs stale, and recomputes only rows with no
+    /// usable cached copy. Returns the embedding matrix plus how many rows
+    /// were served stale. With `budget == 0` this is exactly
+    /// [`Engine::embed_batch`]. Used by the scheduler under overload to
+    /// trade bounded staleness for encoder work.
+    pub fn embed_batch_stale(
+        &mut self,
+        nodes: &[usize],
+        budget: u64,
+    ) -> Result<(Matrix, u64), EngineError> {
+        self.tick_read()?;
+        self.check_nodes(nodes.iter().copied())?;
+        let must_compute: Vec<usize> = {
+            let mut seen = vec![false; self.graph.num_nodes()];
+            let mut missing = Vec::new();
+            for &v in nodes {
+                if !seen[v] && self.cache.peek_stale(v, budget).is_none() {
+                    missing.push(v);
+                }
+                seen[v] = true;
+            }
+            missing
+        };
+        self.warm(&must_compute);
+        let mut out = Matrix::zeros(nodes.len(), self.cache.dim());
+        let mut stale_rows = 0_u64;
+        for (i, &v) in nodes.iter().enumerate() {
+            let (row, stale) = self
+                .cache
+                .peek_stale(v, budget)
+                .expect("row warmed or within budget");
+            if stale {
+                stale_rows += 1;
+            }
+            out.row_mut(i).copy_from_slice(row);
+        }
+        Ok((out, stale_rows))
+    }
+
     /// Dot-product link scores for node pairs (§4.2 link prediction reads
     /// scores off embedding inner products).
     pub fn link_scores(&mut self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, EngineError> {
+        self.tick_read()?;
         self.check_nodes(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
         let all: Vec<usize> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
         self.warm(&all);
@@ -203,6 +284,7 @@ impl Engine {
     /// descending; ties broken by the smaller node id so the ordering is
     /// fully deterministic.
     pub fn top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, EngineError> {
+        self.tick_read()?;
         self.check_nodes([node])?;
         let candidates: Vec<usize> =
             self.graph.neighbors(node).iter().map(|&v| v as usize).collect();
@@ -405,6 +487,49 @@ mod tests {
         // (0,1) is a path edge in the fixture, so this is a duplicate
         assert_eq!(eng.add_edges(&[(0, 1)]).unwrap(), 0);
         assert_eq!(eng.stats().cache.resident, resident_before);
+    }
+
+    #[test]
+    fn stale_reads_serve_invalidated_rows_within_budget() {
+        let (model, graph, features) = fixture(EncoderChoice::Gcn, 8);
+        let n = graph.num_nodes();
+        let mut eng = Engine::new(model, graph, features).unwrap();
+        let all: Vec<usize> = (0..n).collect();
+        let before = eng.embed_batch(&all).unwrap();
+        let stale_count = eng.add_edges(&[(0, 12)]).unwrap();
+        assert!(stale_count > 0);
+        // Budget 1 answers every row without recomputing: invalidated rows
+        // come back as the pre-mutation embeddings, marked stale.
+        let misses_before = eng.stats().cache.misses;
+        let (out, served_stale) = eng.embed_batch_stale(&all, 1).unwrap();
+        assert_eq!(served_stale, stale_count as u64);
+        assert_eq!(out.as_slice(), before.as_slice(), "stale reads = old rows");
+        assert_eq!(eng.stats().cache.misses, misses_before, "no recompute");
+        // Budget 0 recomputes and matches a cold encode exactly.
+        let (fresh, served_stale) = eng.embed_batch_stale(&all, 0).unwrap();
+        assert_eq!(served_stale, 0);
+        let cold = eng.model().encode(eng.graph(), eng.features());
+        assert_eq!(fresh.as_slice(), cold.as_slice());
+    }
+
+    #[test]
+    fn fault_plan_trips_scheduled_reads_and_recovers() {
+        let (model, graph, features) = fixture(EncoderChoice::Gcn, 9);
+        let mut eng = Engine::new(model, graph, features).unwrap();
+        eng.set_fault_plan(ServeFaultPlan {
+            fail_read_every: Some(3),
+            panic_read_at: None,
+        });
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            outcomes.push(eng.embed_batch(&[0]).is_ok());
+        }
+        assert_eq!(outcomes, [true, true, false, true, true, false]);
+        // Clearing the plan stops the faults and the engine still answers.
+        eng.set_fault_plan(ServeFaultPlan::default());
+        for _ in 0..4 {
+            assert!(eng.embed_batch(&[0]).is_ok());
+        }
     }
 
     #[test]

@@ -53,12 +53,16 @@ pub mod engine;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod wal;
 
-pub use batcher::Batcher;
+pub use batcher::{Batcher, BatcherOptions};
 pub use bundle::{load_bundle, save_bundle, BundleError};
 pub use cache::{CacheStats, EmbeddingCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
 pub use engine::{Engine, EngineError, EngineStats};
 pub use json::Json;
-pub use protocol::{read_frame, write_frame, ProtocolError, Request, Response, ServerStats};
+pub use protocol::{
+    read_frame, write_frame, ProtocolError, Request, RequestMeta, Response, ServerStats,
+};
 pub use server::{Server, ServerOptions};
+pub use wal::{replay, DedupTable, DedupVerdict, Wal, WalError, WalRecord};

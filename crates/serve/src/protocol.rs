@@ -79,6 +79,45 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtocolError> {
     Json::parse(text).map_err(ProtocolError::BadJson)
 }
 
+/// Optional per-request header fields riding alongside the op payload:
+/// a client-relative deadline, and the client identity + mutation sequence
+/// number used for exactly-once replay after reconnects. All fields are
+/// additive — requests without them parse exactly as before, and servers
+/// that predate them ignore unknown keys.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RequestMeta {
+    /// Time budget in milliseconds, measured from server receipt. Expired
+    /// requests are answered with [`Response::Expired`] instead of being
+    /// executed.
+    pub deadline_ms: Option<u64>,
+    /// Stable client identity for mutation dedup (nonzero).
+    pub client: Option<u64>,
+    /// Client-assigned mutation sequence number, strictly increasing per
+    /// client (starting at 1). A replay of the last acknowledged `seq`
+    /// returns the recorded answer instead of re-applying the mutation.
+    pub seq: Option<u64>,
+}
+
+impl RequestMeta {
+    /// True when no header field is set — the wire document is then
+    /// byte-identical to a pre-meta request.
+    pub fn is_empty(&self) -> bool {
+        self.deadline_ms.is_none() && self.client.is_none() && self.seq.is_none()
+    }
+
+    /// Extracts the header fields from a request document; absent or
+    /// malformed fields simply stay `None` (the header is best-effort by
+    /// design — an old client never sends it).
+    pub fn from_json(doc: &Json) -> RequestMeta {
+        let u = |key: &str| doc.get(key).and_then(Json::as_f64).map(|v| v as u64);
+        RequestMeta {
+            deadline_ms: u("deadline_ms"),
+            client: u("client").filter(|&c| c != 0),
+            seq: u("seq").filter(|&s| s != 0),
+        }
+    }
+}
+
 /// A client request. `Ping`, `Stats`, `Metrics`, `Embed`, `LinkScore`, and
 /// `TopK` are read-only and may be coalesced into one encoder forward by the
 /// scheduler; `AddEdges` and `AddNode` mutate the graph and act as ordering
@@ -156,7 +195,22 @@ impl Request {
 
     /// Serializes the request to its wire document.
     pub fn to_json(&self) -> Json {
+        self.to_json_with(&RequestMeta::default())
+    }
+
+    /// Serializes the request with header fields ([`RequestMeta`]) appended.
+    /// With an empty meta this is byte-identical to [`Request::to_json`].
+    pub fn to_json_with(&self, meta: &RequestMeta) -> Json {
         let mut fields = vec![("op".to_string(), Json::str(self.op_name()))];
+        if let Some(ms) = meta.deadline_ms {
+            fields.push(("deadline_ms".into(), Json::num(ms as f64)));
+        }
+        if let Some(c) = meta.client {
+            fields.push(("client".into(), Json::num(c as f64)));
+        }
+        if let Some(s) = meta.seq {
+            fields.push(("seq".into(), Json::num(s as f64)));
+        }
         match self {
             Request::Ping | Request::Stats | Request::Metrics | Request::Shutdown => {}
             Request::Embed { nodes } => {
@@ -270,6 +324,19 @@ pub struct ServerStats {
     /// on the wire). Absent in frames from pre-backend servers, which parses
     /// as the Reference default.
     pub backend: gcmae_tensor::Backend,
+    /// Requests rejected at admission because the queue was full. Absent in
+    /// frames from pre-fault-tolerance servers; parses as 0.
+    pub shed: u64,
+    /// Requests dropped because their deadline expired before execution.
+    pub expired: u64,
+    /// Replayed mutations answered from the dedup table.
+    pub dedup_hits: u64,
+    /// Mutations durably appended to the write-ahead log.
+    pub wal_records: u64,
+    /// Embedding rows served from stale cache entries under overload.
+    pub stale_served: u64,
+    /// Connections closed for stalling mid-frame past the read timeout.
+    pub slow_closes: u64,
 }
 
 /// A server response — exactly one variant per [`Request`] outcome, plus
@@ -306,6 +373,15 @@ pub enum Response {
     Metrics(Snapshot),
     /// `Shutdown` acknowledged; the server stops after this frame.
     ShutdownAck,
+    /// The server shed this request at admission: its queue is full. The
+    /// client should back off (at least `retry_after_ms`) and retry; the
+    /// connection stays usable.
+    Overloaded {
+        /// Server-suggested minimum backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before execution; nothing was applied.
+    Expired,
     /// The request failed; the connection stays usable.
     Error {
         /// Human-readable failure description.
@@ -314,9 +390,13 @@ pub enum Response {
 }
 
 impl Response {
-    /// True unless this is [`Response::Error`].
+    /// True unless this is a failure frame ([`Response::Error`],
+    /// [`Response::Overloaded`], [`Response::Expired`]).
     pub fn is_ok(&self) -> bool {
-        !matches!(self, Response::Error { .. })
+        !matches!(
+            self,
+            Response::Error { .. } | Response::Overloaded { .. } | Response::Expired
+        )
     }
 
     /// Wire tag under the `"kind"` field.
@@ -331,6 +411,8 @@ impl Response {
             Response::NodeAdded { .. } => "node_added",
             Response::Metrics(_) => "metrics",
             Response::ShutdownAck => "shutdown",
+            Response::Overloaded { .. } => "overloaded",
+            Response::Expired => "expired",
             Response::Error { .. } => "error",
         }
     }
@@ -358,6 +440,12 @@ impl Response {
                 fields.push(("batched_jobs".into(), Json::num(s.batched_jobs as f64)));
                 fields.push(("max_batch".into(), Json::int(s.max_batch)));
                 fields.push(("backend".into(), Json::str(s.backend.name())));
+                fields.push(("shed".into(), Json::num(s.shed as f64)));
+                fields.push(("expired".into(), Json::num(s.expired as f64)));
+                fields.push(("dedup_hits".into(), Json::num(s.dedup_hits as f64)));
+                fields.push(("wal_records".into(), Json::num(s.wal_records as f64)));
+                fields.push(("stale_served".into(), Json::num(s.stale_served as f64)));
+                fields.push(("slow_closes".into(), Json::num(s.slow_closes as f64)));
             }
             Response::Embeddings { dim, rows } => {
                 fields.push(("dim".into(), Json::int(*dim)));
@@ -428,6 +516,16 @@ impl Response {
                 ));
             }
             Response::ShutdownAck => {}
+            Response::Overloaded { retry_after_ms } => {
+                // ok:false + error keeps pre-fault-tolerance clients working:
+                // they see a generic server error and fail the call, which is
+                // the correct degraded behavior for a shed.
+                fields.push(("error".into(), Json::str("server overloaded")));
+                fields.push(("retry_after_ms".into(), Json::num(*retry_after_ms as f64)));
+            }
+            Response::Expired => {
+                fields.push(("error".into(), Json::str("deadline expired")));
+            }
             Response::Error { message } => {
                 fields.push(("error".into(), Json::str(message.clone())));
             }
@@ -442,6 +540,21 @@ impl Response {
             .and_then(Json::as_bool)
             .ok_or(ProtocolError::BadMessage("response missing ok field"))?;
         if !ok {
+            // Failure frames dispatch on the kind tag when present; anything
+            // unrecognized (including legacy frames without a tag) degrades
+            // to the generic error variant.
+            match doc.get("kind").and_then(Json::as_str) {
+                Some("overloaded") => {
+                    let retry_after_ms = doc
+                        .get("retry_after_ms")
+                        .and_then(Json::as_f64)
+                        .map(|v| v as u64)
+                        .unwrap_or(0);
+                    return Ok(Response::Overloaded { retry_after_ms });
+                }
+                Some("expired") => return Ok(Response::Expired),
+                _ => {}
+            }
             let message = doc
                 .get("error")
                 .and_then(Json::as_str)
@@ -485,6 +598,14 @@ impl Response {
                         .and_then(Json::as_str)
                         .and_then(gcmae_tensor::backend::parse_backend)
                         .unwrap_or_default(),
+                    // Fault-tolerance counters are additive: absent in frames
+                    // from older servers, parsing as 0.
+                    shed: u64_or_zero(doc, "shed"),
+                    expired: u64_or_zero(doc, "expired"),
+                    dedup_hits: u64_or_zero(doc, "dedup_hits"),
+                    wal_records: u64_or_zero(doc, "wal_records"),
+                    stale_served: u64_or_zero(doc, "stale_served"),
+                    slow_closes: u64_or_zero(doc, "slow_closes"),
                 }))
             }
             "embeddings" => {
@@ -606,6 +727,10 @@ fn snapshot_from_json(doc: &Json) -> Result<Snapshot, ProtocolError> {
         gauges,
         histograms,
     })
+}
+
+fn u64_or_zero(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_f64).map(|v| v as u64).unwrap_or(0)
 }
 
 fn pairs_to_json(pairs: &[(usize, usize)]) -> Json {
@@ -739,6 +864,12 @@ mod tests {
                 batched_jobs: 40,
                 max_batch: 32,
                 backend: gcmae_tensor::Backend::Simd,
+                shed: 3,
+                expired: 1,
+                dedup_hits: 2,
+                wal_records: 17,
+                stale_served: 6,
+                slow_closes: 4,
             }),
             Response::Embeddings {
                 dim: 2,
@@ -750,6 +881,8 @@ mod tests {
             Response::NodeAdded { node: 21 },
             Response::Metrics(snap),
             Response::ShutdownAck,
+            Response::Overloaded { retry_after_ms: 25 },
+            Response::Expired,
             Response::Error {
                 message: "node 999 out of range".into(),
             },
@@ -838,6 +971,102 @@ mod tests {
         }
         .is_read_only());
         assert!(!Request::Shutdown.is_read_only());
+    }
+
+    #[test]
+    fn request_meta_rides_alongside_any_op_and_defaults_to_empty() {
+        let meta = RequestMeta {
+            deadline_ms: Some(250),
+            client: Some(42),
+            seq: Some(7),
+        };
+        let req = Request::AddEdges {
+            edges: vec![(1, 2)],
+        };
+        let doc = req.to_json_with(&meta);
+        let parsed = Json::parse(&doc.dump()).unwrap();
+        // The op payload parses exactly as without the header...
+        assert_eq!(Request::from_json(&parsed).unwrap(), req);
+        // ...and the header fields roundtrip alongside it.
+        assert_eq!(RequestMeta::from_json(&parsed), meta);
+        // A header-free request yields an empty meta.
+        let bare = Json::parse(&req.to_json().dump()).unwrap();
+        assert!(RequestMeta::from_json(&bare).is_empty());
+        // Zero client/seq are treated as unset, not identities.
+        let zeroed = Json::parse("{\"op\":\"ping\",\"client\":0,\"seq\":0}").unwrap();
+        assert!(RequestMeta::from_json(&zeroed).is_empty());
+    }
+
+    #[test]
+    fn overload_and_expiry_frames_degrade_to_errors_for_legacy_clients() {
+        // New failure kinds keep ok:false + error, so a pre-fault-tolerance
+        // parser (which only reads those two fields) still fails the call.
+        let doc = Response::Overloaded { retry_after_ms: 10 }.to_json();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert!(doc.get("error").is_some());
+        let doc = Response::Expired.to_json();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert!(doc.get("error").is_some());
+        // A failure frame with an unknown kind parses as a generic error.
+        let future = Json::parse("{\"ok\":false,\"kind\":\"throttled\",\"error\":\"x\"}").unwrap();
+        assert_eq!(
+            Response::from_json(&future).unwrap(),
+            Response::Error { message: "x".into() }
+        );
+    }
+
+    #[test]
+    fn truncated_mid_frame_surfaces_as_io_error() {
+        // A peer that dies after the length prefix (or mid-body) must yield
+        // a clean Io error, never a hang, panic, or partial parse.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100_u32.to_le_bytes());
+        buf.extend_from_slice(b"0123456789"); // 10 of the promised 100 bytes
+        match read_frame(&mut Cursor::new(buf)) {
+            Err(ProtocolError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+        }
+        // Truncated inside the length prefix itself.
+        match read_frame(&mut Cursor::new(vec![0x05, 0x00])) {
+            Err(ProtocolError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_byte_soup_never_panics_the_frame_reader() {
+        // Deterministic pseudo-random garbage: every prefix must come back
+        // as Err (too-large, bad utf-8/json, or truncation) — never panic
+        // and never a successful parse of a frame nobody wrote.
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as u8
+        };
+        for len in [1_usize, 4, 5, 16, 257, 4096] {
+            let soup: Vec<u8> = (0..len).map(|_| next()).collect();
+            let mut cur = Cursor::new(soup);
+            loop {
+                match read_frame(&mut cur) {
+                    Err(_) => break,
+                    Ok(doc) => {
+                        // Astronomically unlikely, but if garbage happens to
+                        // frame valid JSON it must still fail typed parsing.
+                        assert!(
+                            Request::from_json(&doc).is_err(),
+                            "garbage parsed as a request: {doc:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

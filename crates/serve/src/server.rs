@@ -3,10 +3,22 @@
 //! One non-blocking accept thread hands each connection to its own blocking
 //! reader thread; all requests funnel into the shared [`Batcher`], which is
 //! where micro-batching happens. Connection threads are detached — they exit
-//! when their peer disconnects or when the scheduler stops answering.
+//! when their peer disconnects, on a fatal protocol error, or (within one
+//! read-timeout tick) when the server shuts down.
+//!
+//! Slow-client defense: every connection carries read/write timeouts. A
+//! read timeout on a frame *boundary* is just an idle client — the handler
+//! keeps waiting (checking the stop flag each tick). A read timeout
+//! *mid-frame* is a slow or stalled peer holding the handler hostage; the
+//! connection gets a typed error and is closed. Malformed frames (oversize
+//! prefix, garbage JSON, unknown ops) are answered with a typed protocol
+//! error; oversize/garbage closes the connection since the stream can no
+//! longer be framed. A panic anywhere in a handler is caught and counted —
+//! it can never take down the accept loop or another connection.
 
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -14,9 +26,10 @@ use std::time::Duration;
 
 use gcmae_obs::{Observer, Registry};
 
-use crate::batcher::Batcher;
+use crate::batcher::{Batcher, BatcherOptions};
 use crate::engine::Engine;
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{read_frame, write_frame, ProtocolError, Request, RequestMeta, Response};
+use crate::wal::{DedupTable, Wal};
 
 /// Tuning and telemetry knobs for [`Server::start_with`].
 pub struct ServerOptions {
@@ -25,6 +38,20 @@ pub struct ServerOptions {
     /// Optional event sink receiving one `serve.request` event per answered
     /// request (e.g. a [`gcmae_obs::JsonlObserver`]).
     pub events: Option<Arc<dyn Observer>>,
+    /// Per-connection socket read timeout. Governs both the idle-poll tick
+    /// (stop-flag checks) and the mid-frame stall cutoff. `None` = block
+    /// forever (a slow client then pins its handler thread).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Admission bound on the scheduler queue; `0` = unbounded.
+    pub max_queue: usize,
+    /// Staleness budget for degraded reads under overload; `0` = off.
+    pub stale_epochs: u64,
+    /// Mutation write-ahead log (see [`crate::wal`]).
+    pub wal: Option<Wal>,
+    /// Mutation dedup state, typically recovered by [`crate::wal::replay`].
+    pub dedup: DedupTable,
 }
 
 impl Default for ServerOptions {
@@ -32,6 +59,12 @@ impl Default for ServerOptions {
         Self {
             max_batch: 32,
             events: None,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_queue: 0,
+            stale_epochs: 0,
+            wal: None,
+            dedup: DedupTable::new(),
         }
     }
 }
@@ -48,14 +81,7 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
     pub fn start(engine: Engine, addr: &str, max_batch: usize) -> io::Result<Server> {
-        Self::start_with(
-            engine,
-            addr,
-            ServerOptions {
-                max_batch,
-                events: None,
-            },
-        )
+        Self::start_with(engine, addr, ServerOptions { max_batch, ..ServerOptions::default() })
     }
 
     /// [`Server::start`] with explicit [`ServerOptions`].
@@ -63,12 +89,24 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let batcher = Arc::new(Batcher::with_events(engine, opts.max_batch, opts.events));
+        let timeouts = (opts.read_timeout, opts.write_timeout);
+        let batcher = Arc::new(Batcher::with_options(
+            engine,
+            BatcherOptions {
+                max_batch: opts.max_batch,
+                events: opts.events,
+                max_queue: opts.max_queue,
+                stale_epochs: opts.stale_epochs,
+                wal: opts.wal,
+                dedup: opts.dedup,
+            },
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_batcher = Arc::clone(&batcher);
         let accept_stop = Arc::clone(&stop);
-        let accept_handle =
-            std::thread::spawn(move || accept_loop(listener, accept_batcher, accept_stop));
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(listener, accept_batcher, accept_stop, timeouts)
+        });
         Ok(Server {
             addr: local,
             batcher,
@@ -116,15 +154,32 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, batcher: Arc<Batcher>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    batcher: Arc<Batcher>,
+    stop: Arc<AtomicBool>,
+    timeouts: (Option<Duration>, Option<Duration>),
+) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(timeouts.0);
+                let _ = stream.set_write_timeout(timeouts.1);
                 let conn_batcher = Arc::clone(&batcher);
                 let conn_stop = Arc::clone(&stop);
-                // Detached: exits on peer disconnect or protocol error.
-                std::thread::spawn(move || handle_connection(stream, conn_batcher, conn_stop));
+                // Detached: exits on peer disconnect, fatal protocol error,
+                // or (within a read-timeout tick) server shutdown. A panic
+                // in the handler is contained to this one connection.
+                std::thread::spawn(move || {
+                    let metrics = conn_batcher.metrics();
+                    let handler = AssertUnwindSafe(move || {
+                        handle_connection(stream, conn_batcher, conn_stop)
+                    });
+                    if catch_unwind(handler).is_err() {
+                        metrics.counter_add("serve.handler_panics", 1);
+                    }
+                });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 if batcher.is_stopping() {
@@ -138,16 +193,67 @@ fn accept_loop(listener: TcpListener, batcher: Arc<Batcher>, stop: Arc<AtomicBoo
     }
 }
 
-fn handle_connection(mut stream: TcpStream, batcher: Arc<Batcher>, stop: Arc<AtomicBool>) {
+/// `Read` wrapper that counts bytes consumed toward the current frame, so a
+/// read timeout can be classified: zero bytes in = idle peer (benign),
+/// partial frame in = slow/stalled peer (close).
+struct FrameReader<'a> {
+    stream: &'a TcpStream,
+    consumed: usize,
+}
+
+impl Read for FrameReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = (&mut self.stream).read(buf)?;
+        self.consumed += n;
+        Ok(n)
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn handle_connection(stream: TcpStream, batcher: Arc<Batcher>, stop: Arc<AtomicBool>) {
+    let metrics = batcher.metrics();
+    let mut out = &stream;
     loop {
-        let doc = match read_frame(&mut stream) {
+        let mut reader = FrameReader { stream: &stream, consumed: 0 };
+        let doc = match read_frame(&mut reader) {
             Ok(doc) => doc,
-            Err(_) => return, // disconnect or garbage: drop the connection
+            Err(ProtocolError::Io(e)) if is_timeout(&e) => {
+                if reader.consumed == 0 {
+                    // Idle between frames: keep waiting unless shutting down.
+                    if stop.load(Ordering::Acquire) || batcher.is_stopping() {
+                        return;
+                    }
+                    continue;
+                }
+                // Stalled mid-frame: a slow client must not pin this thread.
+                metrics.counter_add("serve.slow_closes", 1);
+                let goodbye = Response::Error {
+                    message: "read timed out mid-frame; closing connection".to_string(),
+                };
+                let _ = write_frame(&mut out, &goodbye.to_json());
+                return;
+            }
+            Err(ProtocolError::Io(_)) => return, // disconnect
+            // A fatal framing error (oversize prefix, junk bytes): the
+            // stream can no longer be framed, so answer typed and close —
+            // but only this connection, never the process.
+            Err(e) => {
+                metrics.counter_add("serve.protocol_errors", 1);
+                let goodbye = Response::Error {
+                    message: format!("protocol error: {e}"),
+                };
+                let _ = write_frame(&mut out, &goodbye.to_json());
+                return;
+            }
         };
         let response = match Request::from_json(&doc) {
             Ok(request) => {
                 let is_shutdown = matches!(request, Request::Shutdown);
-                let response = batcher.submit(request);
+                let meta = RequestMeta::from_json(&doc);
+                let response = batcher.submit_with(request, meta);
                 if is_shutdown {
                     stop.store(true, Ordering::Release);
                 }
@@ -155,11 +261,19 @@ fn handle_connection(mut stream: TcpStream, batcher: Arc<Batcher>, stop: Arc<Ato
             }
             // Malformed but parseable JSON: answer with an error and keep
             // the connection usable.
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
+            Err(e) => {
+                metrics.counter_add("serve.protocol_errors", 1);
+                Response::Error {
+                    message: e.to_string(),
+                }
+            }
         };
-        if write_frame(&mut stream, &response.to_json()).is_err() {
+        if let Err(e) = write_frame(&mut out, &response.to_json()) {
+            if let ProtocolError::Io(io_err) = &e {
+                if is_timeout(io_err) {
+                    metrics.counter_add("serve.slow_closes", 1);
+                }
+            }
             return;
         }
     }
@@ -283,10 +397,7 @@ mod tests {
         let server = Server::start_with(
             eng,
             "127.0.0.1:0",
-            ServerOptions {
-                max_batch: 8,
-                events: Some(events),
-            },
+            ServerOptions { max_batch: 8, events: Some(events), ..ServerOptions::default() },
         )
         .unwrap();
         let mut client = Client::connect(&server.addr().to_string()).unwrap();
@@ -317,6 +428,89 @@ mod tests {
             .iter()
             .all(|l| l.starts_with("{\"event\":\"serve.request\"")));
         assert!(lines[1].contains("\"op\":\"embed\""));
+    }
+
+    #[test]
+    fn slow_client_is_cut_loose_with_a_typed_error() {
+        use std::io::Write;
+        let (eng, _) = engine(7);
+        let server = Server::start_with(
+            eng,
+            "127.0.0.1:0",
+            ServerOptions {
+                read_timeout: Some(Duration::from_millis(150)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        // A peer that starts a frame and stalls: 3 bytes of a promised 10.
+        let mut slow = TcpStream::connect(server.addr()).unwrap();
+        slow.write_all(&10_u32.to_le_bytes()).unwrap();
+        slow.write_all(b"{\"o").unwrap();
+        // The server answers with a typed error, then closes only this
+        // connection.
+        let doc = read_frame(&mut slow).expect("goodbye frame");
+        match Response::from_json(&doc).unwrap() {
+            Response::Error { message } => assert!(message.contains("timed out"), "{message}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        assert_eq!(slow.read_to_end(&mut rest).unwrap(), 0, "connection closed");
+        assert_eq!(server.metrics().counter_value("serve.slow_closes"), 1);
+        // Other clients are unaffected.
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        client.ping().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_survives_read_timeout_ticks() {
+        let (eng, _) = engine(8);
+        let server = Server::start_with(
+            eng,
+            "127.0.0.1:0",
+            ServerOptions {
+                read_timeout: Some(Duration::from_millis(100)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        client.ping().unwrap();
+        // Sit idle across several timeout ticks — the connection must hold.
+        std::thread::sleep(Duration::from_millis(350));
+        client.ping().unwrap();
+        assert_eq!(server.metrics().counter_value("serve.slow_closes"), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_frame_gets_typed_protocol_error_before_close() {
+        use std::io::Write;
+        let (eng, _) = engine(9);
+        let server = Server::start(eng, "127.0.0.1:0", 32).unwrap();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"\x05\x00\x00\x00nope!").unwrap();
+        let doc = read_frame(&mut raw).expect("typed error frame");
+        match Response::from_json(&doc).unwrap() {
+            Response::Error { message } => {
+                assert!(message.contains("protocol error"), "{message}")
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        assert_eq!(raw.read_to_end(&mut rest).unwrap(), 0, "connection closed");
+        assert!(server.metrics().counter_value("serve.protocol_errors") >= 1);
+        // An oversize length prefix is refused the same way.
+        let mut huge = TcpStream::connect(server.addr()).unwrap();
+        huge.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        huge.write_all(b"xx").unwrap();
+        let doc = read_frame(&mut huge).expect("typed error frame");
+        assert!(!Response::from_json(&doc).unwrap().is_ok());
+        // The server is still fully alive.
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        client.ping().unwrap();
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Crash-recovery integration: concurrent queries + sequenced mutations with
+//! injected disconnects and duplicate deliveries, then a graceful drain and a
+//! WAL replay onto a fresh engine. The recovered state must be bit-identical
+//! both to the engine that lived through the chaos AND to a clean
+//! single-process replay of the acknowledged-mutation ledger — at 1 and 8
+//! kernel threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gcmae_repro::core::{GcmaeConfig, TrainSession};
+use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
+use gcmae_repro::serve::{
+    load_bundle, replay, save_bundle, Client, DedupTable, Engine, Request, RequestMeta,
+    ResilientClient, Response, Server, ServerOptions, Wal,
+};
+use gcmae_repro::tensor::parallel::set_num_threads;
+
+fn chaos_round(kernel_threads: usize, seed: u64) {
+    set_num_threads(kernel_threads);
+    let ds = generate(&CitationSpec::cora().scaled(0.02), seed);
+    let cfg = GcmaeConfig { epochs: 2, ..GcmaeConfig::fast() };
+    let trained = TrainSession::new(&cfg).seed(seed).run(&ds).expect("unguarded run");
+    let n = ds.num_nodes();
+    let bundle = save_bundle(&trained.model, &ds.graph, &ds.features);
+
+    let wal_path = std::env::temp_dir().join(format!(
+        "gcmae_chaos_test_{}_{kernel_threads}_{seed}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wal_path);
+    let (model, graph, features) = load_bundle(&bundle).expect("bundle");
+    let engine = Engine::new(model, graph, features).expect("engine");
+    let (wal, empty) = Wal::open(&wal_path).expect("wal");
+    assert!(empty.is_empty());
+    let server = Server::start_with(
+        engine,
+        "127.0.0.1:0",
+        ServerOptions {
+            max_batch: 8,
+            read_timeout: Some(std::time::Duration::from_millis(500)),
+            wal: Some(wal),
+            dedup: DedupTable::default(),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("server");
+    let addr = server.addr().to_string();
+
+    // Background readers keep the scheduler busy so mutations interleave
+    // with real query batches.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for t in 0..3_usize {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("reader connect");
+            let mut i = 0_usize;
+            while !stop.load(Ordering::Acquire) {
+                let nodes: Vec<usize> = (0..3).map(|k| (t * 17 + i * 5 + k) % n).collect();
+                c.embed(&nodes).expect("read during chaos");
+                i += 1;
+            }
+        }));
+    }
+    // A disconnector drops half-written frames on the floor the whole time.
+    let disconnector = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            use std::io::Write;
+            while !stop.load(Ordering::Acquire) {
+                if let Ok(mut s) = std::net::TcpStream::connect(&addr) {
+                    let _ = s.write_all(&32_u32.to_le_bytes());
+                    let _ = s.write_all(b"{\"op\"");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        })
+    };
+
+    // Sequenced mutator: a ledger of acknowledged edges, with a simulated
+    // lost-ack after every third mutation — the same (client, seq) frame is
+    // re-delivered on a brand-new connection and must dedup, not reapply.
+    let mut mutator = ResilientClient::new(&addr, 42);
+    let mut ledger: Vec<(usize, usize)> = Vec::new();
+    for m in 0..12_usize {
+        let u = (seed as usize + m * 7) % n;
+        let v = (u + 1 + m * 13) % n;
+        if u == v {
+            continue;
+        }
+        let edge = (u.min(v), u.max(v));
+        let seq = mutator.next_seq();
+        let first = mutator.add_edges(&[edge]).expect("mutation acked");
+        ledger.push(edge);
+        if m % 3 == 2 {
+            let mut dup = Client::connect(&addr).expect("retry connection");
+            let meta = RequestMeta {
+                client: Some(mutator.client_id()),
+                seq: Some(seq),
+                deadline_ms: None,
+            };
+            match dup
+                .call_with(&Request::AddEdges { edges: vec![edge] }, &meta)
+                .expect("duplicate delivery answered")
+            {
+                Response::EdgesAdded { invalidated } => assert_eq!(invalidated, first),
+                other => panic!("expected dedup'd edges_added, got {other:?}"),
+            }
+        }
+    }
+
+    let stats = {
+        let mut c = Client::connect(&addr).expect("stats connect");
+        c.stats().expect("stats")
+    };
+    assert_eq!(stats.wal_records as usize, ledger.len(), "one WAL record per ack");
+    assert_eq!(stats.dedup_hits, 4, "every re-delivered frame deduped");
+
+    stop.store(true, Ordering::Release);
+    for r in readers {
+        r.join().expect("reader");
+    }
+    disconnector.join().expect("disconnector");
+    let mut engine_a = server.shutdown().expect("graceful drain returns engine");
+
+    // Recovery path: fresh engine from the pre-chaos bundle + WAL replay.
+    let (_wal2, records) = Wal::open(&wal_path).expect("wal reopen");
+    assert_eq!(records.len(), ledger.len());
+    let (model_b, graph_b, features_b) = load_bundle(&bundle).expect("bundle reload");
+    let mut engine_b = Engine::new(model_b, graph_b, features_b).expect("engine b");
+    let dedup = replay(&mut engine_b, &records).expect("replay");
+    assert_eq!(dedup.len(), 1, "one mutating client");
+
+    // Clean single-process replay of the ledger, no serving stack at all.
+    let mut clean = ds.graph.clone();
+    for &e in &ledger {
+        let (next, _) = clean.add_edges(&[e]).expect("clean replay");
+        clean = next;
+    }
+    let expected = trained.model.encode(&clean, &ds.features);
+
+    assert_eq!(engine_a.graph().num_edges(), clean.num_edges(), "live edges");
+    assert_eq!(engine_b.graph().num_edges(), clean.num_edges(), "recovered edges");
+    let all: Vec<usize> = (0..n).collect();
+    let sweep_a = engine_a.embed_batch(&all).expect("live sweep");
+    let sweep_b = engine_b.embed_batch(&all).expect("recovered sweep");
+    for v in 0..n {
+        assert_eq!(sweep_a.row(v), expected.row(v), "live node {v}");
+        assert_eq!(sweep_b.row(v), expected.row(v), "recovered node {v}");
+    }
+
+    let _ = std::fs::remove_file(&wal_path);
+}
+
+#[test]
+fn wal_recovery_is_bit_exact_with_single_threaded_kernels() {
+    chaos_round(1, 5);
+    set_num_threads(0);
+}
+
+#[test]
+fn wal_recovery_is_bit_exact_with_eight_kernel_threads() {
+    chaos_round(8, 6);
+    set_num_threads(0);
+}
