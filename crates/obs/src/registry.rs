@@ -125,11 +125,16 @@ fn bucket_upper_bound(b: usize) -> f64 {
 }
 
 /// Aggregating observer; see the module docs for cost characteristics.
+///
+/// Maps are keyed by owned strings so names composed at runtime (per-shard
+/// gauges like `gateway.shard.3.up`) aggregate alongside the `&'static str`
+/// names emitted through the [`Observer`] trait; lookups still borrow, so
+/// the steady-state emit path allocates nothing.
 #[derive(Default)]
 pub struct Registry {
-    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
-    gauges: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
-    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Registry {
@@ -138,29 +143,46 @@ impl Registry {
         Self::default()
     }
 
-    fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
         if let Some(c) = read(&self.counters).get(name) {
             return Arc::clone(c);
         }
-        Arc::clone(write(&self.counters).entry(name).or_default())
+        Arc::clone(write(&self.counters).entry(name.to_string()).or_default())
     }
 
-    fn gauge(&self, name: &'static str) -> Arc<AtomicU64> {
+    fn gauge(&self, name: &str) -> Arc<AtomicU64> {
         if let Some(g) = read(&self.gauges).get(name) {
             return Arc::clone(g);
         }
         Arc::clone(
             write(&self.gauges)
-                .entry(name)
+                .entry(name.to_string())
                 .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits()))),
         )
     }
 
-    fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+    fn histogram(&self, name: &str) -> Arc<Histogram> {
         if let Some(h) = read(&self.histograms).get(name) {
             return Arc::clone(h);
         }
-        Arc::clone(write(&self.histograms).entry(name).or_default())
+        Arc::clone(write(&self.histograms).entry(name.to_string()).or_default())
+    }
+
+    /// Increments a counter whose name is composed at runtime (e.g.
+    /// `gateway.shard.2.requests`). First sight of a name allocates; every
+    /// later emit is a borrowed lookup plus one atomic RMW.
+    pub fn counter_add_dyn(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge whose name is composed at runtime.
+    pub fn gauge_set_dyn(&self, name: &str, value: f64) {
+        self.gauge(name).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records into a histogram whose name is composed at runtime.
+    pub fn histogram_record_dyn(&self, name: &str, value: f64) {
+        self.histogram(name).record(value);
     }
 
     /// Current value of a counter (0 if never written).
@@ -181,16 +203,16 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         let counters = read(&self.counters)
             .iter()
-            .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
         let gauges = read(&self.gauges)
             .iter()
-            .map(|(&k, v)| (k.to_string(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
             .collect();
         let histograms = read(&self.histograms)
             .iter()
-            .map(|(&k, h)| HistogramSnapshot {
-                name: k.to_string(),
+            .map(|(k, h)| HistogramSnapshot {
+                name: k.clone(),
                 count: h.count(),
                 sum: h.sum(),
                 p50: h.quantile(0.50),
@@ -446,6 +468,23 @@ mod tests {
         // must parse as a single JSON object: balanced braces, no trailing comma
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn dynamic_names_aggregate_alongside_static_ones() {
+        let r = Registry::new();
+        for shard in 0..3 {
+            r.counter_add_dyn(&format!("gw.shard.{shard}.requests"), shard + 1);
+            r.gauge_set_dyn(&format!("gw.shard.{shard}.up"), 1.0);
+        }
+        r.counter_add("gw.requests", 6);
+        r.histogram_record_dyn("gw.shard.0.ns", 42.0);
+        assert_eq!(r.counter_value("gw.shard.2.requests"), 3);
+        assert_eq!(r.gauge_value("gw.shard.1.up"), Some(1.0));
+        let s = r.snapshot();
+        assert!(s.counters.iter().any(|(k, v)| k == "gw.requests" && *v == 6));
+        assert!(s.counters.iter().any(|(k, _)| k == "gw.shard.0.requests"));
+        assert!(s.histograms.iter().any(|h| h.name == "gw.shard.0.ns" && h.count == 1));
     }
 
     #[test]

@@ -281,8 +281,10 @@ fn request_counter(request: &Request) -> &'static str {
         Request::Embed { .. } => "serve.requests.embed",
         Request::LinkScore { .. } => "serve.requests.link_score",
         Request::TopK { .. } => "serve.requests.top_k",
+        Request::TopKOwned { .. } => "serve.requests.top_k_owned",
         Request::AddEdges { .. } => "serve.requests.add_edges",
         Request::AddNode { .. } => "serve.requests.add_node",
+        Request::Reindex { .. } => "serve.requests.reindex",
         Request::Shutdown => "serve.requests.shutdown",
     }
 }
@@ -369,7 +371,7 @@ fn run_group(engine: &mut Engine, group: &[Job], degraded: bool, ctx: &mut Sched
             Request::LinkScore { pairs } => {
                 wanted.extend(pairs.iter().flat_map(|&(u, v)| [u, v]));
             }
-            Request::TopK { node, .. } => {
+            Request::TopK { node, .. } | Request::TopKOwned { node, .. } => {
                 if *node < n {
                     wanted.push(*node);
                     wanted.extend(engine.graph().neighbors(*node).iter().map(|&v| v as usize));
@@ -398,7 +400,7 @@ fn run_group(engine: &mut Engine, group: &[Job], degraded: bool, ctx: &mut Sched
         let response = if degraded {
             respond_degraded(engine, job, ctx)
         } else {
-            respond_caught(engine, &job.request, ctx)
+            respond_caught(engine, &job.request, false, ctx)
         };
         finish(job, response, ctx);
     }
@@ -408,7 +410,7 @@ fn run_group(engine: &mut Engine, group: &[Job], degraded: bool, ctx: &mut Sched
 /// every other read falls through to the normal (fresh) path.
 fn respond_degraded(engine: &mut Engine, job: &Job, ctx: &mut SchedCtx) -> Response {
     let Request::Embed { nodes } = &job.request else {
-        return respond_caught(engine, &job.request, ctx);
+        return respond_caught(engine, &job.request, false, ctx);
     };
     let budget = ctx.stale_epochs;
     let result = catch_unwind(AssertUnwindSafe(|| engine.embed_batch_stale(nodes, budget)));
@@ -433,9 +435,10 @@ fn respond_degraded(engine: &mut Engine, job: &Job, ctx: &mut SchedCtx) -> Respo
 
 /// Dispatches one request with panic containment: an engine panic answers
 /// only the offending request and leaves the scheduler (and every other
-/// queued request) running.
-fn respond_caught(engine: &mut Engine, request: &Request, ctx: &mut SchedCtx) -> Response {
-    match catch_unwind(AssertUnwindSafe(|| respond(engine, request, ctx))) {
+/// queued request) running. `halo` is the request header's ownership bit,
+/// meaningful only for `add_node` (reads pass `false`).
+fn respond_caught(engine: &mut Engine, request: &Request, halo: bool, ctx: &mut SchedCtx) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| respond(engine, request, halo, ctx))) {
         Ok(response) => response,
         Err(payload) => {
             ctx.metrics.counter_add("serve.panics", 1);
@@ -449,7 +452,7 @@ fn respond_caught(engine: &mut Engine, request: &Request, ctx: &mut SchedCtx) ->
 fn run_mutation(engine: &mut Engine, job: &Job, shared: &Arc<Shared>, ctx: &mut SchedCtx) {
     if matches!(job.request, Request::Shutdown) {
         shared.queue.lock().expect("queue poisoned").stopping = true;
-        finish(job, respond_caught(engine, &job.request, ctx), ctx);
+        finish(job, respond_caught(engine, &job.request, false, ctx), ctx);
         return;
     }
     let client = job.meta.client.unwrap_or(0);
@@ -471,14 +474,15 @@ fn run_mutation(engine: &mut Engine, job: &Job, shared: &Arc<Shared>, ctx: &mut 
         }
         DedupVerdict::Fresh => {}
     }
-    let mut response = respond_caught(engine, &job.request, ctx);
+    let halo = job.meta.halo.unwrap_or(false);
+    let mut response = respond_caught(engine, &job.request, halo, ctx);
     // Durability before acknowledgment: the record must be on disk before
     // the client can observe success. An append failure downgrades the ack
     // to an error — the client retries, and dedup is only recorded for
     // acknowledged mutations, so the retry resolves correctly either way.
     if response.is_ok() {
         if let Some(wal) = &mut ctx.wal {
-            let rec = WalRecord { client, seq, request: job.request.clone() };
+            let rec = WalRecord { client, seq, request: job.request.clone(), halo };
             match wal.append(&rec) {
                 Ok(bytes) => {
                     ctx.metrics.counter_add("serve.wal.records", 1);
@@ -524,13 +528,14 @@ fn finish(job: &Job, response: Response, ctx: &mut SchedCtx) {
 /// one [`Response`] here, with engine failures folded into
 /// [`Response::Error`]. No wildcard arm — a new op fails to compile until
 /// it is handled.
-fn respond(engine: &mut Engine, request: &Request, ctx: &SchedCtx) -> Response {
+fn respond(engine: &mut Engine, request: &Request, halo: bool, ctx: &SchedCtx) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::Stats => {
             let s = engine.stats();
             Response::Stats(ServerStats {
                 num_nodes: s.num_nodes,
+                owned_nodes: s.owned_nodes,
                 num_edges: s.num_edges,
                 embed_dim: s.embed_dim,
                 cache_hits: s.cache.hits,
@@ -572,6 +577,12 @@ fn respond(engine: &mut Engine, request: &Request, ctx: &SchedCtx) -> Response {
                 message: e.to_string(),
             },
         },
+        Request::TopKOwned { node, k } => match engine.top_k_owned(*node, *k) {
+            Ok(ranked) => Response::Neighbors(ranked),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
         Request::AddEdges { edges } => match engine.add_edges(edges) {
             Ok(stale) => Response::EdgesAdded { invalidated: stale },
             Err(e) => Response::Error {
@@ -581,8 +592,14 @@ fn respond(engine: &mut Engine, request: &Request, ctx: &SchedCtx) -> Response {
         Request::AddNode {
             neighbors,
             features,
-        } => match engine.add_node(neighbors, features) {
+        } => match engine.add_node_with(neighbors, features, !halo) {
             Ok(id) => Response::NodeAdded { node: id },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Reindex { order } => match engine.reindex(order) {
+            Ok(nodes) => Response::Reindexed { nodes },
             Err(e) => Response::Error {
                 message: e.to_string(),
             },
@@ -941,7 +958,7 @@ mod tests {
     fn replayed_mutations_are_deduplicated_not_reapplied() {
         let (eng, _) = engine(12);
         let batcher = Batcher::new(eng, 32);
-        let meta = |seq| RequestMeta { client: Some(7), seq: Some(seq), deadline_ms: None };
+        let meta = |seq| RequestMeta { client: Some(7), seq: Some(seq), ..RequestMeta::default() };
         let first =
             batcher.submit_with(Request::AddEdges { edges: vec![(0, 15)] }, meta(1));
         assert!(first.is_ok());
@@ -1062,7 +1079,7 @@ mod tests {
             eng,
             BatcherOptions { wal: Some(wal), ..BatcherOptions::default() },
         );
-        let meta = |c, s| RequestMeta { client: Some(c), seq: Some(s), deadline_ms: None };
+        let meta = |c, s| RequestMeta { client: Some(c), seq: Some(s), ..RequestMeta::default() };
         assert!(batcher
             .submit_with(Request::AddEdges { edges: vec![(0, 15)] }, meta(1, 1))
             .is_ok());

@@ -1,0 +1,61 @@
+//! Shared scenario-row schema for the serving benches.
+//!
+//! `bench_serve` (single process, `shards = 1`) and `bench_shards` (tiers
+//! behind a gateway) emit the same row keys, so one reader aggregates both
+//! files into a single table; bench-specific extras ride as additional keys
+//! after the shared prefix.
+
+use gcmae_serve::Json;
+
+/// One benchmark scenario's results.
+pub struct BenchRow {
+    /// Concurrent reader clients.
+    pub clients: usize,
+    /// Scheduler coalescing cap (per shard, where sharded).
+    pub max_batch: usize,
+    /// Shard count; `1` = unsharded single process.
+    pub shards: usize,
+    /// Read queries completed.
+    pub queries: usize,
+    /// Wall-clock seconds for the measured span.
+    pub elapsed_s: f64,
+    /// Read queries per second.
+    pub throughput_qps: f64,
+    /// Median read latency, milliseconds.
+    pub p50_ms: f64,
+    /// Tail read latency, milliseconds.
+    pub p99_ms: f64,
+    /// Embedding-cache hit rate over the run (summed across shards).
+    pub cache_hit_rate: f64,
+    /// Mean coalesced batch size (jobs per scheduler group).
+    pub avg_batch: f64,
+}
+
+impl BenchRow {
+    /// Serializes the shared keys, then any bench-specific `extra` keys.
+    pub fn to_json(&self, extra: Vec<(String, Json)>) -> Json {
+        let mut fields = vec![
+            ("clients".to_string(), Json::int(self.clients)),
+            ("max_batch".to_string(), Json::int(self.max_batch)),
+            ("shards".to_string(), Json::int(self.shards)),
+            ("queries".to_string(), Json::int(self.queries)),
+            ("elapsed_s".to_string(), Json::num(self.elapsed_s)),
+            ("throughput_qps".to_string(), Json::num(self.throughput_qps)),
+            ("p50_ms".to_string(), Json::num(self.p50_ms)),
+            ("p99_ms".to_string(), Json::num(self.p99_ms)),
+            ("cache_hit_rate".to_string(), Json::num(self.cache_hit_rate)),
+            ("avg_batch".to_string(), Json::num(self.avg_batch)),
+        ];
+        fields.extend(extra);
+        Json::Obj(fields)
+    }
+}
+
+/// `p`-th percentile of an ascending-sorted latency list.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}

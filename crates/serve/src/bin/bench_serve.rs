@@ -11,10 +11,14 @@
 //! bench_serve [--out BENCH_serve.json] [--queries 150] [--scale 0.3]
 //! ```
 
+#[path = "bench_row.rs"]
+mod bench_row;
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use bench_row::{percentile, BenchRow};
 use gcmae_core::{GcmaeConfig, TrainSession};
 use gcmae_graph::generators::citation::{generate, CitationSpec};
 use gcmae_serve::{load_bundle, save_bundle, Client, Engine, Json, Server};
@@ -24,18 +28,6 @@ use rand::{Rng, SeedableRng};
 struct Scenario {
     clients: usize,
     max_batch: usize,
-}
-
-struct Outcome {
-    clients: usize,
-    max_batch: usize,
-    queries: usize,
-    elapsed_s: f64,
-    throughput_qps: f64,
-    p50_ms: f64,
-    p99_ms: f64,
-    cache_hit_rate: f64,
-    avg_batch: f64,
 }
 
 fn main() {
@@ -103,6 +95,8 @@ fn main() {
         );
         outcomes.push(o);
     }
+    // Row schema shared with bench_shards (`shards = 1` tags these rows as
+    // the unsharded baseline).
 
     let doc = Json::Obj(vec![
         ("bench".into(), Json::str("serve")),
@@ -112,24 +106,7 @@ fn main() {
         ("queries_per_client".into(), Json::int(queries)),
         (
             "scenarios".into(),
-            Json::Arr(
-                outcomes
-                    .iter()
-                    .map(|o| {
-                        Json::Obj(vec![
-                            ("clients".into(), Json::int(o.clients)),
-                            ("max_batch".into(), Json::int(o.max_batch)),
-                            ("queries".into(), Json::int(o.queries)),
-                            ("elapsed_s".into(), Json::num(o.elapsed_s)),
-                            ("throughput_qps".into(), Json::num(o.throughput_qps)),
-                            ("p50_ms".into(), Json::num(o.p50_ms)),
-                            ("p99_ms".into(), Json::num(o.p99_ms)),
-                            ("cache_hit_rate".into(), Json::num(o.cache_hit_rate)),
-                            ("avg_batch".into(), Json::num(o.avg_batch)),
-                        ])
-                    })
-                    .collect(),
-            ),
+            Json::Arr(outcomes.iter().map(|o| o.to_json(Vec::new())).collect()),
         ),
     ]);
     std::fs::write(&out_path, doc.dump()).expect("write bench output");
@@ -143,7 +120,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> Outcome {
+fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> BenchRow {
     let n = engine.graph().num_nodes();
     let server = Server::start(engine, "127.0.0.1:0", s.max_batch).expect("bind");
     let addr = server.addr().to_string();
@@ -210,9 +187,10 @@ fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> Outcome {
     let batched_jobs = stats.batched_jobs as f64;
     latencies.sort_by(f64::total_cmp);
     let total = latencies.len();
-    Outcome {
+    BenchRow {
         clients: s.clients,
         max_batch: s.max_batch,
+        shards: 1,
         queries: total,
         elapsed_s: elapsed,
         throughput_qps: total as f64 / elapsed,
@@ -229,12 +207,4 @@ fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> Outcome {
             0.0
         },
     }
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
 }

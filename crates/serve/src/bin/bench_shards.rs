@@ -1,0 +1,350 @@
+//! `bench_shards`: measures read throughput of sharded serving tiers at
+//! S = 1, 2, 4 shards under a mutation-heavy workload, verifies bit-exact
+//! parity against a single-process encode of the same mutation ledger, and
+//! writes `BENCH_shards.json`.
+//!
+//! Every tier — including S = 1 — is measured *through a gateway*, so the
+//! gateway's routing overhead is common-mode and the ratio isolates what
+//! sharding buys. The workload is what sharding is for: a graph that
+//! *partitions well* (a ring lattice: every halo ball is a short arc, so
+//! BFS regions own their neighborhoods outright) under sustained mutations,
+//! each one a WAL fsync + invalidation barrier on its owning shard.
+//! Mutators pin themselves to region interiors — nodes whose repair ball
+//! cannot escape the owning region — so at S = 4 concurrent mutations pin
+//! *different* shards, their fsyncs overlap, and reads on untouched shards
+//! keep flowing. At S = 1 the same storm funnels every fsync through one
+//! serialization point and every read queues behind it — which is why read
+//! q/s scales even on a single core. A small-world graph would not show
+//! this: its halo balls span every region, every repair plan fans out
+//! tier-wide, and sharding buys nothing (that regime is measured, and
+//! documented as the anti-case, in DESIGN.md).
+//!
+//! The model is random-initialized rather than trained: serving cost
+//! depends on the architecture (layer count sets the halo depth, dims set
+//! the FLOPs), not on where the weights ended up, and parity is checked
+//! against the same weights either way.
+//!
+//! ```text
+//! bench_shards [--out BENCH_shards.json] [--mutations 30] [--nodes 1024]
+//! ```
+
+#[path = "bench_row.rs"]
+mod bench_row;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench_row::{percentile, BenchRow};
+use gcmae_core::model::seeded_rng;
+use gcmae_core::{Gcmae, GcmaeConfig};
+use gcmae_graph::Graph;
+use gcmae_serve::{
+    load_bundle, save_bundle, Client, Engine, Json, PartitionMode, ResilientClient, ShardTier,
+    TierOptions,
+};
+use gcmae_tensor::parallel::set_num_threads;
+use gcmae_tensor::Matrix;
+
+const READERS: usize = 4;
+const MUTATORS: usize = 4;
+const MAX_BATCH: usize = 16;
+/// Ring-lattice width: each node links to its `LATTICE_W` successors.
+const LATTICE_W: usize = 2;
+const IN_DIM: usize = 8;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_shards.json".to_string());
+    let mutations: usize = flag(&args, "--mutations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let n: usize = flag(&args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
+
+    // Keep kernels inline: with every shard in one process, a kernel thread
+    // pool would just add scheduler noise to the comparison.
+    set_num_threads(1);
+
+    let mut edges = Vec::with_capacity(n * LATTICE_W);
+    for v in 0..n {
+        for j in 1..=LATTICE_W {
+            edges.push((v, (v + j) % n));
+        }
+    }
+    let graph = Graph::from_edges(n, &edges);
+    let mut rng = seeded_rng(17);
+    let features = Matrix::uniform(n, IN_DIM, -1.0, 1.0, &mut rng);
+    let cfg = GcmaeConfig { hidden_dim: 16, proj_dim: 8, ..GcmaeConfig::fast() };
+    let model = Gcmae::new(&cfg, IN_DIM, &mut rng);
+    eprintln!(
+        "benchmark graph: ring lattice, {} nodes / {} edges",
+        n,
+        graph.num_edges()
+    );
+    let bundle = save_bundle(&model, &graph, &features);
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut read_qps = std::collections::BTreeMap::new();
+    let mut all_parity = true;
+    let mut leaked_total = 0_i64;
+    for shards in [1_usize, 2, 4] {
+        let o = run_tier(&bundle, &graph, &features, &model, shards, mutations);
+        eprintln!(
+            "shards={shards}: {:8.1} read q/s  p50={:.3}ms p99={:.3}ms  {} mutations  parity={} leaked={}",
+            o.row.throughput_qps, o.row.p50_ms, o.row.p99_ms, o.mutations, o.parity_ok, o.leaked_threads
+        );
+        read_qps.insert(shards, o.row.throughput_qps);
+        all_parity &= o.parity_ok;
+        leaked_total += o.leaked_threads;
+        rows.push(o.row.to_json(vec![
+            ("mutations".to_string(), Json::int(o.mutations)),
+            ("parity_ok".to_string(), Json::Bool(o.parity_ok)),
+            ("leaked_threads".to_string(), Json::num(o.leaked_threads as f64)),
+        ]));
+    }
+
+    let scaling = read_qps[&4] / read_qps[&1];
+    eprintln!("read q/s scaling 4-shard vs single: {scaling:.2}x (parity {all_parity})");
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("shards")),
+        ("graph_nodes".into(), Json::int(n)),
+        ("graph_edges".into(), Json::int(graph.num_edges())),
+        ("hidden_dim".into(), Json::int(cfg.hidden_dim)),
+        ("mutations_per_client".into(), Json::int(mutations)),
+        ("scenarios".into(), Json::Arr(rows)),
+        ("read_qps_scaling_4x_over_1x".into(), Json::num(scaling)),
+        ("parity_ok".into(), Json::Bool(all_parity)),
+        ("leaked_threads".into(), Json::num(leaked_total as f64)),
+    ]);
+    std::fs::write(&out_path, doc.dump()).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct TierOutcome {
+    row: BenchRow,
+    mutations: usize,
+    parity_ok: bool,
+    leaked_threads: i64,
+}
+
+/// Threads currently in this process, from `/proc/self/status`. Falls back
+/// to 0 where /proc is unavailable (the leak gate then trivially passes).
+fn thread_count() -> i64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn run_tier(
+    bundle: &[u8],
+    graph: &Graph,
+    features: &Matrix,
+    model: &Gcmae,
+    shards: usize,
+    mutations: usize,
+) -> TierOutcome {
+    let baseline_threads = thread_count();
+    let wal_dir = std::env::temp_dir().join(format!(
+        "gcmae_bench_shards_{}_{shards}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("wal dir");
+
+    let tier = ShardTier::launch(
+        bundle,
+        shards,
+        TierOptions {
+            mode: PartitionMode::Bfs,
+            max_batch: MAX_BATCH,
+            wal_dir: Some(wal_dir.clone()),
+            client_seed: 0x6265_6e63_6800 | shards as u64,
+            ..TierOptions::default()
+        },
+    )
+    .expect("tier launch");
+    let gateway_addr = tier.gateway_addr().to_string();
+    let n = graph.num_nodes();
+
+    // Per-shard owned regions, and each region's *interior*: nodes whose
+    // closed 2·halo-hop ball stays inside the region. A mutation between
+    // interior nodes has a repair plan that touches exactly the owning
+    // shard (the plan's reach is bounded by 2·halo hops from the endpoints,
+    // and chords added between interior nodes never extend that reach past
+    // the region boundary), so concurrent mutations on different shards
+    // never serialize against each other.
+    let owner = tier.partition().owner.clone();
+    let halo = tier.partition().halo_depth;
+    let regions: Vec<Vec<usize>> = (0..shards)
+        .map(|s| (0..n).filter(|&v| owner[v] as usize == s).collect())
+        .collect();
+    let interiors: Vec<Vec<usize>> = regions
+        .iter()
+        .enumerate()
+        .map(|(s, region)| {
+            let interior: Vec<usize> = region
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    graph
+                        .k_hop_closed(&[v], 2 * halo)
+                        .iter()
+                        .all(|&x| owner[x] as usize == s)
+                })
+                .collect();
+            if interior.len() < 2 { region.clone() } else { interior }
+        })
+        .collect();
+
+    // Mutation storm: MUTATORS sequenced clients, each looping `mutations`
+    // add_edges within its pinned region's interior.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut mutator_handles = Vec::new();
+    for m in 0..MUTATORS {
+        let addr = gateway_addr.clone();
+        let interior = interiors[m % shards].clone();
+        mutator_handles.push(std::thread::spawn(move || -> Vec<(usize, usize)> {
+            let mut client = ResilientClient::new(&addr, 0x4d00 + m as u64);
+            let mut acked = Vec::with_capacity(mutations);
+            let mut state = 0x9e37_79b9_u64.wrapping_mul(m as u64 + 1);
+            for _ in 0..mutations {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = interior[(state >> 33) as usize % interior.len()];
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = interior[(state >> 33) as usize % interior.len()];
+                if u == v {
+                    continue;
+                }
+                client.add_edges(&[(u, v)]).expect("mutation acked");
+                acked.push((u.min(v), u.max(v)));
+            }
+            acked
+        }));
+    }
+
+    // Readers: point queries pinned to one region per request so each read
+    // routes to exactly one shard (a request spanning owners pays one
+    // sequential fetch per owner, which would measure fan-out latency, not
+    // shard throughput). Latency is measured client-side per round trip.
+    let mut reader_handles = Vec::new();
+    for r in 0..READERS {
+        let addr = gateway_addr.clone();
+        let stop = Arc::clone(&stop);
+        let region = regions[r % shards].clone();
+        reader_handles.push(std::thread::spawn(move || -> Vec<f64> {
+            let mut client = Client::connect(&addr).expect("reader connect");
+            let mut latencies = Vec::new();
+            let mut i = 0_usize;
+            while !stop.load(Ordering::Acquire) {
+                let nodes: Vec<usize> = (0..4)
+                    .map(|k| region[(r * 31 + i * 11 + k * 3) % region.len()])
+                    .collect();
+                let begin = Instant::now();
+                client.embed(&nodes).expect("read during storm");
+                latencies.push(begin.elapsed().as_secs_f64() * 1e3);
+                i += 1;
+            }
+            latencies
+        }));
+    }
+
+    let started = Instant::now();
+    let mut ledger: Vec<(usize, usize)> = Vec::new();
+    for h in mutator_handles {
+        ledger.extend(h.join().expect("mutator"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in reader_handles {
+        latencies.extend(h.join().expect("reader"));
+    }
+
+    // Parity: the tier's post-storm answers must be bit-identical to a cold
+    // single-process encode over the same acknowledged-mutation ledger —
+    // add_edges commutes, so the ledger fully determines the final graph.
+    let mut clean = graph.clone();
+    ledger.sort_unstable();
+    ledger.dedup();
+    for &e in &ledger {
+        let (next, _) = clean.add_edges(&[e]).expect("clean replay");
+        clean = next;
+    }
+    let expected = model.encode(&clean, features);
+    let mut parity_ok = true;
+    let mut parity_client = Client::connect(&gateway_addr).expect("parity connect");
+    for chunk_start in (0..n).step_by(32) {
+        let nodes: Vec<usize> = (chunk_start..n.min(chunk_start + 32)).collect();
+        let rows = parity_client.embed(&nodes).expect("parity sweep");
+        for (row, &v) in rows.iter().zip(&nodes) {
+            if row.as_slice() != expected.row(v) {
+                parity_ok = false;
+            }
+        }
+    }
+    // Top-k parity on a node sample, against a clean unsharded engine.
+    let (m2, _, _) = load_bundle(bundle).expect("bundle reload");
+    let mut clean_engine =
+        Engine::new(m2, clean.clone(), features.clone()).expect("clean engine");
+    for v in (0..n).step_by((n / 16).max(1)) {
+        let want = clean_engine.top_k(v, 5).expect("clean top_k");
+        let got = parity_client.top_k(v, 5).expect("gateway top_k");
+        if got != want {
+            parity_ok = false;
+        }
+    }
+
+    // Cache/batch stats aggregated by the gateway.
+    let stats = parity_client.stats().expect("stats");
+    drop(parity_client);
+
+    // Graceful drain, then require every tier thread to exit: handler
+    // threads tick their stop flags on the 500ms read-timeout poll, so give
+    // the count a few seconds to settle back to baseline.
+    tier.shutdown();
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    let mut leaked = thread_count() - baseline_threads;
+    while leaked > 0 && Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        leaked = thread_count() - baseline_threads;
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    latencies.sort_by(f64::total_cmp);
+    let reads = latencies.len();
+    let hits = stats.cache_hits as f64;
+    let misses = stats.cache_misses as f64;
+    let batches = stats.batches as f64;
+    TierOutcome {
+        row: BenchRow {
+            clients: READERS,
+            max_batch: MAX_BATCH,
+            shards,
+            queries: reads,
+            elapsed_s: elapsed,
+            throughput_qps: reads as f64 / elapsed,
+            p50_ms: percentile(&latencies, 0.50),
+            p99_ms: percentile(&latencies, 0.99),
+            cache_hit_rate: if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 },
+            avg_batch: if batches > 0.0 { stats.batched_jobs as f64 / batches } else { 0.0 },
+        },
+        mutations: ledger.len(),
+        parity_ok,
+        leaked_threads: leaked,
+    }
+}

@@ -1,0 +1,180 @@
+//! `gcmae-gateway`: partition a checkpoint into shard slices, front running
+//! shards with a fan-out gateway, or run a whole tier in one process.
+//!
+//! ```text
+//! gcmae-gateway partition --checkpoint ckpt.bin --out-dir tier
+//!               [--shards 4] [--mode bfs|hash] [--halo N]
+//! gcmae-gateway serve --checkpoint ckpt.bin --manifest tier/manifest.json
+//!               --shards 127.0.0.1:7441,127.0.0.1:7442,...
+//!               [--addr 127.0.0.1:7440] [--wal gateway.wal] [--readers 4]
+//! gcmae-gateway tier --checkpoint ckpt.bin [--shards 4] [--mode bfs|hash]
+//!               [--addr 127.0.0.1:7440] [--wal-dir tier-wal]
+//! ```
+//!
+//! The full multi-process flow: `partition` writes `manifest.json` plus one
+//! standalone GSRB bundle per shard; each shard runs
+//! `gcmae-serve serve --checkpoint tier/shard<i>.bin --shard-manifest
+//! tier/manifest.json --shard-index <i>`; then `serve` starts the gateway
+//! against those shard addresses. `tier` collapses all of that into one
+//! process on ephemeral ports — handy for local experiments.
+
+use std::process::ExitCode;
+
+use gcmae_serve::{
+    halo_depth_for, load_bundle, Gateway, GatewayOptions, Json, Partition, PartitionMode,
+    ShardTier, TierOptions,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("tier") => cmd_tier(&args[1..]),
+        _ => Err("usage: gcmae-gateway <partition|serve|tier> [options]".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gcmae-gateway: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad value for {name}: {raw}")),
+    }
+}
+
+fn parse_mode(args: &[String]) -> Result<PartitionMode, String> {
+    match flag(args, "--mode") {
+        None => Ok(PartitionMode::Bfs),
+        Some(raw) => {
+            PartitionMode::parse(&raw).ok_or(format!("bad value for --mode (want bfs|hash): {raw}"))
+        }
+    }
+}
+
+fn load_checkpoint(
+    args: &[String],
+) -> Result<(gcmae_core::Gcmae, gcmae_graph::Graph, gcmae_tensor::Matrix), String> {
+    let path = flag(args, "--checkpoint").ok_or("need --checkpoint <file>")?;
+    let blob = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    load_bundle(&blob).map_err(|e| format!("{path}: {e}"))
+}
+
+/// A per-process-lifetime identity seed for the gateway's shard-facing
+/// mutation clients: shards dedup retries within one gateway lifetime, and a
+/// restarted gateway must start fresh sequences rather than collide with its
+/// predecessor's.
+fn lifetime_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    (nanos ^ ((std::process::id() as u64) << 32)) | 1
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let out_dir = flag(args, "--out-dir").ok_or("partition needs --out-dir <dir>")?;
+    let shards: usize = parse_flag(args, "--shards", 4)?;
+    let mode = parse_mode(args)?;
+    let (model, graph, features) = load_checkpoint(args)?;
+    let halo: usize = parse_flag(args, "--halo", halo_depth_for(model.encoder_layers()))?;
+    let partition = Partition::build(&graph, shards, mode, halo).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let dir = std::path::Path::new(&out_dir);
+    let manifest = dir.join("manifest.json");
+    std::fs::write(&manifest, partition.to_json().dump())
+        .map_err(|e| format!("cannot write manifest: {e}"))?;
+    for s in 0..shards {
+        let slice = partition.shard_bundle(&model, &graph, &features, s);
+        let path = dir.join(format!("shard{s}.bin"));
+        std::fs::write(&path, &slice)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let spec = &partition.shards[s];
+        println!(
+            "shard {s}: {} residents ({} owned) -> {} ({} bytes)",
+            spec.residents.len(),
+            spec.owned_nodes(),
+            path.display(),
+            slice.len()
+        );
+    }
+    println!(
+        "partitioned {} nodes into {shards} {} shards, halo depth {halo}; manifest at {}",
+        graph.num_nodes(),
+        mode.name(),
+        manifest.display()
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let manifest_path = flag(args, "--manifest").ok_or("serve needs --manifest <file>")?;
+    let shard_list = flag(args, "--shards").ok_or("serve needs --shards addr1,addr2,...")?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7440".to_string());
+    let (_, graph, features) = load_checkpoint(args)?;
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
+    let partition = Partition::from_json(&doc).map_err(|e| e.to_string())?;
+    let shard_addrs: Vec<String> = shard_list.split(',').map(str::to_string).collect();
+    let opts = GatewayOptions {
+        read_connections: parse_flag(args, "--readers", 4)?,
+        wal_path: flag(args, "--wal").map(std::path::PathBuf::from),
+        client_seed: lifetime_seed(),
+        ..GatewayOptions::default()
+    };
+    let gateway = Gateway::start(graph, &features, &partition, &shard_addrs, &addr, opts)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "gateway on {} fronting {} shards (mode {}, halo depth {}); send shutdown to stop",
+        gateway.addr(),
+        partition.num_shards(),
+        partition.mode.name(),
+        partition.halo_depth
+    );
+    gateway.run_until_shutdown();
+    println!("gateway stopped");
+    Ok(())
+}
+
+fn cmd_tier(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--checkpoint").ok_or("tier needs --checkpoint <file>")?;
+    let blob = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let shards: usize = parse_flag(args, "--shards", 4)?;
+    let opts = TierOptions {
+        mode: parse_mode(args)?,
+        wal_dir: flag(args, "--wal-dir").map(std::path::PathBuf::from),
+        client_seed: lifetime_seed(),
+        ..TierOptions::default()
+    };
+    if let Some(dir) = &opts.wal_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create wal dir: {e}"))?;
+    }
+    let tier = ShardTier::launch(&blob, shards, opts).map_err(|e| e.to_string())?;
+    for (s, addr) in tier.shard_addrs().iter().enumerate() {
+        println!("shard {s} on {addr}");
+    }
+    println!(
+        "gateway on {} ({} shards); send shutdown to stop",
+        tier.gateway_addr(),
+        tier.num_shards()
+    );
+    tier.run_until_shutdown();
+    println!("tier stopped");
+    Ok(())
+}

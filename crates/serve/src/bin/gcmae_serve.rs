@@ -7,6 +7,7 @@
 //!             [--backend reference|simd] [--metrics-jsonl events.jsonl]
 //!             [--wal mutations.wal] [--max-queue 0] [--stale-epochs 0]
 //!             [--read-timeout-ms 10000] [--write-timeout-ms 10000]
+//!             [--shard-manifest tier/manifest.json --shard-index 0]
 //! gcmae-serve query --addr 127.0.0.1:7431 embed 0 1 2
 //! gcmae-serve query --addr 127.0.0.1:7431 link 0:1 4:9
 //! gcmae-serve query --addr 127.0.0.1:7431 topk 5 3
@@ -22,7 +23,8 @@ use gcmae_graph::generators::citation::{generate, CitationSpec};
 use gcmae_graph::Dataset;
 use gcmae_obs::{JsonlObserver, Observer};
 use gcmae_serve::{
-    load_bundle, replay, save_bundle, Client, DedupTable, Engine, Server, ServerOptions, Wal,
+    load_bundle, replay, save_bundle, Client, DedupTable, Engine, Json, Partition, Server,
+    ServerOptions, Wal,
 };
 
 fn main() -> ExitCode {
@@ -110,6 +112,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         model.config().hidden_dim
     );
     let mut engine = Engine::new(model, graph, features).map_err(|e| e.to_string())?;
+    // Shard sidecar mode: the checkpoint is one shard's slice (written by
+    // `gcmae-gateway partition`); install the tier manifest's ownership
+    // mask *before* WAL replay, so replayed halo `add_node`s extend the
+    // mask truthfully instead of defaulting to owned.
+    if let Some(manifest_path) = flag(args, "--shard-manifest") {
+        let index: usize = flag(args, "--shard-index")
+            .ok_or("--shard-manifest needs --shard-index <n>")?
+            .parse()
+            .map_err(|_| "bad value for --shard-index".to_string())?;
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
+        let partition = Partition::from_json(&doc).map_err(|e| e.to_string())?;
+        let spec = partition
+            .shards
+            .get(index)
+            .ok_or(format!("--shard-index {index} out of range"))?;
+        engine
+            .set_owned(spec.owned.clone())
+            .map_err(|e| format!("ownership mask: {e}"))?;
+        println!(
+            "shard {index}/{}: {} residents ({} owned, halo depth {})",
+            partition.num_shards(),
+            spec.residents.len(),
+            spec.owned_nodes(),
+            partition.halo_depth
+        );
+    }
     let events: Option<Arc<dyn Observer>> = match flag(args, "--metrics-jsonl") {
         Some(path) => {
             let sink =

@@ -11,6 +11,7 @@ use gcmae_obs::Snapshot;
 
 use crate::protocol::{
     read_frame, write_frame, ProtocolError, Request, RequestMeta, Response, ServerStats,
+    PROTOCOL_VERSION,
 };
 
 /// Client-side failure.
@@ -148,6 +149,19 @@ impl Client {
     /// Highest-scoring graph neighbors of `node`.
     pub fn top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, ClientError> {
         match self.call(&Request::TopK { node, k })? {
+            Response::Neighbors(ranked) => Ok(ranked),
+            _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
+    }
+
+    /// Highest-scoring *owned* graph neighbors of `node` (sharded tiers; on
+    /// an unsharded server this equals [`Client::top_k`]).
+    pub fn top_k_owned(
+        &mut self,
+        node: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f32)>, ClientError> {
+        match self.call(&Request::TopKOwned { node, k })? {
             Response::Neighbors(ranked) => Ok(ranked),
             _ => Err(ClientError::BadResponse("expected neighbors")),
         }
@@ -356,17 +370,33 @@ impl ResilientClient {
 
     fn call_read(&mut self, request: &Request) -> Result<Response, ClientError> {
         debug_assert!(request.is_read_only(), "reads only");
-        let meta = RequestMeta { deadline_ms: self.deadline_ms, ..RequestMeta::default() };
+        let meta = RequestMeta {
+            deadline_ms: self.deadline_ms,
+            version: Some(PROTOCOL_VERSION),
+            ..RequestMeta::default()
+        };
         self.call_retrying(request, meta)
     }
 
     /// Mutations carry `(client, seq)`; every retry reuses the same `seq`,
     /// and the sequence advances only once the server acknowledges.
     fn call_mutation(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.call_mutation_with_halo(request, false)
+    }
+
+    /// [`ResilientClient::call_mutation`] with an explicit ownership bit —
+    /// the gateway marks halo-replica `add_node` fan-outs this way.
+    pub fn call_mutation_with_halo(
+        &mut self,
+        request: &Request,
+        halo: bool,
+    ) -> Result<Response, ClientError> {
         let meta = RequestMeta {
             deadline_ms: self.deadline_ms,
             client: Some(self.client_id),
             seq: Some(self.next_seq),
+            version: Some(PROTOCOL_VERSION),
+            halo: halo.then_some(true),
         };
         let response = self.call_retrying(request, meta)?;
         self.next_seq += 1;
@@ -410,6 +440,26 @@ impl ResilientClient {
         match self.call_read(&Request::TopK { node, k })? {
             Response::Neighbors(ranked) => Ok(ranked),
             _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
+    }
+
+    /// Highest-scoring *owned* neighbors, with retries (sharded tiers).
+    pub fn top_k_owned(
+        &mut self,
+        node: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f32)>, ClientError> {
+        match self.call_read(&Request::TopKOwned { node, k })? {
+            Response::Neighbors(ranked) => Ok(ranked),
+            _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
+    }
+
+    /// Live telemetry snapshot, with retries.
+    pub fn metrics(&mut self) -> Result<Snapshot, ClientError> {
+        match self.call_read(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            _ => Err(ClientError::BadResponse("expected metrics")),
         }
     }
 
@@ -504,7 +554,7 @@ mod tests {
         let meta = RequestMeta {
             client: Some(rc.client_id()),
             seq: Some(1),
-            deadline_ms: None,
+            ..RequestMeta::default()
         };
         match replayer
             .call_with(&Request::AddEdges { edges: vec![(0, 9)] }, &meta)

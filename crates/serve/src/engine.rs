@@ -80,6 +80,8 @@ pub struct EngineStats {
     pub embed_dim: usize,
     /// Kernel backend servicing this engine's dense math right now.
     pub backend: gcmae_tensor::Backend,
+    /// Nodes this engine owns (equal to `num_nodes` without an owned mask).
+    pub owned_nodes: usize,
 }
 
 /// A loaded model serving one resident graph.
@@ -91,6 +93,11 @@ pub struct Engine {
     cache: EmbeddingCache,
     faults: ServeFaultPlan,
     read_queries: u64,
+    /// Sharding ownership mask, parallel to node ids. `None` (the unsharded
+    /// default) means every node is owned. On a shard, halo replicas are
+    /// resident but un-owned: they are served like any node, except that
+    /// `top_k_owned` never reports them as candidates.
+    owned: Option<Vec<bool>>,
 }
 
 impl Engine {
@@ -118,7 +125,35 @@ impl Engine {
             cache,
             faults: ServeFaultPlan::default(),
             read_queries: 0,
+            owned: None,
         })
+    }
+
+    /// Installs a sharding ownership mask (one flag per resident node).
+    /// Nodes flagged `false` are halo replicas: resident for receptive-field
+    /// completeness but owned by another shard.
+    pub fn set_owned(&mut self, mask: Vec<bool>) -> Result<(), EngineError> {
+        if mask.len() != self.graph.num_nodes() {
+            return Err(EngineError::NodeOutOfRange {
+                node: mask.len(),
+                num_nodes: self.graph.num_nodes(),
+            });
+        }
+        self.owned = Some(mask);
+        Ok(())
+    }
+
+    /// True when this engine owns `node` (always true without a mask).
+    pub fn is_owned(&self, node: usize) -> bool {
+        self.owned.as_ref().map_or(true, |m| m.get(node).copied().unwrap_or(false))
+    }
+
+    /// Number of owned nodes (all of them without a mask).
+    pub fn owned_nodes(&self) -> usize {
+        match &self.owned {
+            Some(m) => m.iter().filter(|&&o| o).count(),
+            None => self.graph.num_nodes(),
+        }
     }
 
     /// Installs a deterministic read-fault schedule (chaos testing). The
@@ -164,6 +199,7 @@ impl Engine {
             num_edges: self.graph.num_edges(),
             embed_dim: self.cache.dim(),
             backend: gcmae_tensor::backend::active_backend(),
+            owned_nodes: self.owned_nodes(),
         }
     }
 
@@ -284,10 +320,32 @@ impl Engine {
     /// descending; ties broken by the smaller node id so the ordering is
     /// fully deterministic.
     pub fn top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, EngineError> {
+        self.top_k_filtered(node, k, false)
+    }
+
+    /// Like [`Engine::top_k`], but restricted to candidates this engine
+    /// *owns*. On a shard this answers only for the partition it is
+    /// responsible for, so a gateway merging every shard's answer sees each
+    /// true neighbor exactly once; without an owned mask it equals `top_k`.
+    pub fn top_k_owned(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, EngineError> {
+        self.top_k_filtered(node, k, true)
+    }
+
+    fn top_k_filtered(
+        &mut self,
+        node: usize,
+        k: usize,
+        owned_only: bool,
+    ) -> Result<Vec<(usize, f32)>, EngineError> {
         self.tick_read()?;
         self.check_nodes([node])?;
-        let candidates: Vec<usize> =
-            self.graph.neighbors(node).iter().map(|&v| v as usize).collect();
+        let candidates: Vec<usize> = self
+            .graph
+            .neighbors(node)
+            .iter()
+            .map(|&v| v as usize)
+            .filter(|&v| !owned_only || self.is_owned(v))
+            .collect();
         let mut all = candidates.clone();
         all.push(node);
         self.warm(&all);
@@ -320,11 +378,24 @@ impl Engine {
     }
 
     /// Appends a node with the given neighbors and feature row; returns the
-    /// new node's id.
+    /// new node's id. The node is owned (the unsharded default).
     pub fn add_node(
         &mut self,
         neighbors: &[usize],
         features: &[f32],
+    ) -> Result<usize, EngineError> {
+        self.add_node_with(neighbors, features, true)
+    }
+
+    /// [`Engine::add_node`] with an explicit ownership flag: a gateway
+    /// fanning a node out as a halo replica passes `owned = false` so the
+    /// replica never surfaces in `top_k_owned` answers. Without an owned
+    /// mask installed the flag is irrelevant and ignored.
+    pub fn add_node_with(
+        &mut self,
+        neighbors: &[usize],
+        features: &[f32],
+        owned: bool,
     ) -> Result<usize, EngineError> {
         if features.len() != self.model.in_dim() {
             return Err(EngineError::FeatureWidth {
@@ -340,11 +411,64 @@ impl Engine {
         data.extend_from_slice(features);
         self.features = Matrix::from_vec(new_id + 1, d, data);
         self.cache.grow(new_id + 1);
+        if let Some(mask) = &mut self.owned {
+            mask.push(owned);
+        }
         let stale = graph.k_hop_closed(&affected, self.model.encoder_layers());
         self.cache.invalidate(&stale);
         self.ops = GraphOps::new(&graph);
         self.graph = graph;
         Ok(new_id)
+    }
+
+    /// Relabels every resident node: new id `i` takes over old id
+    /// `order[i]`'s adjacency, feature row, and ownership flag. `order` must
+    /// be a permutation of `0..num_nodes`. The whole cache is invalidated
+    /// (every id changed meaning), so the next read pays a cold forward.
+    ///
+    /// A shard's CSR rows are sorted by local id, which makes local-id order
+    /// the f32 summation order of neighbor aggregation. The gateway calls
+    /// this after a repair whose installs broke ascending-global order,
+    /// restoring the exact summation order of an unsharded engine — the
+    /// bit-parity contract.
+    pub fn reindex(&mut self, order: &[usize]) -> Result<usize, EngineError> {
+        let n = self.graph.num_nodes();
+        if order.len() != n {
+            return Err(EngineError::NodeOutOfRange { node: order.len(), num_nodes: n });
+        }
+        let mut inv = vec![usize::MAX; n];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            if old_id >= n || inv[old_id] != usize::MAX {
+                return Err(EngineError::NodeOutOfRange { node: old_id, num_nodes: n });
+            }
+            inv[old_id] = new_id;
+        }
+        let mut edges = Vec::with_capacity(self.graph.num_edges());
+        for u in 0..n {
+            for &w in self.graph.neighbors(u) {
+                let w = w as usize;
+                if u < w {
+                    edges.push((inv[u].min(inv[w]), inv[u].max(inv[w])));
+                }
+            }
+        }
+        let graph = Graph::try_from_edges(n, &edges)?;
+        let d = self.features.cols();
+        let old = std::mem::replace(&mut self.features, Matrix::zeros(0, d)).into_vec();
+        let mut data = vec![0.0_f32; old.len()];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            data[new_id * d..(new_id + 1) * d]
+                .copy_from_slice(&old[old_id * d..(old_id + 1) * d]);
+        }
+        self.features = Matrix::from_vec(n, d, data);
+        if let Some(mask) = &mut self.owned {
+            *mask = order.iter().map(|&old_id| mask[old_id]).collect();
+        }
+        let everything: Vec<usize> = (0..n).collect();
+        self.cache.invalidate(&everything);
+        self.ops = GraphOps::new(&graph);
+        self.graph = graph;
+        Ok(n)
     }
 }
 
@@ -476,6 +600,49 @@ mod tests {
         let warm = eng.embed_batch(&everyone).unwrap();
         let cold = eng.model().encode(eng.graph(), eng.features());
         assert_eq!(warm.as_slice(), cold.as_slice());
+    }
+
+    #[test]
+    fn reindex_relabels_and_matches_cold_encode_on_the_relabeled_graph() {
+        let (model, graph, features) = fixture(EncoderChoice::Sage, 13);
+        let n = graph.num_nodes();
+        let mut eng = Engine::new(model, graph.clone(), features.clone()).unwrap();
+        let mut mask = vec![true; n];
+        mask[3] = false;
+        eng.set_owned(mask).unwrap();
+        let all: Vec<usize> = (0..n).collect();
+        eng.embed_batch(&all).unwrap(); // warm cache; reindex must flush it
+
+        // Reversal permutation: new id i takes over old id n-1-i.
+        let order: Vec<usize> = (0..n).rev().collect();
+        assert_eq!(eng.reindex(&order).unwrap(), n);
+
+        // Reference: the same relabeling applied directly.
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for &w in graph.neighbors(u) {
+                let (a, b) = (n - 1 - u, n - 1 - w as usize);
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let relabeled = Graph::from_edges(n, &edges);
+        let mut data = Vec::with_capacity(n * features.cols());
+        for v in (0..n).rev() {
+            data.extend_from_slice(features.row(v));
+        }
+        let ref_features = Matrix::from_vec(n, features.cols(), data);
+        let cold = eng.model().encode(&relabeled, &ref_features);
+        let warm = eng.embed_batch(&all).unwrap();
+        assert_eq!(warm.as_slice(), cold.as_slice());
+        assert!(!eng.is_owned(n - 1 - 3), "ownership flag follows the node");
+        assert_eq!(eng.owned_nodes(), n - 1);
+
+        // Non-permutations are rejected and leave the engine unchanged.
+        assert!(eng.reindex(&vec![0; n]).is_err());
+        assert!(eng.reindex(&order[..n - 1]).is_err());
+        assert_eq!(eng.embed_batch(&all).unwrap().as_slice(), cold.as_slice());
     }
 
     #[test]

@@ -1,0 +1,1145 @@
+//! Fan-out gateway for the sharded serving tier.
+//!
+//! The gateway speaks the same length-prefixed JSON protocol as a single
+//! server, so existing clients point at it unchanged, but every node id on
+//! its wire is **global**; the gateway translates to each shard's local id
+//! space at the boundary (a shard's local id for a resident is its index in
+//! the partition's sorted resident list, and new residents append).
+//!
+//! Routing:
+//!
+//! - `embed` groups nodes by owning shard and reassembles rows in request
+//!   order — every row comes from the node's owner, where it is bit-exact.
+//! - `link_score` fetches both endpoint embeddings from their owners and
+//!   reduces the dot product at the gateway in the engine's summation order.
+//! - `top_k` fans `top_k_owned` out to every shard where the anchor is
+//!   resident and merges the per-shard heaps. Each true neighbor is owned by
+//!   exactly one shard, and that shard replicates the anchor (halo ≥ 1), so
+//!   the union sees every candidate exactly once and the merge is exact.
+//! - `stats` aggregates across shards; `metrics` snapshots the gateway's
+//!   own registry (routing counters plus per-shard gauges).
+//! - Mutations are applied to the gateway's authoritative copy of the
+//!   graph under a write lock, turned into a **repair plan** (which shards
+//!   gain which residents and which local edges), and fanned out to the
+//!   affected shards' mutation channels. Halo-replica `add_node` fan-outs
+//!   carry `halo: true` so shards keep their ownership masks truthful
+//!   across WAL recovery.
+//!
+//! Mutation ordering: the plan is computed and per-shard mutation locks are
+//! acquired (in shard order) while the state write lock is held, then the
+//! state lock drops and the fan-out runs. Mutations touching disjoint
+//! shards therefore overlap on the wire (their WAL fsyncs overlap), while
+//! mutations on a shared shard reach that shard in gateway-state order —
+//! which is what keeps shard-local id assignment deterministic.
+//!
+//! Local-id **order** is part of the bit-parity contract, not just the id
+//! assignment: a shard's CSR rows are sorted by local id, so local-id order
+//! is the f32 summation order of neighbor aggregation. Repairs install new
+//! residents by appending, and whenever an append lands below an existing
+//! resident's global id the repair ends with a `reindex` frame that re-sorts
+//! the shard's local-id space back to ascending global order. Reads are
+//! fenced against renumbering with per-shard epochs: a read captures the
+//! epochs of the shards it touches and retries if any changed mid-flight.
+//!
+//! Every shard link is a [`ResilientClient`] pool: a slow or restarting
+//! shard is retried with backoff and, for fan-out reads, skipped with a
+//! `gateway.degraded` count rather than failing the whole tier.
+
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gcmae_graph::Graph;
+use gcmae_obs::{Observer, Registry};
+use gcmae_tensor::Matrix;
+
+use crate::client::{Client, ClientError, ResilientClient};
+use crate::partition::{splitmix64, Partition, PartitionMode};
+use crate::protocol::{
+    read_frame, write_frame, ProtocolError, Request, RequestMeta, Response, ServerStats,
+};
+use crate::wal::{DedupTable, DedupVerdict, Wal, WalError, WalRecord};
+
+/// Gateway configuration.
+pub struct GatewayOptions {
+    /// Reader connections per shard (round-robined across gateway
+    /// connection handlers).
+    pub read_connections: usize,
+    /// Gateway mutation log: replayed onto the routing state at startup so
+    /// a restarted gateway still routes nodes added since partition time.
+    pub wal_path: Option<std::path::PathBuf>,
+    /// Socket timeouts for client-facing connections.
+    pub read_timeout: Option<Duration>,
+    /// Write timeout for client-facing connections.
+    pub write_timeout: Option<Duration>,
+    /// Send `shutdown` to every shard when the gateway shuts down.
+    pub stop_shards: bool,
+    /// Base identity for the gateway's shard-facing mutation clients. Must
+    /// be unique per gateway *process lifetime* (retries within a lifetime
+    /// dedup on the shards; a fresh lifetime starts fresh sequences).
+    pub client_seed: u64,
+}
+
+impl Default for GatewayOptions {
+    fn default() -> Self {
+        Self {
+            read_connections: 4,
+            wal_path: None,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            stop_shards: false,
+            client_seed: 0x6761_7465_7761_7921, // "gateway!"
+        }
+    }
+}
+
+/// Gateway startup failure.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// Socket problem.
+    Io(io::Error),
+    /// A shard was unreachable at startup.
+    Shard(usize, ClientError),
+    /// The partition does not match the graph.
+    Layout(&'static str),
+    /// The gateway WAL failed to open or replay.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Io(e) => write!(f, "gateway io error: {e}"),
+            GatewayError::Shard(s, e) => write!(f, "shard {s} unreachable: {e}"),
+            GatewayError::Layout(what) => write!(f, "partition/graph mismatch: {what}"),
+            GatewayError::Wal(e) => write!(f, "gateway wal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<io::Error> for GatewayError {
+    fn from(e: io::Error) -> Self {
+        GatewayError::Io(e)
+    }
+}
+
+/// Growable feature store: the gateway's copy of node features, append-only
+/// so `add_node` does not rebuild the matrix.
+struct FeatureStore {
+    data: Vec<f32>,
+    cols: usize,
+}
+
+impl FeatureStore {
+    fn from_matrix(m: &Matrix) -> Self {
+        Self { data: m.as_slice().to_vec(), cols: m.cols() }
+    }
+
+    fn row(&self, v: usize) -> &[f32] {
+        &self.data[v * self.cols..(v + 1) * self.cols]
+    }
+
+    fn push_row(&mut self, row: &[f32]) {
+        debug_assert_eq!(row.len(), self.cols);
+        self.data.extend_from_slice(row);
+    }
+}
+
+/// The gateway's authoritative routing state, mutated under a write lock.
+struct RouterState {
+    /// Global graph (kept in lockstep with the shards via repair plans).
+    graph: Graph,
+    /// Global features (needed to ship halo replicas of new residents).
+    features: FeatureStore,
+    /// `owner[v]` = shard owning global node `v`.
+    owner: Vec<u32>,
+    /// Per shard: resident global ids in local-id order (index = local id).
+    residents: Vec<Vec<usize>>,
+    /// Per shard: global id → local id.
+    local: Vec<HashMap<usize, usize>>,
+    /// Per shard: numbering epoch, bumped whenever a repair re-sorts the
+    /// shard's local-id space (see [`RouterState::repair`]). Reads capture
+    /// the epochs of the shards they touch and retry if any changed while
+    /// the fetch was in flight — a renumbering makes captured local ids
+    /// meaningless.
+    epoch: Vec<u64>,
+    /// Per shard: in-flight renumbering mutations (incremented with the
+    /// epoch bump under the write lock, decremented after the fan-out
+    /// delivered the `reindex` frame). While non-zero the gateway's maps are
+    /// ahead of the shard's numbering, so reads wait instead of capturing.
+    pending: Vec<u32>,
+}
+
+/// One shard's new resident in a repair plan.
+struct NewResident {
+    global: usize,
+    owned: bool,
+    features: Vec<f32>,
+}
+
+/// What a mutation requires of each shard, in shard-local ids.
+struct RepairPlan {
+    /// Per shard: residents to install (ascending global order — local ids
+    /// are assigned by arrival, so order is part of the contract).
+    new_residents: Vec<Vec<NewResident>>,
+    /// Per shard: deduplicated local edge batch (pre-reindex numbering).
+    edges: Vec<Vec<(usize, usize)>>,
+    /// Per shard: permutation restoring ascending-global local-id order,
+    /// shipped last (after installs and edges, which use the pre-reindex
+    /// numbering). `order[new_local] = old_local`.
+    reindex: Vec<Option<Vec<usize>>>,
+    /// For `add_node`: the assigned global id.
+    new_node: Option<usize>,
+}
+
+impl RepairPlan {
+    fn empty(shards: usize) -> Self {
+        Self {
+            new_residents: (0..shards).map(|_| Vec::new()).collect(),
+            edges: (0..shards).map(|_| Vec::new()).collect(),
+            reindex: (0..shards).map(|_| None).collect(),
+            new_node: None,
+        }
+    }
+
+    /// Shards this plan touches, ascending.
+    fn touched(&self) -> Vec<usize> {
+        (0..self.edges.len())
+            .filter(|&s| {
+                !self.new_residents[s].is_empty()
+                    || !self.edges[s].is_empty()
+                    || self.reindex[s].is_some()
+            })
+            .collect()
+    }
+}
+
+impl RouterState {
+    /// Extends shard `s` (and the plan) with `x` if it is not yet resident.
+    fn plan_resident(&mut self, plan: &mut RepairPlan, s: usize, x: usize, owned: bool) {
+        if self.local[s].contains_key(&x) {
+            return;
+        }
+        let local = self.residents[s].len();
+        self.residents[s].push(x);
+        self.local[s].insert(x, local);
+        plan.new_residents[s].push(NewResident {
+            global: x,
+            owned,
+            features: self.features.row(x).to_vec(),
+        });
+    }
+
+    /// Shared repair logic: after `self.graph` already reflects the
+    /// mutation, extend every shard that now needs a node within
+    /// `halo_depth` of `changed`, and collect the per-shard edge batches
+    /// that keep each shard an exact induced subgraph.
+    ///
+    /// Membership can only *grow* and only for nodes whose shortest path to
+    /// some owned set shrank — any such path crosses the mutated edges, so
+    /// the closed `halo_depth`-ball around `changed` covers every node whose
+    /// residency anywhere may have changed.
+    fn repair(
+        &mut self,
+        plan: &mut RepairPlan,
+        changed: &[usize],
+        halo_depth: usize,
+        requested_edges: &[(usize, usize)],
+    ) {
+        let ball = self.graph.k_hop_closed(changed, halo_depth);
+        // Ascending global order: `k_hop_closed` sorts, and local ids are
+        // assigned in iteration order, so replay recomputes identical ids.
+        for &x in &ball {
+            let reach = self.graph.k_hop_closed(&[x], halo_depth);
+            let mut needed: Vec<usize> =
+                reach.iter().map(|&v| self.owner[v] as usize).collect();
+            needed.sort_unstable();
+            needed.dedup();
+            for s in needed {
+                let owned = self.owner[x] as usize == s;
+                self.plan_resident(plan, s, x, owned);
+            }
+        }
+        // Edge batches: requested edges where both endpoints are resident,
+        // plus every global edge incident to a shard's new residents that
+        // stays inside the resident set. Existing resident-resident edges
+        // are already on the shard (induced-subgraph invariant), and the
+        // shard's own `add_edges` drops duplicates, so over-approximating
+        // here is safe — dedup just keeps the frames small.
+        for s in 0..self.edges_len() {
+            let mut batch: Vec<(usize, usize)> = Vec::new();
+            for &(u, v) in requested_edges {
+                if let (Some(&lu), Some(&lv)) = (self.local[s].get(&u), self.local[s].get(&v)) {
+                    batch.push((lu.min(lv), lu.max(lv)));
+                }
+            }
+            for nr in &plan.new_residents[s] {
+                let lx = self.local[s][&nr.global];
+                for &w in self.graph.neighbors(nr.global) {
+                    if let Some(&lw) = self.local[s].get(&(w as usize)) {
+                        batch.push((lx.min(lw), lx.max(lw)));
+                    }
+                }
+            }
+            batch.sort_unstable();
+            batch.dedup();
+            plan.edges[s] = batch;
+        }
+        // Restore ascending-global local-id order wherever an install broke
+        // it. A shard's CSR rows are sorted by local id, so local-id order
+        // *is* the f32 summation order of neighbor aggregation — only when
+        // it equals ascending global order does the shard sum in the same
+        // order as an unsharded engine, which is the bit-parity contract.
+        // The permutation is applied to the routing maps here (under the
+        // caller's write lock) and shipped to the shard as a `reindex`
+        // frame after the installs and edges it renumbers.
+        for s in 0..self.residents.len() {
+            if plan.new_residents[s].is_empty()
+                || self.residents[s].windows(2).all(|w| w[0] < w[1])
+            {
+                continue;
+            }
+            let old = std::mem::take(&mut self.residents[s]);
+            let mut order: Vec<usize> = (0..old.len()).collect();
+            order.sort_unstable_by_key(|&l| old[l]);
+            self.residents[s] = order.iter().map(|&l| old[l]).collect();
+            self.local[s] = self.residents[s]
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i))
+                .collect();
+            self.epoch[s] += 1;
+            plan.reindex[s] = Some(order);
+        }
+    }
+
+    fn edges_len(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Applies `add_edges` to the routing state; returns the repair plan.
+    fn apply_add_edges(
+        &mut self,
+        edges: &[(usize, usize)],
+        halo_depth: usize,
+    ) -> Result<RepairPlan, String> {
+        let (graph, affected) = self.graph.add_edges(edges).map_err(|e| e.to_string())?;
+        self.graph = graph;
+        let mut plan = RepairPlan::empty(self.residents.len());
+        if !affected.is_empty() {
+            self.repair(&mut plan, &affected, halo_depth, edges);
+        }
+        Ok(plan)
+    }
+
+    /// Applies `add_node` to the routing state; returns the repair plan.
+    /// The new node's owner is `splitmix`-hashed in hash mode and inherited
+    /// from its first neighbor in BFS mode (locality-preserving).
+    fn apply_add_node(
+        &mut self,
+        neighbors: &[usize],
+        features: &[f32],
+        mode: PartitionMode,
+        halo_depth: usize,
+    ) -> Result<RepairPlan, String> {
+        if features.len() != self.features.cols {
+            return Err(format!(
+                "feature width {} does not match model input {}",
+                features.len(),
+                self.features.cols
+            ));
+        }
+        let (graph, _affected) = self.graph.add_node(neighbors).map_err(|e| e.to_string())?;
+        let g = graph.num_nodes() - 1;
+        self.graph = graph;
+        self.features.push_row(features);
+        let shards = self.residents.len();
+        let owner = match mode {
+            PartitionMode::Hash => (splitmix64(g as u64) % shards as u64) as u32,
+            PartitionMode::Bfs => neighbors
+                .first()
+                .map(|&v| self.owner[v])
+                .unwrap_or(0),
+        };
+        self.owner.push(owner);
+        let mut plan = RepairPlan::empty(shards);
+        self.repair(&mut plan, &[g], halo_depth, &[]);
+        plan.new_node = Some(g);
+        Ok(plan)
+    }
+}
+
+/// Connection pool to one shard: round-robined readers plus one ordered
+/// mutation channel.
+struct ShardLink {
+    addr: String,
+    readers: Vec<Mutex<ResilientClient>>,
+    next_reader: AtomicUsize,
+    mutator: Mutex<ResilientClient>,
+}
+
+impl ShardLink {
+    fn reader(&self) -> MutexGuard<'_, ResilientClient> {
+        let i = self.next_reader.fetch_add(1, Ordering::Relaxed) % self.readers.len();
+        self.readers[i].lock().expect("reader poisoned")
+    }
+}
+
+struct GatewayInner {
+    state: RwLock<RouterState>,
+    shards: Vec<ShardLink>,
+    metrics: Arc<Registry>,
+    dedup: Mutex<DedupTable>,
+    wal: Mutex<Option<Wal>>,
+    mode: PartitionMode,
+    halo_depth: usize,
+}
+
+/// A running gateway. Shards are external processes (or in-process
+/// [`crate::shard::ShardTier`] servers) reached over TCP.
+pub struct Gateway {
+    addr: SocketAddr,
+    inner: Arc<GatewayInner>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    stop_shards: bool,
+    torn_down: bool,
+}
+
+impl Gateway {
+    /// Builds routing state from the partition-time `graph`/`features` and
+    /// `partition`, replays the gateway WAL (if any) over it, connects to
+    /// every shard, and starts accepting clients on `addr`.
+    pub fn start(
+        graph: Graph,
+        features: &Matrix,
+        partition: &Partition,
+        shard_addrs: &[String],
+        addr: &str,
+        opts: GatewayOptions,
+    ) -> Result<Gateway, GatewayError> {
+        if shard_addrs.len() != partition.num_shards() {
+            return Err(GatewayError::Layout("shard address count"));
+        }
+        if graph.num_nodes() != partition.num_nodes {
+            return Err(GatewayError::Layout("node count"));
+        }
+        if features.rows() != partition.num_nodes {
+            return Err(GatewayError::Layout("feature rows"));
+        }
+        let mut state = RouterState {
+            graph,
+            features: FeatureStore::from_matrix(features),
+            owner: partition.owner.clone(),
+            residents: partition.shards.iter().map(|s| s.residents.clone()).collect(),
+            local: partition
+                .shards
+                .iter()
+                .map(|s| {
+                    s.residents
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, i))
+                        .collect::<HashMap<usize, usize>>()
+                })
+                .collect(),
+            epoch: vec![0; partition.num_shards()],
+            pending: vec![0; partition.num_shards()],
+        };
+
+        // Recover routing state mutated since partition time. Shards replay
+        // their own WALs; replaying the same mutations here recomputes the
+        // identical repair plans (the plan is a pure function of the state),
+        // so local-id assignment stays in agreement without any fan-out.
+        let mut dedup = DedupTable::new();
+        let wal = match &opts.wal_path {
+            Some(path) => {
+                let (wal, records) = Wal::open(path).map_err(GatewayError::Wal)?;
+                dedup = replay_routing(&mut state, &records, partition.mode, partition.halo_depth)
+                    .map_err(GatewayError::Wal)?;
+                Some(wal)
+            }
+            None => None,
+        };
+
+        let mut shards = Vec::with_capacity(shard_addrs.len());
+        for (s, shard_addr) in shard_addrs.iter().enumerate() {
+            let readers = (0..opts.read_connections.max(1))
+                .map(|i| {
+                    let id = splitmix64(opts.client_seed ^ ((s as u64) << 20) ^ i as u64) | 1;
+                    Mutex::new(ResilientClient::new(shard_addr, id))
+                })
+                .collect::<Vec<_>>();
+            let mutator_id = splitmix64(opts.client_seed ^ ((s as u64) << 20) ^ 0xffff) | 1;
+            let link = ShardLink {
+                addr: shard_addr.clone(),
+                readers,
+                next_reader: AtomicUsize::new(0),
+                mutator: Mutex::new(ResilientClient::new(shard_addr, mutator_id)),
+            };
+            // Startup liveness probe: fail fast on a dead address.
+            link.reader().ping().map_err(|e| GatewayError::Shard(s, e))?;
+            shards.push(link);
+        }
+
+        let inner = Arc::new(GatewayInner {
+            state: RwLock::new(state),
+            shards,
+            metrics: Arc::new(Registry::new()),
+            dedup: Mutex::new(dedup),
+            wal: Mutex::new(wal),
+            mode: partition.mode,
+            halo_depth: partition.halo_depth,
+        });
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_inner = Arc::clone(&inner);
+        let accept_stop = Arc::clone(&stop);
+        let timeouts = (opts.read_timeout, opts.write_timeout);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(listener, accept_inner, accept_stop, timeouts)
+        });
+        Ok(Gateway {
+            addr: local,
+            inner,
+            stop,
+            accept_handle: Some(accept_handle),
+            stop_shards: opts.stop_shards,
+            torn_down: false,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The gateway's telemetry registry (what its `metrics` op snapshots).
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Blocks until a client sends `shutdown`, then tears down.
+    pub fn run_until_shutdown(mut self) {
+        while !self.stop.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.teardown();
+    }
+
+    /// Stops accepting and (with `stop_shards`) shuts the shards down too.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        if self.torn_down {
+            return;
+        }
+        self.torn_down = true;
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(wal) = self.inner.wal.lock().expect("wal poisoned").as_mut() {
+            let _ = wal.sync();
+        }
+        if self.stop_shards {
+            for link in &self.inner.shards {
+                if let Ok(mut c) = Client::connect(&link.addr) {
+                    let _ = c.shutdown();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// Replays gateway WAL records onto the routing state (no fan-out — shards
+/// recover from their own logs) and rebuilds the client-facing dedup table.
+fn replay_routing(
+    state: &mut RouterState,
+    records: &[WalRecord],
+    mode: PartitionMode,
+    halo_depth: usize,
+) -> Result<DedupTable, WalError> {
+    let mut dedup = DedupTable::new();
+    for (i, rec) in records.iter().enumerate() {
+        let response = match &rec.request {
+            Request::AddEdges { edges } => match state.apply_add_edges(edges, halo_depth) {
+                Ok(_) => Response::EdgesAdded { invalidated: 0 },
+                Err(_) => return Err(WalError::BadRecord(i as u64)),
+            },
+            Request::AddNode { neighbors, features } => {
+                match state.apply_add_node(neighbors, features, mode, halo_depth) {
+                    Ok(plan) => Response::NodeAdded {
+                        node: plan.new_node.unwrap_or(0),
+                    },
+                    Err(_) => return Err(WalError::BadRecord(i as u64)),
+                }
+            }
+            _ => return Err(WalError::BadRecord(i as u64)),
+        };
+        dedup.record(rec.client, rec.seq, response);
+    }
+    Ok(dedup)
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<GatewayInner>,
+    stop: Arc<AtomicBool>,
+    timeouts: (Option<Duration>, Option<Duration>),
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(timeouts.0);
+                let _ = stream.set_write_timeout(timeouts.1);
+                let conn_inner = Arc::clone(&inner);
+                let conn_stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let metrics = Arc::clone(&conn_inner.metrics);
+                    let handler = AssertUnwindSafe(move || {
+                        handle_connection(stream, conn_inner, conn_stop)
+                    });
+                    if catch_unwind(handler).is_err() {
+                        metrics.counter_add("gateway.handler_panics", 1);
+                    }
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn handle_connection(stream: TcpStream, inner: Arc<GatewayInner>, stop: Arc<AtomicBool>) {
+    let mut out = &stream;
+    loop {
+        let mut consumed = 0_usize;
+        let mut reader = CountingReader { stream: &stream, consumed: &mut consumed };
+        let doc = match read_frame(&mut reader) {
+            Ok(doc) => doc,
+            Err(ProtocolError::Io(e)) if is_timeout(&e) => {
+                if consumed == 0 {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+                let goodbye = Response::Error {
+                    message: "read timed out mid-frame; closing connection".to_string(),
+                };
+                let _ = write_frame(&mut out, &goodbye.to_json());
+                return;
+            }
+            Err(ProtocolError::Io(_)) => return,
+            Err(e) => {
+                inner.metrics.counter_add("gateway.protocol_errors", 1);
+                let goodbye = Response::Error {
+                    message: format!("protocol error: {e}"),
+                };
+                let _ = write_frame(&mut out, &goodbye.to_json());
+                return;
+            }
+        };
+        let response = match Request::from_json(&doc) {
+            Ok(request) => {
+                let meta = RequestMeta::from_json(&doc);
+                match meta.check_version() {
+                    Ok(()) => {
+                        let is_shutdown = matches!(request, Request::Shutdown);
+                        let response = route(&inner, &request, &meta);
+                        if is_shutdown {
+                            stop.store(true, Ordering::Release);
+                        }
+                        response
+                    }
+                    Err(message) => {
+                        inner.metrics.counter_add("gateway.protocol_errors", 1);
+                        Response::Error { message }
+                    }
+                }
+            }
+            Err(e) => {
+                inner.metrics.counter_add("gateway.protocol_errors", 1);
+                Response::Error { message: e.to_string() }
+            }
+        };
+        if write_frame(&mut out, &response.to_json()).is_err() {
+            return;
+        }
+    }
+}
+
+/// `Read` wrapper counting bytes toward the current frame (idle-vs-stalled
+/// timeout classification, mirroring the server).
+struct CountingReader<'a> {
+    stream: &'a TcpStream,
+    consumed: &'a mut usize,
+}
+
+impl Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = (&mut self.stream).read(buf)?;
+        *self.consumed += n;
+        Ok(n)
+    }
+}
+
+/// The gateway request dispatcher. No wildcard arm: a new op fails to
+/// compile until routed.
+fn route(inner: &GatewayInner, request: &Request, meta: &RequestMeta) -> Response {
+    inner
+        .metrics
+        .counter_add_dyn(&format!("gateway.requests.{}", request.op_name()), 1);
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Embed { nodes } => route_embed(inner, nodes),
+        Request::LinkScore { pairs } => route_link_score(inner, pairs),
+        Request::TopK { node, k } | Request::TopKOwned { node, k } => {
+            route_top_k(inner, *node, *k)
+        }
+        Request::Stats => route_stats(inner),
+        Request::Metrics => Response::Metrics(inner.metrics.snapshot()),
+        Request::AddEdges { .. } | Request::AddNode { .. } => {
+            route_mutation(inner, request, meta)
+        }
+        // Local-id surgery makes no sense in the gateway's global id space;
+        // only the gateway itself issues it, shard-ward, during repair.
+        Request::Reindex { .. } => Response::Error {
+            message: "reindex is shard-internal; the gateway issues it during repair"
+                .to_string(),
+        },
+        Request::Shutdown => Response::ShutdownAck,
+    }
+}
+
+/// Bounded wait/retry budget for reads racing a shard renumbering. Each
+/// retry sleeps ~1ms, so a read gives up loudly after roughly half a second
+/// of continuous renumbering — which a serving tier never sees outside a
+/// mutation storm that is already saturating every shard's WAL.
+const READ_RETRIES: usize = 500;
+
+/// Per-node routing handles (owning shard, local id) plus the numbering
+/// epochs of every shard involved, captured under one read-lock
+/// acquisition. Returns `Ok(None)` while any involved shard has a
+/// renumbering in flight: the routing maps are ahead of that shard, so the
+/// caller must wait and re-capture. Plain installs don't renumber — local
+/// ids are append-only between reindexes — so captured handles stay valid
+/// as long as the epochs hold (checked after the fetch).
+#[allow(clippy::type_complexity)]
+fn capture_handles(
+    inner: &GatewayInner,
+    nodes: &[usize],
+) -> Result<Option<(Vec<(usize, usize)>, Vec<(usize, u64)>)>, String> {
+    let state = inner.state.read().expect("state poisoned");
+    let handles = nodes
+        .iter()
+        .map(|&v| {
+            if v >= state.owner.len() {
+                return Err(format!(
+                    "node {v} out of range for graph of {} nodes",
+                    state.owner.len()
+                ));
+            }
+            let s = state.owner[v] as usize;
+            Ok((s, state.local[s][&v]))
+        })
+        .collect::<Result<Vec<(usize, usize)>, String>>()?;
+    let mut shard_ids: Vec<usize> = handles.iter().map(|&(s, _)| s).collect();
+    shard_ids.sort_unstable();
+    shard_ids.dedup();
+    if shard_ids.iter().any(|&s| state.pending[s] > 0) {
+        return Ok(None);
+    }
+    let epochs = shard_ids.into_iter().map(|s| (s, state.epoch[s])).collect();
+    Ok(Some((handles, epochs)))
+}
+
+/// True when none of the captured shards renumbered since the capture.
+fn epochs_hold(inner: &GatewayInner, epochs: &[(usize, u64)]) -> bool {
+    let state = inner.state.read().expect("state poisoned");
+    epochs.iter().all(|&(s, e)| state.epoch[s] == e)
+}
+
+fn route_embed(inner: &GatewayInner, nodes: &[usize]) -> Response {
+    match fetch_rows(inner, nodes) {
+        Ok((dim, rows)) => Response::Embeddings { dim, rows },
+        Err(message) => Response::Error { message },
+    }
+}
+
+/// Fetches each node's embedding from its owning shard, preserving request
+/// order. One shard round-trip per distinct owning shard. Validated against
+/// the shards' numbering epochs: a reindex landing mid-fetch silently
+/// renumbers the rows a shard would answer with, so the whole read retries.
+fn fetch_rows(inner: &GatewayInner, nodes: &[usize]) -> Result<(usize, Vec<Vec<f32>>), String> {
+    for _ in 0..READ_RETRIES {
+        let (handles, epochs) = match capture_handles(inner, nodes)? {
+            Some(captured) => captured,
+            None => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+        let mut by_shard: HashMap<usize, (Vec<usize>, Vec<usize>)> = HashMap::new();
+        for (i, &(s, local)) in handles.iter().enumerate() {
+            let entry = by_shard.entry(s).or_default();
+            entry.0.push(local);
+            entry.1.push(i);
+        }
+        let mut rows: Vec<Vec<f32>> = vec![Vec::new(); nodes.len()];
+        let mut dim = 0_usize;
+        let mut shard_ids: Vec<usize> = by_shard.keys().copied().collect();
+        shard_ids.sort_unstable();
+        for s in shard_ids {
+            let (locals, positions) = &by_shard[&s];
+            let fetched = inner.shards[s]
+                .reader()
+                .embed(locals)
+                .map_err(|e| shard_error(inner, s, &e))?;
+            for (row, &pos) in fetched.into_iter().zip(positions) {
+                dim = row.len();
+                rows[pos] = row;
+            }
+        }
+        if epochs_hold(inner, &epochs) {
+            return Ok((dim, rows));
+        }
+        inner.metrics.counter_add("gateway.read_races", 1);
+    }
+    Err("read kept racing shard renumbering; retry later".to_string())
+}
+
+fn shard_error(inner: &GatewayInner, s: usize, e: &ClientError) -> String {
+    inner.metrics.counter_add("gateway.shard_errors", 1);
+    inner
+        .metrics
+        .counter_add_dyn(&format!("gateway.shard{s}.errors"), 1);
+    format!("shard {s} ({}): {e}", inner.shards[s].addr)
+}
+
+fn route_link_score(inner: &GatewayInner, pairs: &[(usize, usize)]) -> Response {
+    let mut nodes: Vec<usize> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let (_, rows) = match fetch_rows(inner, &nodes) {
+        Ok(ok) => ok,
+        Err(message) => return Response::Error { message },
+    };
+    let index = |v: usize| nodes.binary_search(&v).expect("fetched above");
+    let scores = pairs
+        .iter()
+        .map(|&(u, v)| dot(&rows[index(u)], &rows[index(v)]))
+        .collect();
+    Response::Scores(scores)
+}
+
+/// The engine's link-score reduction order, replicated exactly: pairwise
+/// products accumulated left to right in f32.
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Fan-out top-k: every shard where the anchor is resident answers from its
+/// *owned* candidates only, so the merged stream has no duplicates and no
+/// gaps (each true neighbor is owned somewhere, and that owner replicates
+/// the anchor because halo ≥ 1). A failed shard is skipped — degraded,
+/// counted, but the tier keeps answering.
+fn route_top_k(inner: &GatewayInner, node: usize, k: usize) -> Response {
+    for _ in 0..READ_RETRIES {
+        let (resident_on, epochs) = {
+            let state = inner.state.read().expect("state poisoned");
+            if node >= state.owner.len() {
+                return Response::Error {
+                    message: format!(
+                        "node {node} out of range for graph of {} nodes",
+                        state.owner.len()
+                    ),
+                };
+            }
+            let resident_on: Vec<(usize, usize)> = (0..inner.shards.len())
+                .filter_map(|s| state.local[s].get(&node).map(|&l| (s, l)))
+                .collect();
+            if resident_on.iter().any(|&(s, _)| state.pending[s] > 0) {
+                drop(state);
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            let epochs: Vec<(usize, u64)> = resident_on
+                .iter()
+                .map(|&(s, _)| (s, state.epoch[s]))
+                .collect();
+            (resident_on, epochs)
+        };
+        let mut merged: Vec<(usize, f32)> = Vec::new();
+        let mut answered = 0_usize;
+        for &(s, local) in &resident_on {
+            match inner.shards[s].reader().top_k_owned(local, k) {
+                Ok(ranked) => {
+                    answered += 1;
+                    let state = inner.state.read().expect("state poisoned");
+                    merged.extend(
+                        ranked
+                            .into_iter()
+                            .map(|(l, score)| (state.residents[s][l], score)),
+                    );
+                }
+                Err(e) => {
+                    let _ = shard_error(inner, s, &e);
+                    inner.metrics.counter_add("gateway.degraded", 1);
+                }
+            }
+        }
+        // The merge mapped shard-local ranks back to global ids through the
+        // live routing maps; a renumbering in the window makes both the
+        // ranks and the mapping unreliable, so the whole fan-out retries.
+        if !epochs_hold(inner, &epochs) {
+            inner.metrics.counter_add("gateway.read_races", 1);
+            continue;
+        }
+        if answered == 0 && !resident_on.is_empty() {
+            return Response::Error {
+                message: format!("no shard holding node {node} is reachable"),
+            };
+        }
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(k);
+        return Response::Neighbors(merged);
+    }
+    Response::Error {
+        message: "read kept racing shard renumbering; retry later".to_string(),
+    }
+}
+
+/// Aggregated tier stats, plus per-shard gauges refreshed into the gateway
+/// registry as a side effect.
+fn route_stats(inner: &GatewayInner) -> Response {
+    let num_nodes = {
+        let state = inner.state.read().expect("state poisoned");
+        state.owner.len()
+    };
+    let mut agg = ServerStats {
+        num_nodes,
+        ..ServerStats::default()
+    };
+    for (s, link) in inner.shards.iter().enumerate() {
+        let stats = match link.reader().stats() {
+            Ok(st) => st,
+            Err(e) => {
+                let _ = shard_error(inner, s, &e);
+                inner.metrics.counter_add("gateway.degraded", 1);
+                continue;
+            }
+        };
+        agg.owned_nodes += stats.owned_nodes;
+        agg.num_edges += stats.num_edges;
+        agg.embed_dim = stats.embed_dim;
+        agg.cache_hits += stats.cache_hits;
+        agg.cache_misses += stats.cache_misses;
+        agg.cache_resident += stats.cache_resident;
+        agg.cache_epoch = agg.cache_epoch.max(stats.cache_epoch);
+        agg.invalidated += stats.invalidated;
+        agg.batches += stats.batches;
+        agg.batched_jobs += stats.batched_jobs;
+        agg.max_batch = agg.max_batch.max(stats.max_batch);
+        agg.backend = stats.backend;
+        agg.shed += stats.shed;
+        agg.expired += stats.expired;
+        agg.dedup_hits += stats.dedup_hits;
+        agg.wal_records += stats.wal_records;
+        agg.stale_served += stats.stale_served;
+        agg.slow_closes += stats.slow_closes;
+        for (name, value) in [
+            ("num_nodes", stats.num_nodes as f64),
+            ("owned_nodes", stats.owned_nodes as f64),
+            ("cache_resident", stats.cache_resident as f64),
+            ("wal_records", stats.wal_records as f64),
+        ] {
+            inner
+                .metrics
+                .gauge_set_dyn(&format!("gateway.shard{s}.{name}"), value);
+        }
+    }
+    Response::Stats(agg)
+}
+
+/// Mutation pipeline: dedup → apply to routing state + compute repair plan
+/// and take the touched shards' mutation locks (both under the state write
+/// lock) → drop the state lock → fan out → gateway WAL → ack.
+fn route_mutation(inner: &GatewayInner, request: &Request, meta: &RequestMeta) -> Response {
+    let client = meta.client.unwrap_or(0);
+    let seq = meta.seq.unwrap_or(0);
+    match inner.dedup.lock().expect("dedup poisoned").check(client, seq) {
+        DedupVerdict::Replay(recorded) => {
+            inner.metrics.counter_add("gateway.dedup_hits", 1);
+            return recorded;
+        }
+        DedupVerdict::Stale { last } => {
+            return Response::Error {
+                message: format!("stale mutation seq {seq} (last acknowledged {last})"),
+            };
+        }
+        DedupVerdict::Fresh => {}
+    }
+
+    // Apply + plan + lock handoff under the exclusive state lock. Only one
+    // thread is ever in this multi-lock acquisition (it owns the state
+    // lock), so lock order cannot deadlock; taking the shard locks *before*
+    // releasing the state lock pins this mutation's position in each
+    // touched shard's stream.
+    let (plan, guards): (RepairPlan, Vec<(usize, MutexGuard<'_, ResilientClient>)>) = {
+        let mut state = inner.state.write().expect("state poisoned");
+        let plan = match request {
+            Request::AddEdges { edges } => state.apply_add_edges(edges, inner.halo_depth),
+            Request::AddNode { neighbors, features } => {
+                state.apply_add_node(neighbors, features, inner.mode, inner.halo_depth)
+            }
+            _ => unreachable!("route_mutation only sees mutations"),
+        };
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(message) => return Response::Error { message },
+        };
+        // Shards being renumbered are marked pending until their `reindex`
+        // frame lands: the routing maps are already in the new numbering,
+        // so a read capturing now would ask the shard for ids it does not
+        // hold yet. Reads wait the flag out (see `capture_epochs`).
+        for s in 0..state.pending.len() {
+            if plan.reindex[s].is_some() {
+                state.pending[s] += 1;
+            }
+        }
+        let guards = plan
+            .touched()
+            .into_iter()
+            .map(|s| (s, inner.shards[s].mutator.lock().expect("mutator poisoned")))
+            .collect();
+        (plan, guards)
+    };
+
+    let mut invalidated = 0_usize;
+    let mut failures: Vec<String> = Vec::new();
+    for (s, mut mutator) in guards {
+        if let Err(e) = fan_out_to_shard(inner, &plan, s, &mut mutator, &mut invalidated) {
+            failures.push(shard_error(inner, s, &e));
+        }
+    }
+    if plan.reindex.iter().any(Option::is_some) {
+        // Clear pending even on a failed fan-out: a degraded shard already
+        // answers loudly, and a stuck flag would starve its reads forever.
+        let mut state = inner.state.write().expect("state poisoned");
+        for s in 0..state.pending.len() {
+            if plan.reindex[s].is_some() {
+                state.pending[s] -= 1;
+            }
+        }
+    }
+    if !failures.is_empty() {
+        // The gateway's state is ahead of the failed shard(s): the tier is
+        // degraded for those partitions until they recover and the caller
+        // retries. Surface loudly instead of acking.
+        inner.metrics.counter_add("gateway.partial_mutations", 1);
+        return Response::Error {
+            message: format!("mutation incompletely fanned out: {}", failures.join("; ")),
+        };
+    }
+
+    let response = match plan.new_node {
+        Some(g) => Response::NodeAdded { node: g },
+        None => Response::EdgesAdded { invalidated },
+    };
+    // Durability before acknowledgment, same contract as a single server.
+    if let Some(wal) = inner.wal.lock().expect("wal poisoned").as_mut() {
+        let rec = WalRecord { client, seq, request: request.clone(), halo: false };
+        match wal.append(&rec) {
+            Ok(bytes) => {
+                inner.metrics.counter_add("gateway.wal.records", 1);
+                inner.metrics.counter_add("gateway.wal.bytes", bytes);
+            }
+            Err(e) => {
+                return Response::Error {
+                    message: format!("mutation applied but not durable: {e}"),
+                };
+            }
+        }
+    }
+    inner
+        .dedup
+        .lock()
+        .expect("dedup poisoned")
+        .record(client, seq, response.clone());
+    response
+}
+
+/// Ships one shard's slice of a repair plan: halo/owned `add_node`s in
+/// plan order, then the edge batch. Every hop is a sequenced mutation on
+/// the shard's dedicated mutation client, so a retried frame after a lost
+/// ack dedups on the shard instead of double-applying.
+fn fan_out_to_shard(
+    inner: &GatewayInner,
+    plan: &RepairPlan,
+    s: usize,
+    mutator: &mut ResilientClient,
+    invalidated: &mut usize,
+) -> Result<(), ClientError> {
+    for nr in &plan.new_residents[s] {
+        let request = Request::AddNode {
+            neighbors: Vec::new(),
+            features: nr.features.clone(),
+        };
+        let response = mutator.call_mutation_with_halo(&request, !nr.owned)?;
+        if let Response::NodeAdded { .. } = response {
+            inner.metrics.counter_add("gateway.repair.residents", 1);
+        }
+    }
+    if !plan.edges[s].is_empty() {
+        match mutator.call_mutation_with_halo(
+            &Request::AddEdges { edges: plan.edges[s].clone() },
+            false,
+        )? {
+            Response::EdgesAdded { invalidated: n } => {
+                *invalidated += n;
+                inner.metrics.counter_add("gateway.repair.edges", plan.edges[s].len() as u64);
+            }
+            _ => return Err(ClientError::BadResponse("expected edges_added")),
+        }
+    }
+    // Renumbering last: installs and edges above used the pre-reindex
+    // numbering, and the shard re-sorts itself only once they are applied.
+    if let Some(order) = &plan.reindex[s] {
+        match mutator
+            .call_mutation_with_halo(&Request::Reindex { order: order.clone() }, false)?
+        {
+            Response::Reindexed { .. } => {
+                inner.metrics.counter_add("gateway.repair.reindex", 1);
+            }
+            _ => return Err(ClientError::BadResponse("expected reindexed")),
+        }
+    }
+    Ok(())
+}

@@ -50,9 +50,12 @@ pub mod bundle;
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod gateway;
 pub mod json;
+pub mod partition;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod wal;
 
 pub use batcher::{Batcher, BatcherOptions};
@@ -60,9 +63,13 @@ pub use bundle::{load_bundle, save_bundle, BundleError};
 pub use cache::{CacheStats, EmbeddingCache};
 pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
 pub use engine::{Engine, EngineError, EngineStats};
+pub use gateway::{Gateway, GatewayError, GatewayOptions};
 pub use json::Json;
+pub use partition::{halo_depth_for, Partition, PartitionError, PartitionMode, ShardSpec};
 pub use protocol::{
     read_frame, write_frame, ProtocolError, Request, RequestMeta, Response, ServerStats,
+    PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerOptions};
+pub use shard::{ShardTier, TierError, TierOptions};
 pub use wal::{replay, DedupTable, DedupVerdict, Wal, WalError, WalRecord};

@@ -1,0 +1,454 @@
+//! Deterministic graph partitioner for the sharded serving tier.
+//!
+//! Nodes are split into `S` disjoint *owned* sets (hash or BFS-grown), and
+//! each shard additionally replicates a **halo**: every node within
+//! `halo_depth` hops of the shard's owned set. The shard then serves the
+//! induced subgraph over its resident (owned ∪ halo) set.
+//!
+//! ## Why `halo_depth = encoder_layers + 1`
+//!
+//! An `L`-layer encoder reads, for an owned target, the features of every
+//! node within `L` hops — and, through degree-based normalization
+//! ([`gcmae_graph::Graph::gcn_norm`], SAGE's mean), the **full adjacency
+//! row** (hence the true global degree) of every node within `L` hops.
+//! A node's row is complete in the induced subgraph exactly when all its
+//! neighbors are resident, so residents must extend one hop past the
+//! feature horizon: depth `L + 1`. With that halo, a shard's embedding of
+//! any node within distance 1 of its owned set (the owned nodes themselves
+//! included) is **bit-identical** to the single-process answer — the
+//! restricted forward walks the same rows, degrees, and float order.
+//!
+//! Halo replicas are marked `owned = false` in the shard's ownership mask,
+//! which is what makes fan-out top-k exact: each shard answers only owned
+//! candidates, so the gateway's merge sees every true neighbor exactly once
+//! (see [`crate::gateway`]).
+
+use std::collections::VecDeque;
+
+use gcmae_core::Gcmae;
+use gcmae_graph::Graph;
+use gcmae_tensor::Matrix;
+
+use crate::bundle::save_bundle;
+use crate::json::Json;
+
+/// How owned sets are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// `owner(v) = splitmix64(v) % S`: stateless, uniform, no locality.
+    Hash,
+    /// Balanced multi-source BFS growth: contiguous regions with small
+    /// boundaries, so halos (and cross-shard fan-outs) stay small.
+    Bfs,
+}
+
+impl PartitionMode {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionMode::Hash => "hash",
+            PartitionMode::Bfs => "bfs",
+        }
+    }
+
+    /// Parses [`PartitionMode::name`].
+    pub fn parse(s: &str) -> Option<PartitionMode> {
+        match s {
+            "hash" => Some(PartitionMode::Hash),
+            "bfs" => Some(PartitionMode::Bfs),
+            _ => None,
+        }
+    }
+}
+
+/// Partition failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Shard count must be ≥ 1 and ≤ the node count.
+    BadShardCount {
+        /// Requested shard count.
+        shards: usize,
+        /// Nodes available.
+        num_nodes: usize,
+    },
+    /// A shard ended up owning nothing (hash mode on tiny graphs).
+    EmptyShard(usize),
+    /// A manifest failed structural validation.
+    BadManifest(&'static str),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::BadShardCount { shards, num_nodes } => {
+                write!(f, "cannot split {num_nodes} nodes into {shards} shards")
+            }
+            PartitionError::EmptyShard(s) => write!(f, "shard {s} owns no nodes"),
+            PartitionError::BadManifest(what) => write!(f, "bad tier manifest: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// One shard's node sets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSpec {
+    /// Resident global node ids, sorted ascending. The shard's local id for
+    /// a resident is its index in this list — the gateway and the partition
+    /// agree on this by construction.
+    pub residents: Vec<usize>,
+    /// Parallel to `residents`: true for owned nodes, false for halo
+    /// replicas.
+    pub owned: Vec<bool>,
+}
+
+impl ShardSpec {
+    /// Owned node count.
+    pub fn owned_nodes(&self) -> usize {
+        self.owned.iter().filter(|&&o| o).count()
+    }
+}
+
+/// A complete tier layout: owner table plus per-shard resident sets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    /// Partitioning mode used (recorded for the manifest).
+    pub mode: PartitionMode,
+    /// Replication depth around each owned set.
+    pub halo_depth: usize,
+    /// Total nodes in the global graph at partition time.
+    pub num_nodes: usize,
+    /// `owner[v]` = shard owning global node `v`.
+    pub owner: Vec<u32>,
+    /// Per-shard resident sets.
+    pub shards: Vec<ShardSpec>,
+}
+
+/// The halo depth sufficient for bit-exact owned embeddings under an
+/// `encoder_layers`-layer encoder (see module docs for the `+ 1`).
+pub fn halo_depth_for(encoder_layers: usize) -> usize {
+    encoder_layers + 1
+}
+
+/// SplitMix64: the stateless hash behind [`PartitionMode::Hash`]. Shared
+/// with the gateway so owner assignment for nodes added after partition
+/// time agrees with partition-time assignment by construction.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Partition {
+    /// Splits `graph` into `shards` owned sets under `mode` and replicates a
+    /// halo of `halo_depth` hops around each.
+    pub fn build(
+        graph: &Graph,
+        shards: usize,
+        mode: PartitionMode,
+        halo_depth: usize,
+    ) -> Result<Partition, PartitionError> {
+        let n = graph.num_nodes();
+        if shards == 0 || shards > n {
+            return Err(PartitionError::BadShardCount { shards, num_nodes: n });
+        }
+        let owner = match mode {
+            PartitionMode::Hash => (0..n)
+                .map(|v| (splitmix64(v as u64) % shards as u64) as u32)
+                .collect::<Vec<u32>>(),
+            PartitionMode::Bfs => bfs_owners(graph, shards),
+        };
+        let mut specs = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let owned_set: Vec<usize> =
+                (0..n).filter(|&v| owner[v] == s as u32).collect();
+            if owned_set.is_empty() {
+                return Err(PartitionError::EmptyShard(s));
+            }
+            // k_hop_closed returns the closed ball, sorted ascending — the
+            // canonical resident (and local-id) order.
+            let residents = graph.k_hop_closed(&owned_set, halo_depth);
+            let owned = residents
+                .iter()
+                .map(|&v| owner[v] == s as u32)
+                .collect::<Vec<bool>>();
+            specs.push(ShardSpec { residents, owned });
+        }
+        Ok(Partition {
+            mode,
+            halo_depth,
+            num_nodes: n,
+            owner,
+            shards: specs,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The induced subgraph shard `s` serves: every resident, every edge
+    /// between residents, renumbered to local ids in resident order.
+    pub fn shard_graph(&self, graph: &Graph, s: usize) -> Graph {
+        graph.induced_subgraph(&self.shards[s].residents)
+    }
+
+    /// Feature rows for shard `s`'s residents, in local-id order.
+    pub fn shard_features(&self, features: &Matrix, s: usize) -> Matrix {
+        let spec = &self.shards[s];
+        let cols = features.cols();
+        let mut data = Vec::with_capacity(spec.residents.len() * cols);
+        for &v in &spec.residents {
+            data.extend_from_slice(features.row(v));
+        }
+        Matrix::from_vec(spec.residents.len(), cols, data)
+    }
+
+    /// Serializes shard `s` as a standalone GSRB bundle (its induced graph
+    /// and gathered features under the shared model).
+    pub fn shard_bundle(
+        &self,
+        model: &Gcmae,
+        graph: &Graph,
+        features: &Matrix,
+        s: usize,
+    ) -> Vec<u8> {
+        let sg = self.shard_graph(graph, s);
+        let sf = self.shard_features(features, s);
+        save_bundle(model, &sg, &sf)
+    }
+
+    /// The tier manifest: everything the gateway (and each shard sidecar)
+    /// needs to agree on the layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("mode".to_string(), Json::str(self.mode.name())),
+            ("halo_depth".to_string(), Json::int(self.halo_depth)),
+            ("num_nodes".to_string(), Json::int(self.num_nodes)),
+            (
+                "owner".to_string(),
+                Json::Arr(self.owner.iter().map(|&s| Json::int(s as usize)).collect()),
+            ),
+            (
+                "shards".to_string(),
+                Json::Arr(
+                    self.shards
+                        .iter()
+                        .map(|spec| {
+                            Json::Obj(vec![
+                                (
+                                    "residents".to_string(),
+                                    Json::Arr(
+                                        spec.residents.iter().map(|&v| Json::int(v)).collect(),
+                                    ),
+                                ),
+                                (
+                                    "owned".to_string(),
+                                    Json::Arr(
+                                        spec.owned.iter().map(|&o| Json::Bool(o)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses [`Partition::to_json`], validating structural invariants
+    /// (owner table covers every node, residents sorted, masks parallel).
+    pub fn from_json(doc: &Json) -> Result<Partition, PartitionError> {
+        let bad = PartitionError::BadManifest;
+        let mode = doc
+            .get("mode")
+            .and_then(Json::as_str)
+            .and_then(PartitionMode::parse)
+            .ok_or(bad("mode"))?;
+        let halo_depth = doc
+            .get("halo_depth")
+            .and_then(Json::as_usize)
+            .ok_or(bad("halo_depth"))?;
+        let num_nodes = doc
+            .get("num_nodes")
+            .and_then(Json::as_usize)
+            .ok_or(bad("num_nodes"))?;
+        let owner_arr = doc.get("owner").and_then(Json::as_arr).ok_or(bad("owner"))?;
+        if owner_arr.len() != num_nodes {
+            return Err(bad("owner table length"));
+        }
+        let owner = owner_arr
+            .iter()
+            .map(|j| j.as_usize().map(|s| s as u32).ok_or(bad("owner entry")))
+            .collect::<Result<Vec<u32>, _>>()?;
+        let shard_arr = doc.get("shards").and_then(Json::as_arr).ok_or(bad("shards"))?;
+        let mut shards = Vec::with_capacity(shard_arr.len());
+        for spec in shard_arr {
+            let residents = spec
+                .get("residents")
+                .and_then(Json::as_arr)
+                .ok_or(bad("residents"))?
+                .iter()
+                .map(|j| j.as_usize().ok_or(bad("resident id")))
+                .collect::<Result<Vec<usize>, _>>()?;
+            let owned = spec
+                .get("owned")
+                .and_then(Json::as_arr)
+                .ok_or(bad("owned"))?
+                .iter()
+                .map(|j| j.as_bool().ok_or(bad("owned entry")))
+                .collect::<Result<Vec<bool>, _>>()?;
+            if owned.len() != residents.len() {
+                return Err(bad("owned/residents length mismatch"));
+            }
+            if residents.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(bad("residents not sorted"));
+            }
+            if residents.iter().any(|&v| v >= num_nodes) {
+                return Err(bad("resident out of range"));
+            }
+            shards.push(ShardSpec { residents, owned });
+        }
+        if shards.is_empty() {
+            return Err(bad("no shards"));
+        }
+        if owner.iter().any(|&s| s as usize >= shards.len()) {
+            return Err(bad("owner out of range"));
+        }
+        Ok(Partition { mode, halo_depth, num_nodes, owner, shards })
+    }
+}
+
+/// Balanced multi-source BFS: shards claim contiguous regions in turn, each
+/// bounded by `ceil(remaining / shards_left)` so sizes stay within one node
+/// of each other even on disconnected graphs (exhausted components fall
+/// through to the lowest unassigned seed).
+fn bfs_owners(graph: &Graph, shards: usize) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut owner = vec![u32::MAX; n];
+    let mut assigned = 0_usize;
+    let mut cursor = 0_usize; // lowest possibly-unassigned node id
+    for s in 0..shards {
+        let quota = (n - assigned).div_ceil(shards - s);
+        let mut claimed = 0_usize;
+        let mut frontier: VecDeque<usize> = VecDeque::new();
+        while claimed < quota {
+            let v = match frontier.pop_front() {
+                Some(v) => v,
+                None => {
+                    // Region exhausted (or fresh shard): seed at the lowest
+                    // unassigned node.
+                    while cursor < n && owner[cursor] != u32::MAX {
+                        cursor += 1;
+                    }
+                    cursor
+                }
+            };
+            if owner[v] != u32::MAX {
+                continue;
+            }
+            owner[v] = s as u32;
+            claimed += 1;
+            assigned += 1;
+            for &w in graph.neighbors(v) {
+                if owner[w as usize] == u32::MAX {
+                    frontier.push_back(w as usize);
+                }
+            }
+        }
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> =
+            (0..n).map(|v| (v, (v + 1) % n)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn owned_sets_partition_the_graph_exactly() {
+        let g = ring(24);
+        for mode in [PartitionMode::Hash, PartitionMode::Bfs] {
+            let p = Partition::build(&g, 4, mode, 2).unwrap();
+            let mut counts = vec![0_usize; 24];
+            for (s, spec) in p.shards.iter().enumerate() {
+                for (i, &v) in spec.residents.iter().enumerate() {
+                    if spec.owned[i] {
+                        counts[v] += 1;
+                        assert_eq!(p.owner[v], s as u32, "{mode:?}");
+                    }
+                }
+            }
+            assert!(counts.iter().all(|&c| c == 1), "{mode:?}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_regions_are_balanced_and_contiguous_on_a_ring() {
+        let g = ring(20);
+        let p = Partition::build(&g, 4, PartitionMode::Bfs, 1).unwrap();
+        for spec in &p.shards {
+            assert_eq!(spec.owned_nodes(), 5);
+        }
+        // On a ring, a BFS region + depth-1 halo spans exactly quota + 2.
+        for spec in &p.shards {
+            assert_eq!(spec.residents.len(), 7);
+        }
+    }
+
+    #[test]
+    fn halo_covers_the_closed_k_hop_ball_of_every_owned_node() {
+        let g = ring(30);
+        let depth = 3;
+        let p = Partition::build(&g, 3, PartitionMode::Hash, depth).unwrap();
+        for (s, spec) in p.shards.iter().enumerate() {
+            for (i, &v) in spec.residents.iter().enumerate() {
+                if !spec.owned[i] {
+                    continue;
+                }
+                for u in g.k_hop_closed(&[v], depth) {
+                    assert!(
+                        spec.residents.binary_search(&u).is_ok(),
+                        "shard {s}: node {u} within {depth} hops of owned {v} not resident"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let g = ring(16);
+        let p = Partition::build(&g, 4, PartitionMode::Bfs, 2).unwrap();
+        let doc = Json::parse(&p.to_json().dump()).unwrap();
+        assert_eq!(Partition::from_json(&doc).unwrap(), p);
+    }
+
+    #[test]
+    fn degenerate_shard_counts_are_rejected() {
+        let g = ring(6);
+        assert_eq!(
+            Partition::build(&g, 0, PartitionMode::Hash, 1),
+            Err(PartitionError::BadShardCount { shards: 0, num_nodes: 6 })
+        );
+        assert_eq!(
+            Partition::build(&g, 7, PartitionMode::Bfs, 1),
+            Err(PartitionError::BadShardCount { shards: 7, num_nodes: 6 })
+        );
+        // hash on a tiny graph can leave a shard empty — typed, not a panic
+        let tiny = ring(3);
+        match Partition::build(&tiny, 3, PartitionMode::Hash, 1) {
+            Ok(p) => assert_eq!(p.num_shards(), 3),
+            Err(PartitionError::EmptyShard(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

@@ -79,11 +79,20 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtocolError> {
     Json::parse(text).map_err(ProtocolError::BadJson)
 }
 
+/// Highest protocol version this build speaks. Version 1 is the implicit
+/// legacy protocol (frames without a `version` field); version 2 added the
+/// version field itself plus the sharding envelope (`halo`, `top_k_owned`).
+/// Servers accept any frame tagged `version <= PROTOCOL_VERSION` as well as
+/// untagged legacy frames, and answer frames from the future with a typed
+/// [`Response::Error`] instead of mis-parsing them.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Optional per-request header fields riding alongside the op payload:
-/// a client-relative deadline, and the client identity + mutation sequence
-/// number used for exactly-once replay after reconnects. All fields are
-/// additive — requests without them parse exactly as before, and servers
-/// that predate them ignore unknown keys.
+/// a client-relative deadline, the client identity + mutation sequence
+/// number used for exactly-once replay after reconnects, the protocol
+/// version, and the sharding routing envelope. All fields are additive —
+/// requests without them parse exactly as before, and servers that predate
+/// them ignore unknown keys.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RequestMeta {
     /// Time budget in milliseconds, measured from server receipt. Expired
@@ -96,13 +105,26 @@ pub struct RequestMeta {
     /// client (starting at 1). A replay of the last acknowledged `seq`
     /// returns the recorded answer instead of re-applying the mutation.
     pub seq: Option<u64>,
+    /// Protocol version of the sender. `None` means a legacy (v1) frame,
+    /// which every server keeps accepting; a value above
+    /// [`PROTOCOL_VERSION`] is rejected loudly at the connection boundary.
+    pub version: Option<u32>,
+    /// Sharding envelope: marks an `add_node` fanned out by the gateway as
+    /// a halo replica (resident but owned by another shard), so the shard
+    /// records the node as un-owned and keeps it out of `top_k_owned`
+    /// answers. Meaningless outside a sharded tier.
+    pub halo: Option<bool>,
 }
 
 impl RequestMeta {
     /// True when no header field is set — the wire document is then
     /// byte-identical to a pre-meta request.
     pub fn is_empty(&self) -> bool {
-        self.deadline_ms.is_none() && self.client.is_none() && self.seq.is_none()
+        self.deadline_ms.is_none()
+            && self.client.is_none()
+            && self.seq.is_none()
+            && self.version.is_none()
+            && self.halo.is_none()
     }
 
     /// Extracts the header fields from a request document; absent or
@@ -114,14 +136,29 @@ impl RequestMeta {
             deadline_ms: u("deadline_ms"),
             client: u("client").filter(|&c| c != 0),
             seq: u("seq").filter(|&s| s != 0),
+            version: u("version").map(|v| v as u32),
+            halo: doc.get("halo").and_then(Json::as_bool),
+        }
+    }
+
+    /// `Err` with the rejection message when the frame claims a protocol
+    /// version newer than this build speaks; `Ok` for legacy (untagged) and
+    /// current frames. Checked at every connection boundary so a true
+    /// mismatch fails loudly instead of mis-parsing.
+    pub fn check_version(&self) -> Result<(), String> {
+        match self.version {
+            Some(v) if v > PROTOCOL_VERSION => Err(format!(
+                "unsupported protocol version {v}: this server speaks <= {PROTOCOL_VERSION}"
+            )),
+            _ => Ok(()),
         }
     }
 }
 
 /// A client request. `Ping`, `Stats`, `Metrics`, `Embed`, `LinkScore`, and
 /// `TopK` are read-only and may be coalesced into one encoder forward by the
-/// scheduler; `AddEdges` and `AddNode` mutate the graph and act as ordering
-/// barriers.
+/// scheduler; `AddEdges`, `AddNode`, and `Reindex` mutate the graph and act
+/// as ordering barriers.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Liveness check.
@@ -147,6 +184,17 @@ pub enum Request {
         /// How many neighbors to return.
         k: usize,
     },
+    /// Like [`Request::TopK`], but restricted to candidates the answering
+    /// shard *owns*. The gateway fans this out to every shard holding the
+    /// anchor and merges the per-shard heaps: each true neighbor is owned by
+    /// exactly one shard, so the merged answer is exact with no dedup. On an
+    /// unsharded server every node is owned and this equals `TopK`.
+    TopKOwned {
+        /// Anchor node.
+        node: usize,
+        /// How many neighbors to return.
+        k: usize,
+    },
     /// Incrementally insert undirected edges.
     AddEdges {
         /// `(u, v)` pairs to insert.
@@ -158,6 +206,17 @@ pub enum Request {
         neighbors: Vec<usize>,
         /// Feature row for the new node (must match the model input width).
         features: Vec<f32>,
+    },
+    /// Relabel every resident node: new id `i` takes over old id
+    /// `order[i]`'s adjacency, features, and ownership flag. `order` must be
+    /// a permutation of the current node ids. Shard-internal (protocol v2):
+    /// the gateway issues it after a repair whose installs broke a shard's
+    /// ascending-global local-id order, because local-id order is the f32
+    /// summation order of neighbor aggregation and therefore part of the
+    /// bit-parity contract with an unsharded engine.
+    Reindex {
+        /// `order[new_id] = old_id`; must be a permutation.
+        order: Vec<usize>,
     },
     /// Stop the server after answering.
     Shutdown,
@@ -173,8 +232,12 @@ impl Request {
             | Request::Metrics
             | Request::Embed { .. }
             | Request::LinkScore { .. }
-            | Request::TopK { .. } => true,
-            Request::AddEdges { .. } | Request::AddNode { .. } | Request::Shutdown => false,
+            | Request::TopK { .. }
+            | Request::TopKOwned { .. } => true,
+            Request::AddEdges { .. }
+            | Request::AddNode { .. }
+            | Request::Reindex { .. }
+            | Request::Shutdown => false,
         }
     }
 
@@ -187,8 +250,10 @@ impl Request {
             Request::Embed { .. } => "embed",
             Request::LinkScore { .. } => "link_score",
             Request::TopK { .. } => "top_k",
+            Request::TopKOwned { .. } => "top_k_owned",
             Request::AddEdges { .. } => "add_edges",
             Request::AddNode { .. } => "add_node",
+            Request::Reindex { .. } => "reindex",
             Request::Shutdown => "shutdown",
         }
     }
@@ -211,6 +276,12 @@ impl Request {
         if let Some(s) = meta.seq {
             fields.push(("seq".into(), Json::num(s as f64)));
         }
+        if let Some(v) = meta.version {
+            fields.push(("version".into(), Json::num(v as f64)));
+        }
+        if let Some(h) = meta.halo {
+            fields.push(("halo".into(), Json::Bool(h)));
+        }
         match self {
             Request::Ping | Request::Stats | Request::Metrics | Request::Shutdown => {}
             Request::Embed { nodes } => {
@@ -220,7 +291,7 @@ impl Request {
                 ));
             }
             Request::LinkScore { pairs } => fields.push(("pairs".into(), pairs_to_json(pairs))),
-            Request::TopK { node, k } => {
+            Request::TopK { node, k } | Request::TopKOwned { node, k } => {
                 fields.push(("node".into(), Json::int(*node)));
                 fields.push(("k".into(), Json::int(*k)));
             }
@@ -236,6 +307,12 @@ impl Request {
                 fields.push((
                     "features".into(),
                     Json::Arr(features.iter().map(|&v| f32_to_json(v)).collect()),
+                ));
+            }
+            Request::Reindex { order } => {
+                fields.push((
+                    "order".into(),
+                    Json::Arr(order.iter().map(|&n| Json::int(n)).collect()),
                 ));
             }
         }
@@ -259,7 +336,7 @@ impl Request {
             "link_score" => Ok(Request::LinkScore {
                 pairs: pair_list(doc, "pairs")?,
             }),
-            "top_k" => {
+            "top_k" | "top_k_owned" => {
                 let node = doc
                     .get("node")
                     .and_then(Json::as_usize)
@@ -268,7 +345,11 @@ impl Request {
                     .get("k")
                     .and_then(Json::as_usize)
                     .ok_or(ProtocolError::BadMessage("top_k needs k"))?;
-                Ok(Request::TopK { node, k })
+                if op == "top_k" {
+                    Ok(Request::TopK { node, k })
+                } else {
+                    Ok(Request::TopKOwned { node, k })
+                }
             }
             "add_edges" => Ok(Request::AddEdges {
                 edges: pair_list(doc, "edges")?,
@@ -289,6 +370,9 @@ impl Request {
                     features,
                 })
             }
+            "reindex" => Ok(Request::Reindex {
+                order: usize_list(doc, "order")?,
+            }),
             _ => Err(ProtocolError::BadMessage("unknown op")),
         }
     }
@@ -337,6 +421,10 @@ pub struct ServerStats {
     pub stale_served: u64,
     /// Connections closed for stalling mid-frame past the read timeout.
     pub slow_closes: u64,
+    /// Nodes this server owns (equal to `num_nodes` outside a sharded tier;
+    /// on a shard, residents minus halo replicas). Absent in frames from
+    /// pre-sharding servers; parses as 0 and is then treated as all-owned.
+    pub owned_nodes: usize,
 }
 
 /// A server response — exactly one variant per [`Request`] outcome, plus
@@ -368,6 +456,11 @@ pub enum Response {
     NodeAdded {
         /// New node id.
         node: usize,
+    },
+    /// `Reindex` payload: how many nodes were relabeled.
+    Reindexed {
+        /// Nodes in the relabeled graph.
+        nodes: usize,
     },
     /// `Metrics` payload: live telemetry snapshot.
     Metrics(Snapshot),
@@ -409,6 +502,7 @@ impl Response {
             Response::Neighbors(_) => "neighbors",
             Response::EdgesAdded { .. } => "edges_added",
             Response::NodeAdded { .. } => "node_added",
+            Response::Reindexed { .. } => "reindexed",
             Response::Metrics(_) => "metrics",
             Response::ShutdownAck => "shutdown",
             Response::Overloaded { .. } => "overloaded",
@@ -446,6 +540,7 @@ impl Response {
                 fields.push(("wal_records".into(), Json::num(s.wal_records as f64)));
                 fields.push(("stale_served".into(), Json::num(s.stale_served as f64)));
                 fields.push(("slow_closes".into(), Json::num(s.slow_closes as f64)));
+                fields.push(("owned_nodes".into(), Json::int(s.owned_nodes)));
             }
             Response::Embeddings { dim, rows } => {
                 fields.push(("dim".into(), Json::int(*dim)));
@@ -475,6 +570,7 @@ impl Response {
                 fields.push(("invalidated".into(), Json::int(*invalidated)));
             }
             Response::NodeAdded { node } => fields.push(("node".into(), Json::int(*node))),
+            Response::Reindexed { nodes } => fields.push(("nodes".into(), Json::int(*nodes))),
             Response::Metrics(snap) => {
                 fields.push((
                     "counters".into(),
@@ -606,6 +702,7 @@ impl Response {
                     wal_records: u64_or_zero(doc, "wal_records"),
                     stale_served: u64_or_zero(doc, "stale_served"),
                     slow_closes: u64_or_zero(doc, "slow_closes"),
+                    owned_nodes: u64_or_zero(doc, "owned_nodes") as usize,
                 }))
             }
             "embeddings" => {
@@ -676,6 +773,13 @@ impl Response {
                     .and_then(Json::as_usize)
                     .ok_or(ProtocolError::BadMessage("missing node id"))?;
                 Ok(Response::NodeAdded { node })
+            }
+            "reindexed" => {
+                let nodes = doc
+                    .get("nodes")
+                    .and_then(Json::as_usize)
+                    .ok_or(ProtocolError::BadMessage("missing node count"))?;
+                Ok(Response::Reindexed { nodes })
             }
             "metrics" => Ok(Response::Metrics(snapshot_from_json(doc)?)),
             _ => Err(ProtocolError::BadMessage("unknown response kind")),
@@ -819,12 +923,16 @@ mod tests {
                 pairs: vec![(0, 1), (7, 7)],
             },
             Request::TopK { node: 4, k: 10 },
+            Request::TopKOwned { node: 4, k: 10 },
             Request::AddEdges {
                 edges: vec![(1, 2), (0, 9)],
             },
             Request::AddNode {
                 neighbors: vec![0],
                 features: vec![1.0, 2.5],
+            },
+            Request::Reindex {
+                order: vec![2, 0, 1],
             },
             Request::Shutdown,
         ];
@@ -853,6 +961,7 @@ mod tests {
             Response::Pong,
             Response::Stats(ServerStats {
                 num_nodes: 20,
+                owned_nodes: 18,
                 num_edges: 31,
                 embed_dim: 8,
                 cache_hits: 100,
@@ -879,6 +988,7 @@ mod tests {
             Response::Neighbors(vec![(3, 0.75), (9, -0.5)]),
             Response::EdgesAdded { invalidated: 4 },
             Response::NodeAdded { node: 21 },
+            Response::Reindexed { nodes: 54 },
             Response::Metrics(snap),
             Response::ShutdownAck,
             Response::Overloaded { retry_after_ms: 25 },
@@ -979,6 +1089,8 @@ mod tests {
             deadline_ms: Some(250),
             client: Some(42),
             seq: Some(7),
+            version: Some(PROTOCOL_VERSION),
+            halo: Some(true),
         };
         let req = Request::AddEdges {
             edges: vec![(1, 2)],
@@ -995,6 +1107,22 @@ mod tests {
         // Zero client/seq are treated as unset, not identities.
         let zeroed = Json::parse("{\"op\":\"ping\",\"client\":0,\"seq\":0}").unwrap();
         assert!(RequestMeta::from_json(&zeroed).is_empty());
+    }
+
+    #[test]
+    fn version_checks_accept_legacy_and_current_but_reject_the_future() {
+        // Legacy v1 frames carry no version field at all.
+        let legacy = Json::parse("{\"op\":\"ping\"}").unwrap();
+        assert!(RequestMeta::from_json(&legacy).check_version().is_ok());
+        // Current frames tag themselves and pass.
+        let current = Json::parse(&format!("{{\"op\":\"ping\",\"version\":{PROTOCOL_VERSION}}}"))
+            .unwrap();
+        assert!(RequestMeta::from_json(&current).check_version().is_ok());
+        // A frame from the future fails loudly with the supported ceiling in
+        // the message instead of being mis-parsed.
+        let future = Json::parse("{\"op\":\"ping\",\"version\":99}").unwrap();
+        let err = RequestMeta::from_json(&future).check_version().unwrap_err();
+        assert!(err.contains("99") && err.contains(&PROTOCOL_VERSION.to_string()), "{err}");
     }
 
     #[test]

@@ -253,6 +253,16 @@ fn handle_connection(stream: TcpStream, batcher: Arc<Batcher>, stop: Arc<AtomicB
             Ok(request) => {
                 let is_shutdown = matches!(request, Request::Shutdown);
                 let meta = RequestMeta::from_json(&doc);
+                // Version gate: a frame stamped with a protocol newer than
+                // this server speaks fails loudly instead of mis-parsing.
+                // Legacy frames carry no version and pass untouched.
+                if let Err(message) = meta.check_version() {
+                    metrics.counter_add("serve.protocol_errors", 1);
+                    if write_frame(&mut out, &Response::Error { message }.to_json()).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 let response = batcher.submit_with(request, meta);
                 if is_shutdown {
                     stop.store(true, Ordering::Release);

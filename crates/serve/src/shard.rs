@@ -1,0 +1,236 @@
+//! Shard processes and the in-process tier harness.
+//!
+//! A *shard* is just the existing [`Server`] stack pointed at a partition
+//! slice: the induced subgraph + gathered features from a per-shard GSRB
+//! bundle, an ownership mask so `top_k_owned` answers only what the shard
+//! owns, and the same WAL/deadline/dedup machinery as an unsharded server
+//! (its WAL replays with the halo bit preserved, so a restarted shard still
+//! knows which residents are replicas).
+//!
+//! [`ShardTier`] wires a full tier inside one process — S shard servers
+//! plus a [`Gateway`] on loopback — which is what the integration tests,
+//! the scaling bench, and CI use. The `gcmae-gateway` binary drives the
+//! same pieces as separate processes for real deployments.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::bundle::{load_bundle, BundleError};
+use crate::engine::{Engine, EngineError};
+use crate::gateway::{Gateway, GatewayError, GatewayOptions};
+use crate::partition::{halo_depth_for, Partition, PartitionError, PartitionMode};
+use crate::server::{Server, ServerOptions};
+use crate::wal::{replay, DedupTable, Wal, WalError};
+
+/// Tier construction failure.
+#[derive(Debug)]
+pub enum TierError {
+    /// The model bundle (full or per-shard) failed to parse.
+    Bundle(BundleError),
+    /// A shard engine rejected its slice.
+    Engine(EngineError),
+    /// The partitioner rejected the layout.
+    Partition(PartitionError),
+    /// A shard (or gateway) WAL failed to open or replay.
+    Wal(WalError),
+    /// A shard server failed to bind.
+    Io(std::io::Error),
+    /// The gateway failed to start.
+    Gateway(GatewayError),
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::Bundle(e) => write!(f, "bundle: {e}"),
+            TierError::Engine(e) => write!(f, "engine: {e}"),
+            TierError::Partition(e) => write!(f, "partition: {e}"),
+            TierError::Wal(e) => write!(f, "wal: {e}"),
+            TierError::Io(e) => write!(f, "io: {e}"),
+            TierError::Gateway(e) => write!(f, "gateway: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+impl From<BundleError> for TierError {
+    fn from(e: BundleError) -> Self {
+        TierError::Bundle(e)
+    }
+}
+impl From<EngineError> for TierError {
+    fn from(e: EngineError) -> Self {
+        TierError::Engine(e)
+    }
+}
+impl From<PartitionError> for TierError {
+    fn from(e: PartitionError) -> Self {
+        TierError::Partition(e)
+    }
+}
+impl From<WalError> for TierError {
+    fn from(e: WalError) -> Self {
+        TierError::Wal(e)
+    }
+}
+impl From<std::io::Error> for TierError {
+    fn from(e: std::io::Error) -> Self {
+        TierError::Io(e)
+    }
+}
+impl From<GatewayError> for TierError {
+    fn from(e: GatewayError) -> Self {
+        TierError::Gateway(e)
+    }
+}
+
+/// In-process tier configuration.
+pub struct TierOptions {
+    /// How owned sets are chosen.
+    pub mode: PartitionMode,
+    /// Halo replication depth; `None` derives the provably-sufficient
+    /// [`halo_depth_for`] from the bundle's encoder depth.
+    pub halo_depth: Option<usize>,
+    /// Per-shard scheduler coalescing cap.
+    pub max_batch: usize,
+    /// Directory for durability: per-shard `shard<i>.wal` plus the
+    /// gateway's `gateway.wal`. Existing logs are replayed (shard restart
+    /// semantics); `None` runs the tier without WALs.
+    pub wal_dir: Option<PathBuf>,
+    /// Gateway reader connections per shard.
+    pub read_connections: usize,
+    /// Gateway mutation-client identity seed (unique per tier lifetime).
+    pub client_seed: u64,
+}
+
+impl Default for TierOptions {
+    fn default() -> Self {
+        Self {
+            mode: PartitionMode::Bfs,
+            halo_depth: None,
+            max_batch: 32,
+            wal_dir: None,
+            read_connections: 4,
+            client_seed: 0x7469_6572_3a31_2121, // "tier:1!!"
+        }
+    }
+}
+
+/// A full serving tier in one process: S shard [`Server`]s and one
+/// [`Gateway`], all on loopback ephemeral ports.
+pub struct ShardTier {
+    partition: Partition,
+    servers: Vec<Server>,
+    gateway: Option<Gateway>,
+    shard_addrs: Vec<String>,
+}
+
+impl ShardTier {
+    /// Partitions the bundle's graph into `shards` slices, starts one
+    /// server per slice (ownership mask installed before WAL replay, so
+    /// replayed halo mutations keep the mask truthful), and fronts them
+    /// with a gateway.
+    pub fn launch(bundle: &[u8], shards: usize, opts: TierOptions) -> Result<ShardTier, TierError> {
+        let (model, graph, features) = load_bundle(bundle)?;
+        let halo_depth = opts
+            .halo_depth
+            .unwrap_or_else(|| halo_depth_for(model.encoder_layers()));
+        let partition = Partition::build(&graph, shards, opts.mode, halo_depth)?;
+
+        let mut servers = Vec::with_capacity(shards);
+        let mut shard_addrs = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let slice = partition.shard_bundle(&model, &graph, &features, s);
+            let (sm, sg, sf) = load_bundle(&slice)?;
+            let mut engine = Engine::new(sm, sg, sf)?;
+            engine.set_owned(partition.shards[s].owned.clone())?;
+            let (wal, dedup) = match &opts.wal_dir {
+                Some(dir) => {
+                    let (wal, records) = Wal::open(dir.join(format!("shard{s}.wal")))?;
+                    let dedup = replay(&mut engine, &records)?;
+                    (Some(wal), dedup)
+                }
+                None => (None, DedupTable::new()),
+            };
+            let server = Server::start_with(
+                engine,
+                "127.0.0.1:0",
+                ServerOptions {
+                    max_batch: opts.max_batch,
+                    read_timeout: Some(Duration::from_millis(500)),
+                    wal,
+                    dedup,
+                    ..ServerOptions::default()
+                },
+            )?;
+            shard_addrs.push(server.addr().to_string());
+            servers.push(server);
+        }
+
+        let gateway = Gateway::start(
+            graph,
+            &features,
+            &partition,
+            &shard_addrs,
+            "127.0.0.1:0",
+            GatewayOptions {
+                read_connections: opts.read_connections,
+                wal_path: opts.wal_dir.as_ref().map(|d| d.join("gateway.wal")),
+                read_timeout: Some(Duration::from_millis(500)),
+                write_timeout: Some(Duration::from_secs(10)),
+                stop_shards: false,
+                client_seed: opts.client_seed,
+            },
+        )?;
+
+        Ok(ShardTier {
+            partition,
+            servers,
+            gateway: Some(gateway),
+            shard_addrs,
+        })
+    }
+
+    /// The gateway's client-facing address.
+    pub fn gateway_addr(&self) -> SocketAddr {
+        self.gateway.as_ref().expect("gateway runs until shutdown").addr()
+    }
+
+    /// Per-shard server addresses, in shard order.
+    pub fn shard_addrs(&self) -> &[String] {
+        &self.shard_addrs
+    }
+
+    /// The tier layout.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Blocks until a client sends `shutdown` to the gateway, then drains
+    /// the shard servers.
+    pub fn run_until_shutdown(mut self) {
+        if let Some(gateway) = self.gateway.take() {
+            gateway.run_until_shutdown();
+        }
+        for server in self.servers.drain(..) {
+            let _ = server.shutdown();
+        }
+    }
+
+    /// Graceful drain: gateway first (its shard connections close), then
+    /// each shard server; returns the drained shard engines in shard order
+    /// for post-mortem inspection.
+    pub fn shutdown(mut self) -> Vec<Engine> {
+        if let Some(gateway) = self.gateway.take() {
+            gateway.shutdown();
+        }
+        self.servers.drain(..).filter_map(Server::shutdown).collect()
+    }
+}

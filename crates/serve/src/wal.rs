@@ -49,6 +49,11 @@ pub struct WalRecord {
     pub seq: u64,
     /// The mutation itself (`add_edges` or `add_node`).
     pub request: Request,
+    /// True when an `add_node` installed a halo replica rather than an owned
+    /// node (sharded tiers only; see [`crate::partition`]). Replay must
+    /// preserve the distinction or a restarted shard would start answering
+    /// owned-only queries for nodes it merely replicates.
+    pub halo: bool,
 }
 
 /// WAL open/decode failure.
@@ -102,7 +107,8 @@ fn encode_payload(rec: &WalRecord) -> String {
     let meta = RequestMeta {
         client: (rec.client != 0).then_some(rec.client),
         seq: (rec.seq != 0).then_some(rec.seq),
-        deadline_ms: None,
+        halo: rec.halo.then_some(true),
+        ..RequestMeta::default()
     };
     rec.request.to_json_with(&meta).dump()
 }
@@ -119,6 +125,7 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
         client: meta.client.unwrap_or(0),
         seq: meta.seq.unwrap_or(0),
         request,
+        halo: meta.halo.unwrap_or(false),
     })
 }
 
@@ -359,11 +366,15 @@ pub fn replay(engine: &mut Engine, records: &[WalRecord]) -> Result<DedupTable, 
                 Err(_) => return Err(WalError::BadRecord(i as u64)),
             },
             Request::AddNode { neighbors, features } => {
-                match engine.add_node(neighbors, features) {
+                match engine.add_node_with(neighbors, features, !rec.halo) {
                     Ok(node) => Response::NodeAdded { node },
                     Err(_) => return Err(WalError::BadRecord(i as u64)),
                 }
             }
+            Request::Reindex { order } => match engine.reindex(order) {
+                Ok(nodes) => Response::Reindexed { nodes },
+                Err(_) => return Err(WalError::BadRecord(i as u64)),
+            },
             _ => return Err(WalError::BadRecord(i as u64)),
         };
         dedup.record(rec.client, rec.seq, response);
@@ -382,6 +393,7 @@ mod tests {
             request: Request::AddEdges {
                 edges: edges.to_vec(),
             },
+            halo: false,
         }
     }
 
@@ -414,6 +426,7 @@ mod tests {
                     neighbors: vec![0, 2],
                     features: vec![0.25, -1.5],
                 },
+                halo: true,
             },
         ];
         for r in &records {

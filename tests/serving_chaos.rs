@@ -100,7 +100,7 @@ fn chaos_round(kernel_threads: usize, seed: u64) {
             let meta = RequestMeta {
                 client: Some(mutator.client_id()),
                 seq: Some(seq),
-                deadline_ms: None,
+                ..RequestMeta::default()
             };
             match dup
                 .call_with(&Request::AddEdges { edges: vec![edge] }, &meta)

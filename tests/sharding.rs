@@ -1,0 +1,271 @@
+//! Sharded-tier integration: partitioner safety properties over seeded
+//! random graphs and encoder depths, then end-to-end gateway parity — a
+//! 4-shard tier must answer bit-for-bit like a single process, before and
+//! after mutations routed through the gateway (halo invalidation included),
+//! at 1 and 8 kernel threads — plus the protocol-version contract.
+
+use gcmae_repro::core::model::seeded_rng;
+use gcmae_repro::core::{Gcmae, GcmaeConfig};
+use gcmae_repro::graph::Graph;
+use gcmae_repro::serve::{
+    halo_depth_for, load_bundle, save_bundle, Client, ClientError, Engine, Partition,
+    PartitionError, PartitionMode, Request, RequestMeta, ResilientClient, ShardTier, TierOptions,
+    PROTOCOL_VERSION,
+};
+use gcmae_repro::tensor::parallel::set_num_threads;
+use gcmae_repro::tensor::Matrix;
+
+/// Ring backbone (guaranteed connectivity) plus seeded random chords,
+/// deduplicated so the CSR sees each undirected edge once.
+fn random_graph(n: usize, chords: usize, seed: u64) -> Graph {
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    let mut state = seed | 1;
+    let mut step = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for _ in 0..chords {
+        let u = step() % n;
+        let v = step() % n;
+        if u != v {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    let mut norm: Vec<(usize, usize)> = edges
+        .into_iter()
+        .map(|(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    norm.sort_unstable();
+    norm.dedup();
+    Graph::from_edges(n, &norm)
+}
+
+/// Partitioner safety net, per ISSUE: over seeded random graphs and every
+/// encoder depth we serve, (1) owned sets partition the node set exactly,
+/// (2) the closed `halo_depth`-hop ball of every node is resident on the
+/// shard owning it, and (3) each shard's local graph is exactly the induced
+/// subgraph over its residents. Property (2) is what makes owned embeddings
+/// bit-exact; property (3) is what the gateway's repair plans maintain under
+/// mutations, so it must hold at build time too.
+#[test]
+fn partition_properties_hold_over_random_graphs_and_depths() {
+    for seed in [3_u64, 11, 42] {
+        let n = 60 + (seed as usize % 17);
+        let g = random_graph(n, n / 2, seed);
+        for shards in [2_usize, 3, 5] {
+            for layers in [1_usize, 2, 3] {
+                let depth = halo_depth_for(layers);
+                for mode in [PartitionMode::Hash, PartitionMode::Bfs] {
+                    let p = match Partition::build(&g, shards, mode, depth) {
+                        Ok(p) => p,
+                        // Hash mode may leave a shard empty on small n; that
+                        // is a typed error, not a property violation.
+                        Err(PartitionError::EmptyShard(_)) => continue,
+                        Err(e) => panic!("seed {seed} {mode:?}: {e}"),
+                    };
+
+                    // (1) exact partition: every node owned exactly once,
+                    // and the mask agrees with the owner table.
+                    let mut owned_count = vec![0_usize; n];
+                    for (s, spec) in p.shards.iter().enumerate() {
+                        for (i, &v) in spec.residents.iter().enumerate() {
+                            if spec.owned[i] {
+                                owned_count[v] += 1;
+                                assert_eq!(p.owner[v] as usize, s, "seed {seed} {mode:?}");
+                            }
+                        }
+                    }
+                    assert!(
+                        owned_count.iter().all(|&c| c == 1),
+                        "seed {seed} {mode:?} shards {shards} depth {depth}: {owned_count:?}"
+                    );
+
+                    // (2) halo sufficiency: every node's closed depth-hop
+                    // neighborhood is resident on its owning shard.
+                    for v in 0..n {
+                        let spec = &p.shards[p.owner[v] as usize];
+                        for u in g.k_hop_closed(&[v], depth) {
+                            assert!(
+                                spec.residents.binary_search(&u).is_ok(),
+                                "seed {seed} {mode:?}: node {u} within {depth} hops of \
+                                 {v} missing from shard {}",
+                                p.owner[v]
+                            );
+                        }
+                    }
+
+                    // (3) induced-subgraph equivalence, edge for edge.
+                    for (s, spec) in p.shards.iter().enumerate() {
+                        let sg = p.shard_graph(&g, s);
+                        assert_eq!(sg.num_nodes(), spec.residents.len());
+                        for (i, &v) in spec.residents.iter().enumerate() {
+                            let mut want: Vec<usize> = g
+                                .neighbors(v)
+                                .iter()
+                                .filter_map(|&w| {
+                                    spec.residents.binary_search(&(w as usize)).ok()
+                                })
+                                .collect();
+                            want.sort_unstable();
+                            let mut got: Vec<usize> =
+                                sg.neighbors(i).iter().map(|&w| w as usize).collect();
+                            got.sort_unstable();
+                            assert_eq!(got, want, "seed {seed} {mode:?} shard {s} node {v}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full sweep through the gateway must match `expected` bit-for-bit.
+fn assert_sweep(client: &mut Client, expected: &Matrix, n: usize) {
+    for chunk_start in (0..n).step_by(16) {
+        let nodes: Vec<usize> = (chunk_start..n.min(chunk_start + 16)).collect();
+        let rows = client.embed(&nodes).expect("gateway sweep");
+        for (row, &v) in rows.iter().zip(&nodes) {
+            assert_eq!(row.as_slice(), expected.row(v), "node {v}");
+        }
+    }
+}
+
+fn tier_parity_round(kernel_threads: usize, seed: u64) {
+    set_num_threads(kernel_threads);
+    let n = 72;
+    let in_dim = 6;
+    let graph = random_graph(n, 24, seed);
+    let mut rng = seeded_rng(seed);
+    let features = Matrix::uniform(n, in_dim, -1.0, 1.0, &mut rng);
+    let cfg = GcmaeConfig { hidden_dim: 12, proj_dim: 8, ..GcmaeConfig::fast() };
+    let model = Gcmae::new(&cfg, in_dim, &mut rng);
+    let bundle = save_bundle(&model, &graph, &features);
+
+    let wal_dir = std::env::temp_dir().join(format!(
+        "gcmae_sharding_test_{}_{kernel_threads}_{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("wal dir");
+    let tier = ShardTier::launch(
+        &bundle,
+        4,
+        TierOptions {
+            mode: PartitionMode::Bfs,
+            wal_dir: Some(wal_dir.clone()),
+            client_seed: 0x7061_7269_7479 ^ seed,
+            ..TierOptions::default()
+        },
+    )
+    .expect("tier launch");
+    let addr = tier.gateway_addr().to_string();
+    let mut client = Client::connect(&addr).expect("gateway connect");
+
+    // Pre-mutation: embeddings and top-k through the gateway match a
+    // single-process engine on the same bundle.
+    let expected = model.encode(&graph, &features);
+    assert_sweep(&mut client, &expected, n);
+    let (m1, g1, f1) = load_bundle(&bundle).expect("bundle");
+    let mut single = Engine::new(m1, g1, f1).expect("single engine");
+    for v in (0..n).step_by(7) {
+        assert_eq!(
+            client.top_k(v, 5).expect("gateway top_k"),
+            single.top_k(v, 5).expect("single top_k"),
+            "pre-mutation top_k({v})"
+        );
+    }
+
+    // Mutations through the gateway, crossing region boundaries on purpose:
+    // the repair plans must extend halos on several shards, and the edges'
+    // invalidation must reach every replica.
+    let new_edges = [(0, n / 2), (1, n / 2 + 1), (n / 4, 3 * n / 4)];
+    let mut mutator = ResilientClient::new(&addr, 0x7061 + seed);
+    mutator.add_edges(&new_edges).expect("gateway add_edges");
+    let new_feat: Vec<f32> = (0..in_dim).map(|i| 0.25 * i as f32 - 0.5).collect();
+    let new_neighbors = [0_usize, n / 2, n - 1];
+    let new_id = mutator
+        .add_node(&new_neighbors, &new_feat)
+        .expect("gateway add_node");
+    assert_eq!(new_id, n, "appended node id");
+
+    // Clean single-process replay of the same mutations.
+    let (g2, _) = graph.add_edges(&new_edges).expect("clean add_edges");
+    let (g3, _) = g2.add_node(&new_neighbors).expect("clean add_node");
+    let mut data = Vec::with_capacity((n + 1) * in_dim);
+    for v in 0..n {
+        data.extend_from_slice(features.row(v));
+    }
+    data.extend_from_slice(&new_feat);
+    let f3 = Matrix::from_vec(n + 1, in_dim, data);
+    let expected2 = model.encode(&g3, &f3);
+    assert_sweep(&mut client, &expected2, n + 1);
+
+    let (m2, _, _) = load_bundle(&bundle).expect("bundle reload");
+    let mut clean = Engine::new(m2, g3, f3).expect("clean engine");
+    for v in (0..=n).step_by(5) {
+        assert_eq!(
+            client.top_k(v, 5).expect("gateway top_k"),
+            clean.top_k(v, 5).expect("clean top_k"),
+            "post-mutation top_k({v})"
+        );
+    }
+
+    drop(client);
+    tier.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn four_shard_tier_is_bit_exact_with_single_threaded_kernels() {
+    tier_parity_round(1, 21);
+    set_num_threads(0);
+}
+
+#[test]
+fn four_shard_tier_is_bit_exact_with_eight_kernel_threads() {
+    tier_parity_round(8, 22);
+    set_num_threads(0);
+}
+
+/// Version contract at the gateway: frames from the future fail loudly with
+/// a typed error naming both versions, the connection survives, and both
+/// legacy (no version) and current-version frames keep working on it.
+#[test]
+fn future_protocol_version_fails_loud_but_connection_survives() {
+    let n = 24;
+    let graph = random_graph(n, 0, 9);
+    let mut rng = seeded_rng(9);
+    let features = Matrix::uniform(n, 4, -1.0, 1.0, &mut rng);
+    let cfg = GcmaeConfig { hidden_dim: 8, proj_dim: 4, ..GcmaeConfig::fast() };
+    let model = Gcmae::new(&cfg, 4, &mut rng);
+    let bundle = save_bundle(&model, &graph, &features);
+    let tier = ShardTier::launch(&bundle, 2, TierOptions::default()).expect("tier launch");
+    let mut client = Client::connect(&tier.gateway_addr().to_string()).expect("connect");
+
+    let future = RequestMeta {
+        version: Some(PROTOCOL_VERSION + 1),
+        ..RequestMeta::default()
+    };
+    match client.call_with(&Request::Ping, &future) {
+        Err(ClientError::Server(msg)) => {
+            assert!(
+                msg.contains("unsupported protocol version"),
+                "wrong message: {msg}"
+            );
+        }
+        other => panic!("future version must fail loud, got {other:?}"),
+    }
+    // Same connection: legacy frames (no version field) stay accepted...
+    client.ping().expect("legacy frame after mismatch");
+    // ...and so do current-version frames.
+    let current = RequestMeta {
+        version: Some(PROTOCOL_VERSION),
+        ..RequestMeta::default()
+    };
+    client.call_with(&Request::Ping, &current).expect("current version");
+
+    drop(client);
+    tier.shutdown();
+}

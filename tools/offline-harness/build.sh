@@ -130,6 +130,8 @@ build_bins() {
     rbin gcmae-serve "$ROOT/crates/serve/src/bin/gcmae_serve.rs" "${ALL_DEPS[@]:0:8}" rand bytes
     rbin bench_serve "$ROOT/crates/serve/src/bin/bench_serve.rs" "${ALL_DEPS[@]:0:8}" rand bytes
     rbin bench_chaos "$ROOT/crates/serve/src/bin/bench_chaos.rs" "${ALL_DEPS[@]:0:8}" rand bytes
+    rbin gcmae-gateway "$ROOT/crates/serve/src/bin/gcmae_gateway.rs" "${ALL_DEPS[@]:0:8}" rand bytes
+    rbin bench_shards "$ROOT/crates/serve/src/bin/bench_shards.rs" "${ALL_DEPS[@]:0:8}" rand bytes
 }
 
 build_examples() {
