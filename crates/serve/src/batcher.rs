@@ -282,6 +282,7 @@ fn request_counter(request: &Request) -> &'static str {
         Request::LinkScore { .. } => "serve.requests.link_score",
         Request::TopK { .. } => "serve.requests.top_k",
         Request::TopKOwned { .. } => "serve.requests.top_k_owned",
+        Request::SeqProbe { .. } => "serve.requests.seq_probe",
         Request::AddEdges { .. } => "serve.requests.add_edges",
         Request::AddNode { .. } => "serve.requests.add_node",
         Request::Reindex { .. } => "serve.requests.reindex",
@@ -582,6 +583,9 @@ fn respond(engine: &mut Engine, request: &Request, halo: bool, ctx: &SchedCtx) -
             Err(e) => Response::Error {
                 message: e.to_string(),
             },
+        },
+        Request::SeqProbe { client } => Response::SeqState {
+            last: ctx.dedup.last_seq(*client),
         },
         Request::AddEdges { edges } => match engine.add_edges(edges) {
             Ok(stale) => Response::EdgesAdded { invalidated: stale },

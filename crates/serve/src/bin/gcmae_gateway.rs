@@ -76,9 +76,12 @@ fn load_checkpoint(
 }
 
 /// A per-process-lifetime identity seed for the gateway's shard-facing
-/// mutation clients: shards dedup retries within one gateway lifetime, and a
-/// restarted gateway must start fresh sequences rather than collide with its
-/// predecessor's.
+/// mutation clients, used only when running **without** a WAL: shards dedup
+/// retries within one gateway lifetime, and with no journal to resume from
+/// a restarted gateway must start fresh sequences rather than collide with
+/// its predecessor's. With a WAL, the stable default seed is used instead —
+/// startup probes each shard and resumes the journaled sequences, so the
+/// identity must survive the restart.
 fn lifetime_seed() -> u64 {
     let nanos = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -132,10 +135,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let doc = Json::parse(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
     let partition = Partition::from_json(&doc).map_err(|e| e.to_string())?;
     let shard_addrs: Vec<String> = shard_list.split(',').map(str::to_string).collect();
+    let wal_path = flag(args, "--wal").map(std::path::PathBuf::from);
+    let client_seed = if wal_path.is_some() {
+        GatewayOptions::default().client_seed
+    } else {
+        lifetime_seed()
+    };
     let opts = GatewayOptions {
         read_connections: parse_flag(args, "--readers", 4)?,
-        wal_path: flag(args, "--wal").map(std::path::PathBuf::from),
-        client_seed: lifetime_seed(),
+        wal_path,
+        client_seed,
         ..GatewayOptions::default()
     };
     let gateway = Gateway::start(graph, &features, &partition, &shard_addrs, &addr, opts)
@@ -156,10 +165,16 @@ fn cmd_tier(args: &[String]) -> Result<(), String> {
     let path = flag(args, "--checkpoint").ok_or("tier needs --checkpoint <file>")?;
     let blob = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let shards: usize = parse_flag(args, "--shards", 4)?;
+    let wal_dir = flag(args, "--wal-dir").map(std::path::PathBuf::from);
+    let client_seed = if wal_dir.is_some() {
+        TierOptions::default().client_seed
+    } else {
+        lifetime_seed()
+    };
     let opts = TierOptions {
         mode: parse_mode(args)?,
-        wal_dir: flag(args, "--wal-dir").map(std::path::PathBuf::from),
-        client_seed: lifetime_seed(),
+        wal_dir,
+        client_seed,
         ..TierOptions::default()
     };
     if let Some(dir) = &opts.wal_dir {

@@ -297,6 +297,14 @@ impl ResilientClient {
         self.next_seq
     }
 
+    /// Resumes the mutation sequence at `next` (floored at 1). Recovery
+    /// path: the caller has learned via [`ResilientClient::seq_probe`] how
+    /// far the server already advanced this identity's stream and continues
+    /// from there instead of colliding with its own history.
+    pub(crate) fn resume_seq(&mut self, next: u64) {
+        self.next_seq = next.max(1);
+    }
+
     /// Retries performed across all calls so far.
     pub fn retries(&self) -> u64 {
         self.retries
@@ -460,6 +468,15 @@ impl ResilientClient {
         match self.call_read(&Request::Metrics)? {
             Response::Metrics(snap) => Ok(snap),
             _ => Err(ClientError::BadResponse("expected metrics")),
+        }
+    }
+
+    /// The last mutation sequence the server acknowledged for *this*
+    /// client's identity (0 when it has none on record), with retries.
+    pub fn seq_probe(&mut self) -> Result<u64, ClientError> {
+        match self.call_read(&Request::SeqProbe { client: self.client_id })? {
+            Response::SeqState { last } => Ok(last),
+            _ => Err(ClientError::BadResponse("expected seq_state")),
         }
     }
 

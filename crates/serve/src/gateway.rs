@@ -18,19 +18,33 @@
 //!   the union sees every candidate exactly once and the merge is exact.
 //! - `stats` aggregates across shards; `metrics` snapshots the gateway's
 //!   own registry (routing counters plus per-shard gauges).
-//! - Mutations are applied to the gateway's authoritative copy of the
-//!   graph under a write lock, turned into a **repair plan** (which shards
-//!   gain which residents and which local edges), and fanned out to the
-//!   affected shards' mutation channels. Halo-replica `add_node` fan-outs
-//!   carry `halo: true` so shards keep their ownership masks truthful
-//!   across WAL recovery.
+//! - Mutations are admitted through an atomic dedup gate (verdict check
+//!   and in-flight reservation under one lock, so a concurrent retry of an
+//!   in-flight `(client, seq)` waits and replays instead of re-applying),
+//!   applied to the gateway's authoritative copy of the graph under a
+//!   write lock, turned into a **repair plan** (which shards gain which
+//!   residents and which local edges), journaled write-ahead, and fanned
+//!   out to the affected shards' mutation channels. Halo-replica
+//!   `add_node` fan-outs carry `halo: true` so shards keep their ownership
+//!   masks truthful across WAL recovery.
 //!
-//! Mutation ordering: the plan is computed and per-shard mutation locks are
-//! acquired (in shard order) while the state write lock is held, then the
-//! state lock drops and the fan-out runs. Mutations touching disjoint
-//! shards therefore overlap on the wire (their WAL fsyncs overlap), while
-//! mutations on a shared shard reach that shard in gateway-state order —
-//! which is what keeps shard-local id assignment deterministic.
+//! Mutation ordering: while the state write lock is held, the plan is
+//! computed, its frames are pushed onto the touched shards' delivery
+//! queues, and the WAL lock is taken — so queue order, journal order, and
+//! state order are the same total order. The state lock then drops; the
+//! journal record is fsynced **before** any frame is delivered (a crash
+//! can only leave the gateway ahead of the shards, the direction startup
+//! reconciliation repairs — see [`Gateway::start`]). Mutations touching
+//! disjoint shards overlap on the wire, while frames bound for a shared
+//! shard reach it in gateway-state order — which is what keeps shard-local
+//! id assignment deterministic.
+//!
+//! Delivery is at-least-once with shard-side dedup: a shard that cannot
+//! acknowledge keeps its undelivered frames queued (reads touching it wait
+//! on the `pending` fence instead of silently reading divergent numbering)
+//! and a background redelivery thread re-pushes until the shard recovers;
+//! every frame carries the mutator's `(client, seq)`, so a frame the shard
+//! already applied replays from its dedup table.
 //!
 //! Local-id **order** is part of the bit-parity contract, not just the id
 //! assignment: a shard's CSR rows are sorted by local id, so local-id order
@@ -45,14 +59,14 @@
 //! shard is retried with backoff and, for fan-out reads, skipped with a
 //! `gateway.degraded` count rather than failing the whole tier.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gcmae_graph::Graph;
 use gcmae_obs::{Observer, Registry};
@@ -79,9 +93,15 @@ pub struct GatewayOptions {
     pub write_timeout: Option<Duration>,
     /// Send `shutdown` to every shard when the gateway shuts down.
     pub stop_shards: bool,
-    /// Base identity for the gateway's shard-facing mutation clients. Must
-    /// be unique per gateway *process lifetime* (retries within a lifetime
-    /// dedup on the shards; a fresh lifetime starts fresh sequences).
+    /// Base identity for the gateway's shard-facing clients. With a WAL
+    /// configured this must be **stable across relaunches**: a restarted
+    /// gateway probes each shard for the last repair frame its mutator
+    /// identity delivered (`seq_probe`) and resumes the sequence from
+    /// there, so frames the crash left undelivered redeliver and frames
+    /// the shard already applied dedup. Without a WAL the seed must
+    /// instead be unique per process lifetime (no journal to resume from,
+    /// so a reused identity would collide with the previous lifetime's
+    /// sequences).
     pub client_seed: u64,
 }
 
@@ -170,10 +190,13 @@ struct RouterState {
     /// the fetch was in flight — a renumbering makes captured local ids
     /// meaningless.
     epoch: Vec<u64>,
-    /// Per shard: in-flight renumbering mutations (incremented with the
-    /// epoch bump under the write lock, decremented after the fan-out
-    /// delivered the `reindex` frame). While non-zero the gateway's maps are
-    /// ahead of the shard's numbering, so reads wait instead of capturing.
+    /// Per shard: repair frames queued but not yet acknowledged by the
+    /// shard (incremented when frames are pushed onto the shard's delivery
+    /// queue under the write lock, decremented as each acknowledgment
+    /// arrives). While non-zero the gateway's maps are ahead of the shard,
+    /// so reads wait instead of capturing — including across a fan-out
+    /// failure, when the undelivered tail sits in the queue until the
+    /// redelivery thread lands it.
     pending: Vec<u32>,
 }
 
@@ -376,13 +399,56 @@ impl RouterState {
     }
 }
 
-/// Connection pool to one shard: round-robined readers plus one ordered
-/// mutation channel.
+/// One repair frame bound for a shard: the request plus whether it installs
+/// a halo replica (shard-side ownership-mask truth).
+#[derive(Clone)]
+struct Frame {
+    request: Request,
+    halo: bool,
+}
+
+/// Expands one shard's slice of a repair plan into its delivery frames:
+/// resident installs in plan order, then the edge batch, then the reindex.
+/// Installs and edges use the pre-reindex numbering, so the reindex must
+/// ship last — the shard re-sorts itself only once they are applied.
+fn plan_frames(plan: &RepairPlan, s: usize) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    for nr in &plan.new_residents[s] {
+        frames.push(Frame {
+            request: Request::AddNode {
+                neighbors: Vec::new(),
+                features: nr.features.clone(),
+            },
+            halo: !nr.owned,
+        });
+    }
+    if !plan.edges[s].is_empty() {
+        frames.push(Frame {
+            request: Request::AddEdges { edges: plan.edges[s].clone() },
+            halo: false,
+        });
+    }
+    if let Some(order) = &plan.reindex[s] {
+        frames.push(Frame {
+            request: Request::Reindex { order: order.clone() },
+            halo: false,
+        });
+    }
+    frames
+}
+
+/// Connection pool to one shard: round-robined readers, one ordered
+/// mutation channel, and the shard's frame delivery queue. Frames are
+/// queued under the routing-state write lock (so queue order = state
+/// order) and drained under the mutator lock; a frame leaves the queue
+/// only after the shard acknowledges it, making delivery at-least-once
+/// with shard-side dedup absorbing the retries.
 struct ShardLink {
     addr: String,
     readers: Vec<Mutex<ResilientClient>>,
     next_reader: AtomicUsize,
     mutator: Mutex<ResilientClient>,
+    queue: Mutex<VecDeque<Frame>>,
 }
 
 impl ShardLink {
@@ -392,11 +458,21 @@ impl ShardLink {
     }
 }
 
+/// Client-facing mutation admission state, held under one lock so the
+/// dedup verdict and the decision to execute are atomic: a concurrent
+/// retry of an in-flight `(client, seq)` parks on the gate's condvar and
+/// replays the recorded response instead of re-applying the mutation.
+struct MutationGate {
+    table: DedupTable,
+    inflight: HashSet<(u64, u64)>,
+}
+
 struct GatewayInner {
     state: RwLock<RouterState>,
     shards: Vec<ShardLink>,
     metrics: Arc<Registry>,
-    dedup: Mutex<DedupTable>,
+    gate: Mutex<MutationGate>,
+    gate_cv: Condvar,
     wal: Mutex<Option<Wal>>,
     mode: PartitionMode,
     halo_depth: usize,
@@ -409,6 +485,7 @@ pub struct Gateway {
     inner: Arc<GatewayInner>,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    redeliver_handle: Option<JoinHandle<()>>,
     stop_shards: bool,
     torn_down: bool,
 }
@@ -457,13 +534,19 @@ impl Gateway {
         // Recover routing state mutated since partition time. Shards replay
         // their own WALs; replaying the same mutations here recomputes the
         // identical repair plans (the plan is a pure function of the state),
-        // so local-id assignment stays in agreement without any fan-out.
+        // so local-id assignment stays in agreement. The per-shard frame
+        // streams those plans would have produced are kept: reconciliation
+        // below diffs them against what each shard actually applied.
         let mut dedup = DedupTable::new();
+        let mut wal_frames: Vec<Vec<Frame>> = vec![Vec::new(); partition.num_shards()];
         let wal = match &opts.wal_path {
             Some(path) => {
                 let (wal, records) = Wal::open(path).map_err(GatewayError::Wal)?;
-                dedup = replay_routing(&mut state, &records, partition.mode, partition.halo_depth)
-                    .map_err(GatewayError::Wal)?;
+                let (table, frames) =
+                    replay_routing(&mut state, &records, partition.mode, partition.halo_depth)
+                        .map_err(GatewayError::Wal)?;
+                dedup = table;
+                wal_frames = frames;
                 Some(wal)
             }
             None => None,
@@ -478,14 +561,45 @@ impl Gateway {
                 })
                 .collect::<Vec<_>>();
             let mutator_id = splitmix64(opts.client_seed ^ ((s as u64) << 20) ^ 0xffff) | 1;
-            let link = ShardLink {
+            let mut link = ShardLink {
                 addr: shard_addr.clone(),
                 readers,
                 next_reader: AtomicUsize::new(0),
                 mutator: Mutex::new(ResilientClient::new(shard_addr, mutator_id)),
+                queue: Mutex::new(VecDeque::new()),
             };
             // Startup liveness probe: fail fast on a dead address.
             link.reader().ping().map_err(|e| GatewayError::Shard(s, e))?;
+            if wal.is_some() {
+                // Delivery reconciliation: the journal fsyncs before frames
+                // ship, so a crash can only leave the shard *behind* the
+                // journal. Frame `i` of the recomputed stream carried
+                // mutator seq `i + 1`; the shard's dedup table remembers
+                // the last seq this mutator landed, so the probe tells us
+                // exactly which tail never arrived. Queue it for
+                // redelivery, resume the sequence after it, and fence
+                // reads on this shard until the tail lands.
+                let total = wal_frames[s].len() as u64;
+                let applied = link
+                    .mutator
+                    .get_mut()
+                    .expect("mutator poisoned")
+                    .seq_probe()
+                    .map_err(|e| GatewayError::Shard(s, e))?;
+                if applied > total {
+                    return Err(GatewayError::Layout(
+                        "shard has applied more gateway repair frames than the gateway \
+                         wal holds (stale or mismatched --wal?)",
+                    ));
+                }
+                link.mutator
+                    .get_mut()
+                    .expect("mutator poisoned")
+                    .resume_seq(applied + 1);
+                let tail: Vec<Frame> = wal_frames[s].split_off(applied as usize);
+                state.pending[s] += tail.len() as u32;
+                link.queue.get_mut().expect("queue poisoned").extend(tail);
+            }
             shards.push(link);
         }
 
@@ -493,7 +607,8 @@ impl Gateway {
             state: RwLock::new(state),
             shards,
             metrics: Arc::new(Registry::new()),
-            dedup: Mutex::new(dedup),
+            gate: Mutex::new(MutationGate { table: dedup, inflight: HashSet::new() }),
+            gate_cv: Condvar::new(),
             wal: Mutex::new(wal),
             mode: partition.mode,
             halo_depth: partition.halo_depth,
@@ -509,11 +624,17 @@ impl Gateway {
         let accept_handle = std::thread::spawn(move || {
             accept_loop(listener, accept_inner, accept_stop, timeouts)
         });
+        let redeliver_inner = Arc::clone(&inner);
+        let redeliver_stop = Arc::clone(&stop);
+        let redeliver_handle = std::thread::spawn(move || {
+            redelivery_loop(redeliver_inner, redeliver_stop)
+        });
         Ok(Gateway {
             addr: local,
             inner,
             stop,
             accept_handle: Some(accept_handle),
+            redeliver_handle: Some(redeliver_handle),
             stop_shards: opts.stop_shards,
             torn_down: false,
         })
@@ -551,6 +672,9 @@ impl Gateway {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.redeliver_handle.take() {
+            let _ = h.join();
+        }
         if let Some(wal) = self.inner.wal.lock().expect("wal poisoned").as_mut() {
             let _ = wal.sync();
         }
@@ -571,33 +695,44 @@ impl Drop for Gateway {
 }
 
 /// Replays gateway WAL records onto the routing state (no fan-out — shards
-/// recover from their own logs) and rebuilds the client-facing dedup table.
+/// recover from their own logs), rebuilding the client-facing dedup table
+/// and the per-shard repair-frame streams the journaled mutations fanned
+/// out. The plan is a pure function of the state, so the recomputed frames
+/// are byte-identical to what was (or should have been) delivered — frame
+/// `i` of a shard's stream carried mutator seq `i + 1`, which is what lets
+/// startup reconciliation diff the stream against the shard's dedup table.
+#[allow(clippy::type_complexity)]
 fn replay_routing(
     state: &mut RouterState,
     records: &[WalRecord],
     mode: PartitionMode,
     halo_depth: usize,
-) -> Result<DedupTable, WalError> {
+) -> Result<(DedupTable, Vec<Vec<Frame>>), WalError> {
     let mut dedup = DedupTable::new();
+    let mut frames: Vec<Vec<Frame>> = vec![Vec::new(); state.residents.len()];
     for (i, rec) in records.iter().enumerate() {
-        let response = match &rec.request {
+        let (plan, response) = match &rec.request {
             Request::AddEdges { edges } => match state.apply_add_edges(edges, halo_depth) {
-                Ok(_) => Response::EdgesAdded { invalidated: 0 },
+                Ok(plan) => (plan, Response::EdgesAdded { invalidated: 0 }),
                 Err(_) => return Err(WalError::BadRecord(i as u64)),
             },
             Request::AddNode { neighbors, features } => {
                 match state.apply_add_node(neighbors, features, mode, halo_depth) {
-                    Ok(plan) => Response::NodeAdded {
-                        node: plan.new_node.unwrap_or(0),
-                    },
+                    Ok(plan) => {
+                        let node = plan.new_node.unwrap_or(0);
+                        (plan, Response::NodeAdded { node })
+                    }
                     Err(_) => return Err(WalError::BadRecord(i as u64)),
                 }
             }
             _ => return Err(WalError::BadRecord(i as u64)),
         };
+        for s in plan.touched() {
+            frames[s].extend(plan_frames(&plan, s));
+        }
         dedup.record(rec.client, rec.seq, response);
     }
-    Ok(dedup)
+    Ok((dedup, frames))
 }
 
 fn accept_loop(
@@ -725,6 +860,12 @@ fn route(inner: &GatewayInner, request: &Request, meta: &RequestMeta) -> Respons
         }
         Request::Stats => route_stats(inner),
         Request::Metrics => Response::Metrics(inner.metrics.snapshot()),
+        // Answered from the gateway's own dedup table — a client (or a
+        // chained gateway) can reconcile its sequence the same way the
+        // gateway reconciles against its shards.
+        Request::SeqProbe { client } => Response::SeqState {
+            last: inner.gate.lock().expect("gate poisoned").table.last_seq(*client),
+        },
         Request::AddEdges { .. } | Request::AddNode { .. } => {
             route_mutation(inner, request, meta)
         }
@@ -988,31 +1129,114 @@ fn route_stats(inner: &GatewayInner) -> Response {
     Response::Stats(agg)
 }
 
-/// Mutation pipeline: dedup → apply to routing state + compute repair plan
-/// and take the touched shards' mutation locks (both under the state write
-/// lock) → drop the state lock → fan out → gateway WAL → ack.
+/// How long a retry of an in-flight `(client, seq)` waits on the gate for
+/// the first delivery to finish before giving up with a retryable error.
+const INFLIGHT_WAIT: Duration = Duration::from_secs(30);
+
+/// What `execute_mutation` decided, shaping how the gate records it.
+enum MutationOutcome {
+    /// Applied, journaled (or no WAL configured), delivery queued.
+    Committed(Response),
+    /// Applied and delivery queued, but the WAL append failed. The success
+    /// response is still recorded in the gate — a retry must *not*
+    /// re-apply (that would mint a duplicate global node and diverge the
+    /// id space) — while the current caller is told durability failed.
+    NotDurable(Response, String),
+    /// Rejected before touching the routing state; nothing is recorded,
+    /// so a corrected retry of the same seq is admitted.
+    Rejected(String),
+}
+
+/// Client-facing mutation pipeline.
+///
+/// Admission: under the gate lock, the dedup verdict and the in-flight
+/// reservation are one atomic step — a duplicate `(client, seq)` arriving
+/// while the first copy executes waits on the condvar and replays the
+/// recorded response, never re-applying (the reviewer's check-then-record
+/// race). Only a `Fresh` seq that wins the reservation executes.
 fn route_mutation(inner: &GatewayInner, request: &Request, meta: &RequestMeta) -> Response {
     let client = meta.client.unwrap_or(0);
     let seq = meta.seq.unwrap_or(0);
-    match inner.dedup.lock().expect("dedup poisoned").check(client, seq) {
-        DedupVerdict::Replay(recorded) => {
-            inner.metrics.counter_add("gateway.dedup_hits", 1);
-            return recorded;
+    let deadline = Instant::now() + INFLIGHT_WAIT;
+    {
+        let mut gate = inner.gate.lock().expect("gate poisoned");
+        loop {
+            match gate.table.check(client, seq) {
+                DedupVerdict::Replay(recorded) => {
+                    inner.metrics.counter_add("gateway.dedup_hits", 1);
+                    return recorded;
+                }
+                DedupVerdict::Stale { last } => {
+                    return Response::Error {
+                        message: format!(
+                            "stale mutation seq {seq} (last acknowledged {last})"
+                        ),
+                    };
+                }
+                DedupVerdict::Fresh => {}
+            }
+            if gate.inflight.insert((client, seq)) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Response::Error {
+                    message: format!(
+                        "mutation seq {seq} is still in flight; retry later"
+                    ),
+                };
+            }
+            let (g, _timeout) = inner
+                .gate_cv
+                .wait_timeout(gate, deadline - now)
+                .expect("gate poisoned");
+            gate = g;
         }
-        DedupVerdict::Stale { last } => {
-            return Response::Error {
-                message: format!("stale mutation seq {seq} (last acknowledged {last})"),
-            };
-        }
-        DedupVerdict::Fresh => {}
     }
 
-    // Apply + plan + lock handoff under the exclusive state lock. Only one
-    // thread is ever in this multi-lock acquisition (it owns the state
-    // lock), so lock order cannot deadlock; taking the shard locks *before*
-    // releasing the state lock pins this mutation's position in each
-    // touched shard's stream.
-    let (plan, guards): (RepairPlan, Vec<(usize, MutexGuard<'_, ResilientClient>)>) = {
+    let outcome = execute_mutation(inner, request, client, seq);
+    let mut gate = inner.gate.lock().expect("gate poisoned");
+    gate.inflight.remove(&(client, seq));
+    let response = match outcome {
+        MutationOutcome::Committed(response) => {
+            gate.table.record(client, seq, response.clone());
+            response
+        }
+        MutationOutcome::NotDurable(response, e) => {
+            gate.table.record(client, seq, response);
+            Response::Error {
+                message: format!("mutation applied but not durable: {e}"),
+            }
+        }
+        MutationOutcome::Rejected(message) => Response::Error { message },
+    };
+    drop(gate);
+    inner.gate_cv.notify_all();
+    response
+}
+
+/// Commit path, entered only with the `(client, seq)` reservation held.
+///
+/// Under the exclusive state lock: apply the mutation, compute the repair
+/// plan, push its frames onto the touched shards' delivery queues (bumping
+/// each shard's `pending` fence), and take the WAL lock — so state order,
+/// queue order, and journal order are one total order. The state lock then
+/// drops and the journal record fsyncs **before** any frame is delivered:
+/// write-ahead means a crash can only leave shards behind the journal,
+/// which startup reconciliation redelivers, never silently ahead.
+///
+/// Delivery failures do not fail the mutation: the undelivered frames stay
+/// queued (reads on that shard wait on the `pending` fence) and the
+/// redelivery thread re-drains until the shard recovers, so the gateway's
+/// acknowledged state and the shards converge without the caller retrying
+/// an already-applied mutation.
+fn execute_mutation(
+    inner: &GatewayInner,
+    request: &Request,
+    client: u64,
+    seq: u64,
+) -> MutationOutcome {
+    let (plan, wal_guard) = {
         let mut state = inner.state.write().expect("state poisoned");
         let plan = match request {
             Request::AddEdges { edges } => state.apply_add_edges(edges, inner.halo_depth),
@@ -1023,123 +1247,125 @@ fn route_mutation(inner: &GatewayInner, request: &Request, meta: &RequestMeta) -
         };
         let plan = match plan {
             Ok(plan) => plan,
-            Err(message) => return Response::Error { message },
+            Err(message) => return MutationOutcome::Rejected(message),
         };
-        // Shards being renumbered are marked pending until their `reindex`
-        // frame lands: the routing maps are already in the new numbering,
-        // so a read capturing now would ask the shard for ids it does not
-        // hold yet. Reads wait the flag out (see `capture_epochs`).
-        for s in 0..state.pending.len() {
-            if plan.reindex[s].is_some() {
-                state.pending[s] += 1;
-            }
+        for s in plan.touched() {
+            let frames = plan_frames(&plan, s);
+            state.pending[s] += frames.len() as u32;
+            inner.shards[s]
+                .queue
+                .lock()
+                .expect("queue poisoned")
+                .extend(frames);
         }
-        let guards = plan
-            .touched()
-            .into_iter()
-            .map(|s| (s, inner.shards[s].mutator.lock().expect("mutator poisoned")))
-            .collect();
-        (plan, guards)
+        // WAL-lock handoff inside the state critical section: journal
+        // order matches state order even across concurrent mutations. The
+        // fsync itself runs after the state lock drops.
+        let wal_guard = inner.wal.lock().expect("wal poisoned");
+        (plan, wal_guard)
     };
 
-    let mut invalidated = 0_usize;
-    let mut failures: Vec<String> = Vec::new();
-    for (s, mut mutator) in guards {
-        if let Err(e) = fan_out_to_shard(inner, &plan, s, &mut mutator, &mut invalidated) {
-            failures.push(shard_error(inner, s, &e));
-        }
-    }
-    if plan.reindex.iter().any(Option::is_some) {
-        // Clear pending even on a failed fan-out: a degraded shard already
-        // answers loudly, and a stuck flag would starve its reads forever.
-        let mut state = inner.state.write().expect("state poisoned");
-        for s in 0..state.pending.len() {
-            if plan.reindex[s].is_some() {
-                state.pending[s] -= 1;
+    let mut wal_failure: Option<String> = None;
+    {
+        let mut wal_guard = wal_guard;
+        if let Some(wal) = wal_guard.as_mut() {
+            let rec = WalRecord { client, seq, request: request.clone(), halo: false };
+            match wal.append(&rec) {
+                Ok(bytes) => {
+                    inner.metrics.counter_add("gateway.wal.records", 1);
+                    inner.metrics.counter_add("gateway.wal.bytes", bytes);
+                }
+                Err(e) => {
+                    inner.metrics.counter_add("gateway.wal.errors", 1);
+                    wal_failure = Some(e.to_string());
+                }
             }
         }
     }
-    if !failures.is_empty() {
-        // The gateway's state is ahead of the failed shard(s): the tier is
-        // degraded for those partitions until they recover and the caller
-        // retries. Surface loudly instead of acking.
-        inner.metrics.counter_add("gateway.partial_mutations", 1);
-        return Response::Error {
-            message: format!("mutation incompletely fanned out: {}", failures.join("; ")),
-        };
+
+    // Deliver. `invalidated` is best-effort under concurrency: a frame of
+    // ours may be drained by another thread (or the redelivery loop), in
+    // which case its invalidation count lands on that drain instead.
+    let mut invalidated = 0_usize;
+    for s in plan.touched() {
+        if let Err(e) = drain_shard(inner, s, &mut invalidated) {
+            let _ = shard_error(inner, s, &e);
+            inner.metrics.counter_add("gateway.partial_mutations", 1);
+        }
     }
 
     let response = match plan.new_node {
         Some(g) => Response::NodeAdded { node: g },
         None => Response::EdgesAdded { invalidated },
     };
-    // Durability before acknowledgment, same contract as a single server.
-    if let Some(wal) = inner.wal.lock().expect("wal poisoned").as_mut() {
-        let rec = WalRecord { client, seq, request: request.clone(), halo: false };
-        match wal.append(&rec) {
-            Ok(bytes) => {
-                inner.metrics.counter_add("gateway.wal.records", 1);
-                inner.metrics.counter_add("gateway.wal.bytes", bytes);
-            }
-            Err(e) => {
-                return Response::Error {
-                    message: format!("mutation applied but not durable: {e}"),
-                };
-            }
-        }
+    match wal_failure {
+        Some(e) => MutationOutcome::NotDurable(response, e),
+        None => MutationOutcome::Committed(response),
     }
-    inner
-        .dedup
-        .lock()
-        .expect("dedup poisoned")
-        .record(client, seq, response.clone());
-    response
 }
 
-/// Ships one shard's slice of a repair plan: halo/owned `add_node`s in
-/// plan order, then the edge batch. Every hop is a sequenced mutation on
-/// the shard's dedicated mutation client, so a retried frame after a lost
-/// ack dedups on the shard instead of double-applying.
-fn fan_out_to_shard(
+/// Drains shard `s`'s delivery queue on its ordered mutation channel. A
+/// frame is popped (and the shard's `pending` fence decremented) only
+/// after the shard acknowledges it, so a mid-drain failure leaves the
+/// undelivered tail queued for the redelivery thread. Lock order is
+/// mutator → queue → state, each guard dropped before the next
+/// acquisition; frames are only ever *appended* under the state lock, so
+/// the front we peek is stable while we hold the mutator lock.
+fn drain_shard(
     inner: &GatewayInner,
-    plan: &RepairPlan,
     s: usize,
-    mutator: &mut ResilientClient,
     invalidated: &mut usize,
 ) -> Result<(), ClientError> {
-    for nr in &plan.new_residents[s] {
-        let request = Request::AddNode {
-            neighbors: Vec::new(),
-            features: nr.features.clone(),
-        };
-        let response = mutator.call_mutation_with_halo(&request, !nr.owned)?;
-        if let Response::NodeAdded { .. } = response {
-            inner.metrics.counter_add("gateway.repair.residents", 1);
-        }
-    }
-    if !plan.edges[s].is_empty() {
-        match mutator.call_mutation_with_halo(
-            &Request::AddEdges { edges: plan.edges[s].clone() },
-            false,
-        )? {
-            Response::EdgesAdded { invalidated: n } => {
-                *invalidated += n;
-                inner.metrics.counter_add("gateway.repair.edges", plan.edges[s].len() as u64);
+    let mut mutator = inner.shards[s].mutator.lock().expect("mutator poisoned");
+    loop {
+        let frame = {
+            let queue = inner.shards[s].queue.lock().expect("queue poisoned");
+            match queue.front() {
+                Some(frame) => frame.clone(),
+                None => return Ok(()),
             }
-            _ => return Err(ClientError::BadResponse("expected edges_added")),
-        }
-    }
-    // Renumbering last: installs and edges above used the pre-reindex
-    // numbering, and the shard re-sorts itself only once they are applied.
-    if let Some(order) = &plan.reindex[s] {
-        match mutator
-            .call_mutation_with_halo(&Request::Reindex { order: order.clone() }, false)?
-        {
-            Response::Reindexed { .. } => {
+        };
+        let response = mutator.call_mutation_with_halo(&frame.request, frame.halo)?;
+        match (&frame.request, response) {
+            (Request::AddNode { .. }, Response::NodeAdded { .. }) => {
+                inner.metrics.counter_add("gateway.repair.residents", 1);
+            }
+            (Request::AddEdges { edges }, Response::EdgesAdded { invalidated: n }) => {
+                *invalidated += n;
+                inner.metrics.counter_add("gateway.repair.edges", edges.len() as u64);
+            }
+            (Request::Reindex { .. }, Response::Reindexed { .. }) => {
                 inner.metrics.counter_add("gateway.repair.reindex", 1);
             }
-            _ => return Err(ClientError::BadResponse("expected reindexed")),
+            _ => return Err(ClientError::BadResponse("unexpected repair ack")),
         }
+        inner.shards[s]
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .pop_front();
+        let mut state = inner.state.write().expect("state poisoned");
+        state.pending[s] -= 1;
     }
-    Ok(())
+}
+
+/// Background sweeper: re-drains any shard with undelivered frames so a
+/// shard that was down during its mutation's delivery converges once it
+/// recovers, without waiting for the next client mutation to touch it.
+fn redelivery_loop(inner: Arc<GatewayInner>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        for s in 0..inner.shards.len() {
+            let queued =
+                !inner.shards[s].queue.lock().expect("queue poisoned").is_empty();
+            if !queued {
+                continue;
+            }
+            inner.metrics.counter_add("gateway.redeliveries", 1);
+            let mut invalidated = 0_usize;
+            if let Err(e) = drain_shard(&inner, s, &mut invalidated) {
+                let _ = shard_error(&inner, s, &e);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }

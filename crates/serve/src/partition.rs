@@ -73,6 +73,12 @@ pub enum PartitionError {
     },
     /// A shard ended up owning nothing (hash mode on tiny graphs).
     EmptyShard(usize),
+    /// Halo depth 0: the tier's exactness arguments need depth ≥ 1 (the
+    /// anchor must be resident on every neighbor's owning shard for fan-out
+    /// top-k, and owned embeddings need complete adjacency rows one hop past
+    /// the feature horizon), so the degraded layout is rejected rather than
+    /// silently returning wrong answers.
+    BadHaloDepth,
     /// A manifest failed structural validation.
     BadManifest(&'static str),
 }
@@ -84,6 +90,11 @@ impl std::fmt::Display for PartitionError {
                 write!(f, "cannot split {num_nodes} nodes into {shards} shards")
             }
             PartitionError::EmptyShard(s) => write!(f, "shard {s} owns no nodes"),
+            PartitionError::BadHaloDepth => write!(
+                f,
+                "halo depth must be >= 1 (exact fan-out needs the anchor resident on \
+                 every neighbor's owner)"
+            ),
             PartitionError::BadManifest(what) => write!(f, "bad tier manifest: {what}"),
         }
     }
@@ -153,6 +164,9 @@ impl Partition {
         let n = graph.num_nodes();
         if shards == 0 || shards > n {
             return Err(PartitionError::BadShardCount { shards, num_nodes: n });
+        }
+        if halo_depth == 0 {
+            return Err(PartitionError::BadHaloDepth);
         }
         let owner = match mode {
             PartitionMode::Hash => (0..n)
@@ -272,6 +286,9 @@ impl Partition {
             .get("halo_depth")
             .and_then(Json::as_usize)
             .ok_or(bad("halo_depth"))?;
+        if halo_depth == 0 {
+            return Err(PartitionError::BadHaloDepth);
+        }
         let num_nodes = doc
             .get("num_nodes")
             .and_then(Json::as_usize)
@@ -450,5 +467,29 @@ mod tests {
             Err(PartitionError::EmptyShard(_)) => {}
             Err(e) => panic!("unexpected error {e}"),
         }
+    }
+
+    #[test]
+    fn zero_halo_depth_is_rejected_at_build_and_parse() {
+        let g = ring(8);
+        for mode in [PartitionMode::Hash, PartitionMode::Bfs] {
+            assert_eq!(
+                Partition::build(&g, 2, mode, 0),
+                Err(PartitionError::BadHaloDepth),
+                "{mode:?}"
+            );
+        }
+        // A hand-edited manifest claiming halo 0 is rejected on parse too,
+        // so a gateway can never start on the degraded layout.
+        let p = Partition::build(&g, 2, PartitionMode::Bfs, 1).unwrap();
+        let mut doc = p.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "halo_depth" {
+                    *v = Json::int(0);
+                }
+            }
+        }
+        assert_eq!(Partition::from_json(&doc), Err(PartitionError::BadHaloDepth));
     }
 }

@@ -81,11 +81,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtocolError> {
 
 /// Highest protocol version this build speaks. Version 1 is the implicit
 /// legacy protocol (frames without a `version` field); version 2 added the
-/// version field itself plus the sharding envelope (`halo`, `top_k_owned`).
-/// Servers accept any frame tagged `version <= PROTOCOL_VERSION` as well as
-/// untagged legacy frames, and answer frames from the future with a typed
-/// [`Response::Error`] instead of mis-parsing them.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// version field itself plus the sharding envelope (`halo`, `top_k_owned`);
+/// version 3 added `seq_probe`/`seq_state` (the gateway's recovery
+/// reconciliation probe). Servers accept any frame tagged
+/// `version <= PROTOCOL_VERSION` as well as untagged legacy frames, and
+/// answer frames from the future with a typed [`Response::Error`] instead
+/// of mis-parsing them.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Optional per-request header fields riding alongside the op payload:
 /// a client-relative deadline, the client identity + mutation sequence
@@ -195,6 +197,16 @@ pub enum Request {
         /// How many neighbors to return.
         k: usize,
     },
+    /// The last mutation sequence number the server has acknowledged for
+    /// the given client identity (0 when it has none on record). Read-only
+    /// (protocol v3): a restarted gateway probes each shard under its own
+    /// mutator identity to learn how far its repair-frame stream got, then
+    /// re-delivers exactly the journaled tail the shard never applied.
+    SeqProbe {
+        /// Client identity to look up (the prober usually asks about its
+        /// own).
+        client: u64,
+    },
     /// Incrementally insert undirected edges.
     AddEdges {
         /// `(u, v)` pairs to insert.
@@ -233,7 +245,8 @@ impl Request {
             | Request::Embed { .. }
             | Request::LinkScore { .. }
             | Request::TopK { .. }
-            | Request::TopKOwned { .. } => true,
+            | Request::TopKOwned { .. }
+            | Request::SeqProbe { .. } => true,
             Request::AddEdges { .. }
             | Request::AddNode { .. }
             | Request::Reindex { .. }
@@ -251,6 +264,7 @@ impl Request {
             Request::LinkScore { .. } => "link_score",
             Request::TopK { .. } => "top_k",
             Request::TopKOwned { .. } => "top_k_owned",
+            Request::SeqProbe { .. } => "seq_probe",
             Request::AddEdges { .. } => "add_edges",
             Request::AddNode { .. } => "add_node",
             Request::Reindex { .. } => "reindex",
@@ -294,6 +308,12 @@ impl Request {
             Request::TopK { node, k } | Request::TopKOwned { node, k } => {
                 fields.push(("node".into(), Json::int(*node)));
                 fields.push(("k".into(), Json::int(*k)));
+            }
+            // "probe_client", not "client": the header's own `client` key
+            // identifies the *sender*, which need not be the identity being
+            // probed.
+            Request::SeqProbe { client } => {
+                fields.push(("probe_client".into(), Json::num(*client as f64)));
             }
             Request::AddEdges { edges } => fields.push(("edges".into(), pairs_to_json(edges))),
             Request::AddNode {
@@ -350,6 +370,14 @@ impl Request {
                 } else {
                     Ok(Request::TopKOwned { node, k })
                 }
+            }
+            "seq_probe" => {
+                let client = doc
+                    .get("probe_client")
+                    .and_then(Json::as_f64)
+                    .map(|v| v as u64)
+                    .ok_or(ProtocolError::BadMessage("seq_probe needs probe_client"))?;
+                Ok(Request::SeqProbe { client })
             }
             "add_edges" => Ok(Request::AddEdges {
                 edges: pair_list(doc, "edges")?,
@@ -462,6 +490,12 @@ pub enum Response {
         /// Nodes in the relabeled graph.
         nodes: usize,
     },
+    /// `SeqProbe` payload: the probed client's dedup horizon.
+    SeqState {
+        /// Last acknowledged mutation sequence for the probed client (0 when
+        /// the server has none on record).
+        last: u64,
+    },
     /// `Metrics` payload: live telemetry snapshot.
     Metrics(Snapshot),
     /// `Shutdown` acknowledged; the server stops after this frame.
@@ -503,6 +537,7 @@ impl Response {
             Response::EdgesAdded { .. } => "edges_added",
             Response::NodeAdded { .. } => "node_added",
             Response::Reindexed { .. } => "reindexed",
+            Response::SeqState { .. } => "seq_state",
             Response::Metrics(_) => "metrics",
             Response::ShutdownAck => "shutdown",
             Response::Overloaded { .. } => "overloaded",
@@ -571,6 +606,9 @@ impl Response {
             }
             Response::NodeAdded { node } => fields.push(("node".into(), Json::int(*node))),
             Response::Reindexed { nodes } => fields.push(("nodes".into(), Json::int(*nodes))),
+            Response::SeqState { last } => {
+                fields.push(("last".into(), Json::num(*last as f64)));
+            }
             Response::Metrics(snap) => {
                 fields.push((
                     "counters".into(),
@@ -781,6 +819,14 @@ impl Response {
                     .ok_or(ProtocolError::BadMessage("missing node count"))?;
                 Ok(Response::Reindexed { nodes })
             }
+            "seq_state" => {
+                let last = doc
+                    .get("last")
+                    .and_then(Json::as_f64)
+                    .map(|v| v as u64)
+                    .ok_or(ProtocolError::BadMessage("missing last seq"))?;
+                Ok(Response::SeqState { last })
+            }
             "metrics" => Ok(Response::Metrics(snapshot_from_json(doc)?)),
             _ => Err(ProtocolError::BadMessage("unknown response kind")),
         }
@@ -924,6 +970,7 @@ mod tests {
             },
             Request::TopK { node: 4, k: 10 },
             Request::TopKOwned { node: 4, k: 10 },
+            Request::SeqProbe { client: 0x1234_5678 },
             Request::AddEdges {
                 edges: vec![(1, 2), (0, 9)],
             },
@@ -989,6 +1036,7 @@ mod tests {
             Response::EdgesAdded { invalidated: 4 },
             Response::NodeAdded { node: 21 },
             Response::Reindexed { nodes: 54 },
+            Response::SeqState { last: 17 },
             Response::Metrics(snap),
             Response::ShutdownAck,
             Response::Overloaded { retry_after_ms: 25 },
@@ -1074,6 +1122,7 @@ mod tests {
         assert!(Request::Metrics.is_read_only());
         assert!(Request::Embed { nodes: vec![] }.is_read_only());
         assert!(Request::TopK { node: 0, k: 1 }.is_read_only());
+        assert!(Request::SeqProbe { client: 7 }.is_read_only());
         assert!(!Request::AddEdges { edges: vec![] }.is_read_only());
         assert!(!Request::AddNode {
             neighbors: vec![],

@@ -101,7 +101,12 @@ pub struct TierOptions {
     pub wal_dir: Option<PathBuf>,
     /// Gateway reader connections per shard.
     pub read_connections: usize,
-    /// Gateway mutation-client identity seed (unique per tier lifetime).
+    /// Gateway shard-facing client identity seed. With `wal_dir` set the
+    /// default (constant) seed is correct across relaunches: the restarted
+    /// gateway probes each shard for the last repair frame this identity
+    /// delivered and resumes its sequences from there. Without a WAL,
+    /// override with a per-lifetime value — a reused identity would
+    /// collide with the previous lifetime's shard-side sequences.
     pub client_seed: u64,
 }
 

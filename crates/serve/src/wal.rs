@@ -333,6 +333,12 @@ impl DedupTable {
         }
     }
 
+    /// The last acknowledged sequence for `client` (0 when unknown) — what
+    /// the `seq_probe` op answers with.
+    pub fn last_seq(&self, client: u64) -> u64 {
+        self.last.get(&client).map(|&(seq, _)| seq).unwrap_or(0)
+    }
+
     /// Records the response acknowledged for `(client, seq)`.
     pub fn record(&mut self, client: u64, seq: u64, response: Response) {
         if client != 0 && seq != 0 {
@@ -508,6 +514,8 @@ mod tests {
         assert_eq!(t.check(5, 0), DedupVerdict::Fresh);
         t.record(0, 7, Response::Pong);
         assert_eq!(t.len(), 1, "anonymous mutations are not tracked");
+        assert_eq!(t.last_seq(5), 2);
+        assert_eq!(t.last_seq(6), 0, "unknown client probes as 0");
     }
 
     #[test]

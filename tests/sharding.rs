@@ -8,8 +8,9 @@ use gcmae_repro::core::model::seeded_rng;
 use gcmae_repro::core::{Gcmae, GcmaeConfig};
 use gcmae_repro::graph::Graph;
 use gcmae_repro::serve::{
-    halo_depth_for, load_bundle, save_bundle, Client, ClientError, Engine, Partition,
-    PartitionError, PartitionMode, Request, RequestMeta, ResilientClient, ShardTier, TierOptions,
+    halo_depth_for, load_bundle, save_bundle, Client, ClientError, Engine, Gateway, GatewayError,
+    GatewayOptions, Partition, PartitionError, PartitionMode, Request, RequestMeta,
+    ResilientClient, Response, Server, ServerOptions, ShardTier, TierOptions, Wal, WalRecord,
     PROTOCOL_VERSION,
 };
 use gcmae_repro::tensor::parallel::set_num_threads;
@@ -268,4 +269,227 @@ fn future_protocol_version_fails_loud_but_connection_survives() {
 
     drop(client);
     tier.shutdown();
+}
+
+/// Exactly-once under concurrent duplicate delivery: two connections race
+/// the *same* `(client, seq)` `add_node` at the gateway. The admission gate
+/// must serialize them — one applies, the other waits out the in-flight
+/// reservation and replays the recorded ack — so both see the same new
+/// global id and the tier grows by exactly one node per round. (This is
+/// the check-then-record race: without an atomic gate, both copies read
+/// `Fresh` and the node is minted twice.)
+#[test]
+fn concurrent_duplicate_mutation_applies_exactly_once() {
+    let n = 32;
+    let in_dim = 4;
+    let graph = random_graph(n, 8, 5);
+    let mut rng = seeded_rng(5);
+    let features = Matrix::uniform(n, in_dim, -1.0, 1.0, &mut rng);
+    let cfg = GcmaeConfig { hidden_dim: 8, proj_dim: 4, ..GcmaeConfig::fast() };
+    let model = Gcmae::new(&cfg, in_dim, &mut rng);
+    let bundle = save_bundle(&model, &graph, &features);
+    let tier = ShardTier::launch(&bundle, 2, TierOptions::default()).expect("tier launch");
+    let addr = tier.gateway_addr().to_string();
+
+    let rounds = 4_u64;
+    for seq in 1..=rounds {
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let ids: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let barrier = std::sync::Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        let mut client = Client::connect(&addr).expect("connect");
+                        let request = Request::AddNode {
+                            neighbors: vec![0, n - 1],
+                            features: vec![0.125; in_dim],
+                        };
+                        let meta = RequestMeta {
+                            client: Some(777),
+                            seq: Some(seq),
+                            ..RequestMeta::default()
+                        };
+                        barrier.wait();
+                        match client.call_with(&request, &meta).expect("add_node") {
+                            Response::NodeAdded { node } => node,
+                            other => panic!("expected node_added, got {other:?}"),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("racer")).collect()
+        });
+        let want = n + (seq as usize) - 1;
+        assert_eq!(ids, vec![want, want], "round {seq}: divergent or duplicate ids");
+    }
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.num_nodes,
+        n + rounds as usize,
+        "duplicate deliveries must not mint extra nodes"
+    );
+    drop(client);
+    tier.shutdown();
+}
+
+/// Crash-window recovery: the gateway WAL holds a mutation the shards never
+/// saw (journaled write-ahead, crashed before delivery). A restarted
+/// gateway with the same identity seed must probe each shard's applied
+/// frame count, redeliver exactly the missing tail, answer reads
+/// bit-identically to a clean replay, and keep accepting new mutations.
+/// And if the WAL is instead *behind* the shards (stale or wrong file),
+/// startup must fail loudly rather than serve divergent numbering.
+#[test]
+fn restarted_gateway_reconciles_undelivered_wal_tail() {
+    let n = 32;
+    let in_dim = 4;
+    let graph = random_graph(n, 8, 13);
+    let mut rng = seeded_rng(13);
+    let features = Matrix::uniform(n, in_dim, -1.0, 1.0, &mut rng);
+    let cfg = GcmaeConfig { hidden_dim: 8, proj_dim: 4, ..GcmaeConfig::fast() };
+    let model = Gcmae::new(&cfg, in_dim, &mut rng);
+    let halo = halo_depth_for(model.encoder_layers());
+    let partition =
+        Partition::build(&graph, 2, PartitionMode::Bfs, halo).expect("partition");
+
+    // Shards assembled by hand (no ShardTier) so they outlive the gateway.
+    let mut servers = Vec::new();
+    let mut shard_addrs = Vec::new();
+    for s in 0..2 {
+        let slice = partition.shard_bundle(&model, &graph, &features, s);
+        let (sm, sg, sf) = load_bundle(&slice).expect("shard bundle");
+        let mut engine = Engine::new(sm, sg, sf).expect("shard engine");
+        engine.set_owned(partition.shards[s].owned.clone()).expect("owned mask");
+        let server = Server::start_with(
+            engine,
+            "127.0.0.1:0",
+            ServerOptions {
+                max_batch: 8,
+                read_timeout: Some(std::time::Duration::from_millis(500)),
+                ..ServerOptions::default()
+            },
+        )
+        .expect("shard server");
+        shard_addrs.push(server.addr().to_string());
+        servers.push(server);
+    }
+
+    let wal_dir = std::env::temp_dir().join(format!(
+        "gcmae_gateway_restart_test_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("wal dir");
+    let wal_path = wal_dir.join("gateway.wal");
+    let seed = 0x7265_7374_6172_7421; // stable across both gateway lifetimes
+    let gw_opts = || GatewayOptions {
+        wal_path: Some(wal_path.clone()),
+        read_timeout: Some(std::time::Duration::from_millis(500)),
+        client_seed: seed,
+        ..GatewayOptions::default()
+    };
+
+    // Lifetime 1: two mutations, fully delivered.
+    let gateway = Gateway::start(
+        graph.clone(),
+        &features,
+        &partition,
+        &shard_addrs,
+        "127.0.0.1:0",
+        gw_opts(),
+    )
+    .expect("gateway lifetime 1");
+    let addr1 = gateway.addr().to_string();
+    let delivered_edges = [(0, n / 2), (1, n / 2 + 1)];
+    let new_feat: Vec<f32> = (0..in_dim).map(|i| 0.25 * i as f32 - 0.5).collect();
+    let new_neighbors = [0_usize, n - 1];
+    {
+        let mut mutator = ResilientClient::new(&addr1, 0x51);
+        mutator.add_edges(&delivered_edges).expect("delivered add_edges");
+        assert_eq!(
+            mutator.add_node(&new_neighbors, &new_feat).expect("delivered add_node"),
+            n
+        );
+    }
+    gateway.shutdown();
+
+    // Crash window: journal a third mutation the shards never receive.
+    let undelivered_edge = (2, n / 2 + 2);
+    {
+        let (mut wal, records) = Wal::open(&wal_path).expect("reopen gateway wal");
+        assert_eq!(records.len(), 2, "both delivered mutations journaled");
+        wal.append(&WalRecord {
+            client: 0x99,
+            seq: 1,
+            request: Request::AddEdges { edges: vec![undelivered_edge] },
+            halo: false,
+        })
+        .expect("hand-journal undelivered record");
+    }
+
+    // Clean single-process replay of all three mutations.
+    let (g2, _) = graph.add_edges(&delivered_edges).expect("clean add_edges");
+    let (g3, _) = g2.add_node(&new_neighbors).expect("clean add_node");
+    let (g4, _) = g3.add_edges(&[undelivered_edge]).expect("clean undelivered");
+    let mut data = Vec::with_capacity((n + 1) * in_dim);
+    for v in 0..n {
+        data.extend_from_slice(features.row(v));
+    }
+    data.extend_from_slice(&new_feat);
+    let f4 = Matrix::from_vec(n + 1, in_dim, data);
+    let expected = model.encode(&g4, &f4);
+
+    // Lifetime 2: same seed, same WAL. Startup probes the shards, queues
+    // the undelivered tail, and the redelivery thread lands it; reads
+    // fence on the pending counter until then, so the first sweep already
+    // sees the converged tier.
+    let gateway = Gateway::start(
+        graph.clone(),
+        &features,
+        &partition,
+        &shard_addrs,
+        "127.0.0.1:0",
+        gw_opts(),
+    )
+    .expect("gateway lifetime 2");
+    let addr2 = gateway.addr().to_string();
+    let mut client = Client::connect(&addr2).expect("connect lifetime 2");
+    assert_sweep(&mut client, &expected, n + 1);
+
+    // The tier keeps accepting mutations after reconciliation.
+    let post_edge = (3, n / 2 + 3);
+    let mut mutator = ResilientClient::new(&addr2, 0xA7);
+    mutator.add_edges(&[post_edge]).expect("post-restart add_edges");
+    let (g5, _) = g4.add_edges(&[post_edge]).expect("clean post-restart");
+    let expected2 = model.encode(&g5, &f4);
+    assert_sweep(&mut client, &expected2, n + 1);
+    drop(client);
+    drop(mutator);
+    gateway.shutdown();
+
+    // Stale-journal guard: with the WAL gone the shards are *ahead* of the
+    // journal, which must be a loud startup failure, not silent divergence.
+    std::fs::remove_file(&wal_path).expect("drop gateway wal");
+    match Gateway::start(
+        graph.clone(),
+        &features,
+        &partition,
+        &shard_addrs,
+        "127.0.0.1:0",
+        gw_opts(),
+    ) {
+        Err(GatewayError::Layout(what)) => {
+            assert!(what.contains("wal"), "unexpected layout error: {what}")
+        }
+        Ok(_) => panic!("gateway started against a stale journal"),
+        Err(e) => panic!("expected layout error, got {e}"),
+    }
+
+    for server in servers {
+        let _ = server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
 }
