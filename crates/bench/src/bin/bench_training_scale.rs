@@ -1,0 +1,165 @@
+//! Training-scale benchmark: wall-clock per full-graph training step under
+//! the dense O(N²) objective vs the sampled O(N·k) objective, plus a
+//! million-node scaling sweep with sampled losses. Writes
+//! `BENCH_training_scale.json` (same shape as the committed file); the CI
+//! `training-scale` job asserts the sampled-vs-dense per-step speedup at
+//! n = 8192 and zero guard trips.
+//!
+//! Every row is tagged with the `objective` that produced it (the
+//! `Objective::describe()` string), the way the kernel rows are tagged with
+//! `backend`.
+//!
+//! ```sh
+//! cargo run --release -p gcmae-bench --bin bench_training_scale -- [out.json] [--max-n N]
+//! ```
+//!
+//! `--max-n` caps the scaling sweep (CI uses a laptop-feasible cap; the
+//! committed file is measured with the full 1M-node row).
+
+use std::time::Instant;
+
+use gcmae_core::model::seeded_rng;
+use gcmae_core::{Gcmae, GcmaeConfig, Objective, SamplerDist, StepGuard};
+use gcmae_graph::generators::citation::{generate, CitationSpec};
+use gcmae_graph::Dataset;
+use gcmae_nn::Adam;
+
+/// Step timing for one config: builds a fresh model, runs one untimed
+/// warm-up step, then `reps` timed steps with finiteness guards enabled.
+/// Returns (median ns, guard trips).
+fn time_steps(ds: &Dataset, cfg: &GcmaeConfig, reps: usize) -> (u128, u64) {
+    let _arena = gcmae_tensor::ArenaGuard::new();
+    let mut rng = seeded_rng(7);
+    let mut model = Gcmae::new(cfg, ds.feature_dim(), &mut rng);
+    let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
+    let guard = StepGuard { check_finite: true, ..StepGuard::off() };
+    let mut trips = 0u64;
+    let mut run = |trips: &mut u64| {
+        if model
+            .step(&ds.graph, &ds.features, &mut adam, &mut rng, &guard)
+            .is_err()
+        {
+            *trips += 1;
+        }
+    };
+    run(&mut trips); // warm-up: first step pays allocator growth
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            run(&mut trips);
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[samples.len() / 2], trips)
+}
+
+/// Times one row and appends its JSON entry.
+#[allow(clippy::too_many_arguments)]
+fn bench_row(
+    entries: &mut Vec<String>,
+    bench: &str,
+    ds: &Dataset,
+    cfg: &GcmaeConfig,
+    objective: &str,
+    reps: usize,
+    total_trips: &mut u64,
+) {
+    let spec = cfg.objective().describe();
+    let (ns, trips) = time_steps(ds, cfg, reps);
+    *total_trips += trips;
+    println!(
+        "{bench} n={} edges={} objective={objective}: {:.1} ms/step ({trips} guard trips)",
+        ds.num_nodes(),
+        ds.graph.num_edges(),
+        ns as f64 / 1e6
+    );
+    entries.push(format!(
+        "    {{\"bench\": \"{bench}\", \"n\": {}, \"edges\": {}, \"feature_dim\": {}, \
+         \"hidden_dim\": {}, \"objective\": \"{objective}\", \"objective_spec\": \"{spec}\", \
+         \"median_ns\": {ns}, \"reps\": {reps}, \"guard_trips\": {trips}}}",
+        ds.num_nodes(),
+        ds.graph.num_edges(),
+        ds.feature_dim(),
+        cfg.hidden_dim,
+    ))
+}
+
+/// Bench config: full-graph GCN training sized for single-host measurement;
+/// only the objective differs between rows.
+fn bench_config() -> GcmaeConfig {
+    GcmaeConfig {
+        encoder: gcmae_core::EncoderChoice::Gcn,
+        hidden_dim: 64,
+        proj_dim: 32,
+        epochs: 1,
+        ..GcmaeConfig::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_training_scale.json".to_string());
+    let max_n: usize = args
+        .iter()
+        .position(|a| a == "--max-n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut total_trips = 0u64;
+    let base = CitationSpec::web_scale();
+
+    // --- sampled vs dense at n = 8192 (the CI speedup gate) --------------
+    {
+        let n = 8192.min(max_n);
+        let ds = generate(&base.clone().scaled(n as f64 / base.nodes as f64), 42);
+        let dense = bench_config().with_objective(
+            // dense = every pairwise term over all N anchors (sample cap 0)
+            Objective::paper().with_dense_caps(0, ds.num_nodes()),
+        );
+        bench_row(&mut entries, "train_step", &ds, &dense, "dense", 3, &mut total_trips);
+        let sampled = bench_config()
+            .with_objective(Objective::paper().sampled(8, SamplerDist::Uniform));
+        bench_row(&mut entries, "train_step", &ds, &sampled, "sampled_k8_uniform", 5, &mut total_trips);
+        let degree = bench_config()
+            .with_objective(Objective::paper().sampled(8, SamplerDist::Degree));
+        bench_row(&mut entries, "train_step", &ds, &degree, "sampled_k8_degree", 5, &mut total_trips);
+    }
+
+    // --- sampled scaling sweep up to 1M nodes ----------------------------
+    for n in [65_536usize, 262_144, 1_000_000] {
+        if n > max_n {
+            println!("skipping n={n} (over --max-n {max_n})");
+            continue;
+        }
+        let t = Instant::now();
+        let ds = generate(&base.clone().scaled(n as f64 / base.nodes as f64), 42);
+        println!(
+            "generated {} nodes / {} edges in {:.1}s",
+            ds.num_nodes(),
+            ds.graph.num_edges(),
+            t.elapsed().as_secs_f64()
+        );
+        let cfg = bench_config()
+            .with_objective(Objective::paper().sampled(8, SamplerDist::Uniform));
+        let reps = if n >= 1_000_000 { 1 } else { 2 };
+        bench_row(&mut entries, "train_step", &ds, &cfg, "sampled_k8_uniform", reps, &mut total_trips);
+    }
+
+    let json = format!(
+        "{{\n  \"note\": \"median wall-clock ns per full-graph training step \
+         (one warm-up step excluded); dense = all-anchor O(N^2) objective, \
+         sampled = per-anchor k-negative O(N*k) objective\",\n  \
+         \"host_cores\": {},\n  \"guard_trips\": {total_trips},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |c| c.get()),
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    println!("wrote {out_path} ({total_trips} total guard trips)");
+}

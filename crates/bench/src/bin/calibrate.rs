@@ -38,15 +38,11 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
     };
-    if let Some(v) = flag("--alpha") {
-        gc.alpha = v;
-    }
-    if let Some(v) = flag("--lambda") {
-        gc.lambda = v;
-    }
-    if let Some(v) = flag("--mu") {
-        gc.mu = v;
-    }
+    let alpha = flag("--alpha").unwrap_or(0.3);
+    let lambda = flag("--lambda").unwrap_or(0.1);
+    let mu = flag("--mu").unwrap_or(0.2);
+    let obj = gc.objective().with_weights(alpha, lambda, mu);
+    gc = gc.with_objective(obj);
     let mut ssl = ssl;
     if let Some(v) = flag("--epochs") {
         gc.epochs = v as usize;
@@ -57,11 +53,12 @@ fn main() {
     }
     if let Some(v) = flag("--tau") {
         gc.tau = v;
+        let obj = gc.objective().with_tau(v);
+        gc = gc.with_objective(obj);
     }
     let only_gcmae = args.iter().any(|a| a == "--only-gcmae");
     eprintln!(
-        "weights: alpha={} lambda={} mu={}",
-        gc.alpha, gc.lambda, gc.mu
+        "weights: alpha={alpha} lambda={lambda} mu={mu}"
     );
 
     let sup_cfg = SupervisedConfig {
@@ -87,11 +84,10 @@ fn main() {
             ("wo_con", gc.clone().without_contrastive()),
             ("wo_stru", gc.clone().without_struct_recon()),
             ("wo_disc", gc.clone().without_discrimination()),
-            ("only_con", {
-                let mut c = gc.clone().without_struct_recon().without_discrimination();
-                c.alpha = gc.alpha;
-                c
-            }),
+            (
+                "only_con",
+                gc.clone().without_struct_recon().without_discrimination(),
+            ),
             (
                 "mae_only",
                 gc.clone()

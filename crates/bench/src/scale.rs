@@ -168,22 +168,25 @@ pub fn gcmae_config(scale: Scale, num_nodes: usize) -> GcmaeConfig {
         hidden_dim: scale.hidden_dim(),
         proj_dim: scale.hidden_dim() / 2,
         epochs: scale.epochs(),
-        contrast_sample: contrast_sample(num_nodes),
-        // §4.4: adjacency reconstruction on sampled subgraphs; the sample
-        // size is the main cost knob because the decoder output has the
-        // input feature dimensionality
-        adj_sample: match scale {
-            Scale::Smoke => 64,
-            Scale::Fast => 192,
-            Scale::Paper => 512,
-        }
-        .min(num_nodes),
         batch_nodes: if batched { 2048 } else { 0 },
-        alpha: 0.3,
-        lambda: 0.1,
-        mu: 0.2,
         ..GcmaeConfig::default()
     }
+    .with_objective(
+        gcmae_core::Objective::paper()
+            .with_weights(0.3, 0.1, 0.2)
+            // §4.4: adjacency reconstruction on sampled subgraphs; the
+            // sample size is the main cost knob because the decoder output
+            // has the input feature dimensionality
+            .with_dense_caps(
+                contrast_sample(num_nodes),
+                match scale {
+                    Scale::Smoke => 64,
+                    Scale::Fast => 192,
+                    Scale::Paper => 512,
+                }
+                .min(num_nodes),
+            ),
+    )
 }
 
 fn contrast_sample(num_nodes: usize) -> usize {
@@ -210,12 +213,26 @@ mod tests {
 
     #[test]
     fn configs_adapt_to_graph_size() {
+        use gcmae_core::{LossTerm, Negatives};
+        let contrast_cap = |c: &GcmaeConfig| {
+            c.objective()
+                .terms
+                .iter()
+                .find_map(|t| match t {
+                    LossTerm::InfoNce {
+                        negatives: Negatives::Dense { sample },
+                        ..
+                    } => Some(*sample),
+                    _ => None,
+                })
+                .expect("bench configs keep a dense InfoNCE term")
+        };
         let small = gcmae_config(Scale::Fast, 500);
         assert_eq!(small.batch_nodes, 0);
-        assert_eq!(small.contrast_sample, 0);
+        assert_eq!(contrast_cap(&small), 0);
         let big = gcmae_config(Scale::Fast, 20_000);
         assert_eq!(big.batch_nodes, 2048);
-        assert_eq!(big.contrast_sample, 1024);
+        assert_eq!(contrast_cap(&big), 1024);
     }
 
     #[test]

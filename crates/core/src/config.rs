@@ -1,4 +1,5 @@
-//! GCMAE hyper-parameters (paper §4, §5.1, and Figure 5/6 sweeps).
+//! GCMAE hyper-parameters (paper §4, §5.1, and Figure 5/6 sweeps) and the
+//! typed [`Objective`] describing the training loss.
 
 use gcmae_nn::{Act, EncoderKind};
 use serde::{Deserialize, Serialize};
@@ -30,10 +31,219 @@ impl From<EncoderChoice> for EncoderKind {
     }
 }
 
+/// Distribution negatives are drawn from (per-anchor, rejection-free; see
+/// `gcmae_graph::sampling::negative_table`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplerDist {
+    /// Uniform over nodes, distinct within each anchor's row.
+    Uniform,
+    /// Degree-proportional with replacement (word2vec-style).
+    Degree,
+}
+
+/// How a pairwise loss term obtains its negative pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Negatives {
+    /// All pairs within the (sub)sampled anchor set — O(n²). `sample` caps
+    /// the anchor set per step (`0` = every node).
+    Dense {
+        /// Anchors sampled per step (`0` = all nodes).
+        sample: usize,
+    },
+    /// `k` sampled negatives per anchor — O(n·k) — drawn from the per-epoch
+    /// RNG stream, so resumed runs stay bit-identical.
+    Sampled {
+        /// Negatives per anchor.
+        k: usize,
+        /// Sampling distribution.
+        dist: SamplerDist,
+    },
+}
+
+/// One term of the training objective. The total loss is the weighted sum
+/// of the terms, evaluated in `Vec` order (term order fixes the RNG draw
+/// order, so it is part of a run's determinism contract).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LossTerm {
+    /// Scaled cosine error on masked-feature reconstruction (weight 1).
+    Sce {
+        /// SCE sharpening exponent `γ`.
+        gamma: f32,
+    },
+    /// Symmetric InfoNCE between the two corrupted views.
+    InfoNce {
+        /// Weight `α` of the contrastive loss `L_C`.
+        alpha: f32,
+        /// InfoNCE temperature `τ`.
+        tau: f32,
+        /// Negative-pair strategy.
+        negatives: Negatives,
+    },
+    /// Adjacency-matrix reconstruction from the decoded features.
+    AdjRecon {
+        /// Weight `λ` of the reconstruction loss `L_E`.
+        lambda: f32,
+        /// Negative-pair strategy. `Dense{sample}` reconstructs the induced
+        /// subgraph on `sample` nodes; `Sampled{..}` uses every true edge as
+        /// a positive and `k` sampled non-neighbors per anchor as negatives.
+        negatives: Negatives,
+    },
+    /// Hinge variance discrimination loss on the encoder output.
+    Variance {
+        /// Weight `μ` of the discrimination loss `L_Var`.
+        mu: f32,
+    },
+}
+
+/// Typed training objective: an ordered list of weighted [`LossTerm`]s.
+///
+/// Replaces the flat `alpha`/`lambda`/`mu`/`use_*`/`*_sample` fields of
+/// [`GcmaeConfig`] (now deprecated). Configs that predate the objective
+/// still load: when `objective` is absent, [`GcmaeConfig::objective`]
+/// derives an equivalent dense spec from the flat fields.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Ordered loss terms.
+    pub terms: Vec<LossTerm>,
+}
+
+impl Objective {
+    /// The paper's full objective (Eq. 8) with the given weights, dense
+    /// pairs, and the default anchor caps (`contrast_sample` 1024 /
+    /// `adj_sample` 512).
+    pub fn paper() -> Self {
+        Self {
+            terms: vec![
+                LossTerm::Sce { gamma: 2.0 },
+                LossTerm::InfoNce {
+                    alpha: 1.0,
+                    tau: 0.5,
+                    negatives: Negatives::Dense { sample: 1024 },
+                },
+                LossTerm::AdjRecon {
+                    lambda: 0.5,
+                    negatives: Negatives::Dense { sample: 512 },
+                },
+                LossTerm::Variance { mu: 0.5 },
+            ],
+        }
+    }
+
+    /// Switches every pairwise term to `Sampled { k, dist }` negatives,
+    /// leaving weights and temperatures unchanged. The standard migration
+    /// path from a dense config to million-node training.
+    pub fn sampled(mut self, k: usize, dist: SamplerDist) -> Self {
+        for term in &mut self.terms {
+            match term {
+                LossTerm::InfoNce { negatives, .. } | LossTerm::AdjRecon { negatives, .. } => {
+                    *negatives = Negatives::Sampled { k, dist };
+                }
+                LossTerm::Sce { .. } | LossTerm::Variance { .. } => {}
+            }
+        }
+        self
+    }
+
+    /// Sets the loss weights: `alpha` on every InfoNCE term, `lambda` on
+    /// every adjacency-reconstruction term, `mu` on every variance term.
+    pub fn with_weights(mut self, alpha: f32, lambda: f32, mu: f32) -> Self {
+        for term in &mut self.terms {
+            match term {
+                LossTerm::InfoNce { alpha: a, .. } => *a = alpha,
+                LossTerm::AdjRecon { lambda: l, .. } => *l = lambda,
+                LossTerm::Variance { mu: m } => *m = mu,
+                LossTerm::Sce { .. } => {}
+            }
+        }
+        self
+    }
+
+    /// Sets the temperature on every InfoNCE term.
+    pub fn with_tau(mut self, tau: f32) -> Self {
+        for term in &mut self.terms {
+            if let LossTerm::InfoNce { tau: t, .. } = term {
+                *t = tau;
+            }
+        }
+        self
+    }
+
+    /// Sets the dense anchor caps: `contrast` nodes for every InfoNCE term
+    /// and `adj` nodes for every dense adjacency-reconstruction term
+    /// (`0` = all nodes). Sampled terms are left untouched.
+    pub fn with_dense_caps(mut self, contrast: usize, adj: usize) -> Self {
+        for term in &mut self.terms {
+            match term {
+                LossTerm::InfoNce { negatives: negatives @ Negatives::Dense { .. }, .. } => {
+                    *negatives = Negatives::Dense { sample: contrast };
+                }
+                LossTerm::AdjRecon { negatives: negatives @ Negatives::Dense { .. }, .. } => {
+                    *negatives = Negatives::Dense { sample: adj };
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Removes every [`LossTerm::InfoNce`] term (Table 10 `w/o Con.`).
+    pub fn without_contrastive(mut self) -> Self {
+        self.terms.retain(|t| !matches!(t, LossTerm::InfoNce { .. }));
+        self
+    }
+
+    /// Removes every [`LossTerm::AdjRecon`] term (Table 10 `w/o Stru. Rec.`).
+    pub fn without_struct_recon(mut self) -> Self {
+        self.terms.retain(|t| !matches!(t, LossTerm::AdjRecon { .. }));
+        self
+    }
+
+    /// Removes every [`LossTerm::Variance`] term (Table 10 `w/o Disc.`).
+    pub fn without_discrimination(mut self) -> Self {
+        self.terms.retain(|t| !matches!(t, LossTerm::Variance { .. }));
+        self
+    }
+
+    /// One-line description for logs and the serve `stats` op, e.g.
+    /// `sce(γ=2)+infonce(α=1,τ=0.5,sampled k=5 uniform)+var(μ=0.5)`.
+    pub fn describe(&self) -> String {
+        let neg = |n: &Negatives| match n {
+            Negatives::Dense { sample: 0 } => "dense".to_string(),
+            Negatives::Dense { sample } => format!("dense n={sample}"),
+            Negatives::Sampled { k, dist } => format!(
+                "sampled k={k} {}",
+                match dist {
+                    SamplerDist::Uniform => "uniform",
+                    SamplerDist::Degree => "degree",
+                }
+            ),
+        };
+        let parts: Vec<String> = self
+            .terms
+            .iter()
+            .map(|t| match t {
+                LossTerm::Sce { gamma } => format!("sce(γ={gamma})"),
+                LossTerm::InfoNce { alpha, tau, negatives } => {
+                    format!("infonce(α={alpha},τ={tau},{})", neg(negatives))
+                }
+                LossTerm::AdjRecon { lambda, negatives } => {
+                    format!("adjrecon(λ={lambda},{})", neg(negatives))
+                }
+                LossTerm::Variance { mu } => format!("var(μ={mu})"),
+            })
+            .collect();
+        parts.join("+")
+    }
+}
+
 /// Full GCMAE configuration. The defaults follow the paper: GraphSAGE
 /// encoder (§5.4), 2 layers / 512 hidden (Figure 6 optimum — scaled to 256
 /// by the fast harness presets), `p_mask = 0.5`, Adam(0.001) with weight
 /// decay 1e-4, SCE with γ = 2.
+///
+/// The loss is specified by [`GcmaeConfig::objective`] (the resolver) /
+/// [`GcmaeConfig::with_objective`] (the builder). The flat loss fields
+/// remain for back-compat and are honored only while `objective` is `None`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GcmaeConfig {
     /// encoder.
@@ -49,10 +259,13 @@ pub struct GcmaeConfig {
     /// Node drop rate `p_drop` (contrastive view, `T₂`).
     pub p_drop: f32,
     /// Weight `α` of the contrastive loss `L_C`.
+    #[deprecated(since = "0.9.0", note = "use GcmaeConfig::with_objective / LossTerm::InfoNce")]
     pub alpha: f32,
     /// Weight `λ` of the adjacency-reconstruction loss `L_E`.
+    #[deprecated(since = "0.9.0", note = "use GcmaeConfig::with_objective / LossTerm::AdjRecon")]
     pub lambda: f32,
     /// Weight `μ` of the discrimination loss `L_Var`.
+    #[deprecated(since = "0.9.0", note = "use GcmaeConfig::with_objective / LossTerm::Variance")]
     pub mu: f32,
     /// SCE sharpening exponent `γ`.
     pub gamma: f32,
@@ -67,19 +280,28 @@ pub struct GcmaeConfig {
     /// dropout.
     pub dropout: f32,
     /// Nodes sampled for each adjacency-reconstruction subgraph (§4.4).
+    #[deprecated(since = "0.9.0", note = "use Negatives::Dense{sample} on LossTerm::AdjRecon")]
     pub adj_sample: usize,
     /// Anchors sampled for InfoNCE (`0` = all nodes).
+    #[deprecated(since = "0.9.0", note = "use Negatives::Dense{sample} on LossTerm::InfoNce")]
     pub contrast_sample: usize,
     /// Subgraph mini-batch size for large graphs (`0` = full graph).
     pub batch_nodes: usize,
     /// Ablation toggles (Table 10): `w/o Con.`, `w/o Stru. Rec.`, `w/o Disc.`
+    #[deprecated(since = "0.9.0", note = "use Objective::without_contrastive")]
     pub use_contrastive: bool,
     /// use struct recon.
+    #[deprecated(since = "0.9.0", note = "use Objective::without_struct_recon")]
     pub use_struct_recon: bool,
     /// use discrimination.
+    #[deprecated(since = "0.9.0", note = "use Objective::without_discrimination")]
     pub use_discrimination: bool,
+    /// Typed objective. `None` (the value in every pre-objective config
+    /// JSON) means "derive from the flat fields above".
+    pub objective: Option<Objective>,
 }
 
+#[allow(deprecated)]
 impl Default for GcmaeConfig {
     fn default() -> Self {
         Self {
@@ -104,6 +326,7 @@ impl Default for GcmaeConfig {
             use_contrastive: true,
             use_struct_recon: true,
             use_discrimination: true,
+            objective: None,
         }
     }
 }
@@ -138,6 +361,7 @@ impl GcmaeConfig {
     }
 
     /// Fast preset for tests and Criterion benches.
+    #[allow(deprecated)]
     pub fn fast() -> Self {
         Self {
             hidden_dim: 32,
@@ -149,21 +373,70 @@ impl GcmaeConfig {
         }
     }
 
+    /// The training objective this config resolves to. An explicit
+    /// [`GcmaeConfig::with_objective`] spec wins; otherwise an equivalent
+    /// dense objective is derived from the deprecated flat fields, in the
+    /// historical term order (SCE → InfoNCE → AdjRecon → Variance) so
+    /// legacy runs keep their exact RNG draw order.
+    #[allow(deprecated)]
+    pub fn objective(&self) -> Objective {
+        if let Some(o) = &self.objective {
+            return o.clone();
+        }
+        let mut terms = vec![LossTerm::Sce { gamma: self.gamma }];
+        if self.use_contrastive {
+            terms.push(LossTerm::InfoNce {
+                alpha: self.alpha,
+                tau: self.tau,
+                negatives: Negatives::Dense { sample: self.contrast_sample },
+            });
+        }
+        if self.use_struct_recon {
+            terms.push(LossTerm::AdjRecon {
+                lambda: self.lambda,
+                negatives: Negatives::Dense { sample: self.adj_sample },
+            });
+        }
+        if self.use_discrimination {
+            terms.push(LossTerm::Variance { mu: self.mu });
+        }
+        Objective { terms }
+    }
+
+    /// Sets an explicit typed objective; the deprecated flat loss fields are
+    /// ignored from then on.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = Some(objective);
+        self
+    }
+
     /// Table 10 variant: remove the contrastive branch.
+    #[allow(deprecated)]
     pub fn without_contrastive(mut self) -> Self {
         self.use_contrastive = false;
+        if let Some(o) = self.objective.take() {
+            self.objective = Some(o.without_contrastive());
+        }
         self
     }
 
     /// Table 10 variant: remove adjacency-matrix reconstruction.
+    #[allow(deprecated)]
     pub fn without_struct_recon(mut self) -> Self {
         self.use_struct_recon = false;
+        if let Some(o) = self.objective.take() {
+            self.objective = Some(o.without_struct_recon());
+        }
         self
     }
 
     /// Table 10 variant: remove the discrimination loss.
+    #[allow(deprecated)]
     pub fn without_discrimination(mut self) -> Self {
         self.use_discrimination = false;
+        if let Some(o) = self.objective.take() {
+            self.objective = Some(o.without_discrimination());
+        }
         self
     }
 }
@@ -179,14 +452,60 @@ mod tests {
         assert_eq!(c.gamma, 2.0);
         assert_eq!(c.lr, 0.001);
         assert_eq!(c.weight_decay, 1e-4);
-        assert!(c.use_contrastive && c.use_struct_recon && c.use_discrimination);
+        assert_eq!(c.objective(), Objective::paper());
     }
 
     #[test]
-    fn ablation_builders_toggle_flags() {
-        assert!(!GcmaeConfig::default().without_contrastive().use_contrastive);
-        assert!(!GcmaeConfig::default().without_struct_recon().use_struct_recon);
-        assert!(!GcmaeConfig::default().without_discrimination().use_discrimination);
+    fn ablation_builders_drop_terms() {
+        let base = GcmaeConfig::default();
+        let no_con = base.clone().without_contrastive().objective();
+        assert!(!no_con.terms.iter().any(|t| matches!(t, LossTerm::InfoNce { .. })));
+        let no_rec = base.clone().without_struct_recon().objective();
+        assert!(!no_rec.terms.iter().any(|t| matches!(t, LossTerm::AdjRecon { .. })));
+        let no_disc = base.without_discrimination().objective();
+        assert!(!no_disc.terms.iter().any(|t| matches!(t, LossTerm::Variance { .. })));
+    }
+
+    #[test]
+    fn ablation_builders_also_filter_explicit_objectives() {
+        let c = GcmaeConfig::default()
+            .with_objective(Objective::paper())
+            .without_contrastive();
+        let o = c.objective();
+        assert!(!o.terms.iter().any(|t| matches!(t, LossTerm::InfoNce { .. })));
+        assert_eq!(o.terms.len(), 3);
+    }
+
+    #[test]
+    fn explicit_objective_overrides_flat_fields() {
+        let o = Objective::paper().sampled(7, SamplerDist::Degree);
+        let c = GcmaeConfig::fast().with_objective(o.clone());
+        assert_eq!(c.objective(), o);
+        for t in &c.objective().terms {
+            if let LossTerm::InfoNce { negatives, .. } | LossTerm::AdjRecon { negatives, .. } = t {
+                assert_eq!(*negatives, Negatives::Sampled { k: 7, dist: SamplerDist::Degree });
+            }
+        }
+    }
+
+    #[test]
+    fn fast_preset_resolves_to_its_dense_caps() {
+        let o = GcmaeConfig::fast().objective();
+        assert!(o.terms.iter().any(|t| matches!(
+            t,
+            LossTerm::InfoNce { negatives: Negatives::Dense { sample: 128 }, .. }
+        )));
+        assert!(o.terms.iter().any(|t| matches!(
+            t,
+            LossTerm::AdjRecon { negatives: Negatives::Dense { sample: 64 }, .. }
+        )));
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let d = Objective::paper().sampled(5, SamplerDist::Uniform).describe();
+        assert!(d.contains("sce"), "{d}");
+        assert!(d.contains("sampled k=5 uniform"), "{d}");
     }
 
     #[test]
@@ -194,5 +513,100 @@ mod tests {
         let c = GcmaeConfig::fast();
         let json = serde_json::to_string(&c).unwrap();
         assert!(json.contains("p_mask"));
+    }
+
+    /// A config serialized before the Objective API existed (PR 9) — flat
+    /// loss fields only, no `objective` key. Kept verbatim: this exact text
+    /// must keep loading forever.
+    const PRE_PR9_CONFIG_JSON: &str = r#"{
+        "encoder": "Gcn",
+        "hidden_dim": 64,
+        "layers": 2,
+        "proj_dim": 32,
+        "p_mask": 0.5,
+        "p_drop": 0.2,
+        "alpha": 0.3,
+        "lambda": 0.1,
+        "mu": 0.2,
+        "gamma": 2.0,
+        "tau": 0.75,
+        "epochs": 80,
+        "lr": 0.001,
+        "weight_decay": 0.0001,
+        "dropout": 0.2,
+        "adj_sample": 60,
+        "contrast_sample": 0,
+        "batch_nodes": 0,
+        "use_contrastive": true,
+        "use_struct_recon": false,
+        "use_discrimination": true
+    }"#;
+
+    #[test]
+    #[allow(deprecated)]
+    fn pre_pr9_flat_config_json_still_loads() {
+        let c: GcmaeConfig = serde_json::from_str(PRE_PR9_CONFIG_JSON).unwrap();
+        assert_eq!(c.encoder, EncoderChoice::Gcn);
+        assert_eq!(c.hidden_dim, 64);
+        assert_eq!(c.alpha, 0.3);
+        assert_eq!(c.adj_sample, 60);
+        assert!(!c.use_struct_recon);
+        // the missing `objective` key resolves from the flat fields
+        assert!(c.objective.is_none());
+        let o = c.objective();
+        assert!(!o.terms.iter().any(|t| matches!(t, LossTerm::AdjRecon { .. })));
+        assert!(o.terms.iter().any(|t| matches!(
+            t,
+            LossTerm::InfoNce {
+                alpha,
+                tau,
+                negatives: Negatives::Dense { sample: 0 },
+            } if *alpha == 0.3 && *tau == 0.75
+        )));
+        assert!(o
+            .terms
+            .iter()
+            .any(|t| matches!(t, LossTerm::Variance { mu } if *mu == 0.2)));
+    }
+
+    #[test]
+    fn objective_config_json_round_trips() {
+        let c = GcmaeConfig::fast()
+            .with_objective(Objective::paper().sampled(16, SamplerDist::Degree));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GcmaeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.objective(), c.objective());
+        assert_eq!(back.hidden_dim, c.hidden_dim);
+    }
+
+    #[test]
+    fn explicit_objective_json_parses() {
+        let json = r#"{
+            "terms": [
+                {"Sce": {"gamma": 2.0}},
+                {"InfoNce": {"alpha": 1.0, "tau": 0.5,
+                             "negatives": {"Sampled": {"k": 5, "dist": "Uniform"}}}},
+                {"AdjRecon": {"lambda": 0.5,
+                              "negatives": {"Sampled": {"k": 5, "dist": "Degree"}}}},
+                {"Variance": {"mu": 0.5}}
+            ]
+        }"#;
+        let o: Objective = serde_json::from_str(json).unwrap();
+        let expected = Objective {
+            terms: vec![
+                LossTerm::Sce { gamma: 2.0 },
+                LossTerm::InfoNce {
+                    alpha: 1.0,
+                    tau: 0.5,
+                    negatives: Negatives::Sampled { k: 5, dist: SamplerDist::Uniform },
+                },
+                LossTerm::AdjRecon {
+                    lambda: 0.5,
+                    negatives: Negatives::Sampled { k: 5, dist: SamplerDist::Degree },
+                },
+                LossTerm::Variance { mu: 0.5 },
+            ],
+        };
+        assert_eq!(o, expected);
     }
 }

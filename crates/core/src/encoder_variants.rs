@@ -6,7 +6,7 @@ use gcmae_graph::Dataset;
 use gcmae_nn::{Act, Adam, Encoder, EncoderConfig, GraphOps, Mlp, ParamStore, Session};
 use gcmae_tensor::Matrix;
 
-use crate::config::GcmaeConfig;
+use crate::config::{GcmaeConfig, LossTerm, Negatives};
 use crate::model::seeded_rng;
 use crate::session::TrainSession;
 
@@ -111,6 +111,17 @@ fn train_contrastive_only(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> Matrix 
     );
     let mut adam = Adam::new(cfg.lr, cfg.weight_decay);
     let n = ds.num_nodes();
+    // Contrastive settings come from the objective's InfoNCE term (falling
+    // back to a dense full-anchor loss if the spec has none).
+    let (tau, negatives) = cfg
+        .objective()
+        .terms
+        .iter()
+        .find_map(|t| match t {
+            LossTerm::InfoNce { tau, negatives, .. } => Some((*tau, *negatives)),
+            _ => None,
+        })
+        .unwrap_or((cfg.tau, Negatives::Dense { sample: 0 }));
     for _ in 0..cfg.epochs {
         let mut sess = Session::new();
         let masked = mask_node_features(&ds.features, cfg.p_mask, &mut rng);
@@ -125,16 +136,26 @@ fn train_contrastive_only(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> Matrix 
         let u = Act::Elu.apply(&mut sess, u);
         let v = proj2.forward(&mut sess, &store, h2);
         let v = Act::Elu.apply(&mut sess, v);
-        let (u, v) = if cfg.contrast_sample > 0 && cfg.contrast_sample < n {
-            let anchors = gcmae_graph::sampling::sample_nodes(n, cfg.contrast_sample, &mut rng);
-            (
-                sess.tape.gather_rows(u, anchors.clone()),
-                sess.tape.gather_rows(v, anchors),
-            )
-        } else {
-            (u, v)
+        let loss = match negatives {
+            Negatives::Dense { sample } => {
+                let (u, v) = if sample > 0 && sample < n {
+                    let anchors = gcmae_graph::sampling::sample_nodes(n, sample, &mut rng);
+                    (
+                        sess.tape.gather_rows(u, anchors.clone()),
+                        sess.tape.gather_rows(v, anchors),
+                    )
+                } else {
+                    (u, v)
+                };
+                sess.tape.info_nce(u, v, tau)
+            }
+            Negatives::Sampled { k, dist } => {
+                let k = k.max(1);
+                let table =
+                    gcmae_graph::sampling::negative_table(&ds.graph, k, dist.into(), &mut rng);
+                sess.tape.info_nce_sampled(u, v, tau, k, &table)
+            }
         };
-        let loss = sess.tape.info_nce(u, v, cfg.tau);
         let mut grads = sess.tape.backward(loss);
         adam.step(&mut store, &sess, &mut grads);
     }

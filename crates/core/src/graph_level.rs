@@ -87,10 +87,9 @@ mod tests {
             hidden_dim: 12,
             proj_dim: 8,
             epochs: 2,
-            adj_sample: 48,
-            contrast_sample: 48,
             ..GcmaeConfig::fast()
-        };
+        }
+        .with_objective(crate::config::Objective::paper().with_dense_caps(48, 48));
         let emb = train_graph_level(&c, &cfg, 8, 1);
         assert_eq!(emb.shape(), (c.len(), 12));
         assert!(emb.all_finite());

@@ -32,7 +32,9 @@ pub mod model;
 pub mod session;
 pub mod trainer;
 
-pub use config::{EncoderChoice, FaultTolerance, GcmaeConfig};
+pub use config::{
+    EncoderChoice, FaultTolerance, GcmaeConfig, LossTerm, Negatives, Objective, SamplerDist,
+};
 pub use encoder_variants::{train_variant, EncoderVariant};
 pub use fault::{FaultPlan, RollbackEvent, ServeFaultPlan, StepFault, StepGuard, TrainError};
 pub use graph_level::train_graph_level;

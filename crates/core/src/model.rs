@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use gcmae_graph::augment::{drop_nodes, mask_node_features};
-use gcmae_graph::sampling::sample_nodes;
+use gcmae_graph::sampling::{negative_table, sample_nodes, NegativeSampling};
 use gcmae_graph::{Dataset, Graph};
 use gcmae_nn::{
     clip_global_norm, global_grad_norm, load_inference, Act, Adam, Bytes, CheckpointError, Encoder,
@@ -16,8 +16,17 @@ use gcmae_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::config::GcmaeConfig;
+use crate::config::{GcmaeConfig, LossTerm, Negatives, SamplerDist};
 use crate::fault::{StepFault, StepGuard};
+
+impl From<SamplerDist> for NegativeSampling {
+    fn from(d: SamplerDist) -> Self {
+        match d {
+            SamplerDist::Uniform => NegativeSampling::Uniform,
+            SamplerDist::Degree => NegativeSampling::Degree,
+        }
+    }
+}
 
 /// Per-step loss values (for logging, Figure 4, and the ablation study).
 #[derive(Clone, Copy, Debug, Default)]
@@ -171,78 +180,129 @@ impl Gcmae {
         // still get within-step reuse and release everything on return.
         let _arena = gcmae_tensor::ArenaGuard::new();
         let cfg = self.cfg.clone();
+        let objective = cfg.objective();
         let n = graph.num_nodes();
         let mut sess = Session::new();
         let ops = GraphOps::new(graph);
 
-        // T1: feature masking (MAE view).
+        // T1: feature masking (MAE view). Every branch starts from the
+        // shared encoding of this view.
         let masked = mask_node_features(features, cfg.p_mask, rng);
         let x1 = sess.tape.constant(masked.features);
         let h1 = self
             .encoder
             .forward(&mut sess, &self.store, x1, &ops, true, rng);
 
-        // MAE branch: re-mask hidden rows, decode, SCE against the input.
-        let h1_rm = sess.tape.mask_rows(h1, masked.masked.clone());
-        let z = self
-            .decoder
-            .forward(&mut sess, &self.store, h1_rm, &ops, true, rng);
-        let target = Arc::new(features.clone());
-        let mut loss = sess
-            .tape
-            .sce_loss(z, target, masked.masked.clone(), cfg.gamma);
-        let sce_v = sess.tape.value(loss).scalar_value();
+        // MAE branch: re-mask hidden rows, decode. The decoded features `Z`
+        // feed SCE and adjacency reconstruction; the decoder runs without
+        // dropout, so building it up front draws no randomness and keeps
+        // the RNG stream identical to the historical fixed-order step.
+        let needs_z = objective
+            .terms
+            .iter()
+            .any(|t| matches!(t, LossTerm::Sce { .. } | LossTerm::AdjRecon { .. }));
+        let z = needs_z.then(|| {
+            let h1_rm = sess.tape.mask_rows(h1, masked.masked.clone());
+            self.decoder
+                .forward(&mut sess, &self.store, h1_rm, &ops, true, rng)
+        });
 
-        // Contrastive branch: node-dropped view through the shared encoder.
-        let mut contrast_v = 0.0;
-        if cfg.use_contrastive {
-            let dropped = drop_nodes(graph, features, cfg.p_drop, rng);
-            let ops2 = GraphOps::new(&dropped.graph);
-            let x2 = sess.tape.constant(dropped.features);
-            let h2 = self
-                .encoder
-                .forward(&mut sess, &self.store, x2, &ops2, true, rng);
-            let u_full = self.proj1.forward(&mut sess, &self.store, h1);
-            let u_full = Act::Elu.apply(&mut sess, u_full);
-            let v_full = self.proj2.forward(&mut sess, &self.store, h2);
-            let v_full = Act::Elu.apply(&mut sess, v_full);
-            let (u, v) = if cfg.contrast_sample > 0 && cfg.contrast_sample < n {
-                let anchors = sample_nodes(n, cfg.contrast_sample, rng);
-                (
-                    sess.tape.gather_rows(u_full, anchors.clone()),
-                    sess.tape.gather_rows(v_full, anchors),
-                )
-            } else {
-                (u_full, v_full)
-            };
-            let lc = sess.tape.info_nce(u, v, cfg.tau);
-            contrast_v = sess.tape.value(lc).scalar_value();
-            loss = sess.tape.add_scaled(loss, lc, cfg.alpha);
-        }
-
-        // Adjacency-matrix reconstruction on a sampled subgraph (§4.4).
-        let mut adj_v = 0.0;
-        if cfg.use_struct_recon {
-            let sub = if cfg.adj_sample > 0 && cfg.adj_sample < n {
-                sample_nodes(n, cfg.adj_sample, rng)
-            } else {
-                (0..n).collect()
-            };
-            if sub.len() >= 2 {
-                let sub_adj = graph.induced_subgraph(&sub).adjacency();
-                let z_sub = sess.tape.gather_rows(z, sub);
-                let (le, comps) = sess.tape.adj_recon(z_sub, sub_adj, Weights::default());
-                adj_v = comps.total();
-                loss = sess.tape.add_scaled(loss, le, cfg.lambda);
+        // Terms accumulate onto a zero scalar in spec order (the order is
+        // part of the determinism contract — it fixes the RNG draw order).
+        let mut loss = sess.tape.constant(Matrix::scalar(0.0));
+        let (mut sce_v, mut contrast_v, mut adj_v, mut var_v) = (0.0, 0.0, 0.0, 0.0);
+        for term in &objective.terms {
+            // Per-term forward span: `loss.term.<kind>.{ns,calls,flops}`.
+            let _span = gcmae_obs::kernel_span(term_metrics(term), 0);
+            match term {
+                LossTerm::Sce { gamma } => {
+                    let target = Arc::new(features.clone());
+                    let l = sess.tape.sce_loss(
+                        z.expect("needs_z covers Sce"),
+                        target,
+                        masked.masked.clone(),
+                        *gamma,
+                    );
+                    sce_v += sess.tape.value(l).scalar_value();
+                    loss = sess.tape.add_scaled(loss, l, 1.0);
+                }
+                LossTerm::InfoNce { alpha, tau, negatives } => {
+                    // Contrastive view: node drop through the shared encoder.
+                    let dropped = drop_nodes(graph, features, cfg.p_drop, rng);
+                    let ops2 = GraphOps::new(&dropped.graph);
+                    let x2 = sess.tape.constant(dropped.features);
+                    let h2 = self
+                        .encoder
+                        .forward(&mut sess, &self.store, x2, &ops2, true, rng);
+                    let u_full = self.proj1.forward(&mut sess, &self.store, h1);
+                    let u_full = Act::Elu.apply(&mut sess, u_full);
+                    let v_full = self.proj2.forward(&mut sess, &self.store, h2);
+                    let v_full = Act::Elu.apply(&mut sess, v_full);
+                    let lc = match *negatives {
+                        Negatives::Dense { sample } => {
+                            let (u, v) = if sample > 0 && sample < n {
+                                let anchors = sample_nodes(n, sample, rng);
+                                (
+                                    sess.tape.gather_rows(u_full, anchors.clone()),
+                                    sess.tape.gather_rows(v_full, anchors),
+                                )
+                            } else {
+                                (u_full, v_full)
+                            };
+                            sess.tape.info_nce(u, v, *tau)
+                        }
+                        Negatives::Sampled { k, dist } => {
+                            let k = k.max(1);
+                            let table = negative_table(graph, k, dist.into(), rng);
+                            sess.tape.info_nce_sampled(u_full, v_full, *tau, k, &table)
+                        }
+                    };
+                    contrast_v += sess.tape.value(lc).scalar_value();
+                    loss = sess.tape.add_scaled(loss, lc, *alpha);
+                }
+                LossTerm::AdjRecon { lambda, negatives } => {
+                    let z = z.expect("needs_z covers AdjRecon");
+                    match *negatives {
+                        // Dense: reconstruct the induced subgraph on a
+                        // sampled node set (§4.4).
+                        Negatives::Dense { sample } => {
+                            let sub = if sample > 0 && sample < n {
+                                sample_nodes(n, sample, rng)
+                            } else {
+                                (0..n).collect()
+                            };
+                            if sub.len() >= 2 {
+                                let sub_adj = graph.induced_subgraph(&sub).adjacency();
+                                let z_sub = sess.tape.gather_rows(z, sub);
+                                let (le, comps) =
+                                    sess.tape.adj_recon(z_sub, sub_adj, Weights::default());
+                                adj_v += comps.total();
+                                loss = sess.tape.add_scaled(loss, le, *lambda);
+                            }
+                        }
+                        // Sampled: every true edge is a positive, k sampled
+                        // non-neighbors per anchor are the negatives.
+                        Negatives::Sampled { k, dist } => {
+                            let k = k.max(1);
+                            let table = negative_table(graph, k, dist.into(), rng);
+                            let (le, comps) = sess.tape.adj_recon_sampled(
+                                z,
+                                graph.adjacency(),
+                                Weights::default(),
+                                k,
+                                &table,
+                            );
+                            adj_v += comps.total();
+                            loss = sess.tape.add_scaled(loss, le, *lambda);
+                        }
+                    }
+                }
+                LossTerm::Variance { mu } => {
+                    let lv = sess.tape.variance_hinge(h1, 1e-4);
+                    var_v += sess.tape.value(lv).scalar_value();
+                    loss = sess.tape.add_scaled(loss, lv, *mu);
+                }
             }
-        }
-
-        // Discrimination (variance) loss on the shared-encoder output.
-        let mut var_v = 0.0;
-        if cfg.use_discrimination {
-            let lv = sess.tape.variance_hinge(h1, 1e-4);
-            var_v = sess.tape.value(lv).scalar_value();
-            loss = sess.tape.add_scaled(loss, lv, cfg.mu);
         }
 
         let mut total = sess.tape.value(loss).scalar_value();
@@ -399,6 +459,40 @@ impl Gcmae {
 }
 
 /// Deterministic per-seed RNG used across all trainers.
+/// Static metric names for the per-term loss spans
+/// (`loss.term.<kind>.{ns,calls,flops}`). Flops are attributed by the
+/// kernel-level spans underneath; these spans time whole terms, including
+/// view augmentation and sampling.
+fn term_metrics(term: &LossTerm) -> &'static gcmae_obs::KernelMetrics {
+    use gcmae_obs::KernelMetrics;
+    static SCE: KernelMetrics = KernelMetrics {
+        ns: "loss.term.sce.ns",
+        calls: "loss.term.sce.calls",
+        flops: "loss.term.sce.flops",
+    };
+    static INFONCE: KernelMetrics = KernelMetrics {
+        ns: "loss.term.infonce.ns",
+        calls: "loss.term.infonce.calls",
+        flops: "loss.term.infonce.flops",
+    };
+    static ADJ_RECON: KernelMetrics = KernelMetrics {
+        ns: "loss.term.adj_recon.ns",
+        calls: "loss.term.adj_recon.calls",
+        flops: "loss.term.adj_recon.flops",
+    };
+    static VARIANCE: KernelMetrics = KernelMetrics {
+        ns: "loss.term.variance.ns",
+        calls: "loss.term.variance.calls",
+        flops: "loss.term.variance.flops",
+    };
+    match term {
+        LossTerm::Sce { .. } => &SCE,
+        LossTerm::InfoNce { .. } => &INFONCE,
+        LossTerm::AdjRecon { .. } => &ADJ_RECON,
+        LossTerm::Variance { .. } => &VARIANCE,
+    }
+}
+
 pub fn seeded_rng(seed: u64) -> StdRng {
     use rand::SeedableRng;
     StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1))

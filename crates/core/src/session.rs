@@ -666,10 +666,9 @@ mod tests {
         let ds = tiny();
         let cfg = GcmaeConfig {
             batch_nodes: 24,
-            adj_sample: 16,
-            contrast_sample: 16,
             ..small_cfg(2)
-        };
+        }
+        .with_objective(crate::config::Objective::paper().with_dense_caps(16, 16));
         let log = Arc::new(EventLog::default());
         let _ = TrainSession::new(&cfg)
             .seed(6)

@@ -116,10 +116,9 @@ mod tests {
             proj_dim: 8,
             epochs: 10,
             batch_nodes: 24,
-            adj_sample: 16,
-            contrast_sample: 16,
             ..GcmaeConfig::fast()
-        };
+        }
+        .with_objective(crate::config::Objective::paper().with_dense_caps(16, 16));
         let out = train(&ds, &cfg, 2);
         assert_eq!(out.embeddings.rows(), ds.num_nodes());
         assert!(out.history.iter().all(|b| b.total.is_finite()));
@@ -338,10 +337,9 @@ mod tests {
         let ds = tiny();
         let cfg = GcmaeConfig {
             batch_nodes: 24,
-            adj_sample: 16,
-            contrast_sample: 16,
             ..small_cfg(4)
-        };
+        }
+        .with_objective(crate::config::Objective::paper().with_dense_caps(16, 16));
         let ft = FaultTolerance::default();
         let plan = FaultPlan {
             nan_loss_at: Some(2),

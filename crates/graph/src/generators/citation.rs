@@ -114,7 +114,31 @@ impl CitationSpec {
             topic_overlap: 0.4,
         }
     }
+
+    /// Synthetic web-scale preset: 1,000,000 nodes / 8M undirected edges /
+    /// 128 features / 16 classes. The million-node target for the sampled
+    /// O(N·k) objectives (see DESIGN.md "Sampled objectives"); generation
+    /// takes the sort-dedup edge path, so it stays a few seconds.
+    pub fn web_scale() -> Self {
+        Self {
+            name: "WebScale-1M",
+            nodes: 1_000_000,
+            edges: 8_000_000,
+            feature_dim: 128,
+            classes: 16,
+            homophily: 0.7,
+            words_per_node: 24,
+            topic_words: 24,
+            topic_prob: 0.6,
+            topic_overlap: 0.4,
+        }
+    }
 }
+
+/// Above this many requested edges, [`generate`] switches from the
+/// rejection `HashSet` to batched draw + sort-dedup on packed `u64` keys:
+/// O(E log E) time and 8 bytes per candidate instead of hashing every draw.
+const SORT_DEDUP_EDGES: usize = 1_000_000;
 
 /// Generates a dataset from a spec, deterministically from `seed`.
 pub fn generate(spec: &CitationSpec, seed: u64) -> Dataset {
@@ -172,31 +196,64 @@ pub fn generate(spec: &CitationSpec, seed: u64) -> Dataset {
         k - 1
     };
 
-    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(spec.edges);
-    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(spec.edges * 2);
-    let max_attempts = spec.edges.saturating_mul(50).max(1000);
-    let mut attempts = 0usize;
-    while edges.len() < spec.edges && attempts < max_attempts {
-        attempts += 1;
-        let (u, v) = if rng.gen::<f32>() < spec.homophily {
-            let c = sample_class(&mut rng);
-            (sample_from_class(c, &mut rng), sample_from_class(c, &mut rng))
+    let draw_pair = |rng: &mut StdRng| -> (usize, usize) {
+        if rng.gen::<f32>() < spec.homophily {
+            let c = sample_class(rng);
+            (sample_from_class(c, rng), sample_from_class(c, rng))
         } else {
-            let c1 = sample_class(&mut rng);
-            let mut c2 = sample_class(&mut rng);
+            let c1 = sample_class(rng);
+            let mut c2 = sample_class(rng);
             let mut guard = 0;
             while c2 == c1 && guard < 16 {
-                c2 = sample_class(&mut rng);
+                c2 = sample_class(rng);
                 guard += 1;
             }
-            (sample_from_class(c1, &mut rng), sample_from_class(c2, &mut rng))
-        };
-        if u == v {
-            continue;
+            (sample_from_class(c1, rng), sample_from_class(c2, rng))
         }
-        let key = (u.min(v) as u32, u.max(v) as u32);
-        if seen.insert(key) {
-            edges.push((u, v));
+    };
+
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(spec.edges);
+    if spec.edges >= SORT_DEDUP_EDGES {
+        // Million-edge path: draw in bulk, dedup by sorting packed keys.
+        // The rejection HashSet below costs a hash probe per draw and tens
+        // of bytes per entry; at web scale that dominates generation.
+        let mut keys: Vec<u64> = Vec::with_capacity(spec.edges + spec.edges / 8);
+        let mut need = spec.edges;
+        while need > 0 {
+            // Oversample for the duplicate/self-loop loss; the loop refills
+            // in the rare case the overshoot wasn't enough.
+            for _ in 0..need + need / 8 + 16 {
+                let (u, v) = draw_pair(&mut rng);
+                if u != v {
+                    keys.push(((u.min(v) as u64) << 32) | u.max(v) as u64);
+                }
+            }
+            keys.sort_unstable();
+            keys.dedup();
+            need = spec.edges.saturating_sub(keys.len());
+        }
+        // Drop the surplus uniformly at random — plain truncation after the
+        // sort would bias the kept edges toward low node ids.
+        for i in 0..spec.edges {
+            let j = rng.gen_range(i..keys.len());
+            keys.swap(i, j);
+        }
+        keys.truncate(spec.edges);
+        edges.extend(keys.iter().map(|&key| ((key >> 32) as usize, (key & 0xffff_ffff) as usize)));
+    } else {
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(spec.edges * 2);
+        let max_attempts = spec.edges.saturating_mul(50).max(1000);
+        let mut attempts = 0usize;
+        while edges.len() < spec.edges && attempts < max_attempts {
+            attempts += 1;
+            let (u, v) = draw_pair(&mut rng);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v) as u32, u.max(v) as u32);
+            if seen.insert(key) {
+                edges.push((u, v));
+            }
         }
     }
     let graph = Graph::try_from_edges(n, &edges)
@@ -317,6 +374,57 @@ mod tests {
         };
         let d01 = dist(&centroids[0], &centroids[1]);
         assert!(d01 > 0.01, "centroids must be separable, got {d01}");
+    }
+
+    #[test]
+    fn web_scale_preset_reaches_a_million_nodes() {
+        let w = CitationSpec::web_scale();
+        assert!(w.nodes >= 1_000_000);
+        // generate a scaled copy through the sort-dedup path by forcing a
+        // smaller threshold is not possible from here; instead check the
+        // scaled small copy still round-trips the usual invariants
+        let small = w.scaled(0.001);
+        let d = generate(&small, 9);
+        assert_eq!(d.num_nodes(), small.nodes);
+        assert_eq!(d.num_classes, 16);
+        assert!(d.graph.num_edges() > 0);
+    }
+
+    #[test]
+    fn sort_dedup_path_matches_spec_and_stays_deterministic() {
+        // Clear the SORT_DEDUP_EDGES threshold with a small node count so
+        // the test exercises the bulk path in milliseconds.
+        let spec = CitationSpec {
+            name: "dense-bulk",
+            nodes: 20_000,
+            edges: SORT_DEDUP_EDGES,
+            feature_dim: 8,
+            classes: 4,
+            homophily: 0.7,
+            words_per_node: 2,
+            topic_words: 4,
+            topic_prob: 0.5,
+            topic_overlap: 0.25,
+        };
+        let a = generate(&spec, 11);
+        assert_eq!(a.graph.num_edges(), spec.edges);
+        let b = generate(&spec, 11);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.labels, b.labels);
+        // undirected, no self loops, no duplicates: count unique keys
+        let mut keys: Vec<u64> = a
+            .graph
+            .undirected_edges()
+            .map(|(u, v)| ((u.min(v) as u64) << 32) | u.max(v) as u64)
+            .collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate undirected edges");
+        assert!(a
+            .graph
+            .undirected_edges()
+            .all(|(u, v)| u != v), "self loop generated");
     }
 
     #[test]

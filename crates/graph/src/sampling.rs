@@ -1,11 +1,55 @@
-//! Subgraph sampling for mini-batch training on large graphs (paper §4.4:
-//! "we sample multiple sub-graphs from the original graph for
-//! reconstruction").
+//! Subgraph and negative sampling for mini-batch training on large graphs
+//! (paper §4.4: "we sample multiple sub-graphs from the original graph for
+//! reconstruction") and for the sampled O(N·k) objectives.
+//!
+//! Every sampler here is **rejection-free**: no retry loops whose acceptance
+//! probability depends on the graph, so small or dense graphs see the same
+//! unbiased distributions as large sparse ones, in a bounded number of RNG
+//! draws. Distinct-id draws all run through one shared core,
+//! [`DistinctSampler`] (a virtual partial Fisher–Yates), used by
+//! [`sample_nodes`], the per-anchor [`negative_table`], and
+//! [`sample_non_edges`].
 
 use rand::Rng;
 
 use crate::csr::Graph;
 use crate::datasets::Dataset;
+
+/// Shared rejection-free O(k) distinct-id sampler: a partial Fisher–Yates
+/// over an *implicit* identity array `[0, n)`. Only the displaced entries
+/// live in a small map, so each `k`-draw costs O(k) time and space no matter
+/// how large `n` is, and exactly `k` RNG draws are consumed.
+///
+/// The struct exists so per-anchor callers (the negative-table builder draws
+/// `n` times) can reuse one map allocation across calls; a one-shot call via
+/// [`DistinctSampler::default`] is equally correct.
+#[derive(Default)]
+pub struct DistinctSampler {
+    displaced: std::collections::HashMap<usize, usize>,
+}
+
+impl DistinctSampler {
+    /// Emits `min(k, n)` distinct ids drawn uniformly from `0..n`, in draw
+    /// order. Draws (and therefore seeded trajectories) are identical to a
+    /// materialized partial Fisher–Yates over `0..n`.
+    pub fn sample<R: Rng>(&mut self, n: usize, k: usize, rng: &mut R, mut emit: impl FnMut(usize)) {
+        let k = k.min(n);
+        if k == 0 {
+            return;
+        }
+        self.displaced.clear();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            let vi = self.displaced.get(&i).copied().unwrap_or(i);
+            let vj = self.displaced.get(&j).copied().unwrap_or(j);
+            // Swap the virtual entries at i and j; position i is final after
+            // this step (later steps only touch positions > i).
+            self.displaced.insert(i, vj);
+            self.displaced.insert(j, vi);
+            emit(vj);
+        }
+    }
+}
 
 /// Samples `k` distinct node ids uniformly (partial Fisher–Yates).
 ///
@@ -26,7 +70,8 @@ pub fn sample_nodes<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
     }
 }
 
-/// Full-vector partial Fisher–Yates: O(n) time and space.
+/// Full-vector partial Fisher–Yates: O(n) time and space. Same draws as the
+/// [`DistinctSampler`] core, cheaper constant factor when `k ~ n`.
 fn sample_nodes_dense<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
     let mut ids: Vec<usize> = (0..n).collect();
     for i in 0..k {
@@ -37,24 +82,95 @@ fn sample_nodes_dense<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
     ids
 }
 
-/// Virtual partial Fisher–Yates over an implicit identity array: only the
-/// displaced entries live in a small map, so time and space are O(k). Draws
-/// and output are identical to [`sample_nodes_dense`].
+/// O(k) path: delegates to the shared [`DistinctSampler`] core.
 fn sample_nodes_sparse<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
-    let mut displaced: std::collections::HashMap<usize, usize> =
-        std::collections::HashMap::with_capacity(2 * k);
     let mut out = Vec::with_capacity(k);
-    for i in 0..k {
-        let j = rng.gen_range(i..n);
-        let vi = displaced.get(&i).copied().unwrap_or(i);
-        let vj = displaced.get(&j).copied().unwrap_or(j);
-        // swap the virtual entries at i and j; position i is final after
-        // this step (later steps only touch positions > i).
-        displaced.insert(i, vj);
-        displaced.insert(j, vi);
-        out.push(vj);
-    }
+    DistinctSampler::default().sample(n, k, rng, |v| out.push(v));
     out
+}
+
+/// How per-anchor negatives are drawn for the sampled objectives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NegativeSampling {
+    /// Each anchor draws `k` *distinct* ids uniformly from all nodes.
+    Uniform,
+    /// Each anchor draws `k` ids (with replacement) proportionally to node
+    /// degree — the word2vec-style unigram scheme GraphMAE-family methods
+    /// use; high-degree nodes appear as negatives more often. Falls back to
+    /// uniform-with-replacement on an edgeless graph.
+    Degree,
+}
+
+/// Degree-proportional node sampler: one cumulative-sum table, then each
+/// draw is a single RNG call plus a binary search — rejection-free O(log n).
+pub struct DegreeSampler {
+    cum: Vec<u64>,
+    total: u64,
+    n: usize,
+}
+
+impl DegreeSampler {
+    /// Builds the cumulative-degree table for `g`.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for v in 0..n {
+            acc += g.degree(v) as u64;
+            cum.push(acc);
+        }
+        Self { cum, total: acc, n }
+    }
+
+    /// Draws one node id with probability proportional to its degree.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        if self.total == 0 {
+            return rng.gen_range(0..self.n.max(1));
+        }
+        let t = rng.gen_range(0..self.total);
+        self.cum.partition_point(|&c| c <= t)
+    }
+}
+
+/// Builds the per-anchor negative table for the sampled objectives: `k` ids
+/// per anchor, row-major (`n * k` entries; anchor `i` owns
+/// `ids[i*k .. (i+1)*k]`).
+///
+/// Draws come only from `rng` in anchor order, so a table built from a
+/// per-epoch RNG stream is reproducible on resume regardless of thread
+/// count. Entries are *not* filtered here — an id equal to its anchor (or,
+/// for adjacency reconstruction, a true neighbor) is skipped and counted as
+/// a collision inside the loss kernels, keeping this builder O(n·k) with no
+/// graph-dependent retry loops.
+pub fn negative_table<R: Rng>(
+    g: &Graph,
+    k: usize,
+    dist: NegativeSampling,
+    rng: &mut R,
+) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut ids = Vec::with_capacity(n * k);
+    match dist {
+        NegativeSampling::Uniform => {
+            let mut sampler = DistinctSampler::default();
+            for _ in 0..n {
+                sampler.sample(n, k, rng, |v| ids.push(v as u32));
+                // A graph smaller than k+1 nodes cannot supply k distinct
+                // negatives; pad with the anchor-collision sentinel 0 so the
+                // table stays rectangular (the kernels skip collisions).
+                while ids.len() % k.max(1) != 0 {
+                    ids.push(0);
+                }
+            }
+        }
+        NegativeSampling::Degree => {
+            let sampler = DegreeSampler::new(g);
+            for _ in 0..n * k {
+                ids.push(sampler.sample(rng) as u32);
+            }
+        }
+    }
+    ids
 }
 
 /// Collects the distinct nodes touched by `walks` random walks of length
@@ -89,25 +205,59 @@ pub fn random_walk_nodes<R: Rng>(
     out
 }
 
-/// Samples `count` distinct non-edges (negative samples) of `g`.
+/// Samples `count` distinct non-edges `(u, v)` with `u < v`, uniformly over
+/// *all* non-edges of `g`, rejection-free.
+///
+/// The non-edge space is rank-indexed: row `u` owns the non-neighbors
+/// `v > u`, so a cumulative table maps a flat index to a pair in O(log n)
+/// (binary search for the row, then a binary search over the sorted CSR row
+/// for the v-offset). Distinct flat indices come from the shared
+/// [`DistinctSampler`] core. The old implementation retried random pairs
+/// until enough misses accumulated, which both biased small dense graphs
+/// (the guard could give up early) and could never return the *whole*
+/// complement; this one returns exactly `min(count, total_non_edges)` pairs.
 pub fn sample_non_edges<R: Rng>(g: &Graph, count: usize, rng: &mut R) -> Vec<(usize, usize)> {
     let n = g.num_nodes();
+    // cum[u] = number of non-edges (u', v) with u' <= u, v > u'.
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0u64;
+    for u in 0..n {
+        let nbrs = g.neighbors(u);
+        let later_neighbors = nbrs.len() - nbrs.partition_point(|&w| (w as usize) <= u);
+        acc += (n - u - 1) as u64 - later_neighbors as u64;
+        cum.push(acc);
+    }
+    let total = acc as usize;
+    let count = count.min(total);
     let mut out = Vec::with_capacity(count);
-    let mut seen = std::collections::HashSet::new();
-    let mut guard = 0usize;
-    while out.len() < count && guard < count.saturating_mul(200).max(1000) {
-        guard += 1;
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
-        if u == v || g.has_edge(u, v) {
-            continue;
-        }
-        let key = (u.min(v), u.max(v));
-        if seen.insert(key) {
-            out.push(key);
+    DistinctSampler::default().sample(total, count, rng, |t| {
+        let t = t as u64;
+        let u = cum.partition_point(|&c| c <= t);
+        let offset = t - if u == 0 { 0 } else { cum[u - 1] };
+        out.push((u, nth_non_neighbor_after(g, u, offset as usize)));
+    });
+    out
+}
+
+/// The `j`-th (0-indexed) node `v > u` with `v ∉ N(u)`, found by binary
+/// search: the count of such nodes `<= w` is `(w - u) - |{x ∈ N(u): u < x
+/// <= w}|`, monotone in `w`.
+fn nth_non_neighbor_after(g: &Graph, u: usize, j: usize) -> usize {
+    let nbrs = g.neighbors(u);
+    let first_later = nbrs.partition_point(|&w| (w as usize) <= u);
+    let (mut lo, mut hi) = (u + 1, g.num_nodes());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let later_le_mid =
+            nbrs[first_later..].partition_point(|&w| (w as usize) <= mid);
+        let non_nbrs_le_mid = (mid - u) - later_le_mid;
+        if non_nbrs_le_mid >= j + 1 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
         }
     }
-    out
+    lo
 }
 
 /// A sampled subgraph batch: the induced dataset plus the original node ids.
@@ -211,6 +361,77 @@ mod tests {
     }
 
     #[test]
+    fn distinct_sampler_is_uniform_within_bounds() {
+        // Distribution-bounds property for the shared core: over many
+        // 1-of-n draws every id lands near 1/n.
+        let n = 16;
+        let trials = 40_000;
+        let mut counts = vec![0usize; n];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = DistinctSampler::default();
+        for _ in 0..trials {
+            s.sample(n, 1, &mut rng, |v| counts[v] += 1);
+        }
+        let expect = trials as f64 / n as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > 0.8 * expect && (c as f64) < 1.2 * expect,
+                "id {v} drawn {c} times, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_table_uniform_rows_are_distinct_and_deterministic() {
+        let ds = toy_dataset(50);
+        let (n, k) = (50usize, 6usize);
+        let t1 = negative_table(&ds.graph, k, NegativeSampling::Uniform, &mut StdRng::seed_from_u64(3));
+        let t2 = negative_table(&ds.graph, k, NegativeSampling::Uniform, &mut StdRng::seed_from_u64(3));
+        assert_eq!(t1, t2, "same seed must give the same table");
+        assert_eq!(t1.len(), n * k);
+        for a in 0..n {
+            let row = &t1[a * k..(a + 1) * k];
+            assert!(row.iter().all(|&v| (v as usize) < n));
+            let mut sorted = row.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "anchor {a} negatives must be distinct: {row:?}");
+        }
+    }
+
+    #[test]
+    fn degree_sampler_tracks_degree_distribution() {
+        // Star graph + one isolated node: the hub holds half the total
+        // degree mass, the isolated node none.
+        let n = 10usize;
+        let edges: Vec<(usize, usize)> = (1..n - 1).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let s = DegreeSampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 40_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let hub = counts[0] as f64 / trials as f64;
+        assert!((hub - 0.5).abs() < 0.05, "hub frequency {hub} should be ~0.5");
+        assert_eq!(counts[n - 1], 0, "zero-degree node must never be drawn");
+        let leaf_expect = 0.5 / (n - 2) as f64;
+        for (v, &c) in counts.iter().enumerate().take(n - 1).skip(1) {
+            let f = c as f64 / trials as f64;
+            assert!(
+                (f - leaf_expect).abs() < 0.6 * leaf_expect,
+                "leaf {v} frequency {f} vs expected {leaf_expect}"
+            );
+        }
+        // Edgeless graph: falls back to uniform instead of spinning.
+        let empty = Graph::from_edges(4, &[]);
+        let s = DegreeSampler::new(&empty);
+        let v = s.sample(&mut rng);
+        assert!(v < 4);
+    }
+
+    #[test]
     fn random_walk_nodes_respects_max_nodes_cap() {
         let ds = toy_dataset(200);
         for seed in 0..5u64 {
@@ -228,6 +449,103 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let nodes = random_walk_nodes(&toy_dataset(30).graph, 100, 16, 10, &mut rng);
         assert_eq!(nodes.len(), 10);
+    }
+
+    #[test]
+    fn sample_non_edges_is_exact_on_dense_graphs() {
+        // A near-complete graph used to starve the old rejection loop; the
+        // rank-indexed sampler enumerates the complement exactly.
+        let n = 8usize;
+        let mut edges = vec![];
+        for u in 0..n {
+            for v in u + 1..n {
+                // leave out exactly three pairs
+                if !matches!((u, v), (0, 7) | (2, 5) | (3, 4)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut got = sample_non_edges(&g, 100, &mut rng);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 7), (2, 5), (3, 4)]);
+    }
+
+    #[test]
+    fn sample_non_edges_valid_distinct_and_unbiased() {
+        let ds = toy_dataset(12);
+        let g = &ds.graph;
+        let total_non_edges = 12 * 11 / 2 - g.num_edges();
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = sample_non_edges(g, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), s.len(), "pairs must be distinct");
+        for &(u, v) in &s {
+            assert!(u < v && v < 12 && !g.has_edge(u, v), "bad pair ({u},{v})");
+        }
+        // Distribution bounds: each non-edge shows up near-uniformly across
+        // many single draws.
+        let mut counts = std::collections::HashMap::new();
+        let trials = 20_000;
+        for _ in 0..trials {
+            let p = sample_non_edges(g, 1, &mut rng)[0];
+            *counts.entry(p).or_insert(0usize) += 1;
+        }
+        let expect = trials as f64 / total_non_edges as f64;
+        assert_eq!(counts.len(), total_non_edges, "every non-edge must be reachable");
+        for (p, c) in counts {
+            assert!(
+                (c as f64) > 0.6 * expect && (c as f64) < 1.4 * expect,
+                "pair {p:?} drawn {c} times, expected ~{expect}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn negative_table_structurally_valid(
+            n in 1usize..60,
+            k in 0usize..12,
+            seed in proptest::prelude::any::<u64>(),
+            degree_dist in proptest::prelude::any::<bool>(),
+        ) {
+            let edges: Vec<(usize, usize)> =
+                (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+            let g = Graph::from_edges(n, &edges);
+            let dist = if degree_dist { NegativeSampling::Degree } else { NegativeSampling::Uniform };
+            let t = negative_table(&g, k, dist, &mut StdRng::seed_from_u64(seed));
+            proptest::prop_assert_eq!(t.len(), n * k);
+            proptest::prop_assert!(t.iter().all(|&v| (v as usize) < n));
+        }
+
+        #[test]
+        fn sample_non_edges_always_valid_and_exact(
+            n in 2usize..24,
+            count in 0usize..40,
+            seed in proptest::prelude::any::<u64>(),
+            extra in proptest::collection::vec((0usize..24, 0usize..24), 0..40),
+        ) {
+            let mut edges: Vec<(usize, usize)> =
+                (0..n - 1).map(|i| (i, i + 1)).collect();
+            edges.extend(extra.into_iter().filter(|&(u, v)| u < n && v < n && u != v));
+            let g = Graph::from_edges(n, &edges);
+            let total = n * (n - 1) / 2 - g.num_edges();
+            let s = sample_non_edges(&g, count, &mut StdRng::seed_from_u64(seed));
+            proptest::prop_assert_eq!(s.len(), count.min(total));
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            proptest::prop_assert_eq!(sorted.len(), s.len());
+            for (u, v) in s {
+                proptest::prop_assert!(u < v && v < n && !g.has_edge(u, v));
+            }
+        }
     }
 
     #[test]

@@ -554,6 +554,7 @@ fn respond(engine: &mut Engine, request: &Request, halo: bool, ctx: &SchedCtx) -
                 wal_records: ctx.wal.as_ref().map(Wal::records).unwrap_or(0),
                 stale_served: ctx.metrics.counter_value("serve.stale.rows"),
                 slow_closes: ctx.metrics.counter_value("serve.slow_closes"),
+                objective: engine.model().config().objective().describe(),
             })
         }
         Request::Metrics => Response::Metrics(ctx.metrics.snapshot()),

@@ -241,6 +241,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 s.batched_jobs,
                 s.max_batch
             );
+            if !s.objective.is_empty() {
+                println!("objective: {}", s.objective);
+            }
         }
         Some("metrics") => {
             let snap = client.metrics().map_err(|e| e.to_string())?;

@@ -1115,6 +1115,8 @@ fn route_stats(inner: &GatewayInner) -> Response {
         agg.wal_records += stats.wal_records;
         agg.stale_served += stats.stale_served;
         agg.slow_closes += stats.slow_closes;
+        // shards serve the same bundle; any shard's tag describes the tier
+        agg.objective = stats.objective.clone();
         for (name, value) in [
             ("num_nodes", stats.num_nodes as f64),
             ("owned_nodes", stats.owned_nodes as f64),

@@ -408,7 +408,7 @@ impl Request {
 
 /// Typed scheduler + engine counters behind the `stats` op. Wire field names
 /// match the historical flat response, so pre-enum clients keep parsing.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServerStats {
     /// Nodes in the resident graph.
     pub num_nodes: usize,
@@ -453,6 +453,10 @@ pub struct ServerStats {
     /// on a shard, residents minus halo replicas). Absent in frames from
     /// pre-sharding servers; parses as 0 and is then treated as all-owned.
     pub owned_nodes: usize,
+    /// Human-readable description of the training objective baked into the
+    /// served model (`Objective::describe()`). Absent in frames from
+    /// pre-objective servers; parses as the empty string.
+    pub objective: String,
 }
 
 /// A server response — exactly one variant per [`Request`] outcome, plus
@@ -576,6 +580,7 @@ impl Response {
                 fields.push(("stale_served".into(), Json::num(s.stale_served as f64)));
                 fields.push(("slow_closes".into(), Json::num(s.slow_closes as f64)));
                 fields.push(("owned_nodes".into(), Json::int(s.owned_nodes)));
+                fields.push(("objective".into(), Json::str(&s.objective)));
             }
             Response::Embeddings { dim, rows } => {
                 fields.push(("dim".into(), Json::int(*dim)));
@@ -741,6 +746,14 @@ impl Response {
                     stale_served: u64_or_zero(doc, "stale_served"),
                     slow_closes: u64_or_zero(doc, "slow_closes"),
                     owned_nodes: u64_or_zero(doc, "owned_nodes") as usize,
+                    // Objective tag is additive and descriptive-only: lenient
+                    // parse so pre-objective frames (and frames with a
+                    // non-string value) still load.
+                    objective: doc
+                        .get("objective")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
                 }))
             }
             "embeddings" => {
@@ -1026,6 +1039,7 @@ mod tests {
                 wal_records: 17,
                 stale_served: 6,
                 slow_closes: 4,
+                objective: "sce(\u{03b3}=2)+infonce".into(),
             }),
             Response::Embeddings {
                 dim: 2,
@@ -1085,6 +1099,35 @@ mod tests {
             Response::Stats(s) => {
                 assert_eq!(s.backend, gcmae_tensor::Backend::Reference)
             }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_objective_field_defaults_for_legacy_servers() {
+        // A stats frame from a pre-objective server has no "objective" key;
+        // it must still parse, landing on the empty string.
+        let mut doc = Response::Stats(ServerStats::default()).to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "objective");
+        }
+        let parsed = Json::parse(&doc.dump()).unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Stats(s) => assert_eq!(s.objective, ""),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // A non-string value degrades the same way instead of erroring.
+        let mut doc = Response::Stats(ServerStats::default()).to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "objective" {
+                    *v = Json::int(3);
+                }
+            }
+        }
+        let parsed = Json::parse(&doc.dump()).unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Stats(s) => assert_eq!(s.objective, ""),
             other => panic!("expected stats, got {other:?}"),
         }
     }

@@ -3,7 +3,7 @@
 use crate::dense::{matmul, matmul_nt, matmul_tn};
 use crate::matrix::Matrix;
 use crate::node::{Op, TensorId};
-use crate::ops::{adj_recon, gat, infonce, sce, softmax_ce, variance};
+use crate::ops::{adj_recon, gat, infonce, sampled, sce, softmax_ce, variance};
 use crate::tape::Tape;
 
 /// Accumulates `delta` into the gradient slot of `id` (skipping nodes that do
@@ -318,6 +318,15 @@ pub(crate) fn step(tape: &Tape, i: usize, g: &Matrix, grads: &mut [Option<Matrix
         }
         Op::AdjRecon { z, saved } => {
             let d = adj_recon::backward(saved, tape.value(*z), g.scalar_value());
+            acc(tape, grads, *z, d);
+        }
+        Op::InfoNceSampled { u, v, saved } => {
+            let (du, dv) = sampled::info_nce_backward(saved, g.scalar_value());
+            acc(tape, grads, *u, du);
+            acc(tape, grads, *v, dv);
+        }
+        Op::AdjReconSampled { z, saved } => {
+            let d = sampled::adj_recon_backward(saved, tape.value(*z), g.scalar_value());
             acc(tape, grads, *z, d);
         }
         Op::VarianceHinge { input, saved } => {

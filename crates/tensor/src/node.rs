@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use crate::matrix::Matrix;
-use crate::ops::{adj_recon, gat, infonce, sce, softmax_ce, variance};
+use crate::ops::{adj_recon, gat, infonce, sampled, sce, softmax_ce, variance};
 use crate::sparse::SharedCsr;
 
 /// Identifier of a tensor on the tape.
@@ -65,6 +65,8 @@ pub(crate) enum Op {
     Sce { pred: TensorId, saved: sce::Saved },
     InfoNce { u: TensorId, v: TensorId, saved: Box<infonce::Saved> },
     AdjRecon { z: TensorId, saved: Box<adj_recon::Saved> },
+    InfoNceSampled { u: TensorId, v: TensorId, saved: Box<sampled::InfoNceSaved> },
+    AdjReconSampled { z: TensorId, saved: Box<sampled::AdjReconSaved> },
     VarianceHinge { input: TensorId, saved: variance::Saved },
     Gat { h: TensorId, a_src: TensorId, a_dst: TensorId, saved: Box<gat::Saved> },
 }

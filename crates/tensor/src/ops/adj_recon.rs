@@ -41,9 +41,9 @@ static ADJ_RECON_METRICS: KernelMetrics = KernelMetrics {
 };
 
 /// Floor inside the relative-distance logs (bounds the gradient).
-const DIST_EPS: f32 = 1e-3;
+pub(crate) const DIST_EPS: f32 = 1e-3;
 /// Clamp for probabilities inside logs.
-const P_CLAMP: f32 = 1e-6;
+pub(crate) const P_CLAMP: f32 = 1e-6;
 
 /// Per-term weights, all `1.0` per Eq. 19; exposed for ablations.
 #[derive(Clone, Copy, Debug)]
@@ -407,7 +407,7 @@ pub fn forward_reference(z: &Matrix, adj: SharedCsr, w: Weights) -> (f32, Compon
 }
 
 #[inline]
-fn sigmoid(x: f32) -> f32 {
+pub(crate) fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 

@@ -402,7 +402,7 @@ pub fn backward_reference(saved: &Saved, gout: f32) -> (Matrix, Matrix) {
     (du, dv)
 }
 
-fn normalize_rows(m: &Matrix) -> (Matrix, Vec<f32>) {
+pub(crate) fn normalize_rows(m: &Matrix) -> (Matrix, Vec<f32>) {
     let mut out = crate::arena::copy_of(m);
     let mut norms = crate::arena::take_zeroed(m.rows());
     normalize_rows_into(m, &mut out, &mut norms);
@@ -437,7 +437,7 @@ fn normalize_rows_into(m: &Matrix, out: &mut Matrix, norms: &mut [f32]) {
 /// Chain rule through row L2 normalization: `dx = (dŷ − (dŷ·ŷ)ŷ)/‖x‖`.
 /// The output is fully written for `d > 0` and empty otherwise, so the
 /// arena's dirty take is safe.
-fn normalize_backward(dn: &Matrix, normalized: &Matrix, norms: &[f32]) -> Matrix {
+pub(crate) fn normalize_backward(dn: &Matrix, normalized: &Matrix, norms: &[f32]) -> Matrix {
     let d = dn.cols();
     let mut out = crate::arena::matrix_dirty(dn.rows(), dn.cols());
     if d > 0 {

@@ -10,6 +10,7 @@ pub mod adj_recon;
 pub mod finite;
 pub mod gat;
 pub mod infonce;
+pub mod sampled;
 pub mod sce;
 pub mod softmax_ce;
 pub mod variance;

@@ -21,7 +21,7 @@ use crate::dense;
 use crate::gram::GramCache;
 use crate::matrix::Matrix;
 use crate::node::{Node, Op, TensorId};
-use crate::ops::{adj_recon, gat, infonce, sce, softmax_ce, variance};
+use crate::ops::{adj_recon, gat, infonce, sampled, sce, softmax_ce, variance};
 use crate::sparse::SharedCsr;
 
 /// The autograd tape. See the module docs.
@@ -491,6 +491,44 @@ impl Tape {
         };
         let r = self.req(z);
         let id = self.push(Matrix::scalar(loss), Op::AdjRecon { z, saved: Box::new(saved) }, r);
+        (id, comps)
+    }
+
+    /// Symmetric InfoNCE with per-anchor sampled negatives — O(n·k·d)
+    /// instead of O(n²·d). `neg` is a row-major `n × k` id table (anchor `i`
+    /// owns `neg[i*k..(i+1)*k]`), typically drawn by
+    /// `gcmae_graph::sampling::negative_table` from the per-epoch RNG
+    /// stream; ids equal to their anchor are skipped and counted.
+    pub fn info_nce_sampled(
+        &mut self,
+        u: TensorId,
+        v: TensorId,
+        tau: f32,
+        k: usize,
+        neg: &[u32],
+    ) -> TensorId {
+        let (loss, saved) =
+            sampled::info_nce_forward(&self.nodes[u.0].value, &self.nodes[v.0].value, tau, k, neg);
+        let r = self.req(u) || self.req(v);
+        self.push(Matrix::scalar(loss), Op::InfoNceSampled { u, v, saved: Box::new(saved) }, r)
+    }
+
+    /// Adjacency reconstruction with sampled non-edges — positives are the
+    /// true edges (O(nnz·d)), negatives the valid entries of the `n × k` id
+    /// table `neg` (anchors and true neighbors are skipped and counted).
+    pub fn adj_recon_sampled(
+        &mut self,
+        z: TensorId,
+        adj: SharedCsr,
+        weights: adj_recon::Weights,
+        k: usize,
+        neg: &[u32],
+    ) -> (TensorId, adj_recon::Components) {
+        let (loss, comps, saved) =
+            sampled::adj_recon_forward(&self.nodes[z.0].value, adj, weights, k, neg);
+        let r = self.req(z);
+        let id =
+            self.push(Matrix::scalar(loss), Op::AdjReconSampled { z, saved: Box::new(saved) }, r);
         (id, comps)
     }
 

@@ -232,6 +232,35 @@ fn adj_recon_through_linear() {
 }
 
 #[test]
+fn info_nce_sampled_through_projectors() {
+    let mut r = rng(22);
+    let h1 = Matrix::uniform(5, 3, -1.0, 1.0, &mut r);
+    let h2 = Matrix::uniform(5, 3, -1.0, 1.0, &mut r);
+    let w = Matrix::uniform(3, 3, -1.0, 1.0, &mut r);
+    // Fixed table with a deliberate self-collision (anchor 2, slot 1).
+    let neg: Vec<u32> = vec![1, 3, 2, 4, 4, 2, 0, 1, 2, 0];
+    gradcheck(&[h1, h2, w], move |t, ids| {
+        let u = t.matmul(ids[0], ids[2]);
+        let v = t.matmul(ids[1], ids[2]);
+        t.info_nce_sampled(u, v, 0.6, 2, &neg)
+    }, 5e-2);
+}
+
+#[test]
+fn adj_recon_sampled_through_linear() {
+    let mut r = rng(23);
+    let adj = small_csr();
+    let h = Matrix::uniform(4, 3, -0.8, 0.8, &mut r);
+    let w = Matrix::uniform(3, 2, -0.8, 0.8, &mut r);
+    let neg: Vec<u32> = vec![2, 3, 3, 0, 0, 1, 1, 2];
+    gradcheck(&[h, w], move |t, ids| {
+        let z = t.matmul(ids[0], ids[1]);
+        let (loss, _) = t.adj_recon_sampled(z, adj.clone(), Default::default(), 2, &neg);
+        loss
+    }, 5e-2);
+}
+
+#[test]
 fn variance_hinge_through_linear() {
     let mut r = rng(14);
     let h = Matrix::uniform(5, 3, -0.3, 0.3, &mut r);

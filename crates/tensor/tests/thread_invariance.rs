@@ -5,7 +5,7 @@
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use gcmae_tensor::ops::{adj_recon, infonce};
+use gcmae_tensor::ops::{adj_recon, infonce, sampled};
 use gcmae_tensor::parallel::{pool_size, set_num_threads};
 use gcmae_tensor::{dense, CsrMatrix, Matrix, SharedCsr};
 use proptest::prelude::*;
@@ -113,6 +113,43 @@ proptest! {
         prop_assert_eq!(c1.dist.to_bits(), c8.dist.to_bits());
         let g1 = with_threads(1, || adj_recon::backward(&s1, &z, 1.0));
         let g8 = with_threads(8, || adj_recon::backward(&s8, &z, 1.0));
+        prop_assert_eq!(bits(&g1), bits(&g8));
+    }
+
+    #[test]
+    fn infonce_sampled_is_thread_invariant(
+        u in matrix(44, 11),
+        v in matrix(44, 11),
+        neg in prop::collection::vec(0u32..44, 44 * 5),
+    ) {
+        let _g = guard();
+        let (l1, s1) = with_threads(1, || sampled::info_nce_forward(&u, &v, 0.5, 5, &neg));
+        let (l8, s8) = with_threads(8, || sampled::info_nce_forward(&u, &v, 0.5, 5, &neg));
+        prop_assert_eq!(l1.to_bits(), l8.to_bits());
+        let (du1, dv1) = with_threads(1, || sampled::info_nce_backward(&s1, 1.0));
+        let (du8, dv8) = with_threads(8, || sampled::info_nce_backward(&s8, 1.0));
+        prop_assert_eq!(bits(&du1), bits(&du8));
+        prop_assert_eq!(bits(&dv1), bits(&dv8));
+    }
+
+    #[test]
+    fn adj_recon_sampled_is_thread_invariant(
+        adj in adjacency(40),
+        z in matrix(40, 9),
+        neg in prop::collection::vec(0u32..40, 40 * 4),
+    ) {
+        let _g = guard();
+        let w = adj_recon::Weights::default();
+        let (l1, c1, s1) =
+            with_threads(1, || sampled::adj_recon_forward(&z, adj.clone(), w, 4, &neg));
+        let (l8, c8, s8) =
+            with_threads(8, || sampled::adj_recon_forward(&z, adj.clone(), w, 4, &neg));
+        prop_assert_eq!(l1.to_bits(), l8.to_bits());
+        prop_assert_eq!(c1.mse.to_bits(), c8.mse.to_bits());
+        prop_assert_eq!(c1.bce.to_bits(), c8.bce.to_bits());
+        prop_assert_eq!(c1.dist.to_bits(), c8.dist.to_bits());
+        let g1 = with_threads(1, || sampled::adj_recon_backward(&s1, &z, 1.0));
+        let g8 = with_threads(8, || sampled::adj_recon_backward(&s8, &z, 1.0));
         prop_assert_eq!(bits(&g1), bits(&g8));
     }
 

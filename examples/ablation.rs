@@ -6,7 +6,7 @@
 //! cargo run --release --example ablation
 //! ```
 
-use gcmae_core::{GcmaeConfig, TrainSession};
+use gcmae_core::{GcmaeConfig, Objective, TrainSession};
 use gcmae_eval::{linear_probe, ProbeConfig};
 use gcmae_graph::generators::citation::{generate, CitationSpec};
 use gcmae_graph::splits::planetoid_split;
@@ -22,11 +22,9 @@ fn main() {
         epochs: 80,
         hidden_dim: 64,
         proj_dim: 32,
-        alpha: 0.3,
-        lambda: 0.1,
-        mu: 0.2,
         ..GcmaeConfig::default()
-    };
+    }
+    .with_objective(Objective::paper().with_weights(0.3, 0.1, 0.2));
 
     let variants: Vec<(&str, GcmaeConfig)> = vec![
         ("GCMAE (full)", base.clone()),

@@ -51,10 +51,9 @@ fn main() {
         epochs: 60,
         hidden_dim: 16,
         proj_dim: 8,
-        adj_sample: 60,
-        contrast_sample: 0,
         ..GcmaeConfig::default()
-    };
+    }
+    .with_objective(gcmae_core::Objective::paper().with_dense_caps(0, 60));
     let out = TrainSession::new(&cfg)
         .seed(0)
         .run(&ds)

@@ -26,10 +26,9 @@ fn main() {
         epochs: 20,
         hidden_dim: 64,
         proj_dim: 32,
-        adj_sample: 256,
-        contrast_sample: 256,
         ..GcmaeConfig::default()
-    };
+    }
+    .with_objective(gcmae_core::Objective::paper().with_dense_caps(256, 256));
     let ssl = SslConfig {
         epochs: 20,
         hidden_dim: 64,

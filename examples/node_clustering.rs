@@ -26,11 +26,9 @@ fn main() {
         epochs: 80,
         hidden_dim: 64,
         proj_dim: 32,
-        alpha: 0.3,
-        lambda: 0.1,
-        mu: 0.2,
         ..GcmaeConfig::default()
-    };
+    }
+    .with_objective(gcmae_core::Objective::paper().with_weights(0.3, 0.1, 0.2));
     let mae_cfg = gc
         .clone()
         .without_contrastive()

@@ -26,9 +26,9 @@ fn smoke_config() -> GcmaeConfig {
         epochs: 30,
         hidden_dim: 32,
         proj_dim: 16,
-        adj_sample: 128,
         ..GcmaeConfig::default()
     }
+    .with_objective(gcmae_repro::core::Objective::paper().with_dense_caps(1024, 128))
 }
 
 fn pretrain(ds: &Dataset, backend: Backend, seed: u64) -> TrainOutput {

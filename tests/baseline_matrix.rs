@@ -70,10 +70,9 @@ fn all_graph_level_baselines_integrate() {
         hidden_dim: 16,
         proj_dim: 8,
         epochs: 2,
-        adj_sample: 64,
-        contrast_sample: 64,
         ..GcmaeConfig::default()
-    };
+    }
+    .with_objective(gcmae_repro::core::Objective::paper().with_dense_caps(64, 64));
     let runs: Vec<(&str, Matrix)> = vec![
         ("InfoGraph", baselines::graph_level::infograph::train(&coll, &c, 8, 0)),
         ("GraphCL", baselines::graph_level::graphcl::train(&coll, &c, 8, 0)),

@@ -26,10 +26,9 @@ fn smoke_config() -> GcmaeConfig {
         epochs: 40,
         hidden_dim: 32,
         proj_dim: 16,
-        adj_sample: 128,
-        contrast_sample: 0,
         ..GcmaeConfig::default()
     }
+    .with_objective(gcmae_repro::core::Objective::paper().with_dense_caps(0, 128))
 }
 
 #[test]
@@ -128,10 +127,9 @@ fn graph_level_pipeline_classifies_structures() {
         epochs: 8,
         hidden_dim: 24,
         proj_dim: 12,
-        adj_sample: 96,
-        contrast_sample: 96,
         ..GcmaeConfig::default()
-    };
+    }
+    .with_objective(gcmae_repro::core::Objective::paper().with_dense_caps(96, 96));
     let emb = train_graph_level(&c, &cfg, 16, 0);
     let (acc, _) = cross_validate(&emb, &c.labels, c.num_classes, 5, &SvmConfig::default(), 0);
     assert!(acc > 0.55, "graph classification accuracy {acc}");

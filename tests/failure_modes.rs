@@ -27,10 +27,9 @@ fn training_survives_disconnected_graph() {
         epochs: 5,
         hidden_dim: 8,
         proj_dim: 4,
-        adj_sample: 10,
-        contrast_sample: 0,
         ..GcmaeConfig::default()
-    };
+    }
+    .with_objective(gcmae_repro::core::Objective::paper().with_dense_caps(0, 10));
     let out = TrainSession::new(&cfg)
         .seed(0)
         .run(&ds)
@@ -53,10 +52,9 @@ fn training_survives_all_zero_features() {
         epochs: 3,
         hidden_dim: 8,
         proj_dim: 4,
-        adj_sample: 8,
-        contrast_sample: 0,
         ..GcmaeConfig::default()
-    };
+    }
+    .with_objective(gcmae_repro::core::Objective::paper().with_dense_caps(0, 8));
     let out = TrainSession::new(&cfg)
         .seed(0)
         .run(&ds)

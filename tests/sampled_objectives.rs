@@ -1,0 +1,111 @@
+//! Convergence parity and determinism for the sampled O(N·k) objectives:
+//! training with per-anchor negative sampling must reach linear-probe
+//! accuracy on par with the dense O(N²) losses, and the sampled step must
+//! be bit-identical across worker-thread counts (the determinism contract
+//! in DESIGN.md "Sampled objectives & the Objective API").
+
+use gcmae_repro::core::{GcmaeConfig, Objective, SamplerDist, TrainSession};
+use gcmae_repro::eval::{linear_probe, ProbeConfig};
+use gcmae_repro::graph::generators::citation::{generate, CitationSpec};
+use gcmae_repro::graph::splits::planetoid_split;
+use gcmae_repro::graph::Dataset;
+use gcmae_repro::tensor::parallel::set_num_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn probe_accuracy(ds: &Dataset, cfg: &GcmaeConfig, seed: u64) -> f64 {
+    let out = TrainSession::new(cfg)
+        .seed(seed)
+        .run(ds)
+        .expect("unguarded session cannot fail");
+    let mut rng = StdRng::seed_from_u64(7);
+    let split = planetoid_split(&ds.labels, ds.num_classes, 10, 40, &mut rng);
+    linear_probe(
+        &out.embeddings,
+        &ds.labels,
+        ds.num_classes,
+        &split,
+        &ProbeConfig::default(),
+        seed,
+    )
+    .accuracy
+}
+
+fn base_config() -> GcmaeConfig {
+    GcmaeConfig {
+        epochs: 40,
+        hidden_dim: 32,
+        proj_dim: 16,
+        ..GcmaeConfig::default()
+    }
+}
+
+/// Sampled InfoNCE + sampled adjacency reconstruction must stay within a
+/// few points of the dense losses on a citation graph — the whole point of
+/// the O(N·k) path is paying a negligible accuracy cost for the speedup.
+#[test]
+fn sampled_objective_matches_dense_linear_probe() {
+    let ds = generate(&CitationSpec::cora().scaled(0.25), 42);
+    let dense = base_config().with_objective(Objective::paper().with_dense_caps(0, 256));
+    let sampled =
+        base_config().with_objective(Objective::paper().sampled(8, SamplerDist::Uniform));
+    let chance = 1.0 / ds.num_classes as f64;
+    // average over two seeds to damp single-seed probe noise
+    let acc_dense = (probe_accuracy(&ds, &dense, 0) + probe_accuracy(&ds, &dense, 1)) / 2.0;
+    let acc_sampled = (probe_accuracy(&ds, &sampled, 0) + probe_accuracy(&ds, &sampled, 1)) / 2.0;
+    assert!(acc_dense > 2.0 * chance, "dense probe at chance: {acc_dense}");
+    assert!(
+        acc_sampled > 2.0 * chance,
+        "sampled probe at chance: {acc_sampled}"
+    );
+    assert!(
+        acc_sampled >= acc_dense - 0.07,
+        "sampled {acc_sampled:.3} trails dense {acc_dense:.3} by more than 7 points"
+    );
+}
+
+/// Degree-proportional negatives must also train to better-than-chance
+/// embeddings (they skew toward hubs, which changes the loss, not its
+/// usefulness).
+#[test]
+fn degree_sampled_objective_beats_chance() {
+    let ds = generate(&CitationSpec::citeseer().scaled(0.15), 11);
+    let cfg = base_config().with_objective(Objective::paper().sampled(8, SamplerDist::Degree));
+    let chance = 1.0 / ds.num_classes as f64;
+    let acc = probe_accuracy(&ds, &cfg, 0);
+    assert!(acc > 2.0 * chance, "degree-sampled probe at chance: {acc}");
+}
+
+/// The sampled step must produce bit-identical training trajectories at any
+/// worker-thread count: anchor-parallel forward with sequential f64
+/// reductions, and a two-pass scatter backward with one owner per row.
+#[test]
+fn sampled_training_is_thread_invariant() {
+    let ds = generate(&CitationSpec::cora().scaled(0.08), 5);
+    let cfg = GcmaeConfig {
+        epochs: 6,
+        hidden_dim: 16,
+        proj_dim: 8,
+        ..GcmaeConfig::default()
+    }
+    .with_objective(Objective::paper().sampled(4, SamplerDist::Uniform));
+    let run = |threads: usize| -> Vec<(u32, Vec<u32>)> {
+        set_num_threads(threads);
+        let out = TrainSession::new(&cfg)
+            .seed(3)
+            .run(&ds)
+            .expect("unguarded session cannot fail");
+        set_num_threads(0);
+        out.history
+            .iter()
+            .map(|b| (b.total.to_bits(), vec![]))
+            .chain(std::iter::once((
+                0,
+                out.embeddings.as_slice().iter().map(|v| v.to_bits()).collect(),
+            )))
+            .collect()
+    };
+    let one = run(1);
+    let eight = run(8);
+    assert_eq!(one, eight, "sampled training diverged across thread counts");
+}

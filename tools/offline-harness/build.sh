@@ -127,6 +127,7 @@ build_tests() {
 
 build_bins() {
     rbin bench_kernels "$ROOT/crates/bench/src/bin/bench_kernels.rs" "${ALL_DEPS[@]}"
+    rbin bench_training_scale "$ROOT/crates/bench/src/bin/bench_training_scale.rs" "${ALL_DEPS[@]}"
     rbin gcmae-serve "$ROOT/crates/serve/src/bin/gcmae_serve.rs" "${ALL_DEPS[@]:0:8}" rand bytes
     rbin bench_serve "$ROOT/crates/serve/src/bin/bench_serve.rs" "${ALL_DEPS[@]:0:8}" rand bytes
     rbin bench_chaos "$ROOT/crates/serve/src/bin/bench_chaos.rs" "${ALL_DEPS[@]:0:8}" rand bytes

@@ -1,7 +1,7 @@
 //! Offline-build stub for `serde` (with the `derive` feature): a simplified
-//! `Serialize` trait that renders JSON directly (`to_json`), plus the derive
-//! re-exports. `Deserialize` is a marker — the workspace never parses.
-//! See tools/offline-harness/README.md.
+//! `Serialize` trait that renders JSON directly (`to_json`), and a
+//! simplified `Deserialize` that reads from a parsed [`Value`] tree, plus
+//! the derive re-exports. See tools/offline-harness/README.md.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -10,8 +10,252 @@ pub trait Serialize {
     fn to_json(&self) -> String;
 }
 
-/// Marker stand-in for serde's `Deserialize` (never used at runtime).
-pub trait Deserialize<'de> {}
+/// Simplified stand-in for serde's `Deserialize`: build from a parsed
+/// [`Value`]. `missing` is consulted when a struct field is absent from the
+/// JSON object — it errors by default and yields `None` for `Option<T>`,
+/// matching real serde's implicit-default handling of `Option` fields.
+pub trait Deserialize<'de>: Sized {
+    fn from_json(v: &Value) -> Result<Self, String>;
+
+    fn missing(field: &str) -> Result<Self, String> {
+        Err(format!("missing field `{field}`"))
+    }
+}
+
+/// A parsed JSON document (the stub's stand-in for `serde_json::Value`).
+/// Objects keep insertion order; duplicate keys resolve to the first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut i = 0;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing data at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{word}` at byte {i}"))
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(b, i, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, i, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, i, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, i).map(Value::Str),
+        Some(b'[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                if !items.is_empty() {
+                    if b.get(*i) != Some(&b',') {
+                        return Err(format!("expected `,` or `]` at byte {i}"));
+                    }
+                    *i += 1;
+                }
+                items.push(parse_value(b, i)?);
+            }
+        }
+        Some(b'{') => {
+            *i += 1;
+            let mut pairs: Vec<(String, Value)> = Vec::new();
+            loop {
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                if !pairs.is_empty() {
+                    if b.get(*i) != Some(&b',') {
+                        return Err(format!("expected `,` or `}}` at byte {i}"));
+                    }
+                    *i += 1;
+                    skip_ws(b, i);
+                }
+                let key = parse_string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {i}"));
+                }
+                *i += 1;
+                let val = parse_value(b, i)?;
+                pairs.push((key, val));
+            }
+        }
+        Some(_) => parse_number(b, i),
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                *i += 1;
+            }
+            Some(_) => {
+                // advance one UTF-8 scalar
+                let start = *i;
+                *i += 1;
+                while *i < b.len() && (b[*i] & 0xc0) == 0x80 {
+                    *i += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    let start = *i;
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *i += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    _ => Err(format!("expected number, got {v:?}")),
+                }
+            }
+        }
+    )*};
+}
+de_int!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+macro_rules! de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN), // serializer renders non-finite as null
+                    _ => Err(format!("expected number, got {v:?}")),
+                }
+            }
+        }
+    )*};
+}
+de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(x) => Ok(*x),
+            _ => Err(format!("expected bool, got {v:?}")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(format!("expected string, got {v:?}")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(format!("expected array, got {v:?}")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+
+    fn missing(_field: &str) -> Result<Self, String> {
+        Ok(None)
+    }
+}
 
 macro_rules! ser_int {
     ($($t:ty),*) => {$(

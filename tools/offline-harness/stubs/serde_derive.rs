@@ -1,24 +1,19 @@
 //! Offline-build stub for `serde_derive`: a dependency-free proc-macro that
 //! implements the harness's simplified `serde::Serialize` trait (JSON via
-//! `to_json`) for non-generic structs with named fields and enums with
-//! unit/struct variants — the only shapes this workspace derives.
-//! `#[derive(Deserialize)]` expands to nothing (the workspace never
-//! deserializes). See tools/offline-harness/README.md.
+//! `to_json`) and `serde::Deserialize` trait (from a parsed `serde::Value`)
+//! for non-generic structs with named fields and enums with unit/struct
+//! variants — the only shapes this workspace derives.
+//! See tools/offline-harness/README.md.
 
 extern crate proc_macro;
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
-}
-
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(input: TokenStream) -> TokenStream {
+/// Strips attributes/visibility and returns (`"struct"` or `"enum"`, type
+/// name, brace body). The workspace derives no generic types.
+fn parse_type(input: TokenStream) -> (&'static str, String, TokenStream) {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    // Skip attributes/visibility until `struct` or `enum`.
     let kind = loop {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + bracket group
@@ -33,8 +28,6 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         TokenTree::Ident(id) => id.to_string(),
         t => panic!("expected type name, got {t}"),
     };
-    // Find the brace body (skips nothing else: the workspace derives no
-    // generic types).
     let body = tokens[i..]
         .iter()
         .find_map(|t| match t {
@@ -42,6 +35,77 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             _ => None,
         })
         .unwrap_or_else(|| panic!("no body on {name}"));
+    (kind, name, body)
+}
+
+/// Generated expression that reads struct field `f` out of object `src`,
+/// falling back to `Deserialize::missing` when the key is absent.
+fn field_expr(src: &str, f: &str) -> String {
+    format!(
+        "match serde::Value::get({src}, \"{f}\") {{ \
+         Some(x) => serde::Deserialize::from_json(x)?, \
+         None => serde::Deserialize::missing(\"{f}\")?, }}"
+    )
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (kind, name, body) = parse_type(input);
+    let mut code = format!(
+        "#[allow(deprecated)] impl<'de> serde::Deserialize<'de> for {name} {{ \
+         fn from_json(v: &serde::Value) -> Result<Self, String> {{"
+    );
+    if kind == "struct" {
+        let fields = parse_named_fields(body);
+        code.push_str(&format!(
+            "if !matches!(v, serde::Value::Obj(_)) {{ \
+             return Err(format!(\"expected object for {name}, got {{v:?}}\")); }} \
+             Ok({name} {{"
+        ));
+        for f in &fields {
+            code.push_str(&format!("{f}: {},", field_expr("v", f)));
+        }
+        code.push_str("})");
+    } else {
+        // Externally tagged: unit variants are plain strings, struct
+        // variants are single-key objects `{"Variant":{...}}`.
+        let variants = parse_variants(body);
+        code.push_str("match v { serde::Value::Str(tag) => match tag.as_str() {");
+        for (vname, vfields) in &variants {
+            if vfields.is_empty() {
+                code.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),"));
+            }
+        }
+        code.push_str(&format!(
+            "other => Err(format!(\"unknown {name} variant `{{other}}`\")), }},"
+        ));
+        code.push_str(
+            "serde::Value::Obj(pairs) if pairs.len() == 1 => { \
+             let (tag, body) = &pairs[0]; match tag.as_str() {",
+        );
+        for (vname, vfields) in &variants {
+            if !vfields.is_empty() {
+                code.push_str(&format!("\"{vname}\" => Ok({name}::{vname} {{"));
+                for f in vfields {
+                    code.push_str(&format!("{f}: {},", field_expr("body", f)));
+                }
+                code.push_str("}),");
+            }
+        }
+        code.push_str(&format!(
+            "other => Err(format!(\"unknown {name} variant `{{other}}`\")), }} }},"
+        ));
+        code.push_str(&format!(
+            "_ => Err(format!(\"expected {name} tag, got {{v:?}}\")), }}"
+        ));
+    }
+    code.push_str("} }");
+    code.parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (kind, name, body) = parse_type(input);
 
     let out = if kind == "struct" {
         let fields = parse_named_fields(body);

@@ -1,14 +1,14 @@
 //! Offline-build stub for `serde_json`: `to_string` over the harness's
-//! simplified `serde::Serialize`. See tools/offline-harness/README.md.
+//! simplified `serde::Serialize` and `from_str` over its simplified
+//! `serde::Deserialize`/`serde::Value`. See tools/offline-harness/README.md.
 
-/// Serialization error (never produced by the stub, kept for signature
-/// compatibility).
+/// Parse or mapping error, carrying the stub's diagnostic text.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json stub error")
+        write!(f, "serde_json stub error: {}", self.0)
     }
 }
 
@@ -16,4 +16,9 @@ impl std::error::Error for Error {}
 
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
     Ok(value.to_json())
+}
+
+pub fn from_str<'de, T: serde::Deserialize<'de>>(text: &'de str) -> Result<T, Error> {
+    let value = serde::Value::parse(text).map_err(Error)?;
+    T::from_json(&value).map_err(Error)
 }
