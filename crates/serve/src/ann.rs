@@ -1,0 +1,752 @@
+//! Incremental HNSW-style ANN index over the quantized embedding store.
+//!
+//! Candidate generation for `sim_top_k`: a layered proximity graph searched
+//! greedily from a single entry point. Layer 0 holds every indexed node with
+//! up to `2 * m` links in a flat array; upper layers hold a geometrically
+//! thinning subset (deterministic seeded level assignment, so two engines
+//! fed the same insert sequence build byte-identical graphs — shard parity
+//! tests rely on this). All scores read the quantized rows only; callers
+//! re-score the returned candidate set against exact f32 rows, so index
+//! error can cost recall but never corrupts a returned score.
+//!
+//! Maintenance rides on the embedding cache's epoch fence: the engine
+//! inserts a node right after its row lands in the cache (insert-on-warm)
+//! and removes it when the cache invalidates the row, reinserting on the
+//! next warm. Removal unlinks the node from its neighbors, so tombstones
+//! never accumulate and searches need no deleted-node filtering.
+//!
+//! When the indexed population is no larger than the search beam the index
+//! degenerates to a scan that returns *every* resident node — combined with
+//! exact re-scoring this makes `sim_top_k` exact whenever
+//! `ef_search >= resident`, which is what the bit-parity suites pin.
+
+use std::collections::HashMap;
+
+use crate::cache::QuantStore;
+
+/// Construction and search knobs for [`AnnIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnnParams {
+    /// Max links per node on layers above 0 (layer 0 allows `2 * m`).
+    pub m: usize,
+    /// Beam width while building: candidates considered per inserted node.
+    pub ef_construction: usize,
+    /// Beam width while searching: candidate-set size handed to re-scoring.
+    pub ef_search: usize,
+    /// Seed for the deterministic level assignment.
+    pub seed: u64,
+}
+
+impl Default for AnnParams {
+    fn default() -> Self {
+        Self { m: 12, ef_construction: 80, ef_search: 96, seed: 0x5eed_cafe }
+    }
+}
+
+/// Cumulative counters exposed through the `stats` op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnnStats {
+    /// Nodes inserted (including reinserts after invalidation).
+    pub inserts: u64,
+    /// Nodes unlinked by cache invalidation.
+    pub removals: u64,
+    /// Searches served (brute-force degenerate scans included).
+    pub searches: u64,
+    /// Graph nodes expanded across all searches and inserts.
+    pub hops: u64,
+    /// Nodes currently indexed.
+    pub indexed: usize,
+    /// Resident bytes of the index structure (links + level tables).
+    pub resident_bytes: usize,
+}
+
+/// A `(score, id)` pair ordered score-major with the smaller id winning
+/// ties, so every heap decision is deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Scored(f32, u32);
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Highest level a node may occupy (`levels` above this are pointless for
+/// any graph that fits in memory).
+const MAX_LEVEL: u8 = 15;
+
+/// Incremental HNSW-style index. See the module docs for the contract.
+#[derive(Debug)]
+pub struct AnnIndex {
+    params: AnnParams,
+    /// Layer-0 links, `m0` slots per node.
+    links0: Vec<u32>,
+    /// Occupied layer-0 slots per node.
+    len0: Vec<u8>,
+    /// Assigned level per node (fixed by the seed, stable across reinserts).
+    level: Vec<u8>,
+    in_index: Vec<bool>,
+    /// Links on layers >= 1, keyed by node; `upper[&v][l]` is level `l + 1`.
+    upper: HashMap<u32, Vec<Vec<u32>>>,
+    entry: Option<u32>,
+    top_level: u8,
+    count: usize,
+    inserts: u64,
+    removals: u64,
+    searches: u64,
+    hops: u64,
+    /// Dequantized-row scratch, reused across inserts.
+    scratch: Vec<f32>,
+    /// Second scratch for neighbor-selection candidates (held while
+    /// `scratch` is lent out as the insert/prune pivot).
+    scratch2: Vec<f32>,
+    /// Visited-set scratch: `visit_mark[v] == visit_gen` means seen.
+    visit_mark: Vec<u32>,
+    visit_gen: u32,
+}
+
+impl AnnIndex {
+    /// Empty index over `n` node slots of `d`-wide rows.
+    pub fn new(n: usize, d: usize, params: AnnParams) -> Self {
+        let m0 = params.m * 2;
+        Self {
+            params,
+            links0: vec![0; n * m0],
+            len0: vec![0; n],
+            level: vec![0; n],
+            in_index: vec![false; n],
+            upper: HashMap::new(),
+            entry: None,
+            top_level: 0,
+            count: 0,
+            inserts: 0,
+            removals: 0,
+            searches: 0,
+            hops: 0,
+            scratch: vec![0.0; d],
+            scratch2: vec![0.0; d],
+            visit_mark: vec![0; n],
+            visit_gen: 0,
+        }
+    }
+
+    /// Active parameters.
+    pub fn params(&self) -> AnnParams {
+        self.params
+    }
+
+    /// Nodes currently indexed.
+    pub fn indexed(&self) -> usize {
+        self.count
+    }
+
+    /// True when `node` is in the index.
+    pub fn contains(&self, node: usize) -> bool {
+        self.in_index[node]
+    }
+
+    /// Counter snapshot (includes the current memory footprint).
+    pub fn stats(&self) -> AnnStats {
+        AnnStats {
+            inserts: self.inserts,
+            removals: self.removals,
+            searches: self.searches,
+            hops: self.hops,
+            indexed: self.count,
+            resident_bytes: self.bytes(),
+        }
+    }
+
+    /// Resident bytes of the index structure: flat layer-0 table, level and
+    /// membership maps, and the upper-layer link lists (counting the `Vec`
+    /// headers the map entries pay for).
+    pub fn bytes(&self) -> usize {
+        let mut b = self.links0.len() * 4
+            + self.len0.len()
+            + self.level.len()
+            + self.in_index.len()
+            + self.visit_mark.len() * 4;
+        for lists in self.upper.values() {
+            b += 48; // map entry + outer Vec header
+            for l in lists {
+                b += 24 + l.capacity() * 4;
+            }
+        }
+        b
+    }
+
+    /// Deterministic level for `node`: geometric with ratio `1/m`, derived
+    /// from the seed so the same node always lands on the same level.
+    fn level_for(&self, node: usize) -> u8 {
+        let h = splitmix64(self.params.seed ^ (node as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let u = (((h >> 11) | 1) as f64) * (1.0 / (1u64 << 53) as f64);
+        let ml = 1.0 / (self.params.m.max(2) as f64).ln();
+        ((-u.ln() * ml) as usize).min(MAX_LEVEL as usize) as u8
+    }
+
+    fn m_for(&self, level: u8) -> usize {
+        if level == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    fn links(&self, node: u32, level: u8) -> &[u32] {
+        if level == 0 {
+            let m0 = self.params.m * 2;
+            let base = node as usize * m0;
+            &self.links0[base..base + self.len0[node as usize] as usize]
+        } else {
+            self.upper
+                .get(&node)
+                .and_then(|lists| lists.get(level as usize - 1))
+                .map_or(&[], Vec::as_slice)
+        }
+    }
+
+    fn set_links(&mut self, node: u32, level: u8, new: &[u32]) {
+        if level == 0 {
+            let m0 = self.params.m * 2;
+            debug_assert!(new.len() <= m0);
+            let base = node as usize * m0;
+            self.links0[base..base + new.len()].copy_from_slice(new);
+            self.len0[node as usize] = new.len() as u8;
+        } else {
+            let lists = self.upper.entry(node).or_default();
+            while lists.len() < level as usize {
+                lists.push(Vec::new());
+            }
+            lists[level as usize - 1] = new.to_vec();
+        }
+    }
+
+    fn push_link(&mut self, node: u32, level: u8, target: u32) {
+        if level == 0 {
+            let m0 = self.params.m * 2;
+            let base = node as usize * m0;
+            let len = self.len0[node as usize] as usize;
+            debug_assert!(len < m0);
+            self.links0[base + len] = target;
+            self.len0[node as usize] = (len + 1) as u8;
+        } else {
+            let lists = self.upper.entry(node).or_default();
+            while lists.len() < level as usize {
+                lists.push(Vec::new());
+            }
+            lists[level as usize - 1].push(target);
+        }
+    }
+
+    fn next_visit_gen(&mut self) -> u32 {
+        self.visit_gen = self.visit_gen.wrapping_add(1);
+        if self.visit_gen == 0 {
+            self.visit_mark.iter_mut().for_each(|m| *m = 0);
+            self.visit_gen = 1;
+        }
+        self.visit_gen
+    }
+
+    /// Greedy closest-point walk on one layer, used while descending.
+    fn greedy_step(
+        &mut self,
+        store: &QuantStore,
+        anchor: &[f32],
+        anchor_sum: f32,
+        mut ep: u32,
+        level: u8,
+    ) -> u32 {
+        let mut best = store.approx_dot(anchor, anchor_sum, ep as usize);
+        loop {
+            let mut improved = false;
+            let nbrs: Vec<u32> = self.links(ep, level).to_vec();
+            for v in nbrs {
+                self.hops += 1;
+                let s = store.approx_dot(anchor, anchor_sum, v as usize);
+                if s > best || (s == best && v < ep) {
+                    best = s;
+                    ep = v;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Beam search on one layer: returns up to `ef` results, best first.
+    fn search_layer(
+        &mut self,
+        store: &QuantStore,
+        anchor: &[f32],
+        anchor_sum: f32,
+        entries: &[u32],
+        ef: usize,
+        level: u8,
+    ) -> Vec<Scored> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let vgen = self.next_visit_gen();
+        let mut candidates: BinaryHeap<Scored> = BinaryHeap::new();
+        let mut results: BinaryHeap<Reverse<Scored>> = BinaryHeap::new();
+        for &e in entries {
+            if self.visit_mark[e as usize] == vgen {
+                continue;
+            }
+            self.visit_mark[e as usize] = vgen;
+            let s = Scored(store.approx_dot(anchor, anchor_sum, e as usize), e);
+            candidates.push(s);
+            results.push(Reverse(s));
+            if results.len() > ef {
+                results.pop();
+            }
+        }
+        while let Some(cand) = candidates.pop() {
+            let worst = results.peek().map_or(f32::NEG_INFINITY, |r| r.0 .0);
+            if results.len() >= ef && cand.0 < worst {
+                break;
+            }
+            self.hops += 1;
+            let nbrs: Vec<u32> = self.links(cand.1, level).to_vec();
+            for v in nbrs {
+                if self.visit_mark[v as usize] == vgen {
+                    continue;
+                }
+                self.visit_mark[v as usize] = vgen;
+                let s = Scored(store.approx_dot(anchor, anchor_sum, v as usize), v);
+                let worst = results.peek().map_or(f32::NEG_INFINITY, |r| r.0 .0);
+                if results.len() < ef || s.0 > worst {
+                    candidates.push(s);
+                    results.push(Reverse(s));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Scored> = results.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// HNSW neighbor-selection heuristic: walk `ranked` (best first by
+    /// similarity to the base row, id-deduped) and keep a candidate only
+    /// when it is more similar to the base than to every neighbor already
+    /// kept; skipped candidates back-fill any remaining slots. Plain
+    /// keep-m-closest seals each natural cluster into a clique and
+    /// disconnects the layer graph — this variant preserves the bridges
+    /// between clusters that make greedy routing work.
+    fn select_neighbors(&mut self, store: &QuantStore, ranked: &[Scored], m: usize) -> Vec<u32> {
+        let mut keep: Vec<u32> = Vec::with_capacity(m);
+        let mut skipped: Vec<u32> = Vec::new();
+        let mut cand = std::mem::take(&mut self.scratch2);
+        cand.resize(store.dim(), 0.0);
+        for &Scored(sim_base, c) in ranked {
+            if keep.len() >= m {
+                break;
+            }
+            store.dequantize_into(c as usize, &mut cand);
+            let cand_sum: f32 = cand.iter().sum();
+            let bridges = keep
+                .iter()
+                .all(|&a| sim_base > store.approx_dot(&cand, cand_sum, a as usize));
+            if bridges {
+                keep.push(c);
+            } else {
+                skipped.push(c);
+            }
+        }
+        for c in skipped {
+            if keep.len() >= m {
+                break;
+            }
+            keep.push(c);
+        }
+        self.scratch2 = cand;
+        keep
+    }
+
+    /// Inserts `node`, whose quantized row must already be resident in
+    /// `store`. Reinserting an indexed node first unlinks the old copy.
+    pub fn insert(&mut self, node: usize, store: &QuantStore) {
+        assert!(store.contains(node), "ann insert needs a quantized row for {node}");
+        if self.in_index[node] {
+            self.remove(node);
+            self.removals -= 1; // internal relink, not a cache invalidation
+        }
+        self.inserts += 1;
+        self.count += 1;
+        self.in_index[node] = true;
+        let lvl = self.level_for(node);
+        self.level[node] = lvl;
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(node as u32);
+            self.top_level = lvl;
+            return;
+        };
+        // Anchor on the *quantized* row: construction geometry must match
+        // what searches will see.
+        let mut anchor = std::mem::take(&mut self.scratch);
+        anchor.resize(store.dim(), 0.0);
+        store.dequantize_into(node, &mut anchor);
+        let anchor_sum: f32 = anchor.iter().sum();
+
+        let top = self.top_level;
+        for lc in (lvl + 1..=top).rev() {
+            ep = self.greedy_step(store, &anchor, anchor_sum, ep, lc);
+        }
+        let mut entries = vec![ep];
+        for lc in (0..=lvl.min(top)).rev() {
+            let found =
+                self.search_layer(store, &anchor, anchor_sum, &entries, self.params.ef_construction, lc);
+            let m = self.m_for(lc);
+            let cands: Vec<Scored> =
+                found.iter().copied().filter(|s| s.1 as usize != node).collect();
+            let neighbors = self.select_neighbors(store, &cands, m);
+            self.set_links(node as u32, lc, &neighbors);
+            for &v in &neighbors {
+                if self.links(v, lc).len() < self.m_for(lc) {
+                    self.push_link(v, lc, node as u32);
+                } else {
+                    self.prune_with(store, v, lc, node as u32);
+                }
+            }
+            entries = found.iter().map(|s| s.1).collect();
+            if entries.is_empty() {
+                entries = vec![ep];
+            }
+        }
+        if lvl > self.top_level {
+            self.top_level = lvl;
+            self.entry = Some(node as u32);
+        }
+        self.scratch = anchor;
+    }
+
+    /// Re-selects `v`'s links on `level` from its current links plus
+    /// `extra`, applying the same selection heuristic as insertion so a
+    /// full neighbor list sheds redundant in-cluster links before bridges.
+    fn prune_with(&mut self, store: &QuantStore, v: u32, level: u8, extra: u32) {
+        // `scratch` may be lent out to the caller (insert holds it as the
+        // new node's anchor), in which case the take yields an empty vec —
+        // size it before dequantizing or every score comes out 0.0.
+        let mut pivot = std::mem::take(&mut self.scratch);
+        pivot.resize(store.dim(), 0.0);
+        store.dequantize_into(v as usize, &mut pivot);
+        let pivot_sum: f32 = pivot.iter().sum();
+        let mut ranked: Vec<Scored> = self
+            .links(v, level)
+            .iter()
+            .filter(|&&u| u != extra)
+            .chain(std::iter::once(&extra))
+            .map(|&u| Scored(store.approx_dot(&pivot, pivot_sum, u as usize), u))
+            .collect();
+        ranked.sort_by(|a, b| b.cmp(a));
+        let keep = self.select_neighbors(store, &ranked, self.m_for(level));
+        self.set_links(v, level, &keep);
+        self.scratch = pivot;
+    }
+
+    /// Unlinks `node` (cache invalidation path). The node's level stays
+    /// assigned, so a later reinsert rebuilds the same layered shape.
+    pub fn remove(&mut self, node: usize) {
+        if !self.in_index[node] {
+            return;
+        }
+        self.removals += 1;
+        self.count -= 1;
+        self.in_index[node] = false;
+        for lc in 0..=self.level[node] {
+            let nbrs: Vec<u32> = self.links(node as u32, lc).to_vec();
+            for v in nbrs {
+                let kept: Vec<u32> =
+                    self.links(v, lc).iter().copied().filter(|&u| u as usize != node).collect();
+                self.set_links(v, lc, &kept);
+            }
+            self.set_links(node as u32, lc, &[]);
+        }
+        self.upper.remove(&(node as u32));
+        if self.entry == Some(node as u32) {
+            self.elect_entry();
+        }
+    }
+
+    /// Picks a new entry point after the old one was unlinked: the highest-
+    /// level indexed node, smallest id on ties (deterministic).
+    fn elect_entry(&mut self) {
+        let mut best: Option<(u8, u32)> = None;
+        for (&v, _) in self.upper.iter() {
+            if !self.in_index[v as usize] {
+                continue;
+            }
+            let l = self.level[v as usize];
+            best = match best {
+                Some((bl, bv)) if (bl, std::cmp::Reverse(bv)) >= (l, std::cmp::Reverse(v)) => {
+                    Some((bl, bv))
+                }
+                _ => Some((l, v)),
+            };
+        }
+        if best.is_none() {
+            best = self
+                .in_index
+                .iter()
+                .position(|&p| p)
+                .map(|v| (self.level[v], v as u32));
+        }
+        match best {
+            Some((l, v)) => {
+                self.entry = Some(v);
+                self.top_level = l;
+            }
+            None => {
+                self.entry = None;
+                self.top_level = 0;
+            }
+        }
+    }
+
+    /// Returns candidate node ids for `anchor`, best-effort ordered. The
+    /// result holds up to `max(ef, self.params.ef_search)` ids; when the
+    /// indexed population fits inside that beam the scan is exhaustive, so
+    /// exact re-scoring yields the true top-k.
+    pub fn search(&mut self, store: &QuantStore, anchor: &[f32], ef: usize) -> Vec<u32> {
+        self.searches += 1;
+        let ef = ef.max(self.params.ef_search);
+        if self.count <= ef {
+            return (0..self.in_index.len())
+                .filter(|&v| self.in_index[v])
+                .map(|v| v as u32)
+                .collect();
+        }
+        let Some(mut ep) = self.entry else {
+            return Vec::new();
+        };
+        let anchor_sum: f32 = anchor.iter().sum();
+        for lc in (1..=self.top_level).rev() {
+            ep = self.greedy_step(store, anchor, anchor_sum, ep, lc);
+        }
+        let found = self.search_layer(store, anchor, anchor_sum, &[ep], ef, 0);
+        found.into_iter().map(|s| s.1).collect()
+    }
+
+    /// Grows the slot tables to `n` nodes (new slots start unindexed).
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.len0.len(), "ann index cannot shrink");
+        let m0 = self.params.m * 2;
+        self.links0.resize(n * m0, 0);
+        self.len0.resize(n, 0);
+        self.level.resize(n, 0);
+        self.in_index.resize(n, false);
+        self.visit_mark.resize(n, 0);
+    }
+
+    /// Clears the graph and reinserts every row resident in `store`, in
+    /// ascending id order (used when parameters change or ids are
+    /// renumbered). Counters survive; the structure is rebuilt.
+    pub fn rebuild(&mut self, store: &QuantStore) {
+        let n = store.len();
+        let d = store.dim();
+        let stats = (self.inserts, self.removals, self.searches, self.hops);
+        *self = AnnIndex::new(n, d, self.params);
+        (self.inserts, self.removals, self.searches, self.hops) = stats;
+        for v in 0..n {
+            if store.contains(v) {
+                self.insert(v, store);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::QuantMode;
+
+    /// Deterministic pseudo-random unit-ish vectors clustered around `c`.
+    fn synth_row(d: usize, id: usize, c: usize) -> Vec<f32> {
+        (0..d)
+            .map(|i| {
+                let h = splitmix64((id as u64) << 20 | i as u64) as f64 / u64::MAX as f64;
+                let center = if i % 8 == c % 8 { 2.0 } else { 0.0 };
+                (center + h - 0.5) as f32
+            })
+            .collect()
+    }
+
+    fn build(n: usize, d: usize, params: AnnParams) -> (QuantStore, AnnIndex) {
+        let mut store = QuantStore::new(n, d, QuantMode::I8);
+        let mut index = AnnIndex::new(n, d, params);
+        for v in 0..n {
+            store.put(v, &synth_row(d, v, v % 5));
+            index.insert(v, &store);
+        }
+        (store, index)
+    }
+
+    fn brute_top_k(store: &QuantStore, anchor: &[f32], k: usize) -> Vec<u32> {
+        let sum: f32 = anchor.iter().sum();
+        let mut scored: Vec<(u32, f32)> = (0..store.len())
+            .filter(|&v| store.contains(v))
+            .map(|v| (v as u32, store.approx_dot(anchor, sum, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored.into_iter().map(|(v, _)| v).collect()
+    }
+
+    #[test]
+    fn small_population_scan_is_exhaustive() {
+        let (store, mut index) = build(50, 16, AnnParams::default());
+        let anchor = synth_row(16, 999, 1);
+        let got = index.search(&store, &anchor, 96);
+        assert_eq!(got.len(), 50, "ef >= resident must return every node");
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let p = AnnParams { ef_search: 8, ..AnnParams::default() };
+        let (store_a, mut a) = build(400, 16, p);
+        let (_, mut b) = build(400, 16, p);
+        let anchor = synth_row(16, 12345, 3);
+        assert_eq!(
+            a.search(&store_a, &anchor, 24),
+            b.search(&store_a, &anchor, 24),
+            "same insert sequence, same seed -> same candidates"
+        );
+        assert_eq!(a.links0, b.links0);
+        assert_eq!(a.len0, b.len0);
+    }
+
+    #[test]
+    fn recall_at_10_beats_095_on_clustered_rows() {
+        let n = 2000;
+        let d = 16;
+        let p = AnnParams { ef_search: 64, ..AnnParams::default() };
+        let (store, mut index) = build(n, d, p);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in 0..50 {
+            let anchor = synth_row(d, n + q, q % 5);
+            let truth = brute_top_k(&store, &anchor, 10);
+            let got = index.search(&store, &anchor, 64);
+            hit += truth.iter().filter(|t| got.contains(t)).count();
+            total += truth.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.95, "recall@10 {recall} < 0.95");
+    }
+
+    /// Regression: backlink pruning once scored every link 0.0 (the prune
+    /// pivot was dequantized into a zero-length scratch buffer), which froze
+    /// each node's links at the earliest-inserted ids and shattered the graph
+    /// into per-cluster islands (50 components at n=2048). On unit-norm rows
+    /// (where inner product is a true angular similarity) a correct build
+    /// keeps every node reachable from the entry point through the combined
+    /// layer hierarchy — the same edges a search descent can traverse.
+    /// Unnormalized rows are excluded on purpose: under raw MIPS, low-norm
+    /// nodes legitimately lose every pruning contest and drop off the graph.
+    #[test]
+    fn every_node_stays_reachable_from_the_entry() {
+        let n = 1500;
+        let d = 16;
+        let mut store = QuantStore::new(n, d, QuantMode::I8);
+        let mut index = AnnIndex::new(n, d, AnnParams::default());
+        for v in 0..n {
+            let mut row = synth_row(d, v, v % 5);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            for x in &mut row {
+                *x /= norm;
+            }
+            store.put(v, &row);
+            index.insert(v, &store);
+        }
+        let mut seen = vec![false; n];
+        let mut queue = vec![index.entry.expect("non-empty index") as usize];
+        seen[queue[0]] = true;
+        let mut reached = 0;
+        while let Some(v) = queue.pop() {
+            reached += 1;
+            for level in 0..=MAX_LEVEL {
+                for &u in index.links(v as u32, level) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        queue.push(u as usize);
+                    }
+                }
+            }
+        }
+        assert_eq!(reached, n, "hierarchy disconnected: {reached}/{n} reachable");
+    }
+
+    #[test]
+    fn remove_then_reinsert_keeps_the_node_searchable() {
+        let (mut store, mut index) = build(300, 16, AnnParams { ef_search: 16, ..Default::default() });
+        index.remove(7);
+        assert!(!index.contains(7));
+        let anchor = synth_row(16, 7, 7 % 5);
+        assert!(!index.search(&store, &anchor, 32).contains(&7));
+        store.put(7, &anchor);
+        index.insert(7, &store);
+        assert!(index.contains(7));
+        let got = index.search(&store, &anchor, 32);
+        assert!(got.contains(&7), "a reinserted node must be findable (it is its own best match)");
+    }
+
+    #[test]
+    fn removing_the_entry_point_elects_a_new_one() {
+        let (store, mut index) = build(200, 8, AnnParams { ef_search: 8, ..Default::default() });
+        let entry = index.entry.expect("non-empty index has an entry");
+        index.remove(entry as usize);
+        assert_ne!(index.entry, Some(entry));
+        let anchor = synth_row(8, 42, 2);
+        assert!(!index.search(&store, &anchor, 16).is_empty());
+        // drain everything: the index must empty out cleanly
+        for v in 0..200 {
+            index.remove(v);
+        }
+        assert_eq!(index.indexed(), 0);
+        assert!(index.entry.is_none());
+        assert!(index.search(&store, &anchor, 16).is_empty());
+    }
+
+    #[test]
+    fn grow_extends_the_slot_tables() {
+        let (mut store, mut index) = build(64, 8, AnnParams { ef_search: 8, ..Default::default() });
+        store.grow(80);
+        index.grow(80);
+        store.put(70, &synth_row(8, 70, 0));
+        index.insert(70, &store);
+        assert!(index.contains(70));
+        assert_eq!(index.indexed(), 65);
+    }
+
+    #[test]
+    fn stats_track_inserts_searches_and_bytes() {
+        let (store, mut index) = build(500, 16, AnnParams { ef_search: 8, ..Default::default() });
+        let anchor = synth_row(16, 1, 1);
+        let _ = index.search(&store, &anchor, 16);
+        let s = index.stats();
+        assert_eq!(s.inserts, 500);
+        assert_eq!(s.indexed, 500);
+        assert_eq!(s.searches, 1);
+        assert!(s.hops > 0, "hnsw path must expand nodes");
+        assert!(s.resident_bytes > 0);
+    }
+}

@@ -47,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use gcmae_obs::{Observer, Registry, Value};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineStats};
 use crate::protocol::{Request, RequestMeta, Response, ServerStats};
 use crate::wal::{DedupTable, DedupVerdict, Wal, WalRecord};
 
@@ -282,6 +282,8 @@ fn request_counter(request: &Request) -> &'static str {
         Request::LinkScore { .. } => "serve.requests.link_score",
         Request::TopK { .. } => "serve.requests.top_k",
         Request::TopKOwned { .. } => "serve.requests.top_k_owned",
+        Request::SimTopK { .. } => "serve.requests.sim_top_k",
+        Request::SimTopKOwned { .. } => "serve.requests.sim_top_k_owned",
         Request::SeqProbe { .. } => "serve.requests.seq_probe",
         Request::AddEdges { .. } => "serve.requests.add_edges",
         Request::AddNode { .. } => "serve.requests.add_node",
@@ -376,6 +378,19 @@ fn run_group(engine: &mut Engine, group: &[Job], degraded: bool, ctx: &mut Sched
                 if *node < n {
                     wanted.push(*node);
                     wanted.extend(engine.graph().neighbors(*node).iter().map(|&v| v as usize));
+                }
+            }
+            // Similarity search warms the whole index itself (`ensure_indexed`);
+            // only the anchor row is worth coalescing into the group prefetch,
+            // and only when the request searches by node rather than by vector.
+            Request::SimTopK { node, .. } => {
+                if *node < n {
+                    wanted.push(*node);
+                }
+            }
+            Request::SimTopKOwned { node, anchor, .. } => {
+                if anchor.is_none() && *node < n {
+                    wanted.push(*node);
                 }
             }
             _ => {}
@@ -525,6 +540,24 @@ fn finish(job: &Job, response: Response, ctx: &mut SchedCtx) {
     let _ = job.tx.send(response);
 }
 
+/// Mirrors the engine's ANN / quantized-store counters into the telemetry
+/// registry as gauges, refreshed on every `stats`/`metrics` op so the
+/// snapshot the caller receives is current.
+fn publish_ann_gauges(s: &EngineStats, ctx: &SchedCtx) {
+    let m = &ctx.metrics;
+    m.gauge_set("serve.ann.inserts", s.ann.inserts as f64);
+    m.gauge_set("serve.ann.searches", s.ann.searches as f64);
+    m.gauge_set("serve.ann.hops", s.ann.hops as f64);
+    m.gauge_set("serve.ann.resident_bytes", s.ann.resident_bytes as f64);
+    let bytes_per_node = if s.cache.quantized_rows > 0 {
+        s.cache.quantized_bytes as f64 / s.cache.quantized_rows as f64
+    } else {
+        0.0
+    };
+    m.gauge_set("serve.ann.bytes_per_node", bytes_per_node);
+    m.gauge_set("serve.cache.quantized_rows", s.cache.quantized_rows as f64);
+}
+
 /// The single request dispatcher: every [`Request`] variant maps to exactly
 /// one [`Response`] here, with engine failures folded into
 /// [`Response::Error`]. No wildcard arm — a new op fails to compile until
@@ -534,6 +567,7 @@ fn respond(engine: &mut Engine, request: &Request, halo: bool, ctx: &SchedCtx) -
         Request::Ping => Response::Pong,
         Request::Stats => {
             let s = engine.stats();
+            publish_ann_gauges(&s, ctx);
             Response::Stats(ServerStats {
                 num_nodes: s.num_nodes,
                 owned_nodes: s.owned_nodes,
@@ -555,9 +589,19 @@ fn respond(engine: &mut Engine, request: &Request, halo: bool, ctx: &SchedCtx) -
                 stale_served: ctx.metrics.counter_value("serve.stale.rows"),
                 slow_closes: ctx.metrics.counter_value("serve.slow_closes"),
                 objective: engine.model().config().objective().describe(),
+                ann_inserts: s.ann.inserts,
+                ann_searches: s.ann.searches,
+                ann_hops: s.ann.hops,
+                ann_resident_bytes: s.ann.resident_bytes as u64,
+                ann_indexed: s.ann.indexed,
+                quantized_rows: s.cache.quantized_rows,
+                quantized_bytes: s.cache.quantized_bytes as u64,
             })
         }
-        Request::Metrics => Response::Metrics(ctx.metrics.snapshot()),
+        Request::Metrics => {
+            publish_ann_gauges(&engine.stats(), ctx);
+            Response::Metrics(ctx.metrics.snapshot())
+        }
         Request::Embed { nodes } => match engine.embed_batch(nodes) {
             Ok(m) => Response::Embeddings {
                 dim: m.cols(),
@@ -585,6 +629,29 @@ fn respond(engine: &mut Engine, request: &Request, halo: bool, ctx: &SchedCtx) -
                 message: e.to_string(),
             },
         },
+        Request::SimTopK { node, k } => match engine.sim_top_k(*node, *k) {
+            Ok(ranked) => Response::Neighbors(ranked),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::SimTopKOwned {
+            node,
+            k,
+            anchor,
+            exclude,
+        } => {
+            let result = match anchor {
+                Some(row) => engine.sim_top_k_anchor(row, exclude.then_some(*node), *k),
+                None => engine.sim_top_k_owned(*node, *k),
+            };
+            match result {
+                Ok(ranked) => Response::Neighbors(ranked),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
         Request::SeqProbe { client } => Response::SeqState {
             last: ctx.dedup.last_seq(*client),
         },
@@ -786,6 +853,62 @@ mod tests {
         batcher.submit(Request::Embed { nodes: vec![1, 2] });
         batcher.submit(Request::Stats);
         assert_eq!(sink.0.load(std::sync::atomic::Ordering::Relaxed), 3);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn sim_top_k_answers_and_surfaces_ann_stats() {
+        let (eng, reference) = engine(9);
+        let batcher = Batcher::new(eng, 32);
+        let resp = batcher.submit(Request::SimTopK { node: 3, k: 4 });
+        let ranked = match resp {
+            Response::Neighbors(ranked) => ranked,
+            other => panic!("expected neighbors, got {other:?}"),
+        };
+        assert_eq!(ranked.len(), 4);
+        // Scores are exact f32 dot products against the anchor row.
+        let anchor = reference.row(3);
+        for &(v, score) in &ranked {
+            assert_ne!(v, 3, "anchor excluded");
+            let exact: f32 = anchor.iter().zip(reference.row(v)).map(|(a, b)| a * b).sum();
+            assert_eq!(score, exact, "node {v}");
+        }
+        // The owned variant equals the plain one on an unsharded engine, and
+        // an anchor-bearing request by the same row returns the same set
+        // when the anchor id is excluded.
+        let owned = batcher.submit(Request::SimTopKOwned {
+            node: 3,
+            k: 4,
+            anchor: None,
+            exclude: true,
+        });
+        assert_eq!(owned, Response::Neighbors(ranked.clone()));
+        let by_vector = batcher.submit(Request::SimTopKOwned {
+            node: 3,
+            k: 4,
+            anchor: Some(anchor.to_vec()),
+            exclude: true,
+        });
+        assert_eq!(by_vector, Response::Neighbors(ranked));
+        let resp = batcher.submit(Request::Stats);
+        let s = stats(&resp);
+        assert!(s.ann_searches >= 3, "searches {}", s.ann_searches);
+        assert_eq!(s.ann_indexed, 20);
+        assert_eq!(s.quantized_rows, 20);
+        assert!(s.quantized_bytes > 0);
+        assert!(s.ann_resident_bytes > 0);
+        // The stats op also refreshes the telemetry gauges.
+        let snap = batcher.metrics().snapshot();
+        let gauge = |name: &str| {
+            snap.gauges
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(-1.0)
+        };
+        assert!(gauge("serve.ann.searches") >= 3.0);
+        assert!(gauge("serve.ann.bytes_per_node") > 0.0);
+        assert_eq!(gauge("serve.cache.quantized_rows"), 20.0);
         batcher.shutdown();
     }
 

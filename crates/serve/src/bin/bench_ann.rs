@@ -1,0 +1,310 @@
+//! `bench_ann`: measures the quantized store + ANN index against exact
+//! brute-force search, and writes `BENCH_ann.json`.
+//!
+//! Two sections:
+//!
+//! - **Store-level sweep** (`sizes`): seeded clustered unit-norm vectors are
+//!   loaded into a [`QuantStore`] and an [`AnnIndex`] at n up to 1M. For a
+//!   sampled query set, ANN top-10 (candidates from the index, scores
+//!   re-computed from exact f32 rows) is compared to an exact full-scan
+//!   oracle: recall@10, ANN vs brute-force latency, and resident bytes per
+//!   node vs the 4d-byte f32 baseline.
+//! - **Served section** (`served`): a small engine behind a real
+//!   [`Server`] answers `sim_top_k` over TCP; latency is measured
+//!   client-side, answers are checked against an oracle built from the
+//!   served f32 rows, and the process thread count must return to baseline
+//!   after shutdown (zero leaked threads).
+//!
+//! ```text
+//! bench_ann [--out BENCH_ann.json] [--n-max 1048576] [--queries 100] [--dim 32]
+//! ```
+
+use std::time::Instant;
+
+use gcmae_core::{model::seeded_rng, EncoderChoice, Gcmae, GcmaeConfig};
+use gcmae_graph::Graph;
+use gcmae_serve::{AnnIndex, AnnParams, Client, Engine, Json, QuantMode, QuantStore, Server};
+use gcmae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Store-level sweep sizes, capped by `--n-max`.
+const SIZES: [usize; 5] = [4_096, 16_384, 65_536, 262_144, 1_048_576];
+
+/// Index parameters for the sweep (also recorded in the output).
+const SWEEP_PARAMS: AnnParams = AnnParams {
+    m: 16,
+    ef_construction: 128,
+    ef_search: 160,
+    seed: 0x5eed_cafe,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_ann.json".to_string());
+    let n_max: usize = flag(&args, "--n-max")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_048_576);
+    let queries: usize = flag(&args, "--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let dim: usize = flag(&args, "--dim")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+
+    let mut rows = Vec::new();
+    for &n in SIZES.iter().filter(|&&n| n <= n_max) {
+        rows.push(run_size(n, dim, queries));
+    }
+    let served = run_served();
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("ann")),
+        ("dim".into(), Json::int(dim)),
+        ("queries".into(), Json::int(queries)),
+        ("f32_bytes_per_node".into(), Json::int(4 * dim)),
+        ("ann_m".into(), Json::int(SWEEP_PARAMS.m)),
+        ("ann_ef_construction".into(), Json::int(SWEEP_PARAMS.ef_construction)),
+        ("ann_ef_search".into(), Json::int(SWEEP_PARAMS.ef_search)),
+        ("sizes".into(), Json::Arr(rows)),
+        ("served".into(), served),
+    ]);
+    std::fs::write(&out_path, doc.dump()).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Seeded clustered vectors, unit-normalized so dot product ranks like
+/// cosine (the standard MIPS-to-cosine reduction; encoder embeddings have
+/// bounded, similar norms, which this models).
+fn synth_rows(n: usize, d: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = (n / 64).clamp(16, 1_024);
+    let mut c = vec![0.0_f32; centers * d];
+    for v in c.iter_mut() {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+    let mut rows = vec![0.0_f32; n * d];
+    for i in 0..n {
+        let ci = i % centers;
+        let row = &mut rows[i * d..(i + 1) * d];
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = c[ci * d + j] + 0.25 * rng.gen_range(-1.0_f32..1.0);
+        }
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+        for v in row.iter_mut() {
+            *v /= norm;
+        }
+    }
+    rows
+}
+
+/// The engine's fixed f32 reduction order.
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Exact top-`k` by full scan over the f32 rows, ranked score-desc with the
+/// id tie-break.
+fn brute_top_k(rows: &[f32], d: usize, anchor: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let n = rows.len() / d;
+    let mut ranked: Vec<(usize, f32)> = (0..n)
+        .map(|v| (v, dot(anchor, &rows[v * d..(v + 1) * d])))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_size(n: usize, d: usize, queries: usize) -> Json {
+    eprintln!("n={n}: generating + quantizing");
+    let rows = synth_rows(n, d, 0xA55E55ED ^ n as u64);
+    let mut store = QuantStore::new(n, d, QuantMode::I8);
+    for v in 0..n {
+        store.put(v, &rows[v * d..(v + 1) * d]);
+    }
+    let mut index = AnnIndex::new(n, d, SWEEP_PARAMS);
+    let build_start = Instant::now();
+    for v in 0..n {
+        index.insert(v, &store);
+    }
+    let build_s = build_start.elapsed().as_secs_f64();
+
+    let k = 10;
+    let anchors: Vec<usize> = (0..queries).map(|i| i * n / queries).collect();
+    let mut brute_lat = Vec::with_capacity(queries);
+    let mut ann_lat = Vec::with_capacity(queries);
+    let mut hits = 0_usize;
+    for &a in &anchors {
+        let anchor = &rows[a * d..(a + 1) * d];
+        let t = Instant::now();
+        let exact = brute_top_k(&rows, d, anchor, k);
+        brute_lat.push(t.elapsed().as_secs_f64() * 1e3);
+
+        let t = Instant::now();
+        let candidates = index.search(&store, anchor, SWEEP_PARAMS.ef_search);
+        let mut approx: Vec<(usize, f32)> = candidates
+            .into_iter()
+            .map(|v| {
+                let v = v as usize;
+                (v, dot(anchor, &rows[v * d..(v + 1) * d]))
+            })
+            .collect();
+        approx.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+        approx.truncate(k);
+        ann_lat.push(t.elapsed().as_secs_f64() * 1e3);
+
+        hits += approx
+            .iter()
+            .filter(|(v, _)| exact.iter().any(|(e, _)| e == v))
+            .count();
+    }
+    brute_lat.sort_by(f64::total_cmp);
+    ann_lat.sort_by(f64::total_cmp);
+    let recall = hits as f64 / (queries * k) as f64;
+    let stats = index.stats();
+    let bytes_per_node = store.bytes_per_node();
+    let index_bytes_per_node = stats.resident_bytes as f64 / n as f64;
+    let brute_p50 = percentile(&brute_lat, 0.50);
+    let ann_p50 = percentile(&ann_lat, 0.50);
+    let speedup = if ann_p50 > 0.0 { brute_p50 / ann_p50 } else { 0.0 };
+    eprintln!(
+        "n={n}: build={build_s:.1}s recall@10={recall:.3} ann_p50={ann_p50:.3}ms \
+         brute_p50={brute_p50:.3}ms speedup={speedup:.1}x store={bytes_per_node:.1}B/node \
+         index={index_bytes_per_node:.1}B/node"
+    );
+    Json::Obj(vec![
+        ("n".into(), Json::int(n)),
+        ("build_s".into(), Json::num(build_s)),
+        ("recall_at_10".into(), Json::num(recall)),
+        ("ann_p50_ms".into(), Json::num(ann_p50)),
+        ("ann_p99_ms".into(), Json::num(percentile(&ann_lat, 0.99))),
+        ("brute_p50_ms".into(), Json::num(brute_p50)),
+        ("brute_p99_ms".into(), Json::num(percentile(&brute_lat, 0.99))),
+        ("speedup_p50".into(), Json::num(speedup)),
+        ("bytes_per_node".into(), Json::num(bytes_per_node)),
+        ("index_bytes_per_node".into(), Json::num(index_bytes_per_node)),
+        (
+            "hops_per_search".into(),
+            Json::num(stats.hops as f64 / stats.searches.max(1) as f64),
+        ),
+    ])
+}
+
+fn thread_count() -> i64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// End-to-end `sim_top_k` over TCP against a real server: latency, recall
+/// vs an oracle built from the served f32 rows, and the leaked-thread
+/// check. The model is untrained — serving exactness does not depend on
+/// training, and skipping it keeps the bench fast.
+fn run_served() -> Json {
+    let baseline_threads = thread_count();
+    let n = 4_096;
+    let mut rng = seeded_rng(17);
+    let mut edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+    for _ in 0..(2 * n) {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    let graph = Graph::from_edges(n, &edges);
+    let features = Matrix::uniform(n, 16, -1.0, 1.0, &mut rng);
+    let cfg = GcmaeConfig {
+        encoder: EncoderChoice::Sage,
+        hidden_dim: 32,
+        proj_dim: 16,
+        ..GcmaeConfig::fast()
+    };
+    let model = Gcmae::new(&cfg, 16, &mut rng);
+    let engine = Engine::new(model, graph, features).expect("engine");
+    let server = Server::start(engine, "127.0.0.1:0", 32).expect("bind");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+
+    // Oracle rows straight from the server (bit-identical to the engine).
+    let all: Vec<usize> = (0..n).collect();
+    let rows_nested = client.embed(&all).expect("embed all");
+    let d = rows_nested[0].len();
+    let rows: Vec<f32> = rows_nested.into_iter().flatten().collect();
+
+    let k = 10;
+    let queries = 64;
+    let mut lat = Vec::with_capacity(queries);
+    let mut hits = 0_usize;
+    for i in 0..queries {
+        let a = i * n / queries;
+        let t = Instant::now();
+        let got = client.sim_top_k(a, k).expect("sim_top_k");
+        lat.push(t.elapsed().as_secs_f64() * 1e3);
+        let anchor = &rows[a * d..(a + 1) * d];
+        let mut exact = brute_top_k(&rows, d, anchor, k + 1);
+        exact.retain(|&(v, _)| v != a);
+        exact.truncate(k);
+        hits += got
+            .iter()
+            .filter(|(v, _)| exact.iter().any(|(e, _)| e == v))
+            .count();
+        // Returned scores must be exact f32 re-scores, bit-equal to the
+        // oracle's dots.
+        for &(v, score) in &got {
+            let want = dot(anchor, &rows[v * d..(v + 1) * d]);
+            assert_eq!(score.to_bits(), want.to_bits(), "score drift at node {v}");
+        }
+    }
+    lat.sort_by(f64::total_cmp);
+    let recall = hits as f64 / (queries * k) as f64;
+    let stats = client.stats().expect("stats");
+    drop(client);
+    server.shutdown();
+    // Handler threads poll their stop flags on the read-timeout tick.
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    let mut leaked = thread_count() - baseline_threads;
+    while leaked > 0 && Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        leaked = thread_count() - baseline_threads;
+    }
+    eprintln!(
+        "served n={n}: sim_top_k p50={:.3}ms p99={:.3}ms recall@10={recall:.3} leaked={leaked}",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+    );
+    Json::Obj(vec![
+        ("n".into(), Json::int(n)),
+        ("queries".into(), Json::int(queries)),
+        ("sim_top_k_p50_ms".into(), Json::num(percentile(&lat, 0.50))),
+        ("sim_top_k_p99_ms".into(), Json::num(percentile(&lat, 0.99))),
+        ("recall_at_10".into(), Json::num(recall)),
+        ("ann_indexed".into(), Json::int(stats.ann_indexed)),
+        ("quantized_rows".into(), Json::int(stats.quantized_rows)),
+        (
+            "bytes_per_node".into(),
+            Json::num(stats.quantized_bytes as f64 / stats.quantized_rows.max(1) as f64),
+        ),
+        ("leaked_threads".into(), Json::int(leaked.max(0) as usize)),
+    ])
+}

@@ -29,10 +29,21 @@ pub struct BenchRow {
     pub cache_hit_rate: f64,
     /// Mean coalesced batch size (jobs per scheduler group).
     pub avg_batch: f64,
+    /// Whether the scenario exercised the ANN similarity path (`sim_top_k`)
+    /// rather than exact brute-force / neighbor scoring.
+    pub ann: bool,
+    /// Recall@10 against an exact brute-force oracle; `None` when the
+    /// scenario has no similarity component to measure.
+    pub recall_at_10: Option<f64>,
+    /// Resident bytes per node in the quantized embedding store; `None`
+    /// when the store was empty for the scenario.
+    pub bytes_per_node: Option<f64>,
 }
 
 impl BenchRow {
     /// Serializes the shared keys, then any bench-specific `extra` keys.
+    /// Optional keys are omitted (not null) when unset, so pre-existing
+    /// readers keep working on rows that never measured them.
     pub fn to_json(&self, extra: Vec<(String, Json)>) -> Json {
         let mut fields = vec![
             ("clients".to_string(), Json::int(self.clients)),
@@ -45,7 +56,14 @@ impl BenchRow {
             ("p99_ms".to_string(), Json::num(self.p99_ms)),
             ("cache_hit_rate".to_string(), Json::num(self.cache_hit_rate)),
             ("avg_batch".to_string(), Json::num(self.avg_batch)),
+            ("ann".to_string(), Json::Bool(self.ann)),
         ];
+        if let Some(r) = self.recall_at_10 {
+            fields.push(("recall_at_10".to_string(), Json::num(r)));
+        }
+        if let Some(b) = self.bytes_per_node {
+            fields.push(("bytes_per_node".to_string(), Json::num(b)));
+        }
         fields.extend(extra);
         Json::Obj(fields)
     }

@@ -206,5 +206,14 @@ fn run_scenario(engine: Engine, s: &Scenario, queries: usize) -> BenchRow {
         } else {
             0.0
         },
+        // The read mix here is embed/link_score/top_k (exact paths); the
+        // quantized sidecar still fills on warm, so its footprint is real.
+        ann: false,
+        recall_at_10: None,
+        bytes_per_node: if stats.quantized_rows > 0 {
+            Some(stats.quantized_bytes as f64 / stats.quantized_rows as f64)
+        } else {
+            None
+        },
     }
 }

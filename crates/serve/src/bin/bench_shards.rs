@@ -342,6 +342,13 @@ fn run_tier(
             p99_ms: percentile(&latencies, 0.99),
             cache_hit_rate: if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 },
             avg_batch: if batches > 0.0 { stats.batched_jobs as f64 / batches } else { 0.0 },
+            ann: false,
+            recall_at_10: None,
+            bytes_per_node: if stats.quantized_rows > 0 {
+                Some(stats.quantized_bytes as f64 / stats.quantized_rows as f64)
+            } else {
+                None
+            },
         },
         mutations: ledger.len(),
         parity_ok,

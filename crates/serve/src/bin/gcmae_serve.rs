@@ -11,6 +11,7 @@
 //! gcmae-serve query --addr 127.0.0.1:7431 embed 0 1 2
 //! gcmae-serve query --addr 127.0.0.1:7431 link 0:1 4:9
 //! gcmae-serve query --addr 127.0.0.1:7431 topk 5 3
+//! gcmae-serve query --addr 127.0.0.1:7431 simtopk 5 10
 //! gcmae-serve query --addr 127.0.0.1:7431 ping|stats|metrics|shutdown
 //! gcmae-serve selftest
 //! ```
@@ -244,6 +245,19 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             if !s.objective.is_empty() {
                 println!("objective: {}", s.objective);
             }
+            // Pre-v4 servers parse these as zero; only show a live store.
+            if s.quantized_rows > 0 {
+                println!(
+                    "quantized store: {} rows, {:.1} B/node\nann: {} indexed, {} inserts, {} searches, {} hops, {} B resident",
+                    s.quantized_rows,
+                    s.quantized_bytes as f64 / s.quantized_rows as f64,
+                    s.ann_indexed,
+                    s.ann_inserts,
+                    s.ann_searches,
+                    s.ann_hops,
+                    s.ann_resident_bytes
+                );
+            }
         }
         Some("metrics") => {
             let snap = client.metrics().map_err(|e| e.to_string())?;
@@ -282,9 +296,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 println!("{v}\t{s}");
             }
         }
+        Some("simtopk") => {
+            let ids = parse_ids(&rest[1..])?;
+            let (node, k) = match ids.as_slice() {
+                [node, k] => (*node, *k),
+                _ => return Err("simtopk needs <node> <k>".to_string()),
+            };
+            for (v, s) in client.sim_top_k(node, k).map_err(|e| e.to_string())? {
+                println!("{v}\t{s}");
+            }
+        }
         _ => {
             return Err(
-                "query needs one of: ping stats metrics embed link topk shutdown".to_string(),
+                "query needs one of: ping stats metrics embed link topk simtopk shutdown"
+                    .to_string(),
             )
         }
     }

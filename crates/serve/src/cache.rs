@@ -9,6 +9,273 @@
 
 use gcmae_tensor::Matrix;
 
+/// Precision of the quantized sidecar store.
+///
+/// `I8` is the memory-lean default: one byte per dimension plus an 8-byte
+/// per-row affine header (`scale`, `zero_point`), about a 3.6× reduction
+/// over f32 at `d = 64`. `F16` halves f32 instead (IEEE 754 binary16,
+/// round-to-nearest-even) for workloads where the i8 error budget is too
+/// coarse for candidate generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Asymmetric affine i8: `v ≈ scale * (q - zero_point)` per row.
+    I8,
+    /// IEEE 754 binary16 (manual bit conversion; no std f16 needed).
+    F16,
+}
+
+/// f32 → binary16 bits, round-to-nearest-even (overflow saturates to ±inf).
+fn f16_from_f32(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // inf / nan
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // normal half
+        let half_exp = (unbiased + 15) as u32;
+        let mut half = (half_exp << 10) | (mant >> 13);
+        // round to nearest even on the 13 dropped bits
+        let rem = mant & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1) {
+            half += 1;
+        }
+        return sign | half as u16;
+    }
+    if unbiased < -25 {
+        return sign; // underflow to signed zero
+    }
+    // subnormal half
+    let full_mant = mant | 0x0080_0000;
+    let shift = (-14 - unbiased) as u32 + 13;
+    let mut half = full_mant >> shift;
+    let rem = full_mant & ((1u32 << shift) - 1);
+    let halfway = 1u32 << (shift - 1);
+    if rem > halfway || (rem == halfway && (half & 1) == 1) {
+        half += 1;
+    }
+    sign | half as u16
+}
+
+/// binary16 bits → f32 (exact).
+fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp != 0 {
+        sign | ((exp + 112) << 23) | (mant << 13)
+    } else if mant != 0 {
+        // subnormal: normalize. The highest set bit of `mant` (at position
+        // 10 - shift) becomes the implicit leading 1, so the value is
+        // 2^(shift) below the smallest normal's 2^-14 scale.
+        let shift = mant.leading_zeros() - 21;
+        let m = (mant << shift) & 0x03ff;
+        sign | ((113 - shift) << 23) | (m << 13)
+    } else {
+        sign
+    };
+    f32::from_bits(bits)
+}
+
+/// Compact per-node embedding store used for ANN candidate generation.
+///
+/// Rows mirror the exact f32 cache under the same epoch fence: the cache
+/// quantizes on `insert` and clears on `invalidate`, so a present quantized
+/// row always corresponds to the embedding a cold recompute would produce
+/// (up to quantization error). Scores read from this store are *approximate
+/// by design* — callers must re-score their candidate set against the exact
+/// f32 rows before returning anything to a client.
+#[derive(Debug)]
+pub struct QuantStore {
+    mode: QuantMode,
+    dim: usize,
+    /// `n * d` i8 codes (I8 mode) — empty in F16 mode.
+    codes: Vec<i8>,
+    /// Per-row affine parameters (I8 mode).
+    scale: Vec<f32>,
+    zero: Vec<f32>,
+    /// `n * d` binary16 bits (F16 mode) — empty in I8 mode.
+    halves: Vec<u16>,
+    present: Vec<bool>,
+    resident: usize,
+}
+
+impl QuantStore {
+    /// Empty store for `n` nodes of `d`-wide rows.
+    pub fn new(n: usize, d: usize, mode: QuantMode) -> Self {
+        let (codes, scale, zero, halves) = match mode {
+            QuantMode::I8 => (vec![0i8; n * d], vec![0.0; n], vec![0.0; n], Vec::new()),
+            QuantMode::F16 => (Vec::new(), Vec::new(), Vec::new(), vec![0u16; n * d]),
+        };
+        Self { mode, dim: d, codes, scale, zero, halves, present: vec![false; n], resident: 0 }
+    }
+
+    /// Active precision mode.
+    pub fn mode(&self) -> QuantMode {
+        self.mode
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// True when no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident == 0
+    }
+
+    /// Rows currently resident.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// True when `node` holds a quantized row.
+    pub fn contains(&self, node: usize) -> bool {
+        self.present[node]
+    }
+
+    /// Quantizes `row` into slot `node`.
+    pub fn put(&mut self, node: usize, row: &[f32]) {
+        debug_assert_eq!(row.len(), self.dim);
+        match self.mode {
+            QuantMode::I8 => {
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for &v in row {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if !lo.is_finite() || !hi.is_finite() {
+                    (lo, hi) = (0.0, 0.0);
+                }
+                let scale = if hi > lo { (hi - lo) / 255.0 } else { 1.0 };
+                // zero_point maps lo -> -128 so the full i8 range is used.
+                let zp = -128.0 - lo / scale;
+                let dst = &mut self.codes[node * self.dim..(node + 1) * self.dim];
+                for (c, &v) in dst.iter_mut().zip(row) {
+                    *c = (v / scale + zp).round().clamp(-128.0, 127.0) as i8;
+                }
+                self.scale[node] = scale;
+                self.zero[node] = zp;
+            }
+            QuantMode::F16 => {
+                let dst = &mut self.halves[node * self.dim..(node + 1) * self.dim];
+                for (h, &v) in dst.iter_mut().zip(row) {
+                    *h = f16_from_f32(v);
+                }
+            }
+        }
+        if !self.present[node] {
+            self.present[node] = true;
+            self.resident += 1;
+        }
+    }
+
+    /// Drops the row for `node` (keeps the slot).
+    pub fn clear(&mut self, node: usize) {
+        if self.present[node] {
+            self.present[node] = false;
+            self.resident -= 1;
+        }
+    }
+
+    /// Approximate `dot(anchor, row[node])` against the quantized row.
+    ///
+    /// `anchor_sum` must be `anchor.iter().sum()`, hoisted by the caller so
+    /// a search over many candidates pays the reduction once.
+    pub fn approx_dot(&self, anchor: &[f32], anchor_sum: f32, node: usize) -> f32 {
+        debug_assert!(self.present[node], "approx_dot on an absent row");
+        match self.mode {
+            QuantMode::I8 => {
+                let codes = &self.codes[node * self.dim..(node + 1) * self.dim];
+                let mut acc = 0.0f32;
+                for (&a, &q) in anchor.iter().zip(codes) {
+                    acc += a * q as f32;
+                }
+                self.scale[node] * (acc - self.zero[node] * anchor_sum)
+            }
+            QuantMode::F16 => {
+                let halves = &self.halves[node * self.dim..(node + 1) * self.dim];
+                let mut acc = 0.0f32;
+                for (&a, &h) in anchor.iter().zip(halves) {
+                    acc += a * f16_to_f32(h);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Dequantizes row `node` into `out` (for tests and diagnostics).
+    pub fn dequantize_into(&self, node: usize, out: &mut [f32]) {
+        debug_assert!(self.present[node]);
+        debug_assert_eq!(out.len(), self.dim, "dequantize into a {}-wide buffer", out.len());
+        match self.mode {
+            QuantMode::I8 => {
+                let codes = &self.codes[node * self.dim..(node + 1) * self.dim];
+                let (s, zp) = (self.scale[node], self.zero[node]);
+                for (o, &q) in out.iter_mut().zip(codes) {
+                    *o = s * (q as f32 - zp);
+                }
+            }
+            QuantMode::F16 => {
+                let halves = &self.halves[node * self.dim..(node + 1) * self.dim];
+                for (o, &h) in out.iter_mut().zip(halves) {
+                    *o = f16_to_f32(h);
+                }
+            }
+        }
+    }
+
+    /// Grows the store to `n` nodes.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.present.len(), "quant store cannot shrink");
+        match self.mode {
+            QuantMode::I8 => {
+                self.codes.resize(n * self.dim, 0);
+                self.scale.resize(n, 0.0);
+                self.zero.resize(n, 0.0);
+            }
+            QuantMode::F16 => self.halves.resize(n * self.dim, 0),
+        }
+        self.present.resize(n, false);
+    }
+
+    /// Resident bytes of the store (codes + per-row headers), counting only
+    /// allocated storage — this is what "bytes per node" compares against
+    /// the `4 * d` bytes an f32 row store spends.
+    pub fn bytes(&self) -> usize {
+        self.codes.len()
+            + self.halves.len() * 2
+            + self.scale.len() * 4
+            + self.zero.len() * 4
+            + self.present.len()
+    }
+
+    /// Store bytes per node slot (allocation-based, independent of how many
+    /// rows are currently resident).
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.present.is_empty() {
+            0.0
+        } else {
+            self.bytes() as f64 / self.present.len() as f64
+        }
+    }
+}
+
 /// Embedding cache for one resident graph.
 #[derive(Debug)]
 pub struct EmbeddingCache {
@@ -25,6 +292,10 @@ pub struct EmbeddingCache {
     hits: u64,
     misses: u64,
     invalidated: u64,
+    /// Optional compact mirror of the valid rows, maintained under the same
+    /// epoch fence (quantized on insert, dropped on invalidate). ANN
+    /// candidate generation reads this; exact answers never do.
+    quant: Option<QuantStore>,
 }
 
 /// Counters exposed through the `stats` request.
@@ -40,6 +311,10 @@ pub struct CacheStats {
     pub epoch: u64,
     /// Rows currently valid.
     pub resident: usize,
+    /// Rows resident in the quantized sidecar (0 when quantization is off).
+    pub quantized_rows: usize,
+    /// Resident bytes of the quantized sidecar store.
+    pub quantized_bytes: usize,
 }
 
 impl EmbeddingCache {
@@ -54,7 +329,21 @@ impl EmbeddingCache {
             hits: 0,
             misses: 0,
             invalidated: 0,
+            quant: None,
         }
+    }
+
+    /// Cache with a quantized sidecar: every accepted insert also lands a
+    /// compact row for ANN candidate generation.
+    pub fn new_quantized(n: usize, d: usize, mode: QuantMode) -> Self {
+        let mut c = Self::new(n, d);
+        c.quant = Some(QuantStore::new(n, d, mode));
+        c
+    }
+
+    /// The quantized sidecar, if enabled.
+    pub fn quant(&self) -> Option<&QuantStore> {
+        self.quant.as_ref()
     }
 
     /// Number of node slots.
@@ -95,14 +384,20 @@ impl EmbeddingCache {
     }
 
     /// Stores a row if `epoch` is still current; stale inserts are ignored.
-    pub fn insert(&mut self, epoch: u64, node: usize, row: &[f32]) {
+    /// Returns whether the row landed, so index maintenance riding on the
+    /// cache (quantized sidecar, ANN) can skip dropped inserts.
+    pub fn insert(&mut self, epoch: u64, node: usize, row: &[f32]) -> bool {
         if epoch != self.epoch {
-            return;
+            return false;
         }
         self.rows.row_mut(node).copy_from_slice(row);
         self.valid[node] = true;
         self.written_epoch[node] = epoch;
         self.ever[node] = true;
+        if let Some(q) = self.quant.as_mut() {
+            q.put(node, row);
+        }
+        true
     }
 
     /// Looks up a row tolerating bounded staleness: a valid row always
@@ -129,6 +424,9 @@ impl EmbeddingCache {
                 self.invalidated += 1;
             }
             self.valid[v] = false;
+            if let Some(q) = self.quant.as_mut() {
+                q.clear(v);
+            }
         }
         self.epoch += 1;
     }
@@ -144,6 +442,9 @@ impl EmbeddingCache {
         self.valid.resize(n, false);
         self.written_epoch.resize(n, 0);
         self.ever.resize(n, false);
+        if let Some(q) = self.quant.as_mut() {
+            q.grow(n);
+        }
         self.epoch += 1;
     }
 
@@ -155,6 +456,8 @@ impl EmbeddingCache {
             invalidated: self.invalidated,
             epoch: self.epoch,
             resident: self.valid.iter().filter(|&&v| v).count(),
+            quantized_rows: self.quant.as_ref().map_or(0, QuantStore::resident),
+            quantized_bytes: self.quant.as_ref().map_or(0, QuantStore::bytes),
         }
     }
 }
@@ -215,6 +518,94 @@ mod tests {
         assert_eq!(c.peek_stale(0, 2), Some((&[7.0][..], true)));
         // a never-written row has nothing to serve at any budget
         assert_eq!(c.peek_stale(2, u64::MAX), None);
+    }
+
+    #[test]
+    fn f16_roundtrips_representable_values_exactly() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 6.103515625e-5] {
+            assert_eq!(f16_to_f32(f16_from_f32(v)), v, "binary16-representable {v}");
+        }
+        assert_eq!(f16_to_f32(f16_from_f32(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f16_from_f32(1e9)), f32::INFINITY, "overflow saturates");
+        assert!(f16_to_f32(f16_from_f32(f32::NAN)).is_nan());
+        // subnormal half survives the round trip
+        let tiny = 5.960464477539063e-8; // 2^-24, smallest positive subnormal
+        assert_eq!(f16_to_f32(f16_from_f32(tiny)), tiny);
+    }
+
+    #[test]
+    fn f16_conversion_error_is_within_half_ulp() {
+        let mut x = 0.37f32;
+        for _ in 0..200 {
+            x = (x * 1.7 + 0.13) % 8.0 - 4.0;
+            let back = f16_to_f32(f16_from_f32(x));
+            // binary16 has 11 significand bits -> relative error <= 2^-11
+            assert!((back - x).abs() <= x.abs() * (1.0 / 2048.0) + 1e-7, "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn i8_dequantization_error_is_bounded_by_half_a_step() {
+        let d = 32;
+        let mut store = QuantStore::new(2, d, QuantMode::I8);
+        let row: Vec<f32> = (0..d).map(|i| (i as f32 * 0.73).sin() * 3.0).collect();
+        store.put(0, &row);
+        let (lo, hi) = row.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+        let step = (hi - lo) / 255.0;
+        let mut back = vec![0.0; d];
+        store.dequantize_into(0, &mut back);
+        for (&v, &b) in row.iter().zip(&back) {
+            assert!((v - b).abs() <= step * 0.51 + 1e-6, "{v} vs {b} (step {step})");
+        }
+    }
+
+    #[test]
+    fn approx_dot_tracks_the_exact_dot() {
+        let d = 64;
+        for mode in [QuantMode::I8, QuantMode::F16] {
+            let mut store = QuantStore::new(1, d, mode);
+            let a: Vec<f32> = (0..d).map(|i| ((i * 7 + 3) as f32 * 0.31).cos()).collect();
+            let b: Vec<f32> = (0..d).map(|i| ((i * 11 + 5) as f32 * 0.17).sin()).collect();
+            store.put(0, &b);
+            let exact: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let sum_a: f32 = a.iter().sum();
+            let approx = store.approx_dot(&a, sum_a, 0);
+            // error budget: d * |a|_max * (half an i8 step of b's range)
+            assert!((approx - exact).abs() < 0.15, "{mode:?}: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn quantized_sidecar_follows_the_epoch_fence() {
+        let mut c = EmbeddingCache::new_quantized(4, 2, QuantMode::I8);
+        assert!(c.insert(c.epoch(), 1, &[1.0, -2.0]));
+        assert!(c.quant().expect("sidecar on").contains(1));
+        let old = c.epoch();
+        c.invalidate(&[1]);
+        assert!(!c.quant().expect("sidecar on").contains(1), "invalidate drops the mirror");
+        assert!(!c.insert(old, 1, &[9.0, 9.0]), "stale insert is dropped");
+        assert!(!c.quant().expect("sidecar on").contains(1));
+        assert!(c.insert(c.epoch(), 1, &[3.0, 4.0]));
+        let s = c.stats();
+        assert_eq!(s.quantized_rows, 1);
+        assert!(s.quantized_bytes > 0);
+        c.grow(6);
+        assert_eq!(c.quant().expect("sidecar on").len(), 6);
+    }
+
+    #[test]
+    fn i8_store_is_at_least_three_times_smaller_than_f32() {
+        let (n, d) = (128, 64);
+        let store = QuantStore::new(n, d, QuantMode::I8);
+        let f32_bytes_per_node = (d * 4) as f64;
+        assert!(
+            store.bytes_per_node() <= f32_bytes_per_node / 3.0,
+            "{} vs f32 {}",
+            store.bytes_per_node(),
+            f32_bytes_per_node
+        );
     }
 
     #[test]

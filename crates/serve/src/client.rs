@@ -167,6 +167,38 @@ impl Client {
         }
     }
 
+    /// The `k` most similar nodes to `node` across the whole graph by
+    /// embedding dot product. Candidates come from the server's ANN index;
+    /// scores are exact f32 re-scores (protocol v4).
+    pub fn sim_top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, ClientError> {
+        match self.call(&Request::SimTopK { node, k })? {
+            Response::Neighbors(ranked) => Ok(ranked),
+            _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
+    }
+
+    /// Owned-only similarity search (sharded tiers; on an unsharded server
+    /// this equals [`Client::sim_top_k`]). Pass `anchor` to search by an
+    /// explicit vector when the anchor node is not resident on this server;
+    /// `exclude` filters local id `node` from the answer.
+    pub fn sim_top_k_owned(
+        &mut self,
+        node: usize,
+        k: usize,
+        anchor: Option<&[f32]>,
+        exclude: bool,
+    ) -> Result<Vec<(usize, f32)>, ClientError> {
+        match self.call(&Request::SimTopKOwned {
+            node,
+            k,
+            anchor: anchor.map(<[f32]>::to_vec),
+            exclude,
+        })? {
+            Response::Neighbors(ranked) => Ok(ranked),
+            _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
+    }
+
     /// Inserts undirected edges; returns how many cached embeddings the
     /// server invalidated.
     pub fn add_edges(&mut self, edges: &[(usize, usize)]) -> Result<usize, ClientError> {
@@ -458,6 +490,34 @@ impl ResilientClient {
         k: usize,
     ) -> Result<Vec<(usize, f32)>, ClientError> {
         match self.call_read(&Request::TopKOwned { node, k })? {
+            Response::Neighbors(ranked) => Ok(ranked),
+            _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
+    }
+
+    /// Global similarity search, with retries (protocol v4).
+    pub fn sim_top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, ClientError> {
+        match self.call_read(&Request::SimTopK { node, k })? {
+            Response::Neighbors(ranked) => Ok(ranked),
+            _ => Err(ClientError::BadResponse("expected neighbors")),
+        }
+    }
+
+    /// Owned-only similarity search, with retries (sharded tiers). `anchor`
+    /// searches by an explicit vector; `exclude` filters local id `node`.
+    pub fn sim_top_k_owned(
+        &mut self,
+        node: usize,
+        k: usize,
+        anchor: Option<&[f32]>,
+        exclude: bool,
+    ) -> Result<Vec<(usize, f32)>, ClientError> {
+        match self.call_read(&Request::SimTopKOwned {
+            node,
+            k,
+            anchor: anchor.map(<[f32]>::to_vec),
+            exclude,
+        })? {
             Response::Neighbors(ranked) => Ok(ranked),
             _ => Err(ClientError::BadResponse("expected neighbors")),
         }

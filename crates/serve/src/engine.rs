@@ -13,7 +13,8 @@ use gcmae_graph::{Graph, GraphError};
 use gcmae_nn::GraphOps;
 use gcmae_tensor::Matrix;
 
-use crate::cache::{CacheStats, EmbeddingCache};
+use crate::ann::{AnnIndex, AnnParams, AnnStats};
+use crate::cache::{CacheStats, EmbeddingCache, QuantMode};
 
 /// Query/mutation failure. All variants leave the engine unchanged.
 #[derive(Debug)]
@@ -82,6 +83,8 @@ pub struct EngineStats {
     pub backend: gcmae_tensor::Backend,
     /// Nodes this engine owns (equal to `num_nodes` without an owned mask).
     pub owned_nodes: usize,
+    /// ANN index counters (inserts, searches, hops, resident bytes).
+    pub ann: AnnStats,
 }
 
 /// A loaded model serving one resident graph.
@@ -91,6 +94,9 @@ pub struct Engine {
     ops: GraphOps,
     features: Matrix,
     cache: EmbeddingCache,
+    /// ANN index over the cache's quantized sidecar. Populated on warm,
+    /// pruned on invalidation — always a subset of the valid cache rows.
+    ann: AnnIndex,
     faults: ServeFaultPlan,
     read_queries: u64,
     /// Sharding ownership mask, parallel to node ids. `None` (the unsharded
@@ -115,7 +121,8 @@ impl Engine {
             "feature rows must match graph nodes"
         );
         let dim = model.config().hidden_dim;
-        let cache = EmbeddingCache::new(graph.num_nodes(), dim);
+        let cache = EmbeddingCache::new_quantized(graph.num_nodes(), dim, QuantMode::I8);
+        let ann = AnnIndex::new(graph.num_nodes(), dim, AnnParams::default());
         let ops = GraphOps::new(&graph);
         Ok(Self {
             model,
@@ -123,10 +130,27 @@ impl Engine {
             ops,
             features,
             cache,
+            ann,
             faults: ServeFaultPlan::default(),
             read_queries: 0,
             owned: None,
         })
+    }
+
+    /// Replaces the ANN parameters, rebuilding the index over whatever rows
+    /// are already quantized. The bit-parity suites use a large `ef_search`
+    /// here: once the beam covers every resident node, `sim_top_k` is exact.
+    pub fn set_ann_params(&mut self, params: AnnParams) {
+        let (n, d) = (self.cache.len(), self.cache.dim());
+        self.ann = AnnIndex::new(n, d, params);
+        if let Some(store) = self.cache.quant() {
+            self.ann.rebuild(store);
+        }
+    }
+
+    /// Active ANN parameters.
+    pub fn ann_params(&self) -> AnnParams {
+        self.ann.params()
     }
 
     /// Installs a sharding ownership mask (one flag per resident node).
@@ -200,6 +224,7 @@ impl Engine {
             embed_dim: self.cache.dim(),
             backend: gcmae_tensor::backend::active_backend(),
             owned_nodes: self.owned_nodes(),
+            ann: self.ann.stats(),
         }
     }
 
@@ -230,7 +255,14 @@ impl Engine {
         }
         let computed = self.model.encode_rows(&self.ops, &self.features, &missing);
         for (i, &v) in missing.iter().enumerate() {
-            self.cache.insert(epoch, v, computed.row(i));
+            // Insert-on-warm: a row that lands in the cache also lands in the
+            // quantized sidecar (inside `insert`) and the ANN index, so the
+            // index always covers exactly the warm rows.
+            if self.cache.insert(epoch, v, computed.row(i)) {
+                if let Some(store) = self.cache.quant() {
+                    self.ann.insert(v, store);
+                }
+            }
         }
     }
 
@@ -306,14 +338,23 @@ impl Engine {
         self.check_nodes(pairs.iter().flat_map(|&(u, v)| [u, v]))?;
         let all: Vec<usize> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
         self.warm(&all);
-        Ok(pairs
-            .iter()
-            .map(|&(u, v)| {
-                let a = self.cache.peek(u).expect("warmed");
-                let b = self.cache.peek(v).expect("warmed");
-                dot(a, b)
-            })
-            .collect())
+        // Split-borrow the cache instead of copying rows: the anchor lookup
+        // is memoized across consecutive pairs sharing `u` (the common shape
+        // for "score this node against a candidate list" callers).
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut last: Option<(usize, &[f32])> = None;
+        for &(u, v) in pairs {
+            let a = match last {
+                Some((lu, row)) if lu == u => row,
+                _ => {
+                    let row = self.cache.peek(u).expect("warmed");
+                    last = Some((u, row));
+                    row
+                }
+            };
+            out.push(dot(a, self.cache.peek(v).expect("warmed")));
+        }
+        Ok(out)
     }
 
     /// The `k` graph neighbors of `node` with the highest link score,
@@ -349,14 +390,112 @@ impl Engine {
         let mut all = candidates.clone();
         all.push(node);
         self.warm(&all);
-        let anchor = self.cache.peek(node).expect("warmed").to_vec();
+        // Both the anchor and the candidate rows are shared borrows of the
+        // cache — no per-call copy of the anchor row.
+        let anchor = self.cache.peek(node).expect("warmed");
         let mut scored: Vec<(usize, f32)> = candidates
             .into_iter()
-            .map(|v| (v, dot(&anchor, self.cache.peek(v).expect("warmed"))))
+            .map(|v| (v, dot(anchor, self.cache.peek(v).expect("warmed"))))
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         Ok(scored)
+    }
+
+    /// Global similarity search: the `k` nodes most similar to `node` by
+    /// embedding dot product over *every* resident node, not just graph
+    /// neighbors (the paper's §4.2 link-prediction read at serving scale).
+    /// Candidates come from the ANN index over the quantized store; each
+    /// returned score is an exact f32 re-score against cached rows, so any
+    /// `(id, score)` pair is bit-identical to what a brute-force scan of
+    /// cold [`Gcmae::encode`] rows would report for that id. The candidate
+    /// *set* is exact whenever `ef_search` covers the resident population
+    /// (the index degenerates to a full scan), approximate above that with
+    /// the recall gated by the `ann-recall` CI job. The anchor itself is
+    /// never returned.
+    pub fn sim_top_k(&mut self, node: usize, k: usize) -> Result<Vec<(usize, f32)>, EngineError> {
+        self.tick_read()?;
+        self.check_nodes([node])?;
+        self.ensure_indexed();
+        self.sim_search(None, Some(node), k, false)
+    }
+
+    /// Like [`Engine::sim_top_k`], but restricted to nodes this engine
+    /// owns. On a shard the gateway merges every shard's owned answer into
+    /// the global top-k; without an owned mask it equals `sim_top_k`.
+    pub fn sim_top_k_owned(
+        &mut self,
+        node: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f32)>, EngineError> {
+        self.tick_read()?;
+        self.check_nodes([node])?;
+        self.ensure_indexed();
+        self.sim_search(None, Some(node), k, true)
+    }
+
+    /// Owned similarity search against a caller-provided anchor embedding.
+    /// The gateway uses this to fan a query out to shards where the anchor
+    /// node is not resident: the anchor row travels on the wire (bit-exact),
+    /// and `exclude` carries the anchor's local id on shards where it *is*
+    /// resident so the anchor never scores against itself.
+    pub fn sim_top_k_anchor(
+        &mut self,
+        anchor: &[f32],
+        exclude: Option<usize>,
+        k: usize,
+    ) -> Result<Vec<(usize, f32)>, EngineError> {
+        self.tick_read()?;
+        if anchor.len() != self.cache.dim() {
+            return Err(EngineError::FeatureWidth { got: anchor.len(), want: self.cache.dim() });
+        }
+        if let Some(x) = exclude {
+            self.check_nodes([x])?;
+        }
+        self.ensure_indexed();
+        self.sim_search(Some(anchor), exclude, k, true)
+    }
+
+    /// Shared candidate-generation + exact re-score path. `anchor = None`
+    /// reads the (already warmed) exact row of `exclude`.
+    fn sim_search(
+        &mut self,
+        anchor: Option<&[f32]>,
+        exclude: Option<usize>,
+        k: usize,
+        owned_only: bool,
+    ) -> Result<Vec<(usize, f32)>, EngineError> {
+        let ef = self.ann.params().ef_search.max(k.saturating_mul(2));
+        let store = self.cache.quant().expect("engine cache always has a quantized sidecar");
+        let anchor = match anchor {
+            Some(row) => row,
+            None => self
+                .cache
+                .peek(exclude.expect("sim_search without an anchor names a node"))
+                .expect("ensure_indexed warmed every row"),
+        };
+        let candidates = self.ann.search(store, anchor, ef);
+        let mut scored: Vec<(usize, f32)> = candidates
+            .iter()
+            .map(|&c| c as usize)
+            .filter(|&v| Some(v) != exclude && (!owned_only || self.is_owned(v)))
+            .map(|v| (v, dot(anchor, self.cache.peek(v).expect("indexed rows are cached"))))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        Ok(scored)
+    }
+
+    /// Brings the cache — and with it the quantized store and ANN index —
+    /// to full coverage. Incremental: only rows invalidated since the last
+    /// call recompute (a no-op on a fully warm engine), chunked so one call
+    /// never materializes an unbounded restricted forward.
+    fn ensure_indexed(&mut self) {
+        let n = self.graph.num_nodes();
+        let missing: Vec<usize> = (0..n).filter(|&v| self.cache.peek(v).is_none()).collect();
+        for chunk in missing.chunks(8192) {
+            self.warm(chunk);
+        }
     }
 
     /// Inserts undirected edges, recomputing only the affected CSR rows and
@@ -372,6 +511,11 @@ impl Engine {
         // measured on the post-update graph, which contains the old one.
         let stale = graph.k_hop_closed(&affected, self.model.encoder_layers());
         self.cache.invalidate(&stale);
+        // Delete-on-invalidate: stale rows leave the ANN index with the
+        // cache fence; the next warm reinserts them with fresh embeddings.
+        for &v in &stale {
+            self.ann.remove(v);
+        }
         self.ops = GraphOps::new(&graph);
         self.graph = graph;
         Ok(stale.len())
@@ -411,11 +555,15 @@ impl Engine {
         data.extend_from_slice(features);
         self.features = Matrix::from_vec(new_id + 1, d, data);
         self.cache.grow(new_id + 1);
+        self.ann.grow(new_id + 1);
         if let Some(mask) = &mut self.owned {
             mask.push(owned);
         }
         let stale = graph.k_hop_closed(&affected, self.model.encoder_layers());
         self.cache.invalidate(&stale);
+        for &v in &stale {
+            self.ann.remove(v);
+        }
         self.ops = GraphOps::new(&graph);
         self.graph = graph;
         Ok(new_id)
@@ -466,6 +614,9 @@ impl Engine {
         }
         let everything: Vec<usize> = (0..n).collect();
         self.cache.invalidate(&everything);
+        // Every id changed meaning: start the index over (levels are keyed
+        // by id, so an in-place relabel would scramble the layer shape).
+        self.ann = AnnIndex::new(n, self.cache.dim(), self.ann.params());
         self.ops = GraphOps::new(&graph);
         self.graph = graph;
         Ok(n)
@@ -643,6 +794,95 @@ mod tests {
         assert!(eng.reindex(&vec![0; n]).is_err());
         assert!(eng.reindex(&order[..n - 1]).is_err());
         assert_eq!(eng.embed_batch(&all).unwrap().as_slice(), cold.as_slice());
+    }
+
+    /// Brute-force similarity oracle over a cold encode.
+    fn sim_oracle(full: &Matrix, node: usize, k: usize, mask: Option<&[bool]>) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = (0..full.rows())
+            .filter(|&v| v != node && mask.map_or(true, |m| m[v]))
+            .map(|v| (v, dot(full.row(node), full.row(v))))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    #[test]
+    fn sim_top_k_with_covering_beam_equals_the_brute_force_oracle() {
+        let (model, graph, features) = fixture(EncoderChoice::Gcn, 21);
+        let full = model.encode(&graph, &features);
+        let mut eng = Engine::new(model, graph, features).unwrap();
+        // default ef_search (96) covers the 60-node fixture -> exact
+        for node in [0, 5, 33] {
+            assert_eq!(eng.sim_top_k(node, 7).unwrap(), sim_oracle(&full, node, 7, None));
+        }
+        let s = eng.stats();
+        assert!(s.ann.searches >= 3 && s.ann.indexed == eng.graph().num_nodes());
+        assert!(s.cache.quantized_rows == eng.graph().num_nodes());
+    }
+
+    #[test]
+    fn sim_top_k_stays_exact_after_add_edges_and_add_node() {
+        let (model, graph, features) = fixture(EncoderChoice::Sage, 22);
+        let mut eng = Engine::new(model, graph, features).unwrap();
+        eng.sim_top_k(0, 5).unwrap(); // build full coverage
+        eng.add_edges(&[(0, 30), (7, 44)]).unwrap();
+        let row = vec![0.5; 6];
+        let id = eng.add_node(&[2, 9], &row).unwrap();
+        let full = eng.model().encode(eng.graph(), eng.features());
+        for node in [0, 7, id] {
+            assert_eq!(
+                eng.sim_top_k(node, 6).unwrap(),
+                sim_oracle(&full, node, 6, None),
+                "node {node} after mutations"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_top_k_owned_filters_to_the_mask_and_anchor_variant_matches() {
+        let (model, graph, features) = fixture(EncoderChoice::Gcn, 23);
+        let n = graph.num_nodes();
+        let full = model.encode(&graph, &features);
+        let mut eng = Engine::new(model, graph, features).unwrap();
+        let mask: Vec<bool> = (0..n).map(|v| v % 3 != 0).collect();
+        eng.set_owned(mask.clone()).unwrap();
+        let got = eng.sim_top_k_owned(1, 5).unwrap();
+        assert_eq!(got, sim_oracle(&full, 1, 5, Some(&mask)));
+        // shipping the anchor row explicitly gives the same answer
+        let anchor = full.row(1).to_vec();
+        let via_anchor = eng.sim_top_k_anchor(&anchor, Some(1), 5).unwrap();
+        assert_eq!(via_anchor, got);
+        // an anchor not resident here: no exclusion, still mask-filtered
+        let foreign = eng.sim_top_k_anchor(&anchor, None, 5).unwrap();
+        let mut oracle: Vec<(usize, f32)> = (0..n)
+            .filter(|&v| mask[v])
+            .map(|v| (v, dot(&anchor, full.row(v))))
+            .collect();
+        oracle.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        oracle.truncate(5);
+        assert_eq!(foreign, oracle);
+        assert!(matches!(
+            eng.sim_top_k_anchor(&[0.0; 3], None, 5),
+            Err(EngineError::FeatureWidth { got: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn sim_top_k_scores_stay_exact_even_on_the_approximate_path() {
+        use crate::ann::AnnParams;
+        let (model, graph, features) = fixture(EncoderChoice::Gcn, 24);
+        let full = model.encode(&graph, &features);
+        let mut eng = Engine::new(model, graph, features).unwrap();
+        // tiny beam: candidate set may be approximate, scores must not be
+        eng.set_ann_params(AnnParams { m: 4, ef_construction: 8, ef_search: 8, seed: 7 });
+        let got = eng.sim_top_k(3, 4).unwrap();
+        assert!(!got.is_empty());
+        for &(v, s) in &got {
+            assert_ne!(v, 3, "anchor never returned");
+            assert_eq!(s, dot(full.row(3), full.row(v)), "score for {v} must be exact f32");
+        }
+        assert!(eng.stats().ann.hops > 0, "small beam must walk the graph");
     }
 
     #[test]

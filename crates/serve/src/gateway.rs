@@ -858,6 +858,23 @@ fn route(inner: &GatewayInner, request: &Request, meta: &RequestMeta) -> Respons
         Request::TopK { node, k } | Request::TopKOwned { node, k } => {
             route_top_k(inner, *node, *k)
         }
+        // In the gateway's global id space every node is "owned", so the
+        // owned variant without an anchor degenerates to the plain op; an
+        // anchor-bearing request (a chained gateway searching by vector)
+        // fans the vector out directly.
+        Request::SimTopK { node, k }
+        | Request::SimTopKOwned {
+            node,
+            k,
+            anchor: None,
+            ..
+        } => route_sim_top_k(inner, *node, *k),
+        Request::SimTopKOwned {
+            node,
+            k,
+            anchor: Some(row),
+            exclude,
+        } => route_sim_top_k_by_vector(inner, row, exclude.then_some(*node), *k),
         Request::Stats => route_stats(inner),
         Request::Metrics => Response::Metrics(inner.metrics.snapshot()),
         // Answered from the gateway's own dedup table — a client (or a
@@ -1077,6 +1094,162 @@ fn route_top_k(inner: &GatewayInner, node: usize, k: usize) -> Response {
     }
 }
 
+/// Fan-out global similarity search. Every shard answers from its *owned*
+/// candidates, so the merged stream has no duplicates and no gaps. Shards
+/// where the anchor is resident search by local id; the rest receive the
+/// anchor's exact f32 row on the wire (fetched once from a shard holding
+/// it) and search by vector. Scores are exact f32 re-scores shard-side, so
+/// the merged ranking is bit-equal to a single-process engine.
+fn route_sim_top_k(inner: &GatewayInner, node: usize, k: usize) -> Response {
+    for _ in 0..READ_RETRIES {
+        let (owner_shard, owner_local, epochs) = {
+            let state = inner.state.read().expect("state poisoned");
+            if node >= state.owner.len() {
+                return Response::Error {
+                    message: format!(
+                        "node {node} out of range for graph of {} nodes",
+                        state.owner.len()
+                    ),
+                };
+            }
+            // Every shard participates, so every shard's numbering must be
+            // quiescent and every epoch is captured.
+            if (0..inner.shards.len()).any(|s| state.pending[s] > 0) {
+                drop(state);
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            let owner_shard = state.owner[node] as usize;
+            let owner_local = state.local[owner_shard].get(&node).copied();
+            let epochs: Vec<(usize, u64)> =
+                (0..inner.shards.len()).map(|s| (s, state.epoch[s])).collect();
+            (owner_shard, owner_local, epochs)
+        };
+        let Some(owner_local) = owner_local else {
+            return Response::Error {
+                message: format!("node {node} missing from its owning shard {owner_shard}"),
+            };
+        };
+        // Only the owning shard's copy of the anchor is bit-correct (halo
+        // replicas sit at the edge of their neighborhood), so the exact row
+        // every other shard scores against must come from the owner.
+        let anchor_row = if inner.shards.len() > 1 {
+            match inner.shards[owner_shard].reader().embed(&[owner_local]) {
+                Ok(mut rows) => rows.pop(),
+                Err(e) => {
+                    let _ = shard_error(inner, owner_shard, &e);
+                    inner.metrics.counter_add("gateway.degraded", 1);
+                    return Response::Error {
+                        message: format!("shard owning node {node} is unreachable"),
+                    };
+                }
+            }
+        } else {
+            None
+        };
+        let mut merged: Vec<(usize, f32)> = Vec::new();
+        let mut answered = 0_usize;
+        for s in 0..inner.shards.len() {
+            let result = if s == owner_shard {
+                inner.shards[s].reader().sim_top_k_owned(owner_local, k, None, true)
+            } else {
+                inner.shards[s].reader().sim_top_k_owned(0, k, anchor_row.as_deref(), false)
+            };
+            match result {
+                Ok(ranked) => {
+                    answered += 1;
+                    let state = inner.state.read().expect("state poisoned");
+                    merged.extend(
+                        ranked
+                            .into_iter()
+                            .map(|(l, score)| (state.residents[s][l], score)),
+                    );
+                }
+                Err(e) => {
+                    let _ = shard_error(inner, s, &e);
+                    inner.metrics.counter_add("gateway.degraded", 1);
+                }
+            }
+        }
+        if !epochs_hold(inner, &epochs) {
+            inner.metrics.counter_add("gateway.read_races", 1);
+            continue;
+        }
+        if answered == 0 {
+            return Response::Error {
+                message: "no shard is reachable for similarity search".to_string(),
+            };
+        }
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(k);
+        return Response::Neighbors(merged);
+    }
+    Response::Error {
+        message: "read kept racing shard renumbering; retry later".to_string(),
+    }
+}
+
+/// [`route_sim_top_k`] when the caller already holds the anchor vector (a
+/// chained gateway): the row fans out to every shard, owned-only, and
+/// `exclude` (a *global* id) is filtered gateway-side after the merge.
+fn route_sim_top_k_by_vector(
+    inner: &GatewayInner,
+    row: &[f32],
+    exclude: Option<usize>,
+    k: usize,
+) -> Response {
+    for _ in 0..READ_RETRIES {
+        let epochs = {
+            let state = inner.state.read().expect("state poisoned");
+            if (0..inner.shards.len()).any(|s| state.pending[s] > 0) {
+                drop(state);
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            (0..inner.shards.len())
+                .map(|s| (s, state.epoch[s]))
+                .collect::<Vec<(usize, u64)>>()
+        };
+        let mut merged: Vec<(usize, f32)> = Vec::new();
+        let mut answered = 0_usize;
+        for s in 0..inner.shards.len() {
+            match inner.shards[s].reader().sim_top_k_owned(0, k, Some(row), false) {
+                Ok(ranked) => {
+                    answered += 1;
+                    let state = inner.state.read().expect("state poisoned");
+                    merged.extend(
+                        ranked
+                            .into_iter()
+                            .map(|(l, score)| (state.residents[s][l], score)),
+                    );
+                }
+                Err(e) => {
+                    let _ = shard_error(inner, s, &e);
+                    inner.metrics.counter_add("gateway.degraded", 1);
+                }
+            }
+        }
+        if !epochs_hold(inner, &epochs) {
+            inner.metrics.counter_add("gateway.read_races", 1);
+            continue;
+        }
+        if answered == 0 {
+            return Response::Error {
+                message: "no shard is reachable for similarity search".to_string(),
+            };
+        }
+        if let Some(v) = exclude {
+            merged.retain(|&(g, _)| g != v);
+        }
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(k);
+        return Response::Neighbors(merged);
+    }
+    Response::Error {
+        message: "read kept racing shard renumbering; retry later".to_string(),
+    }
+}
+
 /// Aggregated tier stats, plus per-shard gauges refreshed into the gateway
 /// registry as a side effect.
 fn route_stats(inner: &GatewayInner) -> Response {
@@ -1117,11 +1290,22 @@ fn route_stats(inner: &GatewayInner) -> Response {
         agg.slow_closes += stats.slow_closes;
         // shards serve the same bundle; any shard's tag describes the tier
         agg.objective = stats.objective.clone();
+        // ANN / quantized-store counters sum across shards (pre-v4 shards
+        // parse them as zero, so a mixed tier degrades to partial totals).
+        agg.ann_inserts += stats.ann_inserts;
+        agg.ann_searches += stats.ann_searches;
+        agg.ann_hops += stats.ann_hops;
+        agg.ann_resident_bytes += stats.ann_resident_bytes;
+        agg.ann_indexed += stats.ann_indexed;
+        agg.quantized_rows += stats.quantized_rows;
+        agg.quantized_bytes += stats.quantized_bytes;
         for (name, value) in [
             ("num_nodes", stats.num_nodes as f64),
             ("owned_nodes", stats.owned_nodes as f64),
             ("cache_resident", stats.cache_resident as f64),
             ("wal_records", stats.wal_records as f64),
+            ("ann_resident_bytes", stats.ann_resident_bytes as f64),
+            ("quantized_rows", stats.quantized_rows as f64),
         ] {
             inner
                 .metrics

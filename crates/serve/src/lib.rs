@@ -45,6 +45,7 @@
 //! server.shutdown();
 //! ```
 
+pub mod ann;
 pub mod batcher;
 pub mod bundle;
 pub mod cache;
@@ -58,9 +59,10 @@ pub mod server;
 pub mod shard;
 pub mod wal;
 
+pub use ann::{AnnIndex, AnnParams, AnnStats};
 pub use batcher::{Batcher, BatcherOptions};
 pub use bundle::{load_bundle, save_bundle, BundleError};
-pub use cache::{CacheStats, EmbeddingCache};
+pub use cache::{CacheStats, EmbeddingCache, QuantMode, QuantStore};
 pub use client::{Client, ClientError, ResilientClient, RetryPolicy};
 pub use engine::{Engine, EngineError, EngineStats};
 pub use gateway::{Gateway, GatewayError, GatewayOptions};

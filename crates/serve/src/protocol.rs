@@ -83,11 +83,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json, ProtocolError> {
 /// legacy protocol (frames without a `version` field); version 2 added the
 /// version field itself plus the sharding envelope (`halo`, `top_k_owned`);
 /// version 3 added `seq_probe`/`seq_state` (the gateway's recovery
-/// reconciliation probe). Servers accept any frame tagged
+/// reconciliation probe); version 4 added `sim_top_k`/`sim_top_k_owned`
+/// (global similarity search over the ANN index) and the additive
+/// ANN/quantized-store stats fields. Servers accept any frame tagged
 /// `version <= PROTOCOL_VERSION` as well as untagged legacy frames, and
 /// answer frames from the future with a typed [`Response::Error`] instead
 /// of mis-parsing them.
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Optional per-request header fields riding alongside the op payload:
 /// a client-relative deadline, the client identity + mutation sequence
@@ -197,6 +199,37 @@ pub enum Request {
         /// How many neighbors to return.
         k: usize,
     },
+    /// The `k` most similar nodes to `node` across the *whole* graph by
+    /// embedding dot product (protocol v4). Candidates come from the ANN
+    /// index over the quantized store; every returned score is re-computed
+    /// from exact f32 rows, so scores are bit-identical to a brute-force
+    /// scan. The anchor itself is excluded from the answer.
+    SimTopK {
+        /// Anchor node.
+        node: usize,
+        /// How many similar nodes to return.
+        k: usize,
+    },
+    /// Shard-facing form of [`Request::SimTopK`] (protocol v4): restricted
+    /// to candidates the answering shard *owns*, so the gateway can fan it
+    /// out to every shard and merge the per-shard heaps without dedup. When
+    /// the anchor node is not resident on the shard, the gateway ships the
+    /// exact f32 anchor row in `anchor` and the shard searches by vector;
+    /// `exclude` says whether the local `node` id must be filtered from the
+    /// answer (true only on the shard that owns the anchor).
+    SimTopKOwned {
+        /// Anchor node in the answering shard's local id space (ignored
+        /// when `anchor` carries the row and `exclude` is false).
+        node: usize,
+        /// How many similar nodes to return.
+        k: usize,
+        /// Exact f32 anchor row for shards where the anchor is not
+        /// resident. Absent on the wire for same-shard searches.
+        anchor: Option<Vec<f32>>,
+        /// Whether to exclude local id `node` from the answer. Absent on
+        /// the wire parses as `true` (the single-server behavior).
+        exclude: bool,
+    },
     /// The last mutation sequence number the server has acknowledged for
     /// the given client identity (0 when it has none on record). Read-only
     /// (protocol v3): a restarted gateway probes each shard under its own
@@ -246,6 +279,8 @@ impl Request {
             | Request::LinkScore { .. }
             | Request::TopK { .. }
             | Request::TopKOwned { .. }
+            | Request::SimTopK { .. }
+            | Request::SimTopKOwned { .. }
             | Request::SeqProbe { .. } => true,
             Request::AddEdges { .. }
             | Request::AddNode { .. }
@@ -264,6 +299,8 @@ impl Request {
             Request::LinkScore { .. } => "link_score",
             Request::TopK { .. } => "top_k",
             Request::TopKOwned { .. } => "top_k_owned",
+            Request::SimTopK { .. } => "sim_top_k",
+            Request::SimTopKOwned { .. } => "sim_top_k_owned",
             Request::SeqProbe { .. } => "seq_probe",
             Request::AddEdges { .. } => "add_edges",
             Request::AddNode { .. } => "add_node",
@@ -305,9 +342,31 @@ impl Request {
                 ));
             }
             Request::LinkScore { pairs } => fields.push(("pairs".into(), pairs_to_json(pairs))),
-            Request::TopK { node, k } | Request::TopKOwned { node, k } => {
+            Request::TopK { node, k }
+            | Request::TopKOwned { node, k }
+            | Request::SimTopK { node, k } => {
                 fields.push(("node".into(), Json::int(*node)));
                 fields.push(("k".into(), Json::int(*k)));
+            }
+            Request::SimTopKOwned {
+                node,
+                k,
+                anchor,
+                exclude,
+            } => {
+                fields.push(("node".into(), Json::int(*node)));
+                fields.push(("k".into(), Json::int(*k)));
+                if let Some(row) = anchor {
+                    fields.push((
+                        "anchor".into(),
+                        Json::Arr(row.iter().map(|&v| f32_to_json(v)).collect()),
+                    ));
+                }
+                // `exclude: true` is the legacy-compatible default; only the
+                // false case needs to ride the wire.
+                if !exclude {
+                    fields.push(("exclude".into(), Json::Bool(false)));
+                }
             }
             // "probe_client", not "client": the header's own `client` key
             // identifies the *sender*, which need not be the identity being
@@ -356,7 +415,7 @@ impl Request {
             "link_score" => Ok(Request::LinkScore {
                 pairs: pair_list(doc, "pairs")?,
             }),
-            "top_k" | "top_k_owned" => {
+            "top_k" | "top_k_owned" | "sim_top_k" | "sim_top_k_owned" => {
                 let node = doc
                     .get("node")
                     .and_then(Json::as_usize)
@@ -365,10 +424,36 @@ impl Request {
                     .get("k")
                     .and_then(Json::as_usize)
                     .ok_or(ProtocolError::BadMessage("top_k needs k"))?;
-                if op == "top_k" {
-                    Ok(Request::TopK { node, k })
-                } else {
-                    Ok(Request::TopKOwned { node, k })
+                match op {
+                    "top_k" => Ok(Request::TopK { node, k }),
+                    "top_k_owned" => Ok(Request::TopKOwned { node, k }),
+                    "sim_top_k" => Ok(Request::SimTopK { node, k }),
+                    _ => {
+                        let anchor = match doc.get("anchor").and_then(Json::as_arr) {
+                            Some(arr) => Some(
+                                arr.iter()
+                                    .map(|v| {
+                                        json_to_f32(v).ok_or(ProtocolError::BadMessage(
+                                            "anchor value must be a number",
+                                        ))
+                                    })
+                                    .collect::<Result<Vec<f32>, _>>()?,
+                            ),
+                            None => None,
+                        };
+                        // Absent parses as true: a bare sim_top_k_owned
+                        // behaves like the single-server op.
+                        let exclude = doc
+                            .get("exclude")
+                            .and_then(Json::as_bool)
+                            .unwrap_or(true);
+                        Ok(Request::SimTopKOwned {
+                            node,
+                            k,
+                            anchor,
+                            exclude,
+                        })
+                    }
                 }
             }
             "seq_probe" => {
@@ -457,6 +542,21 @@ pub struct ServerStats {
     /// served model (`Objective::describe()`). Absent in frames from
     /// pre-objective servers; parses as the empty string.
     pub objective: String,
+    /// Rows inserted into the ANN index (cumulative). Absent in frames from
+    /// pre-v4 servers; parses as 0, like every ANN/quantized field below.
+    pub ann_inserts: u64,
+    /// ANN similarity searches answered.
+    pub ann_searches: u64,
+    /// Candidate nodes visited across all ANN searches (graph hops).
+    pub ann_hops: u64,
+    /// Bytes held by the ANN index's link lists and level tables.
+    pub ann_resident_bytes: u64,
+    /// Nodes currently present in the ANN index.
+    pub ann_indexed: usize,
+    /// Rows currently resident in the quantized sidecar store.
+    pub quantized_rows: usize,
+    /// Bytes held by the quantized sidecar store.
+    pub quantized_bytes: u64,
 }
 
 /// A server response — exactly one variant per [`Request`] outcome, plus
@@ -581,6 +681,16 @@ impl Response {
                 fields.push(("slow_closes".into(), Json::num(s.slow_closes as f64)));
                 fields.push(("owned_nodes".into(), Json::int(s.owned_nodes)));
                 fields.push(("objective".into(), Json::str(&s.objective)));
+                fields.push(("ann_inserts".into(), Json::num(s.ann_inserts as f64)));
+                fields.push(("ann_searches".into(), Json::num(s.ann_searches as f64)));
+                fields.push(("ann_hops".into(), Json::num(s.ann_hops as f64)));
+                fields.push((
+                    "ann_resident_bytes".into(),
+                    Json::num(s.ann_resident_bytes as f64),
+                ));
+                fields.push(("ann_indexed".into(), Json::int(s.ann_indexed)));
+                fields.push(("quantized_rows".into(), Json::int(s.quantized_rows)));
+                fields.push(("quantized_bytes".into(), Json::num(s.quantized_bytes as f64)));
             }
             Response::Embeddings { dim, rows } => {
                 fields.push(("dim".into(), Json::int(*dim)));
@@ -754,6 +864,15 @@ impl Response {
                         .and_then(Json::as_str)
                         .unwrap_or_default()
                         .to_string(),
+                    // ANN/quantized-store counters are additive (v4): absent
+                    // in frames from older servers, parsing as 0.
+                    ann_inserts: u64_or_zero(doc, "ann_inserts"),
+                    ann_searches: u64_or_zero(doc, "ann_searches"),
+                    ann_hops: u64_or_zero(doc, "ann_hops"),
+                    ann_resident_bytes: u64_or_zero(doc, "ann_resident_bytes"),
+                    ann_indexed: u64_or_zero(doc, "ann_indexed") as usize,
+                    quantized_rows: u64_or_zero(doc, "quantized_rows") as usize,
+                    quantized_bytes: u64_or_zero(doc, "quantized_bytes"),
                 }))
             }
             "embeddings" => {
@@ -983,6 +1102,19 @@ mod tests {
             },
             Request::TopK { node: 4, k: 10 },
             Request::TopKOwned { node: 4, k: 10 },
+            Request::SimTopK { node: 4, k: 10 },
+            Request::SimTopKOwned {
+                node: 4,
+                k: 10,
+                anchor: None,
+                exclude: true,
+            },
+            Request::SimTopKOwned {
+                node: 0,
+                k: 5,
+                anchor: Some(vec![0.25, -1.5e-3, 3.5e-8]),
+                exclude: false,
+            },
             Request::SeqProbe { client: 0x1234_5678 },
             Request::AddEdges {
                 edges: vec![(1, 2), (0, 9)],
@@ -1040,6 +1172,13 @@ mod tests {
                 stale_served: 6,
                 slow_closes: 4,
                 objective: "sce(\u{03b3}=2)+infonce".into(),
+                ann_inserts: 20,
+                ann_searches: 11,
+                ann_hops: 340,
+                ann_resident_bytes: 4096,
+                ann_indexed: 20,
+                quantized_rows: 20,
+                quantized_bytes: 1460,
             }),
             Response::Embeddings {
                 dim: 2,
@@ -1133,6 +1272,47 @@ mod tests {
     }
 
     #[test]
+    fn stats_ann_fields_default_for_pre_v4_servers() {
+        // A stats frame from a pre-v4 server carries none of the ANN or
+        // quantized-store keys; each must parse as zero.
+        let mut doc = Response::Stats(ServerStats::default()).to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| {
+                !k.starts_with("ann_") && k != "quantized_rows" && k != "quantized_bytes"
+            });
+        }
+        let parsed = Json::parse(&doc.dump()).unwrap();
+        match Response::from_json(&parsed).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.ann_inserts, 0);
+                assert_eq!(s.ann_searches, 0);
+                assert_eq!(s.ann_hops, 0);
+                assert_eq!(s.ann_resident_bytes, 0);
+                assert_eq!(s.ann_indexed, 0);
+                assert_eq!(s.quantized_rows, 0);
+                assert_eq!(s.quantized_bytes, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_top_k_owned_wire_defaults_match_the_single_server_op() {
+        // A frame without anchor/exclude (the common same-shard case) must
+        // parse with exclude defaulting to true.
+        let doc = Json::parse("{\"op\":\"sim_top_k_owned\",\"node\":3,\"k\":2}").unwrap();
+        assert_eq!(
+            Request::from_json(&doc).unwrap(),
+            Request::SimTopKOwned {
+                node: 3,
+                k: 2,
+                anchor: None,
+                exclude: true,
+            }
+        );
+    }
+
+    #[test]
     fn responses_keep_legacy_wire_fields() {
         // Pre-enum clients dispatch on `ok` and the flat payload names; the
         // `kind` tag must be additive, not a replacement.
@@ -1165,6 +1345,14 @@ mod tests {
         assert!(Request::Metrics.is_read_only());
         assert!(Request::Embed { nodes: vec![] }.is_read_only());
         assert!(Request::TopK { node: 0, k: 1 }.is_read_only());
+        assert!(Request::SimTopK { node: 0, k: 1 }.is_read_only());
+        assert!(Request::SimTopKOwned {
+            node: 0,
+            k: 1,
+            anchor: None,
+            exclude: true
+        }
+        .is_read_only());
         assert!(Request::SeqProbe { client: 7 }.is_read_only());
         assert!(!Request::AddEdges { edges: vec![] }.is_read_only());
         assert!(!Request::AddNode {

@@ -16,6 +16,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use crate::ann::AnnParams;
 use crate::bundle::{load_bundle, BundleError};
 use crate::engine::{Engine, EngineError};
 use crate::gateway::{Gateway, GatewayError, GatewayOptions};
@@ -108,6 +109,10 @@ pub struct TierOptions {
     /// override with a per-lifetime value — a reused identity would
     /// collide with the previous lifetime's shard-side sequences.
     pub client_seed: u64,
+    /// ANN index parameters installed on every shard engine; `None` keeps
+    /// [`AnnParams::default`]. Parity tests raise `ef_search` past the
+    /// shard size so `sim_top_k` degenerates to an exhaustive (exact) scan.
+    pub ann: Option<AnnParams>,
 }
 
 impl Default for TierOptions {
@@ -119,6 +124,7 @@ impl Default for TierOptions {
             wal_dir: None,
             read_connections: 4,
             client_seed: 0x7469_6572_3a31_2121, // "tier:1!!"
+            ann: None,
         }
     }
 }
@@ -151,6 +157,9 @@ impl ShardTier {
             let (sm, sg, sf) = load_bundle(&slice)?;
             let mut engine = Engine::new(sm, sg, sf)?;
             engine.set_owned(partition.shards[s].owned.clone())?;
+            if let Some(params) = opts.ann {
+                engine.set_ann_params(params);
+            }
             let (wal, dedup) = match &opts.wal_dir {
                 Some(dir) => {
                     let (wal, records) = Wal::open(dir.join(format!("shard{s}.wal")))?;

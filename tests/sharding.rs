@@ -8,8 +8,8 @@ use gcmae_repro::core::model::seeded_rng;
 use gcmae_repro::core::{Gcmae, GcmaeConfig};
 use gcmae_repro::graph::Graph;
 use gcmae_repro::serve::{
-    halo_depth_for, load_bundle, save_bundle, Client, ClientError, Engine, Gateway, GatewayError,
-    GatewayOptions, Partition, PartitionError, PartitionMode, Request, RequestMeta,
+    halo_depth_for, load_bundle, save_bundle, AnnParams, Client, ClientError, Engine, Gateway,
+    GatewayError, GatewayOptions, Partition, PartitionError, PartitionMode, Request, RequestMeta,
     ResilientClient, Response, Server, ServerOptions, ShardTier, TierOptions, Wal, WalRecord,
     PROTOCOL_VERSION,
 };
@@ -216,6 +216,71 @@ fn tier_parity_round(kernel_threads: usize, seed: u64) {
     drop(client);
     tier.shutdown();
     let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// Global similarity search through the gateway: each shard answers
+/// `sim_top_k_owned` over its own ANN index, the gateway merges with the
+/// score-desc / id-asc tie-break, and the result must be bit-equal to a
+/// single-process engine on the same bundle. `ef_search` is raised past
+/// every shard's size so candidate sets are exhaustive and the exact f32
+/// re-score makes both sides literally identical — including on anchors
+/// resident only as halo replicas, and after gateway-routed mutations.
+#[test]
+fn sharded_sim_top_k_is_bit_equal_to_a_single_process_engine() {
+    let n = 72;
+    let in_dim = 6;
+    let graph = random_graph(n, 24, 31);
+    let mut rng = seeded_rng(31);
+    let features = Matrix::uniform(n, in_dim, -1.0, 1.0, &mut rng);
+    let cfg = GcmaeConfig { hidden_dim: 12, proj_dim: 8, ..GcmaeConfig::fast() };
+    let model = Gcmae::new(&cfg, in_dim, &mut rng);
+    let bundle = save_bundle(&model, &graph, &features);
+
+    let exhaustive = AnnParams { ef_search: 4 * n, ..AnnParams::default() };
+    let tier = ShardTier::launch(
+        &bundle,
+        4,
+        TierOptions { ann: Some(exhaustive), ..TierOptions::default() },
+    )
+    .expect("tier launch");
+    let mut client = Client::connect(&tier.gateway_addr().to_string()).expect("gateway connect");
+
+    let (m1, g1, f1) = load_bundle(&bundle).expect("bundle");
+    let mut single = Engine::new(m1, g1, f1).expect("single engine");
+    single.set_ann_params(exhaustive);
+    for v in (0..n).step_by(3) {
+        assert_eq!(
+            client.sim_top_k(v, 7).expect("gateway sim_top_k"),
+            single.sim_top_k(v, 7).expect("single sim_top_k"),
+            "pre-mutation sim_top_k({v})"
+        );
+    }
+
+    // Mutations invalidate quantized rows and unlink them from every
+    // shard's index; the re-warmed answers must still merge bit-equal.
+    let new_edges = [(0, n / 2), (n / 4, 3 * n / 4)];
+    let mut mutator = ResilientClient::new(&tier.gateway_addr().to_string(), 0x51ed);
+    mutator.add_edges(&new_edges).expect("gateway add_edges");
+    let (g2, _) = graph.add_edges(&new_edges).expect("clean add_edges");
+    let (m2, _, _) = load_bundle(&bundle).expect("bundle reload");
+    let mut clean = Engine::new(m2, g2, features.clone()).expect("clean engine");
+    clean.set_ann_params(exhaustive);
+    for v in (0..n).step_by(5) {
+        assert_eq!(
+            client.sim_top_k(v, 7).expect("gateway sim_top_k"),
+            clean.sim_top_k(v, 7).expect("clean sim_top_k"),
+            "post-mutation sim_top_k({v})"
+        );
+    }
+
+    // Aggregated stats surface the per-shard ANN/quantized counters.
+    let stats = client.stats().expect("gateway stats");
+    assert!(stats.ann_searches > 0, "shards answered sim_top_k via the index");
+    assert!(stats.quantized_rows > 0, "quantized sidecars are live");
+    assert!(stats.ann_resident_bytes > 0);
+
+    drop(client);
+    tier.shutdown();
 }
 
 #[test]

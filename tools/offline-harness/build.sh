@@ -133,6 +133,7 @@ build_bins() {
     rbin bench_chaos "$ROOT/crates/serve/src/bin/bench_chaos.rs" "${ALL_DEPS[@]:0:8}" rand bytes
     rbin gcmae-gateway "$ROOT/crates/serve/src/bin/gcmae_gateway.rs" "${ALL_DEPS[@]:0:8}" rand bytes
     rbin bench_shards "$ROOT/crates/serve/src/bin/bench_shards.rs" "${ALL_DEPS[@]:0:8}" rand bytes
+    rbin bench_ann "$ROOT/crates/serve/src/bin/bench_ann.rs" "${ALL_DEPS[@]:0:8}" rand bytes
 }
 
 build_examples() {
